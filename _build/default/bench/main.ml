@@ -1,0 +1,386 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation plus the repository's extension experiments, then runs
+   bechamel micro-benchmarks of the kernels behind each table.
+
+   Sections:
+     Table 1 — operator fault-coverage efficiency (paper Table 1)
+     Table 2 — test-oriented vs random 10% sampling (paper Table 2)
+     E3      — ATPG-effort reduction from validation-data reuse (the
+               introduction's claim; the paper shows no table, we do)
+     A1      — ablation: MS vs sample rate
+     A2      — ablation: serial vs parallel fault simulation
+     bechamel — one Test.make per table/experiment kernel
+
+   `dune exec bench/main.exe` runs the full configuration (a few
+   minutes); `dune exec bench/main.exe -- --quick` uses reduced budgets
+   (tens of seconds). `--skip-micro` drops the bechamel section. *)
+
+module Registry = Mutsamp_circuits.Registry
+module Operator = Mutsamp_mutation.Operator
+module Strategy = Mutsamp_sampling.Strategy
+module Vectorgen = Mutsamp_validation.Vectorgen
+module Fsim = Mutsamp_fault.Fsim
+module Netlist = Mutsamp_netlist.Netlist
+module Prpg = Mutsamp_atpg.Prpg
+module Podem = Mutsamp_atpg.Podem
+module Prng = Mutsamp_util.Prng
+module Config = Mutsamp_core.Config
+module Pipeline = Mutsamp_core.Pipeline
+module Experiments = Mutsamp_core.Experiments
+module Report = Mutsamp_core.Report
+module Paper_data = Mutsamp_core.Paper_data
+
+let quick = Array.exists (fun a -> a = "--quick") Sys.argv
+let skip_micro = Array.exists (fun a -> a = "--skip-micro") Sys.argv
+let config = if quick then Config.quick else Config.default
+let t2_repetitions = if quick then 3 else 20
+let t1_repetitions = if quick then 2 else 5
+
+let section title = Printf.printf "\n==== %s ====\n\n%!" title
+
+let timed label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Printf.printf "[%s: %.1fs]\n%!" label (Unix.gettimeofday () -. t0);
+  r
+
+(* Prepared pipelines, shared across sections. *)
+let pipelines =
+  List.map
+    (fun (e : Registry.entry) ->
+      (e.Registry.name, lazy (Pipeline.prepare (e.Registry.design ()))))
+    Registry.paper_benchmarks
+
+let pipeline name = Lazy.force (List.assoc name pipelines)
+
+(* Full-operator efficiency rows, reused for Table 1 display and the
+   Table 2 weights. *)
+let full_rows = Hashtbl.create 4
+
+let full_row name =
+  match Hashtbl.find_opt full_rows name with
+  | Some row -> row
+  | None ->
+    let row =
+      Experiments.operator_efficiency_avg ~config ~operators:Operator.all
+        ~repetitions:t1_repetitions (pipeline name) ~name
+    in
+    Hashtbl.replace full_rows name row;
+    row
+
+let equivalents_cache = Hashtbl.create 4
+
+let equivalents name =
+  match Hashtbl.find_opt equivalents_cache name with
+  | Some eq -> eq
+  | None ->
+    let eq =
+      Pipeline.classify_equivalents ~screen:config.Config.equivalence_screen
+        ~seed:config.Config.seed (pipeline name)
+    in
+    Hashtbl.replace equivalents_cache name eq;
+    eq
+
+let circuit_names = List.map fst pipelines
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_table1 () =
+  section "Table 1: operator fault-coverage efficiency";
+  let rows =
+    List.map
+      (fun name ->
+        timed (name ^ " table1") (fun () ->
+            let full = full_row name in
+            (* Display the paper's four operators from the full row. *)
+            {
+              full with
+              Experiments.per_operator =
+                List.filter
+                  (fun (r : Experiments.operator_row) ->
+                    List.exists (Operator.equal r.Experiments.op)
+                      [ Operator.LOR; Operator.VR; Operator.CVR; Operator.CR ])
+                  full.Experiments.per_operator;
+            }))
+      circuit_names
+  in
+  print_endline "Measured (this reproduction):";
+  print_endline (Report.table1 rows);
+  print_endline "";
+  print_endline "Published (paper Table 1):";
+  print_endline (Report.paper_table1 ());
+  List.iter
+    (fun (row : Experiments.table1_row) ->
+      let measured =
+        List.map
+          (fun (r : Experiments.operator_row) ->
+            (r.Experiments.op, r.Experiments.metric.Mutsamp_sampling.Nlfce.nlfce))
+          row.Experiments.per_operator
+      in
+      Printf.printf "shape[%s]: LOR weakest among paper operators: %b\n"
+        row.Experiments.circuit
+        (Paper_data.table1_ordering_holds measured row.Experiments.circuit))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_table2 () =
+  section "Table 2: test-oriented vs random 10% mutant sampling";
+  let averages =
+    List.map
+      (fun name ->
+        timed (name ^ " table2") (fun () ->
+            let weights = Experiments.weights_of_table1 (full_row name) in
+            Experiments.sampling_comparison_avg ~config ~repetitions:t2_repetitions
+              (pipeline name) ~name ~weights ~equivalents:(equivalents name)))
+      circuit_names
+  in
+  Printf.printf "Measured (means over %d repetitions):\n" t2_repetitions;
+  print_endline (Report.table2_average averages);
+  print_endline "";
+  print_endline "Published (paper Table 2):";
+  print_endline (Report.paper_table2 ());
+  List.iter
+    (fun (a : Experiments.table2_average) ->
+      Printf.printf
+        "shape[%s]: oriented MS >= random MS (mean): %b; oriented NLFCE >= random NLFCE (mean): %b\n"
+        a.Experiments.circuit
+        (a.Experiments.oriented_ms_mean >= a.Experiments.random_ms_mean)
+        (a.Experiments.oriented_nlfce_mean >= a.Experiments.random_nlfce_mean))
+    averages
+
+(* Table 2 rerun with the PAPER's published operator-efficiency profile
+   as weights: separates "does the oriented strategy transfer" from "do
+   our measured efficiencies match the authors'". *)
+let run_table2_published_weights () =
+  section "Table 2b: oriented sampling with the paper's published weights";
+  let averages =
+    List.map
+      (fun name ->
+        timed (name ^ " table2b") (fun () ->
+            Experiments.sampling_comparison_avg ~config ~repetitions:t2_repetitions
+              (pipeline name) ~name
+              ~weights:(Paper_data.published_weights name)
+              ~equivalents:(equivalents name)))
+      circuit_names
+  in
+  print_endline (Report.table2_average averages)
+
+(* ------------------------------------------------------------------ *)
+(* E3: ATPG effort                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Validation data of the test-oriented 10% sample: what a project
+   would actually re-use as a free initial test set. *)
+let mutation_seed_sequences name =
+  let p = pipeline name in
+  let weights = Experiments.weights_of_table1 (full_row name) in
+  let prng = Prng.create (config.Config.seed + 77) in
+  let sample =
+    Strategy.sample prng (Strategy.Operator_weighted weights) p.Pipeline.mutants
+      ~rate:config.Config.sample_rate
+  in
+  let vector_config =
+    { config.Config.vector with Vectorgen.seed = config.Config.seed + 78 }
+  in
+  (Vectorgen.generate ~config:vector_config p.Pipeline.design sample)
+    .Vectorgen.test_set
+
+let run_e3 () =
+  section "E3: ATPG effort with and without validation-data seeding";
+  List.iter
+    (fun name ->
+      (* The XOR-tree decoder c499 is PODEM's degenerate case; its
+         deterministic phase runs on the SAT engine instead. *)
+      let engine =
+        if name = "c499" then Mutsamp_atpg.Topoff.Use_sat
+        else Mutsamp_atpg.Topoff.Use_podem
+      in
+      let rows =
+        timed (name ^ " e3") (fun () ->
+            Experiments.atpg_effort ~config ~engine (pipeline name) ~name
+              ~mutation_sequences:(mutation_seed_sequences name))
+      in
+      print_endline (Report.atpg_effort ~circuit:name rows))
+    circuit_names
+
+(* ------------------------------------------------------------------ *)
+(* A1: MS vs sample rate                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run_a1 () =
+  section "A1 (ablation): mutation score vs sample rate";
+  let rates = [ 0.05; 0.10; 0.20; 0.40 ] in
+  List.iter
+    (fun name ->
+      let rows =
+        timed (name ^ " a1") (fun () ->
+            Experiments.ms_vs_rate ~config (pipeline name) ~name
+              ~weights:(Experiments.weights_of_table1 (full_row name))
+              ~equivalents:(equivalents name) ~rates)
+      in
+      print_endline (Report.ms_vs_rate ~circuit:name rows))
+    [ "b01"; "c432" ]
+
+(* ------------------------------------------------------------------ *)
+(* A2: serial vs parallel fault simulation                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_a2 () =
+  section "A2 (ablation): serial vs 62-lane parallel fault simulation";
+  (* Sequential circuits: serial vs parallel-fault (one fault per lane). *)
+  List.iter
+    (fun name ->
+      let p = pipeline name in
+      if p.Pipeline.sequential then begin
+        let nl = p.Pipeline.netlist in
+        let faults = p.Pipeline.faults in
+        let bits = Array.length nl.Netlist.input_nets in
+        let sequence =
+          Prpg.uniform_sequence (Prng.create 98) ~bits
+            ~length:(if quick then 248 else 992)
+        in
+        let time f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let rs, ts = time (fun () -> Fsim.run_sequential nl ~faults ~sequence) in
+        let rp, tp = time (fun () -> Fsim.run_parallel_fault nl ~faults ~sequence) in
+        Printf.printf
+          "%s (sequential): %d faults, %d cycles | parallel-fault %.3fs, serial %.3fs (speedup %.1fx), coverage equal: %b\n%!"
+          name (List.length faults) (Array.length sequence) tp ts
+          (ts /. Float.max tp 1e-9)
+          (Fsim.coverage_percent rp = Fsim.coverage_percent rs)
+      end)
+    [ "b01"; "b03" ];
+  (* Combinational circuits: serial vs parallel-pattern (PPSFP). *)
+  List.iter
+    (fun name ->
+      let p = pipeline name in
+      if not p.Pipeline.sequential then begin
+        let nl = p.Pipeline.netlist in
+        let faults = p.Pipeline.faults in
+        let bits = Array.length nl.Netlist.input_nets in
+        let patterns =
+          Prpg.uniform_sequence (Prng.create 99) ~bits
+            ~length:(if quick then 248 else 992)
+        in
+        let time f =
+          let t0 = Unix.gettimeofday () in
+          let r = f () in
+          (r, Unix.gettimeofday () -. t0)
+        in
+        let rp, tp = time (fun () -> Fsim.run_combinational nl ~faults ~patterns) in
+        let rs, ts = time (fun () -> Fsim.run_sequential nl ~faults ~sequence:patterns) in
+        Printf.printf
+          "%s: %d faults, %d patterns | parallel %.3fs, serial %.3fs (speedup %.1fx), coverage equal: %b\n%!"
+          name (List.length faults) (Array.length patterns) tp ts
+          (ts /. Float.max tp 1e-9)
+          (Fsim.coverage_percent rp = Fsim.coverage_percent rs)
+      end)
+    [ "c432"; "c499" ]
+
+(* ------------------------------------------------------------------ *)
+(* A3: SCOAP guidance in PODEM                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_a3 () =
+  section "A3 (ablation): SCOAP-guided vs unguided PODEM";
+  List.iter
+    (fun name ->
+      let p = pipeline name in
+      if not p.Pipeline.sequential then begin
+        let nl = p.Pipeline.netlist in
+        let run guided =
+          List.fold_left
+            (fun (bt, impl, aborted) f ->
+              let _, stats = Podem.generate ~backtrack_limit:2000 ~guided nl f in
+              let was_aborted = stats.Podem.backtracks > 2000 in
+              ( bt + stats.Podem.backtracks,
+                impl + stats.Podem.implications,
+                aborted + if was_aborted then 1 else 0 ))
+            (0, 0, 0) p.Pipeline.faults
+        in
+        let gb, gi, ga = run true in
+        let ub, ui, ua = run false in
+        Printf.printf
+          "%s: guided %d backtracks / %d implications / %d aborts | unguided %d / %d / %d\n%!"
+          name gb gi ga ub ui ua
+      end)
+    [ "c432" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/experiment      *)
+(* ------------------------------------------------------------------ *)
+
+let run_micro () =
+  section "bechamel micro-benchmarks (kernels behind each table)";
+  let open Bechamel in
+  let p432 = pipeline "c432" in
+  let nl = p432.Pipeline.netlist in
+  let faults = p432.Pipeline.faults in
+  let patterns = Prpg.uniform_sequence (Prng.create 4) ~bits:36 ~length:62 in
+  let mutants = p432.Pipeline.mutants in
+  let some_fault = List.nth faults (List.length faults / 2) in
+  (* Table 1's inner loop: one fault-simulation pass of a 62-pattern
+     batch. *)
+  let table1_kernel () = ignore (Fsim.run_combinational nl ~faults ~patterns) in
+  (* Table 2's extra work over Table 1: drawing a weighted sample. *)
+  let table2_kernel () =
+    let prng = Prng.create 5 in
+    ignore
+      (Strategy.sample prng
+         (Strategy.Operator_weighted [ (Operator.CR, 4.); (Operator.VR, 2.) ])
+         mutants ~rate:0.1)
+  in
+  (* E3's deterministic phase: one PODEM call. *)
+  let e3_kernel () = ignore (Podem.generate nl some_fault) in
+  let a2_serial () = ignore (Fsim.run_sequential nl ~faults ~sequence:patterns) in
+  let a2_parallel () = ignore (Fsim.run_combinational nl ~faults ~patterns) in
+  let tests =
+    [
+      Test.make ~name:"table1.fault-sim-62-patterns" (Staged.stage table1_kernel);
+      Test.make ~name:"table2.weighted-sampling" (Staged.stage table2_kernel);
+      Test.make ~name:"e3.podem-one-fault" (Staged.stage e3_kernel);
+      Test.make ~name:"a2.serial-fault-sim" (Staged.stage a2_serial);
+      Test.make ~name:"a2.parallel-fault-sim" (Staged.stage a2_parallel);
+    ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Printf.printf "%-34s %14.1f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "%-34s (no estimate)\n%!" name)
+        results)
+    tests
+
+let () =
+  Printf.printf "mutsamp bench harness (%s config, seed %d)\n"
+    (if quick then "quick" else "default")
+    config.Config.seed;
+  run_table1 ();
+  run_table2 ();
+  run_table2_published_weights ();
+  run_e3 ();
+  run_a1 ();
+  run_a2 ();
+  run_a3 ();
+  if not skip_micro then run_micro ();
+  print_endline "\nbench: done"

@@ -1,0 +1,574 @@
+(* mutsamp — command-line front end.
+
+   Subcommands: list, show, mutants, generate, faultsim, atpg, dot,
+   table1, table2, e3. Run `mutsamp --help` or `mutsamp CMD --help`. *)
+
+open Cmdliner
+
+module Registry = Mutsamp_circuits.Registry
+module Pretty = Mutsamp_hdl.Pretty
+module Operator = Mutsamp_mutation.Operator
+module Mutant = Mutsamp_mutation.Mutant
+module Generate = Mutsamp_mutation.Generate
+module Netlist = Mutsamp_netlist.Netlist
+module Stats = Mutsamp_netlist.Stats
+module Dot = Mutsamp_netlist.Dot
+module Fsim = Mutsamp_fault.Fsim
+module Collapse = Mutsamp_fault.Collapse
+module Prpg = Mutsamp_atpg.Prpg
+module Scan = Mutsamp_atpg.Scan
+module Topoff = Mutsamp_atpg.Topoff
+module Vectorgen = Mutsamp_validation.Vectorgen
+module Score = Mutsamp_validation.Score
+module Strategy = Mutsamp_sampling.Strategy
+module Prng = Mutsamp_util.Prng
+module Table = Mutsamp_util.Table
+module Config = Mutsamp_core.Config
+module Pipeline = Mutsamp_core.Pipeline
+module Experiments = Mutsamp_core.Experiments
+module Report = Mutsamp_core.Report
+
+let find_circuit name =
+  match Registry.find name with
+  | Some e -> Ok e
+  | None ->
+    Error
+      (`Msg
+        (Printf.sprintf "unknown circuit %S (try: %s)" name
+           (String.concat ", " (Registry.names ()))))
+
+let circuit_arg =
+  let parse s = find_circuit s in
+  let print fmt (e : Registry.entry) = Format.pp_print_string fmt e.Registry.name in
+  Arg.conv (parse, print)
+
+let circuit_pos =
+  Arg.(required & pos 0 (some circuit_arg) None & info [] ~docv:"CIRCUIT")
+
+let seed_flag =
+  Arg.(value & opt int 2005 & info [ "seed" ] ~docv:"N" ~doc:"Master random seed.")
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use reduced experiment budgets.")
+
+let config_of ~quick ~seed =
+  let base = if quick then Config.quick else Config.default in
+  { base with Config.seed }
+
+(* ------------------------------------------------------------------ *)
+(* list                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    let t = Table.create [ "Name"; "Kind"; "Paper"; "PIs"; "POs"; "FFs"; "Gates"; "Description" ] in
+    List.iter
+      (fun (e : Registry.entry) ->
+        let d = e.Registry.design () in
+        let nl = Mutsamp_synth.Flow.synthesize d in
+        let s = Stats.compute nl in
+        Table.add_row t
+          [
+            e.Registry.name;
+            (match e.Registry.kind with
+             | Registry.Sequential -> "seq"
+             | Registry.Combinational -> "comb");
+            (if e.Registry.in_paper then "yes" else "no");
+            string_of_int s.Stats.primary_inputs;
+            string_of_int s.Stats.primary_outputs;
+            string_of_int s.Stats.flip_flops;
+            string_of_int s.Stats.logic_gates;
+            e.Registry.description;
+          ])
+      Registry.all;
+    Table.print t
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark circuits.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* show                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let show_cmd =
+  let run (e : Registry.entry) =
+    let d = e.Registry.design () in
+    print_string (Pretty.design d);
+    let nl = Mutsamp_synth.Flow.synthesize d in
+    Printf.printf "\n-- synthesised: %s\n" (Stats.to_string (Stats.compute nl))
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a circuit's behavioural source and netlist stats.")
+    Term.(const run $ circuit_pos)
+
+(* ------------------------------------------------------------------ *)
+(* mutants                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let mutants_cmd =
+  let operator =
+    Arg.(value & opt (some string) None
+         & info [ "operator" ] ~docv:"OP" ~doc:"Show only this operator's mutants.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"List every mutant.")
+  in
+  let run (e : Registry.entry) operator verbose =
+    let d = e.Registry.design () in
+    let ms = Generate.all d in
+    match operator with
+    | Some opname ->
+      (match Operator.of_string opname with
+       | None -> prerr_endline ("unknown operator " ^ opname); exit 1
+       | Some op ->
+         let subset = List.filter (fun (m : Mutant.t) -> Operator.equal m.op op) ms in
+         Printf.printf "%s: %d %s mutants\n" e.Registry.name (List.length subset)
+           (Operator.name op);
+         if verbose then List.iter (fun m -> print_endline ("  " ^ Mutant.to_string m)) subset)
+    | None ->
+      Printf.printf "%s: %d mutants\n" e.Registry.name (List.length ms);
+      List.iter
+        (fun (op, n) -> if n > 0 then Printf.printf "  %-4s %d\n" (Operator.name op) n)
+        (Generate.count_by_operator ms);
+      if verbose then List.iter (fun m -> print_endline ("  " ^ Mutant.to_string m)) ms
+  in
+  Cmd.v
+    (Cmd.info "mutants" ~doc:"Enumerate the mutants of a circuit.")
+    Term.(const run $ circuit_pos $ operator $ verbose)
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let generate_cmd =
+  let rate =
+    Arg.(value & opt float 1.0
+         & info [ "rate" ] ~docv:"R" ~doc:"Mutant sampling rate in (0,1].")
+  in
+  let run (e : Registry.entry) rate seed =
+    let d = e.Registry.design () in
+    let p = Pipeline.prepare d in
+    let prng = Prng.create seed in
+    let sample =
+      if rate >= 1.0 then p.Pipeline.mutants
+      else Strategy.sample prng Strategy.Random_uniform p.Pipeline.mutants ~rate
+    in
+    let config = { Vectorgen.default_config with Vectorgen.seed } in
+    let outcome = Vectorgen.generate ~config d sample in
+    Printf.printf "%s: %d mutants targeted, %d sequences / %d vectors generated\n"
+      e.Registry.name (List.length sample)
+      (List.length outcome.Vectorgen.test_set)
+      outcome.Vectorgen.total_vectors;
+    Printf.printf "killed %d, equivalent %d, unknown %d\n"
+      (List.length outcome.Vectorgen.killed)
+      (List.length outcome.Vectorgen.equivalent)
+      (List.length outcome.Vectorgen.unknown);
+    let ms =
+      Score.of_test_set d p.Pipeline.mutants ~equivalent:[] outcome.Vectorgen.test_set
+    in
+    Printf.printf "%s (over the full population, E not classified)\n"
+      (Score.to_string ms)
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate mutation-adequate validation data for a circuit.")
+    Term.(const run $ circuit_pos $ rate $ seed_flag)
+
+(* ------------------------------------------------------------------ *)
+(* faultsim                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let faultsim_cmd =
+  let length =
+    Arg.(value & opt int 256
+         & info [ "vectors"; "n" ] ~docv:"N" ~doc:"Number of pseudo-random vectors.")
+  in
+  let lfsr = Arg.(value & flag & info [ "lfsr" ] ~doc:"Use an LFSR instead of uniform codes.") in
+  let run (e : Registry.entry) length lfsr seed =
+    let p = Pipeline.prepare (e.Registry.design ()) in
+    let bits = Array.length p.Pipeline.netlist.Netlist.input_nets in
+    let patterns =
+      if lfsr && bits >= 2 && bits <= Prpg.max_lfsr_width then
+        Prpg.lfsr_sequence ~width:bits ~seed ~length
+      else Prpg.uniform_sequence (Prng.create seed) ~bits ~length
+    in
+    let r = Pipeline.fault_simulate p patterns in
+    Printf.printf "%s: %d collapsed faults, %d vectors -> %.2f%% coverage (%d detected)\n"
+      e.Registry.name r.Fsim.total length (Fsim.coverage_percent r) r.Fsim.detected
+  in
+  Cmd.v
+    (Cmd.info "faultsim" ~doc:"Stuck-at fault simulation with pseudo-random vectors.")
+    Term.(const run $ circuit_pos $ length $ lfsr $ seed_flag)
+
+(* ------------------------------------------------------------------ *)
+(* atpg                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let atpg_cmd =
+  let engine =
+    Arg.(value & opt (enum [ ("podem", Topoff.Use_podem); ("sat", Topoff.Use_sat) ])
+           Topoff.Use_podem
+         & info [ "engine" ] ~docv:"ENGINE" ~doc:"Deterministic engine: podem or sat.")
+  in
+  let run (e : Registry.entry) engine seed =
+    let p = Pipeline.prepare (e.Registry.design ()) in
+    let scanned =
+      if p.Pipeline.sequential then Scan.full_scan p.Pipeline.netlist
+      else p.Pipeline.netlist
+    in
+    let faults = (Collapse.run scanned).Collapse.representatives in
+    let r = Topoff.run ~engine ~seed scanned ~faults ~seed_patterns:[||] in
+    Printf.printf
+      "%s%s: %d faults | random: %d vectors (%d detected) | atpg: %d calls, %d vectors (%d detected) | untestable %d, aborted %d | coverage %.2f%% of testable\n"
+      e.Registry.name
+      (if p.Pipeline.sequential then " (full-scan)" else "")
+      r.Topoff.total_faults r.Topoff.random_patterns r.Topoff.random_detected
+      r.Topoff.atpg_calls r.Topoff.atpg_patterns r.Topoff.atpg_detected
+      r.Topoff.untestable r.Topoff.aborted r.Topoff.final_coverage_percent
+  in
+  Cmd.v
+    (Cmd.info "atpg" ~doc:"Random + deterministic test generation to full coverage.")
+    Term.(const run $ circuit_pos $ engine $ seed_flag)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let dot_cmd =
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  let run (e : Registry.entry) output =
+    let nl = Mutsamp_synth.Flow.synthesize (e.Registry.design ()) in
+    match output with
+    | Some path -> Dot.write_file path nl
+    | None -> print_string (Dot.of_netlist nl)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export the synthesised netlist as Graphviz.")
+    Term.(const run $ circuit_pos $ output)
+
+(* ------------------------------------------------------------------ *)
+(* export / import (.bench)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let export_cmd =
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  let run (e : Registry.entry) output =
+    let nl = Mutsamp_synth.Flow.synthesize (e.Registry.design ()) in
+    match output with
+    | Some path -> Mutsamp_netlist.Benchfmt.write_file path nl
+    | None -> print_string (Mutsamp_netlist.Benchfmt.to_string nl)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Export the synthesised netlist in ISCAS .bench format.")
+    Term.(const run $ circuit_pos $ output)
+
+let import_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let vectors =
+    Arg.(value & opt int 0
+         & info [ "faultsim" ] ~docv:"N"
+             ~doc:"Also fault-simulate N pseudo-random vectors.")
+  in
+  let run path vectors seed =
+    let nl = Mutsamp_netlist.Benchfmt.read_file ~name:path path in
+    Printf.printf "%s: %s\n" path (Stats.to_string (Stats.compute nl));
+    if vectors > 0 then begin
+      let faults = (Collapse.run nl).Collapse.representatives in
+      let bits = Array.length nl.Netlist.input_nets in
+      let patterns = Prpg.uniform_sequence (Prng.create seed) ~bits ~length:vectors in
+      let r =
+        if Netlist.num_dffs nl = 0 then Fsim.run_combinational nl ~faults ~patterns
+        else Fsim.run_sequential nl ~faults ~sequence:patterns
+      in
+      Printf.printf "%d collapsed faults, %d vectors -> %.2f%% coverage\n" r.Fsim.total
+        vectors (Fsim.coverage_percent r)
+    end
+  in
+  Cmd.v
+    (Cmd.info "import" ~doc:"Read an ISCAS .bench netlist; print stats, optionally fault-simulate.")
+    Term.(const run $ file $ vectors $ seed_flag)
+
+(* ------------------------------------------------------------------ *)
+(* diagnose                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let diagnose_cmd =
+  let fault_index =
+    Arg.(value & opt (some int) None
+         & info [ "inject" ] ~docv:"K"
+             ~doc:"Index of the fault to inject as the hidden defect (default: random).")
+  in
+  let vectors =
+    Arg.(value & opt int 16 & info [ "vectors"; "n" ] ~docv:"N" ~doc:"Test patterns applied.")
+  in
+  let run (e : Registry.entry) fault_index vectors seed =
+    let p = Pipeline.prepare (e.Registry.design ()) in
+    if p.Pipeline.sequential then begin
+      prerr_endline "diagnose: combinational circuits only (try c17/c432/c499)";
+      exit 1
+    end;
+    let nl = p.Pipeline.netlist in
+    let faults = Array.of_list p.Pipeline.faults in
+    let prng = Prng.create seed in
+    let injected =
+      match fault_index with
+      | Some k when k >= 0 && k < Array.length faults -> faults.(k)
+      | Some _ -> prerr_endline "diagnose: fault index out of range"; exit 1
+      | None -> faults.(Prng.int prng (Array.length faults))
+    in
+    let bits = Array.length nl.Netlist.input_nets in
+    let random_patterns = Prpg.uniform_sequence prng ~bits ~length:(max 0 (vectors - 1)) in
+    (* Make sure at least one pattern excites the defect, else every
+       quiet fault would "explain" the observations. *)
+    let patterns =
+      match fst (Mutsamp_atpg.Podem.generate nl injected) with
+      | Mutsamp_atpg.Podem.Test p -> Array.append [| p |] random_patterns
+      | Mutsamp_atpg.Podem.Untestable | Mutsamp_atpg.Podem.Aborted -> random_patterns
+    in
+    let observations =
+      Array.to_list
+        (Array.map
+           (fun pat ->
+             {
+               Mutsamp_fault.Diagnose.pattern = pat;
+               response = Mutsamp_fault.Diagnose.simulate_response nl (Some injected) pat;
+             })
+           patterns)
+    in
+    let suspects =
+      Mutsamp_fault.Diagnose.perfect_matches nl
+        ~candidates:(Array.to_list faults) ~observations
+    in
+    Printf.printf "injected defect: %s\n" (Mutsamp_fault.Fault.to_string injected);
+    Printf.printf "%d patterns observed; %d candidate(s) explain everything:\n"
+      vectors (List.length suspects);
+    List.iter
+      (fun f -> Printf.printf "  %s\n" (Mutsamp_fault.Fault.to_string f))
+      suspects;
+    if not (List.exists (Mutsamp_fault.Fault.equal injected) suspects) then begin
+      prerr_endline "BUG: injected fault not among suspects";
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:"Inject a hidden stuck-at defect and locate it from observed responses.")
+    Term.(const run $ circuit_pos $ fault_index $ vectors $ seed_flag)
+
+(* ------------------------------------------------------------------ *)
+(* seqatpg / bist / sync                                              *)
+(* ------------------------------------------------------------------ *)
+
+let seqatpg_cmd =
+  let max_frames =
+    Arg.(value & opt int 10 & info [ "frames" ] ~docv:"K" ~doc:"Frame budget.")
+  in
+  let run (e : Registry.entry) max_frames =
+    let p = Pipeline.prepare (e.Registry.design ()) in
+    let nl = p.Pipeline.netlist in
+    let t0 = Unix.gettimeofday () in
+    let sequences, undetected =
+      Mutsamp_atpg.Seqatpg.generate_set ~max_frames nl ~faults:p.Pipeline.faults
+    in
+    Printf.printf
+      "%s: %d faults -> %d functional sequences (%d cycles total), %d without a test within %d frames (%.2fs)\n"
+      e.Registry.name
+      (List.length p.Pipeline.faults)
+      (List.length sequences)
+      (List.fold_left (fun acc s -> acc + Array.length s) 0 sequences)
+      (List.length undetected) max_frames
+      (Unix.gettimeofday () -. t0)
+  in
+  Cmd.v
+    (Cmd.info "seqatpg"
+       ~doc:"Generate functional test sequences by time-frame expansion.")
+    Term.(const run $ circuit_pos $ max_frames)
+
+let bist_cmd =
+  let length =
+    Arg.(value & opt int 256 & info [ "vectors"; "n" ] ~docv:"N" ~doc:"LFSR patterns.")
+  in
+  let run (e : Registry.entry) length seed =
+    let p = Pipeline.prepare (e.Registry.design ()) in
+    let nl =
+      if p.Pipeline.sequential then Scan.full_scan p.Pipeline.netlist
+      else p.Pipeline.netlist
+    in
+    let faults = (Collapse.run nl).Collapse.representatives in
+    let r = Mutsamp_atpg.Bist.run nl ~faults ~seed ~length in
+    Printf.printf
+      "%s%s: signature %#x | %d/%d detected by signature, %d by comparison, %d aliased\n"
+      e.Registry.name
+      (if p.Pipeline.sequential then " (full-scan)" else "")
+      r.Mutsamp_atpg.Bist.good_signature r.Mutsamp_atpg.Bist.signature_detected
+      r.Mutsamp_atpg.Bist.total_faults r.Mutsamp_atpg.Bist.comparison_detected
+      r.Mutsamp_atpg.Bist.aliased
+  in
+  Cmd.v
+    (Cmd.info "bist" ~doc:"Emulate an LFSR+MISR self-test session.")
+    Term.(const run $ circuit_pos $ length $ seed_flag)
+
+let wave_cmd =
+  let length =
+    Arg.(value & opt int 32 & info [ "vectors"; "n" ] ~docv:"N" ~doc:"Cycles recorded.")
+  in
+  let output =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"VCD file to write.")
+  in
+  let run (e : Registry.entry) length output seed =
+    let nl = Mutsamp_synth.Flow.synthesize (e.Registry.design ()) in
+    let sim = Mutsamp_netlist.Bitsim.create nl in
+    Mutsamp_netlist.Bitsim.reset sim;
+    let recorder = Mutsamp_netlist.Vcd.create nl ~timescale:"1ns" in
+    let bits = Array.length nl.Netlist.input_nets in
+    let prng = Prng.create seed in
+    for _ = 1 to length do
+      let words =
+        Array.init bits (fun _ ->
+            if Prng.bool prng then Mutsamp_netlist.Bitsim.all_ones else 0)
+      in
+      ignore (Mutsamp_netlist.Bitsim.step sim words);
+      Mutsamp_netlist.Vcd.sample recorder sim
+    done;
+    Mutsamp_netlist.Vcd.write_file output recorder;
+    Printf.printf "%s: %d cycles of random stimulus dumped to %s\n" e.Registry.name
+      length output
+  in
+  Cmd.v
+    (Cmd.info "wave" ~doc:"Dump a random-stimulus run as a VCD waveform.")
+    Term.(const run $ circuit_pos $ length $ output $ seed_flag)
+
+let sync_cmd =
+  let length =
+    Arg.(value & opt int 64 & info [ "vectors"; "n" ] ~docv:"N" ~doc:"Sequence length tried.")
+  in
+  let run (e : Registry.entry) length seed =
+    let p = Pipeline.prepare (e.Registry.design ()) in
+    let nl = p.Pipeline.netlist in
+    let bits = Array.length nl.Netlist.input_nets in
+    let sequence = Prpg.uniform_sequence (Prng.create seed) ~bits ~length in
+    match Mutsamp_netlist.Xsim.synchronizing_length nl ~sequence with
+    | Some n ->
+      Printf.printf "%s: all %d flip-flops known after %d cycles from the all-X state\n"
+        e.Registry.name (Netlist.num_dffs nl) n
+    | None ->
+      Printf.printf
+        "%s: %d-cycle random sequence does not synchronise the machine (reset still required)\n"
+        e.Registry.name length
+  in
+  Cmd.v
+    (Cmd.info "sync"
+       ~doc:"Three-valued initialisation analysis: can random inputs synchronise the state?")
+    Term.(const run $ circuit_pos $ length $ seed_flag)
+
+(* ------------------------------------------------------------------ *)
+(* table1 / table2 / e3                                               *)
+(* ------------------------------------------------------------------ *)
+
+let circuits_opt =
+  Arg.(value & opt_all string []
+       & info [ "circuit"; "c" ] ~docv:"NAME"
+           ~doc:"Circuit to include (repeatable; default: the paper's four).")
+
+let resolve_circuits names =
+  let entries =
+    if names = [] then Registry.paper_benchmarks
+    else
+      List.map
+        (fun n ->
+          match Registry.find n with
+          | Some e -> e
+          | None -> prerr_endline ("unknown circuit " ^ n); exit 1)
+        names
+  in
+  List.map (fun (e : Registry.entry) -> (e.Registry.name, Pipeline.prepare (e.Registry.design ()))) entries
+
+let table1_cmd =
+  let run names quick seed =
+    let config = config_of ~quick ~seed in
+    let rows =
+      List.map
+        (fun (name, p) -> Experiments.operator_efficiency_avg ~config p ~name)
+        (resolve_circuits names)
+    in
+    print_endline (Report.table1 rows)
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 (operator efficiency).")
+    Term.(const run $ circuits_opt $ quick_flag $ seed_flag)
+
+let table2_cmd =
+  let reps =
+    Arg.(value & opt int 5 & info [ "repetitions"; "r" ] ~docv:"N"
+           ~doc:"Independent repetitions to average.")
+  in
+  let run names quick seed reps =
+    let config = config_of ~quick ~seed in
+    let rows =
+      List.map
+        (fun (name, p) ->
+          let full =
+            Experiments.operator_efficiency_avg ~config ~operators:Operator.all p ~name
+          in
+          let weights = Experiments.weights_of_table1 full in
+          let equivalents =
+            Pipeline.classify_equivalents ~screen:config.Config.equivalence_screen
+              ~seed p
+          in
+          Experiments.sampling_comparison_avg ~config ~repetitions:reps p ~name
+            ~weights ~equivalents)
+        (resolve_circuits names)
+    in
+    print_endline (Report.table2_average rows)
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Reproduce the paper's Table 2 (sampling strategies).")
+    Term.(const run $ circuits_opt $ quick_flag $ seed_flag $ reps)
+
+let e3_cmd =
+  let run names quick seed =
+    let config = config_of ~quick ~seed in
+    List.iter
+      (fun (name, p) ->
+        let sample =
+          Strategy.sample (Prng.create (seed + 77)) Strategy.Random_uniform
+            p.Pipeline.mutants ~rate:config.Config.sample_rate
+        in
+        let outcome =
+          Vectorgen.generate
+            ~config:{ config.Config.vector with Vectorgen.seed = seed + 78 }
+            p.Pipeline.design sample
+        in
+        let rows =
+          Experiments.atpg_effort ~config p ~name
+            ~mutation_sequences:outcome.Vectorgen.test_set
+        in
+        print_endline (Report.atpg_effort ~circuit:name rows))
+      (resolve_circuits names)
+  in
+  Cmd.v
+    (Cmd.info "e3" ~doc:"ATPG-effort experiment (validation-data reuse).")
+    Term.(const run $ circuits_opt $ quick_flag $ seed_flag)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "mutation sampling for structural test data generation" in
+  let info = Cmd.info "mutsamp" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [
+            list_cmd; show_cmd; mutants_cmd; generate_cmd; faultsim_cmd;
+            atpg_cmd; dot_cmd; export_cmd; import_cmd; diagnose_cmd;
+            seqatpg_cmd; bist_cmd; sync_cmd; wave_cmd;
+            table1_cmd; table2_cmd; e3_cmd;
+          ]))

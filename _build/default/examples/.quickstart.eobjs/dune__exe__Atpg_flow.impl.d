@@ -1,0 +1,1 @@
+examples/atpg_flow.ml: Array List Mutsamp_circuits Mutsamp_core Mutsamp_sampling Mutsamp_util Mutsamp_validation Printf Sys

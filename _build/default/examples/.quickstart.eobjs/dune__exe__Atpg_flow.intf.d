@@ -1,0 +1,1 @@
+examples/atpg_flow.mli:

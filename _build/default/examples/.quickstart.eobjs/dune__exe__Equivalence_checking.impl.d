@@ -1,0 +1,1 @@
+examples/equivalence_checking.ml: Array Fun List Mutsamp_circuits Mutsamp_core Mutsamp_hdl Mutsamp_mutation Mutsamp_util Printf Sys

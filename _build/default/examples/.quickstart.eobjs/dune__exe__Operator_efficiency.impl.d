@@ -1,0 +1,1 @@
+examples/operator_efficiency.ml: Array List Mutsamp_circuits Mutsamp_core Mutsamp_mutation Printf String Sys

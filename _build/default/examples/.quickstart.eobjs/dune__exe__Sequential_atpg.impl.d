@@ -1,0 +1,1 @@
+examples/sequential_atpg.ml: Array Hashtbl List Mutsamp_atpg Mutsamp_circuits Mutsamp_core Mutsamp_fault Mutsamp_netlist Option Printf Stdlib Sys Unix

@@ -1,0 +1,46 @@
+(* The paper's Table 1 study on one circuit of your choice:
+
+     dune exec examples/operator_efficiency.exe [circuit] [--all-operators]
+
+   For each mutation operator, validation data is generated from that
+   operator's mutants alone and compared against pseudo-random data of
+   proportional length on the synthesised netlist. The per-operator
+   NLFCE is the quantity the test-oriented sampling strategy uses as
+   its weight. *)
+
+module Registry = Mutsamp_circuits.Registry
+module Operator = Mutsamp_mutation.Operator
+module Config = Mutsamp_core.Config
+module Pipeline = Mutsamp_core.Pipeline
+module Experiments = Mutsamp_core.Experiments
+module Report = Mutsamp_core.Report
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let name =
+    match List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) (List.tl args) with
+    | n :: _ -> n
+    | [] -> "c432"
+  in
+  let all_ops = List.mem "--all-operators" args in
+  let entry =
+    match Registry.find name with
+    | Some e -> e
+    | None ->
+      Printf.eprintf "unknown circuit %s (available: %s)\n" name
+        (String.concat ", " (Registry.names ()));
+      exit 1
+  in
+  Printf.printf "operator efficiency study on %s (%s)\n\n" entry.Registry.name
+    entry.Registry.description;
+  let pipeline = Pipeline.prepare (entry.Registry.design ()) in
+  let operators = if all_ops then Some Operator.all else None in
+  let row =
+    Experiments.operator_efficiency_avg ~config:Config.quick ?operators pipeline
+      ~name:entry.Registry.name
+  in
+  print_endline (Report.table1 [ row ]);
+  print_endline "";
+  let weights = Experiments.weights_of_table1 row in
+  print_endline "sampling weights the test-oriented strategy would derive:";
+  List.iter (fun (op, w) -> Printf.printf "  %-4s %.2f\n" (Operator.name op) w) weights

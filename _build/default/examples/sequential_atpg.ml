@@ -1,0 +1,73 @@
+(* Functional test-sequence generation for sequential circuits:
+
+     dune exec examples/sequential_atpg.exe [circuit] [max_frames]
+
+   Full-scan ATPG (examples/atpg_flow.exe) assumes test hardware. This
+   example instead generates true functional sequences by time-frame
+   expansion: the circuit and its faulty twin are unrolled k frames
+   from reset, mitered, and handed to the SAT solver; a counterexample
+   IS a k-cycle test sequence, and growing k finds the shortest one. *)
+
+module Registry = Mutsamp_circuits.Registry
+module Fault = Mutsamp_fault.Fault
+module Fsim = Mutsamp_fault.Fsim
+module Seqatpg = Mutsamp_atpg.Seqatpg
+module Netlist = Mutsamp_netlist.Netlist
+module Pipeline = Mutsamp_core.Pipeline
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "b02" in
+  let max_frames =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 10
+  in
+  let entry =
+    match Registry.find name with
+    | Some e -> e
+    | None ->
+      Printf.eprintf "unknown circuit %s\n" name;
+      exit 1
+  in
+  let p = Pipeline.prepare (entry.Registry.design ()) in
+  let nl = p.Pipeline.netlist in
+  Printf.printf "%s: %d gates, %d flip-flops, %d collapsed faults\n\n"
+    entry.Registry.name
+    (Netlist.num_logic_gates nl)
+    (Netlist.num_dffs nl)
+    (List.length p.Pipeline.faults);
+
+  let t0 = Unix.gettimeofday () in
+  let sequences, undetected =
+    Seqatpg.generate_set ~max_frames nl ~faults:p.Pipeline.faults
+  in
+  Printf.printf "generated %d sequences in %.2fs; %d faults have no test within %d frames\n"
+    (List.length sequences)
+    (Unix.gettimeofday () -. t0)
+    (List.length undetected) max_frames;
+
+  (* Length histogram: time-frame expansion returns shortest sequences,
+     so this shows the circuit's sequential test depth. *)
+  let hist = Hashtbl.create 8 in
+  List.iter
+    (fun seq ->
+      let l = Array.length seq in
+      Hashtbl.replace hist l (1 + Option.value ~default:0 (Hashtbl.find_opt hist l)))
+    sequences;
+  print_endline "sequence-length histogram:";
+  List.iter
+    (fun (l, n) -> Printf.printf "  %2d cycles: %d sequences\n" l n)
+    (List.sort Stdlib.compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []));
+
+  (* Verify: the concatenated campaign detects every claimed fault. *)
+  let covered =
+    List.filter
+      (fun f ->
+        List.exists
+          (fun seq ->
+            (Fsim.run_sequential nl ~faults:[ f ] ~sequence:seq).Fsim.detected = 1)
+          sequences)
+      (List.filter
+         (fun f -> not (List.exists (Fault.equal f) undetected))
+         p.Pipeline.faults)
+  in
+  Printf.printf "\nverified by fault simulation: %d faults covered\n"
+    (List.length covered)

@@ -1,0 +1,1 @@
+lib/atpg/bist.ml: Array Int List Mutsamp_fault Mutsamp_netlist Mutsamp_util Prpg

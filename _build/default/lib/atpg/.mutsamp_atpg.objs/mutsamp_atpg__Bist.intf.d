@@ -1,0 +1,1 @@
+lib/atpg/bist.mli: Mutsamp_fault Mutsamp_netlist

@@ -1,0 +1,1 @@
+lib/atpg/podem.mli: Mutsamp_fault Mutsamp_netlist

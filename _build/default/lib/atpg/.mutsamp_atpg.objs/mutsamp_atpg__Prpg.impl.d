@@ -1,0 +1,1 @@
+lib/atpg/prpg.ml: Array Float List Mutsamp_util Printf

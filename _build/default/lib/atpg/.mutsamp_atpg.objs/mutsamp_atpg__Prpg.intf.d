@@ -1,0 +1,1 @@
+lib/atpg/prpg.mli: Mutsamp_util

@@ -1,0 +1,1 @@
+lib/atpg/redundancy.ml: Array Mutsamp_fault Mutsamp_netlist Satgen

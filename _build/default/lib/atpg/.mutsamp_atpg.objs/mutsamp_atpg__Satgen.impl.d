@@ -1,0 +1,1 @@
+lib/atpg/satgen.ml: Mutsamp_fault Mutsamp_netlist Mutsamp_sat

@@ -1,0 +1,1 @@
+lib/atpg/satgen.mli: Mutsamp_fault Mutsamp_netlist

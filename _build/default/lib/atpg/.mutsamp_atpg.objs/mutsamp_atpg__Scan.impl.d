@@ -1,0 +1,1 @@
+lib/atpg/scan.ml: Array List Mutsamp_netlist Printf

@@ -1,0 +1,1 @@
+lib/atpg/scan.mli: Mutsamp_netlist

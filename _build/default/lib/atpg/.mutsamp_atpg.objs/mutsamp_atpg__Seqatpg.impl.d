@@ -1,0 +1,1 @@
+lib/atpg/seqatpg.ml: Array List Mutsamp_fault Mutsamp_netlist Mutsamp_sat Unroll

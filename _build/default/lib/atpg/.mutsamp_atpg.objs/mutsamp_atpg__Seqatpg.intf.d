@@ -1,0 +1,1 @@
+lib/atpg/seqatpg.mli: Mutsamp_fault Mutsamp_netlist

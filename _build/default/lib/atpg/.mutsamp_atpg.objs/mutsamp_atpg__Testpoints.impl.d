@@ -1,0 +1,1 @@
+lib/atpg/testpoints.ml: Array Hashtbl List Mutsamp_netlist Printf Scoap

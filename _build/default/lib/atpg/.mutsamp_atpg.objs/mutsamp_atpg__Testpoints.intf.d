@@ -1,0 +1,1 @@
+lib/atpg/testpoints.mli: Mutsamp_netlist

@@ -1,0 +1,1 @@
+lib/atpg/topoff.mli: Mutsamp_fault Mutsamp_netlist

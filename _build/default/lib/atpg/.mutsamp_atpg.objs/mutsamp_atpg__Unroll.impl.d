@@ -1,0 +1,1 @@
+lib/atpg/unroll.ml: Array List Mutsamp_fault Mutsamp_netlist Printf

@@ -1,0 +1,1 @@
+lib/atpg/unroll.mli: Mutsamp_fault Mutsamp_netlist

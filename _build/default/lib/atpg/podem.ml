@@ -1,0 +1,290 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+module Topo = Mutsamp_netlist.Topo
+module Fault = Mutsamp_fault.Fault
+module V = Fivevalued
+
+type result = Test of int | Untestable | Aborted
+
+type stats = { backtracks : int; implications : int }
+
+type ctx = {
+  nl : Netlist.t;
+  topo : Topo.t;
+  fanouts : int list array;
+  fault : Fault.t;
+  site_net : int;  (* the net whose good value activates the fault *)
+  values : V.t array;
+  pi_value : V.t array;  (* per input position *)
+  pi_position : (int, int) Hashtbl.t;  (* net -> input position *)
+  scoap : Scoap.t;  (* branching heuristics *)
+  guided : bool;  (* use SCOAP guidance (ablation knob) *)
+  backtrack_limit : int;
+  mutable backtracks : int;
+  mutable implications : int;
+}
+
+let stuck_value (f : Fault.t) =
+  match f.polarity with Fault.Stuck_at_0 -> V.Zero | Fault.Stuck_at_1 -> V.One
+
+let fault_pin (f : Fault.t) =
+  match f.site with
+  | Fault.Branch { gate; pin } -> (gate, pin)
+  | Fault.Stem _ -> (-1, -1)
+
+let fault_stem (f : Fault.t) =
+  match f.site with Fault.Stem n -> n | Fault.Branch _ -> -1
+
+(* Value gate [i] actually sees on pin [k]: a branch fault overrides the
+   faulty-machine projection with the stuck value once the good value is
+   known. *)
+let operand_value ctx i k =
+  let g = ctx.nl.Netlist.gates.(i) in
+  let v = ctx.values.(g.Gate.fanins.(k)) in
+  let pin_gate, pin_idx = fault_pin ctx.fault in
+  if i = pin_gate && k = pin_idx then
+    match V.good v with
+    | V.X -> V.X
+    | gv -> V.combine gv (stuck_value ctx.fault)
+  else v
+
+(* Five-valued full-circuit simulation from the current PI assignment,
+   with the fault inserted at its site. *)
+let imply ctx =
+  ctx.implications <- ctx.implications + 1;
+  let stuck = stuck_value ctx.fault in
+  let stem_net = fault_stem ctx.fault in
+  let apply_stem i v =
+    if i = stem_net then
+      match V.good v with
+      | V.X -> V.X
+      | g -> V.combine g stuck
+    else v
+  in
+  (* Sources. *)
+  Array.iteri
+    (fun pos net -> ctx.values.(net) <- apply_stem net ctx.pi_value.(pos))
+    ctx.nl.Netlist.input_nets;
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      match g.kind with
+      | Gate.Const v -> ctx.values.(i) <- apply_stem i (V.of_bool v)
+      | Gate.Pi _ | Gate.Dff _ | Gate.Buf | Gate.Not | Gate.And | Gate.Or
+      | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor -> ())
+    ctx.nl.Netlist.gates;
+  (* Combinational gates. *)
+  Array.iter
+    (fun i ->
+      let g = ctx.nl.Netlist.gates.(i) in
+      let a = operand_value ctx i 0 in
+      let b = if Array.length g.Gate.fanins > 1 then operand_value ctx i 1 else V.X in
+      ctx.values.(i) <- apply_stem i (V.eval g.Gate.kind a b))
+    ctx.topo.Topo.order
+
+let detected ctx =
+  Array.exists (fun (_, net) -> V.is_error ctx.values.(net)) ctx.nl.Netlist.output_list
+
+(* Gates whose output is X while some (effective) input carries an
+   error. The effective view matters for the branch-faulted gate: the
+   error lives on its overridden pin, not on any net. *)
+let d_frontier ctx =
+  let frontier = ref [] in
+  Array.iter
+    (fun i ->
+      let g = ctx.nl.Netlist.gates.(i) in
+      if ctx.values.(i) = V.X
+         && Array.exists
+              (fun k -> V.is_error (operand_value ctx i k))
+              (Array.init (Array.length g.Gate.fanins) (fun k -> k))
+      then frontier := i :: !frontier)
+    ctx.topo.Topo.order;
+  List.rev !frontier
+
+(* Is there a path of X-valued nets from some frontier gate to a PO? *)
+let x_path_exists ctx frontier =
+  let po = Array.make (Array.length ctx.nl.Netlist.gates) false in
+  Array.iter (fun (_, net) -> po.(net) <- true) ctx.nl.Netlist.output_list;
+  let visited = Array.make (Array.length ctx.nl.Netlist.gates) false in
+  let rec dfs i =
+    if po.(i) then true
+    else
+      List.exists
+        (fun sink ->
+          (not visited.(sink))
+          && (match ctx.nl.Netlist.gates.(sink).Gate.kind with
+              | Gate.Dff _ -> false
+              | _ ->
+                visited.(sink) <- true;
+                ctx.values.(sink) = V.X && dfs sink))
+        ctx.fanouts.(i)
+  in
+  List.exists
+    (fun g ->
+      visited.(g) <- true;
+      dfs g)
+    frontier
+
+(* Next objective: activate the fault, then drive an error through the
+   D-frontier. None = dead end under the current assignment. *)
+let objective ctx =
+  let site_good = V.good ctx.values.(ctx.site_net) in
+  let stuck = stuck_value ctx.fault in
+  if site_good = V.X then
+    (* Activation: drive the site to the complement of the stuck value. *)
+    Some (ctx.site_net, stuck = V.Zero)
+  else if site_good = stuck then None  (* activation impossible here *)
+  else
+    match d_frontier ctx with
+    | [] -> None
+    | frontier ->
+      (* Advance the error through the most observable frontier gate
+         (first gate when guidance is off). *)
+      let g =
+        if ctx.guided then
+          List.fold_left
+            (fun best cand ->
+              if ctx.scoap.Scoap.co.(cand) < ctx.scoap.Scoap.co.(best) then cand else best)
+            (List.hd frontier) frontier
+        else List.hd frontier
+      in
+      let gate = ctx.nl.Netlist.gates.(g) in
+      let x_input =
+        Array.to_list gate.Gate.fanins
+        |> List.find_opt (fun f -> ctx.values.(f) = V.X)
+      in
+      (match x_input with
+       | None -> None
+       | Some net ->
+         let v =
+           match V.controlling_value gate.Gate.kind with
+           | Some c -> not c  (* non-controlling value lets the error pass *)
+           | None -> false  (* XOR-ish: any known value propagates *)
+         in
+         Some (net, v))
+
+(* Walk an objective back to an unassigned primary input. *)
+let backtrace ctx net v =
+  let rec walk net v =
+    match Hashtbl.find_opt ctx.pi_position net with
+    | Some pos -> (pos, v)
+    | None ->
+      let g = ctx.nl.Netlist.gates.(net) in
+      (match g.Gate.kind with
+       | Gate.Const _ | Gate.Pi _ | Gate.Dff _ ->
+         (* Const can't be backtraced — caller guards; Pi handled above;
+            Dff rejected at entry. *)
+         invalid_arg "Podem.backtrace: hit a non-drivable net"
+       | Gate.Buf | Gate.Not ->
+         walk g.Gate.fanins.(0) (v <> V.inverts g.Gate.kind)
+       | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor ->
+         (* Among the X inputs, follow the cheapest one to control
+            toward the needed value (SCOAP guidance). *)
+         let next_value = v <> V.inverts g.Gate.kind in
+         let cost f =
+           if next_value then ctx.scoap.Scoap.cc1.(f) else ctx.scoap.Scoap.cc0.(f)
+         in
+         let x_input =
+           Array.fold_left
+             (fun best f ->
+               if ctx.values.(f) <> V.X then best
+               else
+                 match best with
+                 | None -> Some f
+                 | Some b ->
+                   if ctx.guided && cost f < cost b then Some f else best)
+             None g.Gate.fanins
+         in
+         (match x_input with
+          | Some f -> walk f next_value
+          | None ->
+            (* Output X with all inputs known cannot happen after imply. *)
+            invalid_arg "Podem.backtrace: X output with known inputs"))
+  in
+  walk net v
+
+exception Abort
+
+let generate ?(backtrack_limit = 10_000) ?(guided = true) nl fault =
+  if Netlist.num_dffs nl > 0 then
+    invalid_arg "Podem.generate: sequential netlist (apply Scan.full_scan first)";
+  if Array.length nl.Netlist.input_nets > 62 then
+    invalid_arg "Podem.generate: too many inputs for pattern codes";
+  let pi_position = Hashtbl.create 16 in
+  Array.iteri (fun pos net -> Hashtbl.replace pi_position net pos) nl.Netlist.input_nets;
+  let site_net =
+    match fault.Fault.site with
+    | Fault.Stem n -> n
+    | Fault.Branch { gate; pin } -> nl.Netlist.gates.(gate).Gate.fanins.(pin)
+  in
+  let ctx =
+    {
+      nl;
+      topo = Topo.compute nl;
+      fanouts = Netlist.fanouts nl;
+      fault;
+      site_net;
+      values = Array.make (Array.length nl.Netlist.gates) V.X;
+      pi_value = Array.make (Array.length nl.Netlist.input_nets) V.X;
+      pi_position;
+      scoap = Scoap.compute nl;
+      guided;
+      backtrack_limit;
+      backtracks = 0;
+      implications = 0;
+    }
+  in
+  (* A fault whose site is a constant net can never be activated when
+     the constant equals the stuck value, and is trivially activated
+     otherwise; imply handles both, no special case needed. *)
+  let rec search () =
+    imply ctx;
+    if detected ctx then true
+    else begin
+      match objective ctx with
+      | None -> false
+      | Some (net, v) ->
+        (* If activation is pending but the D-frontier exists, make sure
+           an X-path remains; prune otherwise. *)
+        let site_good = V.good ctx.values.(ctx.site_net) in
+        let viable =
+          if site_good = V.X then true
+          else
+            match d_frontier ctx with
+            | [] -> false
+            | frontier -> x_path_exists ctx frontier
+        in
+        if not viable then false
+        else begin
+          match backtrace ctx net v with
+          | exception Invalid_argument _ -> false
+          | pos, value ->
+            ctx.pi_value.(pos) <- V.of_bool value;
+            if search () then true
+            else begin
+              ctx.backtracks <- ctx.backtracks + 1;
+              if ctx.backtracks > ctx.backtrack_limit then raise Abort;
+              ctx.pi_value.(pos) <- V.of_bool (not value);
+              if search () then true
+              else begin
+                ctx.pi_value.(pos) <- V.X;
+                (* Re-simulate so the parent frame sees a consistent
+                   assignment. *)
+                imply ctx;
+                false
+              end
+            end
+        end
+    end
+  in
+  let outcome =
+    match search () with
+    | true ->
+      let code = ref 0 in
+      Array.iteri
+        (fun pos v -> if v = V.One then code := !code lor (1 lsl pos))
+        ctx.pi_value;
+      Test !code
+    | false -> Untestable
+    | exception Abort -> Aborted
+  in
+  (outcome, { backtracks = ctx.backtracks; implications = ctx.implications })

@@ -1,0 +1,30 @@
+(** PODEM: path-oriented decision making, for combinational netlists.
+
+    The search assigns primary inputs only. Each step derives an
+    objective (activate the fault, then advance the D-frontier),
+    backtraces it to a primary-input assignment, five-valued-simulates,
+    and backtracks on failure. PODEM is complete: with an unbounded
+    backtrack budget, [Untestable] is a proof of redundancy. *)
+
+type result =
+  | Test of int  (** pattern code over the netlist's inputs (see {!Mutsamp_fault.Fsim}) *)
+  | Untestable
+  | Aborted  (** backtrack budget exhausted *)
+
+type stats = {
+  backtracks : int;
+  implications : int;  (** five-valued simulation passes *)
+}
+
+val generate :
+  ?backtrack_limit:int ->
+  ?guided:bool ->
+  Mutsamp_netlist.Netlist.t ->
+  Mutsamp_fault.Fault.t ->
+  result * stats
+(** Find a test for a single stuck-at fault. [backtrack_limit] defaults
+    to 10_000; [guided] (default true) enables the SCOAP branching
+    heuristics — turning it off reverts to first-X-input/first-frontier
+    choices (the A3 ablation). Raises [Invalid_argument] on a
+    sequential netlist (use {!Scan.full_scan} first) or one with more
+    than 62 input bits. *)

@@ -1,0 +1,39 @@
+(** Pseudo-random pattern generation.
+
+    Two generators of test-pattern codes:
+    - {!lfsr_sequence}: a Fibonacci LFSR with a primitive feedback
+      polynomial (the structure a BIST pattern generator would use);
+    - {!uniform_sequence}: splitmix-based uniform codes.
+
+    The paper's pseudo-random baselines use {!uniform_sequence} for the
+    statistics and {!lfsr_sequence} where hardware plausibility
+    matters; both are deterministic from their seed. *)
+
+val max_lfsr_width : int
+
+val lfsr_taps : int -> int list
+(** Tap positions (1-based, as in the standard tables) of a primitive
+    polynomial for the given register width (2..{!max_lfsr_width}).
+    Raises [Invalid_argument] outside that range. *)
+
+val lfsr_sequence : width:int -> seed:int -> length:int -> int array
+(** [length] successive LFSR states, each masked to [width] bits. A
+    zero [seed] is replaced by 1 (the all-zero state is absorbing). *)
+
+val lfsr_period_is_maximal : width:int -> bool
+(** Check (by iteration) that the polynomial for [width] really has
+    period [2^width - 1]. Intended for tests on small widths; linear in
+    the period. *)
+
+val uniform_sequence :
+  Mutsamp_util.Prng.t -> bits:int -> length:int -> int array
+(** Uniform [bits]-bit codes from the given PRNG (1..62 bits). *)
+
+val weighted_sequence :
+  Mutsamp_util.Prng.t -> one_probability:float array -> length:int -> int array
+(** Weighted random patterns: bit [k] of each code is 1 with
+    probability [one_probability.(k)] (clamped to [0,1]) — the
+    classical remedy when a circuit's random-pattern-resistant faults
+    need biased inputs (wide AND trees want mostly-1 inputs, etc.).
+    Raises [Invalid_argument] when the profile is empty or longer than
+    62 bits. *)

@@ -1,0 +1,59 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+module Sweep = Mutsamp_netlist.Sweep
+module Fault = Mutsamp_fault.Fault
+
+let tie_net (nl : Netlist.t) net value =
+  let gates = Array.copy nl.gates in
+  (match gates.(net).Gate.kind with
+   | Gate.Pi _ ->
+     (* Tying a primary input would change the interface; skip (the
+        caller filters these out). *)
+     assert false
+   | _ -> gates.(net) <- { Gate.kind = Gate.Const value; fanins = [||] });
+  { nl with Netlist.gates }
+
+let round nl =
+  let tied = ref 0 in
+  let current = ref nl in
+  let gate_count = Array.length nl.Netlist.gates in
+  let net = ref 0 in
+  while !net < gate_count do
+    let i = !net in
+    (* Net ids are stable within a round because tying only replaces a
+       gate in place; sweeping happens between rounds. *)
+    (match (!current).Netlist.gates.(i).Gate.kind with
+     | Gate.Pi _ | Gate.Const _ | Gate.Dff _ -> ()
+     | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor
+     | Gate.Xor | Gate.Xnor ->
+       let try_tie polarity value =
+         match
+           Satgen.generate !current { Fault.site = Fault.Stem i; polarity }
+         with
+         | Satgen.Untestable ->
+           current := tie_net !current i value;
+           incr tied;
+           true
+         | Satgen.Test _ -> false
+       in
+       (* stuck-at-0 untestable -> the net never influences an output
+          when forced to 0 ... precisely: outputs are identical with the
+          net forced to 0, so tie it to 0; dually for stuck-at-1. *)
+       if not (try_tie Fault.Stuck_at_0 false) then
+         ignore (try_tie Fault.Stuck_at_1 true));
+    incr net
+  done;
+  (!current, !tied)
+
+let remove ?(max_rounds = 4) nl =
+  if Netlist.num_dffs nl > 0 then
+    invalid_arg "Redundancy.remove: sequential netlist (apply Scan.full_scan first)";
+  let rec loop nl total rounds =
+    if rounds = 0 then (fst (Sweep.run nl), total)
+    else begin
+      let cleaned, tied = round nl in
+      let swept = fst (Sweep.run cleaned) in
+      if tied = 0 then (swept, total) else loop swept (total + tied) (rounds - 1)
+    end
+  in
+  loop nl 0 max_rounds

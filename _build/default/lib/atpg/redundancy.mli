@@ -1,0 +1,21 @@
+(** SAT-based redundancy removal.
+
+    A stem stuck-at fault that the exact ATPG proves untestable means
+    the net can be tied to the stuck value without changing any primary
+    output — the textbook link between untestability and logic
+    redundancy. {!remove} ties every such net, sweeps the dead logic,
+    and repeats (removing one redundancy can expose another) until a
+    fixpoint or the round budget.
+
+    The result computes the same function (the test suite checks the
+    miter) with a fully-testable — or at least less redundant — stem
+    fault set. *)
+
+val remove :
+  ?max_rounds:int ->
+  Mutsamp_netlist.Netlist.t ->
+  Mutsamp_netlist.Netlist.t * int
+(** Returns the cleaned netlist and the number of nets tied off.
+    [max_rounds] defaults to 4. Raises [Invalid_argument] on
+    sequential netlists ({!Scan.full_scan} first if that
+    approximation suits the use). *)

@@ -1,0 +1,15 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Fault = Mutsamp_fault.Fault
+module Inject = Mutsamp_fault.Inject
+module Fsim = Mutsamp_fault.Fsim
+module Equiv = Mutsamp_sat.Equiv
+
+type result = Test of int | Untestable
+
+let generate nl fault =
+  if Netlist.num_dffs nl > 0 then
+    invalid_arg "Satgen.generate: sequential netlist (apply Scan.full_scan first)";
+  let faulty = Inject.apply nl fault in
+  match Equiv.check nl faulty with
+  | Equiv.Equivalent -> Untestable
+  | Equiv.Counterexample assignment -> Test (Fsim.input_code nl assignment)

@@ -1,0 +1,14 @@
+(** SAT-based ATPG.
+
+    A test for a stuck-at fault exists iff the good circuit and the
+    faulty circuit ({!Mutsamp_fault.Inject.apply}) are not equivalent;
+    the miter counterexample is the test pattern. Exact like PODEM, and
+    a useful cross-check for it — the two engines must agree on
+    testability for every fault, which the test suite exploits. *)
+
+type result =
+  | Test of int  (** pattern code over the netlist's inputs *)
+  | Untestable
+
+val generate : Mutsamp_netlist.Netlist.t -> Mutsamp_fault.Fault.t -> result
+(** Raises [Invalid_argument] on a sequential netlist. *)

@@ -1,0 +1,27 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+
+let scan_input_name i = Printf.sprintf "scan_q%d" i
+let scan_output_name i = Printf.sprintf "scan_d%d" i
+
+let full_scan (nl : Netlist.t) =
+  let gates = Array.copy nl.gates in
+  let extra_outputs = ref [] in
+  Array.iteri
+    (fun k q ->
+      let d = gates.(q).Gate.fanins.(0) in
+      gates.(q) <- { Gate.kind = Gate.Pi (scan_input_name k); fanins = [||] };
+      extra_outputs := (scan_output_name k, d) :: !extra_outputs)
+    nl.dff_nets;
+  let scanned =
+    {
+      nl with
+      Netlist.gates;
+      input_nets = Array.append nl.input_nets nl.dff_nets;
+      output_list =
+        Array.append nl.output_list (Array.of_list (List.rev !extra_outputs));
+      dff_nets = [||];
+    }
+  in
+  Netlist.lint scanned;
+  scanned

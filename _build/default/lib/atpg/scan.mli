@@ -1,0 +1,14 @@
+(** Full-scan transformation.
+
+    Replaces every flip-flop with a pseudo primary input (its Q pin,
+    named [scan_q<i>]) and a pseudo primary output (its D cone, named
+    [scan_d<i>]). The result is purely combinational, which is the view
+    the deterministic ATPG engines and the miter equivalence check
+    require for sequential circuits — exactly the design-for-test
+    assumption the paper's ATPG baseline makes. *)
+
+val full_scan : Mutsamp_netlist.Netlist.t -> Mutsamp_netlist.Netlist.t
+(** Identity on already-combinational netlists (a fresh copy). *)
+
+val scan_input_name : int -> string
+val scan_output_name : int -> string

@@ -1,0 +1,90 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+module Topo = Mutsamp_netlist.Topo
+
+type t = { cc0 : int array; cc1 : int array; co : int array }
+
+let infinity_cost = 1 lsl 40
+
+let cap v = min v infinity_cost
+
+let compute (nl : Netlist.t) =
+  let n = Array.length nl.gates in
+  let cc0 = Array.make n infinity_cost in
+  let cc1 = Array.make n infinity_cost in
+  let topo = Topo.compute nl in
+  (* Controllability: sources first, then topological order. *)
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      match g.kind with
+      | Gate.Pi _ | Gate.Dff _ ->
+        cc0.(i) <- 1;
+        cc1.(i) <- 1
+      | Gate.Const false ->
+        cc0.(i) <- 0;
+        cc1.(i) <- infinity_cost
+      | Gate.Const true ->
+        cc0.(i) <- infinity_cost;
+        cc1.(i) <- 0
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor
+      | Gate.Xor | Gate.Xnor -> ())
+    nl.gates;
+  Array.iter
+    (fun i ->
+      let g = nl.gates.(i) in
+      let a = g.Gate.fanins.(0) in
+      let b = if Array.length g.Gate.fanins > 1 then g.Gate.fanins.(1) else a in
+      let z0, z1 =
+        match g.Gate.kind with
+        | Gate.Buf -> (cc0.(a) + 1, cc1.(a) + 1)
+        | Gate.Not -> (cc1.(a) + 1, cc0.(a) + 1)
+        | Gate.And -> (min cc0.(a) cc0.(b) + 1, cc1.(a) + cc1.(b) + 1)
+        | Gate.Nand -> (cc1.(a) + cc1.(b) + 1, min cc0.(a) cc0.(b) + 1)
+        | Gate.Or -> (cc0.(a) + cc0.(b) + 1, min cc1.(a) cc1.(b) + 1)
+        | Gate.Nor -> (min cc1.(a) cc1.(b) + 1, cc0.(a) + cc0.(b) + 1)
+        | Gate.Xor ->
+          ( min (cc0.(a) + cc0.(b)) (cc1.(a) + cc1.(b)) + 1,
+            min (cc0.(a) + cc1.(b)) (cc1.(a) + cc0.(b)) + 1 )
+        | Gate.Xnor ->
+          ( min (cc0.(a) + cc1.(b)) (cc1.(a) + cc0.(b)) + 1,
+            min (cc0.(a) + cc0.(b)) (cc1.(a) + cc1.(b)) + 1 )
+        | Gate.Pi _ | Gate.Const _ | Gate.Dff _ -> assert false
+      in
+      cc0.(i) <- cap z0;
+      cc1.(i) <- cap z1)
+    topo.Topo.order;
+  (* Observability: primary outputs and D pins are directly observable;
+     walk the combinational order backwards. *)
+  let co = Array.make n infinity_cost in
+  Array.iter (fun (_, net) -> co.(net) <- 0) nl.output_list;
+  Array.iter
+    (fun q -> let d = nl.gates.(q).Gate.fanins.(0) in co.(d) <- 0)
+    nl.dff_nets;
+  let update_inputs i =
+    let g = nl.gates.(i) in
+    if co.(i) < infinity_cost then begin
+      let a = g.Gate.fanins.(0) in
+      let b = if Array.length g.Gate.fanins > 1 then g.Gate.fanins.(1) else a in
+      let through cost_for_side net = co.(net) <- min co.(net) (cap cost_for_side) in
+      match g.Gate.kind with
+      | Gate.Buf | Gate.Not -> through (co.(i) + 1) a
+      | Gate.And | Gate.Nand ->
+        through (co.(i) + cc1.(b) + 1) a;
+        through (co.(i) + cc1.(a) + 1) b
+      | Gate.Or | Gate.Nor ->
+        through (co.(i) + cc0.(b) + 1) a;
+        through (co.(i) + cc0.(a) + 1) b
+      | Gate.Xor | Gate.Xnor ->
+        through (co.(i) + min cc0.(b) cc1.(b) + 1) a;
+        through (co.(i) + min cc0.(a) cc1.(a) + 1) b
+      | Gate.Pi _ | Gate.Const _ | Gate.Dff _ -> ()
+    end
+  in
+  (* Reverse topological order: each gate's CO is final before its
+     fanins are updated. *)
+  for k = Array.length topo.Topo.order - 1 downto 0 do
+    update_inputs topo.Topo.order.(k)
+  done;
+  { cc0; cc1; co }
+
+let harder_value t net = if t.cc0.(net) > t.cc1.(net) then 0 else 1

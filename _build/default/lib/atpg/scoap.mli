@@ -1,0 +1,29 @@
+(** SCOAP testability measures (Goldstein 1979).
+
+    Combinational controllability CC0/CC1 (cost of driving a net to
+    0/1 from the primary inputs) and observability CO (cost of
+    propagating a net's value to a primary output). Flip-flop outputs
+    count as directly controllable and their D pins as directly
+    observable — the full-scan view, consistent with how the ATPG
+    engines treat sequential circuits.
+
+    PODEM uses these as branching heuristics: backtrace follows the
+    cheapest-to-control input, and the D-frontier advances through the
+    most observable gate. *)
+
+type t = {
+  cc0 : int array;  (** per net *)
+  cc1 : int array;
+  co : int array;
+}
+
+val infinity_cost : int
+(** Stands for "uncontrollable/unobservable" (constants' opposite
+    value); safely addable without overflow. *)
+
+val compute : Mutsamp_netlist.Netlist.t -> t
+
+val harder_value : t -> int -> int
+(** [harder_value t net] is 0 or 1 — the value with the larger
+    controllability cost (ties: 1). Random-resistant faults tend to
+    need it. *)

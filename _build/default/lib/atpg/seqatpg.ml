@@ -1,0 +1,48 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Fault = Mutsamp_fault.Fault
+module Fsim = Mutsamp_fault.Fsim
+module Equiv = Mutsamp_sat.Equiv
+
+type result =
+  | Test of int array
+  | No_test_within of int
+
+let generate ?(max_frames = 8) nl fault =
+  let rec try_frames k =
+    if k > max_frames then No_test_within max_frames
+    else begin
+      let good = Unroll.expand ~frames:k nl in
+      let faulty = Unroll.expand ~fault ~frames:k nl in
+      match Equiv.check good faulty with
+      | Equiv.Equivalent -> try_frames (k + 1)
+      | Equiv.Counterexample assignment ->
+        Test (Unroll.codes_of_assignment nl ~frames:k assignment)
+    end
+  in
+  try_frames 1
+
+let generate_set ?max_frames nl ~faults =
+  let sequences = ref [] in
+  let rec work remaining undetected =
+    match remaining with
+    | [] -> undetected
+    | target :: rest ->
+      (match generate ?max_frames nl target with
+       | No_test_within _ -> work rest (target :: undetected)
+       | Test seq ->
+         sequences := seq :: !sequences;
+         (* The new sequence may detect other remaining faults too. *)
+         let r = Fsim.run_sequential nl ~faults:(target :: rest) ~sequence:seq in
+         let survivors =
+           Array.to_list r.Fsim.detections
+           |> List.filter_map (fun (d : Fsim.detection) ->
+                  match d.Fsim.detected_at with
+                  | None -> Some d.Fsim.fault
+                  | Some _ -> None)
+         in
+         work
+           (List.filter (fun f -> List.exists (Fault.equal f) survivors) rest)
+           undetected)
+  in
+  let undetected = work faults [] in
+  (List.rev !sequences, List.rev undetected)

@@ -1,0 +1,35 @@
+(** Sequential ATPG by time-frame expansion.
+
+    For a fault in a sequential netlist, search for the shortest
+    functional test sequence (applied from reset) that distinguishes
+    the good machine from the faulty one: unroll both to [k] frames
+    ({!Unroll.expand}, fault in every frame), miter them with the SAT
+    engine, and grow [k] until a counterexample appears or the frame
+    budget runs out.
+
+    Unlike the full-scan flow ({!Scan}), the resulting sequences need
+    no test hardware — they are the kind of test the paper applies to
+    the ITC'99 circuits. *)
+
+type result =
+  | Test of int array  (** one input code per cycle, applied from reset *)
+  | No_test_within of int  (** no detecting sequence of ≤ that many frames *)
+
+val generate :
+  ?max_frames:int ->
+  Mutsamp_netlist.Netlist.t ->
+  Mutsamp_fault.Fault.t ->
+  result
+(** [max_frames] defaults to 8. The returned sequence is the shortest
+    (fewest frames) the expansion admits. Works on combinational
+    netlists too (the answer then has 1 frame). *)
+
+val generate_set :
+  ?max_frames:int ->
+  Mutsamp_netlist.Netlist.t ->
+  faults:Mutsamp_fault.Fault.t list ->
+  int array list * Mutsamp_fault.Fault.t list
+(** Tests for a whole fault list with cross fault dropping (each new
+    sequence is fault-simulated against the remaining faults). Returns
+    the sequences and the faults left undetected within the frame
+    budget. *)

@@ -1,0 +1,37 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+
+let observe_point_name k = Printf.sprintf "tp%d" k
+
+let worst_observability (nl : Netlist.t) ~n =
+  let scoap = Scoap.compute nl in
+  let already_observed = Hashtbl.create 16 in
+  Array.iter (fun (_, net) -> Hashtbl.replace already_observed net ()) nl.output_list;
+  let candidates = ref [] in
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      match g.kind with
+      | Gate.Pi _ | Gate.Const _ | Gate.Dff _ -> ()
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor
+      | Gate.Xor | Gate.Xnor ->
+        if not (Hashtbl.mem already_observed i) then
+          candidates := (scoap.Scoap.co.(i), i) :: !candidates)
+    nl.gates;
+  List.sort (fun (a, _) (b, _) -> compare b a) !candidates
+  |> List.filteri (fun k _ -> k < n)
+  |> List.map snd
+
+let insert_observe_points (nl : Netlist.t) ~nets =
+  List.iter
+    (fun net ->
+      if net < 0 || net >= Array.length nl.gates then
+        invalid_arg "Testpoints.insert_observe_points: net out of range")
+    nets;
+  let extra =
+    Array.of_list (List.mapi (fun k net -> (observe_point_name k, net)) nets)
+  in
+  let widened = { nl with Netlist.output_list = Array.append nl.output_list extra } in
+  Netlist.lint widened;
+  widened
+
+let auto_insert nl ~n = insert_observe_points nl ~nets:(worst_observability nl ~n)

@@ -1,0 +1,23 @@
+(** Observation test-point insertion.
+
+    Random-pattern-resistant faults usually hide behind long
+    propagation paths; routing the worst-observability internal nets to
+    extra observe-only outputs is the cheapest classical DFT fix. The
+    selection is SCOAP-driven: nets are ranked by combinational
+    observability cost. *)
+
+val worst_observability : Mutsamp_netlist.Netlist.t -> n:int -> int list
+(** Up to [n] internal combinational nets with the highest (finite or
+    infinite) CO, worst first. Primary inputs, constants, flip-flops
+    and nets that already drive an output are excluded. *)
+
+val observe_point_name : int -> string
+(** [observe_point_name k] is ["tp<k>"]. *)
+
+val insert_observe_points :
+  Mutsamp_netlist.Netlist.t -> nets:int list -> Mutsamp_netlist.Netlist.t
+(** Add one primary output per listed net. Raises [Invalid_argument]
+    on an out-of-range net. *)
+
+val auto_insert : Mutsamp_netlist.Netlist.t -> n:int -> Mutsamp_netlist.Netlist.t
+(** [insert_observe_points] at the [worst_observability] nets. *)

@@ -1,0 +1,119 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Bitsim = Mutsamp_netlist.Bitsim
+module Fault = Mutsamp_fault.Fault
+module Fsim = Mutsamp_fault.Fsim
+module Prng = Mutsamp_util.Prng
+
+type engine = Use_podem | Use_sat
+
+type report = {
+  total_faults : int;
+  seed_detected : int;
+  random_detected : int;
+  atpg_detected : int;
+  untestable : int;
+  aborted : int;
+  final_coverage_percent : float;
+  seed_patterns : int;
+  random_patterns : int;
+  atpg_calls : int;
+  atpg_patterns : int;
+  test_set : int array;
+}
+
+(* Which of [faults] does [patterns] detect? Returns the undetected
+   remainder. *)
+let surviving nl faults patterns =
+  if patterns = [||] then faults
+  else begin
+    let r = Fsim.run_combinational nl ~faults ~patterns in
+    Array.to_list r.Fsim.detections
+    |> List.filter_map (fun (d : Fsim.detection) ->
+           match d.Fsim.detected_at with None -> Some d.Fsim.fault | Some _ -> None)
+  end
+
+let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed = 1)
+    ?(backtrack_limit = 2000) nl ~faults ~seed_patterns =
+  if Netlist.num_dffs nl > 0 then
+    invalid_arg "Topoff.run: sequential netlist (apply Scan.full_scan first)";
+  let total_faults = List.length faults in
+  let test_set = ref (Array.to_list seed_patterns) in
+  (* Phase 1: seed patterns. *)
+  let after_seed = surviving nl faults seed_patterns in
+  let seed_detected = total_faults - List.length after_seed in
+  (* Phase 2: pseudo-random batches with stall detection. *)
+  let prng = Prng.create seed in
+  let bits = Array.length nl.Netlist.input_nets in
+  let remaining = ref after_seed in
+  let random_patterns = ref 0 in
+  let stall = ref 0 in
+  while
+    !stall < random_stall && !random_patterns < random_budget && !remaining <> []
+  do
+    let batch = Prpg.uniform_sequence prng ~bits ~length:Bitsim.lanes in
+    let before = List.length !remaining in
+    let next = surviving nl !remaining batch in
+    random_patterns := !random_patterns + Bitsim.lanes;
+    if List.length next = before then incr stall
+    else begin
+      stall := 0;
+      test_set := !test_set @ Array.to_list batch
+    end;
+    if List.length next <> before then remaining := next
+  done;
+  let random_detected = List.length after_seed - List.length !remaining in
+  (* Phase 3: deterministic ATPG with cross fault dropping. *)
+  let atpg_calls = ref 0 in
+  let atpg_patterns = ref 0 in
+  let untestable = ref 0 in
+  let aborted = ref 0 in
+  let atpg_detected = ref 0 in
+  let rec phase3 = function
+    | [] -> ()
+    | target :: rest ->
+      incr atpg_calls;
+      let outcome =
+        match engine with
+        | Use_podem ->
+          (match fst (Podem.generate ~backtrack_limit nl target) with
+           | Podem.Test p -> `Test p
+           | Podem.Untestable -> `Untestable
+           | Podem.Aborted -> `Aborted)
+        | Use_sat ->
+          (match Satgen.generate nl target with
+           | Satgen.Test p -> `Test p
+           | Satgen.Untestable -> `Untestable)
+      in
+      (match outcome with
+       | `Test p ->
+         incr atpg_patterns;
+         test_set := !test_set @ [ p ];
+         (* Drop every remaining fault this vector also detects. *)
+         let next = surviving nl (target :: rest) [| p |] in
+         atpg_detected := !atpg_detected + (List.length rest + 1 - List.length next);
+         phase3 next
+       | `Untestable ->
+         incr untestable;
+         phase3 rest
+       | `Aborted ->
+         incr aborted;
+         phase3 rest)
+  in
+  phase3 !remaining;
+  let testable = total_faults - !untestable in
+  let detected = seed_detected + random_detected + !atpg_detected in
+  {
+    total_faults;
+    seed_detected;
+    random_detected;
+    atpg_detected = !atpg_detected;
+    untestable = !untestable;
+    aborted = !aborted;
+    final_coverage_percent =
+      (if testable = 0 then 100. else 100. *. float_of_int detected /. float_of_int testable);
+    seed_patterns = Array.length seed_patterns;
+    random_patterns = !random_patterns;
+    atpg_calls = !atpg_calls;
+    atpg_patterns = !atpg_patterns;
+    test_set = Array.of_list !test_set;
+  }

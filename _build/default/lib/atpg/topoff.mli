@@ -1,0 +1,47 @@
+(** The industrial test-generation flow the paper's proposal plugs into:
+    seed patterns (free validation data), a pseudo-random phase, then
+    deterministic ATPG for the faults that remain.
+
+    Running it with different seed sets quantifies how much ATPG effort
+    the validation data saves — the claim of the paper's introduction
+    (experiment E3 in DESIGN.md). *)
+
+type engine = Use_podem | Use_sat
+
+type report = {
+  total_faults : int;
+  seed_detected : int;  (** detected by the seed patterns *)
+  random_detected : int;  (** additionally detected by the random phase *)
+  atpg_detected : int;  (** additionally detected by deterministic tests *)
+  untestable : int;  (** proven redundant *)
+  aborted : int;  (** PODEM budget exhausted, fault left undetected *)
+  final_coverage_percent : float;  (** over testable faults *)
+  seed_patterns : int;
+  random_patterns : int;
+  atpg_calls : int;
+  atpg_patterns : int;  (** deterministic vectors added *)
+  test_set : int array;  (** the complete final pattern set, in order *)
+}
+
+val run :
+  ?engine:engine ->
+  ?random_budget:int ->
+  ?random_stall:int ->
+  ?seed:int ->
+  ?backtrack_limit:int ->
+  Mutsamp_netlist.Netlist.t ->
+  faults:Mutsamp_fault.Fault.t list ->
+  seed_patterns:int array ->
+  report
+(** [run nl ~faults ~seed_patterns] executes the three phases on a
+    combinational netlist (apply {!Scan.full_scan} first for sequential
+    designs).
+
+    The random phase draws batches of 62 uniform patterns and stops
+    after [random_stall] consecutive batches with no new detection or
+    when [random_budget] patterns have been applied (defaults: 4 and
+    4096). Every deterministic test is fault-simulated against the
+    remaining faults so one ATPG call can cover several faults.
+    [backtrack_limit] (default 2000) bounds each PODEM call; exhausted
+    budgets are reported as [aborted]. XOR-dominated circuits are
+    PODEM's worst case — prefer [Use_sat] there. *)

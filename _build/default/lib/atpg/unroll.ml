@@ -1,0 +1,111 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+module Topo = Mutsamp_netlist.Topo
+module Fault = Mutsamp_fault.Fault
+module B = Netlist.Builder
+
+let frame_input_name name f = Printf.sprintf "%s@%d" name f
+let frame_output_name name f = Printf.sprintf "%s@%d" name f
+
+let expand ?fault ~frames (nl : Netlist.t) =
+  if frames < 1 then invalid_arg "Unroll.expand: frames < 1";
+  let b = B.create (Printf.sprintf "%s_x%d" nl.name frames) in
+  let topo = Topo.compute nl in
+  let n = Array.length nl.gates in
+  let stem_net = match fault with
+    | Some { Fault.site = Fault.Stem net; _ } -> net
+    | Some { Fault.site = Fault.Branch _; _ } | None -> -1
+  in
+  let pin_gate, pin_idx = match fault with
+    | Some { Fault.site = Fault.Branch { gate; pin }; _ } -> (gate, pin)
+    | Some { Fault.site = Fault.Stem _; _ } | None -> (-1, -1)
+  in
+  let stuck_const () =
+    match fault with
+    | Some { Fault.polarity = Fault.Stuck_at_0; _ } -> B.const b false
+    | Some { Fault.polarity = Fault.Stuck_at_1; _ } -> B.const b true
+    | None -> assert false
+  in
+  (* copy.(net) = builder net of the original net in the CURRENT frame;
+     prev_d.(k) = builder net of dff k's D cone in the PREVIOUS frame. *)
+  let copy = Array.make n (-1) in
+  let prev_d = Array.make (Array.length nl.dff_nets) (-1) in
+  for f = 0 to frames - 1 do
+    (* A stem fault overrides the net's value for every reader. *)
+    let faulted i v = if i = stem_net then stuck_const () else v in
+    (* Sources. *)
+    Array.iter
+      (fun net ->
+        let name =
+          match nl.gates.(net).Gate.kind with
+          | Gate.Pi name -> name
+          | _ -> assert false
+        in
+        copy.(net) <- faulted net (B.input b (frame_input_name name f)))
+      nl.input_nets;
+    Array.iteri
+      (fun i (g : Gate.t) ->
+        match g.kind with
+        | Gate.Const v -> copy.(i) <- faulted i (B.const b v)
+        | Gate.Dff init ->
+          let k =
+            let rec find k = if nl.dff_nets.(k) = i then k else find (k + 1) in
+            find 0
+          in
+          let state = if f = 0 then B.const b init else prev_d.(k) in
+          copy.(i) <- faulted i state
+        | Gate.Pi _ | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand
+        | Gate.Nor | Gate.Xor | Gate.Xnor -> ())
+      nl.gates;
+    (* Combinational gates. *)
+    Array.iter
+      (fun i ->
+        let g = nl.gates.(i) in
+        let operand k =
+          let v = copy.(g.Gate.fanins.(k)) in
+          if i = pin_gate && k = pin_idx then stuck_const () else v
+        in
+        let value =
+          match g.Gate.kind with
+          | Gate.Buf -> B.buf b (operand 0)
+          | Gate.Not -> B.not_ b (operand 0)
+          | Gate.And -> B.and_ b (operand 0) (operand 1)
+          | Gate.Or -> B.or_ b (operand 0) (operand 1)
+          | Gate.Nand -> B.nand_ b (operand 0) (operand 1)
+          | Gate.Nor -> B.nor_ b (operand 0) (operand 1)
+          | Gate.Xor -> B.xor_ b (operand 0) (operand 1)
+          | Gate.Xnor -> B.xnor_ b (operand 0) (operand 1)
+          | Gate.Pi _ | Gate.Const _ | Gate.Dff _ -> assert false
+        in
+        copy.(i) <- faulted i value)
+      topo.Topo.order;
+    (* Outputs of this frame; next-frame state (a D-pin branch fault
+       belongs to the capturing flip-flop and corrupts what the next
+       frame sees). *)
+    Array.iter
+      (fun (name, net) -> B.output b (frame_output_name name f) copy.(net))
+      nl.output_list;
+    Array.iteri
+      (fun k q ->
+        let d = nl.gates.(q).Gate.fanins.(0) in
+        let v = if q = pin_gate && pin_idx = 0 then stuck_const () else copy.(d) in
+        prev_d.(k) <- v)
+      nl.dff_nets
+  done;
+  B.finalize b
+
+let codes_of_assignment (nl : Netlist.t) ~frames assignment =
+  Array.init frames (fun f ->
+      let code = ref 0 in
+      Array.iteri
+        (fun k net ->
+          let name =
+            match nl.gates.(net).Gate.kind with
+            | Gate.Pi name -> name
+            | _ -> assert false
+          in
+          match List.assoc_opt (frame_input_name name f) assignment with
+          | Some true -> code := !code lor (1 lsl k)
+          | Some false | None -> ())
+        nl.input_nets;
+      !code)

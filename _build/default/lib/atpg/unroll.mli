@@ -1,0 +1,32 @@
+(** Time-frame expansion.
+
+    Unrolls a sequential netlist into [frames] copies of its
+    combinational logic: frame 0 starts from the declared reset state,
+    frame [f]'s flip-flop outputs are frame [f-1]'s D values. Primary
+    inputs and outputs are replicated per frame with ["@f"] suffixes,
+    so the result is purely combinational and every engine that works
+    on combinational netlists (PODEM, the SAT miter) works on it.
+
+    A single stuck-at fault is permanent hardware damage: when [fault]
+    is given, it is injected into {e every} frame, which is what makes
+    the expansion generate true functional test sequences. *)
+
+val frame_input_name : string -> int -> string
+(** [frame_input_name "en" 2] is ["en@2"]. *)
+
+val frame_output_name : string -> int -> string
+
+val expand :
+  ?fault:Mutsamp_fault.Fault.t ->
+  frames:int ->
+  Mutsamp_netlist.Netlist.t ->
+  Mutsamp_netlist.Netlist.t
+(** Raises [Invalid_argument] if [frames < 1]. The fault refers to
+    nets/pins of the ORIGINAL netlist. Combinational netlists unroll
+    too (frames are then independent copies). *)
+
+val codes_of_assignment :
+  Mutsamp_netlist.Netlist.t -> frames:int -> (string * bool) list -> int array
+(** Decode a per-frame-input assignment (as produced by the SAT miter's
+    counterexample on an expanded pair) into one pattern code per frame
+    of the original netlist. Missing inputs default to 0. *)

@@ -1,0 +1,1 @@
+lib/circuits/c17.ml: Mutsamp_hdl Mutsamp_netlist

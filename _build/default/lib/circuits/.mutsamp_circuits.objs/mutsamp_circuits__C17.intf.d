@@ -1,0 +1,1 @@
+lib/circuits/c17.mli: Mutsamp_hdl Mutsamp_netlist

@@ -1,0 +1,1 @@
+lib/circuits/c432.ml: Mutsamp_hdl

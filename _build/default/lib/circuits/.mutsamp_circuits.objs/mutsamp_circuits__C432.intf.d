@@ -1,0 +1,1 @@
+lib/circuits/c432.mli: Mutsamp_hdl

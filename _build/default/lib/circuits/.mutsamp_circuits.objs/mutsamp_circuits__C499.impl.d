@@ -1,0 +1,1 @@
+lib/circuits/c499.ml: Array List Mutsamp_hdl

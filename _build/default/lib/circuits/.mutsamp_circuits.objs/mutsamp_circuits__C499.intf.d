@@ -1,0 +1,1 @@
+lib/circuits/c499.mli: Mutsamp_hdl

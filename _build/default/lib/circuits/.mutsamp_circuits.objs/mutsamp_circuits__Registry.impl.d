@@ -1,0 +1,1 @@
+lib/circuits/registry.ml: C17 C432 C499 List Mutsamp_hdl Sources String

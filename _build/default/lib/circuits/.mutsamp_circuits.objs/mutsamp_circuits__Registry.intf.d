@@ -1,0 +1,1 @@
+lib/circuits/registry.mli: Mutsamp_hdl

@@ -1,0 +1,44 @@
+module B = Mutsamp_netlist.Netlist.Builder
+
+let netlist () =
+  let b = B.create "c17" in
+  let g1 = B.input b "G1" in
+  let g2 = B.input b "G2" in
+  let g3 = B.input b "G3" in
+  let g6 = B.input b "G6" in
+  let g7 = B.input b "G7" in
+  let g10 = B.nand_ b g1 g3 in
+  let g11 = B.nand_ b g3 g6 in
+  let g16 = B.nand_ b g2 g11 in
+  let g19 = B.nand_ b g11 g7 in
+  let g22 = B.nand_ b g10 g16 in
+  let g23 = B.nand_ b g16 g19 in
+  B.output b "G22" g22;
+  B.output b "G23" g23;
+  B.finalize b
+
+let source =
+  {|-- ISCAS'85 c17 expressed behaviourally (same NAND structure).
+design c17 is
+  input g1 : bit;
+  input g2 : bit;
+  input g3 : bit;
+  input g6 : bit;
+  input g7 : bit;
+  output g22 : bit;
+  output g23 : bit;
+  var n10 : bit;
+  var n11 : bit;
+  var n16 : bit;
+  var n19 : bit;
+begin
+  n10 := g1 nand g3;
+  n11 := g3 nand g6;
+  n16 := g2 nand n11;
+  n19 := n11 nand g7;
+  g22 := n10 nand n16;
+  g23 := n16 nand n19;
+end design;
+|}
+
+let design () = Mutsamp_hdl.Check.elaborate (Mutsamp_hdl.Parser.design_of_string source)

@@ -1,0 +1,11 @@
+(** ISCAS'85 c17 — the only benchmark small enough to reproduce
+    gate-for-gate. Six NAND2 gates, five inputs, two outputs. Provided
+    both as the exact netlist (ground truth for the structural tools)
+    and as a behavioural design (ground truth for synthesis). *)
+
+val netlist : unit -> Mutsamp_netlist.Netlist.t
+(** The published gate-level structure (nets named G1..G23 in the
+    standard numbering; inputs G1, G2, G3, G6, G7; outputs G22, G23). *)
+
+val design : unit -> Mutsamp_hdl.Ast.design
+(** Behavioural description of the same function, elaborated. *)

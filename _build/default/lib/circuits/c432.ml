@@ -1,0 +1,60 @@
+let source =
+  {|-- c432: 27-channel interrupt controller (behavioural re-implementation).
+-- Bus a beats bus b beats bus c; within a bus, line 8 beats line 0.
+-- chan encodes the winning line as 1..9 (0 = no request).
+design c432 is
+  input a : unsigned(9);
+  input b : unsigned(9);
+  input c : unsigned(9);
+  input e : unsigned(9);
+  output pa : bit;
+  output pb : bit;
+  output pc : bit;
+  output chan : unsigned(4);
+  var ae : unsigned(9);
+  var be : unsigned(9);
+  var ce : unsigned(9);
+  var win : unsigned(9);
+  const NONE : unsigned(9) := 0;
+begin
+  ae := a and e;
+  be := b and e;
+  ce := c and e;
+  pa := '0';
+  pb := '0';
+  pc := '0';
+  win := NONE;
+  if ae /= NONE then
+    pa := '1';
+    win := ae;
+  elsif be /= NONE then
+    pb := '1';
+    win := be;
+  elsif ce /= NONE then
+    pc := '1';
+    win := ce;
+  end if;
+  chan := 0;
+  if win[8] = '1' then
+    chan := 9;
+  elsif win[7] = '1' then
+    chan := 8;
+  elsif win[6] = '1' then
+    chan := 7;
+  elsif win[5] = '1' then
+    chan := 6;
+  elsif win[4] = '1' then
+    chan := 5;
+  elsif win[3] = '1' then
+    chan := 4;
+  elsif win[2] = '1' then
+    chan := 3;
+  elsif win[1] = '1' then
+    chan := 2;
+  elsif win[0] = '1' then
+    chan := 1;
+  end if;
+end design;
+|}
+
+let design () = Mutsamp_hdl.Check.elaborate (Mutsamp_hdl.Parser.design_of_string source)

@@ -1,0 +1,13 @@
+(** ISCAS'85 c432 — 27-channel interrupt controller, behavioural model.
+
+    Re-implemented from the documented function (Hansen, Yalcin &
+    Hayes, "Unveiling the ISCAS-85 benchmarks"): three 9-line request
+    buses A > B > C in decreasing priority, gated by a 9-line enable
+    bus E; the outputs flag which bus wins (PA/PB/PC) and encode the
+    highest-priority active channel of the winning bus. 36 inputs and
+    7 output bits, like the original; the gate-level structure comes
+    from our own synthesis rather than the 1985 netlist. *)
+
+val source : string
+val design : unit -> Mutsamp_hdl.Ast.design
+(** Elaborated behavioural model. *)

@@ -1,0 +1,98 @@
+open Mutsamp_hdl.Ast
+
+let popcount v =
+  let rec loop v acc = if v = 0 then acc else loop (v lsr 1) (acc + (v land 1)) in
+  loop v 0
+
+(* All 28 weight-2 bytes (so every check bit participates) plus the
+   first 4 weight-3 bytes, in increasing order. Weight-1 values are
+   reserved: they are the syndromes of check-bit errors, which the
+   decoder leaves uncorrected. *)
+let patterns =
+  let of_weight w =
+    List.filter (fun v -> popcount v = w) (List.init 256 (fun v -> v))
+  in
+  let weight2 = of_weight 2 in
+  let weight3 = List.filteri (fun i _ -> i < 4) (of_weight 3) in
+  Array.of_list (weight2 @ weight3)
+
+let encode_checks ~data =
+  let check = ref 0 in
+  for j = 0 to 7 do
+    let parity = ref 0 in
+    for i = 0 to 31 do
+      if (patterns.(i) lsr j) land 1 = 1 then parity := !parity lxor ((data lsr i) land 1)
+    done;
+    check := !check lor (!parity lsl j)
+  done;
+  !check
+
+let reference_decode ~data ~check ~bypass =
+  let syndrome = encode_checks ~data lxor check in
+  if bypass || syndrome = 0 then data
+  else begin
+    let flip = ref 0 in
+    Array.iteri (fun i p -> if p = syndrome then flip := 1 lsl i) patterns;
+    data lxor !flip
+  end
+
+(* --- programmatic construction of the behavioural model -------------- *)
+
+let bit_of e i = Bit (e, i)
+
+let xor_chain = function
+  | [] -> invalid_arg "c499: empty parity group"
+  | first :: rest -> List.fold_left (fun acc e -> Binop (Xor, acc, e)) first rest
+
+let design () =
+  let decls =
+    [
+      { name = "data"; width = 32; kind = Input };
+      { name = "check"; width = 8; kind = Input };
+      { name = "r"; width = 1; kind = Input };
+      { name = "od"; width = 32; kind = Output };
+      { name = "syn"; width = 8; kind = Var };
+      { name = "corr"; width = 32; kind = Var };
+    ]
+  in
+  (* syn := (computed check bits) xor check, built bit by bit and
+     concatenated MSB-first. *)
+  let syndrome_bit j =
+    let members =
+      List.concat
+        (List.mapi
+           (fun i p -> if (p lsr j) land 1 = 1 then [ bit_of (Ref "data") i ] else [])
+           (Array.to_list patterns))
+    in
+    Binop (Xor, xor_chain members, bit_of (Ref "check") j)
+  in
+  let syn_expr =
+    let rec build j acc = if j > 7 then acc else build (j + 1) (Concat (syndrome_bit j, acc)) in
+    build 1 (syndrome_bit 0)
+  in
+  (* Each correction bit is its own decode: bit i flips iff the
+     syndrome names data bit i and correction is not bypassed. The H
+     columns are pairwise distinct, so the flip conditions are disjoint
+     by construction — computing them independently (rather than as a
+     chain of conditional writes) keeps the synthesised decode
+     irredundant. *)
+  let flip_bit i =
+    Binop
+      ( And,
+        Binop (Eq, Ref "syn", Const (lit ~width:8 patterns.(i))),
+        Binop (Eq, Ref "r", Const (lit ~width:1 0)) )
+  in
+  let corr_expr =
+    let rec build i acc =
+      if i > 31 then acc else build (i + 1) (Concat (flip_bit i, acc))
+    in
+    build 1 (flip_bit 0)
+  in
+  let body =
+    [
+      Assign ("syn", syn_expr);
+      Assign ("corr", corr_expr);
+      Assign ("od", Binop (Xor, Ref "data", Ref "corr"));
+    ]
+  in
+  Mutsamp_hdl.Check.elaborate { name = "c499"; decls; body }

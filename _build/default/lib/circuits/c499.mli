@@ -1,0 +1,28 @@
+(** ISCAS'85 c499 — 32-bit single-error-correcting circuit, behavioural
+    model.
+
+    Re-implemented from the documented function: a (40,32) shortened
+    Hamming decoder. 32 data bits and 8 received check bits enter; the
+    circuit recomputes the check bits, forms the syndrome, and flips
+    the data bit whose column pattern matches the syndrome. The [r]
+    input bypasses correction (the original's mode control). 41 inputs
+    and 32 outputs, like the original.
+
+    The model is generated programmatically: the H-matrix columns are
+    the 28 weight-2 bytes plus the first four weight-3 bytes, so every
+    data bit has a distinct syndrome of weight ≥ 2 (weight-1 syndromes
+    are check-bit errors and flip nothing) and every check bit covers
+    some data. *)
+
+val patterns : int array
+(** The 32 H-matrix column patterns (8-bit, weight ≥ 2, distinct). *)
+
+val design : unit -> Mutsamp_hdl.Ast.design
+(** Elaborated behavioural model. *)
+
+val reference_decode : data:int -> check:int -> bypass:bool -> int
+(** Executable specification: the corrected 32-bit word, used by tests
+    as an oracle independent of the HDL model. *)
+
+val encode_checks : data:int -> int
+(** The 8 check bits a matching encoder would transmit for [data]. *)

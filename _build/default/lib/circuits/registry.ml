@@ -1,0 +1,94 @@
+type kind = Sequential | Combinational
+
+type entry = {
+  name : string;
+  description : string;
+  kind : kind;
+  in_paper : bool;
+  design : unit -> Mutsamp_hdl.Ast.design;
+}
+
+let of_source src () =
+  Mutsamp_hdl.Check.elaborate (Mutsamp_hdl.Parser.design_of_string src)
+
+let all =
+  [
+    {
+      name = "b01";
+      description = "serial flows comparator FSM (ITC'99-style)";
+      kind = Sequential;
+      in_paper = true;
+      design = of_source Sources.b01;
+    };
+    {
+      name = "b02";
+      description = "serial BCD recogniser FSM (ITC'99-style)";
+      kind = Sequential;
+      in_paper = false;
+      design = of_source Sources.b02;
+    };
+    {
+      name = "b03";
+      description = "round-robin resource arbiter (ITC'99-style)";
+      kind = Sequential;
+      in_paper = true;
+      design = of_source Sources.b03;
+    };
+    {
+      name = "b04";
+      description = "min/max spread tracker (ITC'99-style)";
+      kind = Sequential;
+      in_paper = false;
+      design = of_source Sources.b04;
+    };
+    {
+      name = "b08";
+      description = "serial pattern matcher (ITC'99-style)";
+      kind = Sequential;
+      in_paper = false;
+      design = of_source Sources.b08;
+    };
+    {
+      name = "b09";
+      description = "serial-to-parallel converter (ITC'99-style)";
+      kind = Sequential;
+      in_paper = false;
+      design = of_source Sources.b09;
+    };
+    {
+      name = "b06";
+      description = "interrupt handler FSM (ITC'99-style)";
+      kind = Sequential;
+      in_paper = false;
+      design = of_source Sources.b06;
+    };
+    {
+      name = "c17";
+      description = "ISCAS'85 c17 (exact structure)";
+      kind = Combinational;
+      in_paper = false;
+      design = C17.design;
+    };
+    {
+      name = "c432";
+      description = "27-channel interrupt controller (ISCAS'85 c432 function)";
+      kind = Combinational;
+      in_paper = true;
+      design = C432.design;
+    };
+    {
+      name = "c499";
+      description = "32-bit single-error corrector (ISCAS'85 c499 function)";
+      kind = Combinational;
+      in_paper = true;
+      design = C499.design;
+    };
+  ]
+
+let paper_benchmarks = List.filter (fun e -> e.in_paper) all
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii e.name = lower) all
+
+let names () = List.map (fun e -> e.name) all

@@ -1,0 +1,22 @@
+(** Benchmark registry: every circuit the experiments run on. *)
+
+type kind = Sequential | Combinational
+
+type entry = {
+  name : string;
+  description : string;
+  kind : kind;
+  in_paper : bool;  (** appears in the paper's tables *)
+  design : unit -> Mutsamp_hdl.Ast.design;  (** elaborated on demand *)
+}
+
+val all : entry list
+(** b01, b02, b03, b06, c17, c432, c499 — deterministic order. *)
+
+val paper_benchmarks : entry list
+(** The four circuits of the paper's tables: b01, b03, c432, c499. *)
+
+val find : string -> entry option
+(** Case-insensitive lookup by name. *)
+
+val names : unit -> string list

@@ -1,0 +1,346 @@
+(* The sequential benchmarks, in the HDL's concrete syntax. Keeping them
+   as source text (rather than pre-built ASTs) exercises the parser and
+   keeps the designs readable next to the ITC'99 documentation. *)
+
+let b01 =
+  {|-- b01: FSM comparing two serial flows (ITC'99-style re-implementation).
+-- Two input streams are compared bit by bit; outp reports the running
+-- comparison, overflw pulses when the comparison window overruns.
+design b01 is
+  input line1 : bit;
+  input line2 : bit;
+  output outp : bit;
+  output overflw : bit;
+  reg state : unsigned(3) := 0;
+  const ST_A : unsigned(3) := 0;
+  const ST_B : unsigned(3) := 1;
+  const ST_C : unsigned(3) := 2;
+  const ST_D : unsigned(3) := 3;
+  const ST_E : unsigned(3) := 4;
+  const ST_F : unsigned(3) := 5;
+  const ST_WF0 : unsigned(3) := 6;
+  const ST_WF1 : unsigned(3) := 7;
+begin
+  outp := '0';
+  overflw := '0';
+  case state is
+    when 0 =>
+      if line1 = line2 then
+        state := ST_B;
+      else
+        state := ST_C;
+      end if;
+    when 1 =>
+      outp := line1 and line2;
+      if line1 = line2 then
+        state := ST_D;
+      else
+        state := ST_E;
+      end if;
+    when 2 =>
+      outp := line1 or line2;
+      if line1 = line2 then
+        state := ST_E;
+      else
+        state := ST_D;
+      end if;
+    when 3 =>
+      outp := line1 xor line2;
+      if line1 = '1' then
+        state := ST_F;
+      else
+        state := ST_WF0;
+      end if;
+    when 4 =>
+      outp := not (line1 xor line2);
+      if line2 = '1' then
+        state := ST_WF1;
+      else
+        state := ST_F;
+      end if;
+    when 5 =>
+      overflw := line1 and line2;
+      state := ST_A;
+    when 6 =>
+      outp := line1;
+      if line1 = '0' and line2 = '0' then
+        state := ST_A;
+      end if;
+    when 7 =>
+      outp := line2;
+      if line1 = '1' and line2 = '1' then
+        state := ST_A;
+        overflw := '1';
+      end if;
+  end case;
+end design;
+|}
+
+let b02 =
+  {|-- b02: serial BCD recogniser (ITC'99-style re-implementation).
+-- Consumes 4-bit groups MSB first; u pulses after each group that
+-- encodes a valid BCD digit (value 0..9).
+design b02 is
+  input linea : bit;
+  output u : bit;
+  reg state : unsigned(3) := 0;
+begin
+  u := '0';
+  case state is
+    when 0 =>
+      if linea = '1' then
+        state := 1;
+      else
+        state := 2;
+      end if;
+    when 1 =>
+      if linea = '0' then
+        state := 3;
+      else
+        state := 4;
+      end if;
+    when 2 =>
+      state := 5;
+    when 3 =>
+      if linea = '0' then
+        state := 6;
+      else
+        state := 7;
+      end if;
+    when 4 =>
+      state := 7;
+    when 5 =>
+      state := 6;
+    when 6 =>
+      u := '1';
+      state := 0;
+    when 7 =>
+      state := 0;
+  end case;
+end design;
+|}
+
+let b03 =
+  {|-- b03: resource arbiter (ITC'99-style re-implementation).
+-- Four requesters compete for one resource; grants are one-hot, held
+-- for HOLD cycles, and rotated round-robin from the last winner.
+design b03 is
+  input req1 : bit;
+  input req2 : bit;
+  input req3 : bit;
+  input req4 : bit;
+  output grant : unsigned(4);
+  output busy : bit;
+  reg last : unsigned(2) := 0;
+  reg count : unsigned(3) := 0;
+  reg held : unsigned(4) := 0;
+  const HOLD : unsigned(3) := 3;
+begin
+  grant := 0;
+  busy := '0';
+  if count /= 0 then
+    busy := '1';
+    grant := held;
+    count := count - 1;
+  else
+    held := 0;
+    case last is
+      when 0 =>
+        if req2 = '1' then
+          held := 4'b0010;
+          last := 1;
+          count := HOLD;
+        elsif req3 = '1' then
+          held := 4'b0100;
+          last := 2;
+          count := HOLD;
+        elsif req4 = '1' then
+          held := 4'b1000;
+          last := 3;
+          count := HOLD;
+        elsif req1 = '1' then
+          held := 4'b0001;
+          last := 0;
+          count := HOLD;
+        end if;
+      when 1 =>
+        if req3 = '1' then
+          held := 4'b0100;
+          last := 2;
+          count := HOLD;
+        elsif req4 = '1' then
+          held := 4'b1000;
+          last := 3;
+          count := HOLD;
+        elsif req1 = '1' then
+          held := 4'b0001;
+          last := 0;
+          count := HOLD;
+        elsif req2 = '1' then
+          held := 4'b0010;
+          last := 1;
+          count := HOLD;
+        end if;
+      when 2 =>
+        if req4 = '1' then
+          held := 4'b1000;
+          last := 3;
+          count := HOLD;
+        elsif req1 = '1' then
+          held := 4'b0001;
+          last := 0;
+          count := HOLD;
+        elsif req2 = '1' then
+          held := 4'b0010;
+          last := 1;
+          count := HOLD;
+        elsif req3 = '1' then
+          held := 4'b0100;
+          last := 2;
+          count := HOLD;
+        end if;
+      when 3 =>
+        if req1 = '1' then
+          held := 4'b0001;
+          last := 0;
+          count := HOLD;
+        elsif req2 = '1' then
+          held := 4'b0010;
+          last := 1;
+          count := HOLD;
+        elsif req3 = '1' then
+          held := 4'b0100;
+          last := 2;
+          count := HOLD;
+        elsif req4 = '1' then
+          held := 4'b1000;
+          last := 3;
+          count := HOLD;
+        end if;
+    end case;
+  end if;
+end design;
+|}
+
+let b04 =
+  {|-- b04: min/max tracker (ITC'99-style re-implementation).
+-- Streams 8-bit samples; dout reports the running spread (max - min).
+-- restart reloads both extrema from the current sample.
+design b04 is
+  input restart : bit;
+  input data : unsigned(8);
+  output dout : unsigned(8);
+  output fresh : bit;
+  reg rmax : unsigned(8) := 0;
+  reg rmin : unsigned(8) := 255;
+  const FLOOR : unsigned(8) := 0;
+begin
+  fresh := '0';
+  if restart = '1' then
+    rmax := data;
+    rmin := data;
+    dout := FLOOR;
+    fresh := '1';
+  else
+    if data > rmax then
+      rmax := data;
+    end if;
+    if data < rmin then
+      rmin := data;
+    end if;
+    dout := rmax - rmin;
+  end if;
+end design;
+|}
+
+let b08 =
+  {|-- b08: serial pattern matcher (ITC'99-style re-implementation).
+-- While load is high the serial input shifts into the reference
+-- pattern; afterwards it shifts into a window compared against it.
+design b08 is
+  input load : bit;
+  input din : bit;
+  output match_o : bit;
+  reg pattern : unsigned(4) := 0;
+  reg window : unsigned(4) := 0;
+  var w : unsigned(4);
+begin
+  match_o := '0';
+  if load = '1' then
+    pattern := pattern[2:0] & din;
+  else
+    w := window[2:0] & din;
+    window := w;
+    match_o := w = pattern;
+  end if;
+end design;
+|}
+
+let b09 =
+  {|-- b09: serial-to-parallel converter (ITC'99-style re-implementation).
+-- Collects four serial bits MSB first; valid pulses as each completed
+-- word appears on dout.
+design b09 is
+  input din : bit;
+  output dout : unsigned(4);
+  output valid : bit;
+  reg shift : unsigned(4) := 0;
+  reg count : unsigned(2) := 0;
+  reg word : unsigned(4) := 0;
+  reg full : bit := 0;
+begin
+  dout := word;
+  valid := full;
+  full := '0';
+  shift := shift[2:0] & din;
+  if count = 3 then
+    word := shift[2:0] & din;
+    full := '1';
+    count := 0;
+  else
+    count := count + 1;
+  end if;
+end design;
+|}
+
+let b06 =
+  {|-- b06: interrupt handler (ITC'99-style re-implementation).
+-- Acknowledges one of two interrupt classes; cont_eql throttles the
+-- handler and rtr requests a return to the polling loop.
+design b06 is
+  input eql : bit;
+  input rtr : bit;
+  output ackout : unsigned(2);
+  output enable : bit;
+  reg state : unsigned(2) := 0;
+  const POLL : unsigned(2) := 0;
+  const SERVE1 : unsigned(2) := 1;
+  const SERVE2 : unsigned(2) := 2;
+  const RETIRE : unsigned(2) := 3;
+begin
+  ackout := 0;
+  enable := '0';
+  case state is
+    when 0 =>
+      enable := '1';
+      if eql = '1' and rtr = '0' then
+        state := SERVE1;
+      elsif rtr = '1' then
+        state := SERVE2;
+      end if;
+    when 1 =>
+      ackout := 1;
+      if rtr = '1' then
+        state := RETIRE;
+      end if;
+    when 2 =>
+      ackout := 2;
+      if eql = '0' then
+        state := RETIRE;
+      end if;
+    when 3 =>
+      ackout := 3;
+      state := POLL;
+  end case;
+end design;
+|}

@@ -1,0 +1,17 @@
+(** Concrete-syntax sources of the ITC'99-style sequential benchmarks.
+
+    These are functional re-implementations written from the public
+    descriptions of the Torino ITC'99 suite (b01: serial-flows
+    comparator FSM; b02: serial BCD recogniser; b03: resource arbiter;
+    b06: interrupt handler); gate counts differ from the originals but
+    the designs exercise the same behavioural constructs — FSM [case]
+    dispatch, logical/relational operators, named constants — which is
+    what the mutation operators act on (see DESIGN.md, substitutions). *)
+
+val b01 : string
+val b02 : string
+val b03 : string
+val b04 : string
+val b08 : string
+val b09 : string
+val b06 : string

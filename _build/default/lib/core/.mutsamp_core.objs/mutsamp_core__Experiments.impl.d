@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Array Config Float Hashtbl List Mutsamp_atpg Mutsamp_fault Mutsamp_mutation Mutsamp_netlist Mutsamp_sampling Mutsamp_util Mutsamp_validation Pipeline Printf

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Mutsamp_fault Mutsamp_hdl Mutsamp_mutation Mutsamp_netlist Mutsamp_synth

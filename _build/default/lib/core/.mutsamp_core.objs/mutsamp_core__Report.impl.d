@@ -1,0 +1,1 @@
+lib/core/report.ml: Experiments List Mutsamp_atpg Mutsamp_mutation Mutsamp_sampling Mutsamp_util Mutsamp_validation Paper_data Printf

@@ -1,0 +1,32 @@
+type t = {
+  seed : int;
+  sample_rate : float;
+  random_multiplier : int;
+  min_random_length : int;
+  vector : Mutsamp_validation.Vectorgen.config;
+  equivalence_screen : int;
+}
+
+let default =
+  {
+    seed = 2005;
+    sample_rate = 0.10;
+    random_multiplier = 20;
+    min_random_length = 256;
+    vector = Mutsamp_validation.Vectorgen.default_config;
+    equivalence_screen = 512;
+  }
+
+let quick =
+  {
+    default with
+    random_multiplier = 8;
+    min_random_length = 128;
+    vector =
+      {
+        Mutsamp_validation.Vectorgen.default_config with
+        Mutsamp_validation.Vectorgen.max_stall = 60;
+        max_vectors = 1024;
+      };
+    equivalence_screen = 192;
+  }

@@ -1,0 +1,24 @@
+(** Experiment configuration.
+
+    One record drives every experiment so a whole paper reproduction is
+    determined by a single seed. *)
+
+type t = {
+  seed : int;
+  sample_rate : float;  (** mutant sampling rate (the paper fixes 10 %) *)
+  random_multiplier : int;
+      (** random-baseline length = max(multiplier · L_m, min_random) *)
+  min_random_length : int;
+  vector : Mutsamp_validation.Vectorgen.config;
+      (** validation-data generation parameters (its seed is overridden
+          per use, derived from [seed]) *)
+  equivalence_screen : int;
+      (** random vectors/cycles used to screen out killable mutants
+          before the exact equivalence checks *)
+}
+
+val default : t
+(** seed 2005, rate 0.10, multiplier 20, min 256, screen 512. *)
+
+val quick : t
+(** Smaller budgets for demos and CI smoke runs. *)

@@ -1,0 +1,135 @@
+(** Experiment drivers regenerating the paper's results.
+
+    - {!operator_efficiency} — Table 1: per-operator ΔFC%, ΔL%, NLFCE;
+    - {!weights_of_table1} — turns a Table 1 row into the sampling
+      weights of the test-oriented strategy;
+    - {!sampling_comparison} — Table 2: MS (over the full mutant
+      population) and NLFCE for random vs test-oriented 10 % sampling;
+    - {!atpg_effort} — experiment E3: ATPG effort with no seed, a
+      random seed, or the mutation-validation seed;
+    - {!ms_vs_rate} — ablation A1: MS as a function of the sample rate
+      for both strategies.
+
+    All procedures are deterministic from [Config.t.seed]. *)
+
+type operator_row = {
+  op : Mutsamp_mutation.Operator.t;
+  mutant_count : int;
+  metric : Mutsamp_sampling.Nlfce.t;
+}
+
+type table1_row = { circuit : string; per_operator : operator_row list }
+
+val operator_efficiency :
+  ?config:Config.t ->
+  ?operators:Mutsamp_mutation.Operator.t list ->
+  Pipeline.t ->
+  name:string ->
+  table1_row
+(** Default operator set: the paper's LOR, VR, CVR, CR. Operators with
+    no mutants on the circuit are skipped (like CR in the paper when a
+    description declares no constant). *)
+
+val average_table1 : table1_row list -> table1_row
+(** Field-wise mean of several runs of the same circuit (same operator
+    sets). Raises [Invalid_argument] on the empty list. *)
+
+val operator_efficiency_avg :
+  ?config:Config.t ->
+  ?operators:Mutsamp_mutation.Operator.t list ->
+  ?repetitions:int ->
+  Pipeline.t ->
+  name:string ->
+  table1_row
+(** {!operator_efficiency} repeated with independent derived seeds
+    (default 3) and averaged. *)
+
+val weights_of_table1 : table1_row -> (Mutsamp_mutation.Operator.t * float) list
+(** Efficiency-proportional weights with bounded skew: a class at the
+    best measured NLFCE weighs 8x a zero-efficiency class, and every
+    measured class keeps a strictly positive weight. Derive the row
+    with [~operators:Operator.all] so unmeasured classes are not
+    starved during sampling. *)
+
+type strategy_result = {
+  strategy : string;
+  sampled_count : int;
+  ms : Mutsamp_validation.Score.t;
+  metric : Mutsamp_sampling.Nlfce.t;
+  validation_vectors : int;
+}
+
+type table2_row = {
+  circuit : string;
+  random : strategy_result;
+  oriented : strategy_result;
+}
+
+val sampling_comparison :
+  ?config:Config.t ->
+  Pipeline.t ->
+  name:string ->
+  weights:(Mutsamp_mutation.Operator.t * float) list ->
+  equivalents:int list ->
+  table2_row
+(** Both strategies sample the same number of mutants
+    ([config.sample_rate], 10 % by default); MS is computed on the
+    whole population with the supplied equivalent-mutant indices
+    (see {!Pipeline.classify_equivalents}). *)
+
+type table2_average = {
+  circuit : string;
+  repetitions : int;
+  oriented_ms_mean : float;
+  random_ms_mean : float;
+  oriented_nlfce_mean : float;
+  random_nlfce_mean : float;
+  oriented_nlfce_median : float;
+      (** NLFCE is a product of two gains, so a single outlier run can
+          dominate the mean; the median is the robust summary *)
+  random_nlfce_median : float;
+  oriented_ms_wins : int;  (** repetitions where oriented MS ≥ random MS *)
+  oriented_nlfce_wins : int;
+  sampled_count : int;
+}
+
+val sampling_comparison_avg :
+  ?config:Config.t ->
+  ?repetitions:int ->
+  Pipeline.t ->
+  name:string ->
+  weights:(Mutsamp_mutation.Operator.t * float) list ->
+  equivalents:int list ->
+  table2_average
+(** {!sampling_comparison} repeated with independent derived seeds
+    (default 5) and averaged — the single-run comparison is noisy on
+    small circuits, and the paper's claim concerns the strategies'
+    expected behaviour. *)
+
+type atpg_row = {
+  seed_kind : string;  (** "none", "random" or "mutation" *)
+  report : Mutsamp_atpg.Topoff.report;
+}
+
+val atpg_effort :
+  ?config:Config.t ->
+  ?engine:Mutsamp_atpg.Topoff.engine ->
+  Pipeline.t ->
+  name:string ->
+  mutation_sequences:Mutsamp_hdl.Sim.stimulus list list ->
+  atpg_row list
+(** Sequential circuits are full-scanned; the mutation seed is replayed
+    into scan patterns with {!Pipeline.scan_codes_of_sequences}. The
+    random seed has the same length as the mutation seed. [engine]
+    defaults to PODEM; use [Use_sat] for XOR-dominated circuits
+    (e.g. c499) where PODEM's search degenerates. *)
+
+val ms_vs_rate :
+  ?config:Config.t ->
+  Pipeline.t ->
+  name:string ->
+  weights:(Mutsamp_mutation.Operator.t * float) list ->
+  equivalents:int list ->
+  rates:float list ->
+  (float * float * float) list
+(** [(rate, ms_random, ms_oriented)] per requested rate. *)

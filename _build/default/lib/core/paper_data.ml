@@ -1,0 +1,71 @@
+module Operator = Mutsamp_mutation.Operator
+
+type table1_entry = {
+  circuit : string;
+  operator : Operator.t;
+  delta_fc : float;
+  delta_l : float;
+  nlfce : float;
+}
+
+let table1 =
+  [
+    { circuit = "b01"; operator = Operator.LOR; delta_fc = 0.66; delta_l = 10.84; nlfce = 7.16 };
+    { circuit = "b01"; operator = Operator.VR; delta_fc = 1.36; delta_l = 17.43; nlfce = 23.7 };
+    { circuit = "b01"; operator = Operator.CVR; delta_fc = 1.72; delta_l = 18.81; nlfce = 32.3 };
+    { circuit = "b01"; operator = Operator.CR; delta_fc = 2.32; delta_l = 37.60; nlfce = 87.3 };
+    { circuit = "b03"; operator = Operator.VR; delta_fc = 4.10; delta_l = 28.39; nlfce = 116. };
+    { circuit = "b03"; operator = Operator.CVR; delta_fc = 8.08; delta_l = 55.29; nlfce = 447. };
+    { circuit = "b03"; operator = Operator.CR; delta_fc = 9.57; delta_l = 49.89; nlfce = 477. };
+    { circuit = "c432"; operator = Operator.LOR; delta_fc = 4.14; delta_l = 32.35; nlfce = 134. };
+    { circuit = "c432"; operator = Operator.VR; delta_fc = 9.40; delta_l = 56.62; nlfce = 532. };
+    { circuit = "c432"; operator = Operator.CVR; delta_fc = 11.67; delta_l = 81.86; nlfce = 955. };
+    { circuit = "c499"; operator = Operator.LOR; delta_fc = 4.72; delta_l = 64.26; nlfce = 303. };
+    { circuit = "c499"; operator = Operator.VR; delta_fc = 6.18; delta_l = 73.10; nlfce = 452. };
+    { circuit = "c499"; operator = Operator.CVR; delta_fc = 4.53; delta_l = 84.96; nlfce = 385. };
+  ]
+
+type table2_entry = {
+  circuit : string;
+  oriented_ms : float;
+  oriented_nlfce : float;
+  random_ms : float;
+  random_nlfce : float;
+}
+
+let table2 =
+  [
+    { circuit = "b01"; oriented_ms = 85.98; oriented_nlfce = 340.; random_ms = 83.71; random_nlfce = 278. };
+    { circuit = "b03"; oriented_ms = 64.16; oriented_nlfce = 1089.; random_ms = 62.22; random_nlfce = 712. };
+    { circuit = "c432"; oriented_ms = 88.18; oriented_nlfce = 708.; random_ms = 85.62; random_nlfce = 419. };
+    { circuit = "c499"; oriented_ms = 94.75; oriented_nlfce = 518.; random_ms = 90.32; random_nlfce = 500. };
+  ]
+
+let c432_sampled_mutants = 77
+
+let published_weights circuit =
+  let measured =
+    List.filter_map
+      (fun (e : table1_entry) ->
+        if e.circuit = circuit then Some (e.operator, e.nlfce) else None)
+      table1
+  in
+  let best = List.fold_left (fun acc (_, v) -> Float.max acc v) 0. measured in
+  List.map
+    (fun op ->
+      match List.assoc_opt op measured with
+      | Some v when best > 0. -> (op, 1. +. (7. *. Float.max v 0. /. best))
+      | Some _ | None -> (op, 1.))
+    Operator.all
+
+let table1_ordering_holds measured circuit =
+  ignore circuit;
+  match List.assoc_opt Operator.LOR measured with
+  | None -> true  (* no LOR mutants on this circuit: nothing to check *)
+  | Some lor_value ->
+    List.for_all
+      (fun (op, v) -> Operator.equal op Operator.LOR || v >= lor_value)
+      (List.filter
+         (fun (op, _) ->
+           List.exists (Operator.equal op) [ Operator.LOR; Operator.VR; Operator.CVR; Operator.CR ])
+         measured)

@@ -1,0 +1,42 @@
+(** The numbers published in the paper, embedded for side-by-side
+    comparison in the bench harness and EXPERIMENTS.md. *)
+
+type table1_entry = {
+  circuit : string;
+  operator : Mutsamp_mutation.Operator.t;
+  delta_fc : float;
+  delta_l : float;
+  nlfce : float;
+}
+
+val table1 : table1_entry list
+(** Paper Table 1: operator fault-coverage efficiency. *)
+
+type table2_entry = {
+  circuit : string;
+  oriented_ms : float;
+  oriented_nlfce : float;
+  random_ms : float;
+  random_nlfce : float;
+}
+
+val table2 : table2_entry list
+(** Paper Table 2: test-oriented vs random 10 % sampling. *)
+
+val c432_sampled_mutants : int
+(** The paper states 77 mutants were sampled for c432 at 10 %. *)
+
+val published_weights :
+  string -> (Mutsamp_mutation.Operator.t * float) list
+(** Sampling weights derived from the PAPER's Table 1 NLFCE for the
+    given circuit (same bounded-skew formula the measured weights use;
+    operators the paper did not measure get weight 1). Lets Table 2 be
+    rerun with the authors' efficiency profile instead of ours,
+    isolating "does the strategy transfer" from "do the efficiency
+    estimates transfer". *)
+
+val table1_ordering_holds :
+  (Mutsamp_mutation.Operator.t * float) list -> string -> bool
+(** Check the paper's qualitative claim on measured data: for the given
+    circuit, LOR (when present) has the lowest NLFCE among the paper's
+    four operators. *)

@@ -1,0 +1,113 @@
+module Ast = Mutsamp_hdl.Ast
+module Sim = Mutsamp_hdl.Sim
+module Check = Mutsamp_hdl.Check
+module Stimuli = Mutsamp_hdl.Stimuli
+module Bitvec = Mutsamp_util.Bitvec
+module Prng = Mutsamp_util.Prng
+module Netlist = Mutsamp_netlist.Netlist
+module Bitsim = Mutsamp_netlist.Bitsim
+module Lower = Mutsamp_synth.Lower
+module Mapping = Mutsamp_synth.Mapping
+module Flow = Mutsamp_synth.Flow
+module Fault = Mutsamp_fault.Fault
+module Collapse = Mutsamp_fault.Collapse
+module Fsim = Mutsamp_fault.Fsim
+module Mutant = Mutsamp_mutation.Mutant
+module Generate = Mutsamp_mutation.Generate
+module Kill = Mutsamp_mutation.Kill
+module Equivalence = Mutsamp_mutation.Equivalence
+module Equiv = Mutsamp_sat.Equiv
+
+type t = {
+  design : Ast.design;
+  netlist : Netlist.t;
+  mapping : Mapping.t;
+  faults : Fault.t list;
+  mutants : Mutant.t list;
+  sequential : bool;
+}
+
+let prepare design =
+  let netlist, mapping = Flow.synthesize_mapped design in
+  let collapse = Collapse.run netlist in
+  {
+    design;
+    netlist;
+    mapping;
+    faults = collapse.Collapse.representatives;
+    mutants = Generate.all design;
+    sequential = not (Check.is_combinational design);
+  }
+
+let code_of_stimulus t stimulus =
+  let bits =
+    List.concat_map
+      (fun (dc : Ast.decl) ->
+        match List.assoc_opt dc.name stimulus with
+        | None -> invalid_arg ("Pipeline.code_of_stimulus: missing input " ^ dc.name)
+        | Some bv ->
+          List.init dc.width (fun i ->
+              (Lower.bit_name dc.name dc.width i, Bitvec.bit bv i)))
+      (Ast.inputs t.design)
+  in
+  Fsim.input_code t.netlist bits
+
+let codes_of_sequences t sequences =
+  Array.of_list (List.map (code_of_stimulus t) (List.concat sequences))
+
+let fault_simulate t sequence = Fsim.run_auto t.netlist ~faults:t.faults ~sequence
+
+let scan_codes_of_sequences t sequences =
+  if not t.sequential then codes_of_sequences t sequences
+  else begin
+    let sim = Bitsim.create t.netlist in
+    Bitsim.reset sim;
+    let n_in = Array.length t.netlist.Netlist.input_nets in
+    let codes = ref [] in
+    List.iter
+      (fun stim ->
+        let state = Bitsim.dff_states sim in
+        let pi_code = code_of_stimulus t stim in
+        (* Scan pattern layout matches Scan.full_scan: original inputs
+           first, then the flip-flops in dff_nets order. *)
+        let code = ref pi_code in
+        Array.iteri
+          (fun k word -> if word land 1 = 1 then code := !code lor (1 lsl (n_in + k)))
+          state;
+        codes := !code :: !codes;
+        ignore (Bitsim.step sim (Mapping.pack_stimulus t.mapping stim)))
+      (List.concat sequences);
+    Array.of_list (List.rev !codes)
+  end
+
+let classify_equivalents ?(screen = 512) ~seed t =
+  let mutants = Array.of_list t.mutants in
+  let runner = Kill.make t.design t.mutants in
+  let prng = Prng.create seed in
+  (* Phase 1: random screening kills the easy mutants cheaply. *)
+  let seq_len = if t.sequential then 16 else 1 in
+  let n_seqs = max 1 (screen / seq_len) in
+  let sequences =
+    List.init n_seqs (fun _ -> Stimuli.random_sequence prng t.design seq_len)
+  in
+  let flags = Kill.killed_set runner sequences in
+  let survivors =
+    List.filter (fun i -> not flags.(i)) (List.init (Array.length mutants) Fun.id)
+  in
+  (* Phase 2: exact checks on the survivors. *)
+  let exact i =
+    let m = mutants.(i) in
+    if t.sequential then
+      match Equivalence.check t.design m.Mutant.design with
+      | Equivalence.Equivalent -> true
+      | Equivalence.Distinguished _ | Equivalence.Unknown -> false
+    else begin
+      (* SAT miter over the synthesised netlists. *)
+      let mutant_nl = Flow.synthesize m.Mutant.design in
+      match Equiv.check t.netlist mutant_nl with
+      | Equiv.Equivalent -> true
+      | Equiv.Counterexample _ -> false
+      | exception Equiv.Equiv_error _ -> false
+    end
+  in
+  List.filter exact survivors

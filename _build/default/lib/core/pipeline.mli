@@ -1,0 +1,49 @@
+(** The prepared form of one benchmark: behavioural design, synthesised
+    netlist, port mapping, collapsed fault list and mutant population —
+    everything the experiments consume. Also the conversions between
+    word-level validation data and the structural tools' pattern
+    codes. *)
+
+type t = {
+  design : Mutsamp_hdl.Ast.design;
+  netlist : Mutsamp_netlist.Netlist.t;
+  mapping : Mutsamp_synth.Mapping.t;
+  faults : Mutsamp_fault.Fault.t list;  (** collapsed representatives *)
+  mutants : Mutsamp_mutation.Mutant.t list;
+  sequential : bool;
+}
+
+val prepare : Mutsamp_hdl.Ast.design -> t
+(** Synthesise, collapse faults, enumerate mutants. *)
+
+val code_of_stimulus : t -> Mutsamp_hdl.Sim.stimulus -> int
+(** Pattern code over the netlist's bit-level inputs. *)
+
+val codes_of_sequences : t -> Mutsamp_hdl.Sim.stimulus list list -> int array
+(** Concatenate validation sequences into one structural test sequence
+    (applied from reset; sequence boundaries are not reset — the
+    standard single-sequence test-application model, noted in
+    DESIGN.md). *)
+
+val fault_simulate : t -> int array -> Mutsamp_fault.Fsim.report
+(** Parallel-pattern engine for combinational circuits, serial engine
+    from reset for sequential ones, over the collapsed fault list. *)
+
+val scan_codes_of_sequences :
+  t -> Mutsamp_hdl.Sim.stimulus list list -> int array
+(** Replay the sequences on the netlist and emit one full-scan pattern
+    per cycle (primary inputs plus the state the cycle starts from) —
+    the seed format for {!Mutsamp_atpg.Topoff} on scanned sequential
+    circuits. For combinational circuits this equals
+    {!codes_of_sequences}. *)
+
+val classify_equivalents :
+  ?screen:int -> seed:int -> t -> int list
+(** Indices (into [mutants]) of the mutants that are provably
+    equivalent to the design. A random screen of [screen] vectors
+    (default 512) removes obviously killable mutants; survivors are
+    settled exactly — SAT miter over the synthesised netlists for
+    combinational designs, product-machine BFS for sequential ones.
+    Mutants whose exact check blows its budget are treated as
+    non-equivalent (conservative; they deflate MS rather than inflate
+    it). *)

@@ -1,0 +1,155 @@
+module Table = Mutsamp_util.Table
+module Operator = Mutsamp_mutation.Operator
+module Nlfce = Mutsamp_sampling.Nlfce
+module Score = Mutsamp_validation.Score
+module Topoff = Mutsamp_atpg.Topoff
+
+let f2 = Printf.sprintf "%.2f"
+let f1s = Printf.sprintf "%+.1f"
+
+let table1 rows =
+  let t =
+    Table.create
+      [ "Circuit"; "Operator"; "Mutants"; "L_m"; "MFC%"; "dFC%"; "dL%"; "NLFCE" ]
+  in
+  List.iter
+    (fun (row : Experiments.table1_row) ->
+      List.iter
+        (fun (r : Experiments.operator_row) ->
+          Table.add_row t
+            [
+              row.Experiments.circuit;
+              Operator.name r.Experiments.op;
+              string_of_int r.Experiments.mutant_count;
+              string_of_int r.Experiments.metric.Nlfce.mutation_length;
+              f2 r.Experiments.metric.Nlfce.mfc;
+              f2 r.Experiments.metric.Nlfce.delta_fc_percent;
+              f2 r.Experiments.metric.Nlfce.delta_l_percent;
+              f1s r.Experiments.metric.Nlfce.nlfce;
+            ])
+        row.Experiments.per_operator;
+      Table.add_separator t)
+    rows;
+  Table.render t
+
+let table2 rows =
+  let t =
+    Table.create
+      [ "Circuit"; "Strategy"; "Sampled"; "Vectors"; "MS%"; "NLFCE" ]
+  in
+  List.iter
+    (fun (row : Experiments.table2_row) ->
+      let strategy (s : Experiments.strategy_result) =
+        Table.add_row t
+          [
+            row.Experiments.circuit;
+            s.Experiments.strategy;
+            string_of_int s.Experiments.sampled_count;
+            string_of_int s.Experiments.validation_vectors;
+            f2 s.Experiments.ms.Score.score_percent;
+            f1s s.Experiments.metric.Nlfce.nlfce;
+          ]
+      in
+      strategy row.Experiments.oriented;
+      strategy row.Experiments.random;
+      Table.add_separator t)
+    rows;
+  Table.render t
+
+let table2_average rows =
+  let t =
+    Table.create
+      [
+        "Circuit"; "Reps"; "Sampled"; "MS% oriented"; "MS% random"; "MS wins";
+        "NLFCE orient (med)"; "NLFCE random (med)"; "NLFCE wins";
+      ]
+  in
+  List.iter
+    (fun (r : Experiments.table2_average) ->
+      Table.add_row t
+        [
+          r.Experiments.circuit;
+          string_of_int r.Experiments.repetitions;
+          string_of_int r.Experiments.sampled_count;
+          f2 r.Experiments.oriented_ms_mean;
+          f2 r.Experiments.random_ms_mean;
+          Printf.sprintf "%d/%d" r.Experiments.oriented_ms_wins r.Experiments.repetitions;
+          Printf.sprintf "%s (%s)"
+            (f1s r.Experiments.oriented_nlfce_mean)
+            (f1s r.Experiments.oriented_nlfce_median);
+          Printf.sprintf "%s (%s)"
+            (f1s r.Experiments.random_nlfce_mean)
+            (f1s r.Experiments.random_nlfce_median);
+          Printf.sprintf "%d/%d" r.Experiments.oriented_nlfce_wins r.Experiments.repetitions;
+        ])
+    rows;
+  Table.render t
+
+let paper_table1 () =
+  let t = Table.create [ "Circuit"; "Operator"; "dFC%"; "dL%"; "NLFCE" ] in
+  List.iter
+    (fun (e : Paper_data.table1_entry) ->
+      Table.add_row t
+        [
+          e.Paper_data.circuit;
+          Operator.name e.Paper_data.operator;
+          f2 e.Paper_data.delta_fc;
+          f2 e.Paper_data.delta_l;
+          f1s e.Paper_data.nlfce;
+        ])
+    Paper_data.table1;
+  Table.render t
+
+let paper_table2 () =
+  let t =
+    Table.create
+      [ "Circuit"; "MS% oriented"; "NLFCE oriented"; "MS% random"; "NLFCE random" ]
+  in
+  List.iter
+    (fun (e : Paper_data.table2_entry) ->
+      Table.add_row t
+        [
+          e.Paper_data.circuit;
+          f2 e.Paper_data.oriented_ms;
+          f1s e.Paper_data.oriented_nlfce;
+          f2 e.Paper_data.random_ms;
+          f1s e.Paper_data.random_nlfce;
+        ])
+    Paper_data.table2;
+  Table.render t
+
+let atpg_effort ~circuit rows =
+  let t =
+    Table.create
+      [
+        "Circuit"; "Seed"; "SeedVec"; "SeedDet"; "RandVec"; "ATPG calls";
+        "ATPG vec"; "Untestable"; "Aborted"; "FC%";
+      ]
+  in
+  List.iter
+    (fun (r : Experiments.atpg_row) ->
+      let rep = r.Experiments.report in
+      Table.add_row t
+        [
+          circuit;
+          r.Experiments.seed_kind;
+          string_of_int rep.Topoff.seed_patterns;
+          string_of_int rep.Topoff.seed_detected;
+          string_of_int rep.Topoff.random_patterns;
+          string_of_int rep.Topoff.atpg_calls;
+          string_of_int rep.Topoff.atpg_patterns;
+          string_of_int rep.Topoff.untestable;
+          string_of_int rep.Topoff.aborted;
+          f2 rep.Topoff.final_coverage_percent;
+        ])
+    rows;
+  Table.render t
+
+let ms_vs_rate ~circuit rows =
+  let t = Table.create [ "Circuit"; "Rate"; "MS% random"; "MS% oriented" ] in
+  List.iter
+    (fun (rate, ms_random, ms_oriented) ->
+      Table.add_row t
+        [ circuit; Printf.sprintf "%.0f%%" (100. *. rate); f2 ms_random; f2 ms_oriented ])
+    rows;
+  Table.render t

@@ -1,0 +1,26 @@
+(** Paper-style table rendering of experiment results. *)
+
+val table1 : Experiments.table1_row list -> string
+(** The reproduction of the paper's Table 1: circuit, operator, ΔFC%,
+    ΔL%, NLFCE (plus mutant counts and lengths, which the paper
+    discusses but does not tabulate). *)
+
+val table2 : Experiments.table2_row list -> string
+(** The reproduction of Table 2: test-oriented vs random sampling,
+    MS% and NLFCE per circuit. *)
+
+val table2_average : Experiments.table2_average list -> string
+(** Averaged Table 2 with win counts (see
+    {!Experiments.sampling_comparison_avg}). *)
+
+val paper_table1 : unit -> string
+(** The paper's published Table 1, for side-by-side comparison. *)
+
+val paper_table2 : unit -> string
+(** The paper's published Table 2. *)
+
+val atpg_effort : circuit:string -> Experiments.atpg_row list -> string
+(** Experiment E3: ATPG effort per seeding policy. *)
+
+val ms_vs_rate : circuit:string -> (float * float * float) list -> string
+(** Ablation A1: MS per sample rate for the two strategies. *)

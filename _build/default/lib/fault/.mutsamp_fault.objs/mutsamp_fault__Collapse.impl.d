@@ -1,0 +1,1 @@
+lib/fault/collapse.ml: Array Fault Hashtbl List Mutsamp_netlist Stdlib

@@ -1,0 +1,1 @@
+lib/fault/compact.ml: Array Fsim Hashtbl List Mutsamp_netlist

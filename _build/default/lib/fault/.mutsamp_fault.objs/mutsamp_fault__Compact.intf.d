@@ -1,0 +1,1 @@
+lib/fault/compact.mli: Fault Mutsamp_netlist

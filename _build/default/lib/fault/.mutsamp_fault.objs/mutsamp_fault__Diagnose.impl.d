@@ -1,0 +1,1 @@
+lib/fault/diagnose.ml: Array Fault List Mutsamp_netlist

@@ -1,0 +1,1 @@
+lib/fault/diagnose.mli: Fault Mutsamp_netlist

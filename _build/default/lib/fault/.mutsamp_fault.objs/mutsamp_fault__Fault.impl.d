@@ -1,0 +1,1 @@
+lib/fault/fault.ml: Array Format List Mutsamp_netlist Printf Stdlib

@@ -1,0 +1,1 @@
+lib/fault/fsim.ml: Array Fault List Mutsamp_netlist

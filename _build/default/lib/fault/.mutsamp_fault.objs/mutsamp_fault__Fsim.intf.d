@@ -1,0 +1,1 @@
+lib/fault/fsim.mli: Fault Mutsamp_netlist

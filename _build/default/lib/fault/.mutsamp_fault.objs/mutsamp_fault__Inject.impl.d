@@ -1,0 +1,1 @@
+lib/fault/inject.ml: Array Fault List Mutsamp_netlist

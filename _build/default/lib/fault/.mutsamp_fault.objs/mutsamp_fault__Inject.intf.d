@@ -1,0 +1,1 @@
+lib/fault/inject.mli: Fault Mutsamp_netlist

@@ -1,0 +1,62 @@
+module Netlist = Mutsamp_netlist.Netlist
+
+let reverse_order nl ~faults ~patterns =
+  let n = Array.length patterns in
+  let kept = ref [] in
+  let remaining = ref faults in
+  let i = ref (n - 1) in
+  while !i >= 0 && !remaining <> [] do
+    let p = patterns.(!i) in
+    let r = Fsim.run_combinational nl ~faults:!remaining ~patterns:[| p |] in
+    if r.Fsim.detected > 0 then begin
+      kept := p :: !kept;
+      remaining :=
+        Array.to_list r.Fsim.detections
+        |> List.filter_map (fun (d : Fsim.detection) ->
+               match d.Fsim.detected_at with
+               | None -> Some d.Fsim.fault
+               | Some _ -> None)
+    end;
+    decr i
+  done;
+  Array.of_list !kept
+
+let greedy_cover nl ~faults ~patterns =
+  (* Detection sets per pattern, over the faults the full set detects. *)
+  let full = Fsim.run_combinational nl ~faults ~patterns in
+  let detectable =
+    Array.to_list full.Fsim.detections
+    |> List.filter_map (fun (d : Fsim.detection) ->
+           match d.Fsim.detected_at with
+           | Some _ -> Some d.Fsim.fault
+           | None -> None)
+  in
+  let detects_of p =
+    let r = Fsim.run_combinational nl ~faults:detectable ~patterns:[| p |] in
+    Array.to_list r.Fsim.detections
+    |> List.filter_map (fun (d : Fsim.detection) ->
+           match d.Fsim.detected_at with
+           | Some _ -> Some d.Fsim.fault
+           | None -> None)
+  in
+  let sets = Array.map detects_of patterns in
+  let uncovered = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace uncovered f ()) detectable;
+  let kept = ref [] in
+  while Hashtbl.length uncovered > 0 do
+    let best = ref (-1) and best_count = ref 0 in
+    Array.iteri
+      (fun k set ->
+        let fresh = List.length (List.filter (Hashtbl.mem uncovered) set) in
+        if fresh > !best_count then begin
+          best := k;
+          best_count := fresh
+        end)
+      sets;
+    if !best < 0 then Hashtbl.reset uncovered  (* unreachable: safety *)
+    else begin
+      kept := patterns.(!best) :: !kept;
+      List.iter (Hashtbl.remove uncovered) sets.(!best)
+    end
+  done;
+  Array.of_list (List.rev !kept)

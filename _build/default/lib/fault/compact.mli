@@ -1,0 +1,25 @@
+(** Static test-set compaction for combinational pattern sets.
+
+    Two classical procedures:
+    - {!reverse_order}: fault-simulate the patterns in reverse order
+      with fault dropping and keep only the patterns that detect
+      something new — cheap and surprisingly effective because late
+      deterministic patterns tend to cover many of the early random
+      ones;
+    - {!greedy_cover}: full greedy set cover over the
+      pattern-by-fault detection matrix — slower, smaller result.
+
+    Both preserve coverage exactly (same detected fault set), which the
+    test suite checks. *)
+
+val reverse_order :
+  Mutsamp_netlist.Netlist.t ->
+  faults:Fault.t list ->
+  patterns:int array ->
+  int array
+
+val greedy_cover :
+  Mutsamp_netlist.Netlist.t ->
+  faults:Fault.t list ->
+  patterns:int array ->
+  int array

@@ -1,0 +1,89 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Bitsim = Mutsamp_netlist.Bitsim
+
+type observation = { pattern : int; response : int }
+
+type verdict = { fault : Fault.t; matches : int; explains : bool }
+
+let words_of_code nl code =
+  Array.init (Array.length nl.Netlist.input_nets) (fun k ->
+      if (code lsr k) land 1 = 1 then Bitsim.all_ones else 0)
+
+let response_of_outputs outs =
+  let code = ref 0 in
+  Array.iteri (fun k w -> if w land 1 = 1 then code := !code lor (1 lsl k)) outs;
+  !code
+
+let simulate_response nl fault code =
+  let sim = Bitsim.create nl in
+  let words = words_of_code nl code in
+  let outs =
+    match fault with
+    | None -> Bitsim.step sim words
+    | Some f ->
+      Bitsim.step_injected sim words ~inj:(Fault.injection f) ~stuck:(Fault.stuck_word f)
+  in
+  response_of_outputs outs
+
+let rank nl ~candidates ~observations =
+  if observations = [] then invalid_arg "Diagnose.rank: no observations";
+  if Netlist.num_dffs nl > 0 then invalid_arg "Diagnose.rank: sequential netlist";
+  let sim = Bitsim.create nl in
+  let n_obs = List.length observations in
+  let verdicts =
+    List.map
+      (fun f ->
+        let matches =
+          List.fold_left
+            (fun acc { pattern; response } ->
+              let outs =
+                Bitsim.step_injected sim (words_of_code nl pattern)
+                  ~inj:(Fault.injection f) ~stuck:(Fault.stuck_word f)
+              in
+              if response_of_outputs outs = response then acc + 1 else acc)
+            0 observations
+        in
+        { fault = f; matches; explains = matches = n_obs })
+      candidates
+  in
+  List.stable_sort (fun a b -> compare b.matches a.matches) verdicts
+
+let perfect_matches nl ~candidates ~observations =
+  rank nl ~candidates ~observations
+  |> List.filter (fun v -> v.explains)
+  |> List.map (fun v -> v.fault)
+
+type dictionary = {
+  dict_patterns : int array;
+  entries : (Fault.t * int array) array;  (* fault, response per pattern *)
+}
+
+let build nl ~candidates ~patterns =
+  if Netlist.num_dffs nl > 0 then invalid_arg "Diagnose.build: sequential netlist";
+  let sim = Bitsim.create nl in
+  let entries =
+    Array.of_list
+      (List.map
+         (fun f ->
+           let responses =
+             Array.map
+               (fun code ->
+                 let outs =
+                   Bitsim.step_injected sim (words_of_code nl code)
+                     ~inj:(Fault.injection f) ~stuck:(Fault.stuck_word f)
+                 in
+                 response_of_outputs outs)
+               patterns
+           in
+           (f, responses))
+         candidates)
+  in
+  { dict_patterns = Array.copy patterns; entries }
+
+let dictionary_patterns d = Array.copy d.dict_patterns
+
+let lookup d ~responses =
+  if Array.length responses <> Array.length d.dict_patterns then
+    invalid_arg "Diagnose.lookup: response count does not match dictionary";
+  Array.to_list d.entries
+  |> List.filter_map (fun (f, stored) -> if stored = responses then Some f else None)

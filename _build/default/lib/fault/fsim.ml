@@ -1,0 +1,231 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Bitsim = Mutsamp_netlist.Bitsim
+
+type detection = { fault : Fault.t; detected_at : int option }
+
+type report = {
+  total : int;
+  detected : int;
+  detections : detection array;
+  patterns_applied : int;
+}
+
+let coverage_percent r =
+  if r.total = 0 then 0. else 100. *. float_of_int r.detected /. float_of_int r.total
+
+let coverage_at r n =
+  if r.total = 0 then 0.
+  else begin
+    let hit = ref 0 in
+    Array.iter
+      (fun d -> match d.detected_at with Some k when k < n -> incr hit | _ -> ())
+      r.detections;
+    100. *. float_of_int !hit /. float_of_int r.total
+  end
+
+let coverage_curve r =
+  (* Counting sort over first-detection indices gives the whole curve in
+     one pass. *)
+  let hits = Array.make (r.patterns_applied + 1) 0 in
+  Array.iter
+    (fun d ->
+      match d.detected_at with
+      | Some k when k < r.patterns_applied -> hits.(k + 1) <- hits.(k + 1) + 1
+      | Some _ | None -> ())
+    r.detections;
+  let acc = ref 0 in
+  List.init (r.patterns_applied + 1) (fun n ->
+      acc := !acc + hits.(n);
+      let cov =
+        if r.total = 0 then 0. else 100. *. float_of_int !acc /. float_of_int r.total
+      in
+      (n, cov))
+
+let length_to_reach r target =
+  let rec scan = function
+    | [] -> None
+    | (n, cov) :: rest -> if cov >= target -. 1e-9 then Some n else scan rest
+  in
+  scan (coverage_curve r)
+
+(* Spread a pattern code over the per-input words: lane [lane] of input
+   [k] receives bit [k] of the code. *)
+let pack_patterns nl (patterns : int array) lo len =
+  let n_in = Array.length nl.Netlist.input_nets in
+  let words = Array.make n_in 0 in
+  for lane = 0 to len - 1 do
+    let code = patterns.(lo + lane) in
+    for k = 0 to n_in - 1 do
+      if (code lsr k) land 1 = 1 then words.(k) <- words.(k) lor (1 lsl lane)
+    done
+  done;
+  words
+
+let replicate_code nl code =
+  Array.init (Array.length nl.Netlist.input_nets) (fun k ->
+      if (code lsr k) land 1 = 1 then Bitsim.all_ones else 0)
+
+let run_combinational nl ~faults ~patterns =
+  if Netlist.num_dffs nl > 0 then
+    invalid_arg "Fsim.run_combinational: netlist has flip-flops";
+  if Array.length nl.Netlist.input_nets > Bitsim.lanes then
+    invalid_arg "Fsim.run_combinational: too many input bits for pattern codes";
+  let faults = Array.of_list faults in
+  let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
+  let alive = Array.init (Array.length faults) (fun i -> i) in
+  let alive_count = ref (Array.length faults) in
+  let sim = Bitsim.create nl in
+  let n_pat = Array.length patterns in
+  let batches = (n_pat + Bitsim.lanes - 1) / Bitsim.lanes in
+  let batch = ref 0 in
+  while !batch < batches && !alive_count > 0 do
+    let lo = !batch * Bitsim.lanes in
+    let len = min Bitsim.lanes (n_pat - lo) in
+    let words = pack_patterns nl patterns lo len in
+    let lane_mask = if len = Bitsim.lanes then Bitsim.all_ones else (1 lsl len) - 1 in
+    let good = Bitsim.step sim words in
+    let k = ref 0 in
+    while !k < !alive_count do
+      let fi = alive.(!k) in
+      let f = faults.(fi) in
+      let faulty =
+        Bitsim.step_injected sim words ~inj:(Fault.injection f) ~stuck:(Fault.stuck_word f)
+      in
+      let diff = ref 0 in
+      Array.iteri (fun o w -> diff := !diff lor (w lxor good.(o))) faulty;
+      let diff = !diff land lane_mask in
+      if diff <> 0 then begin
+        (* First detecting lane = lowest set bit. *)
+        let rec lowest bit = if (diff lsr bit) land 1 = 1 then bit else lowest (bit + 1) in
+        let lane = lowest 0 in
+        detections.(fi) <- { detections.(fi) with detected_at = Some (lo + lane) };
+        (* Drop: swap with the last alive fault. *)
+        alive_count := !alive_count - 1;
+        alive.(!k) <- alive.(!alive_count);
+        alive.(!alive_count) <- fi
+      end
+      else incr k
+    done;
+    incr batch
+  done;
+  {
+    total = Array.length faults;
+    detected = Array.length faults - !alive_count;
+    detections;
+    patterns_applied = n_pat;
+  }
+
+let run_sequential nl ~faults ~sequence =
+  if Array.length nl.Netlist.input_nets > Bitsim.lanes then
+    invalid_arg "Fsim.run_sequential: too many input bits for pattern codes";
+  let faults = Array.of_list faults in
+  let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
+  let sim_good = Bitsim.create nl in
+  Bitsim.reset sim_good;
+  let good_outputs =
+    Array.map
+      (fun code -> Bitsim.step sim_good (replicate_code nl code))
+      sequence
+  in
+  let sim_faulty = Bitsim.create nl in
+  Array.iteri
+    (fun fi f ->
+      Bitsim.reset sim_faulty;
+      let inj = Fault.injection f and stuck = Fault.stuck_word f in
+      (* A stem fault on a flip-flop output also corrupts the reset
+         state, which [step_injected] applies from the first cycle. *)
+      let rec cycle c =
+        if c < Array.length sequence then begin
+          let faulty =
+            Bitsim.step_injected sim_faulty (replicate_code nl sequence.(c)) ~inj ~stuck
+          in
+          if faulty <> good_outputs.(c) then
+            detections.(fi) <- { fault = f; detected_at = Some c }
+          else cycle (c + 1)
+        end
+      in
+      cycle 0)
+    faults;
+  let detected =
+    Array.fold_left
+      (fun acc d -> match d.detected_at with Some _ -> acc + 1 | None -> acc)
+      0 detections
+  in
+  {
+    total = Array.length faults;
+    detected;
+    detections;
+    patterns_applied = Array.length sequence;
+  }
+
+let run_parallel_fault nl ~faults ~sequence =
+  if Array.length nl.Netlist.input_nets > Bitsim.lanes then
+    invalid_arg "Fsim.run_parallel_fault: too many input bits for pattern codes";
+  let faults = Array.of_list faults in
+  let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
+  let group_size = Bitsim.lanes - 1 in
+  let n_groups = (Array.length faults + group_size - 1) / group_size in
+  let sim = Bitsim.create nl in
+  for g = 0 to n_groups - 1 do
+    let lo = g * group_size in
+    let len = min group_size (Array.length faults - lo) in
+    let injections =
+      List.init len (fun j ->
+          let f = faults.(lo + j) in
+          {
+            Bitsim.inj = Fault.injection f;
+            lanes = 1 lsl (j + 1);
+            stuck = Fault.stuck_word f;
+          })
+    in
+    Bitsim.reset sim;
+    let cycle = ref 0 in
+    let n_cycles = Array.length sequence in
+    while !cycle < n_cycles do
+      let outs =
+        Bitsim.step_multi sim (replicate_code nl sequence.(!cycle)) ~injections
+      in
+      (* Lanes whose outputs differ from lane 0's value. *)
+      let diff = ref 0 in
+      Array.iter
+        (fun w ->
+          let good = -(w land 1) land Bitsim.all_ones in
+          diff := !diff lor (w lxor good))
+        outs;
+      for j = 0 to len - 1 do
+        if (!diff lsr (j + 1)) land 1 = 1 then begin
+          let fi = lo + j in
+          match detections.(fi).detected_at with
+          | None -> detections.(fi) <- { detections.(fi) with detected_at = Some !cycle }
+          | Some _ -> ()
+        end
+      done;
+      incr cycle
+    done
+  done;
+  let detected =
+    Array.fold_left
+      (fun acc d -> match d.detected_at with Some _ -> acc + 1 | None -> acc)
+      0 detections
+  in
+  {
+    total = Array.length faults;
+    detected;
+    detections;
+    patterns_applied = Array.length sequence;
+  }
+
+let run_auto nl ~faults ~sequence =
+  if Netlist.num_dffs nl = 0 then run_combinational nl ~faults ~patterns:sequence
+  else run_parallel_fault nl ~faults ~sequence
+
+let input_code nl bits =
+  let names = Netlist.input_names nl in
+  let code = ref 0 in
+  Array.iteri
+    (fun k name ->
+      match List.assoc_opt name bits with
+      | Some true -> code := !code lor (1 lsl k)
+      | Some false | None -> ())
+    names;
+  !code

@@ -1,0 +1,66 @@
+(** Stuck-at fault simulation with fault dropping.
+
+    Patterns are flat integer codes over the netlist's primary inputs
+    in [input_nets] order (bit [k] of the code feeds input [k]); the
+    synthesis {!Mutsamp_synth.Mapping} layer produces them from
+    word-level stimuli via netlist input names.
+
+    Two engines:
+    - {!run_combinational}: parallel-pattern single-fault propagation,
+      62 patterns per pass, good circuit simulated once per pass;
+    - {!run_sequential}: the sequence is applied from reset to the good
+      machine once, then to each faulty machine serially, dropping the
+      fault at the first differing cycle.
+
+    Both record, per fault, the index of the first detecting pattern
+    (combinational) or cycle (sequential), which is what the coverage
+    curves of the NLFCE metric need. *)
+
+type detection = { fault : Fault.t; detected_at : int option }
+
+type report = {
+  total : int;
+  detected : int;
+  detections : detection array;  (** in fault-list order *)
+  patterns_applied : int;
+}
+
+val coverage_percent : report -> float
+(** [100 * detected / total]; 0 when the fault list is empty. *)
+
+val coverage_at : report -> int -> float
+(** Coverage achieved by the first [n] patterns/cycles alone. *)
+
+val coverage_curve : report -> (int * float) list
+(** [(n, coverage_at n)] for every prefix length [0..patterns_applied].
+    Monotone non-decreasing. *)
+
+val length_to_reach : report -> float -> int option
+(** Shortest prefix achieving at least the given coverage, if any. *)
+
+val run_combinational :
+  Mutsamp_netlist.Netlist.t -> faults:Fault.t list -> patterns:int array -> report
+(** Raises [Invalid_argument] if the netlist has flip-flops or more
+    than 62 input bits. *)
+
+val run_sequential :
+  Mutsamp_netlist.Netlist.t -> faults:Fault.t list -> sequence:int array -> report
+(** Works for combinational netlists too (each "cycle" is then an
+    independent pattern), but is serial and slower. *)
+
+val run_parallel_fault :
+  Mutsamp_netlist.Netlist.t -> faults:Fault.t list -> sequence:int array -> report
+(** Classical parallel-fault simulation: lane 0 carries the good
+    machine and each other lane one fault, so up to 61 faulty machines
+    advance per pass. Works for sequential circuits (per-lane state)
+    and combinational ones alike, and produces exactly the
+    {!run_sequential} result — the property suite checks it. *)
+
+val run_auto :
+  Mutsamp_netlist.Netlist.t -> faults:Fault.t list -> sequence:int array -> report
+(** {!run_combinational} when the netlist has no flip-flops, otherwise
+    {!run_parallel_fault}. *)
+
+val input_code : Mutsamp_netlist.Netlist.t -> (string * bool) list -> int
+(** Build a pattern code from named input bits (missing names default
+    to 0). *)

@@ -1,0 +1,44 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+
+let apply (nl : Netlist.t) (f : Fault.t) =
+  let stuck = (match f.polarity with Fault.Stuck_at_0 -> false | Fault.Stuck_at_1 -> true) in
+  match f.site with
+  | Fault.Stem net ->
+    let gates = Array.copy nl.gates in
+    (* A stuck primary input must stay a PI for interface stability: it
+       keeps its Pi gate but every sink is rewired to a constant. *)
+    (match gates.(net).Gate.kind with
+     | Gate.Pi _ ->
+       let const_gate = { Gate.kind = Gate.Const stuck; fanins = [||] } in
+       let gates = Array.append gates [| const_gate |] in
+       let const_net = Array.length gates - 1 in
+       let gates =
+         Array.map
+           (fun (g : Gate.t) ->
+             {
+               g with
+               Gate.fanins =
+                 Array.map (fun fi -> if fi = net then const_net else fi) g.fanins;
+             })
+           gates
+       in
+       let output_list =
+         Array.map
+           (fun (name, onet) -> if onet = net then (name, const_net) else (name, onet))
+           nl.output_list
+       in
+       { nl with Netlist.gates; output_list }
+     | _ ->
+       gates.(net) <- { Gate.kind = Gate.Const stuck; fanins = [||] };
+       let dff_nets = Array.of_list (List.filter (fun q -> q <> net) (Array.to_list nl.dff_nets)) in
+       { nl with Netlist.gates; dff_nets })
+  | Fault.Branch { gate; pin } ->
+    let const_gate = { Gate.kind = Gate.Const stuck; fanins = [||] } in
+    let gates = Array.append (Array.copy nl.gates) [| const_gate |] in
+    let const_net = Array.length gates - 1 in
+    let g = gates.(gate) in
+    let fanins = Array.copy g.Gate.fanins in
+    fanins.(pin) <- const_net;
+    gates.(gate) <- { g with Gate.fanins };
+    { nl with Netlist.gates }

@@ -1,0 +1,13 @@
+(** Construct the faulty version of a netlist.
+
+    Used by SAT-based ATPG (the miter of good vs faulty decides
+    testability) and by tests as an independent oracle for the
+    simulator's built-in injection. *)
+
+val apply : Mutsamp_netlist.Netlist.t -> Fault.t -> Mutsamp_netlist.Netlist.t
+(** [apply nl f] returns a netlist computing the faulty function:
+    - a stem fault replaces the driving gate with a constant;
+    - a branch fault rewires one gate input pin to a fresh constant
+      gate appended at the end.
+
+    The interface (input and output names and order) is unchanged. *)

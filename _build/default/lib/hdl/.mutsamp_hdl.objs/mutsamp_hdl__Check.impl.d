@@ -1,0 +1,1 @@
+lib/hdl/check.ml: Ast Hashtbl List Mutsamp_util Option Printf

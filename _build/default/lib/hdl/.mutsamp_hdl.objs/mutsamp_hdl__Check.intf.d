@@ -1,0 +1,1 @@
+lib/hdl/check.mli: Ast

@@ -1,0 +1,1 @@
+lib/hdl/lexer.ml: Array Char List Mutsamp_util Printf String

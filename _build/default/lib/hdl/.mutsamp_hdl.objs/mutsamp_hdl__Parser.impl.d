@@ -1,0 +1,1 @@
+lib/hdl/parser.ml: Array Ast Lexer List Mutsamp_util Printf

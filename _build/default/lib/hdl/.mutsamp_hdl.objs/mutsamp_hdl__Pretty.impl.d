@@ -1,0 +1,1 @@
+lib/hdl/pretty.ml: Ast Buffer Format List Mutsamp_util Printf String

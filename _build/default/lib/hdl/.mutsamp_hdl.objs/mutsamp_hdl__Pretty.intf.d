@@ -1,0 +1,1 @@
+lib/hdl/pretty.mli: Ast Format

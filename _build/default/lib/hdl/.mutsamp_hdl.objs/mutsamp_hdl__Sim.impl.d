@@ -1,0 +1,1 @@
+lib/hdl/sim.ml: Array Ast Check Hashtbl List Mutsamp_util Option Printf String

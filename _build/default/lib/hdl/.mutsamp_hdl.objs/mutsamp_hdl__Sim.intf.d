@@ -1,0 +1,1 @@
+lib/hdl/sim.mli: Ast Mutsamp_util

@@ -1,0 +1,1 @@
+lib/hdl/stimuli.ml: Ast List Mutsamp_util Printf

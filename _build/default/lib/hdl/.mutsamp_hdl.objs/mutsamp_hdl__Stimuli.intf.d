@@ -1,0 +1,1 @@
+lib/hdl/stimuli.mli: Ast Mutsamp_util Sim

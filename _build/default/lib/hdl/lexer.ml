@@ -1,0 +1,122 @@
+type token =
+  | IDENT of string
+  | NUM of int
+  | SIZED of int * int
+  | KW of string
+  | ASSIGN
+  | EQ | NEQ | LT | LE | GT | GE
+  | PLUS | MINUS | AMP
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | COLON | SEMI | COMMA
+  | ARROW
+  | PIPE
+  | EOF
+
+exception Lex_error of string
+
+let keywords =
+  [
+    "design"; "is"; "input"; "output"; "reg"; "var"; "const"; "begin"; "end";
+    "if"; "then"; "else"; "elsif"; "case"; "when"; "others"; "null";
+    "bit"; "unsigned"; "resize";
+    "and"; "or"; "xor"; "nand"; "nor"; "xnor"; "not";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let error line msg = raise (Lex_error (Printf.sprintf "line %d: %s" line msg))
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let rec scan i =
+    if i >= n then emit EOF
+    else
+      match src.[i] with
+      | '\n' -> incr line; scan (i + 1)
+      | ' ' | '\t' | '\r' -> scan (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        scan (skip (i + 2))
+      | '-' -> emit MINUS; scan (i + 1)
+      | '+' -> emit PLUS; scan (i + 1)
+      | '&' -> emit AMP; scan (i + 1)
+      | '(' -> emit LPAREN; scan (i + 1)
+      | ')' -> emit RPAREN; scan (i + 1)
+      | '[' -> emit LBRACKET; scan (i + 1)
+      | ']' -> emit RBRACKET; scan (i + 1)
+      | ';' -> emit SEMI; scan (i + 1)
+      | ',' -> emit COMMA; scan (i + 1)
+      | '|' -> emit PIPE; scan (i + 1)
+      | ':' when i + 1 < n && src.[i + 1] = '=' -> emit ASSIGN; scan (i + 2)
+      | ':' -> emit COLON; scan (i + 1)
+      | '=' when i + 1 < n && src.[i + 1] = '>' -> emit ARROW; scan (i + 2)
+      | '=' -> emit EQ; scan (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '=' -> emit NEQ; scan (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit LE; scan (i + 2)
+      | '<' -> emit LT; scan (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit GE; scan (i + 2)
+      | '>' -> emit GT; scan (i + 1)
+      | '\'' ->
+        (* Bit character literal: '0' or '1'. *)
+        if i + 2 < n && src.[i + 2] = '\'' && (src.[i + 1] = '0' || src.[i + 1] = '1')
+        then begin
+          emit (SIZED (1, if src.[i + 1] = '1' then 1 else 0));
+          scan (i + 3)
+        end
+        else error !line "malformed bit literal (expected '0' or '1')"
+      | c when is_digit c ->
+        let rec digits j = if j < n && is_digit src.[j] then digits (j + 1) else j in
+        let j = digits i in
+        let num = int_of_string (String.sub src i (j - i)) in
+        if j + 1 < n && src.[j] = '\'' && src.[j + 1] = 'b' then begin
+          (* Sized binary literal: <width>'b<bits>. *)
+          let rec bits k acc count =
+            if k < n && (src.[k] = '0' || src.[k] = '1') then
+              bits (k + 1) ((acc lsl 1) lor (Char.code src.[k] - Char.code '0')) (count + 1)
+            else (k, acc, count)
+          in
+          let k, value, count = bits (j + 2) 0 0 in
+          if count <> num then
+            error !line
+              (Printf.sprintf "sized literal: %d bits given, width says %d" count num);
+          if num < 1 || num > Mutsamp_util.Bitvec.max_width then
+            error !line (Printf.sprintf "sized literal: width %d out of range" num);
+          emit (SIZED (num, value));
+          scan k
+        end
+        else begin
+          emit (NUM num);
+          scan j
+        end
+      | c when is_ident_start c ->
+        let rec ident j = if j < n && is_ident_char src.[j] then ident (j + 1) else j in
+        let j = ident i in
+        let word = String.sub src i (j - i) in
+        let lower = String.lowercase_ascii word in
+        if List.mem lower keywords then emit (KW lower) else emit (IDENT word);
+        scan j
+      | c -> error !line (Printf.sprintf "illegal character %C" c)
+  in
+  scan 0;
+  Array.of_list (List.rev !tokens)
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUM v -> Printf.sprintf "number %d" v
+  | SIZED (w, v) -> Printf.sprintf "literal %d'b(%d)" w v
+  | KW s -> Printf.sprintf "keyword %S" s
+  | ASSIGN -> "':='"
+  | EQ -> "'='" | NEQ -> "'/='" | LT -> "'<'" | LE -> "'<='" | GT -> "'>'" | GE -> "'>='"
+  | PLUS -> "'+'" | MINUS -> "'-'" | AMP -> "'&'"
+  | LPAREN -> "'('" | RPAREN -> "')'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'"
+  | COLON -> "':'" | SEMI -> "';'" | COMMA -> "','"
+  | ARROW -> "'=>'"
+  | PIPE -> "'|'"
+  | EOF -> "end of input"

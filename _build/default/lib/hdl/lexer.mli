@@ -1,0 +1,35 @@
+(** Hand-written lexer for the HDL concrete syntax.
+
+    Lexical forms: identifiers (letter or underscore, then letters,
+    digits, underscores), unsized decimal literals ([13]), sized binary
+    literals ([5'b01101]), bit character literals (['0'], ['1'], sugar
+    for [1'b0] and [1'b1]), the operators and punctuation of the
+    grammar, and [--] end-of-line comments. *)
+
+type token =
+  | IDENT of string
+  | NUM of int  (** unsized decimal literal *)
+  | SIZED of int * int  (** width, value *)
+  | KW of string  (** reserved word, lowercase *)
+  | ASSIGN  (** [:=] *)
+  | EQ | NEQ | LT | LE | GT | GE
+  | PLUS | MINUS | AMP
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | COLON | SEMI | COMMA
+  | ARROW  (** [=>] *)
+  | PIPE  (** [|], separating case choices *)
+  | EOF
+
+exception Lex_error of string
+(** Message includes a 1-based line number. *)
+
+val keywords : string list
+(** All reserved words. *)
+
+val tokenize : string -> (token * int) array
+(** [tokenize src] is the token stream with 1-based line numbers,
+    terminated by [EOF]. Raises {!Lex_error} on an illegal character or
+    malformed literal. *)
+
+val token_to_string : token -> string

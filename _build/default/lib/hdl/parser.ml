@@ -1,0 +1,282 @@
+open Ast
+
+exception Parse_error of string
+
+type state = { tokens : (Lexer.token * int) array; mutable pos : int }
+
+let peek st = fst st.tokens.(st.pos)
+let line st = snd st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise
+    (Parse_error
+       (Printf.sprintf "line %d: %s (found %s)" (line st) msg
+          (Lexer.token_to_string (peek st))))
+
+let expect st tok msg =
+  if peek st = tok then advance st else fail st msg
+
+let expect_kw st kw = expect st (Lexer.KW kw) (Printf.sprintf "expected %S" kw)
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT name -> advance st; name
+  | _ -> fail st "expected identifier"
+
+let num st =
+  match peek st with
+  | Lexer.NUM v -> advance st; v
+  | _ -> fail st "expected number"
+
+let literal st =
+  match peek st with
+  | Lexer.NUM v -> advance st; lit v
+  | Lexer.SIZED (w, v) -> advance st; lit ~width:w v
+  | _ -> fail st "expected literal"
+
+let binop_of_kw = function
+  | "and" -> Some And | "or" -> Some Or | "xor" -> Some Xor
+  | "nand" -> Some Nand | "nor" -> Some Nor | "xnor" -> Some Xnor
+  | _ -> None
+
+let rec expr st = logical st
+
+and logical st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.KW kw ->
+      (match binop_of_kw kw with
+       | Some op -> advance st; loop (Binop (op, acc, relational st))
+       | None -> acc)
+    | _ -> acc
+  in
+  loop (relational st)
+
+and relational st =
+  let left = additive st in
+  let op =
+    match peek st with
+    | Lexer.EQ -> Some Eq
+    | Lexer.NEQ -> Some Neq
+    | Lexer.LT -> Some Lt
+    | Lexer.LE -> Some Le
+    | Lexer.GT -> Some Gt
+    | Lexer.GE -> Some Ge
+    | _ -> None
+  in
+  match op with
+  | None -> left
+  | Some op -> advance st; Binop (op, left, additive st)
+
+and additive st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.PLUS -> advance st; loop (Binop (Add, acc, concat_level st))
+    | Lexer.MINUS -> advance st; loop (Binop (Sub, acc, concat_level st))
+    | _ -> acc
+  in
+  loop (concat_level st)
+
+and concat_level st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.AMP -> advance st; loop (Concat (acc, unary st))
+    | _ -> acc
+  in
+  loop (unary st)
+
+and unary st =
+  match peek st with
+  | Lexer.KW "not" -> advance st; Unop (Not, unary st)
+  | _ -> postfix st
+
+and postfix st =
+  let rec loop acc =
+    match peek st with
+    | Lexer.LBRACKET ->
+      advance st;
+      let first = num st in
+      let e =
+        match peek st with
+        | Lexer.COLON ->
+          advance st;
+          let lo = num st in
+          Slice (acc, first, lo)
+        | _ -> Bit (acc, first)
+      in
+      expect st Lexer.RBRACKET "expected ']'";
+      loop e
+    | _ -> acc
+  in
+  loop (atom st)
+
+and atom st =
+  match peek st with
+  | Lexer.NUM v -> advance st; const v
+  | Lexer.SIZED (w, v) -> advance st; const ~width:w v
+  | Lexer.IDENT name -> advance st; Ref name
+  | Lexer.LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st Lexer.RPAREN "expected ')'";
+    e
+  | Lexer.KW "resize" ->
+    advance st;
+    expect st Lexer.LPAREN "expected '(' after resize";
+    let e = expr st in
+    expect st Lexer.COMMA "expected ',' in resize";
+    let w = num st in
+    expect st Lexer.RPAREN "expected ')' after resize";
+    Resize (e, w)
+  | _ -> fail st "expected expression"
+
+let parse_type st =
+  match peek st with
+  | Lexer.KW "bit" -> advance st; 1
+  | Lexer.KW "unsigned" ->
+    advance st;
+    expect st Lexer.LPAREN "expected '(' after unsigned";
+    let w = num st in
+    expect st Lexer.RPAREN "expected ')' after width";
+    if w < 1 || w > Mutsamp_util.Bitvec.max_width then
+      fail st (Printf.sprintf "width %d out of range" w);
+    w
+  | _ -> fail st "expected type (bit or unsigned(n))"
+
+let rec stmt st =
+  match peek st with
+  | Lexer.KW "null" ->
+    advance st;
+    expect st Lexer.SEMI "expected ';' after null";
+    Null
+  | Lexer.KW "if" -> advance st; if_tail st
+  | Lexer.KW "case" ->
+    advance st;
+    let scrut = expr st in
+    expect_kw st "is";
+    let rec arms acc =
+      match peek st with
+      | Lexer.KW "when" ->
+        advance st;
+        (match peek st with
+         | Lexer.KW "others" ->
+           advance st;
+           expect st Lexer.ARROW "expected '=>'";
+           let body = stmts st in
+           (List.rev acc, Some body)
+         | _ ->
+           let rec choices cs =
+             let c = literal st in
+             match peek st with
+             | Lexer.PIPE -> advance st; choices (c :: cs)
+             | _ -> List.rev (c :: cs)
+           in
+           let cs = choices [] in
+           expect st Lexer.ARROW "expected '=>'";
+           let body = stmts st in
+           arms ((cs, body) :: acc))
+      | _ -> (List.rev acc, None)
+    in
+    let arms_list, others = arms [] in
+    expect_kw st "end";
+    expect_kw st "case";
+    expect st Lexer.SEMI "expected ';' after end case";
+    Case (scrut, arms_list, others)
+  | Lexer.IDENT _ ->
+    let name = ident st in
+    expect st Lexer.ASSIGN "expected ':='";
+    let e = expr st in
+    expect st Lexer.SEMI "expected ';' after assignment";
+    Assign (name, e)
+  | _ -> fail st "expected statement"
+
+(* Body of an [if]; the leading keyword has been consumed. [elsif] chains
+   desugar into nested conditionals. *)
+and if_tail st =
+  let cond = expr st in
+  expect_kw st "then";
+  let then_branch = stmts st in
+  match peek st with
+  | Lexer.KW "elsif" ->
+    advance st;
+    let nested = if_tail st in
+    If (cond, then_branch, [ nested ])
+  | Lexer.KW "else" ->
+    advance st;
+    let else_branch = stmts st in
+    expect_kw st "end";
+    expect_kw st "if";
+    expect st Lexer.SEMI "expected ';' after end if";
+    If (cond, then_branch, else_branch)
+  | _ ->
+    expect_kw st "end";
+    expect_kw st "if";
+    expect st Lexer.SEMI "expected ';' after end if";
+    If (cond, then_branch, [])
+
+and stmts st =
+  let starts_stmt = function
+    | Lexer.KW ("null" | "if" | "case") | Lexer.IDENT _ -> true
+    | Lexer.KW _ | Lexer.NUM _ | Lexer.SIZED _ | Lexer.ASSIGN | Lexer.EQ
+    | Lexer.NEQ | Lexer.LT | Lexer.LE | Lexer.GT | Lexer.GE | Lexer.PLUS
+    | Lexer.MINUS | Lexer.AMP | Lexer.LPAREN | Lexer.RPAREN | Lexer.LBRACKET
+    | Lexer.RBRACKET | Lexer.COLON | Lexer.SEMI | Lexer.COMMA | Lexer.ARROW
+    | Lexer.PIPE | Lexer.EOF -> false
+  in
+  let rec loop acc =
+    if starts_stmt (peek st) then loop (stmt st :: acc) else List.rev acc
+  in
+  loop []
+
+let decl st =
+  let kind_kw =
+    match peek st with
+    | Lexer.KW (("input" | "output" | "reg" | "var" | "const") as k) -> advance st; k
+    | _ -> fail st "expected declaration"
+  in
+  let name = ident st in
+  expect st Lexer.COLON "expected ':' in declaration";
+  let width = parse_type st in
+  let kind =
+    match kind_kw with
+    | "input" -> Input
+    | "output" -> Output
+    | "var" -> Var
+    | "reg" | "const" ->
+      expect st Lexer.ASSIGN "expected ':=' with initial value";
+      let v = literal st in
+      if kind_kw = "reg" then Reg v else Const_decl v
+    | _ -> assert false
+  in
+  expect st Lexer.SEMI "expected ';' after declaration";
+  { name; width; kind }
+
+let design st =
+  expect_kw st "design";
+  let name = ident st in
+  expect_kw st "is";
+  let rec decls acc =
+    match peek st with
+    | Lexer.KW ("input" | "output" | "reg" | "var" | "const") -> decls (decl st :: acc)
+    | _ -> List.rev acc
+  in
+  let decls_list = decls [] in
+  expect_kw st "begin";
+  let body = stmts st in
+  expect_kw st "end";
+  expect_kw st "design";
+  expect st Lexer.SEMI "expected ';' after end design";
+  { name; decls = decls_list; body }
+
+let design_of_string src =
+  let st = { tokens = Lexer.tokenize src; pos = 0 } in
+  let d = design st in
+  if peek st <> Lexer.EOF then fail st "trailing input after design";
+  d
+
+let expr_of_string src =
+  let st = { tokens = Lexer.tokenize src; pos = 0 } in
+  let e = expr st in
+  if peek st <> Lexer.EOF then fail st "trailing input after expression";
+  e

@@ -1,0 +1,37 @@
+(** Recursive-descent parser for the HDL concrete syntax.
+
+    Grammar (loosest binding first):
+    {v
+design     := "design" ident "is" decls "begin" stmts "end" "design" ";"
+decl       := ("input"|"output"|"var") ident ":" type ";"
+            | ("reg"|"const") ident ":" type ":=" literal ";"
+type       := "bit" | "unsigned" "(" num ")"
+stmt       := ident ":=" expr ";"
+            | "if" expr "then" stmts { "elsif" expr "then" stmts }
+              [ "else" stmts ] "end" "if" ";"
+            | "case" expr "is" arms [ "when" "others" "=>" stmts ]
+              "end" "case" ";"
+            | "null" ";"
+arm        := "when" literal { "|" literal } "=>" stmts
+expr       := logical
+logical    := relational { ("and"|"or"|"xor"|"nand"|"nor"|"xnor") relational }
+relational := additive [ ("="|"/="|"<"|"<="|">"|">=") additive ]
+additive   := concat { ("+"|"-") concat }
+concat     := unary { "&" unary }
+unary      := "not" unary | postfix
+postfix    := atom { "[" num [ ":" num ] "]" }
+atom       := literal | ident | "(" expr ")" | "resize" "(" expr "," num ")"
+literal    := num | sized-binary | bit-char
+    v}
+
+    The result still contains unsized literals; run {!Check.elaborate}
+    before simulating, mutating or synthesising. *)
+
+exception Parse_error of string
+(** Message includes a 1-based line number. *)
+
+val design_of_string : string -> Ast.design
+(** Parse a complete design. Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val expr_of_string : string -> Ast.expr
+(** Parse a standalone expression (used by tests and the CLI). *)

@@ -1,0 +1,1 @@
+lib/mutation/equivalence.ml: Hashtbl List Mutsamp_hdl Mutsamp_util Printf Queue

@@ -1,0 +1,1 @@
+lib/mutation/equivalence.mli: Mutsamp_hdl

@@ -1,0 +1,1 @@
+lib/mutation/generate.ml: Hashtbl List Mutant Mutsamp_hdl Operator Option Printf Stdlib

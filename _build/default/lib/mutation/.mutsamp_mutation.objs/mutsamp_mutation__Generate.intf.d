@@ -1,0 +1,1 @@
+lib/mutation/generate.mli: Mutant Mutsamp_hdl Operator

@@ -1,0 +1,1 @@
+lib/mutation/kill.ml: Array List Mutant Mutsamp_hdl

@@ -1,0 +1,1 @@
+lib/mutation/kill.mli: Mutant Mutsamp_hdl

@@ -1,0 +1,1 @@
+lib/mutation/mutant.ml: Format Mutsamp_hdl Operator Printf

@@ -1,0 +1,1 @@
+lib/mutation/mutant.mli: Format Mutsamp_hdl Operator

@@ -1,0 +1,1 @@
+lib/mutation/operator.ml: Format Stdlib String

@@ -1,0 +1,1 @@
+lib/mutation/operator.mli: Format

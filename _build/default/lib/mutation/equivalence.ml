@@ -1,0 +1,110 @@
+module Ast = Mutsamp_hdl.Ast
+module Sim = Mutsamp_hdl.Sim
+module Stimuli = Mutsamp_hdl.Stimuli
+module Check = Mutsamp_hdl.Check
+module Bitvec = Mutsamp_util.Bitvec
+
+type verdict =
+  | Equivalent
+  | Distinguished of Sim.stimulus list
+  | Unknown
+
+let verdict_name = function
+  | Equivalent -> "equivalent"
+  | Distinguished _ -> "distinguished"
+  | Unknown -> "unknown"
+
+let same_interface a b =
+  let sig_of d =
+    ( List.map (fun (dc : Ast.decl) -> (dc.name, dc.width)) (Ast.inputs d),
+      List.map (fun (dc : Ast.decl) -> (dc.name, dc.width)) (Ast.outputs d) )
+  in
+  sig_of a = sig_of b
+
+let require_same_interface a b who =
+  if not (same_interface a b) then
+    invalid_arg (Printf.sprintf "Equivalence.%s: designs have different interfaces" who)
+
+let exhaustive_combinational ?(max_bits = 16) a b =
+  require_same_interface a b "exhaustive_combinational";
+  if not (Check.is_combinational a && Check.is_combinational b) then
+    invalid_arg "Equivalence.exhaustive_combinational: sequential design";
+  let bits = Stimuli.input_bits a in
+  if bits > max_bits then Unknown
+  else begin
+    let sim_a = Sim.create a and sim_b = Sim.create b in
+    let rec scan code =
+      if code >= 1 lsl bits then Equivalent
+      else
+        let stim = Stimuli.of_code a code in
+        let oa = Sim.step sim_a stim and ob = Sim.step sim_b stim in
+        if Sim.outputs_equal oa ob then scan (code + 1) else Distinguished [ stim ]
+    in
+    scan 0
+  end
+
+(* Joint state of the product machine: the register values of both
+   machines, encoded as integer lists (registers in declaration
+   order). *)
+let reg_key sim =
+  List.map (fun (_, v) -> Bitvec.to_int v) (Sim.observe_regs sim)
+
+let product_bfs ?(max_pairs = 65536) ?(max_bits = 12) a b =
+  require_same_interface a b "product_bfs";
+  let bits = Stimuli.input_bits a in
+  if bits > max_bits then Unknown
+  else begin
+    let sim_a = Sim.create a and sim_b = Sim.create b in
+    Sim.reset sim_a;
+    Sim.reset sim_b;
+    let initial = (reg_key sim_a, reg_key sim_b) in
+    let restore (ka, kb) =
+      let assign sim key =
+        let names = List.map fst (Sim.observe_regs sim) in
+        let widths =
+          List.map (fun (_, v) -> Bitvec.width v) (Sim.observe_regs sim)
+        in
+        Sim.set_regs sim
+          (List.map2
+             (fun (name, width) v -> (name, Bitvec.make ~width v))
+             (List.combine names widths)
+             key)
+      in
+      assign sim_a ka;
+      assign sim_b kb
+    in
+    let visited = Hashtbl.create 1024 in
+    Hashtbl.replace visited initial ([] : Sim.stimulus list);
+    let queue = Queue.create () in
+    Queue.push initial queue;
+    let stimuli = List.init (1 lsl bits) (Stimuli.of_code a) in
+    let exception Found of Sim.stimulus list in
+    let exception Budget in
+    try
+      while not (Queue.is_empty queue) do
+        let state = Queue.pop queue in
+        let path_rev = Hashtbl.find visited state in
+        List.iter
+          (fun stim ->
+            restore state;
+            let oa = Sim.step sim_a stim and ob = Sim.step sim_b stim in
+            if not (Sim.outputs_equal oa ob) then
+              raise (Found (List.rev (stim :: path_rev)));
+            let next = (reg_key sim_a, reg_key sim_b) in
+            if not (Hashtbl.mem visited next) then begin
+              if Hashtbl.length visited >= max_pairs then raise Budget;
+              Hashtbl.replace visited next (stim :: path_rev);
+              Queue.push next queue
+            end)
+          stimuli
+      done;
+      Equivalent
+    with
+    | Found seq -> Distinguished seq
+    | Budget -> Unknown
+  end
+
+let check ?max_pairs ?max_bits a b =
+  if Check.is_combinational a && Check.is_combinational b then
+    exhaustive_combinational ?max_bits a b
+  else product_bfs ?max_pairs ?max_bits a b

@@ -1,0 +1,53 @@
+(** Simulation-based equivalence checking between a design and a mutant.
+
+    Two complete procedures are provided for small designs:
+
+    - {!exhaustive_combinational}: truth-table comparison, exact for
+      register-free designs whose input space fits the bit budget;
+    - {!product_bfs}: breadth-first exploration of the product machine
+      from the joint reset state, exact for sequential designs whose
+      reachable product state space and per-cycle input space fit the
+      budgets. The counterexample it returns is a shortest
+      distinguishing sequence, which doubles as a directed
+      mutant-killing test.
+
+    Combinational designs with wide inputs need the SAT-based miter
+    check (see the [sat] library); {!check} returns {!Unknown} for
+    those. *)
+
+type verdict =
+  | Equivalent
+  | Distinguished of Mutsamp_hdl.Sim.stimulus list
+      (** a sequence that drives the two designs to different outputs *)
+  | Unknown  (** budgets exhausted: not proven either way *)
+
+val verdict_name : verdict -> string
+
+val exhaustive_combinational :
+  ?max_bits:int -> Mutsamp_hdl.Ast.design -> Mutsamp_hdl.Ast.design -> verdict
+(** Compare truth tables. [max_bits] (default 16) bounds the input
+    space at [2^max_bits] vectors; wider designs yield {!Unknown}.
+    Raises [Invalid_argument] if either design has registers or the
+    interfaces differ. *)
+
+val product_bfs :
+  ?max_pairs:int ->
+  ?max_bits:int ->
+  Mutsamp_hdl.Ast.design ->
+  Mutsamp_hdl.Ast.design ->
+  verdict
+(** Explore the product machine. [max_pairs] (default 65536) bounds the
+    visited joint-state count, [max_bits] (default 12) the per-cycle
+    input space. Raises [Invalid_argument] if the interfaces differ. *)
+
+val check :
+  ?max_pairs:int ->
+  ?max_bits:int ->
+  Mutsamp_hdl.Ast.design ->
+  Mutsamp_hdl.Ast.design ->
+  verdict
+(** Dispatch: {!exhaustive_combinational} for register-free designs,
+    {!product_bfs} otherwise. *)
+
+val same_interface : Mutsamp_hdl.Ast.design -> Mutsamp_hdl.Ast.design -> bool
+(** Same input and output names and widths, in order. *)

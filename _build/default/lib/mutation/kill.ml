@@ -1,0 +1,94 @@
+module Sim = Mutsamp_hdl.Sim
+
+type t = {
+  original : Mutsamp_hdl.Ast.design;
+  mutants : Mutant.t array;
+  original_sim : Sim.t;
+  mutant_sims : Sim.t array;
+}
+
+let make original ms =
+  {
+    original;
+    mutants = Array.of_list ms;
+    original_sim = Sim.create original;
+    mutant_sims = Array.of_list (List.map (fun (m : Mutant.t) -> Sim.create m.design) ms);
+  }
+
+let original t = t.original
+let mutants t = Array.to_list t.mutants
+let size t = Array.length t.mutants
+
+let reference_outputs t seq =
+  Sim.reset t.original_sim;
+  List.map (Sim.step t.original_sim) seq
+
+(* Compare a mutant against precomputed reference outputs, stopping at
+   the first difference. *)
+let killed_against t reference i seq =
+  let sim = t.mutant_sims.(i) in
+  Sim.reset sim;
+  let rec loop seq reference =
+    match seq, reference with
+    | [], [] -> false
+    | stim :: seq', ref_obs :: reference' ->
+      let obs = Sim.step sim stim in
+      if Sim.outputs_equal obs ref_obs then loop seq' reference' else true
+    | _, _ -> invalid_arg "Kill: reference length mismatch"
+  in
+  loop seq reference
+
+let killed_by t i seq =
+  let reference = reference_outputs t seq in
+  killed_against t reference i seq
+
+(* First cycle where the mutant's outputs diverge from the reference,
+   or None. *)
+let detection_cycle t reference i seq =
+  let sim = t.mutant_sims.(i) in
+  Sim.reset sim;
+  let rec loop cycle seq reference =
+    match seq, reference with
+    | [], [] -> None
+    | stim :: seq', ref_obs :: reference' ->
+      let obs = Sim.step sim stim in
+      if Sim.outputs_equal obs ref_obs then loop (cycle + 1) seq' reference'
+      else Some cycle
+    | _, _ -> invalid_arg "Kill: reference length mismatch"
+  in
+  loop 0 seq reference
+
+let kills_at t ?alive seq =
+  let reference = reference_outputs t seq in
+  let candidates =
+    match alive with
+    | Some l -> l
+    | None -> List.init (Array.length t.mutants) (fun i -> i)
+  in
+  List.filter_map
+    (fun i ->
+      match detection_cycle t reference i seq with
+      | Some c -> Some (i, c)
+      | None -> None)
+    candidates
+
+let kills t ?alive seq =
+  let reference = reference_outputs t seq in
+  let candidates =
+    match alive with
+    | Some l -> l
+    | None -> List.init (Array.length t.mutants) (fun i -> i)
+  in
+  List.filter (fun i -> killed_against t reference i seq) candidates
+
+let killed_set t sequences =
+  let n = Array.length t.mutants in
+  let killed = Array.make n false in
+  List.iter
+    (fun seq ->
+      let reference = reference_outputs t seq in
+      for i = 0 to n - 1 do
+        if not killed.(i) && killed_against t reference i seq then killed.(i) <- true
+      done)
+    sequences;
+  killed

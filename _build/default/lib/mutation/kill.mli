@@ -1,0 +1,38 @@
+(** Mutant execution: decide which mutants a test sequence kills.
+
+    A mutant is killed by a sequence when, applying the sequence from
+    reset to both the original design and the mutant, at least one
+    output differs in at least one cycle. Simulators are compiled once
+    per mutant and reused across candidate sequences. *)
+
+type t
+(** A runner holding the original design and a mutant population. *)
+
+val make : Mutsamp_hdl.Ast.design -> Mutant.t list -> t
+(** Compile the original and every mutant. *)
+
+val original : t -> Mutsamp_hdl.Ast.design
+val mutants : t -> Mutant.t list
+val size : t -> int
+
+val reference_outputs :
+  t -> Mutsamp_hdl.Sim.stimulus list -> Mutsamp_hdl.Sim.observation list
+(** Outputs of the original design on a sequence, from reset. *)
+
+val killed_by : t -> int -> Mutsamp_hdl.Sim.stimulus list -> bool
+(** [killed_by t i seq]: does [seq] kill mutant index [i]? Simulation
+    stops at the first differing cycle. *)
+
+val kills : t -> ?alive:int list -> Mutsamp_hdl.Sim.stimulus list -> int list
+(** Indices of mutants killed by the sequence, restricted to [alive]
+    (default: the whole population). *)
+
+val kills_at :
+  t -> ?alive:int list -> Mutsamp_hdl.Sim.stimulus list -> (int * int) list
+(** Like {!kills} but with the 0-based cycle of the first differing
+    output per killed mutant, so callers can truncate the sequence after
+    its last useful cycle. *)
+
+val killed_set : t -> Mutsamp_hdl.Sim.stimulus list list -> bool array
+(** For a whole test set (list of sequences), the per-mutant killed
+    flags, with fault dropping across sequences. *)

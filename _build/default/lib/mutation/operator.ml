@@ -1,0 +1,34 @@
+type t = LOR | AOR | ROR | UOI | UOD | VR | CVR | VCR | CR | SDL
+
+let all = [ LOR; AOR; ROR; UOI; UOD; VR; CVR; VCR; CR; SDL ]
+
+let name = function
+  | LOR -> "LOR" | AOR -> "AOR" | ROR -> "ROR" | UOI -> "UOI" | UOD -> "UOD"
+  | VR -> "VR" | CVR -> "CVR" | VCR -> "VCR" | CR -> "CR" | SDL -> "SDL"
+
+let describe = function
+  | LOR -> "logical operator replacement"
+  | AOR -> "arithmetic operator replacement"
+  | ROR -> "relational operator replacement"
+  | UOI -> "unary operator insertion"
+  | UOD -> "unary operator deletion"
+  | VR -> "variable replacement"
+  | CVR -> "constant for variable replacement"
+  | VCR -> "variable for constant replacement"
+  | CR -> "constant replacement"
+  | SDL -> "statement deletion"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "LOR" -> Some LOR | "AOR" -> Some AOR | "ROR" -> Some ROR
+  | "UOI" -> Some UOI | "UOD" -> Some UOD | "VR" -> Some VR
+  | "CVR" -> Some CVR | "VCR" -> Some VCR | "CR" -> Some CR | "SDL" -> Some SDL
+  | _ -> None
+
+let rank = function
+  | LOR -> 0 | AOR -> 1 | ROR -> 2 | UOI -> 3 | UOD -> 4
+  | VR -> 5 | CVR -> 6 | VCR -> 7 | CR -> 8 | SDL -> 9
+
+let compare a b = Stdlib.compare (rank a) (rank b)
+let equal a b = rank a = rank b
+let pp fmt t = Format.pp_print_string fmt (name t)

@@ -1,0 +1,34 @@
+(** The mutation operator set.
+
+    Ten operators for behavioural hardware descriptions, following the
+    VHDL operator set of Al-Hayek & Robach (JETTA 1999) referenced by
+    the paper as [3]. The four the paper studies directly are {!LOR},
+    {!VR}, {!CVR} and {!CR}; the rest complete the classical set. *)
+
+type t =
+  | LOR  (** logical operator replacement (and/or/xor/nand/nor/xnor) *)
+  | AOR  (** arithmetic operator replacement (+/-) *)
+  | ROR  (** relational operator replacement (=, /=, <, <=, >, >=) *)
+  | UOI  (** unary operator insertion: wrap a reference in [not] *)
+  | UOD  (** unary operator deletion: drop a [not] *)
+  | VR  (** variable replacement: another same-width readable name *)
+  | CVR  (** constant-for-variable replacement *)
+  | VCR  (** variable-for-constant replacement *)
+  | CR  (** constant replacement: perturb a literal *)
+  | SDL  (** statement deletion: assignment becomes [null] *)
+
+val all : t list
+(** Every operator, in the order above. *)
+
+val name : t -> string
+(** Short upper-case mnemonic, e.g. ["LOR"]. *)
+
+val describe : t -> string
+(** One-line description. *)
+
+val of_string : string -> t option
+(** Inverse of {!name}, case-insensitive. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

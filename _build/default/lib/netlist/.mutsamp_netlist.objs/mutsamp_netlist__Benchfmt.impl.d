@@ -1,0 +1,1 @@
+lib/netlist/benchfmt.ml: Array Buffer Gate Hashtbl List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/netlist/bitsim.ml: Array Gate Hashtbl List Netlist Option Topo

@@ -1,0 +1,1 @@
+lib/netlist/bitsim.mli: Netlist

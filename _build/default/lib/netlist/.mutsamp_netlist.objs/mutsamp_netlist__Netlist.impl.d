@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Gate Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Array Format Gate Hashtbl List Netlist Option Printf Stdlib String Topo

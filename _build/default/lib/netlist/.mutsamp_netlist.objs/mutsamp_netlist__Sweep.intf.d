@@ -1,0 +1,1 @@
+lib/netlist/sweep.mli: Netlist

@@ -1,0 +1,1 @@
+lib/netlist/vcd.ml: Array Bitsim Buffer Char Gate List Netlist Printf String

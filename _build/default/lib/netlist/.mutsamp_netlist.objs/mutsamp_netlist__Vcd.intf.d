@@ -1,0 +1,1 @@
+lib/netlist/vcd.mli: Bitsim Netlist

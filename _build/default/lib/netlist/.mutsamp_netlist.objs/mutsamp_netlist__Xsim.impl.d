@@ -1,0 +1,1 @@
+lib/netlist/xsim.ml: Array Bitsim Gate Netlist Topo

@@ -1,0 +1,233 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Parse_error msg)) fmt
+
+(* --- writer ------------------------------------------------------------ *)
+
+(* Every net needs a name: primary inputs keep theirs, everything else
+   is named after its id. *)
+let net_name (nl : Netlist.t) i =
+  match nl.gates.(i).Gate.kind with
+  | Gate.Pi name -> name
+  | _ -> Printf.sprintf "n%d" i
+
+let looks_like_internal_label name =
+  String.length name > 1
+  && name.[0] = 'n'
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub name 1 (String.length name - 1))
+
+let to_string (nl : Netlist.t) =
+  (* Internal nets are labelled n<id>; a port carrying such a name
+     could collide with them. *)
+  Array.iter
+    (fun name ->
+      if looks_like_internal_label name then
+        invalid_arg ("Benchfmt.to_string: input name collides with net labels: " ^ name))
+    (Netlist.input_names nl);
+  Array.iter
+    (fun (name, _) ->
+      if looks_like_internal_label name then
+        invalid_arg ("Benchfmt.to_string: output name collides with net labels: " ^ name))
+    nl.output_list;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# %s (exported by mutsamp)\n" nl.name);
+  Array.iter
+    (fun net -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (net_name nl net)))
+    nl.input_nets;
+  (* Outputs keep their PO names through BUFF aliases, so names,
+     count and order survive the round trip even when one net feeds
+     several POs or a PO name differs from its driving net's label. *)
+  let aliases = Buffer.create 128 in
+  Array.iter
+    (fun (name, net) ->
+      let driver = net_name nl net in
+      Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" name);
+      if name <> driver then
+        Buffer.add_string aliases (Printf.sprintf "%s = BUFF(%s)\n" name driver))
+    nl.output_list;
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      let name = net_name nl i in
+      let operands () =
+        String.concat ", " (Array.to_list (Array.map (net_name nl) g.fanins))
+      in
+      match g.kind with
+      | Gate.Pi _ -> ()
+      | Gate.Const false -> Buffer.add_string buf (Printf.sprintf "%s = CONST0\n" name)
+      | Gate.Const true -> Buffer.add_string buf (Printf.sprintf "%s = CONST1\n" name)
+      | Gate.Buf -> Buffer.add_string buf (Printf.sprintf "%s = BUFF(%s)\n" name (operands ()))
+      | Gate.Not -> Buffer.add_string buf (Printf.sprintf "%s = NOT(%s)\n" name (operands ()))
+      | Gate.And -> Buffer.add_string buf (Printf.sprintf "%s = AND(%s)\n" name (operands ()))
+      | Gate.Or -> Buffer.add_string buf (Printf.sprintf "%s = OR(%s)\n" name (operands ()))
+      | Gate.Nand -> Buffer.add_string buf (Printf.sprintf "%s = NAND(%s)\n" name (operands ()))
+      | Gate.Nor -> Buffer.add_string buf (Printf.sprintf "%s = NOR(%s)\n" name (operands ()))
+      | Gate.Xor -> Buffer.add_string buf (Printf.sprintf "%s = XOR(%s)\n" name (operands ()))
+      | Gate.Xnor -> Buffer.add_string buf (Printf.sprintf "%s = XNOR(%s)\n" name (operands ()))
+      | Gate.Dff init ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s = DFF(%s)%s\n" name (operands ())
+             (if init then "  # init=1" else "")))
+    nl.gates;
+  Buffer.add_buffer buf aliases;
+  Buffer.contents buf
+
+(* --- reader ------------------------------------------------------------ *)
+
+type def =
+  | Dinput
+  | Dconst of bool
+  | Dgate of string * string list  (* function name, operand signals *)
+  | Ddff of string * bool  (* D signal, init *)
+
+let parse_lines src =
+  let inputs = ref [] in
+  let outputs = ref [] in
+  let defs : (string, def) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  let define name d =
+    if Hashtbl.mem defs name then fail "signal %s multiply driven" name;
+    Hashtbl.replace defs name d;
+    order := name :: !order
+  in
+  let strip s = String.trim s in
+  String.split_on_char '\n' src
+  |> List.iteri (fun lineno raw ->
+         let line =
+           match String.index_opt raw '#' with
+           | Some i -> String.sub raw 0 i
+           | None -> raw
+         in
+         let init_one =
+           (* the writer's "# init=1" annotation *)
+           let rec contains i =
+             i + 6 <= String.length raw && (String.sub raw i 6 = "init=1" || contains (i + 1))
+           in
+           contains 0
+         in
+         let line = strip line in
+         if line <> "" then begin
+           let fail_line fmt =
+             Printf.ksprintf
+               (fun m -> fail "line %d: %s" (lineno + 1) m)
+               fmt
+           in
+           let paren_arg prefix =
+             let plen = String.length prefix in
+             if String.length line > plen + 1
+                && String.uppercase_ascii (String.sub line 0 plen) = prefix
+                && line.[plen] = '('
+                && line.[String.length line - 1] = ')'
+             then Some (strip (String.sub line (plen + 1) (String.length line - plen - 2)))
+             else None
+           in
+           match paren_arg "INPUT" with
+           | Some name ->
+             define name Dinput;
+             inputs := name :: !inputs
+           | None ->
+             (match paren_arg "OUTPUT" with
+              | Some name -> outputs := name :: !outputs
+              | None ->
+                (match String.index_opt line '=' with
+                 | None -> fail_line "expected INPUT/OUTPUT/assignment"
+                 | Some eq ->
+                   let name = strip (String.sub line 0 eq) in
+                   let rhs = strip (String.sub line (eq + 1) (String.length line - eq - 1)) in
+                   let upper = String.uppercase_ascii rhs in
+                   if upper = "CONST0" then define name (Dconst false)
+                   else if upper = "CONST1" then define name (Dconst true)
+                   else begin
+                     match String.index_opt rhs '(' with
+                     | None -> fail_line "expected FUNC(args)"
+                     | Some lp ->
+                       if rhs.[String.length rhs - 1] <> ')' then fail_line "missing ')'";
+                       let func = String.uppercase_ascii (strip (String.sub rhs 0 lp)) in
+                       let args =
+                         String.sub rhs (lp + 1) (String.length rhs - lp - 2)
+                         |> String.split_on_char ','
+                         |> List.map strip
+                         |> List.filter (fun s -> s <> "")
+                       in
+                       if func = "DFF" then begin
+                         match args with
+                         | [ d ] -> define name (Ddff (d, init_one))
+                         | _ -> fail_line "DFF takes one operand"
+                       end
+                       else define name (Dgate (func, args))
+                   end))
+         end);
+  (List.rev !inputs, List.rev !outputs, defs)
+
+let of_string ?(name = "bench") src =
+  let inputs, outputs, defs = parse_lines src in
+  let module B = Netlist.Builder in
+  let b = B.create name in
+  let nets : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let dff_pending = ref [] in
+  let rec net_of signal =
+    match Hashtbl.find_opt nets signal with
+    | Some id -> id
+    | None ->
+      (match Hashtbl.find_opt defs signal with
+       | None -> fail "undefined signal %s" signal
+       | Some Dinput ->
+         let id = B.input b signal in
+         Hashtbl.replace nets signal id;
+         id
+       | Some (Dconst v) ->
+         let id = B.const b v in
+         Hashtbl.replace nets signal id;
+         id
+       | Some (Ddff (d, init)) ->
+         (* Create Q first so feedback through the D cone terminates. *)
+         let q = B.dff b ~init in
+         Hashtbl.replace nets signal q;
+         dff_pending := (q, d) :: !dff_pending;
+         q
+       | Some (Dgate (func, args)) ->
+         let arg_nets = List.map net_of args in
+         let id = build_gate func arg_nets signal in
+         Hashtbl.replace nets signal id;
+         id)
+  and build_gate func args signal =
+    let module B = Netlist.Builder in
+    let chain2 f = function
+      | a :: b :: rest -> List.fold_left f (f a b) rest
+      | _ -> fail "%s: %s needs at least two operands" signal func
+    in
+    let unary f = function
+      | [ a ] -> f a
+      | _ -> fail "%s: %s takes one operand" signal func
+    in
+    match func with
+    | "AND" -> chain2 (B.and_ b) args
+    | "OR" -> chain2 (B.or_ b) args
+    | "XOR" -> chain2 (B.xor_ b) args
+    (* n-ary NAND/NOR/XNOR = negation of the n-ary base function. *)
+    | "NAND" -> B.not_ b (chain2 (B.and_ b) args)
+    | "NOR" -> B.not_ b (chain2 (B.or_ b) args)
+    | "XNOR" -> B.not_ b (chain2 (B.xor_ b) args)
+    | "NOT" -> unary (B.not_ b) args
+    | "BUFF" | "BUF" -> unary (B.buf b) args
+    | _ -> fail "%s: unknown function %s" signal func
+  in
+  (* Force every defined signal so unreferenced logic is kept. *)
+  List.iter (fun s -> ignore (net_of s)) inputs;
+  Hashtbl.iter (fun s _ -> ignore (net_of s)) defs;
+  List.iter
+    (fun (q, d) -> Netlist.Builder.connect_dff b q ~d:(net_of d))
+    !dff_pending;
+  List.iter (fun o -> Netlist.Builder.output b o (net_of o)) outputs;
+  Netlist.Builder.finalize b
+
+let write_file path nl =
+  let oc = open_out path in
+  (try output_string oc (to_string nl) with e -> close_out oc; raise e);
+  close_out oc
+
+let read_file ?name path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  of_string ?name src

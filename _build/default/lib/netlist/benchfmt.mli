@@ -1,0 +1,35 @@
+(** ISCAS ".bench" netlist interchange format.
+
+    Reader and writer for the textual format the ISCAS'85/'89 suites
+    are distributed in:
+
+    {v
+# comment
+INPUT(G1)
+OUTPUT(G22)
+G10 = NAND(G1, G3)
+G23 = DFF(G10)
+G5 = NOT(G2)
+v}
+
+    Supported functions: AND, NAND, OR, NOR, XOR, XNOR (any arity ≥ 2,
+    decomposed into 2-input chains on import), NOT, BUFF, DFF, and the
+    non-standard CONST0/CONST1 extensions. DFF reset values are not
+    part of the format; the writer annotates [# init=1] after
+    one-initialised flip-flops and the reader honours the annotation
+    (absent it, flip-flops reset to 0).
+
+    The importer builds through {!Netlist.Builder}, so structurally
+    duplicate gates are shared and constants folded — the imported
+    netlist computes the same functions but need not be
+    gate-for-gate identical to the file. *)
+
+exception Parse_error of string
+
+val to_string : Netlist.t -> string
+val of_string : ?name:string -> string -> Netlist.t
+(** Raises {!Parse_error} on malformed input, unknown functions,
+    undefined signals or multiply-driven signals. *)
+
+val write_file : string -> Netlist.t -> unit
+val read_file : ?name:string -> string -> Netlist.t

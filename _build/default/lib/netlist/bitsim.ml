@@ -1,0 +1,156 @@
+let lanes = 62
+let all_ones = (1 lsl lanes) - 1
+
+type t = {
+  nl : Netlist.t;
+  topo : Topo.t;
+  values : int array;  (* per net, one word of lanes *)
+  state : int array;  (* per net, flip-flop state (unused for others) *)
+}
+
+type injection =
+  | Net of int
+  | Pin of { gate : int; pin : int }
+
+let create nl =
+  let n = Array.length nl.Netlist.gates in
+  { nl; topo = Topo.compute nl; values = Array.make n 0; state = Array.make n 0 }
+
+let netlist t = t.nl
+
+let reset t =
+  Array.iter
+    (fun q ->
+      match t.nl.Netlist.gates.(q).Gate.kind with
+      | Gate.Dff init -> t.state.(q) <- (if init then all_ones else 0)
+      | _ -> assert false)
+    t.nl.Netlist.dff_nets
+
+(* One evaluation cycle with an optional fault injection. *)
+let step_internal t inputs fault stuck =
+  let gates = t.nl.Netlist.gates in
+  if Array.length inputs <> Array.length t.nl.Netlist.input_nets then
+    invalid_arg "Bitsim.step: input arity mismatch";
+  let forced_net =
+    match fault with Some (Net n) -> n | Some (Pin _) | None -> -1
+  in
+  let pin_gate, pin_idx =
+    match fault with Some (Pin { gate; pin }) -> (gate, pin) | Some (Net _) | None -> (-1, -1)
+  in
+  let force i v = if i = forced_net then stuck else v in
+  (* Sources: PIs, constants, flip-flop outputs. *)
+  Array.iteri
+    (fun k net -> t.values.(net) <- force net (inputs.(k) land all_ones))
+    t.nl.Netlist.input_nets;
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      match g.kind with
+      | Gate.Const v -> t.values.(i) <- force i (if v then all_ones else 0)
+      | Gate.Dff _ -> t.values.(i) <- force i t.state.(i)
+      | Gate.Pi _ | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand
+      | Gate.Nor | Gate.Xor | Gate.Xnor -> ())
+    gates;
+  (* Combinational gates in topological order. *)
+  Array.iter
+    (fun i ->
+      let g = gates.(i) in
+      let operand k =
+        let v = t.values.(g.Gate.fanins.(k)) in
+        if i = pin_gate && k = pin_idx then stuck else v
+      in
+      let a = operand 0 in
+      let b = if Array.length g.Gate.fanins > 1 then operand 1 else 0 in
+      t.values.(i) <- force i (Gate.eval2 g.Gate.kind a b land all_ones))
+    t.topo.Topo.order;
+  (* Advance flip-flops: D pins may themselves carry a pin fault. *)
+  Array.iter
+    (fun q ->
+      let d = gates.(q).Gate.fanins.(0) in
+      let v = if q = pin_gate && pin_idx = 0 then stuck else t.values.(d) in
+      t.state.(q) <- v)
+    t.nl.Netlist.dff_nets;
+  Array.map (fun (_, net) -> t.values.(net)) t.nl.Netlist.output_list
+
+let step t inputs = step_internal t inputs None 0
+
+let step_with_fault t inputs ~fault_net ~stuck_value =
+  step_internal t inputs (Some (Net fault_net)) (stuck_value land all_ones)
+
+let step_injected t inputs ~inj ~stuck =
+  step_internal t inputs (Some inj) (stuck land all_ones)
+
+type lane_injection = {
+  inj : injection;
+  lanes : int;
+  stuck : int;
+}
+
+(* Multi-fault evaluation: per-net and per-pin forcing masks are merged
+   up front, then one pass applies [value = (v land ~mask) lor forced]
+   wherever a mask is set. *)
+let step_multi t inputs ~injections =
+  let gates = t.nl.Netlist.gates in
+  if Array.length inputs <> Array.length t.nl.Netlist.input_nets then
+    invalid_arg "Bitsim.step_multi: input arity mismatch";
+  let n = Array.length gates in
+  let net_mask = Array.make n 0 in
+  let net_forced = Array.make n 0 in
+  let pin_overrides = Hashtbl.create 8 in
+  List.iter
+    (fun { inj; lanes; stuck } ->
+      let lanes = lanes land all_ones in
+      match inj with
+      | Net net ->
+        net_mask.(net) <- net_mask.(net) lor lanes;
+        net_forced.(net) <-
+          (net_forced.(net) land lnot lanes) lor (stuck land lanes)
+      | Pin { gate; pin } ->
+        let m0, f0 =
+          Option.value ~default:(0, 0) (Hashtbl.find_opt pin_overrides (gate, pin))
+        in
+        Hashtbl.replace pin_overrides (gate, pin)
+          (m0 lor lanes, (f0 land lnot lanes) lor (stuck land lanes)))
+    injections;
+  let force i v =
+    let m = net_mask.(i) in
+    if m = 0 then v else (v land lnot m) lor (net_forced.(i) land m)
+  in
+  Array.iteri
+    (fun k net -> t.values.(net) <- force net (inputs.(k) land all_ones))
+    t.nl.Netlist.input_nets;
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      match g.kind with
+      | Gate.Const v -> t.values.(i) <- force i (if v then all_ones else 0)
+      | Gate.Dff _ -> t.values.(i) <- force i t.state.(i)
+      | Gate.Pi _ | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand
+      | Gate.Nor | Gate.Xor | Gate.Xnor -> ())
+    gates;
+  Array.iter
+    (fun i ->
+      let g = gates.(i) in
+      let operand k =
+        let v = t.values.(g.Gate.fanins.(k)) in
+        match Hashtbl.find_opt pin_overrides (i, k) with
+        | None -> v
+        | Some (m, f) -> (v land lnot m) lor (f land m)
+      in
+      let a = operand 0 in
+      let b = if Array.length g.Gate.fanins > 1 then operand 1 else 0 in
+      t.values.(i) <- force i (Gate.eval2 g.Gate.kind a b land all_ones))
+    t.topo.Topo.order;
+  Array.iter
+    (fun q ->
+      let d = gates.(q).Gate.fanins.(0) in
+      let v =
+        match Hashtbl.find_opt pin_overrides (q, 0) with
+        | None -> t.values.(d)
+        | Some (m, f) -> (t.values.(d) land lnot m) lor (f land m)
+      in
+      t.state.(q) <- v)
+    t.nl.Netlist.dff_nets;
+  Array.map (fun (_, net) -> t.values.(net)) t.nl.Netlist.output_list
+
+let net_values t = Array.copy t.values
+
+let dff_states t = Array.map (fun q -> t.state.(q)) t.nl.Netlist.dff_nets

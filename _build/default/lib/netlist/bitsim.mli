@@ -1,0 +1,66 @@
+(** Bit-parallel netlist simulation.
+
+    Every net carries a native-int word of {!lanes} independent
+    simulation lanes (bit [k] of every word belongs to lane [k]). For a
+    combinational circuit one [step] evaluates {!lanes} patterns at
+    once; for a sequential circuit the lanes are {!lanes} independent
+    sequences advancing in lockstep, each with its own flip-flop state.
+
+    The fault simulator also uses this engine with all lanes carrying
+    the same pattern: good value vs faulty value then differ per lane
+    only where a fault is injected. *)
+
+val lanes : int
+(** Number of parallel lanes (62). *)
+
+val all_ones : int
+(** Word with every lane set. *)
+
+type t
+
+type injection =
+  | Net of int  (** the whole net (stem fault) *)
+  | Pin of { gate : int; pin : int }
+      (** one gate's input pin (branch fault); for a flip-flop, pin 0 is
+          the D input *)
+
+val create : Netlist.t -> t
+val netlist : t -> Netlist.t
+
+val reset : t -> unit
+(** Load every flip-flop's reset value into all lanes. *)
+
+val step : t -> int array -> int array
+(** [step t inputs] evaluates one cycle. [inputs] holds one word per
+    primary input, in [input_nets] order; the result holds one word per
+    primary output, in [output_list] order. Flip-flops advance.
+    Raises [Invalid_argument] on an input arity mismatch. *)
+
+val step_with_fault : t -> int array -> fault_net:int -> stuck_value:int -> int array
+(** Like {!step}, but after evaluating [fault_net] its value is forced
+    to [stuck_value] (a full word: 0 or {!all_ones}) before propagating
+    further, and the faulty flip-flop state evolves accordingly.
+    [fault_net] may be any net, including a PI or DFF output. *)
+
+val step_injected : t -> int array -> inj:injection -> stuck:int -> int array
+(** Generalisation of {!step_with_fault} covering pin (branch)
+    faults. *)
+
+type lane_injection = {
+  inj : injection;
+  lanes : int;  (** which lanes this fault lives in (bit mask) *)
+  stuck : int;  (** 0 or {!all_ones}; applied only within [lanes] *)
+}
+
+val step_multi : t -> int array -> injections:lane_injection list -> int array
+(** One cycle with several faults, each confined to its own lanes —
+    the classical parallel-fault simulation step (lane 0 carries the
+    good machine, lanes 1.. one fault each). Flip-flop state diverges
+    per lane, so sequential circuits work naturally. *)
+
+val net_values : t -> int array
+(** A copy of all net words after the last step (diagnostic use). *)
+
+val dff_states : t -> int array
+(** Current flip-flop state words in [dff_nets] order — after a [step],
+    the state the next cycle will start from. *)

@@ -1,0 +1,31 @@
+let of_netlist (nl : Netlist.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  rankdir=LR;\n" nl.name);
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      let shape, label =
+        match g.kind with
+        | Gate.Pi name -> ("box", name)
+        | Gate.Dff _ -> ("doublecircle", Printf.sprintf "DFF%d" i)
+        | k -> ("ellipse", Printf.sprintf "%s%d" (Gate.kind_name k) i)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [shape=%s,label=%S];\n" i shape label);
+      Array.iter
+        (fun f -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" f i))
+        g.fanins)
+    nl.gates;
+  Array.iter
+    (fun (name, net) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  out_%s [shape=box,style=dashed,label=%S];\n" name name);
+      Buffer.add_string buf (Printf.sprintf "  n%d -> out_%s;\n" net name))
+    nl.output_list;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path nl =
+  let oc = open_out path in
+  (try output_string oc (of_netlist nl)
+   with e -> close_out oc; raise e);
+  close_out oc

@@ -1,0 +1,9 @@
+(** Graphviz export for debugging and documentation. *)
+
+val of_netlist : Netlist.t -> string
+(** A [digraph] with one node per gate (inputs as boxes, flip-flops as
+    double circles) and one edge per fanin connection; primary outputs
+    appear as labelled sink nodes. *)
+
+val write_file : string -> Netlist.t -> unit
+(** [write_file path nl] writes {!of_netlist} to [path]. *)

@@ -1,0 +1,49 @@
+type kind =
+  | Pi of string
+  | Const of bool
+  | Buf
+  | Not
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Dff of bool
+
+type t = { kind : kind; fanins : int array }
+
+let arity = function
+  | Pi _ | Const _ -> 0
+  | Buf | Not | Dff _ -> 1
+  | And | Or | Nand | Nor | Xor | Xnor -> 2
+
+let kind_name = function
+  | Pi _ -> "PI"
+  | Const false -> "CONST0"
+  | Const true -> "CONST1"
+  | Buf -> "BUF"
+  | Not -> "NOT"
+  | And -> "AND"
+  | Or -> "OR"
+  | Nand -> "NAND"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Dff _ -> "DFF"
+
+let is_commutative = function
+  | And | Or | Nand | Nor | Xor | Xnor -> true
+  | Pi _ | Const _ | Buf | Not | Dff _ -> false
+
+let eval2 kind a b =
+  match kind with
+  | Buf -> a
+  | Not -> lnot a
+  | And -> a land b
+  | Or -> a lor b
+  | Nand -> lnot (a land b)
+  | Nor -> lnot (a lor b)
+  | Xor -> a lxor b
+  | Xnor -> lnot (a lxor b)
+  | Pi _ | Const _ | Dff _ -> invalid_arg "Gate.eval2: not a combinational gate"

@@ -1,0 +1,37 @@
+(** Gate-level primitives.
+
+    A netlist is an array of gates; the array index of a gate is also
+    the id of the net it drives. Combinational gates have one or two
+    fanins; a D flip-flop's single fanin is its D pin, its output is Q.
+    Primary inputs and constants have no fanins. *)
+
+type kind =
+  | Pi of string  (** primary input, bit-level name (e.g. ["a\[3\]"]) *)
+  | Const of bool
+  | Buf
+  | Not
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Dff of bool  (** reset value; fanin is the D pin *)
+
+type t = { kind : kind; fanins : int array }
+
+val arity : kind -> int
+(** Expected fanin count: 0 for [Pi]/[Const], 1 for [Buf]/[Not]/[Dff],
+    2 for the binary gates. *)
+
+val kind_name : kind -> string
+(** Short name: ["PI"], ["AND"], ["DFF"], ... *)
+
+val is_commutative : kind -> bool
+(** True for the symmetric binary gates. *)
+
+val eval2 : kind -> int -> int -> int
+(** Bit-parallel evaluation over native-int words (one bit per
+    simulation lane). Unary gates ignore the second word; [Pi], [Const]
+    and [Dff] are not evaluable here and raise [Invalid_argument]. The
+    result is NOT masked to the lane count — callers mask. *)

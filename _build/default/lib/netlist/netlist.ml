@@ -1,0 +1,285 @@
+type t = {
+  name : string;
+  gates : Gate.t array;
+  input_nets : int array;
+  output_list : (string * int) array;
+  dff_nets : int array;
+}
+
+exception Lint_error of string
+
+let lint_fail fmt = Printf.ksprintf (fun msg -> raise (Lint_error msg)) fmt
+
+let input_names t =
+  Array.map
+    (fun net ->
+      match t.gates.(net).Gate.kind with
+      | Gate.Pi name -> name
+      | _ -> assert false)
+    t.input_nets
+
+let find_input t name =
+  let names = input_names t in
+  let rec scan i =
+    if i >= Array.length names then raise Not_found
+    else if names.(i) = name then t.input_nets.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let find_output t name =
+  let rec scan i =
+    if i >= Array.length t.output_list then raise Not_found
+    else
+      let n, net = t.output_list.(i) in
+      if n = name then net else scan (i + 1)
+  in
+  scan 0
+
+let num_gates t = Array.length t.gates
+
+let num_logic_gates t =
+  Array.fold_left
+    (fun acc (g : Gate.t) ->
+      match g.kind with
+      | Gate.Pi _ | Gate.Const _ | Gate.Dff _ -> acc
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor
+      | Gate.Xor | Gate.Xnor -> acc + 1)
+    0 t.gates
+
+let num_dffs t = Array.length t.dff_nets
+
+let fanouts t =
+  let fo = Array.make (Array.length t.gates) [] in
+  Array.iteri
+    (fun i (g : Gate.t) -> Array.iter (fun f -> fo.(f) <- i :: fo.(f)) g.fanins)
+    t.gates;
+  Array.map List.rev fo
+
+let lint t =
+  let n = Array.length t.gates in
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      if Array.length g.fanins <> Gate.arity g.kind then
+        lint_fail "%s: gate %d (%s) has %d fanins, expected %d" t.name i
+          (Gate.kind_name g.kind) (Array.length g.fanins) (Gate.arity g.kind);
+      Array.iter
+        (fun f ->
+          if f < 0 || f >= n then lint_fail "%s: gate %d fanin %d out of range" t.name i f)
+        g.fanins)
+    t.gates;
+  Array.iter
+    (fun (name, net) ->
+      if net < 0 || net >= n then lint_fail "%s: output %s drives bad net %d" t.name name net)
+    t.output_list;
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun (name, _) ->
+      if Hashtbl.mem seen name then lint_fail "%s: duplicate output %s" t.name name;
+      Hashtbl.add seen name ())
+    t.output_list;
+  (* Combinational cycle detection: DFS over comb gates, DFF fanins are
+     cut points. 0 = unvisited, 1 = on stack, 2 = done. *)
+  let mark = Array.make n 0 in
+  let rec dfs i =
+    if mark.(i) = 1 then lint_fail "%s: combinational cycle through net %d" t.name i;
+    if mark.(i) = 0 then begin
+      mark.(i) <- 1;
+      (match t.gates.(i).Gate.kind with
+       | Gate.Dff _ | Gate.Pi _ | Gate.Const _ -> ()
+       | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor
+       | Gate.Xor | Gate.Xnor -> Array.iter dfs t.gates.(i).Gate.fanins);
+      mark.(i) <- 2
+    end
+  in
+  for i = 0 to n - 1 do dfs i done
+
+module Builder = struct
+  type entry = { mutable kind : Gate.kind; mutable fanins : int array }
+
+  type t = {
+    bname : string;
+    mutable entries : entry list;  (* reverse order *)
+    mutable count : int;
+    strash : (Gate.kind * int * int, int) Hashtbl.t;
+    input_order : int list ref;
+    input_names_seen : (string, unit) Hashtbl.t;
+    outputs : (string * int) list ref;
+    output_names_seen : (string, unit) Hashtbl.t;
+    mutable dffs : int list;  (* reverse order *)
+    mutable arr : entry array;  (* index -> entry, grown lazily *)
+  }
+
+  let create bname =
+    {
+      bname;
+      entries = [];
+      count = 0;
+      strash = Hashtbl.create 256;
+      input_order = ref [];
+      input_names_seen = Hashtbl.create 16;
+      outputs = ref [];
+      output_names_seen = Hashtbl.create 16;
+      dffs = [];
+      arr = [||];
+    }
+
+  let entry_at b i =
+    if i < 0 || i >= b.count then invalid_arg "Builder: net id out of range";
+    b.arr.(i)
+
+  let push b kind fanins =
+    let e = { kind; fanins } in
+    b.entries <- e :: b.entries;
+    let id = b.count in
+    b.count <- id + 1;
+    if id >= Array.length b.arr then begin
+      let bigger = Array.make (max 64 (2 * Array.length b.arr)) e in
+      Array.blit b.arr 0 bigger 0 (Array.length b.arr);
+      b.arr <- bigger
+    end;
+    b.arr.(id) <- e;
+    id
+
+  let input b name =
+    if Hashtbl.mem b.input_names_seen name then
+      invalid_arg ("Builder.input: duplicate input " ^ name);
+    Hashtbl.add b.input_names_seen name ();
+    let id = push b (Gate.Pi name) [||] in
+    b.input_order := id :: !(b.input_order);
+    id
+
+  let const b v =
+    let key = (Gate.Const v, -1, -1) in
+    match Hashtbl.find_opt b.strash key with
+    | Some id -> id
+    | None ->
+      let id = push b (Gate.Const v) [||] in
+      Hashtbl.add b.strash key id;
+      id
+
+  let is_const b i =
+    match (entry_at b i).kind with Gate.Const v -> Some v | _ -> None
+
+  (* Hash-consed unary gate with local folding. *)
+  let unary b kind a =
+    match kind, is_const b a, (entry_at b a).kind with
+    | Gate.Buf, _, _ -> a
+    | Gate.Not, Some v, _ -> const b (not v)
+    | Gate.Not, None, Gate.Not ->
+      (* not (not x) = x *)
+      (entry_at b a).fanins.(0)
+    | _ ->
+      let key = (kind, a, -1) in
+      (match Hashtbl.find_opt b.strash key with
+       | Some id -> id
+       | None ->
+         let id = push b kind [| a |] in
+         Hashtbl.add b.strash key id;
+         id)
+
+  let not_ b a = unary b Gate.Not a
+  let buf b a = unary b Gate.Buf a
+
+  (* Constant folding and idempotence for the binary gates; anything
+     left is hash-consed with sorted operands. *)
+  let binary b kind a0 a1 =
+    let a, c = if a0 <= a1 then (a0, a1) else (a1, a0) in
+    let fold =
+      match kind, is_const b a, is_const b c with
+      | Gate.And, Some false, _ | Gate.And, _, Some false -> Some (const b false)
+      | Gate.And, Some true, _ -> Some c
+      | Gate.And, _, Some true -> Some a
+      | Gate.Or, Some true, _ | Gate.Or, _, Some true -> Some (const b true)
+      | Gate.Or, Some false, _ -> Some c
+      | Gate.Or, _, Some false -> Some a
+      | Gate.Xor, Some false, _ -> Some c
+      | Gate.Xor, _, Some false -> Some a
+      | Gate.Xor, Some true, _ -> Some (not_ b c)
+      | Gate.Xor, _, Some true -> Some (not_ b a)
+      | Gate.Nand, Some false, _ | Gate.Nand, _, Some false -> Some (const b true)
+      | Gate.Nand, Some true, _ -> Some (not_ b c)
+      | Gate.Nand, _, Some true -> Some (not_ b a)
+      | Gate.Nor, Some true, _ | Gate.Nor, _, Some true -> Some (const b false)
+      | Gate.Nor, Some false, _ -> Some (not_ b c)
+      | Gate.Nor, _, Some false -> Some (not_ b a)
+      | Gate.Xnor, Some true, _ -> Some c
+      | Gate.Xnor, _, Some true -> Some a
+      | Gate.Xnor, Some false, _ -> Some (not_ b c)
+      | Gate.Xnor, _, Some false -> Some (not_ b a)
+      | _, None, None when a = c ->
+        (match kind with
+         | Gate.And | Gate.Or -> Some a
+         | Gate.Xor -> Some (const b false)
+         | Gate.Xnor -> Some (const b true)
+         | Gate.Nand | Gate.Nor -> Some (not_ b a)
+         | _ -> None)
+      | _ -> None
+    in
+    match fold with
+    | Some id -> id
+    | None ->
+      let key = (kind, a, c) in
+      (match Hashtbl.find_opt b.strash key with
+       | Some id -> id
+       | None ->
+         let id = push b kind [| a; c |] in
+         Hashtbl.add b.strash key id;
+         id)
+
+  let and_ b x y = binary b Gate.And x y
+  let or_ b x y = binary b Gate.Or x y
+  let nand_ b x y = binary b Gate.Nand x y
+  let nor_ b x y = binary b Gate.Nor x y
+  let xor_ b x y = binary b Gate.Xor x y
+  let xnor_ b x y = binary b Gate.Xnor x y
+
+  let mux b ~sel ~t1 ~t0 =
+    if t1 = t0 then t1
+    else or_ b (and_ b sel t1) (and_ b (not_ b sel) t0)
+
+  let dff b ~init =
+    let id = push b (Gate.Dff init) [| -1 |] in
+    b.dffs <- id :: b.dffs;
+    id
+
+  let connect_dff b q ~d =
+    let e = entry_at b q in
+    (match e.kind with
+     | Gate.Dff _ -> ()
+     | _ -> invalid_arg "Builder.connect_dff: not a flip-flop");
+    if e.fanins.(0) <> -1 then invalid_arg "Builder.connect_dff: already connected";
+    if d < 0 || d >= b.count then invalid_arg "Builder.connect_dff: bad D net";
+    e.fanins.(0) <- d
+
+  let output b name net =
+    if Hashtbl.mem b.output_names_seen name then
+      invalid_arg ("Builder.output: duplicate output " ^ name);
+    if net < 0 || net >= b.count then invalid_arg "Builder.output: bad net";
+    Hashtbl.add b.output_names_seen name ();
+    b.outputs := (name, net) :: !(b.outputs)
+
+  let finalize b =
+    let entries = Array.of_list (List.rev b.entries) in
+    let gates =
+      Array.map (fun e -> { Gate.kind = e.kind; fanins = Array.copy e.fanins }) entries
+    in
+    Array.iteri
+      (fun i (g : Gate.t) ->
+        match g.kind with
+        | Gate.Dff _ when g.fanins.(0) = -1 ->
+          lint_fail "%s: flip-flop net %d has no D connection" b.bname i
+        | _ -> ())
+      gates;
+    let nl =
+      {
+        name = b.bname;
+        gates;
+        input_nets = Array.of_list (List.rev !(b.input_order));
+        output_list = Array.of_list (List.rev !(b.outputs));
+        dff_nets = Array.of_list (List.rev b.dffs);
+      }
+    in
+    lint nl;
+    nl
+end

@@ -1,0 +1,81 @@
+(** Gate-level netlists and the builder that constructs them.
+
+    The builder hash-conses combinational gates (structural hashing with
+    operand normalisation for the symmetric gates) and performs local
+    constant folding and idempotence rewrites, so synthesised netlists
+    carry no trivially redundant logic. Flip-flops break the feedback
+    loops: they are created with a dangling D pin that is connected
+    after the next-state logic exists. *)
+
+type t = {
+  name : string;
+  gates : Gate.t array;  (** net id = array index *)
+  input_nets : int array;  (** in creation order *)
+  output_list : (string * int) array;  (** PO name, driving net *)
+  dff_nets : int array;  (** nets driven by flip-flops *)
+}
+
+exception Lint_error of string
+
+val input_names : t -> string array
+val find_input : t -> string -> int
+(** Net of a named primary input. Raises [Not_found]. *)
+
+val find_output : t -> string -> int
+(** Driving net of a named primary output. Raises [Not_found]. *)
+
+val num_gates : t -> int
+(** Total nets, inputs and constants included. *)
+
+val num_logic_gates : t -> int
+(** Combinational gates only (no PI, constants or DFFs). *)
+
+val num_dffs : t -> int
+
+val fanouts : t -> int list array
+(** [fanouts nl] maps every net to the gates it feeds (DFF D pins
+    included). *)
+
+val lint : t -> unit
+(** Validate: fanin arities match gate kinds, fanin ids are in range,
+    no combinational cycles, every output name unique. Raises
+    {!Lint_error}. *)
+
+(** {1 Building} *)
+
+module Builder : sig
+  type netlist := t
+  type t
+
+  val create : string -> t
+  val input : t -> string -> int
+  (** Declare a primary input. Raises [Invalid_argument] on a duplicate
+      name. *)
+
+  val const : t -> bool -> int
+  val buf : t -> int -> int
+  val not_ : t -> int -> int
+  val and_ : t -> int -> int -> int
+  val or_ : t -> int -> int -> int
+  val nand_ : t -> int -> int -> int
+  val nor_ : t -> int -> int -> int
+  val xor_ : t -> int -> int -> int
+  val xnor_ : t -> int -> int -> int
+
+  val mux : t -> sel:int -> t1:int -> t0:int -> int
+  (** [mux ~sel ~t1 ~t0] is [sel ? t1 : t0], built from basic gates. *)
+
+  val dff : t -> init:bool -> int
+  (** New flip-flop with a dangling D pin; connect it with
+      {!connect_dff} before {!finalize}. *)
+
+  val connect_dff : t -> int -> d:int -> unit
+  (** Connect the D pin of flip-flop net [q]. Raises [Invalid_argument]
+      if [q] is not a flip-flop or is already connected. *)
+
+  val output : t -> string -> int -> unit
+  (** Name a primary output. Raises [Invalid_argument] on duplicates. *)
+
+  val finalize : t -> netlist
+  (** Freeze and lint. Raises {!Lint_error} (e.g. an unconnected DFF). *)
+end

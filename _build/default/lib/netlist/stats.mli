@@ -1,0 +1,16 @@
+(** Netlist size and structure metrics for reports. *)
+
+type t = {
+  nets : int;
+  primary_inputs : int;
+  primary_outputs : int;
+  flip_flops : int;
+  logic_gates : int;
+  gate_histogram : (string * int) list;  (** kind name -> count, nonzero only *)
+  levels : int;  (** combinational depth *)
+  max_fanout : int;
+}
+
+val compute : Netlist.t -> t
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

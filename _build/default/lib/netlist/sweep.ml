@@ -1,0 +1,46 @@
+let run (nl : Netlist.t) =
+  let n = Array.length nl.gates in
+  let live = Array.make n false in
+  let rec mark i =
+    if not live.(i) then begin
+      live.(i) <- true;
+      Array.iter mark nl.gates.(i).Gate.fanins
+    end
+  in
+  (* [mark] recurses through every fanin, and a flip-flop's fanin is its
+     D pin, so marking an output cone transitively pulls in the state
+     logic it depends on — across any number of register stages. *)
+  Array.iter (fun (_, net) -> mark net) nl.output_list;
+  Array.iter (fun net -> live.(net) <- true) nl.input_nets;
+  (* Renumber. *)
+  let remap = Array.make n (-1) in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if live.(i) then begin
+      remap.(i) <- !count;
+      incr count
+    end
+  done;
+  let gates =
+    Array.of_list (List.filteri (fun i _ -> live.(i)) (Array.to_list nl.gates))
+  in
+  let gates =
+    Array.map
+      (fun (g : Gate.t) -> { g with Gate.fanins = Array.map (fun f -> remap.(f)) g.fanins })
+      gates
+  in
+  let swept =
+    {
+      nl with
+      Netlist.gates;
+      input_nets = Array.map (fun net -> remap.(net)) nl.input_nets;
+      output_list = Array.map (fun (name, net) -> (name, remap.(net))) nl.output_list;
+      dff_nets =
+        Array.of_list
+          (List.filter_map
+             (fun q -> if live.(q) then Some remap.(q) else None)
+             (Array.to_list nl.dff_nets));
+    }
+  in
+  Netlist.lint swept;
+  (swept, n - !count)

@@ -1,0 +1,9 @@
+(** Dead-gate elimination.
+
+    Keeps the nets reachable backwards from the primary outputs
+    (crossing flip-flops into their D cones) plus every primary input,
+    renumbers, and rebuilds. Interface names and order are
+    preserved. *)
+
+val run : Netlist.t -> Netlist.t * int
+(** The swept netlist and the number of gates removed. *)

@@ -1,0 +1,29 @@
+type t = { order : int array; level : int array; max_level : int }
+
+let compute (nl : Netlist.t) =
+  let n = Array.length nl.gates in
+  let level = Array.make n (-1) in
+  let order = ref [] in
+  let rec visit i =
+    if level.(i) >= 0 then level.(i)
+    else begin
+      (* A -2 mark would flag a cycle, but Netlist.lint already rejects
+         cyclic netlists; rely on that invariant. *)
+      let l =
+        match nl.gates.(i).Gate.kind with
+        | Gate.Pi _ | Gate.Const _ | Gate.Dff _ -> 0
+        | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor
+        | Gate.Xor | Gate.Xnor ->
+          let m = Array.fold_left (fun acc f -> max acc (visit f)) 0 nl.gates.(i).Gate.fanins in
+          order := i :: !order;
+          m + 1
+      in
+      level.(i) <- l;
+      l
+    end
+  in
+  let max_level = ref 0 in
+  for i = 0 to n - 1 do
+    max_level := max !max_level (visit i)
+  done;
+  { order = Array.of_list (List.rev !order); level; max_level = !max_level }

@@ -1,0 +1,14 @@
+(** Topological levelisation.
+
+    Orders the combinational gates so every gate appears after its
+    fanins, treating primary inputs, constants and flip-flop outputs as
+    level-0 sources. Simulators and the ATPG iterate this order. *)
+
+type t = {
+  order : int array;  (** combinational gates in evaluation order *)
+  level : int array;  (** per net: 0 for sources, else 1 + max fanin level *)
+  max_level : int;
+}
+
+val compute : Netlist.t -> t
+(** Raises {!Netlist.Lint_error} on a combinational cycle. *)

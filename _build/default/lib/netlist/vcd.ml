@@ -1,0 +1,63 @@
+type recorder = {
+  nl : Netlist.t;
+  timescale : string;
+  ids : string array;  (* VCD identifier per net *)
+  mutable cycles : int array list;  (* reverse order; lane-0 bit per net *)
+}
+
+(* VCD identifiers: printable ASCII 33..126, base-94 little-endian. *)
+let vcd_id k =
+  let rec build k acc =
+    let c = Char.chr (33 + (k mod 94)) in
+    let acc = acc ^ String.make 1 c in
+    if k < 94 then acc else build ((k / 94) - 1) acc
+  in
+  build k ""
+
+let net_label (nl : Netlist.t) i =
+  match nl.gates.(i).Gate.kind with
+  | Gate.Pi name -> name
+  | Gate.Dff _ -> Printf.sprintf "dff%d" i
+  | _ -> Printf.sprintf "n%d" i
+
+let create nl ~timescale =
+  {
+    nl;
+    timescale;
+    ids = Array.init (Array.length nl.Netlist.gates) vcd_id;
+    cycles = [];
+  }
+
+let sample r sim =
+  let values = Bitsim.net_values sim in
+  r.cycles <- Array.map (fun w -> w land 1) values :: r.cycles
+
+let contents r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "$timescale %s $end\n" r.timescale);
+  Buffer.add_string buf (Printf.sprintf "$scope module %s $end\n" r.nl.Netlist.name);
+  Array.iteri
+    (fun i id ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire 1 %s %s $end\n" id (net_label r.nl i)))
+    r.ids;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let cycles = Array.of_list (List.rev r.cycles) in
+  let previous = Array.make (Array.length r.ids) (-1) in
+  Array.iteri
+    (fun t cycle ->
+      Buffer.add_string buf (Printf.sprintf "#%d\n" t);
+      Array.iteri
+        (fun i v ->
+          if v <> previous.(i) then begin
+            previous.(i) <- v;
+            Buffer.add_string buf (Printf.sprintf "%d%s\n" v r.ids.(i))
+          end)
+        cycle)
+    cycles;
+  Buffer.contents buf
+
+let write_file path r =
+  let oc = open_out path in
+  (try output_string oc (contents r) with e -> close_out oc; raise e);
+  close_out oc

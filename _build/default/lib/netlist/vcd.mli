@@ -1,0 +1,19 @@
+(** Value Change Dump (IEEE 1364) waveform writer.
+
+    Records a {!Bitsim} run so traces open in GTKWave & friends. Lane 0
+    of every word is dumped; nets are named like the DOT export
+    (primary inputs keep their names, other nets are [n<id>]). *)
+
+type recorder
+
+val create : Netlist.t -> timescale:string -> recorder
+(** [timescale] e.g. ["1ns"]. *)
+
+val sample : recorder -> Bitsim.t -> unit
+(** Record the current net values as the next cycle. Call after each
+    [Bitsim.step] on the same netlist instance. *)
+
+val contents : recorder -> string
+(** Render header plus all recorded cycles. *)
+
+val write_file : string -> recorder -> unit

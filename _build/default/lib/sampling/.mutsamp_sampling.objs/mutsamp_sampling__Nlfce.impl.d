@@ -1,0 +1,1 @@
+lib/sampling/nlfce.ml: Float Format Mutsamp_fault Printf

@@ -1,0 +1,1 @@
+lib/sampling/nlfce.mli: Format Mutsamp_fault

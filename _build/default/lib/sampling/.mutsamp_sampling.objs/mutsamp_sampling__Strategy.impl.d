@@ -1,0 +1,1 @@
+lib/sampling/strategy.ml: Array Float Hashtbl List Mutsamp_mutation Mutsamp_util Option

@@ -1,0 +1,1 @@
+lib/sampling/strategy.mli: Mutsamp_mutation Mutsamp_util

@@ -1,0 +1,67 @@
+module Fsim = Mutsamp_fault.Fsim
+
+type t = {
+  mutation_length : int;
+  mfc : float;
+  rfc_at_equal_length : float;
+  random_length_for_mfc : int;
+  random_saturated : bool;
+  delta_fc_percent : float;
+  delta_l_percent : float;
+  nlfce : float;
+}
+
+let rfc_floor = 0.01
+
+let of_reports ?(min_compare_length = 16) ~mutation ~random () =
+  if mutation.Fsim.total <> random.Fsim.total then
+    invalid_arg "Nlfce.of_reports: reports cover different fault lists";
+  let mutation_length = mutation.Fsim.patterns_applied in
+  let mfc = Fsim.coverage_percent mutation in
+  (* Very short mutation sets are compared against a minimum random
+     budget: a 2-vector set must beat 2 *and* [min_compare_length]
+     random vectors to claim a coverage gain, otherwise the relative
+     gain at microscopic lengths explodes meaninglessly. *)
+  let compare_length = max mutation_length min_compare_length in
+  let rfc_at_equal_length = Fsim.coverage_at random compare_length in
+  let random_length_for_mfc, random_saturated =
+    match Fsim.length_to_reach random mfc with
+    | Some l -> (l, false)
+    | None -> (random.Fsim.patterns_applied, true)
+  in
+  let delta_fc_percent =
+    100. *. (mfc -. rfc_at_equal_length) /. Float.max rfc_at_equal_length rfc_floor
+  in
+  let delta_l_percent =
+    if random_length_for_mfc = 0 then 0.
+    else
+      100.
+      *. float_of_int (random_length_for_mfc - mutation_length)
+      /. float_of_int random_length_for_mfc
+  in
+  (* The product of two losses must read as a loss: when both gains are
+     negative, negate the (positive) product. *)
+  let nlfce =
+    if delta_fc_percent < 0. && delta_l_percent < 0. then
+      -.(delta_fc_percent *. delta_l_percent)
+    else delta_fc_percent *. delta_l_percent
+  in
+  {
+    mutation_length;
+    mfc;
+    rfc_at_equal_length;
+    random_length_for_mfc;
+    random_saturated;
+    delta_fc_percent;
+    delta_l_percent;
+    nlfce;
+  }
+
+let to_string t =
+  Printf.sprintf
+    "L_m=%d MFC=%.2f%% RFC(L_m)=%.2f%% L_r=%d%s dFC=%.2f%% dL=%.2f%% NLFCE=%+.1f"
+    t.mutation_length t.mfc t.rfc_at_equal_length t.random_length_for_mfc
+    (if t.random_saturated then "(sat)" else "")
+    t.delta_fc_percent t.delta_l_percent t.nlfce
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,51 @@
+(** The paper's Non-Linear Fault Coverage Efficiency metric (section 3).
+
+    Given stuck-at fault simulation results for mutation-generated data
+    of length [L_m] and for a (longer) pseudo-random reference set:
+
+    - MFC: coverage of the mutation data;
+    - RFC(L): coverage of the first [L] random patterns;
+    - ΔFC% = (MFC − RFC(L_m)) / RFC(L_m) × 100 — the relative coverage
+      gain at equal length;
+    - ΔL% = (L_r − L_m) / L_r × 100, with [L_r] the shortest random
+      prefix reaching MFC — the relative length gain at equal coverage;
+    - NLFCE = ΔFC% × ΔL% — except that when both gains are negative the
+      (positive) product is negated, so a strict loss on both axes reads
+      as a negative efficiency rather than masquerading as a gain. *)
+
+(**
+
+    When the random set never reaches MFC, [L_r] falls back to the full
+    random length and {!t.random_saturated} is set: the reported ΔL%
+    (and hence NLFCE) is then a lower bound. When RFC(L_m) is zero the
+    gain is computed against a floor of 0.01 % so the metric stays
+    finite; both conventions are recorded in DESIGN.md. *)
+
+type t = {
+  mutation_length : int;  (** L_m *)
+  mfc : float;
+  rfc_at_equal_length : float;
+  random_length_for_mfc : int;  (** L_r (see [random_saturated]) *)
+  random_saturated : bool;
+  delta_fc_percent : float;
+  delta_l_percent : float;
+  nlfce : float;
+}
+
+val of_reports :
+  ?min_compare_length:int ->
+  mutation:Mutsamp_fault.Fsim.report ->
+  random:Mutsamp_fault.Fsim.report ->
+  unit ->
+  t
+(** Compute the metric from two fault-simulation reports over the same
+    fault list. Raises [Invalid_argument] when the fault totals
+    differ.
+
+    [min_compare_length] (default 16) guards the equal-length
+    comparison: a mutation set shorter than this is compared against
+    that many random vectors, so microscopic test sets cannot claim
+    astronomic relative gains against a near-zero random baseline. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sat/equiv.ml: Array Cnf List Mutsamp_netlist Printf Solver Tseitin

@@ -1,0 +1,1 @@
+lib/sat/equiv.mli: Mutsamp_netlist

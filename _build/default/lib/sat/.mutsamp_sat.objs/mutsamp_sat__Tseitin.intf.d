@@ -1,0 +1,1 @@
+lib/sat/tseitin.mli: Cnf Mutsamp_netlist

@@ -1,0 +1,26 @@
+(** Miter-based combinational equivalence checking.
+
+    Two netlists with identical interfaces are joined on their primary
+    inputs; each output pair feeds an XOR and the disjunction of the
+    XORs is asserted. UNSAT proves equivalence; a model is a
+    counterexample input assignment. Sequential netlists are rejected —
+    the behavioural level handles those (product-machine BFS). *)
+
+type verdict =
+  | Equivalent
+  | Counterexample of (string * bool) list
+      (** input name to value, for every primary input *)
+
+exception Equiv_error of string
+
+val check : Mutsamp_netlist.Netlist.t -> Mutsamp_netlist.Netlist.t -> verdict
+(** Raises {!Equiv_error} if interfaces differ or a netlist holds
+    flip-flops. *)
+
+val counterexample_is_real :
+  Mutsamp_netlist.Netlist.t ->
+  Mutsamp_netlist.Netlist.t ->
+  (string * bool) list ->
+  bool
+(** Replay a counterexample on both netlists and confirm the outputs
+    differ (test oracle). *)

@@ -1,0 +1,322 @@
+type result = Sat of bool array | Unsat
+
+(* Internal clause representation: a dynamic array of literal arrays.
+   Clause 0..n_orig-1 are problem clauses, the rest are learnt. *)
+
+type state = {
+  nvars : int;
+  mutable clauses : Cnf.clause array;
+  mutable n_clauses : int;
+  (* assignment: 0 unassigned, 1 true, -1 false, indexed by variable *)
+  value : int array;
+  level : int array;
+  reason : int array;  (* clause index or -1, per variable *)
+  trail : int array;  (* assigned literals in order *)
+  mutable trail_size : int;
+  trail_lim : int array;  (* trail size at each decision level *)
+  mutable decision_level : int;
+  (* watches.(lit_index l) = clause indices watching literal l *)
+  watches : int list array;
+  activity : float array;
+  mutable var_inc : float;
+  saved_phase : bool array;
+  seen : bool array;  (* scratch for conflict analysis *)
+}
+
+let lit_index l = if l > 0 then 2 * l else (2 * -l) + 1
+
+let value_of_lit st l =
+  let v = st.value.(abs l) in
+  if l > 0 then v else -v
+
+let grow_clauses st =
+  if st.n_clauses = Array.length st.clauses then begin
+    let bigger = Array.make (max 64 (2 * Array.length st.clauses)) [||] in
+    Array.blit st.clauses 0 bigger 0 st.n_clauses;
+    st.clauses <- bigger
+  end
+
+(* Install watches on the first two literals of a clause. *)
+let watch_clause st ci =
+  let c = st.clauses.(ci) in
+  st.watches.(lit_index c.(0)) <- ci :: st.watches.(lit_index c.(0));
+  if Array.length c > 1 then
+    st.watches.(lit_index c.(1)) <- ci :: st.watches.(lit_index c.(1))
+
+let enqueue st l reason =
+  st.value.(abs l) <- (if l > 0 then 1 else -1);
+  st.level.(abs l) <- st.decision_level;
+  st.reason.(abs l) <- reason;
+  st.trail.(st.trail_size) <- l;
+  st.trail_size <- st.trail_size + 1
+
+(* Propagate all pending assignments; returns the conflicting clause
+   index or -1. *)
+let propagate st queue_head =
+  let conflict = ref (-1) in
+  let head = ref queue_head in
+  while !conflict = -1 && !head < st.trail_size do
+    let l = st.trail.(!head) in
+    incr head;
+    let falsified = -l in
+    let wl = st.watches.(lit_index falsified) in
+    st.watches.(lit_index falsified) <- [];
+    let rec scan = function
+      | [] -> ()
+      | ci :: rest ->
+        if !conflict <> -1 then
+          (* Conflict found: re-register the remaining watchers. *)
+          st.watches.(lit_index falsified) <-
+            ci :: rest @ st.watches.(lit_index falsified)
+        else begin
+          let c = st.clauses.(ci) in
+          (* Normalise: put the falsified literal at position 1. *)
+          if Array.length c > 1 && c.(0) = falsified then begin
+            c.(0) <- c.(1);
+            c.(1) <- falsified
+          end;
+          if Array.length c > 1 && value_of_lit st c.(0) = 1 then begin
+            (* Clause already satisfied; keep watching. *)
+            st.watches.(lit_index falsified) <- ci :: st.watches.(lit_index falsified);
+            scan rest
+          end
+          else begin
+            (* Look for a new literal to watch. *)
+            let n = Array.length c in
+            let found = ref false in
+            let k = ref 2 in
+            while (not !found) && !k < n do
+              if value_of_lit st c.(!k) <> -1 then begin
+                let tmp = c.(1) in
+                c.(1) <- c.(!k);
+                c.(!k) <- tmp;
+                st.watches.(lit_index c.(1)) <- ci :: st.watches.(lit_index c.(1));
+                found := true
+              end;
+              incr k
+            done;
+            if !found then scan rest
+            else begin
+              (* Unit or conflicting. *)
+              st.watches.(lit_index falsified) <- ci :: st.watches.(lit_index falsified);
+              (match value_of_lit st c.(0) with
+               | -1 -> conflict := ci
+               | 0 -> enqueue st c.(0) ci
+               | _ -> ());
+              scan rest
+            end
+          end
+        end
+    in
+    scan wl
+  done;
+  (!conflict, !head)
+
+let bump st v =
+  st.activity.(v) <- st.activity.(v) +. st.var_inc;
+  if st.activity.(v) > 1e100 then begin
+    for i = 1 to st.nvars do
+      st.activity.(i) <- st.activity.(i) *. 1e-100
+    done;
+    st.var_inc <- st.var_inc *. 1e-100
+  end
+
+(* First-UIP conflict analysis. Returns the learnt clause (UIP literal
+   first) and the backtrack level. *)
+let analyze st conflict_ci =
+  let learnt = ref [] in
+  let counter = ref 0 in
+  let p = ref 0 in
+  let ci = ref conflict_ci in
+  let trail_pos = ref (st.trail_size - 1) in
+  let continue = ref true in
+  while !continue do
+    let c = st.clauses.(!ci) in
+    Array.iter
+      (fun q ->
+        let v = abs q in
+        if q <> !p && not st.seen.(v) && st.level.(v) > 0 then begin
+          st.seen.(v) <- true;
+          bump st v;
+          if st.level.(v) = st.decision_level then incr counter
+          else learnt := q :: !learnt
+        end)
+      c;
+    (* Find the next seen literal on the trail. *)
+    while not st.seen.(abs st.trail.(!trail_pos)) do
+      decr trail_pos
+    done;
+    let l = st.trail.(!trail_pos) in
+    st.seen.(abs l) <- false;
+    decr trail_pos;
+    decr counter;
+    if !counter = 0 then begin
+      p := -l;
+      continue := false
+    end
+    else begin
+      p := l;
+      ci := st.reason.(abs l)
+    end
+  done;
+  let learnt_clause = Array.of_list (!p :: !learnt) in
+  List.iter (fun q -> st.seen.(abs q) <- false) !learnt;
+  (* Backtrack level: second-highest level in the clause. *)
+  let back_level =
+    Array.fold_left
+      (fun acc q -> if q = !p then acc else max acc st.level.(abs q))
+      0 learnt_clause
+  in
+  (learnt_clause, back_level)
+
+(* Undo all assignments made at levels strictly above [lvl];
+   trail_lim.(k) records the trail size just before level k's decision. *)
+let backtrack st lvl =
+  if st.decision_level > lvl then begin
+    let bound = st.trail_lim.(lvl + 1) in
+    for i = st.trail_size - 1 downto bound do
+      let v = abs st.trail.(i) in
+      st.saved_phase.(v) <- st.value.(v) = 1;
+      st.value.(v) <- 0;
+      st.reason.(v) <- -1
+    done;
+    st.trail_size <- bound;
+    st.decision_level <- lvl
+  end
+
+let pick_branch st =
+  let best = ref 0 and best_act = ref neg_infinity in
+  for v = 1 to st.nvars do
+    if st.value.(v) = 0 && st.activity.(v) > !best_act then begin
+      best := v;
+      best_act := st.activity.(v)
+    end
+  done;
+  if !best = 0 then None
+  else Some (if st.saved_phase.(!best) then !best else - !best)
+
+let add_learnt st c =
+  grow_clauses st;
+  let ci = st.n_clauses in
+  st.clauses.(ci) <- c;
+  st.n_clauses <- ci + 1;
+  (* Watch the UIP literal and the highest-level other literal so the
+     clause is immediately unit after backtracking. *)
+  if Array.length c > 1 then begin
+    let best = ref 1 in
+    for k = 2 to Array.length c - 1 do
+      if st.level.(abs c.(k)) > st.level.(abs c.(!best)) then best := k
+    done;
+    let tmp = c.(1) in
+    c.(1) <- c.(!best);
+    c.(!best) <- tmp
+  end;
+  watch_clause st ci;
+  ci
+
+let solve ?(assumptions = []) cnf =
+  let nvars = Cnf.num_vars cnf in
+  let original = Cnf.clauses cnf in
+  let st =
+    {
+      nvars;
+      clauses = Array.make (max 64 (Array.length original * 2)) [||];
+      n_clauses = 0;
+      value = Array.make (nvars + 1) 0;
+      level = Array.make (nvars + 1) 0;
+      reason = Array.make (nvars + 1) (-1);
+      trail = Array.make (nvars + 1) 0;
+      trail_size = 0;
+      trail_lim = Array.make (nvars + 2) 0;
+      decision_level = 0;
+      watches = Array.make (2 * nvars + 2) [];
+      activity = Array.make (nvars + 1) 0.;
+      var_inc = 1.;
+      saved_phase = Array.make (nvars + 1) false;
+      seen = Array.make (nvars + 1) false;
+    }
+  in
+  let exception Early of result in
+  try
+    (* Load problem clauses; units go straight onto the trail. *)
+    Array.iter
+      (fun c ->
+        if Array.length c = 1 then begin
+          match value_of_lit st c.(0) with
+          | 1 -> ()
+          | -1 -> raise (Early Unsat)
+          | _ -> enqueue st c.(0) (-1)
+        end
+        else begin
+          grow_clauses st;
+          st.clauses.(st.n_clauses) <- Array.copy c;
+          st.n_clauses <- st.n_clauses + 1;
+          watch_clause st (st.n_clauses - 1);
+          (* Seed activity so structured instances branch on busy
+             variables first. *)
+          Array.iter (fun l -> st.activity.(abs l) <- st.activity.(abs l) +. 1e-5) c
+        end)
+      original;
+    List.iter
+      (fun l ->
+        match value_of_lit st l with
+        | 1 -> ()
+        | -1 -> raise (Early Unsat)
+        | _ -> enqueue st l (-1))
+      assumptions;
+    let queue_head = ref 0 in
+    let conflicts_since_restart = ref 0 in
+    let restart_limit = ref 100 in
+    let rec search () =
+      let conflict, head = propagate st !queue_head in
+      queue_head := head;
+      if conflict >= 0 then begin
+        incr conflicts_since_restart;
+        st.var_inc <- st.var_inc *. 1.05;
+        if st.decision_level = 0 then raise (Early Unsat);
+        let learnt, back_level = analyze st conflict in
+        backtrack st back_level;
+        queue_head := st.trail_size;
+        if Array.length learnt = 1 then begin
+          (match value_of_lit st learnt.(0) with
+           | -1 -> raise (Early Unsat)
+           | 0 -> enqueue st learnt.(0) (-1)
+           | _ -> ())
+        end
+        else begin
+          let ci = add_learnt st learnt in
+          enqueue st learnt.(0) ci
+        end;
+        search ()
+      end
+      else if !conflicts_since_restart >= !restart_limit then begin
+        conflicts_since_restart := 0;
+        restart_limit := !restart_limit * 3 / 2;
+        backtrack st 0;
+        queue_head := st.trail_size;
+        search ()
+      end
+      else
+        match pick_branch st with
+        | None ->
+          let model = Array.make (nvars + 1) false in
+          for v = 1 to nvars do
+            model.(v) <- st.value.(v) = 1
+          done;
+          raise (Early (Sat model))
+        | Some l ->
+          st.decision_level <- st.decision_level + 1;
+          st.trail_lim.(st.decision_level) <- st.trail_size;
+          enqueue st l (-1);
+          search ()
+    in
+    search ()
+  with Early r -> r
+
+let is_satisfying cnf model =
+  Array.for_all
+    (fun c ->
+      Array.exists
+        (fun l -> if l > 0 then model.(l) else not model.(-l))
+        c)
+    (Cnf.clauses cnf)

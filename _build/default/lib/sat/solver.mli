@@ -1,0 +1,21 @@
+(** CDCL SAT solver.
+
+    Conflict-driven clause learning with two-watched-literal propagation,
+    first-UIP conflict analysis, VSIDS-style activity-based decisions
+    with phase saving, and geometric restarts. Intended for the miter
+    and ATPG instances this repository produces (thousands of variables),
+    not as a competition solver. *)
+
+type result =
+  | Sat of bool array
+      (** model indexed by variable (entry 0 unused) *)
+  | Unsat
+
+val solve : ?assumptions:Cnf.lit list -> Cnf.t -> result
+(** Decide the formula. [assumptions] are forced as decision-level-0
+    units for this call. Deterministic: the same formula and assumptions
+    always take the same search path. *)
+
+val is_satisfying : Cnf.t -> bool array -> bool
+(** [is_satisfying cnf model] checks the model against every clause
+    (test oracle). *)

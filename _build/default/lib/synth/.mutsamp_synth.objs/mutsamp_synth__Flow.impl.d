@@ -1,0 +1,1 @@
+lib/synth/flow.ml: Lower Mapping Optimize

@@ -1,0 +1,1 @@
+lib/synth/flow.mli: Mapping Mutsamp_hdl Mutsamp_netlist

@@ -1,0 +1,1 @@
+lib/synth/lower.ml: Array Hashtbl List Mutsamp_hdl Mutsamp_netlist Option Printf Wordlib

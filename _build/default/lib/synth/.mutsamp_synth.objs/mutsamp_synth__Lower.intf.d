@@ -1,0 +1,1 @@
+lib/synth/lower.mli: Mutsamp_hdl Mutsamp_netlist

@@ -1,0 +1,1 @@
+lib/synth/mapping.ml: Array Hashtbl List Lower Mutsamp_hdl Mutsamp_netlist Mutsamp_util Printf

@@ -1,0 +1,1 @@
+lib/synth/mapping.mli: Mutsamp_hdl Mutsamp_netlist

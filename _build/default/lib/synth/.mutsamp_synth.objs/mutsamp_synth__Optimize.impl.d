@@ -1,0 +1,1 @@
+lib/synth/optimize.ml: Array List Mutsamp_netlist

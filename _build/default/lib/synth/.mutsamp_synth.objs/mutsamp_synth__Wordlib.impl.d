@@ -1,0 +1,1 @@
+lib/synth/wordlib.ml: Array List Mutsamp_netlist Printf

@@ -1,0 +1,1 @@
+lib/synth/wordlib.mli: Mutsamp_netlist

@@ -1,0 +1,5 @@
+let synthesize design = Optimize.sweep (Lower.run design)
+
+let synthesize_mapped design =
+  let nl = synthesize design in
+  (nl, Mapping.make design nl)

@@ -1,0 +1,9 @@
+(** One-call synthesis entry point. *)
+
+val synthesize : Mutsamp_hdl.Ast.design -> Mutsamp_netlist.Netlist.t
+(** {!Lower.run} followed by {!Optimize.sweep}. *)
+
+val synthesize_mapped :
+  Mutsamp_hdl.Ast.design -> Mutsamp_netlist.Netlist.t * Mapping.t
+(** {!synthesize} plus the port mapping for driving the netlist with
+    word-level stimuli. *)

@@ -1,0 +1,204 @@
+open Mutsamp_hdl.Ast
+module Check = Mutsamp_hdl.Check
+module B = Mutsamp_netlist.Netlist.Builder
+module W = Wordlib
+
+exception Synth_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Synth_error msg)) fmt
+
+let bit_name port width i =
+  if width = 1 then port else Printf.sprintf "%s[%d]" port i
+
+(* The symbolic environment maps every writable name (vars, outputs and
+   register next-values) to a word. Reads of registers bypass it and
+   use the flip-flop outputs. *)
+type env = (string, W.word) Hashtbl.t
+
+type ctx = {
+  b : B.t;
+  design : design;
+  q_words : (string, W.word) Hashtbl.t;  (* register name -> DFF output word *)
+  input_words : (string, W.word) Hashtbl.t;
+  const_words : (string, W.word) Hashtbl.t;
+}
+
+let env_copy (e : env) : env = Hashtbl.copy e
+
+let lit_value (l : literal) =
+  match l.width with
+  | Some _ -> l.value
+  | None -> fail "unsized literal: design not elaborated"
+
+let rec lower_expr ctx (env : env) (e : expr) : W.word =
+  match e with
+  | Const l -> W.const_word ctx.b ~width:(Option.get l.width) l.value
+  | Ref name ->
+    (match Hashtbl.find_opt ctx.q_words name with
+     | Some w -> w
+     | None ->
+       (match Hashtbl.find_opt ctx.input_words name with
+        | Some w -> w
+        | None ->
+          (match Hashtbl.find_opt ctx.const_words name with
+           | Some w -> w
+           | None ->
+             (match Hashtbl.find_opt env name with
+              | Some w -> w
+              | None -> fail "%s: unknown name %s" ctx.design.name name))))
+  | Unop (Not, a) -> W.lognot ctx.b (lower_expr ctx env a)
+  | Binop (op, a, bb) ->
+    let x = lower_expr ctx env a and y = lower_expr ctx env bb in
+    (match op with
+     | Add -> W.add ctx.b x y
+     | Sub -> W.sub ctx.b x y
+     | And -> W.logand ctx.b x y
+     | Or -> W.logor ctx.b x y
+     | Xor -> W.logxor ctx.b x y
+     | Nand -> W.lognand ctx.b x y
+     | Nor -> W.lognor ctx.b x y
+     | Xnor -> W.logxnor ctx.b x y
+     | Eq -> [| W.eq ctx.b x y |]
+     | Neq -> [| W.neq ctx.b x y |]
+     | Lt -> [| W.lt ctx.b x y |]
+     | Le -> [| W.le ctx.b x y |]
+     | Gt -> [| W.gt ctx.b x y |]
+     | Ge -> [| W.ge ctx.b x y |])
+  | Bit (a, i) -> W.bit (lower_expr ctx env a) i
+  | Slice (a, hi, lo) -> W.slice (lower_expr ctx env a) ~hi ~lo
+  | Concat (a, bb) ->
+    W.concat_words ~high:(lower_expr ctx env a) ~low:(lower_expr ctx env bb)
+  | Resize (a, w) -> W.resize ctx.b (lower_expr ctx env a) w
+
+(* Merge two branch environments under a select bit: for each name whose
+   words differ, insert a mux. Both environments are total over the same
+   key set by construction. *)
+let merge_env ctx ~sel (env_t : env) (env_f : env) : env =
+  let merged = Hashtbl.create (Hashtbl.length env_t) in
+  Hashtbl.iter
+    (fun name wt ->
+      let wf = Hashtbl.find env_f name in
+      let w = if wt = wf then wt else W.mux ctx.b ~sel ~t1:wt ~t0:wf in
+      Hashtbl.replace merged name w)
+    env_t;
+  merged
+
+let rec lower_stmt ctx (env : env) (s : stmt) : env =
+  match s with
+  | Null -> env
+  | Assign (name, e) ->
+    let w = lower_expr ctx env e in
+    let env = env_copy env in
+    Hashtbl.replace env name w;
+    env
+  | If (c, then_branch, else_branch) ->
+    let sel = (lower_expr ctx env c).(0) in
+    let env_t = lower_stmts ctx (env_copy env) then_branch in
+    let env_f = lower_stmts ctx (env_copy env) else_branch in
+    merge_env ctx ~sel env_t env_f
+  | Case (scrut, arms, others) ->
+    let sw = lower_expr ctx env scrut in
+    (* Case choices are pairwise disjoint by construction (the checker
+       rejects duplicates), so the merged value of every written name is
+       a one-hot select over the arm environments — not a mux chain,
+       whose pass-through terms over disjoint selects would synthesise
+       redundant (untestable) logic. *)
+    let hit_of_arm (choices, _) =
+      List.fold_left
+        (fun acc_bit l ->
+          let cw = W.const_word ctx.b ~width:(Array.length sw) (lit_value l) in
+          B.or_ ctx.b acc_bit (W.eq ctx.b sw cw))
+        (B.const ctx.b false) choices
+    in
+    let arm_envs =
+      List.map (fun (_, body) -> lower_stmts ctx (env_copy env) body) arms
+    in
+    (* The default environment and the arms whose hit bits must be
+       computed explicitly. Without an [others] arm the checker has
+       proven full coverage, so the last arm's hit is implied by the
+       other hits all being low — using it as the default avoids a
+       structurally constant-false select term. *)
+    let explicit_arms, explicit_envs, default_env =
+      match others with
+      | Some body -> (arms, arm_envs, lower_stmts ctx (env_copy env) body)
+      | None ->
+        (match List.rev arms, List.rev arm_envs with
+         | _ :: rev_arms, last_env :: rev_envs ->
+           (List.rev rev_arms, List.rev rev_envs, last_env)
+         | [], _ | _, [] -> (arms, arm_envs, env))
+    in
+    let hits = List.map hit_of_arm explicit_arms in
+    let no_hit =
+      B.not_ ctx.b (List.fold_left (B.or_ ctx.b) (B.const ctx.b false) hits)
+    in
+    let merged = Hashtbl.create (Hashtbl.length env) in
+    Hashtbl.iter
+      (fun name base_word ->
+        let arm_words = List.map (fun e -> Hashtbl.find e name) explicit_envs in
+        let all_same = List.for_all (fun w -> w = base_word) arm_words in
+        let value =
+          if all_same then base_word
+          else
+            W.one_hot_select ctx.b
+              (List.combine hits arm_words)
+              ~default:(no_hit, base_word)
+        in
+        Hashtbl.replace merged name value)
+      default_env;
+    merged
+
+and lower_stmts ctx env ss = List.fold_left (lower_stmt ctx) env ss
+
+let run (d : design) =
+  if not (Check.is_elaborated d) then fail "%s: design not elaborated" d.name;
+  let b = B.create d.name in
+  let ctx =
+    {
+      b;
+      design = d;
+      q_words = Hashtbl.create 8;
+      input_words = Hashtbl.create 8;
+      const_words = Hashtbl.create 8;
+    }
+  in
+  (* Interface and state elements. *)
+  List.iter
+    (fun (dc : decl) ->
+      match dc.kind with
+      | Input ->
+        let w = Array.init dc.width (fun i -> B.input b (bit_name dc.name dc.width i)) in
+        Hashtbl.replace ctx.input_words dc.name w
+      | Reg reset ->
+        let rv = lit_value reset in
+        let w = Array.init dc.width (fun i -> B.dff b ~init:((rv lsr i) land 1 = 1)) in
+        Hashtbl.replace ctx.q_words dc.name w
+      | Const_decl v ->
+        Hashtbl.replace ctx.const_words dc.name
+          (W.const_word b ~width:dc.width (lit_value v))
+      | Output | Var -> ())
+    d.decls;
+  (* Initial environment: outputs and vars at zero, register next-values
+     holding the current state. *)
+  let env : env = Hashtbl.create 16 in
+  List.iter
+    (fun (dc : decl) ->
+      match dc.kind with
+      | Output | Var -> Hashtbl.replace env dc.name (W.const_word b ~width:dc.width 0)
+      | Reg _ -> Hashtbl.replace env dc.name (Hashtbl.find ctx.q_words dc.name)
+      | Input | Const_decl _ -> ())
+    d.decls;
+  let env = lower_stmts ctx env d.body in
+  (* Connect register D pins and primary outputs. *)
+  List.iter
+    (fun (dc : decl) ->
+      match dc.kind with
+      | Reg _ ->
+        let q = Hashtbl.find ctx.q_words dc.name in
+        let next = Hashtbl.find env dc.name in
+        Array.iteri (fun i qn -> B.connect_dff b qn ~d:next.(i)) q
+      | Output ->
+        let w = Hashtbl.find env dc.name in
+        Array.iteri (fun i net -> B.output b (bit_name dc.name dc.width i) net) w
+      | Input | Var | Const_decl _ -> ())
+    d.decls;
+  B.finalize b

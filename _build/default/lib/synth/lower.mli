@@ -1,0 +1,23 @@
+(** Synthesis: elaborated HDL designs to gate-level netlists.
+
+    The lowering symbolically executes the design's one-cycle statement
+    list. Word-level ports expand into bit-level nets named
+    [name\[i\]] (plain [name] for 1-bit ports); registers become D
+    flip-flops initialised with their reset value; [if]/[case] control
+    flow becomes multiplexer trees merging the environments of the
+    branches. Register reads always refer to the flip-flop outputs
+    (pre-cycle values), register writes feed the D pins — exactly the
+    semantics of {!Mutsamp_hdl.Sim}.
+
+    The result is unoptimised apart from the builder's structural
+    hashing and constant folding; run {!Optimize.sweep} afterwards to
+    drop unobservable logic. *)
+
+exception Synth_error of string
+
+val bit_name : string -> int -> int -> string
+(** [bit_name port width i] is the bit-level PI/PO name of bit [i]:
+    [name] when [width = 1], otherwise [name\[i\]]. *)
+
+val run : Mutsamp_hdl.Ast.design -> Mutsamp_netlist.Netlist.t
+(** Synthesise. Raises {!Synth_error} if the design is not elaborated. *)

@@ -1,0 +1,109 @@
+module Ast = Mutsamp_hdl.Ast
+module Sim = Mutsamp_hdl.Sim
+module Bitvec = Mutsamp_util.Bitvec
+module Netlist = Mutsamp_netlist.Netlist
+module Bitsim = Mutsamp_netlist.Bitsim
+
+exception Mapping_error of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Mapping_error msg)) fmt
+
+type t = {
+  design : Ast.design;
+  nl : Netlist.t;
+  (* For each design input, (name, width, positions of its bits in the
+     netlist's input order). *)
+  in_ports : (string * int * int array) array;
+  (* For each design output, (name, width, positions in output_list). *)
+  out_ports : (string * int * int array) array;
+}
+
+let make design nl =
+  let input_pos = Hashtbl.create 32 in
+  Array.iteri
+    (fun k name -> Hashtbl.replace input_pos name k)
+    (Netlist.input_names nl);
+  let output_pos = Hashtbl.create 32 in
+  Array.iteri (fun k (name, _) -> Hashtbl.replace output_pos name k) nl.Netlist.output_list;
+  let port_positions table (dc : Ast.decl) =
+    Array.init dc.width (fun i ->
+        let bit = Lower.bit_name dc.name dc.width i in
+        match Hashtbl.find_opt table bit with
+        | Some k -> k
+        | None -> fail "%s: netlist is missing port bit %s" design.Ast.name bit)
+  in
+  let in_ports =
+    Array.of_list
+      (List.map
+         (fun (dc : Ast.decl) -> (dc.name, dc.width, port_positions input_pos dc))
+         (Ast.inputs design))
+  in
+  let out_ports =
+    Array.of_list
+      (List.map
+         (fun (dc : Ast.decl) -> (dc.name, dc.width, port_positions output_pos dc))
+         (Ast.outputs design))
+  in
+  let design_in_bits =
+    List.fold_left (fun acc (dc : Ast.decl) -> acc + dc.width) 0 (Ast.inputs design)
+  in
+  if design_in_bits <> Array.length nl.Netlist.input_nets then
+    fail "%s: netlist has %d input bits, design has %d" design.Ast.name
+      (Array.length nl.Netlist.input_nets) design_in_bits;
+  { design; nl; in_ports; out_ports }
+
+let netlist t = t.nl
+let design t = t.design
+
+let pack_stimuli t stimuli =
+  if Array.length stimuli > Bitsim.lanes then
+    fail "%s: %d stimuli exceed %d lanes" t.design.Ast.name (Array.length stimuli)
+      Bitsim.lanes;
+  let words = Array.make (Array.length t.nl.Netlist.input_nets) 0 in
+  Array.iteri
+    (fun lane stimulus ->
+      Array.iter
+        (fun (name, width, positions) ->
+          let v =
+            match List.assoc_opt name stimulus with
+            | Some bv ->
+              if Bitvec.width bv <> width then
+                fail "%s: input %s width mismatch" t.design.Ast.name name;
+              Bitvec.to_int bv
+            | None -> fail "%s: stimulus missing input %s" t.design.Ast.name name
+          in
+          Array.iteri
+            (fun i k -> if (v lsr i) land 1 = 1 then words.(k) <- words.(k) lor (1 lsl lane))
+            positions)
+        t.in_ports)
+    stimuli;
+  words
+
+let pack_stimulus t stimulus =
+  let words = Array.make (Array.length t.nl.Netlist.input_nets) 0 in
+  Array.iter
+    (fun (name, width, positions) ->
+      let v =
+        match List.assoc_opt name stimulus with
+        | Some bv ->
+          if Bitvec.width bv <> width then
+            fail "%s: input %s width mismatch" t.design.Ast.name name;
+          Bitvec.to_int bv
+        | None -> fail "%s: stimulus missing input %s" t.design.Ast.name name
+      in
+      Array.iteri
+        (fun i k -> words.(k) <- (if (v lsr i) land 1 = 1 then Bitsim.all_ones else 0))
+        positions)
+    t.in_ports;
+  words
+
+let unpack_outputs t output_words ~lane =
+  Array.to_list
+    (Array.map
+       (fun (name, width, positions) ->
+         let v = ref 0 in
+         Array.iteri
+           (fun i k -> if (output_words.(k) lsr lane) land 1 = 1 then v := !v lor (1 lsl i))
+           positions;
+         (name, Bitvec.make ~width !v))
+       t.out_ports)

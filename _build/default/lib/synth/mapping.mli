@@ -1,0 +1,32 @@
+(** Bridging word-level HDL stimuli and bit-level netlist simulation.
+
+    Synthesis expands each HDL port into bit-level nets named by
+    {!Lower.bit_name}. This module packs word-level stimuli into the
+    {!Mutsamp_netlist.Bitsim} input-word arrays (one bit per lane) and
+    unpacks output words back into word-level observations, so the same
+    test data drives both the behavioural and the gate-level model. *)
+
+type t
+(** A prepared mapping between one design and one netlist. *)
+
+exception Mapping_error of string
+
+val make : Mutsamp_hdl.Ast.design -> Mutsamp_netlist.Netlist.t -> t
+(** Build the port correspondence. Raises {!Mapping_error} when the
+    netlist's interface does not match the design's. *)
+
+val netlist : t -> Mutsamp_netlist.Netlist.t
+val design : t -> Mutsamp_hdl.Ast.design
+
+val pack_stimuli : t -> Mutsamp_hdl.Sim.stimulus array -> int array
+(** Pack up to {!Mutsamp_netlist.Bitsim.lanes} stimuli, one per lane,
+    into the per-input word array for [Bitsim.step]. Raises
+    {!Mapping_error} on a missing input or too many stimuli. *)
+
+val pack_stimulus : t -> Mutsamp_hdl.Sim.stimulus -> int array
+(** One stimulus replicated across every lane (the form fault
+    simulation wants: all lanes identical, divergence marks
+    detection). *)
+
+val unpack_outputs : t -> int array -> lane:int -> Mutsamp_hdl.Sim.observation
+(** Word-level observation of one lane of a [Bitsim.step] result. *)

@@ -1,0 +1,95 @@
+module B = Mutsamp_netlist.Netlist.Builder
+
+type word = int array
+type builder = B.t
+
+let const_word b ~width v =
+  Array.init width (fun i -> B.const b ((v lsr i) land 1 = 1))
+
+let width (w : word) = Array.length w
+
+let check_same a b op =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Wordlib.%s: width mismatch" op)
+
+let map2 f b x y op =
+  check_same x y op;
+  Array.init (Array.length x) (fun i -> f b x.(i) y.(i))
+
+let lognot b w = Array.map (B.not_ b) w
+let logand b x y = map2 B.and_ b x y "logand"
+let logor b x y = map2 B.or_ b x y "logor"
+let logxor b x y = map2 B.xor_ b x y "logxor"
+let lognand b x y = map2 B.nand_ b x y "lognand"
+let lognor b x y = map2 B.nor_ b x y "lognor"
+let logxnor b x y = map2 B.xnor_ b x y "logxnor"
+
+(* Ripple-carry addition with an explicit carry-in net. *)
+let add_with_carry b x y cin =
+  check_same x y "add";
+  let n = Array.length x in
+  let sum = Array.make n 0 in
+  let carry = ref cin in
+  for i = 0 to n - 1 do
+    let a = x.(i) and c = y.(i) in
+    let axc = B.xor_ b a c in
+    sum.(i) <- B.xor_ b axc !carry;
+    carry := B.or_ b (B.and_ b a c) (B.and_ b axc !carry)
+  done;
+  (sum, !carry)
+
+let add b x y = fst (add_with_carry b x y (B.const b false))
+
+let sub b x y = fst (add_with_carry b x (lognot b y) (B.const b true))
+
+let eq b x y =
+  check_same x y "eq";
+  Array.fold_left (fun acc bit -> B.and_ b acc bit) (B.const b true) (logxnor b x y)
+
+let neq b x y = B.not_ b (eq b x y)
+
+(* Unsigned less-than: the borrow out of x - y. From the LSB upward,
+   borrow' = (~x & y) | ((x xnor y) & borrow). *)
+let lt b x y =
+  check_same x y "lt";
+  let borrow = ref (B.const b false) in
+  for i = 0 to Array.length x - 1 do
+    let nx_and_y = B.and_ b (B.not_ b x.(i)) y.(i) in
+    let same = B.xnor_ b x.(i) y.(i) in
+    borrow := B.or_ b nx_and_y (B.and_ b same !borrow)
+  done;
+  !borrow
+
+let le b x y = B.not_ b (lt b y x)
+let gt b x y = lt b y x
+let ge b x y = B.not_ b (lt b x y)
+
+let gate_word b sel (w : word) = Array.map (fun bit -> B.and_ b sel bit) w
+
+let or_words b = function
+  | [] -> invalid_arg "Wordlib.or_words: empty"
+  | first :: rest ->
+    List.fold_left (fun acc w -> check_same acc w "or_words"; map2 B.or_ b acc w "or_words") first rest
+
+let one_hot_select b arms ~default =
+  let d_sel, d_word = default in
+  or_words b
+    (gate_word b d_sel d_word
+    :: List.map (fun (sel, w) -> gate_word b sel w) arms)
+
+let mux b ~sel ~t1 ~t0 =
+  check_same t1 t0 "mux";
+  Array.init (Array.length t1) (fun i -> B.mux b ~sel ~t1:t1.(i) ~t0:t0.(i))
+
+let bit (w : word) i = [| w.(i) |]
+
+let slice (w : word) ~hi ~lo =
+  if lo < 0 || hi < lo || hi >= Array.length w then invalid_arg "Wordlib.slice";
+  Array.sub w lo (hi - lo + 1)
+
+let concat_words ~high ~low = Array.append low high
+
+let resize b w n =
+  let cur = Array.length w in
+  if n <= cur then Array.sub w 0 n
+  else Array.append w (Array.make (n - cur) (B.const b false))

@@ -1,0 +1,66 @@
+(** Word-level combinational gadgets.
+
+    A word is an array of net ids, LSB first. These helpers expand the
+    HDL's word-level operators into two-input gates through a
+    {!Mutsamp_netlist.Netlist.Builder}; the builder's structural
+    hashing and constant folding keep the expansion lean. *)
+
+type word = int array
+(** Net ids, index 0 = least significant bit. *)
+
+type builder = Mutsamp_netlist.Netlist.Builder.t
+
+val const_word : builder -> width:int -> int -> word
+val width : word -> int
+
+val lognot : builder -> word -> word
+val logand : builder -> word -> word -> word
+val logor : builder -> word -> word -> word
+val logxor : builder -> word -> word -> word
+val lognand : builder -> word -> word -> word
+val lognor : builder -> word -> word -> word
+val logxnor : builder -> word -> word -> word
+
+val add : builder -> word -> word -> word
+(** Ripple-carry sum, carry-out dropped (wrapping, like the HDL). *)
+
+val sub : builder -> word -> word -> word
+(** [a - b] as [a + not b + 1], wrapping. *)
+
+val eq : builder -> word -> word -> int
+(** Single-bit equality. *)
+
+val neq : builder -> word -> word -> int
+
+val lt : builder -> word -> word -> int
+(** Unsigned less-than (ripple borrow). *)
+
+val le : builder -> word -> word -> int
+val gt : builder -> word -> word -> int
+val ge : builder -> word -> word -> int
+
+val mux : builder -> sel:int -> t1:word -> t0:word -> word
+(** Per-bit 2:1 multiplexer. *)
+
+val gate_word : builder -> int -> word -> word
+(** [gate_word b sel w]: each bit ANDed with [sel]. *)
+
+val or_words : builder -> word list -> word
+(** Bitwise OR of one or more equal-width words. Raises
+    [Invalid_argument] on the empty list. *)
+
+val one_hot_select : builder -> (int * word) list -> default:(int * word) -> word
+(** [one_hot_select b arms ~default] assumes the arm selects (and the
+    default select) are pairwise disjoint and exactly one is active;
+    the result is the OR of the gated words. Unlike a mux chain over
+    disjoint selects, the expansion contains no redundant
+    pass-through terms, so the synthesised logic stays fully
+    testable. *)
+
+val bit : word -> int -> word
+(** One-bit word selecting bit [i]. *)
+
+val slice : word -> hi:int -> lo:int -> word
+val concat_words : high:word -> low:word -> word
+val resize : builder -> word -> int -> word
+(** Zero-extend or truncate. *)

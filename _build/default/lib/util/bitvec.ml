@@ -1,0 +1,68 @@
+type t = { w : int; v : int }
+
+let max_width = 62
+
+let mask w = (1 lsl w) - 1
+
+let make ~width v =
+  if width < 1 || width > max_width then
+    invalid_arg (Printf.sprintf "Bitvec.make: width %d not in 1..%d" width max_width);
+  if v < 0 then invalid_arg "Bitvec.make: negative value";
+  { w = width; v = v land mask width }
+
+let zero width = make ~width 0
+let ones width = make ~width (mask width)
+
+let width t = t.w
+let to_int t = t.v
+
+let equal a b = a.w = b.w && a.v = b.v
+let compare a b = Stdlib.compare (a.w, a.v) (b.w, b.v)
+
+let check_same a b op =
+  if a.w <> b.w then
+    invalid_arg (Printf.sprintf "Bitvec.%s: width mismatch (%d vs %d)" op a.w b.w)
+
+let bit t i =
+  if i < 0 || i >= t.w then invalid_arg "Bitvec.bit: index out of range";
+  (t.v lsr i) land 1 = 1
+
+let set_bit t i b =
+  if i < 0 || i >= t.w then invalid_arg "Bitvec.set_bit: index out of range";
+  let v = if b then t.v lor (1 lsl i) else t.v land lnot (1 lsl i) in
+  { t with v }
+
+let add a b = check_same a b "add"; { a with v = (a.v + b.v) land mask a.w }
+let sub a b = check_same a b "sub"; { a with v = (a.v - b.v) land mask a.w }
+
+let logand a b = check_same a b "logand"; { a with v = a.v land b.v }
+let logor a b = check_same a b "logor"; { a with v = a.v lor b.v }
+let logxor a b = check_same a b "logxor"; { a with v = a.v lxor b.v }
+let lognot a = { a with v = lnot a.v land mask a.w }
+
+let lt a b = check_same a b "lt"; a.v < b.v
+let le a b = check_same a b "le"; a.v <= b.v
+
+let slice t ~hi ~lo =
+  if lo < 0 || hi < lo || hi >= t.w then invalid_arg "Bitvec.slice: bad range";
+  make ~width:(hi - lo + 1) ((t.v lsr lo) land mask (hi - lo + 1))
+
+let concat hi lo =
+  let w = hi.w + lo.w in
+  if w > max_width then invalid_arg "Bitvec.concat: result too wide";
+  make ~width:w ((hi.v lsl lo.w) lor lo.v)
+
+let resize t w =
+  if w < 1 || w > max_width then invalid_arg "Bitvec.resize: bad width";
+  { w; v = t.v land mask w }
+
+let to_string t =
+  let buf = Buffer.create (t.w + 4) in
+  Buffer.add_string buf (string_of_int t.w);
+  Buffer.add_string buf "'b";
+  for i = t.w - 1 downto 0 do
+    Buffer.add_char buf (if bit t i then '1' else '0')
+  done;
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

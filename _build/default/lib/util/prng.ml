@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finaliser: mix the incremented state to a well-distributed
+   64-bit output. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits keeps the distribution exactly
+     uniform for any bound. *)
+  let mask = 0x3FFF_FFFF_FFFF_FFFF in
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) land mask in
+    let r = v mod bound in
+    if v - r > mask - bound + 1 then draw () else r
+  in
+  draw ()
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  v *. 0x1.0p-53
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let pick_list t = function
+  | [] -> invalid_arg "Prng.pick_list: empty list"
+  | items ->
+    let arr = Array.of_list items in
+    arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k arr =
+  let n = Array.length arr in
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  let copy = Array.copy arr in
+  (* Partial Fisher–Yates: after k swaps the prefix is a uniform sample. *)
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = copy.(i) in
+    copy.(i) <- copy.(j);
+    copy.(j) <- tmp
+  done;
+  Array.sub copy 0 k

@@ -1,0 +1,59 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reverse order *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length headers then
+        invalid_arg "Table.create: aligns arity mismatch";
+      a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) headers
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let measure = function
+    | Separator -> ()
+    | Cells cells ->
+      List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter measure rows;
+  let pad align w s =
+    let fill = String.make (w - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let line cells =
+    let padded =
+      List.mapi (fun i c -> pad (List.nth t.aligns i) widths.(i) c) cells
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    let dashes = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
+    "|-" ^ String.concat "-+-" dashes ^ "-|"
+  in
+  let body =
+    List.map (function Separator -> rule | Cells cells -> line cells) rows
+  in
+  String.concat "\n" (line t.headers :: rule :: body)
+
+let print t =
+  print_string (render t);
+  print_newline ()

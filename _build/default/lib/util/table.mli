@@ -1,0 +1,26 @@
+(** Plain-text table rendering for experiment reports.
+
+    The bench harness and the CLI print paper-style tables; this module
+    renders aligned ASCII tables without any external dependency. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table with the given column headers.
+    [aligns] defaults to [Left] for the first column and [Right] for the
+    rest, which suits "name, number, number, ..." rows. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Raises [Invalid_argument] if the arity differs from the
+    header. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render the table, including a header rule, as a multi-line string. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

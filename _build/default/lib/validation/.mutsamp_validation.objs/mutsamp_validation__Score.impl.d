@@ -1,0 +1,1 @@
+lib/validation/score.ml: Array Format List Mutsamp_mutation Printf

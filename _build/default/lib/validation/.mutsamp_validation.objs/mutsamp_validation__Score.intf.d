@@ -1,0 +1,1 @@
+lib/validation/score.mli: Format Mutsamp_hdl Mutsamp_mutation

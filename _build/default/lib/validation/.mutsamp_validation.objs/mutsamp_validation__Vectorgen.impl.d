@@ -1,0 +1,1 @@
+lib/validation/vectorgen.ml: Array Fun Hashtbl List Mutsamp_hdl Mutsamp_mutation Mutsamp_util Stdlib

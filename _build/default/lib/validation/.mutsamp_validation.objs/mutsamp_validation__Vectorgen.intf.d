@@ -1,0 +1,1 @@
+lib/validation/vectorgen.mli: Mutsamp_hdl Mutsamp_mutation

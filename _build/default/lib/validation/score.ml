@@ -1,0 +1,37 @@
+module Kill = Mutsamp_mutation.Kill
+
+type t = {
+  total : int;
+  killed : int;
+  equivalent : int;
+  score_percent : float;
+}
+
+let make ~total ~killed ~equivalent =
+  if total < 0 || killed < 0 || equivalent < 0 then
+    invalid_arg "Score.make: negative count";
+  if killed + equivalent > total then
+    invalid_arg "Score.make: killed + equivalent exceeds total";
+  let denominator = total - equivalent in
+  let score_percent =
+    if denominator = 0 then 100.
+    else 100. *. float_of_int killed /. float_of_int denominator
+  in
+  { total; killed; equivalent; score_percent }
+
+let of_test_set design mutants ~equivalent test_set =
+  let runner = Kill.make design mutants in
+  let flags = Kill.killed_set runner test_set in
+  let killed = Array.fold_left (fun acc k -> if k then acc + 1 else acc) 0 flags in
+  (* A mutant listed as equivalent must never be killed; trust the kill
+     engine over the label. *)
+  let equivalent_count =
+    List.length (List.filter (fun i -> not flags.(i)) equivalent)
+  in
+  make ~total:(List.length mutants) ~killed ~equivalent:equivalent_count
+
+let to_string s =
+  Printf.sprintf "MS = %.2f%% (K=%d, M=%d, E=%d)" s.score_percent s.killed s.total
+    s.equivalent
+
+let pp fmt s = Format.pp_print_string fmt (to_string s)

@@ -1,0 +1,31 @@
+(** Mutation score.
+
+    MS(TS, P) = K / (M − E), where M is the number of generated
+    mutants, K the number killed by the test set TS and E the number of
+    equivalent mutants — the paper's section 2 definition. Mutants that
+    are neither killed nor proven equivalent count in the denominator,
+    so reported scores are conservative. *)
+
+type t = {
+  total : int;  (** M *)
+  killed : int;  (** K *)
+  equivalent : int;  (** E *)
+  score_percent : float;  (** 100 · K / (M − E) *)
+}
+
+val make : total:int -> killed:int -> equivalent:int -> t
+(** Raises [Invalid_argument] if the counts are inconsistent
+    (negative, [killed + equivalent > total], or [equivalent = total]
+    with [killed > 0]). *)
+
+val of_test_set :
+  Mutsamp_hdl.Ast.design ->
+  Mutsamp_mutation.Mutant.t list ->
+  equivalent:int list ->
+  Mutsamp_hdl.Sim.stimulus list list ->
+  t
+(** Simulate the test set against the whole mutant population and
+    score it. [equivalent] lists mutant indices known equivalent. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,159 @@
+module Ast = Mutsamp_hdl.Ast
+module Sim = Mutsamp_hdl.Sim
+module Check = Mutsamp_hdl.Check
+module Stimuli = Mutsamp_hdl.Stimuli
+module Prng = Mutsamp_util.Prng
+module Mutant = Mutsamp_mutation.Mutant
+module Kill = Mutsamp_mutation.Kill
+module Equivalence = Mutsamp_mutation.Equivalence
+
+type config = {
+  seed : int;
+  max_stall : int;
+  sequence_length : int;
+  max_vectors : int;
+  directed : bool;
+  minimize : bool;
+}
+
+let default_config =
+  {
+    seed = 1;
+    max_stall = 200;
+    sequence_length = 8;
+    max_vectors = 4096;
+    directed = true;
+    minimize = true;
+  }
+
+type outcome = {
+  test_set : Sim.stimulus list list;
+  killed : int list;
+  equivalent : int list;
+  unknown : int list;
+  candidates_tried : int;
+  total_vectors : int;
+}
+
+let generate ?(config = default_config) design mutants =
+  let runner = Kill.make design mutants in
+  let prng = Prng.create config.seed in
+  let seq_len = if Check.is_combinational design then 1 else config.sequence_length in
+  let alive = ref (List.init (Kill.size runner) (fun i -> i)) in
+  let test_set = ref [] in
+  let killed = ref [] in
+  let total_vectors = ref 0 in
+  let candidates = ref 0 in
+  let stall = ref 0 in
+  (* Random phase. *)
+  while
+    !alive <> [] && !stall < config.max_stall
+    && !total_vectors + seq_len <= config.max_vectors
+  do
+    let candidate = Stimuli.random_sequence prng design seq_len in
+    incr candidates;
+    match Kill.kills_at runner ~alive:!alive candidate with
+    | [] -> incr stall
+    | detections ->
+      stall := 0;
+      (* Keep only the useful prefix: cycles past the last detection
+         contribute length but no kills. *)
+      let last_cycle = List.fold_left (fun acc (_, c) -> max acc c) 0 detections in
+      let kept = List.filteri (fun i _ -> i <= last_cycle) candidate in
+      test_set := kept :: !test_set;
+      total_vectors := !total_vectors + List.length kept;
+      let victims = List.map fst detections in
+      killed := victims @ !killed;
+      alive := List.filter (fun i -> not (List.mem i victims)) !alive
+  done;
+  (* Directed phase: exact attack on each survivor. *)
+  let equivalent = ref [] in
+  let unknown = ref [] in
+  if config.directed then begin
+    let mutant_arr = Array.of_list mutants in
+    let rec attack = function
+      | [] -> ()
+      | i :: rest ->
+        if List.mem i !killed then attack rest
+        else begin
+          let m = mutant_arr.(i) in
+          match Equivalence.check design m.Mutant.design with
+          | Equivalence.Equivalent ->
+            equivalent := i :: !equivalent;
+            attack rest
+          | Equivalence.Unknown ->
+            unknown := i :: !unknown;
+            attack rest
+          | Equivalence.Distinguished seq ->
+            if !total_vectors + List.length seq <= config.max_vectors then begin
+              test_set := seq :: !test_set;
+              total_vectors := !total_vectors + List.length seq;
+              (* The distinguishing sequence kills [i] by construction
+                 and may kill other survivors too. *)
+              let victims = Kill.kills runner ~alive:(i :: rest) seq in
+              killed := victims @ !killed;
+              attack (List.filter (fun j -> not (List.mem j victims)) rest)
+            end
+            else begin
+              unknown := i :: !unknown;
+              attack rest
+            end
+        end
+    in
+    attack !alive;
+    alive := List.filter (fun i -> not (List.mem i !killed)) !alive
+  end
+  else unknown := !alive;
+  let final_test_set = ref (List.rev !test_set) in
+  (* Greedy set-cover minimisation: keep a subset of sequences that
+     still kills every killed mutant, preferring sequences that cover
+     many not-yet-covered mutants per cycle. *)
+  if config.minimize && !final_test_set <> [] then begin
+    let sequences = Array.of_list !final_test_set in
+    let killed_list = List.sort_uniq Stdlib.compare !killed in
+    let kill_sets =
+      Array.map (fun seq -> Kill.kills runner ~alive:killed_list seq) sequences
+    in
+    let uncovered = Hashtbl.create 64 in
+    List.iter (fun i -> Hashtbl.replace uncovered i ()) killed_list;
+    let chosen = ref [] in
+    while Hashtbl.length uncovered > 0 do
+      let score k =
+        let fresh =
+          List.length (List.filter (Hashtbl.mem uncovered) kill_sets.(k))
+        in
+        (fresh, - List.length sequences.(k))
+      in
+      let best = ref 0 in
+      for k = 1 to Array.length sequences - 1 do
+        if score k > score !best then best := k
+      done;
+      let fresh, _ = score !best in
+      if fresh = 0 then
+        (* Should not happen: every killed mutant is killed by some
+           sequence. Guard against infinite loops all the same. *)
+        Hashtbl.reset uncovered
+      else begin
+        chosen := !best :: !chosen;
+        List.iter (Hashtbl.remove uncovered) kill_sets.(!best)
+      end
+    done;
+    let keep = List.sort Stdlib.compare !chosen in
+    final_test_set := List.map (fun k -> sequences.(k)) keep;
+    total_vectors :=
+      List.fold_left (fun acc seq -> acc + List.length seq) 0 !final_test_set
+  end;
+  let not_killed = List.filter (fun i -> not (List.mem i !killed)) (List.init (Kill.size runner) Fun.id) in
+  let unknown_final =
+    List.filter (fun i -> not (List.mem i !equivalent)) not_killed
+  in
+  {
+    test_set = !final_test_set;
+    killed = List.sort_uniq Stdlib.compare !killed;
+    equivalent = List.sort_uniq Stdlib.compare !equivalent;
+    unknown = List.sort_uniq Stdlib.compare unknown_final;
+    candidates_tried = !candidates;
+    total_vectors = !total_vectors;
+  }
+
+let flatten_test_set outcome = List.concat outcome.test_set

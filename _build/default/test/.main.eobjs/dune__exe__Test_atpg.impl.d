@@ -1,0 +1,1 @@
+test/test_atpg.ml: Alcotest Array List Mutsamp_atpg Mutsamp_fault Mutsamp_hdl Mutsamp_netlist Mutsamp_synth Mutsamp_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Hashtbl List Mutsamp_circuits Mutsamp_hdl Mutsamp_netlist Mutsamp_synth Mutsamp_util Printf QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Hashtbl List Mutsamp_fault Mutsamp_hdl Mutsamp_netlist Mutsamp_synth Mutsamp_util Option Printf QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_hdl.ml: Alcotest Array List Mutsamp_hdl Mutsamp_util Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_mutation.ml: Alcotest Array List Mutsamp_hdl Mutsamp_mutation Mutsamp_util QCheck QCheck_alcotest

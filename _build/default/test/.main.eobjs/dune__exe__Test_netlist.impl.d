@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array List Mutsamp_netlist Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array List Mutsamp_hdl Mutsamp_netlist Mutsamp_synth Mutsamp_util Printf QCheck QCheck_alcotest

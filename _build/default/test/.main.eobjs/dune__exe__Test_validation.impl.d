@@ -1,0 +1,1 @@
+test/test_validation.ml: Alcotest Array List Mutsamp_hdl Mutsamp_mutation Mutsamp_util Mutsamp_validation

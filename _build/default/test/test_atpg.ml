@@ -1,0 +1,622 @@
+(* Tests for lib/atpg: five-valued algebra, PODEM, SAT-ATPG, LFSR,
+   full-scan, top-off flow. The strongest checks are the cross-engine
+   agreements: PODEM and SAT-ATPG must agree on testability, and every
+   generated test must actually detect its target under fault
+   simulation. *)
+
+module Prng = Mutsamp_util.Prng
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+module B = Netlist.Builder
+module Fault = Mutsamp_fault.Fault
+module Fsim = Mutsamp_fault.Fsim
+module Inject = Mutsamp_fault.Inject
+module V = Mutsamp_atpg.Fivevalued
+module Podem = Mutsamp_atpg.Podem
+module Satgen = Mutsamp_atpg.Satgen
+module Prpg = Mutsamp_atpg.Prpg
+module Scan = Mutsamp_atpg.Scan
+module Topoff = Mutsamp_atpg.Topoff
+module Parser = Mutsamp_hdl.Parser
+module Check = Mutsamp_hdl.Check
+module Flow = Mutsamp_synth.Flow
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let parse src = Check.elaborate (Parser.design_of_string src)
+
+let full_adder () =
+  let b = B.create "fa" in
+  let a = B.input b "a" and bb = B.input b "b" and cin = B.input b "cin" in
+  let s = B.xor_ b (B.xor_ b a bb) cin in
+  let cout = B.or_ b (B.and_ b a bb) (B.or_ b (B.and_ b a cin) (B.and_ b bb cin)) in
+  B.output b "s" s;
+  B.output b "cout" cout;
+  B.finalize b
+
+(* A netlist with a redundant (untestable) fault: y = a or (a and b).
+   The AND gate is functionally redundant, so its b-input stuck-at-0 is
+   untestable. *)
+let redundant_netlist () =
+  let b = B.create "red" in
+  let a = B.input b "a" and bb = B.input b "bb" in
+  (* Defeat the builder's simplifications with a manually built gate
+     arrangement: or(a, and(a, bb)) = a. *)
+  let band = B.and_ b a bb in
+  let y = B.or_ b a band in
+  B.output b "y" y;
+  B.finalize b
+
+(* ------------------------------------------------------------------ *)
+(* Fivevalued                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_fv_projections () =
+  check_bool "D good" true (V.good V.D = V.One);
+  check_bool "D faulty" true (V.faulty V.D = V.Zero);
+  check_bool "Dbar good" true (V.good V.Dbar = V.Zero);
+  check_bool "combine" true (V.combine V.One V.Zero = V.D);
+  check_bool "combine X" true (V.combine V.X V.Zero = V.X)
+
+let test_fv_and_table () =
+  check_bool "D and 1 = D" true (V.land_ V.D V.One = V.D);
+  check_bool "D and 0 = 0" true (V.land_ V.D V.Zero = V.Zero);
+  check_bool "D and D' = 0" true (V.land_ V.D V.Dbar = V.Zero);
+  check_bool "D and X = X" true (V.land_ V.D V.X = V.X);
+  check_bool "D and D = D" true (V.land_ V.D V.D = V.D)
+
+let test_fv_not_or_xor () =
+  check_bool "not D = D'" true (V.lnot V.D = V.Dbar);
+  check_bool "D or D' = 1" true (V.lor_ V.D V.Dbar = V.One);
+  check_bool "D xor D = 0" true (V.lxor_ V.D V.D = V.Zero);
+  check_bool "D xor D' = 1" true (V.lxor_ V.D V.Dbar = V.One);
+  check_bool "D xor 0 = D" true (V.lxor_ V.D V.Zero = V.D)
+
+let test_fv_gate_eval () =
+  check_bool "nand" true (V.eval Gate.Nand V.D V.One = V.Dbar);
+  check_bool "nor" true (V.eval Gate.Nor V.Dbar V.Zero = V.D);
+  check_bool "controlling and" true (V.controlling_value Gate.And = Some false);
+  check_bool "controlling nor" true (V.controlling_value Gate.Nor = Some true);
+  check_bool "xor no controlling" true (V.controlling_value Gate.Xor = None)
+
+(* ------------------------------------------------------------------ *)
+(* Podem                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Oracle: does pattern [p] detect fault [f] on netlist [nl]? *)
+let detects nl f p =
+  let r = Fsim.run_combinational nl ~faults:[ f ] ~patterns:[| p |] in
+  r.Fsim.detected = 1
+
+let test_podem_finds_tests_full_adder () =
+  let nl = full_adder () in
+  List.iter
+    (fun f ->
+      match fst (Podem.generate nl f) with
+      | Podem.Test p ->
+        check_bool
+          (Printf.sprintf "test for %s detects" (Fault.to_string f))
+          true (detects nl f p)
+      | Podem.Untestable ->
+        Alcotest.fail ("full adder fault should be testable: " ^ Fault.to_string f)
+      | Podem.Aborted -> Alcotest.fail "unexpected abort")
+    (Fault.full_list nl)
+
+let test_podem_untestable_redundant () =
+  let nl = redundant_netlist () in
+  (* Find the AND gate's bb-input fault: with single fanout of bb the
+     stem fault bb SA0 is the redundant one. *)
+  let bb = Netlist.find_input nl "bb" in
+  let f = { Fault.site = Fault.Stem bb; polarity = Fault.Stuck_at_0 } in
+  (match fst (Podem.generate nl f) with
+   | Podem.Untestable -> ()
+   | Podem.Test p ->
+     Alcotest.fail
+       (Printf.sprintf "redundant fault got test %d (detects=%b)" p (detects nl f p))
+   | Podem.Aborted -> Alcotest.fail "abort on tiny circuit")
+
+let test_podem_stats_populated () =
+  let nl = full_adder () in
+  let f = List.hd (Fault.full_list nl) in
+  let _, stats = Podem.generate nl f in
+  check_bool "implications counted" true (stats.Podem.implications > 0)
+
+let test_podem_rejects_sequential () =
+  let b = B.create "seq" in
+  let x = B.input b "x" in
+  let q = B.dff b ~init:false in
+  B.connect_dff b q ~d:x;
+  B.output b "y" q;
+  let nl = B.finalize b in
+  (try
+     ignore (Podem.generate nl { Fault.site = Fault.Stem x; polarity = Fault.Stuck_at_0 });
+     Alcotest.fail "should reject"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Satgen & cross-engine agreement                                    *)
+(* ------------------------------------------------------------------ *)
+
+let cross_check nl =
+  List.iter
+    (fun f ->
+      let podem = fst (Podem.generate nl f) in
+      let sat = Satgen.generate nl f in
+      match podem, sat with
+      | Podem.Test p, Satgen.Test q ->
+        check_bool "podem test detects" true (detects nl f p);
+        check_bool "sat test detects" true (detects nl f q)
+      | Podem.Untestable, Satgen.Untestable -> ()
+      | Podem.Aborted, _ -> ()  (* abort is inconclusive, not a disagreement *)
+      | Podem.Test _, Satgen.Untestable ->
+        Alcotest.fail ("engines disagree (podem testable): " ^ Fault.to_string f)
+      | Podem.Untestable, Satgen.Test _ ->
+        Alcotest.fail ("engines disagree (sat testable): " ^ Fault.to_string f))
+    (Fault.full_list nl)
+
+let test_engines_agree_full_adder () = cross_check (full_adder ())
+
+let test_engines_agree_redundant () = cross_check (redundant_netlist ())
+
+let test_engines_agree_alu () =
+  cross_check
+    (Flow.synthesize
+       (parse
+          {|design alu is
+  input a : unsigned(3);
+  input b : unsigned(3);
+  input op : bit;
+  output y : unsigned(3);
+begin
+  if op = '1' then
+    y := a + b;
+  else
+    y := a and b;
+  end if;
+end design;|}))
+
+(* ------------------------------------------------------------------ *)
+(* Scoap                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Scoap = Mutsamp_atpg.Scoap
+
+let test_scoap_and_gate () =
+  (* y = a and b: CC0(y)=min(1,1)+1=2, CC1(y)=1+1+1=3,
+     CO(a)=CO(y)+CC1(b)+1=0+1+1=2. *)
+  let b = B.create "t" in
+  let a = B.input b "a" and bb = B.input b "b" in
+  let y = B.and_ b a bb in
+  B.output b "y" y;
+  let nl = B.finalize b in
+  let s = Scoap.compute nl in
+  check_int "cc0 y" 2 s.Scoap.cc0.(y);
+  check_int "cc1 y" 3 s.Scoap.cc1.(y);
+  check_int "co a" 2 s.Scoap.co.(a);
+  check_int "co y" 0 s.Scoap.co.(y);
+  check_int "cc0 pi" 1 s.Scoap.cc0.(a);
+  check_int "harder value of AND output is 1" 1 (Scoap.harder_value s y)
+
+let test_scoap_not_chain () =
+  (* y = not (not a): each inversion adds 1 and swaps. *)
+  let b = B.create "t" in
+  let a = B.input b "a" in
+  (* Defeat the builder's double-negation rewrite with an intervening
+     fanout use. *)
+  let n1 = B.not_ b a in
+  let y = B.nand_ b n1 n1 in
+  (* nand(x,x) folds to not x; check controllabilities through it *)
+  B.output b "y" y;
+  let nl = B.finalize b in
+  let s = Scoap.compute nl in
+  check_bool "cc0 of y relates to cc1 of n1" true (s.Scoap.cc0.(y) > s.Scoap.cc1.(n1) - 2)
+
+let test_scoap_constants () =
+  let b = B.create "t" in
+  let a = B.input b "a" in
+  let k = B.const b true in
+  B.output b "y" (B.xor_ b a k);
+  let nl = B.finalize b in
+  let s = Scoap.compute nl in
+  check_int "const1 cc1" 0 s.Scoap.cc1.(k);
+  check_bool "const1 cc0 infinite" true (s.Scoap.cc0.(k) >= Scoap.infinity_cost)
+
+let test_scoap_observability_fanout_min () =
+  (* A stem feeding an easy and a hard path takes the cheap one. *)
+  let b = B.create "t" in
+  let a = B.input b "a" and c = B.input b "c" and d = B.input b "d" in
+  let hard = B.and_ b (B.and_ b a c) d in
+  B.output b "direct" a;  (* a is also a PO: CO(a) = 0 *)
+  B.output b "hard" hard;
+  let nl = B.finalize b in
+  let s = Scoap.compute nl in
+  check_int "stem takes min" 0 s.Scoap.co.(a)
+
+let test_scoap_dff_boundaries () =
+  let b = B.create "t" in
+  let x = B.input b "x" in
+  let q = B.dff b ~init:false in
+  B.connect_dff b q ~d:(B.and_ b q x);
+  B.output b "y" q;
+  let nl = B.finalize b in
+  let s = Scoap.compute nl in
+  check_int "dff q controllable" 1 s.Scoap.cc0.(q);
+  let d = nl.Netlist.gates.(q).Mutsamp_netlist.Gate.fanins.(0) in
+  check_int "d pin observable" 0 s.Scoap.co.(d)
+
+(* ------------------------------------------------------------------ *)
+(* Prpg                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_lfsr_maximal_small_widths () =
+  List.iter
+    (fun w ->
+      check_bool
+        (Printf.sprintf "width %d maximal" w)
+        true
+        (Prpg.lfsr_period_is_maximal ~width:w))
+    [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 15; 16 ]
+
+let test_lfsr_deterministic () =
+  let a = Prpg.lfsr_sequence ~width:8 ~seed:5 ~length:100 in
+  let b = Prpg.lfsr_sequence ~width:8 ~seed:5 ~length:100 in
+  check_bool "same" true (a = b)
+
+let test_lfsr_zero_seed_replaced () =
+  let seq = Prpg.lfsr_sequence ~width:8 ~seed:0 ~length:10 in
+  Array.iter (fun s -> check_bool "never zero" true (s <> 0)) seq
+
+let test_lfsr_values_in_range () =
+  let seq = Prpg.lfsr_sequence ~width:5 ~seed:3 ~length:64 in
+  Array.iter (fun s -> check_bool "5 bits" true (s >= 0 && s < 32)) seq
+
+let test_uniform_sequence_range () =
+  let prng = Prng.create 7 in
+  let seq = Prpg.uniform_sequence prng ~bits:10 ~length:200 in
+  Array.iter (fun s -> check_bool "10 bits" true (s >= 0 && s < 1024)) seq
+
+(* ------------------------------------------------------------------ *)
+(* Scan                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let counter_netlist () =
+  Flow.synthesize
+    (parse
+       {|design counter is
+  input en : bit;
+  output q : unsigned(3);
+  reg count : unsigned(3) := 0;
+begin
+  q := count;
+  if en = '1' then
+    count := count + 1;
+  end if;
+end design;|})
+
+let test_scan_makes_combinational () =
+  let nl = counter_netlist () in
+  let scanned = Scan.full_scan nl in
+  check_int "no dffs" 0 (Netlist.num_dffs scanned);
+  check_int "inputs grew" (Array.length nl.Netlist.input_nets + 3)
+    (Array.length scanned.Netlist.input_nets);
+  check_int "outputs grew" (Array.length nl.Netlist.output_list + 3)
+    (Array.length scanned.Netlist.output_list)
+
+let test_scan_preserves_combinational_logic () =
+  (* With scan inputs equal to a state s and en=1, scan_d must read
+     s + 1. *)
+  let scanned = Scan.full_scan (counter_netlist ()) in
+  let sim = Mutsamp_netlist.Bitsim.create scanned in
+  let input_index name =
+    let names = Netlist.input_names scanned in
+    let rec find k = if names.(k) = name then k else find (k + 1) in
+    find 0
+  in
+  let out_index name =
+    let rec find k =
+      if fst scanned.Netlist.output_list.(k) = name then k else find (k + 1)
+    in
+    find 0
+  in
+  for s = 0 to 7 do
+    let words = Array.make (Array.length scanned.Netlist.input_nets) 0 in
+    words.(input_index "en") <- Mutsamp_netlist.Bitsim.all_ones;
+    for bit = 0 to 2 do
+      if (s lsr bit) land 1 = 1 then
+        words.(input_index (Scan.scan_input_name bit)) <- Mutsamp_netlist.Bitsim.all_ones
+    done;
+    let outs = Mutsamp_netlist.Bitsim.step sim words in
+    let next =
+      (if outs.(out_index (Scan.scan_output_name 0)) land 1 = 1 then 1 else 0)
+      lor (if outs.(out_index (Scan.scan_output_name 1)) land 1 = 1 then 2 else 0)
+      lor (if outs.(out_index (Scan.scan_output_name 2)) land 1 = 1 then 4 else 0)
+    in
+    check_int (Printf.sprintf "next state of %d" s) ((s + 1) land 7) next
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Bist                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Bist = Mutsamp_atpg.Bist
+
+let test_misr_sensitivity () =
+  let taps = Prpg.lfsr_taps 16 in
+  let s1 = Bist.misr_signature ~width:16 ~taps [ 1; 2; 3; 4 ] in
+  let s2 = Bist.misr_signature ~width:16 ~taps [ 1; 2; 3; 5 ] in
+  let s3 = Bist.misr_signature ~width:16 ~taps [ 1; 2; 4; 3 ] in
+  check_bool "value change detected" true (s1 <> s2);
+  check_bool "order change detected" true (s1 <> s3)
+
+let test_bist_full_adder () =
+  let nl = full_adder () in
+  let faults = Fault.full_list nl in
+  let r = Bist.run nl ~faults ~seed:1 ~length:32 in
+  (* 32 LFSR patterns on 3 inputs cycle the whole space several times:
+     everything detectable is detected, and at 16-bit signatures over 4
+     patterns' worth of entropy no aliasing is expected. *)
+  check_int "comparison detects all" (List.length faults) r.Bist.comparison_detected;
+  check_int "no aliasing" 0 r.Bist.aliased;
+  check_int "signature = comparison" r.Bist.comparison_detected r.Bist.signature_detected
+
+let test_bist_signature_deterministic () =
+  let nl = full_adder () in
+  let faults = Fault.full_list nl in
+  let r1 = Bist.run nl ~faults ~seed:3 ~length:16 in
+  let r2 = Bist.run nl ~faults ~seed:3 ~length:16 in
+  check_int "same signature" r1.Bist.good_signature r2.Bist.good_signature
+
+let test_bist_rejects_sequential () =
+  let nl = counter_netlist () in
+  (try
+     ignore (Bist.run nl ~faults:(Fault.full_list nl) ~seed:1 ~length:8);
+     Alcotest.fail "should reject"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Unroll / Seqatpg                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Unroll = Mutsamp_atpg.Unroll
+module Seqatpg = Mutsamp_atpg.Seqatpg
+module Bitsim = Mutsamp_netlist.Bitsim
+
+let test_unroll_matches_sequential_sim () =
+  (* The k-frame expansion's outputs equal k sequential steps. *)
+  let nl = counter_netlist () in
+  let frames = 5 in
+  let unrolled = Unroll.expand ~frames nl in
+  check_int "no dffs" 0 (Netlist.num_dffs unrolled);
+  let seq_sim = Bitsim.create nl in
+  Bitsim.reset seq_sim;
+  let prng = Prng.create 21 in
+  let inputs = Array.init frames (fun _ -> Prng.int prng 2) in
+  let seq_outs =
+    Array.map (fun en -> Bitsim.step seq_sim [| (if en = 1 then Bitsim.all_ones else 0) |]) inputs
+  in
+  let unrolled_sim = Bitsim.create unrolled in
+  let words =
+    Array.map
+      (fun net ->
+        (* input order in the unrolled netlist is frame-major *)
+        ignore net;
+        0)
+      unrolled.Netlist.input_nets
+  in
+  Array.iteri
+    (fun k _ ->
+      let name =
+        (Netlist.input_names unrolled).(k)
+      in
+      (* name is "en@f" *)
+      let f = int_of_string (String.sub name 3 (String.length name - 3)) in
+      words.(k) <- (if inputs.(f) = 1 then Bitsim.all_ones else 0))
+    unrolled.Netlist.input_nets;
+  let outs = Bitsim.step unrolled_sim words in
+  Array.iteri
+    (fun j (name, _) ->
+      (* name is "q[i]@f" or similar; find the frame and original pos *)
+      let at = String.rindex name '@' in
+      let f = int_of_string (String.sub name (at + 1) (String.length name - at - 1)) in
+      let base = String.sub name 0 at in
+      let orig_index =
+        let rec find k =
+          if fst nl.Netlist.output_list.(k) = base then k else find (k + 1)
+        in
+        find 0
+      in
+      check_int
+        (Printf.sprintf "output %s" name)
+        (seq_outs.(f).(orig_index) land 1)
+        (outs.(j) land 1))
+    unrolled.Netlist.output_list
+
+let test_seqatpg_counter_faults () =
+  let nl = counter_netlist () in
+  let faults = Fault.full_list nl in
+  let detected = ref 0 and missed = ref 0 in
+  List.iter
+    (fun f ->
+      match Seqatpg.generate ~max_frames:10 nl f with
+      | Seqatpg.Test seq ->
+        incr detected;
+        (* Verify by sequential fault simulation. *)
+        let r = Fsim.run_sequential nl ~faults:[ f ] ~sequence:seq in
+        check_int (Fault.to_string f ^ " verified") 1 r.Fsim.detected
+      | Seqatpg.No_test_within _ -> incr missed)
+    faults;
+  check_bool "most faults get sequences" true (!detected > 3 * List.length faults / 4)
+
+let test_seqatpg_shortest_sequence () =
+  (* A fault visible only when the counter reaches 4 (q[2] stuck-at-0)
+     needs at least 5 cycles from reset with en=1. *)
+  let nl = counter_netlist () in
+  let q2 = Netlist.find_output nl "q[2]" in
+  let f = { Fault.site = Fault.Stem q2; polarity = Fault.Stuck_at_0 } in
+  (match Seqatpg.generate ~max_frames:10 nl f with
+   | Seqatpg.Test seq ->
+     check_int "five cycles" 5 (Array.length seq);
+     let r = Fsim.run_sequential nl ~faults:[ f ] ~sequence:seq in
+     check_int "verified" 1 r.Fsim.detected
+   | Seqatpg.No_test_within _ -> Alcotest.fail "should find a sequence")
+
+let test_seqatpg_budget () =
+  let nl = counter_netlist () in
+  let q2 = Netlist.find_output nl "q[2]" in
+  let f = { Fault.site = Fault.Stem q2; polarity = Fault.Stuck_at_0 } in
+  (match Seqatpg.generate ~max_frames:3 nl f with
+   | Seqatpg.No_test_within 3 -> ()
+   | Seqatpg.No_test_within _ | Seqatpg.Test _ ->
+     Alcotest.fail "needs more than 3 frames")
+
+let test_seqatpg_generate_set () =
+  let nl = counter_netlist () in
+  let faults = Fault.full_list nl in
+  let sequences, undetected = Seqatpg.generate_set ~max_frames:10 nl ~faults in
+  check_bool "some sequences" true (sequences <> []);
+  (* Replaying every sequence detects everything not reported
+     undetected. *)
+  let detectable =
+    List.filter (fun f -> not (List.exists (Fault.equal f) undetected)) faults
+  in
+  let still_missing =
+    List.filter
+      (fun f ->
+        List.for_all
+          (fun seq ->
+            (Fsim.run_sequential nl ~faults:[ f ] ~sequence:seq).Fsim.detected = 0)
+          sequences)
+      detectable
+  in
+  check_int "all covered" 0 (List.length still_missing)
+
+(* ------------------------------------------------------------------ *)
+(* Topoff                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_topoff_reaches_full_coverage () =
+  let nl = full_adder () in
+  let faults = Fault.full_list nl in
+  let r = Topoff.run nl ~faults ~seed_patterns:[||] in
+  Alcotest.(check (float 1e-6)) "100% of testable" 100. r.Topoff.final_coverage_percent;
+  check_int "all faults accounted" (List.length faults)
+    (r.Topoff.seed_detected + r.Topoff.random_detected + r.Topoff.atpg_detected
+    + r.Topoff.untestable + r.Topoff.aborted)
+
+let test_topoff_seed_reduces_work () =
+  let nl = full_adder () in
+  let faults = Fault.full_list nl in
+  (* A full exhaustive seed leaves nothing for the other phases. *)
+  let r = Topoff.run nl ~faults ~seed_patterns:(Array.init 8 (fun i -> i)) in
+  check_int "everything from seed" (List.length faults) r.Topoff.seed_detected;
+  check_int "no atpg calls" 0 r.Topoff.atpg_calls;
+  check_int "no random patterns" 0 r.Topoff.random_patterns
+
+let test_topoff_sat_engine () =
+  let nl = redundant_netlist () in
+  let faults = Fault.full_list nl in
+  let r = Topoff.run ~engine:Topoff.Use_sat ~random_budget:0 nl ~faults ~seed_patterns:[||] in
+  check_bool "found untestable" true (r.Topoff.untestable >= 1);
+  Alcotest.(check (float 1e-6)) "100% of testable" 100. r.Topoff.final_coverage_percent
+
+let test_topoff_final_test_set_detects_everything () =
+  let nl = full_adder () in
+  let faults = Fault.full_list nl in
+  let r = Topoff.run nl ~faults ~seed_patterns:[| 0b111 |] in
+  let check_run = Fsim.run_combinational nl ~faults ~patterns:r.Topoff.test_set in
+  check_int "replay detects all testable"
+    (List.length faults - r.Topoff.untestable - r.Topoff.aborted)
+    check_run.Fsim.detected
+
+(* Property: injected-netlist semantics match the simulator's built-in
+   injection on random patterns. *)
+let prop_inject_matches_builtin =
+  let gen = QCheck.Gen.(pair (int_range 0 5000) (int_range 0 7)) in
+  QCheck.Test.make ~name:"Inject.apply = Bitsim injection" ~count:100
+    (QCheck.make gen) (fun (seed, pattern) ->
+      let nl = full_adder () in
+      let faults = Array.of_list (Fault.full_list nl) in
+      let prng = Prng.create seed in
+      let f = faults.(Prng.int prng (Array.length faults)) in
+      let faulty_nl = Inject.apply nl f in
+      let sim_builtin = Mutsamp_netlist.Bitsim.create nl in
+      let sim_faulty = Mutsamp_netlist.Bitsim.create faulty_nl in
+      let words netlist =
+        Array.init (Array.length netlist.Netlist.input_nets) (fun k ->
+            if (pattern lsr k) land 1 = 1 then Mutsamp_netlist.Bitsim.all_ones else 0)
+      in
+      let built_in =
+        Mutsamp_netlist.Bitsim.step_injected sim_builtin (words nl)
+          ~inj:(Fault.injection f) ~stuck:(Fault.stuck_word f)
+      in
+      let via_netlist = Mutsamp_netlist.Bitsim.step sim_faulty (words faulty_nl) in
+      built_in = via_netlist)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "atpg.fivevalued",
+      [
+        Alcotest.test_case "projections" `Quick test_fv_projections;
+        Alcotest.test_case "and table" `Quick test_fv_and_table;
+        Alcotest.test_case "not/or/xor" `Quick test_fv_not_or_xor;
+        Alcotest.test_case "gate eval" `Quick test_fv_gate_eval;
+      ] );
+    ( "atpg.podem",
+      [
+        Alcotest.test_case "full adder tests" `Quick test_podem_finds_tests_full_adder;
+        Alcotest.test_case "redundant untestable" `Quick test_podem_untestable_redundant;
+        Alcotest.test_case "stats populated" `Quick test_podem_stats_populated;
+        Alcotest.test_case "rejects sequential" `Quick test_podem_rejects_sequential;
+      ] );
+    ( "atpg.cross_engine",
+      [
+        Alcotest.test_case "agree on full adder" `Quick test_engines_agree_full_adder;
+        Alcotest.test_case "agree on redundant" `Quick test_engines_agree_redundant;
+        Alcotest.test_case "agree on alu" `Quick test_engines_agree_alu;
+      ] );
+    ( "atpg.scoap",
+      [
+        Alcotest.test_case "and gate" `Quick test_scoap_and_gate;
+        Alcotest.test_case "inverter costs" `Quick test_scoap_not_chain;
+        Alcotest.test_case "constants" `Quick test_scoap_constants;
+        Alcotest.test_case "fanout observability" `Quick test_scoap_observability_fanout_min;
+        Alcotest.test_case "dff boundaries" `Quick test_scoap_dff_boundaries;
+      ] );
+    ( "atpg.prpg",
+      [
+        Alcotest.test_case "lfsr maximal periods" `Quick test_lfsr_maximal_small_widths;
+        Alcotest.test_case "lfsr deterministic" `Quick test_lfsr_deterministic;
+        Alcotest.test_case "zero seed replaced" `Quick test_lfsr_zero_seed_replaced;
+        Alcotest.test_case "values in range" `Quick test_lfsr_values_in_range;
+        Alcotest.test_case "uniform range" `Quick test_uniform_sequence_range;
+      ] );
+    ( "atpg.scan",
+      [
+        Alcotest.test_case "makes combinational" `Quick test_scan_makes_combinational;
+        Alcotest.test_case "preserves logic" `Quick test_scan_preserves_combinational_logic;
+      ] );
+    ( "atpg.bist",
+      [
+        Alcotest.test_case "misr sensitivity" `Quick test_misr_sensitivity;
+        Alcotest.test_case "full adder session" `Quick test_bist_full_adder;
+        Alcotest.test_case "deterministic" `Quick test_bist_signature_deterministic;
+        Alcotest.test_case "rejects sequential" `Quick test_bist_rejects_sequential;
+      ] );
+    ( "atpg.sequential",
+      [
+        Alcotest.test_case "unroll matches sim" `Quick test_unroll_matches_sequential_sim;
+        Alcotest.test_case "counter faults" `Quick test_seqatpg_counter_faults;
+        Alcotest.test_case "shortest sequence" `Quick test_seqatpg_shortest_sequence;
+        Alcotest.test_case "frame budget" `Quick test_seqatpg_budget;
+        Alcotest.test_case "generate set" `Quick test_seqatpg_generate_set;
+      ] );
+    ( "atpg.topoff",
+      [
+        Alcotest.test_case "full coverage" `Quick test_topoff_reaches_full_coverage;
+        Alcotest.test_case "seed reduces work" `Quick test_topoff_seed_reduces_work;
+        Alcotest.test_case "sat engine" `Quick test_topoff_sat_engine;
+        Alcotest.test_case "final set detects all" `Quick test_topoff_final_test_set_detects_everything;
+        q prop_inject_matches_builtin;
+      ] );
+  ]

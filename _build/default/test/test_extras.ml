@@ -1,0 +1,649 @@
+(* Tests for the extension modules: .bench format I/O, test-set
+   compaction, fault diagnosis, and the b04 benchmark. *)
+
+module Bitvec = Mutsamp_util.Bitvec
+module Prng = Mutsamp_util.Prng
+module Netlist = Mutsamp_netlist.Netlist
+module Bitsim = Mutsamp_netlist.Bitsim
+module Benchfmt = Mutsamp_netlist.Benchfmt
+module B = Netlist.Builder
+module Fault = Mutsamp_fault.Fault
+module Fsim = Mutsamp_fault.Fsim
+module Compact = Mutsamp_fault.Compact
+module Diagnose = Mutsamp_fault.Diagnose
+module Registry = Mutsamp_circuits.Registry
+module C17 = Mutsamp_circuits.C17
+module Sim = Mutsamp_hdl.Sim
+module Flow = Mutsamp_synth.Flow
+module Prpg = Mutsamp_atpg.Prpg
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let bv w v = Bitvec.make ~width:w v
+
+let full_adder () =
+  let b = B.create "fa" in
+  let a = B.input b "a" and bb = B.input b "b" and cin = B.input b "cin" in
+  let s = B.xor_ b (B.xor_ b a bb) cin in
+  let cout = B.or_ b (B.and_ b a bb) (B.or_ b (B.and_ b a cin) (B.and_ b bb cin)) in
+  B.output b "s" s;
+  B.output b "cout" cout;
+  B.finalize b
+
+(* ------------------------------------------------------------------ *)
+(* Benchfmt                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let c17_bench_text =
+  {|# c17 iscas example
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+|}
+
+let test_bench_import_c17 () =
+  let nl = Benchfmt.of_string ~name:"c17" c17_bench_text in
+  check_int "inputs" 5 (Array.length nl.Netlist.input_nets);
+  check_int "outputs" 2 (Array.length nl.Netlist.output_list);
+  (* Functionally identical to our canonical c17. *)
+  let reference = Bitsim.create (C17.netlist ()) in
+  let imported = Bitsim.create nl in
+  for code = 0 to 31 do
+    let words = Array.init 5 (fun k -> if (code lsr k) land 1 = 1 then Bitsim.all_ones else 0) in
+    check_bool "same function" true
+      (Bitsim.step reference words = Bitsim.step imported words)
+  done
+
+let test_bench_roundtrip_combinational () =
+  let nl = full_adder () in
+  let nl2 = Benchfmt.of_string (Benchfmt.to_string nl) in
+  let s1 = Bitsim.create nl and s2 = Bitsim.create nl2 in
+  for code = 0 to 7 do
+    let w3 = Array.init 3 (fun k -> if (code lsr k) land 1 = 1 then Bitsim.all_ones else 0) in
+    check_bool "roundtrip function" true (Bitsim.step s1 w3 = Bitsim.step s2 w3)
+  done
+
+let test_bench_roundtrip_sequential_with_init () =
+  let b = B.create "seq" in
+  let en = B.input b "en" in
+  let q0 = B.dff b ~init:false in
+  let q1 = B.dff b ~init:true in
+  B.connect_dff b q0 ~d:(B.xor_ b q0 en);
+  B.connect_dff b q1 ~d:(B.and_ b q1 en);
+  B.output b "y" (B.xor_ b q0 q1);
+  let nl = B.finalize b in
+  let nl2 = Benchfmt.of_string (Benchfmt.to_string nl) in
+  check_int "dffs preserved" 2 (Netlist.num_dffs nl2);
+  let s1 = Bitsim.create nl and s2 = Bitsim.create nl2 in
+  Bitsim.reset s1;
+  Bitsim.reset s2;
+  (* Init values must survive the round trip: same 6-cycle trace. *)
+  let prng = Prng.create 5 in
+  for _ = 1 to 6 do
+    let w = [| if Prng.bool prng then Bitsim.all_ones else 0 |] in
+    check_bool "trace equal" true (Bitsim.step s1 w = Bitsim.step s2 w)
+  done
+
+let test_bench_nary_decomposition () =
+  let nl = Benchfmt.of_string
+      {|INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+y = AND(a, b, c)
+|}
+  in
+  let sim = Bitsim.create nl in
+  for code = 0 to 7 do
+    let words = Array.init 3 (fun k -> if (code lsr k) land 1 = 1 then Bitsim.all_ones else 0) in
+    let y = (Bitsim.step sim words).(0) land 1 in
+    check_int "3-input and" (if code = 7 then 1 else 0) y
+  done
+
+let test_bench_errors () =
+  let expect_fail src =
+    match Benchfmt.of_string src with
+    | exception Benchfmt.Parse_error _ -> ()
+    | _ -> Alcotest.fail "should reject"
+  in
+  expect_fail "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+  expect_fail "INPUT(a)\nOUTPUT(y)\ny = AND(a, zz)\n";
+  expect_fail "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = NOT(a)\n";
+  expect_fail "INPUT(a)\nOUTPUT(y)\nbogus line\n"
+
+let test_bench_export_all_circuits_reimport () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let nl = Flow.synthesize (e.Registry.design ()) in
+      let nl2 = Benchfmt.of_string ~name:e.Registry.name (Benchfmt.to_string nl) in
+      check_int (e.Registry.name ^ " dffs") (Netlist.num_dffs nl) (Netlist.num_dffs nl2);
+      (* Spot-check behaviour on a few random cycles. *)
+      let s1 = Bitsim.create nl and s2 = Bitsim.create nl2 in
+      Bitsim.reset s1;
+      Bitsim.reset s2;
+      let prng = Prng.create 77 in
+      let n_in = Array.length nl.Netlist.input_nets in
+      for _ = 1 to 8 do
+        let words =
+          Array.init n_in (fun _ -> if Prng.bool prng then Bitsim.all_ones else 0)
+        in
+        check_bool (e.Registry.name ^ " behaviour") true
+          (Bitsim.step s1 words = Bitsim.step s2 words)
+      done)
+    Registry.all
+
+(* Random small netlists for structural property tests: a few inputs,
+   a pile of random gates, a couple of flip-flops, random outputs. *)
+let random_netlist seed =
+  let prng = Prng.create seed in
+  let b = B.create (Printf.sprintf "rand%d" seed) in
+  let n_inputs = 2 + Prng.int prng 3 in
+  let pool = ref (List.init n_inputs (fun k -> B.input b (Printf.sprintf "i%d" k))) in
+  let dffs =
+    List.init (Prng.int prng 3) (fun _ ->
+        let q = B.dff b ~init:(Prng.bool prng) in
+        pool := q :: !pool;
+        q)
+  in
+  let pick () = Prng.pick_list prng !pool in
+  for _ = 1 to 6 + Prng.int prng 12 do
+    let x = pick () and y = pick () in
+    let g =
+      match Prng.int prng 7 with
+      | 0 -> B.and_ b x y
+      | 1 -> B.or_ b x y
+      | 2 -> B.xor_ b x y
+      | 3 -> B.nand_ b x y
+      | 4 -> B.nor_ b x y
+      | 5 -> B.xnor_ b x y
+      | _ -> B.not_ b x
+    in
+    pool := g :: !pool
+  done;
+  List.iter (fun q -> B.connect_dff b q ~d:(pick ())) dffs;
+  let n_outputs = 1 + Prng.int prng 3 in
+  for k = 0 to n_outputs - 1 do
+    B.output b (Printf.sprintf "o%d" k) (pick ())
+  done;
+  B.finalize b
+
+let same_behaviour ?(cycles = 12) seed nl1 nl2 =
+  let s1 = Bitsim.create nl1 and s2 = Bitsim.create nl2 in
+  Bitsim.reset s1;
+  Bitsim.reset s2;
+  let prng = Prng.create seed in
+  let n_in = Array.length nl1.Netlist.input_nets in
+  let ok = ref true in
+  for _ = 1 to cycles do
+    let words = Array.init n_in (fun _ -> if Prng.bool prng then Bitsim.all_ones else 0) in
+    if Bitsim.step s1 words <> Bitsim.step s2 words then ok := false
+  done;
+  !ok
+
+let prop_bench_roundtrip_random =
+  QCheck.Test.make ~name:".bench roundtrip on random netlists" ~count:80
+    (QCheck.make QCheck.Gen.(int_range 0 1000000)) (fun seed ->
+      let nl = random_netlist seed in
+      let nl2 = Benchfmt.of_string ~name:"rt" (Benchfmt.to_string nl) in
+      same_behaviour (seed + 1) nl nl2)
+
+let prop_nand_mapping_random =
+  QCheck.Test.make ~name:"NAND mapping on random netlists" ~count:80
+    (QCheck.make QCheck.Gen.(int_range 0 1000000)) (fun seed ->
+      let nl = random_netlist seed in
+      same_behaviour (seed + 2) nl (Mutsamp_synth.Optimize.to_nand_only nl))
+
+(* ------------------------------------------------------------------ *)
+(* Compact                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let coverage nl faults patterns =
+  Fsim.coverage_percent (Fsim.run_combinational nl ~faults ~patterns)
+
+let test_compact_preserves_coverage () =
+  let nl = full_adder () in
+  let faults = Fault.full_list nl in
+  let prng = Prng.create 3 in
+  let patterns = Prpg.uniform_sequence prng ~bits:3 ~length:64 in
+  let reference = coverage nl faults patterns in
+  let rev = Compact.reverse_order nl ~faults ~patterns in
+  let greedy = Compact.greedy_cover nl ~faults ~patterns in
+  Alcotest.(check (float 1e-9)) "reverse coverage" reference (coverage nl faults rev);
+  Alcotest.(check (float 1e-9)) "greedy coverage" reference (coverage nl faults greedy);
+  check_bool "reverse smaller" true (Array.length rev <= Array.length patterns);
+  check_bool "greedy smaller or equal reverse+slack" true
+    (Array.length greedy <= Array.length rev)
+
+let test_compact_idempotent_on_minimal () =
+  let nl = full_adder () in
+  let faults = Fault.full_list nl in
+  let patterns = Prpg.uniform_sequence (Prng.create 4) ~bits:3 ~length:64 in
+  let greedy = Compact.greedy_cover nl ~faults ~patterns in
+  let again = Compact.greedy_cover nl ~faults ~patterns:greedy in
+  check_int "stable size" (Array.length greedy) (Array.length again)
+
+let prop_compact_preserves_coverage =
+  let gen = QCheck.Gen.(pair (int_range 0 100000) (int_range 4 40)) in
+  QCheck.Test.make ~name:"compaction preserves coverage" ~count:40
+    (QCheck.make gen) (fun (seed, n) ->
+      let nl = full_adder () in
+      let faults = Fault.full_list nl in
+      let patterns = Prpg.uniform_sequence (Prng.create seed) ~bits:3 ~length:n in
+      let reference = coverage nl faults patterns in
+      let rev = Compact.reverse_order nl ~faults ~patterns in
+      let greedy = Compact.greedy_cover nl ~faults ~patterns in
+      coverage nl faults rev = reference && coverage nl faults greedy = reference)
+
+(* ------------------------------------------------------------------ *)
+(* Diagnose                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_diagnose_recovers_injected_fault () =
+  let nl = full_adder () in
+  let faults = Fault.full_list nl in
+  let prng = Prng.create 9 in
+  (* Inject a random fault, observe all 8 patterns, diagnose. *)
+  for _ = 1 to 10 do
+    let injected = List.nth faults (Prng.int prng (List.length faults)) in
+    let observations =
+      List.init 8 (fun p ->
+          { Diagnose.pattern = p;
+            response = Diagnose.simulate_response nl (Some injected) p })
+    in
+    let suspects = Diagnose.perfect_matches nl ~candidates:faults ~observations in
+    check_bool "injected fault among suspects" true
+      (List.exists (Fault.equal injected) suspects)
+  done
+
+let test_diagnose_good_machine_rejects_all () =
+  let nl = full_adder () in
+  let faults = Fault.full_list nl in
+  (* Responses of the GOOD machine: only undetectable-by-these-patterns
+     candidates can explain them; with exhaustive patterns, none (the
+     full adder has no untestable faults). *)
+  let observations =
+    List.init 8 (fun p ->
+        { Diagnose.pattern = p; response = Diagnose.simulate_response nl None p })
+  in
+  let suspects = Diagnose.perfect_matches nl ~candidates:faults ~observations in
+  check_int "no suspects" 0 (List.length suspects)
+
+let test_diagnose_ranking_sane () =
+  let nl = full_adder () in
+  let faults = Fault.full_list nl in
+  let injected = List.hd faults in
+  let observations =
+    List.init 8 (fun p ->
+        { Diagnose.pattern = p;
+          response = Diagnose.simulate_response nl (Some injected) p })
+  in
+  let ranked = Diagnose.rank nl ~candidates:faults ~observations in
+  (match ranked with
+   | best :: _ -> check_bool "top explains" true best.Diagnose.explains
+   | [] -> Alcotest.fail "empty ranking");
+  (* Scores are non-increasing. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      check_bool "sorted" true (a.Diagnose.matches >= b.Diagnose.matches);
+      monotone rest
+    | _ -> ()
+  in
+  monotone ranked
+
+let test_diagnose_rejects_sequential () =
+  let b = B.create "seq" in
+  let x = B.input b "x" in
+  let q = B.dff b ~init:false in
+  B.connect_dff b q ~d:x;
+  B.output b "y" q;
+  let nl = B.finalize b in
+  (try
+     ignore
+       (Diagnose.rank nl
+          ~candidates:(Fault.full_list nl)
+          ~observations:[ { Diagnose.pattern = 0; response = 0 } ]);
+     Alcotest.fail "should reject"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Testpoints                                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Testpoints = Mutsamp_atpg.Testpoints
+module Collapse = Mutsamp_fault.Collapse
+
+let c432_netlist =
+  lazy
+    (match Registry.find "c432" with
+     | Some e -> Flow.synthesize (e.Registry.design ())
+     | None -> Alcotest.fail "c432 missing")
+
+let test_testpoints_selection_valid () =
+  let nl = Lazy.force c432_netlist in
+  let nets = Testpoints.worst_observability nl ~n:8 in
+  check_int "eight nets" 8 (List.length nets);
+  let outputs = Array.to_list (Array.map snd nl.Netlist.output_list) in
+  List.iter
+    (fun net ->
+      check_bool "not already observed" false (List.mem net outputs);
+      check_bool "combinational gate" true
+        (match nl.Netlist.gates.(net).Mutsamp_netlist.Gate.kind with
+         | Mutsamp_netlist.Gate.Pi _ | Mutsamp_netlist.Gate.Const _
+         | Mutsamp_netlist.Gate.Dff _ -> false
+         | _ -> true))
+    nets
+
+let test_testpoints_insertion_coverage () =
+  let nl = Lazy.force c432_netlist in
+  let faults = (Collapse.run nl).Collapse.representatives in
+  let patterns = Prpg.uniform_sequence (Prng.create 50) ~bits:36 ~length:124 in
+  let base = Fsim.run_combinational nl ~faults ~patterns in
+  let with_tp = Testpoints.auto_insert nl ~n:16 in
+  (* The fault list refers to the SAME nets (insertion only appends
+     outputs), so the comparison is apples to apples. *)
+  let improved = Fsim.run_combinational with_tp ~faults ~patterns in
+  check_bool "coverage never drops" true
+    (Fsim.coverage_percent improved >= Fsim.coverage_percent base -. 1e-9);
+  check_bool "observation points help c432" true
+    (improved.Fsim.detected > base.Fsim.detected)
+
+let test_testpoints_preserve_function () =
+  let nl = Lazy.force c432_netlist in
+  let with_tp = Testpoints.auto_insert nl ~n:4 in
+  (* Original outputs unchanged, in place, same order. *)
+  let n_orig = Array.length nl.Netlist.output_list in
+  Array.iteri
+    (fun i (name, net) ->
+      if i < n_orig then begin
+        let name', net' = with_tp.Netlist.output_list.(i) in
+        check_bool "same name" true (name = name');
+        check_int "same net" net net'
+      end)
+    with_tp.Netlist.output_list
+
+(* ------------------------------------------------------------------ *)
+(* Weighted patterns                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_weighted_extremes () =
+  let prng = Prng.create 1 in
+  let all_one = Prpg.weighted_sequence prng ~one_probability:(Array.make 8 1.) ~length:20 in
+  Array.iter (fun c -> check_int "all ones" 255 c) all_one;
+  let all_zero = Prpg.weighted_sequence prng ~one_probability:(Array.make 8 0.) ~length:20 in
+  Array.iter (fun c -> check_int "all zeros" 0 c) all_zero
+
+let test_weighted_bias () =
+  let prng = Prng.create 2 in
+  let profile = [| 0.9; 0.1 |] in
+  let seq = Prpg.weighted_sequence prng ~one_probability:profile ~length:2000 in
+  let count bit = Array.fold_left (fun acc c -> acc + ((c lsr bit) land 1)) 0 seq in
+  let p0 = float_of_int (count 0) /. 2000. in
+  let p1 = float_of_int (count 1) /. 2000. in
+  check_bool "bit0 biased high" true (p0 > 0.85 && p0 < 0.95);
+  check_bool "bit1 biased low" true (p1 > 0.05 && p1 < 0.15)
+
+(* ------------------------------------------------------------------ *)
+(* Fault dictionary                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_dictionary_agrees_with_rank () =
+  let nl = full_adder () in
+  let candidates = Fault.full_list nl in
+  let patterns = Array.init 8 (fun i -> i) in
+  let dict = Diagnose.build nl ~candidates ~patterns in
+  let prng = Prng.create 31 in
+  for _ = 1 to 10 do
+    let injected = List.nth candidates (Prng.int prng (List.length candidates)) in
+    let responses =
+      Array.map (fun p -> Diagnose.simulate_response nl (Some injected) p) patterns
+    in
+    let via_dict = Diagnose.lookup dict ~responses in
+    let via_rank =
+      Diagnose.perfect_matches nl ~candidates
+        ~observations:
+          (Array.to_list
+             (Array.mapi (fun i p -> { Diagnose.pattern = p; response = responses.(i) }) patterns))
+    in
+    check_bool "same suspects" true
+      (List.sort Fault.compare via_dict = List.sort Fault.compare via_rank);
+    check_bool "injected found" true (List.exists (Fault.equal injected) via_dict)
+  done
+
+let test_dictionary_rejects_wrong_arity () =
+  let nl = full_adder () in
+  let dict = Diagnose.build nl ~candidates:(Fault.full_list nl) ~patterns:[| 0; 1 |] in
+  (try
+     ignore (Diagnose.lookup dict ~responses:[| 0 |]);
+     Alcotest.fail "should reject"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Vcd                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Vcd = Mutsamp_netlist.Vcd
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  scan 0
+
+let test_vcd_structure () =
+  let nl = full_adder () in
+  let sim = Bitsim.create nl in
+  let rec_ = Vcd.create nl ~timescale:"1ns" in
+  for code = 0 to 3 do
+    ignore (Bitsim.step sim (Array.init 3 (fun k -> if (code lsr k) land 1 = 1 then Bitsim.all_ones else 0)));
+    Vcd.sample rec_ sim
+  done;
+  let out = Vcd.contents rec_ in
+  check_bool "timescale" true (contains out "$timescale 1ns $end");
+  check_bool "module scope" true (contains out "$scope module fa $end");
+  check_bool "declares input a" true (contains out " a $end");
+  check_bool "has four timestamps" true (contains out "#3");
+  check_bool "enddefinitions" true (contains out "$enddefinitions $end")
+
+let test_vcd_change_compression () =
+  (* A constant signal appears once (at #0), not at every timestamp. *)
+  let b = B.create "t" in
+  let a = B.input b "a" in
+  B.output b "y" a;
+  let nl = B.finalize b in
+  let sim = Bitsim.create nl in
+  let rec_ = Vcd.create nl ~timescale:"1ns" in
+  for _ = 1 to 4 do
+    ignore (Bitsim.step sim [| 0 |]);
+    Vcd.sample rec_ sim
+  done;
+  let out = Vcd.contents rec_ in
+  (* Count value-change lines for the single net: exactly one "0!" *)
+  let changes =
+    List.length
+      (List.filter (fun l -> l = "0!") (String.split_on_char '\n' out))
+  in
+  check_int "one change" 1 changes
+
+(* ------------------------------------------------------------------ *)
+(* NAND mapping / redundancy removal                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Optimize = Mutsamp_synth.Optimize
+module Redundancy = Mutsamp_atpg.Redundancy
+module Equiv = Mutsamp_sat.Equiv
+module Gate = Mutsamp_netlist.Gate
+
+let test_nand_mapping_only_nands () =
+  let nl = Optimize.to_nand_only (full_adder ()) in
+  Array.iter
+    (fun (g : Gate.t) ->
+      match g.Gate.kind with
+      | Gate.Pi _ | Gate.Const _ | Gate.Dff _ | Gate.Nand | Gate.Not -> ()
+      | k -> Alcotest.fail ("unexpected gate " ^ Gate.kind_name k))
+    nl.Netlist.gates
+
+let test_nand_mapping_equivalent () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let nl = Flow.synthesize (e.Registry.design ()) in
+      if Netlist.num_dffs nl = 0 then begin
+        let mapped = Optimize.to_nand_only nl in
+        match Equiv.check nl mapped with
+        | Equiv.Equivalent -> ()
+        | Equiv.Counterexample _ ->
+          Alcotest.fail (e.Registry.name ^ ": NAND mapping changed the function")
+      end)
+    Registry.all
+
+let test_nand_mapping_sequential_trace () =
+  let e = Option.get (Registry.find "b02") in
+  let nl = Flow.synthesize (e.Registry.design ()) in
+  let mapped = Optimize.to_nand_only nl in
+  check_int "dffs preserved" (Netlist.num_dffs nl) (Netlist.num_dffs mapped);
+  let s1 = Bitsim.create nl and s2 = Bitsim.create mapped in
+  Bitsim.reset s1;
+  Bitsim.reset s2;
+  let prng = Prng.create 123 in
+  for _ = 1 to 24 do
+    let w = [| (if Prng.bool prng then Bitsim.all_ones else 0) |] in
+    check_bool "trace equal" true (Bitsim.step s1 w = Bitsim.step s2 w)
+  done
+
+(* A netlist with known redundancy: y = a or (a and b). *)
+let redundant_netlist () =
+  let b = B.create "red" in
+  let a = B.input b "a" and bb = B.input b "bb" in
+  let band = B.and_ b a bb in
+  let y = B.or_ b a band in
+  B.output b "y" y;
+  B.finalize b
+
+let test_redundancy_removal_ties_and_shrinks () =
+  let nl = redundant_netlist () in
+  let cleaned, tied = Redundancy.remove nl in
+  check_bool "tied something" true (tied >= 1);
+  check_bool "fewer gates" true
+    (Netlist.num_logic_gates cleaned < Netlist.num_logic_gates nl);
+  (match Equiv.check nl cleaned with
+   | Equiv.Equivalent -> ()
+   | Equiv.Counterexample _ -> Alcotest.fail "function changed")
+
+let test_redundancy_removal_idempotent_on_clean () =
+  let nl = full_adder () in
+  let cleaned, tied = Redundancy.remove nl in
+  check_int "nothing to tie" 0 tied;
+  check_int "same size" (Netlist.num_logic_gates nl) (Netlist.num_logic_gates cleaned)
+
+let test_redundancy_removal_c432 () =
+  let nl = Lazy.force c432_netlist in
+  let cleaned, tied = Redundancy.remove nl in
+  check_bool "c432 had redundancy" true (tied > 0);
+  (match Equiv.check nl cleaned with
+   | Equiv.Equivalent -> ()
+   | Equiv.Counterexample _ -> Alcotest.fail "function changed")
+
+(* ------------------------------------------------------------------ *)
+(* b04                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let b04_design () =
+  match Registry.find "b04" with
+  | Some e -> e.Registry.design ()
+  | None -> Alcotest.fail "b04 missing"
+
+let b04_stim restart data = [ ("restart", bv 1 restart); ("data", bv 8 data) ]
+
+let test_b04_tracks_spread () =
+  let d = b04_design () in
+  let outs = Sim.run d [ b04_stim 1 100; b04_stim 0 150; b04_stim 0 80; b04_stim 0 120 ] in
+  let dout i = Bitvec.to_int (List.assoc "dout" (List.nth outs i)) in
+  check_int "restart clears" 0 (dout 0);
+  (* After restart at 100: cycle1 sees rmax=rmin=100 -> spread 0, then
+     150 and 80 widen it. *)
+  check_int "cycle1 spread" 0 (dout 1);
+  check_int "cycle2 spread" 50 (dout 2);
+  check_int "cycle3 spread" 70 (dout 3)
+
+let test_b04_fresh_pulse () =
+  let d = b04_design () in
+  let outs = Sim.run d [ b04_stim 1 10; b04_stim 0 10 ] in
+  check_int "fresh on restart" 1
+    (Bitvec.to_int (List.assoc "fresh" (List.nth outs 0)));
+  check_int "fresh off after" 0
+    (Bitvec.to_int (List.assoc "fresh" (List.nth outs 1)))
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "extras.benchfmt",
+      [
+        Alcotest.test_case "import c17" `Quick test_bench_import_c17;
+        Alcotest.test_case "roundtrip comb" `Quick test_bench_roundtrip_combinational;
+        Alcotest.test_case "roundtrip seq + init" `Quick test_bench_roundtrip_sequential_with_init;
+        Alcotest.test_case "n-ary decomposition" `Quick test_bench_nary_decomposition;
+        Alcotest.test_case "errors" `Quick test_bench_errors;
+        Alcotest.test_case "export/import all" `Quick test_bench_export_all_circuits_reimport;
+        q prop_bench_roundtrip_random;
+      ] );
+    ( "extras.compact",
+      [
+        Alcotest.test_case "preserves coverage" `Quick test_compact_preserves_coverage;
+        Alcotest.test_case "idempotent" `Quick test_compact_idempotent_on_minimal;
+        q prop_compact_preserves_coverage;
+      ] );
+    ( "extras.diagnose",
+      [
+        Alcotest.test_case "recovers injected" `Quick test_diagnose_recovers_injected_fault;
+        Alcotest.test_case "good machine" `Quick test_diagnose_good_machine_rejects_all;
+        Alcotest.test_case "ranking sane" `Quick test_diagnose_ranking_sane;
+        Alcotest.test_case "rejects sequential" `Quick test_diagnose_rejects_sequential;
+      ] );
+    ( "extras.testpoints",
+      [
+        Alcotest.test_case "selection valid" `Quick test_testpoints_selection_valid;
+        Alcotest.test_case "coverage improves" `Quick test_testpoints_insertion_coverage;
+        Alcotest.test_case "function preserved" `Quick test_testpoints_preserve_function;
+      ] );
+    ( "extras.weighted",
+      [
+        Alcotest.test_case "extremes" `Quick test_weighted_extremes;
+        Alcotest.test_case "bias" `Quick test_weighted_bias;
+      ] );
+    ( "extras.dictionary",
+      [
+        Alcotest.test_case "agrees with rank" `Quick test_dictionary_agrees_with_rank;
+        Alcotest.test_case "arity check" `Quick test_dictionary_rejects_wrong_arity;
+      ] );
+    ( "extras.vcd",
+      [
+        Alcotest.test_case "structure" `Quick test_vcd_structure;
+        Alcotest.test_case "change compression" `Quick test_vcd_change_compression;
+      ] );
+    ( "extras.nand_mapping",
+      [
+        Alcotest.test_case "only nands" `Quick test_nand_mapping_only_nands;
+        Alcotest.test_case "equivalent" `Quick test_nand_mapping_equivalent;
+        Alcotest.test_case "sequential trace" `Quick test_nand_mapping_sequential_trace;
+        q prop_nand_mapping_random;
+      ] );
+    ( "extras.redundancy",
+      [
+        Alcotest.test_case "ties and shrinks" `Quick test_redundancy_removal_ties_and_shrinks;
+        Alcotest.test_case "idempotent on clean" `Quick test_redundancy_removal_idempotent_on_clean;
+        Alcotest.test_case "c432" `Quick test_redundancy_removal_c432;
+      ] );
+    ( "extras.b04",
+      [
+        Alcotest.test_case "tracks spread" `Quick test_b04_tracks_spread;
+        Alcotest.test_case "fresh pulse" `Quick test_b04_fresh_pulse;
+      ] );
+  ]

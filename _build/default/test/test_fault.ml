@@ -1,0 +1,407 @@
+(* Tests for lib/fault: fault lists, collapsing, serial and parallel
+   fault simulation, coverage curves. *)
+
+module Prng = Mutsamp_util.Prng
+module Netlist = Mutsamp_netlist.Netlist
+module Bitsim = Mutsamp_netlist.Bitsim
+module Gate = Mutsamp_netlist.Gate
+module B = Netlist.Builder
+module Fault = Mutsamp_fault.Fault
+module Collapse = Mutsamp_fault.Collapse
+module Fsim = Mutsamp_fault.Fsim
+module Parser = Mutsamp_hdl.Parser
+module Check = Mutsamp_hdl.Check
+module Flow = Mutsamp_synth.Flow
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let parse src = Check.elaborate (Parser.design_of_string src)
+
+let and_netlist () =
+  let b = B.create "and2" in
+  let a = B.input b "a" and bb = B.input b "b" in
+  B.output b "y" (B.and_ b a bb);
+  B.finalize b
+
+let full_adder () =
+  let b = B.create "fa" in
+  let a = B.input b "a" and bb = B.input b "b" and cin = B.input b "cin" in
+  let s = B.xor_ b (B.xor_ b a bb) cin in
+  let cout = B.or_ b (B.and_ b a bb) (B.or_ b (B.and_ b a cin) (B.and_ b bb cin)) in
+  B.output b "s" s;
+  B.output b "cout" cout;
+  B.finalize b
+
+let counter_netlist () =
+  Flow.synthesize
+    (parse
+       {|design counter is
+  input en : bit;
+  output q : unsigned(3);
+  reg count : unsigned(3) := 0;
+begin
+  q := count;
+  if en = '1' then
+    count := count + 1;
+  end if;
+end design;|})
+
+(* ------------------------------------------------------------------ *)
+(* Fault lists                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_full_list_and_gate () =
+  let nl = and_netlist () in
+  let faults = Fault.full_list nl in
+  (* 3 nets (a, b, y), no fanout > 1 -> 6 stem faults, no branches. *)
+  check_int "six faults" 6 (List.length faults);
+  check_bool "no branch faults" true
+    (List.for_all
+       (fun (f : Fault.t) -> match f.site with Fault.Stem _ -> true | Fault.Branch _ -> false)
+       faults)
+
+let test_full_list_has_branches_on_fanout () =
+  let nl = full_adder () in
+  let faults = Fault.full_list nl in
+  check_bool "has branch faults" true
+    (List.exists
+       (fun (f : Fault.t) -> match f.site with Fault.Branch _ -> true | Fault.Stem _ -> false)
+       faults)
+
+let test_full_list_excludes_constants () =
+  let b = B.create "c" in
+  let a = B.input b "a" in
+  let k = B.const b true in
+  B.output b "y" (B.xor_ b a k);
+  let nl = B.finalize b in
+  let faults = Fault.full_list nl in
+  List.iter
+    (fun (f : Fault.t) ->
+      match f.site with
+      | Fault.Stem net ->
+        (match nl.Netlist.gates.(net).Gate.kind with
+         | Gate.Const _ -> Alcotest.fail "constant stem fault present"
+         | _ -> ())
+      | Fault.Branch _ -> ())
+    faults
+
+let test_full_list_deterministic () =
+  let nl = full_adder () in
+  check_bool "same list" true (Fault.full_list nl = Fault.full_list nl)
+
+(* ------------------------------------------------------------------ *)
+(* Collapse                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_collapse_reduces () =
+  let nl = full_adder () in
+  let c = Collapse.run nl in
+  check_bool "collapsed smaller" true (c.Collapse.collapsed_size < c.Collapse.full_size);
+  check_bool "ratio sane" true (Collapse.ratio c > 0.3 && Collapse.ratio c < 1.0)
+
+let test_collapse_classes_consistent () =
+  let nl = full_adder () in
+  let c = Collapse.run nl in
+  (* Every fault's representative must itself map to itself. *)
+  List.iter
+    (fun f ->
+      let r = c.Collapse.class_of f in
+      check_bool "idempotent" true (Fault.equal (c.Collapse.class_of r) r))
+    (Fault.full_list nl)
+
+let test_collapse_and_rule () =
+  (* For y = a and b with single fanouts: a SA0 ≡ b SA0 ≡ y SA0. *)
+  let nl = and_netlist () in
+  let c = Collapse.run nl in
+  let a = Netlist.find_input nl "a" in
+  let b = Netlist.find_input nl "b" in
+  let y = Netlist.find_output nl "y" in
+  let cls net =
+    c.Collapse.class_of { Fault.site = Fault.Stem net; polarity = Fault.Stuck_at_0 }
+  in
+  check_bool "a0 = y0" true (Fault.equal (cls a) (cls y));
+  check_bool "b0 = y0" true (Fault.equal (cls b) (cls y));
+  (* SA1 faults on AND inputs are NOT equivalent. *)
+  let cls1 net =
+    c.Collapse.class_of { Fault.site = Fault.Stem net; polarity = Fault.Stuck_at_1 }
+  in
+  check_bool "a1 /= b1" false (Fault.equal (cls1 a) (cls1 b))
+
+(* Soundness of collapsing: faults in one class are detected by exactly
+   the same patterns (checked exhaustively on the full adder). *)
+let test_collapse_sound_on_full_adder () =
+  let nl = full_adder () in
+  let c = Collapse.run nl in
+  let all = Fault.full_list nl in
+  let patterns = Array.init 8 (fun i -> i) in
+  let detect_set f =
+    let r = Fsim.run_combinational nl ~faults:[ f ] ~patterns in
+    (* With a single fault and no dropping subtleties we need the set of
+       ALL detecting patterns, so run each pattern alone. *)
+    ignore r;
+    List.filter
+      (fun p ->
+        let r = Fsim.run_combinational nl ~faults:[ f ] ~patterns:[| p |] in
+        r.Fsim.detected = 1)
+      (Array.to_list patterns)
+  in
+  (* Group faults by representative and compare detect sets. *)
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      let r = c.Collapse.class_of f in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt groups r) in
+      Hashtbl.replace groups r (f :: cur))
+    all;
+  Hashtbl.iter
+    (fun _ members ->
+      match members with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+        let reference = detect_set first in
+        List.iter
+          (fun f ->
+            check_bool
+              (Printf.sprintf "same detect set: %s vs %s" (Fault.to_string first)
+                 (Fault.to_string f))
+              true
+              (detect_set f = reference))
+          rest)
+    groups
+
+let test_dominance_reduces_further () =
+  let nl = full_adder () in
+  let c = Collapse.run nl in
+  let reduced = Collapse.dominance_reduced nl c in
+  check_bool "smaller than equivalence-collapsed" true
+    (List.length reduced < c.Collapse.collapsed_size);
+  check_bool "nonempty" true (reduced <> [])
+
+(* Soundness of dominance: a test set detecting every reduced fault
+   detects every testable fault of the full universe. Checked
+   exhaustively on the full adder. *)
+let test_dominance_sound () =
+  let nl = full_adder () in
+  let c = Collapse.run nl in
+  let reduced = Collapse.dominance_reduced nl c in
+  let all_patterns = Array.init 8 (fun i -> i) in
+  (* Build a minimal-ish test set covering the reduced list greedily. *)
+  let detects f p =
+    (Fsim.run_combinational nl ~faults:[ f ] ~patterns:[| p |]).Fsim.detected = 1
+  in
+  let tests =
+    List.sort_uniq Stdlib.compare
+      (List.filter_map
+         (fun f ->
+           let rec first p = if p > 7 then None else if detects f p then Some p else first (p + 1) in
+           first 0)
+         reduced)
+  in
+  let full = Fault.full_list nl in
+  let testable =
+    List.filter
+      (fun f ->
+        (Fsim.run_combinational nl ~faults:[ f ] ~patterns:all_patterns).Fsim.detected = 1)
+      full
+  in
+  let r =
+    Fsim.run_combinational nl ~faults:testable ~patterns:(Array.of_list tests)
+  in
+  check_int "reduced-list tests detect all testable faults"
+    (List.length testable) r.Fsim.detected
+
+(* ------------------------------------------------------------------ *)
+(* Fsim                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_fsim_and_gate_exhaustive_full_coverage () =
+  let nl = and_netlist () in
+  let faults = Fault.full_list nl in
+  let r = Fsim.run_combinational nl ~faults ~patterns:[| 0b00; 0b01; 0b10; 0b11 |] in
+  check_int "all detected" (List.length faults) r.Fsim.detected;
+  Alcotest.(check (float 1e-6)) "coverage 100" 100. (Fsim.coverage_percent r)
+
+let test_fsim_single_pattern_partial () =
+  let nl = and_netlist () in
+  let faults = Fault.full_list nl in
+  (* Pattern a=1,b=1 detects y SA0, a SA0, b SA0 only. *)
+  let r = Fsim.run_combinational nl ~faults ~patterns:[| 0b11 |] in
+  check_int "three detected" 3 r.Fsim.detected
+
+let test_fsim_detection_indices_monotone () =
+  let nl = full_adder () in
+  let faults = Fault.full_list nl in
+  let patterns = Array.init 8 (fun i -> i) in
+  let r = Fsim.run_combinational nl ~faults ~patterns in
+  Array.iter
+    (fun (d : Fsim.detection) ->
+      match d.Fsim.detected_at with
+      | Some k -> check_bool "index in range" true (k >= 0 && k < 8)
+      | None -> ())
+    r.Fsim.detections
+
+let test_fsim_coverage_curve_monotone () =
+  let nl = full_adder () in
+  let faults = Fault.full_list nl in
+  let patterns = Array.init 8 (fun i -> i) in
+  let r = Fsim.run_combinational nl ~faults ~patterns in
+  let curve = Fsim.coverage_curve r in
+  check_int "curve length" 9 (List.length curve);
+  let rec monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+      check_bool "monotone" true (b >= a -. 1e-9);
+      monotone rest
+    | _ -> ()
+  in
+  monotone curve;
+  (* Curve endpoint equals the report coverage. *)
+  let _, last = List.nth curve 8 in
+  Alcotest.(check (float 1e-6)) "endpoint" (Fsim.coverage_percent r) last
+
+let test_fsim_length_to_reach () =
+  let nl = and_netlist () in
+  let faults = Fault.full_list nl in
+  let r = Fsim.run_combinational nl ~faults ~patterns:[| 0b11; 0b01; 0b10; 0b00 |] in
+  (match Fsim.length_to_reach r 50.0 with
+   | Some n -> check_bool "reasonable prefix" true (n >= 1 && n <= 4)
+   | None -> Alcotest.fail "should reach 50%");
+  check_bool "cannot exceed final coverage" true
+    (Fsim.length_to_reach r 101.0 = None)
+
+let test_fsim_sequential_counter () =
+  let nl = counter_netlist () in
+  let faults = Fault.full_list nl in
+  (* Enable high for 16 cycles exercises the whole count range. *)
+  let seq = Array.make 16 1 in
+  let r = Fsim.run_sequential nl ~faults ~sequence:seq in
+  check_bool "detects most faults" true
+    (Fsim.coverage_percent r > 60.);
+  (* A short sequence detects fewer faults. *)
+  let r2 = Fsim.run_sequential nl ~faults ~sequence:(Array.make 2 1) in
+  check_bool "short sequence weaker" true (r2.Fsim.detected <= r.Fsim.detected)
+
+let test_fsim_rejects_seq_in_comb_engine () =
+  let nl = counter_netlist () in
+  (try
+     ignore (Fsim.run_combinational nl ~faults:(Fault.full_list nl) ~patterns:[| 1 |]);
+     Alcotest.fail "should reject"
+   with Invalid_argument _ -> ())
+
+let test_fsim_auto_dispatch () =
+  let comb = and_netlist () in
+  let seq = counter_netlist () in
+  let r1 = Fsim.run_auto comb ~faults:(Fault.full_list comb) ~sequence:[| 3 |] in
+  check_bool "comb ran" true (r1.Fsim.total > 0);
+  let r2 = Fsim.run_auto seq ~faults:(Fault.full_list seq) ~sequence:[| 1; 1 |] in
+  check_bool "seq ran" true (r2.Fsim.total > 0)
+
+let test_input_code () =
+  let nl = full_adder () in
+  let code = Fsim.input_code nl [ ("a", true); ("cin", true) ] in
+  (* a is input 0, b input 1, cin input 2. *)
+  check_int "code" 0b101 code
+
+(* Property: serial and parallel engines agree on combinational
+   circuits (same detected set and same first-detection indices). *)
+let prop_serial_equals_parallel =
+  let gen = QCheck.Gen.(pair (int_range 0 10000) (int_range 1 40)) in
+  QCheck.Test.make ~name:"serial = parallel fault sim" ~count:60 (QCheck.make gen)
+    (fun (seed, n_patterns) ->
+      let nl = full_adder () in
+      let faults = Fault.full_list nl in
+      let prng = Prng.create seed in
+      let patterns = Array.init n_patterns (fun _ -> Prng.int prng 8) in
+      let rp = Fsim.run_combinational nl ~faults ~patterns in
+      let rs = Fsim.run_sequential nl ~faults ~sequence:patterns in
+      rp.Fsim.detected = rs.Fsim.detected
+      && Array.for_all2
+           (fun (a : Fsim.detection) (b : Fsim.detection) ->
+             a.Fsim.detected_at = b.Fsim.detected_at)
+           rp.Fsim.detections rs.Fsim.detections)
+
+(* Property: the parallel-fault engine matches the serial one exactly —
+   detected sets AND first-detection cycles — on a sequential circuit. *)
+let prop_parallel_fault_equals_serial =
+  let gen = QCheck.Gen.(pair (int_range 0 100000) (int_range 1 24)) in
+  QCheck.Test.make ~name:"parallel-fault = serial fault sim (sequential)" ~count:40
+    (QCheck.make gen) (fun (seed, len) ->
+      let nl = counter_netlist () in
+      let faults = Fault.full_list nl in
+      let prng = Prng.create seed in
+      let sequence = Array.init len (fun _ -> Prng.int prng 2) in
+      let rs = Fsim.run_sequential nl ~faults ~sequence in
+      let rp = Fsim.run_parallel_fault nl ~faults ~sequence in
+      rs.Fsim.detected = rp.Fsim.detected
+      && Array.for_all2
+           (fun (a : Fsim.detection) (b : Fsim.detection) ->
+             a.Fsim.detected_at = b.Fsim.detected_at)
+           rs.Fsim.detections rp.Fsim.detections)
+
+let test_parallel_fault_combinational_too () =
+  let nl = full_adder () in
+  let faults = Fault.full_list nl in
+  let patterns = Array.init 8 (fun i -> i) in
+  let rp = Fsim.run_parallel_fault nl ~faults ~sequence:patterns in
+  let rc = Fsim.run_combinational nl ~faults ~patterns in
+  check_int "same detected" rc.Fsim.detected rp.Fsim.detected
+
+let test_parallel_fault_many_groups () =
+  (* More faults than lanes forces several passes. *)
+  let nl = counter_netlist () in
+  let faults = Fault.full_list nl in
+  check_bool "enough faults to need grouping" true (List.length faults > 61);
+  let sequence = Array.make 16 1 in
+  let rp = Fsim.run_parallel_fault nl ~faults ~sequence in
+  let rs = Fsim.run_sequential nl ~faults ~sequence in
+  check_int "same detected" rs.Fsim.detected rp.Fsim.detected
+
+(* Property: coverage never decreases when patterns are appended. *)
+let prop_coverage_monotone_in_patterns =
+  let gen = QCheck.Gen.(pair (int_range 0 10000) (int_range 1 20)) in
+  QCheck.Test.make ~name:"coverage monotone in pattern count" ~count:50
+    (QCheck.make gen) (fun (seed, n) ->
+      let nl = full_adder () in
+      let faults = Fault.full_list nl in
+      let prng = Prng.create seed in
+      let patterns = Array.init (2 * n) (fun _ -> Prng.int prng 8) in
+      let r1 = Fsim.run_combinational nl ~faults ~patterns:(Array.sub patterns 0 n) in
+      let r2 = Fsim.run_combinational nl ~faults ~patterns in
+      Fsim.coverage_percent r2 >= Fsim.coverage_percent r1 -. 1e-9)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "fault.list",
+      [
+        Alcotest.test_case "and gate list" `Quick test_full_list_and_gate;
+        Alcotest.test_case "branches on fanout" `Quick test_full_list_has_branches_on_fanout;
+        Alcotest.test_case "constants excluded" `Quick test_full_list_excludes_constants;
+        Alcotest.test_case "deterministic" `Quick test_full_list_deterministic;
+      ] );
+    ( "fault.collapse",
+      [
+        Alcotest.test_case "reduces" `Quick test_collapse_reduces;
+        Alcotest.test_case "classes consistent" `Quick test_collapse_classes_consistent;
+        Alcotest.test_case "and rule" `Quick test_collapse_and_rule;
+        Alcotest.test_case "sound on full adder" `Quick test_collapse_sound_on_full_adder;
+        Alcotest.test_case "dominance reduces" `Quick test_dominance_reduces_further;
+        Alcotest.test_case "dominance sound" `Quick test_dominance_sound;
+      ] );
+    ( "fault.fsim",
+      [
+        Alcotest.test_case "and exhaustive" `Quick test_fsim_and_gate_exhaustive_full_coverage;
+        Alcotest.test_case "single pattern" `Quick test_fsim_single_pattern_partial;
+        Alcotest.test_case "detection indices" `Quick test_fsim_detection_indices_monotone;
+        Alcotest.test_case "curve monotone" `Quick test_fsim_coverage_curve_monotone;
+        Alcotest.test_case "length to reach" `Quick test_fsim_length_to_reach;
+        Alcotest.test_case "sequential counter" `Quick test_fsim_sequential_counter;
+        Alcotest.test_case "comb engine rejects seq" `Quick test_fsim_rejects_seq_in_comb_engine;
+        Alcotest.test_case "auto dispatch" `Quick test_fsim_auto_dispatch;
+        Alcotest.test_case "input code" `Quick test_input_code;
+        Alcotest.test_case "parallel-fault comb" `Quick test_parallel_fault_combinational_too;
+        Alcotest.test_case "parallel-fault groups" `Quick test_parallel_fault_many_groups;
+        q prop_serial_equals_parallel;
+        q prop_parallel_fault_equals_serial;
+        q prop_coverage_monotone_in_patterns;
+      ] );
+  ]

@@ -1,0 +1,465 @@
+(* Tests for lib/mutation: operator set, mutant generation, kill engine,
+   simulation-based equivalence. *)
+
+module Bitvec = Mutsamp_util.Bitvec
+module Ast = Mutsamp_hdl.Ast
+module Parser = Mutsamp_hdl.Parser
+module Check = Mutsamp_hdl.Check
+module Sim = Mutsamp_hdl.Sim
+module Stimuli = Mutsamp_hdl.Stimuli
+module Operator = Mutsamp_mutation.Operator
+module Mutant = Mutsamp_mutation.Mutant
+module Generate = Mutsamp_mutation.Generate
+module Kill = Mutsamp_mutation.Kill
+module Equivalence = Mutsamp_mutation.Equivalence
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let bv w v = Bitvec.make ~width:w v
+let parse src = Check.elaborate (Parser.design_of_string src)
+
+let and_gate_src =
+  {|design and2 is
+  input a : bit;
+  input b : bit;
+  output y : bit;
+begin
+  y := a and b;
+end design;|}
+
+let alu_src =
+  {|design mini_alu is
+  input a : unsigned(4);
+  input b : unsigned(4);
+  input op : bit;
+  output y : unsigned(4);
+  output eq : bit;
+  const K : unsigned(4) := 5;
+begin
+  eq := a = b;
+  if op = '1' then
+    y := a + b;
+  else
+    y := a - b;
+  end if;
+  if a = K then
+    y := 0;
+  end if;
+end design;|}
+
+let counter_src =
+  {|design counter is
+  input en : bit;
+  output q : unsigned(3);
+  reg count : unsigned(3) := 0;
+begin
+  q := count;
+  if en = '1' then
+    count := count + 1;
+  end if;
+end design;|}
+
+(* ------------------------------------------------------------------ *)
+(* Operator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_operator_roundtrip () =
+  List.iter
+    (fun op ->
+      match Operator.of_string (Operator.name op) with
+      | Some op' -> check_bool "roundtrip" true (Operator.equal op op')
+      | None -> Alcotest.fail "of_string failed")
+    Operator.all
+
+let test_operator_count () = check_int "ten operators" 10 (List.length Operator.all)
+
+let test_operator_of_string_case_insensitive () =
+  (match Operator.of_string "lor" with
+   | Some Operator.LOR -> ()
+   | _ -> Alcotest.fail "lowercase accepted");
+  check_bool "unknown" true (Operator.of_string "XYZ" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Generate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_generate_and_gate () =
+  let d = parse and_gate_src in
+  let ms = Generate.all d in
+  check_bool "nonempty" true (List.length ms > 0);
+  (* The single logical operator yields 5 LOR mutants. *)
+  let lor_mutants = List.filter (fun (m : Mutant.t) -> m.op = Operator.LOR) ms in
+  check_int "LOR count" 5 (List.length lor_mutants)
+
+let test_generate_ids_sequential () =
+  let ms = Generate.all (parse alu_src) in
+  List.iteri (fun i (m : Mutant.t) -> check_int "id" i m.id) ms
+
+let test_generate_all_elaborated () =
+  let ms = Generate.all (parse alu_src) in
+  List.iter
+    (fun (m : Mutant.t) -> check_bool "elaborated" true (Check.is_elaborated m.design))
+    ms
+
+let test_generate_all_differ_from_original () =
+  let d = parse alu_src in
+  let ms = Generate.all d in
+  List.iter
+    (fun (m : Mutant.t) ->
+      check_bool "differs" false (Ast.equal_design d m.design))
+    ms
+
+let test_generate_same_interface () =
+  let d = parse alu_src in
+  List.iter
+    (fun (m : Mutant.t) ->
+      check_bool "interface preserved" true (Equivalence.same_interface d m.design))
+    (Generate.all d)
+
+let test_generate_operator_coverage () =
+  let ms = Generate.all (parse alu_src) in
+  let count op =
+    List.length (List.filter (fun (m : Mutant.t) -> Operator.equal m.op op) ms)
+  in
+  check_bool "AOR present" true (count Operator.AOR > 0);
+  check_bool "ROR present" true (count Operator.ROR > 0);
+  check_bool "VR present" true (count Operator.VR > 0);
+  check_bool "CVR present" true (count Operator.CVR > 0);
+  check_bool "VCR present" true (count Operator.VCR > 0);
+  check_bool "CR present" true (count Operator.CR > 0);
+  check_bool "SDL present" true (count Operator.SDL > 0);
+  check_bool "UOI present" true (count Operator.UOI > 0)
+
+let test_generate_uod_only_on_not () =
+  (* No [not] in the ALU source, so no UOD mutants. *)
+  let ms = Generate.all (parse alu_src) in
+  check_int "no UOD" 0
+    (List.length (List.filter (fun (m : Mutant.t) -> m.op = Operator.UOD) ms));
+  let with_not =
+    parse
+      {|design n is input a : bit; output y : bit;
+        begin y := not a; end design;|}
+  in
+  let ms = Generate.all with_not in
+  check_int "one UOD" 1
+    (List.length (List.filter (fun (m : Mutant.t) -> m.op = Operator.UOD) ms))
+
+let test_generate_cr_only_with_constants () =
+  (* A design whose only literals appear in comparisons still yields CR
+     mutants from those literals. *)
+  let ms = Generate.all (parse counter_src) in
+  let cr = List.filter (fun (m : Mutant.t) -> m.op = Operator.CR) ms in
+  check_bool "CR from literals" true (List.length cr > 0)
+
+let test_for_operator_subset () =
+  let d = parse alu_src in
+  let all = Generate.all d in
+  let vr = Generate.for_operator d Operator.VR in
+  check_int "subset count matches"
+    (List.length (List.filter (fun (m : Mutant.t) -> m.op = Operator.VR) all))
+    (List.length vr);
+  List.iter (fun (m : Mutant.t) -> check_bool "op" true (m.op = Operator.VR)) vr
+
+let test_count_by_operator_total () =
+  let ms = Generate.all (parse alu_src) in
+  let counts = Generate.count_by_operator ms in
+  check_int "ten entries" 10 (List.length counts);
+  check_int "total matches"
+    (List.length ms)
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 counts)
+
+let test_generate_rejects_unelaborated () =
+  let raw = Parser.design_of_string alu_src in
+  (try
+     ignore (Generate.all raw);
+     Alcotest.fail "should reject"
+   with Invalid_argument _ -> ())
+
+(* Deterministic generation: two runs produce the same list. *)
+let test_generate_deterministic () =
+  let d = parse alu_src in
+  let a = Generate.all d and b = Generate.all d in
+  check_bool "same" true (a = b)
+
+(* ------------------------------------------------------------------ *)
+(* Kill                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let stim2 a b = [ ("a", bv 1 a); ("b", bv 1 b) ]
+
+let test_kill_and_gate_lor () =
+  let d = parse and_gate_src in
+  let ms = Generate.for_operator d Operator.LOR in
+  let runner = Kill.make d ms in
+  (* 0,1 distinguishes AND from OR, XOR, NOR, ... for most mutants. *)
+  let killed = Kill.kills runner [ stim2 0 1 ] in
+  check_bool "some killed" true (List.length killed > 0);
+  (* Applying all four input vectors kills every non-equivalent LOR
+     mutant of a 2-input AND (all five alternatives differ). *)
+  let all4 = [ [ stim2 0 0 ]; [ stim2 0 1 ]; [ stim2 1 0 ]; [ stim2 1 1 ] ] in
+  let flags = Kill.killed_set runner all4 in
+  Array.iter (fun k -> check_bool "all LOR killed" true k) flags
+
+let test_kill_stops_early_is_consistent () =
+  let d = parse and_gate_src in
+  let ms = Generate.all d in
+  let runner = Kill.make d ms in
+  let seq = [ stim2 1 1; stim2 0 1 ] in
+  List.iter
+    (fun i ->
+      check_bool "killed_by agrees with kills" true
+        (List.mem i (Kill.kills runner seq) = Kill.killed_by runner i seq))
+    (List.init (Kill.size runner) (fun i -> i))
+
+let test_kill_alive_restriction () =
+  let d = parse and_gate_src in
+  let runner = Kill.make d (Generate.all d) in
+  let seq = [ stim2 0 1 ] in
+  let all_killed = Kill.kills runner seq in
+  match all_killed with
+  | [] -> Alcotest.fail "expected kills"
+  | first :: _ ->
+    let restricted = Kill.kills runner ~alive:[ first ] seq in
+    check_bool "restricted" true (restricted = [ first ])
+
+let test_kill_sequential_mutant () =
+  let d = parse counter_src in
+  let ms = Generate.all d in
+  let runner = Kill.make d ms in
+  (* A long enable burst distinguishes counting faults. *)
+  let seq = List.init 8 (fun _ -> [ ("en", bv 1 1) ]) in
+  let killed = Kill.kills runner seq in
+  check_bool "many killed" true (List.length killed > Kill.size runner / 2)
+
+let test_kills_at_cycles () =
+  let d = parse counter_src in
+  let runner = Kill.make d (Generate.all d) in
+  let seq = List.init 6 (fun _ -> [ ("en", bv 1 1) ]) in
+  let detections = Kill.kills_at runner seq in
+  check_bool "some detections" true (detections <> []);
+  List.iter
+    (fun (i, c) ->
+      check_bool "cycle in range" true (c >= 0 && c < 6);
+      (* The truncated prefix up to the detection cycle also kills. *)
+      let prefix = List.filteri (fun k _ -> k <= c) seq in
+      check_bool "prefix kills" true (Kill.killed_by runner i prefix);
+      (* One cycle less does not (first detection is minimal). *)
+      if c > 0 then begin
+        let shorter = List.filteri (fun k _ -> k < c) seq in
+        check_bool "shorter misses" false (Kill.killed_by runner i shorter)
+      end)
+    detections
+
+let test_kills_at_agrees_with_kills () =
+  let d = parse and_gate_src in
+  let runner = Kill.make d (Generate.all d) in
+  let seq = [ stim2 1 0; stim2 1 1 ] in
+  Alcotest.(check (list int))
+    "same victims"
+    (Kill.kills runner seq)
+    (List.map fst (Kill.kills_at runner seq))
+
+let test_kill_empty_sequence_kills_nothing_extra () =
+  let d = parse and_gate_src in
+  let runner = Kill.make d (Generate.all d) in
+  check_int "no kills" 0 (List.length (Kill.kills runner []))
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_equiv_self () =
+  let d = parse and_gate_src in
+  (match Equivalence.exhaustive_combinational d d with
+   | Equivalence.Equivalent -> ()
+   | v -> Alcotest.fail ("self not equivalent: " ^ Equivalence.verdict_name v))
+
+let test_equiv_distinguishes_or () =
+  let d = parse and_gate_src in
+  let d_or =
+    parse
+      {|design and2 is
+  input a : bit;
+  input b : bit;
+  output y : bit;
+begin
+  y := a or b;
+end design;|}
+  in
+  (match Equivalence.exhaustive_combinational d d_or with
+   | Equivalence.Distinguished [ stim ] ->
+     (* The counterexample really distinguishes the two designs. *)
+     let oa = List.concat (Sim.run d [ stim ]) in
+     let ob = List.concat (Sim.run d_or [ stim ]) in
+     check_bool "really differs" false
+       (Bitvec.equal (List.assoc "y" oa) (List.assoc "y" ob))
+   | v -> Alcotest.fail ("expected distinguished: " ^ Equivalence.verdict_name v))
+
+let test_equiv_detects_equivalent_mutant () =
+  (* a and a is equivalent to a or a: an equivalent-mutant shape. *)
+  let d1 =
+    parse
+      {|design t is input a : bit; output y : bit; begin y := a and a; end design;|}
+  in
+  let d2 =
+    parse
+      {|design t is input a : bit; output y : bit; begin y := a or a; end design;|}
+  in
+  (match Equivalence.check d1 d2 with
+   | Equivalence.Equivalent -> ()
+   | v -> Alcotest.fail ("expected equivalent: " ^ Equivalence.verdict_name v))
+
+let test_equiv_budget_unknown () =
+  let wide =
+    parse
+      {|design w is input a : unsigned(30); output y : bit;
+        begin y := a[0]; end design;|}
+  in
+  (match Equivalence.exhaustive_combinational ~max_bits:16 wide wide with
+   | Equivalence.Unknown -> ()
+   | v -> Alcotest.fail ("expected unknown: " ^ Equivalence.verdict_name v))
+
+let test_equiv_product_bfs_counter () =
+  let d = parse counter_src in
+  (match Equivalence.product_bfs d d with
+   | Equivalence.Equivalent -> ()
+   | v -> Alcotest.fail ("self: " ^ Equivalence.verdict_name v));
+  (* Mutant: counts by 2 — distinguishable after two enables. *)
+  let mutant =
+    parse
+      {|design counter is
+  input en : bit;
+  output q : unsigned(3);
+  reg count : unsigned(3) := 0;
+begin
+  q := count;
+  if en = '1' then
+    count := count + 2;
+  end if;
+end design;|}
+  in
+  (match Equivalence.product_bfs d mutant with
+   | Equivalence.Distinguished seq ->
+     check_bool "nonempty sequence" true (List.length seq >= 2);
+     (* Verify the sequence really distinguishes. *)
+     let oa = Sim.run d seq and ob = Sim.run mutant seq in
+     check_bool "distinguishes" true
+       (List.exists2 (fun a b -> not (Sim.outputs_equal a b)) oa ob)
+   | v -> Alcotest.fail ("expected distinguished: " ^ Equivalence.verdict_name v))
+
+let test_equiv_bfs_finds_shortest () =
+  (* A fault only visible after reaching state 3 needs >= 4 cycles. *)
+  let good =
+    parse
+      {|design fsm is
+  input go : bit;
+  output y : bit;
+  reg s : unsigned(2) := 0;
+begin
+  y := '0';
+  if s = 3 then
+    y := '1';
+    s := 0;
+  else
+    if go = '1' then
+      s := s + 1;
+    end if;
+  end if;
+end design;|}
+  in
+  let bad =
+    parse
+      {|design fsm is
+  input go : bit;
+  output y : bit;
+  reg s : unsigned(2) := 0;
+begin
+  y := '0';
+  if s = 3 then
+    y := '0';
+    s := 0;
+  else
+    if go = '1' then
+      s := s + 1;
+    end if;
+  end if;
+end design;|}
+  in
+  (match Equivalence.product_bfs good bad with
+   | Equivalence.Distinguished seq -> check_int "shortest length" 4 (List.length seq)
+   | v -> Alcotest.fail ("expected distinguished: " ^ Equivalence.verdict_name v))
+
+let test_equiv_interface_mismatch () =
+  let a = parse and_gate_src and b = parse counter_src in
+  (try
+     ignore (Equivalence.check a b);
+     Alcotest.fail "should reject"
+   with Invalid_argument _ -> ())
+
+(* Property: for random LOR/AOR mutants of the mini ALU, the
+   equivalence verdict agrees with brute-force exhaustive comparison. *)
+let prop_equivalence_matches_bruteforce =
+  let d = parse alu_src in
+  let ms = Array.of_list (Generate.all d) in
+  let arb = QCheck.make ~print:(fun i -> Mutant.to_string ms.(i))
+      QCheck.Gen.(int_range 0 (Array.length ms - 1)) in
+  QCheck.Test.make ~name:"equivalence check agrees with brute force" ~count:60 arb
+    (fun i ->
+      let m = ms.(i) in
+      let brute =
+        let sims = Sim.create d and simm = Sim.create m.Mutant.design in
+        List.for_all
+          (fun stim -> Sim.outputs_equal (Sim.step sims stim) (Sim.step simm stim))
+          (Stimuli.enumerate d)
+      in
+      match Equivalence.check d m.Mutant.design with
+      | Equivalence.Equivalent -> brute
+      | Equivalence.Distinguished _ -> not brute
+      | Equivalence.Unknown -> false)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "mutation.operator",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_operator_roundtrip;
+        Alcotest.test_case "ten operators" `Quick test_operator_count;
+        Alcotest.test_case "case-insensitive" `Quick test_operator_of_string_case_insensitive;
+      ] );
+    ( "mutation.generate",
+      [
+        Alcotest.test_case "and gate LOR" `Quick test_generate_and_gate;
+        Alcotest.test_case "ids sequential" `Quick test_generate_ids_sequential;
+        Alcotest.test_case "all elaborated" `Quick test_generate_all_elaborated;
+        Alcotest.test_case "all differ" `Quick test_generate_all_differ_from_original;
+        Alcotest.test_case "interface preserved" `Quick test_generate_same_interface;
+        Alcotest.test_case "operator coverage" `Quick test_generate_operator_coverage;
+        Alcotest.test_case "UOD needs not" `Quick test_generate_uod_only_on_not;
+        Alcotest.test_case "CR from literals" `Quick test_generate_cr_only_with_constants;
+        Alcotest.test_case "for_operator subset" `Quick test_for_operator_subset;
+        Alcotest.test_case "count histogram" `Quick test_count_by_operator_total;
+        Alcotest.test_case "rejects unelaborated" `Quick test_generate_rejects_unelaborated;
+        Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+      ] );
+    ( "mutation.kill",
+      [
+        Alcotest.test_case "and gate LOR kills" `Quick test_kill_and_gate_lor;
+        Alcotest.test_case "killed_by consistent" `Quick test_kill_stops_early_is_consistent;
+        Alcotest.test_case "alive restriction" `Quick test_kill_alive_restriction;
+        Alcotest.test_case "sequential mutants" `Quick test_kill_sequential_mutant;
+        Alcotest.test_case "kills_at cycles" `Quick test_kills_at_cycles;
+        Alcotest.test_case "kills_at agrees" `Quick test_kills_at_agrees_with_kills;
+        Alcotest.test_case "empty sequence" `Quick test_kill_empty_sequence_kills_nothing_extra;
+      ] );
+    ( "mutation.equivalence",
+      [
+        Alcotest.test_case "self equivalent" `Quick test_equiv_self;
+        Alcotest.test_case "distinguishes or" `Quick test_equiv_distinguishes_or;
+        Alcotest.test_case "equivalent mutant" `Quick test_equiv_detects_equivalent_mutant;
+        Alcotest.test_case "budget unknown" `Quick test_equiv_budget_unknown;
+        Alcotest.test_case "product bfs counter" `Quick test_equiv_product_bfs_counter;
+        Alcotest.test_case "bfs shortest" `Quick test_equiv_bfs_finds_shortest;
+        Alcotest.test_case "interface mismatch" `Quick test_equiv_interface_mismatch;
+        q prop_equivalence_matches_bruteforce;
+      ] );
+  ]

@@ -1,0 +1,441 @@
+(* Tests for lib/netlist: builder, strash/folding, lint, topo, bitsim,
+   fault injection, dot, stats. *)
+
+module Gate = Mutsamp_netlist.Gate
+module Netlist = Mutsamp_netlist.Netlist
+module Topo = Mutsamp_netlist.Topo
+module Bitsim = Mutsamp_netlist.Bitsim
+module Dot = Mutsamp_netlist.Dot
+module Stats = Mutsamp_netlist.Stats
+module B = Netlist.Builder
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Full adder: s = a xor b xor cin, cout = majority. *)
+let full_adder () =
+  let b = B.create "fa" in
+  let a = B.input b "a" and bb = B.input b "b" and cin = B.input b "cin" in
+  let s = B.xor_ b (B.xor_ b a bb) cin in
+  let cout = B.or_ b (B.and_ b a bb) (B.or_ b (B.and_ b a cin) (B.and_ b bb cin)) in
+  B.output b "s" s;
+  B.output b "cout" cout;
+  B.finalize b
+
+(* Toggle flip-flop with enable. *)
+let toggle () =
+  let b = B.create "toggle" in
+  let en = B.input b "en" in
+  let q = B.dff b ~init:false in
+  let d = B.xor_ b q en in
+  B.connect_dff b q ~d;
+  B.output b "q" q;
+  B.finalize b
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder_strash_shares () =
+  let b = B.create "t" in
+  let x = B.input b "x" and y = B.input b "y" in
+  let g1 = B.and_ b x y in
+  let g2 = B.and_ b y x in
+  check_int "commutative sharing" g1 g2;
+  let g3 = B.xor_ b x y and g4 = B.xor_ b x y in
+  check_int "identical sharing" g3 g4
+
+let test_builder_const_folding () =
+  let b = B.create "t" in
+  let x = B.input b "x" in
+  let zero = B.const b false and one = B.const b true in
+  check_int "and(x,0)=0" zero (B.and_ b x zero);
+  check_int "and(x,1)=x" x (B.and_ b x one);
+  check_int "or(x,1)=1" one (B.or_ b x one);
+  check_int "or(x,0)=x" x (B.or_ b x zero);
+  check_int "xor(x,0)=x" x (B.xor_ b x zero);
+  check_int "xor(x,x)=0" zero (B.xor_ b x x);
+  check_int "and(x,x)=x" x (B.and_ b x x);
+  check_int "not(not x)=x" x (B.not_ b (B.not_ b x));
+  check_int "xnor(x,x)=1" one (B.xnor_ b x x)
+
+let test_builder_buf_is_alias () =
+  let b = B.create "t" in
+  let x = B.input b "x" in
+  check_int "buf passthrough" x (B.buf b x)
+
+let test_builder_mux_same_branches () =
+  let b = B.create "t" in
+  let s = B.input b "s" and x = B.input b "x" in
+  check_int "mux(s,x,x)=x" x (B.mux b ~sel:s ~t1:x ~t0:x)
+
+let test_builder_duplicate_input_rejected () =
+  let b = B.create "t" in
+  ignore (B.input b "x");
+  (try
+     ignore (B.input b "x");
+     Alcotest.fail "should reject"
+   with Invalid_argument _ -> ())
+
+let test_builder_unconnected_dff_rejected () =
+  let b = B.create "t" in
+  let x = B.input b "x" in
+  let _q = B.dff b ~init:false in
+  B.output b "y" x;
+  (try
+     ignore (B.finalize b);
+     Alcotest.fail "should reject dangling dff"
+   with Netlist.Lint_error _ -> ())
+
+let test_builder_double_connect_rejected () =
+  let b = B.create "t" in
+  let x = B.input b "x" in
+  let q = B.dff b ~init:false in
+  B.connect_dff b q ~d:x;
+  (try
+     B.connect_dff b q ~d:x;
+     Alcotest.fail "should reject double connect"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Netlist / Topo                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_netlist_counts () =
+  let nl = full_adder () in
+  check_int "inputs" 3 (Array.length nl.Netlist.input_nets);
+  check_int "outputs" 2 (Array.length nl.Netlist.output_list);
+  check_int "dffs" 0 (Netlist.num_dffs nl);
+  check_bool "has logic" true (Netlist.num_logic_gates nl > 0)
+
+let test_netlist_find () =
+  let nl = full_adder () in
+  check_bool "find a" true (Netlist.find_input nl "a" >= 0);
+  check_bool "find s" true (Netlist.find_output nl "s" >= 0);
+  (try
+     ignore (Netlist.find_input nl "zz");
+     Alcotest.fail "should raise"
+   with Not_found -> ())
+
+let test_topo_order_respects_fanins () =
+  let nl = full_adder () in
+  let topo = Topo.compute nl in
+  let pos = Array.make (Netlist.num_gates nl) (-1) in
+  Array.iteri (fun i g -> pos.(g) <- i) topo.Topo.order;
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      match g.kind with
+      | Gate.Pi _ | Gate.Const _ | Gate.Dff _ -> ()
+      | _ ->
+        Array.iter
+          (fun f -> if pos.(f) >= 0 then check_bool "fanin first" true (pos.(f) < pos.(i)))
+          g.fanins)
+    nl.Netlist.gates
+
+let test_topo_levels () =
+  let nl = full_adder () in
+  let topo = Topo.compute nl in
+  check_bool "depth >= 2" true (topo.Topo.max_level >= 2);
+  Array.iter (fun net -> check_int "pi level" 0 topo.Topo.level.(net)) nl.Netlist.input_nets
+
+let test_fanouts () =
+  let nl = full_adder () in
+  let fo = Netlist.fanouts nl in
+  let a = Netlist.find_input nl "a" in
+  check_bool "a has fanout" true (List.length fo.(a) >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Bitsim                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Exhaustive check of the full adder over all 8 input combinations
+   packed into the first 8 lanes. *)
+let test_bitsim_full_adder () =
+  let nl = full_adder () in
+  let sim = Bitsim.create nl in
+  (* lane k carries input combination k: a = bit2, b = bit1, cin = bit0 *)
+  let word_of f =
+    let w = ref 0 in
+    for k = 0 to 7 do
+      if f k then w := !w lor (1 lsl k)
+    done;
+    !w
+  in
+  let a = word_of (fun k -> (k lsr 2) land 1 = 1) in
+  let b = word_of (fun k -> (k lsr 1) land 1 = 1) in
+  let cin = word_of (fun k -> k land 1 = 1) in
+  let outs = Bitsim.step sim [| a; b; cin |] in
+  let s_word = outs.(0) and cout_word = outs.(1) in
+  for k = 0 to 7 do
+    let ai = (k lsr 2) land 1 and bi = (k lsr 1) land 1 and ci = k land 1 in
+    let sum = ai + bi + ci in
+    check_int (Printf.sprintf "s lane %d" k) (sum land 1) ((s_word lsr k) land 1);
+    check_int (Printf.sprintf "cout lane %d" k) (sum lsr 1) ((cout_word lsr k) land 1)
+  done
+
+let test_bitsim_toggle_sequence () =
+  let nl = toggle () in
+  let sim = Bitsim.create nl in
+  Bitsim.reset sim;
+  (* Lane 0: enable always on -> q toggles 0,1,0,1.
+     Lane 1: enable off -> q stays 0. *)
+  let en = 0b01 in
+  let q0 = (Bitsim.step sim [| en |]).(0) in
+  let q1 = (Bitsim.step sim [| en |]).(0) in
+  let q2 = (Bitsim.step sim [| en |]).(0) in
+  check_int "cycle0 lane0" 0 (q0 land 1);
+  check_int "cycle1 lane0" 1 (q1 land 1);
+  check_int "cycle2 lane0" 0 (q2 land 1);
+  check_int "lane1 never toggles" 0 ((q0 lor q1 lor q2) lsr 1 land 1)
+
+let test_bitsim_reset_initial_value () =
+  let b = B.create "t" in
+  let x = B.input b "x" in
+  let q = B.dff b ~init:true in
+  B.connect_dff b q ~d:x;
+  B.output b "q" q;
+  let nl = B.finalize b in
+  let sim = Bitsim.create nl in
+  Bitsim.reset sim;
+  let o = (Bitsim.step sim [| 0 |]).(0) in
+  check_int "init 1 in all lanes" Bitsim.all_ones o
+
+let test_bitsim_fault_injection_net () =
+  let nl = full_adder () in
+  let sim = Bitsim.create nl in
+  let a = Netlist.find_input nl "a" in
+  (* stuck-at-1 on input a with pattern a=0,b=1,cin=0: good s=1, faulty s=0 *)
+  let good = Bitsim.step sim [| 0; Bitsim.all_ones; 0 |] in
+  let faulty =
+    Bitsim.step_with_fault sim [| 0; Bitsim.all_ones; 0 |] ~fault_net:a
+      ~stuck_value:Bitsim.all_ones
+  in
+  check_bool "fault changes s" true (good.(0) <> faulty.(0));
+  check_bool "fault changes cout" true (good.(1) <> faulty.(1))
+
+let test_bitsim_fault_injection_pin () =
+  (* y = a and b, with a also feeding z = a xor b. A pin fault on the
+     AND's a-input must not disturb z. *)
+  let b = B.create "t" in
+  let a = B.input b "a" and bb = B.input b "b" in
+  let y = B.and_ b a bb in
+  let z = B.xor_ b a bb in
+  B.output b "y" y;
+  B.output b "z" z;
+  let nl = B.finalize b in
+  let sim = Bitsim.create nl in
+  let pin =
+    (* which pin of the AND gate reads net a? *)
+    let g = nl.Netlist.gates.(y) in
+    if g.Gate.fanins.(0) = a then 0 else 1
+  in
+  let inputs = [| 0; Bitsim.all_ones |] in
+  (* a=0, b=1 *)
+  let good_y = (Bitsim.step sim inputs).(0) in
+  let outs =
+    Bitsim.step_injected sim inputs ~inj:(Bitsim.Pin { gate = y; pin })
+      ~stuck:Bitsim.all_ones
+  in
+  check_int "good y = 0" 0 good_y;
+  check_int "faulty y = 1" Bitsim.all_ones outs.(0);
+  check_int "z untouched" Bitsim.all_ones outs.(1)
+
+let test_bitsim_sequential_fault_state () =
+  (* Toggle FF with enable stuck-at-0: q never leaves 0. *)
+  let nl = toggle () in
+  let sim = Bitsim.create nl in
+  Bitsim.reset sim;
+  let en_net = Netlist.find_input nl "en" in
+  let q1 =
+    Bitsim.step_with_fault sim [| Bitsim.all_ones |] ~fault_net:en_net ~stuck_value:0
+  in
+  let q2 =
+    Bitsim.step_with_fault sim [| Bitsim.all_ones |] ~fault_net:en_net ~stuck_value:0
+  in
+  check_int "q stays 0" 0 (q1.(0) lor q2.(0))
+
+let test_bitsim_input_arity () =
+  let nl = full_adder () in
+  let sim = Bitsim.create nl in
+  (try
+     ignore (Bitsim.step sim [| 0; 0 |]);
+     Alcotest.fail "should reject"
+   with Invalid_argument _ -> ())
+
+(* Property: bitsim lanes are independent — packing random patterns in
+   lanes equals running them one at a time. *)
+let prop_bitsim_lane_independence =
+  let gen = QCheck.Gen.(list_size (return 8) (int_range 0 7)) in
+  QCheck.Test.make ~name:"bitsim lanes independent" ~count:100 (QCheck.make gen)
+    (fun patterns ->
+      let nl = full_adder () in
+      let sim = Bitsim.create nl in
+      let word_for sel =
+        List.fold_left
+          (fun (k, acc) p -> (k + 1, acc lor (((p lsr sel) land 1) lsl k)))
+          (0, 0) patterns
+        |> snd
+      in
+      let packed = Bitsim.step sim [| word_for 2; word_for 1; word_for 0 |] in
+      List.for_all
+        (fun (k, p) ->
+          let single =
+            Bitsim.step sim [| (p lsr 2) land 1; (p lsr 1) land 1; p land 1 |]
+          in
+          ((packed.(0) lsr k) land 1) = (single.(0) land 1)
+          && ((packed.(1) lsr k) land 1) = (single.(1) land 1))
+        (List.mapi (fun k p -> (k, p)) patterns))
+
+(* ------------------------------------------------------------------ *)
+(* Xsim                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Xsim = Mutsamp_netlist.Xsim
+
+let test_xsim_controlling_values_mask_x () =
+  (* and(X, 0) = 0 and or(X, 1) = 1: X never leaks past a controlling
+     value. *)
+  let b = B.create "t" in
+  let a = B.input b "a" and bb = B.input b "b" in
+  B.output b "and" (B.and_ b a bb);
+  B.output b "or" (B.or_ b a bb);
+  B.output b "xor" (B.xor_ b a bb);
+  let nl = B.finalize b in
+  let sim = Xsim.create nl in
+  let outs = Xsim.step sim [| Xsim.x; Xsim.known 0 |] in
+  let z, o = outs.(0) in
+  check_int "and known 0" Bitsim.all_ones z;
+  check_int "and not 1" 0 o;
+  let zx, ox = outs.(2) in
+  check_int "xor unknown" 0 (zx lor ox);
+  let outs1 = Xsim.step sim [| Xsim.x; Xsim.known Bitsim.all_ones |] in
+  let _, o1 = outs1.(1) in
+  check_int "or known 1" Bitsim.all_ones o1
+
+let test_xsim_known_matches_bitsim () =
+  (* With fully known inputs, Xsim and Bitsim agree. *)
+  let nl = full_adder () in
+  let xs = Xsim.create nl and bs = Bitsim.create nl in
+  for code = 0 to 7 do
+    let words = Array.init 3 (fun k -> if (code lsr k) land 1 = 1 then Bitsim.all_ones else 0) in
+    let xouts = Xsim.step_known xs words in
+    let bouts = Bitsim.step bs words in
+    Array.iteri
+      (fun i (z, o) ->
+        check_int "no X" Bitsim.all_ones (z lor o);
+        check_int "same value" bouts.(i) o)
+      xouts
+  done
+
+let test_xsim_reset_known () =
+  let nl = toggle () in
+  let sim = Xsim.create nl in
+  Xsim.reset sim;
+  check_int "all known after reset" 0 (Xsim.unknown_dff_lanes sim);
+  Xsim.reset_to_x sim;
+  check_int "all unknown" Bitsim.lanes (Xsim.unknown_dff_lanes sim)
+
+let test_xsim_toggle_never_synchronizes () =
+  (* q' = q xor en: from X the state stays X whatever the inputs. *)
+  let nl = toggle () in
+  check_bool "no sync" true
+    (Xsim.synchronizing_length nl ~sequence:(Array.make 16 1) = None)
+
+let test_xsim_load_synchronizes () =
+  (* q' = d loads a known input: one cycle settles the machine. *)
+  let b = B.create "load" in
+  let d = B.input b "d" in
+  let q = B.dff b ~init:false in
+  B.connect_dff b q ~d;
+  B.output b "q" q;
+  let nl = B.finalize b in
+  (match Xsim.synchronizing_length nl ~sequence:[| 1; 1 |] with
+   | Some 1 -> ()
+   | Some n -> Alcotest.fail (Printf.sprintf "expected 1 cycle, got %d" n)
+   | None -> Alcotest.fail "should synchronise")
+
+let test_xsim_combinational_trivially_synchronized () =
+  let nl = full_adder () in
+  check_bool "comb" true (Xsim.synchronizing_length nl ~sequence:[||] = Some 0)
+
+let test_xsim_rejects_conflicting_value () =
+  let nl = full_adder () in
+  let sim = Xsim.create nl in
+  (try
+     ignore (Xsim.step sim [| (1, 1); Xsim.x; Xsim.x |]);
+     Alcotest.fail "should reject"
+   with Invalid_argument _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Dot / Stats                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_dot_output () =
+  let s = Dot.of_netlist (full_adder ()) in
+  check_bool "digraph" true (contains s "digraph");
+  check_bool "has input a" true (contains s "\"a\"");
+  check_bool "has output s" true (contains s "out_s")
+
+let test_stats () =
+  let s = Stats.compute (full_adder ()) in
+  check_int "pis" 3 s.Stats.primary_inputs;
+  check_int "pos" 2 s.Stats.primary_outputs;
+  check_int "ffs" 0 s.Stats.flip_flops;
+  check_bool "gates > 0" true (s.Stats.logic_gates > 0);
+  check_bool "levels > 0" true (s.Stats.levels > 0);
+  check_bool "histogram mentions XOR" true
+    (List.mem_assoc "XOR" s.Stats.gate_histogram)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "netlist.builder",
+      [
+        Alcotest.test_case "strash shares" `Quick test_builder_strash_shares;
+        Alcotest.test_case "const folding" `Quick test_builder_const_folding;
+        Alcotest.test_case "buf alias" `Quick test_builder_buf_is_alias;
+        Alcotest.test_case "mux same branches" `Quick test_builder_mux_same_branches;
+        Alcotest.test_case "duplicate input" `Quick test_builder_duplicate_input_rejected;
+        Alcotest.test_case "unconnected dff" `Quick test_builder_unconnected_dff_rejected;
+        Alcotest.test_case "double connect" `Quick test_builder_double_connect_rejected;
+      ] );
+    ( "netlist.core",
+      [
+        Alcotest.test_case "counts" `Quick test_netlist_counts;
+        Alcotest.test_case "find by name" `Quick test_netlist_find;
+        Alcotest.test_case "topo respects fanins" `Quick test_topo_order_respects_fanins;
+        Alcotest.test_case "topo levels" `Quick test_topo_levels;
+        Alcotest.test_case "fanouts" `Quick test_fanouts;
+      ] );
+    ( "netlist.bitsim",
+      [
+        Alcotest.test_case "full adder exhaustive" `Quick test_bitsim_full_adder;
+        Alcotest.test_case "toggle sequence" `Quick test_bitsim_toggle_sequence;
+        Alcotest.test_case "reset initial value" `Quick test_bitsim_reset_initial_value;
+        Alcotest.test_case "net fault injection" `Quick test_bitsim_fault_injection_net;
+        Alcotest.test_case "pin fault injection" `Quick test_bitsim_fault_injection_pin;
+        Alcotest.test_case "sequential fault state" `Quick test_bitsim_sequential_fault_state;
+        Alcotest.test_case "input arity" `Quick test_bitsim_input_arity;
+        q prop_bitsim_lane_independence;
+      ] );
+    ( "netlist.xsim",
+      [
+        Alcotest.test_case "controlling values" `Quick test_xsim_controlling_values_mask_x;
+        Alcotest.test_case "known matches bitsim" `Quick test_xsim_known_matches_bitsim;
+        Alcotest.test_case "reset known" `Quick test_xsim_reset_known;
+        Alcotest.test_case "toggle never syncs" `Quick test_xsim_toggle_never_synchronizes;
+        Alcotest.test_case "load syncs" `Quick test_xsim_load_synchronizes;
+        Alcotest.test_case "comb trivially synced" `Quick test_xsim_combinational_trivially_synchronized;
+        Alcotest.test_case "rejects conflict" `Quick test_xsim_rejects_conflicting_value;
+      ] );
+    ( "netlist.reports",
+      [
+        Alcotest.test_case "dot" `Quick test_dot_output;
+        Alcotest.test_case "stats" `Quick test_stats;
+      ] );
+  ]

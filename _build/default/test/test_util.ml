@@ -1,0 +1,336 @@
+(* Tests for lib/util: PRNG determinism, bit-vector algebra, stats. *)
+
+module Prng = Mutsamp_util.Prng
+module Bitvec = Mutsamp_util.Bitvec
+module Stats = Mutsamp_util.Stats
+module Table = Mutsamp_util.Table
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Prng.bits64 a = Prng.bits64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  check_bool "different seeds diverge" true !differs
+
+let test_prng_int_range () =
+  let t = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 13 in
+    check_bool "in range" true (v >= 0 && v < 13)
+  done
+
+let test_prng_int_bound_one () =
+  let t = Prng.create 3 in
+  for _ = 1 to 20 do
+    check_int "bound 1 gives 0" 0 (Prng.int t 1)
+  done
+
+let test_prng_int_rejects_nonpositive () =
+  let t = Prng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int t 0))
+
+let test_prng_copy_independent () =
+  let a = Prng.create 5 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  check_bool "copy continues identically" true (Prng.bits64 a = Prng.bits64 b);
+  ignore (Prng.bits64 a);
+  (* b is now one step behind; advancing b once resynchronises. *)
+  check_bool "streams independent" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_prng_split () =
+  let a = Prng.create 11 in
+  let b = Prng.split a in
+  check_bool "split produces distinct stream" true (Prng.bits64 a <> Prng.bits64 b)
+
+let test_prng_float_range () =
+  let t = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let f = Prng.float t in
+    check_bool "float in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_prng_pick () =
+  let t = Prng.create 13 in
+  let arr = [| 1; 2; 3 |] in
+  for _ = 1 to 100 do
+    let chosen = Prng.pick t arr in
+    check_bool "pick member" true (Array.exists (fun x -> x = chosen) arr)
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Prng.pick: empty array")
+    (fun () -> ignore (Prng.pick t [||]))
+
+let test_prng_shuffle_permutation () =
+  let t = Prng.create 17 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort Stdlib.compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_prng_sample_without_replacement () =
+  let t = Prng.create 23 in
+  let arr = Array.init 20 (fun i -> i) in
+  let s = Prng.sample_without_replacement t 8 arr in
+  check_int "size" 8 (Array.length s);
+  let seen = Hashtbl.create 8 in
+  Array.iter
+    (fun x ->
+      check_bool "distinct" false (Hashtbl.mem seen x);
+      Hashtbl.add seen x ();
+      check_bool "member" true (x >= 0 && x < 20))
+    s
+
+let test_prng_sample_full () =
+  let t = Prng.create 29 in
+  let arr = [| 1; 2; 3; 4 |] in
+  let s = Prng.sample_without_replacement t 4 arr in
+  let sorted = Array.copy s in
+  Array.sort Stdlib.compare sorted;
+  Alcotest.(check (array int)) "full sample is permutation" arr sorted
+
+(* ------------------------------------------------------------------ *)
+(* Bitvec                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let bv w v = Bitvec.make ~width:w v
+
+let test_bitvec_make_truncates () =
+  check_int "truncated" 0b101 (Bitvec.to_int (bv 3 0b11101))
+
+let test_bitvec_make_rejects_bad_width () =
+  Alcotest.check_raises "width 0"
+    (Invalid_argument "Bitvec.make: width 0 not in 1..62")
+    (fun () -> ignore (bv 0 1))
+
+let test_bitvec_add_wraps () =
+  check_int "wrap" 0 (Bitvec.to_int (Bitvec.add (bv 4 15) (bv 4 1)));
+  check_int "plain" 9 (Bitvec.to_int (Bitvec.add (bv 4 4) (bv 4 5)))
+
+let test_bitvec_sub_wraps () =
+  check_int "wrap" 15 (Bitvec.to_int (Bitvec.sub (bv 4 0) (bv 4 1)))
+
+let test_bitvec_logic () =
+  check_int "and" 0b100 (Bitvec.to_int (Bitvec.logand (bv 3 0b110) (bv 3 0b101)));
+  check_int "or" 0b111 (Bitvec.to_int (Bitvec.logor (bv 3 0b110) (bv 3 0b101)));
+  check_int "xor" 0b011 (Bitvec.to_int (Bitvec.logxor (bv 3 0b110) (bv 3 0b101)));
+  check_int "not" 0b001 (Bitvec.to_int (Bitvec.lognot (bv 3 0b110)))
+
+let test_bitvec_width_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Bitvec.add: width mismatch (3 vs 4)")
+    (fun () -> ignore (Bitvec.add (bv 3 1) (bv 4 1)))
+
+let test_bitvec_compare_unsigned () =
+  check_bool "lt" true (Bitvec.lt (bv 4 3) (bv 4 12));
+  check_bool "le eq" true (Bitvec.le (bv 4 5) (bv 4 5));
+  check_bool "not lt" false (Bitvec.lt (bv 4 12) (bv 4 3))
+
+let test_bitvec_bits () =
+  let v = bv 5 0b10110 in
+  check_bool "bit0" false (Bitvec.bit v 0);
+  check_bool "bit1" true (Bitvec.bit v 1);
+  check_bool "bit4" true (Bitvec.bit v 4);
+  let v2 = Bitvec.set_bit v 0 true in
+  check_int "set" 0b10111 (Bitvec.to_int v2)
+
+let test_bitvec_slice_concat () =
+  let v = bv 8 0b10110100 in
+  check_int "slice" 0b101 (Bitvec.to_int (Bitvec.slice v ~hi:4 ~lo:2));
+  let c = Bitvec.concat (bv 3 0b101) (bv 2 0b10) in
+  check_int "concat" 0b10110 (Bitvec.to_int c);
+  check_int "concat width" 5 (Bitvec.width c)
+
+let test_bitvec_resize () =
+  check_int "extend" 0b0101 (Bitvec.to_int (Bitvec.resize (bv 3 0b101) 6));
+  check_int "truncate" 0b01 (Bitvec.to_int (Bitvec.resize (bv 3 0b101) 2))
+
+let test_bitvec_to_string () =
+  Alcotest.(check string) "format" "5'b01101" (Bitvec.to_string (bv 5 0b01101))
+
+(* Property tests. *)
+
+let bitvec_gen =
+  QCheck.Gen.(
+    int_range 1 16 >>= fun w ->
+    int_range 0 ((1 lsl w) - 1) >|= fun v -> Bitvec.make ~width:w v)
+
+let arb_bitvec = QCheck.make ~print:Bitvec.to_string bitvec_gen
+
+let arb_bitvec_pair =
+  let gen =
+    QCheck.Gen.(
+      int_range 1 16 >>= fun w ->
+      let value = int_range 0 ((1 lsl w) - 1) in
+      pair (value >|= Bitvec.make ~width:w) (value >|= Bitvec.make ~width:w))
+  in
+  QCheck.make
+    ~print:(fun (a, b) -> Bitvec.to_string a ^ ", " ^ Bitvec.to_string b)
+    gen
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"bitvec add commutes" ~count:500 arb_bitvec_pair
+    (fun (a, b) -> Bitvec.equal (Bitvec.add a b) (Bitvec.add b a))
+
+let prop_xor_self_zero =
+  QCheck.Test.make ~name:"bitvec xor self is zero" ~count:500 arb_bitvec
+    (fun a -> Bitvec.equal (Bitvec.logxor a a) (Bitvec.zero (Bitvec.width a)))
+
+let prop_not_involution =
+  QCheck.Test.make ~name:"bitvec not is involutive" ~count:500 arb_bitvec
+    (fun a -> Bitvec.equal (Bitvec.lognot (Bitvec.lognot a)) a)
+
+let prop_add_sub_roundtrip =
+  QCheck.Test.make ~name:"bitvec (a+b)-b = a" ~count:500 arb_bitvec_pair
+    (fun (a, b) -> Bitvec.equal (Bitvec.sub (Bitvec.add a b) b) a)
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"bitvec De Morgan" ~count:500 arb_bitvec_pair
+    (fun (a, b) ->
+      Bitvec.equal
+        (Bitvec.lognot (Bitvec.logand a b))
+        (Bitvec.logor (Bitvec.lognot a) (Bitvec.lognot b)))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_stats_mean () = check_float "mean" 2.5 (Stats.mean [ 1.; 2.; 3.; 4. ])
+
+let test_stats_stddev () =
+  check_float "stddev" (sqrt 1.25) (Stats.stddev [ 1.; 2.; 3.; 4. ])
+
+let test_stats_median () =
+  check_float "odd" 2. (Stats.median [ 3.; 1.; 2. ]);
+  check_float "even" 2.5 (Stats.median [ 4.; 1.; 2.; 3. ]);
+  check_float "single" 7. (Stats.median [ 7. ]);
+  check_bool "empty nan" true (Float.is_nan (Stats.median []))
+
+let test_stats_percent () =
+  check_float "percent" 25. (Stats.percent ~num:1 ~den:4);
+  check_float "zero den" 0. (Stats.percent ~num:1 ~den:0)
+
+let test_stats_round2 () =
+  check_float "round" 3.14 (Stats.round2 3.14159);
+  check_float "round up" 2.68 (Stats.round2 2.675000001)
+
+let test_largest_remainder_sums () =
+  let r = Stats.largest_remainder ~total:10 [| 1.; 1.; 1. |] in
+  check_int "sum" 10 (Array.fold_left ( + ) 0 r)
+
+let test_largest_remainder_proportional () =
+  let r = Stats.largest_remainder ~total:100 [| 3.; 1. |] in
+  Alcotest.(check (array int)) "proportions" [| 75; 25 |] r
+
+let test_largest_remainder_zero_weights () =
+  let r = Stats.largest_remainder ~total:9 [| 0.; 0.; 0. |] in
+  check_int "sum" 9 (Array.fold_left ( + ) 0 r);
+  Array.iter (fun x -> check_bool "even-ish" true (x = 3)) r
+
+let prop_largest_remainder_total =
+  let gen =
+    QCheck.Gen.(
+      pair (int_range 0 500)
+        (list_size (int_range 1 8) (float_range 0. 10.)))
+  in
+  let arb = QCheck.make gen in
+  QCheck.Test.make ~name:"largest remainder sums to total" ~count:300 arb
+    (fun (total, ws) ->
+      let r = Stats.largest_remainder ~total (Array.of_list ws) in
+      Array.fold_left ( + ) 0 r = total)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let contains_substring haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_table_render () =
+  let t = Table.create [ "Circuit"; "MS%" ] in
+  Table.add_row t [ "b01"; "85.98" ];
+  Table.add_row t [ "c432"; "88.18" ];
+  let out = Table.render t in
+  check_bool "has header" true (String.length out > 0 && String.sub out 0 1 = "|");
+  check_bool "mentions b01" true (contains_substring out "b01");
+  check_bool "right-aligned numbers" true (contains_substring out "85.98")
+
+let test_table_arity_check () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "util.prng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+        Alcotest.test_case "int range" `Quick test_prng_int_range;
+        Alcotest.test_case "int bound one" `Quick test_prng_int_bound_one;
+        Alcotest.test_case "int rejects <=0" `Quick test_prng_int_rejects_nonpositive;
+        Alcotest.test_case "copy" `Quick test_prng_copy_independent;
+        Alcotest.test_case "split" `Quick test_prng_split;
+        Alcotest.test_case "float range" `Quick test_prng_float_range;
+        Alcotest.test_case "pick" `Quick test_prng_pick;
+        Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+        Alcotest.test_case "sample w/o replacement" `Quick test_prng_sample_without_replacement;
+        Alcotest.test_case "sample full" `Quick test_prng_sample_full;
+      ] );
+    ( "util.bitvec",
+      [
+        Alcotest.test_case "make truncates" `Quick test_bitvec_make_truncates;
+        Alcotest.test_case "make rejects bad width" `Quick test_bitvec_make_rejects_bad_width;
+        Alcotest.test_case "add wraps" `Quick test_bitvec_add_wraps;
+        Alcotest.test_case "sub wraps" `Quick test_bitvec_sub_wraps;
+        Alcotest.test_case "logic ops" `Quick test_bitvec_logic;
+        Alcotest.test_case "width mismatch" `Quick test_bitvec_width_mismatch;
+        Alcotest.test_case "unsigned compare" `Quick test_bitvec_compare_unsigned;
+        Alcotest.test_case "bit access" `Quick test_bitvec_bits;
+        Alcotest.test_case "slice/concat" `Quick test_bitvec_slice_concat;
+        Alcotest.test_case "resize" `Quick test_bitvec_resize;
+        Alcotest.test_case "to_string" `Quick test_bitvec_to_string;
+        q prop_add_commutes;
+        q prop_xor_self_zero;
+        q prop_not_involution;
+        q prop_add_sub_roundtrip;
+        q prop_de_morgan;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "mean" `Quick test_stats_mean;
+        Alcotest.test_case "stddev" `Quick test_stats_stddev;
+        Alcotest.test_case "median" `Quick test_stats_median;
+        Alcotest.test_case "percent" `Quick test_stats_percent;
+        Alcotest.test_case "round2" `Quick test_stats_round2;
+        Alcotest.test_case "largest remainder sums" `Quick test_largest_remainder_sums;
+        Alcotest.test_case "largest remainder proportional" `Quick test_largest_remainder_proportional;
+        Alcotest.test_case "largest remainder zero weights" `Quick test_largest_remainder_zero_weights;
+        q prop_largest_remainder_total;
+      ] );
+    ( "util.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "arity check" `Quick test_table_arity_check;
+      ] );
+  ]
