@@ -13,7 +13,11 @@
 
    `dune exec bench/main.exe` runs the full configuration (a few
    minutes); `dune exec bench/main.exe -- --quick` uses reduced budgets
-   (tens of seconds). `--skip-micro` drops the bechamel section. *)
+   (tens of seconds). `--skip-micro` drops the bechamel section.
+   `--report FILE` writes the whole run — per-section spans, pipeline
+   counters, micro estimates — as a mutsamp run report (same JSON
+   schema as the CLI's --report); `--metrics` dumps the counter
+   snapshot to stderr. *)
 
 module Registry = Mutsamp_circuits.Registry
 module Operator = Mutsamp_mutation.Operator
@@ -29,9 +33,23 @@ module Pipeline = Mutsamp_core.Pipeline
 module Experiments = Mutsamp_core.Experiments
 module Report = Mutsamp_core.Report
 module Paper_data = Mutsamp_core.Paper_data
+module Trace = Mutsamp_obs.Trace
+module Metrics = Mutsamp_obs.Metrics
+module Json = Mutsamp_obs.Json
+module Runreport = Mutsamp_obs.Runreport
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 let skip_micro = Array.exists (fun a -> a = "--skip-micro") Sys.argv
+let print_metrics = Array.exists (fun a -> a = "--metrics") Sys.argv
+
+let report_path =
+  let rec scan = function
+    | "--report" :: path :: _ -> Some path
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 let config = if quick then Config.quick else Config.default
 let t2_repetitions = if quick then 3 else 20
 let t1_repetitions = if quick then 2 else 5
@@ -39,9 +57,8 @@ let t1_repetitions = if quick then 2 else 5
 let section title = Printf.printf "\n==== %s ====\n\n%!" title
 
 let timed label f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  Printf.printf "[%s: %.1fs]\n%!" label (Unix.gettimeofday () -. t0);
+  let r, dt = Trace.with_span_timed label f in
+  Printf.printf "[%s: %.1fs]\n%!" label dt;
   r
 
 (* Prepared pipelines, shared across sections. *)
@@ -244,13 +261,14 @@ let run_a2 () =
           Prpg.uniform_sequence (Prng.create 98) ~bits
             ~length:(if quick then 248 else 992)
         in
-        let time f =
-          let t0 = Unix.gettimeofday () in
-          let r = f () in
-          (r, Unix.gettimeofday () -. t0)
+        let time label f = Trace.with_span_timed label f in
+        let rs, ts =
+          time (name ^ " serial") (fun () -> Fsim.run_sequential nl ~faults ~sequence)
         in
-        let rs, ts = time (fun () -> Fsim.run_sequential nl ~faults ~sequence) in
-        let rp, tp = time (fun () -> Fsim.run_parallel_fault nl ~faults ~sequence) in
+        let rp, tp =
+          time (name ^ " parallel-fault") (fun () ->
+              Fsim.run_parallel_fault nl ~faults ~sequence)
+        in
         Printf.printf
           "%s (sequential): %d faults, %d cycles | parallel-fault %.3fs, serial %.3fs (speedup %.1fx), coverage equal: %b\n%!"
           name (List.length faults) (Array.length sequence) tp ts
@@ -270,13 +288,15 @@ let run_a2 () =
           Prpg.uniform_sequence (Prng.create 99) ~bits
             ~length:(if quick then 248 else 992)
         in
-        let time f =
-          let t0 = Unix.gettimeofday () in
-          let r = f () in
-          (r, Unix.gettimeofday () -. t0)
+        let time label f = Trace.with_span_timed label f in
+        let rp, tp =
+          time (name ^ " parallel") (fun () ->
+              Fsim.run_combinational nl ~faults ~patterns)
         in
-        let rp, tp = time (fun () -> Fsim.run_combinational nl ~faults ~patterns) in
-        let rs, ts = time (fun () -> Fsim.run_sequential nl ~faults ~sequence:patterns) in
+        let rs, ts =
+          time (name ^ " serial") (fun () ->
+              Fsim.run_sequential nl ~faults ~sequence:patterns)
+        in
         Printf.printf
           "%s: %d faults, %d patterns | parallel %.3fs, serial %.3fs (speedup %.1fx), coverage equal: %b\n%!"
           name (List.length faults) (Array.length patterns) tp ts
@@ -318,8 +338,14 @@ let run_a3 () =
 (* Bechamel micro-benchmarks: one Test.make per table/experiment      *)
 (* ------------------------------------------------------------------ *)
 
+(* Returns the ns/run estimates so the run report can embed them.
+   Metrics stay off during measurement: the instrumented kernels are
+   exactly what the <2% disabled-overhead budget is about, and enabled
+   counters would distort the comparison across runs. *)
 let run_micro () =
   section "bechamel micro-benchmarks (kernels behind each table)";
+  let metrics_were_on = Metrics.enabled () in
+  Metrics.set_enabled false;
   let open Bechamel in
   let p432 = pipeline "c432" in
   let nl = p432.Pipeline.netlist in
@@ -360,27 +386,61 @@ let run_micro () =
     let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
     Analyze.all ols Toolkit.Instance.monotonic_clock results
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = analyze (benchmark test) in
       Hashtbl.iter
         (fun name result ->
           match Analyze.OLS.estimates result with
-          | Some [ est ] -> Printf.printf "%-34s %14.1f ns/run\n%!" name est
+          | Some [ est ] ->
+            Printf.printf "%-34s %14.1f ns/run\n%!" name est;
+            estimates := (name, est) :: !estimates
           | Some _ | None -> Printf.printf "%-34s (no estimate)\n%!" name)
         results)
-    tests
+    tests;
+  Metrics.set_enabled metrics_were_on;
+  List.rev !estimates
 
 let () =
   Printf.printf "mutsamp bench harness (%s config, seed %d)\n"
     (if quick then "quick" else "default")
     config.Config.seed;
-  run_table1 ();
-  run_table2 ();
-  run_table2_published_weights ();
-  run_e3 ();
-  run_a1 ();
-  run_a2 ();
-  run_a3 ();
-  if not skip_micro then run_micro ();
+  (* Section spans are coarse enough to trace unconditionally; counters
+     only when someone will read them. *)
+  Trace.set_enabled true;
+  Trace.reset ();
+  if print_metrics || report_path <> None then Metrics.set_enabled true;
+  let micro =
+    Trace.with_span "bench" @@ fun () ->
+    run_table1 ();
+    run_table2 ();
+    run_table2_published_weights ();
+    run_e3 ();
+    run_a1 ();
+    run_a2 ();
+    run_a3 ();
+    if not skip_micro then run_micro () else []
+  in
+  if print_metrics then Format.eprintf "%a@?" Metrics.pp (Metrics.snapshot ());
+  (match report_path with
+   | None -> ()
+   | Some path ->
+     let extra =
+       if micro = [] then []
+       else
+         [
+           ( "micro_ns_per_run",
+             Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) micro) );
+         ]
+     in
+     (try
+        Runreport.write_file path
+          (Runreport.make ~command:"bench" ~circuits:circuit_names
+             ~config:(Config.to_json config) ~seed:config.Config.seed ~extra
+             ~spans:(Trace.roots ()) ~metrics:(Metrics.snapshot ()) ());
+        Printf.printf "run report written to %s\n" path
+      with Sys_error msg ->
+        Printf.eprintf "bench: cannot write report: %s\n" msg;
+        exit 1));
   print_endline "\nbench: done"

@@ -27,6 +27,9 @@ module Config = Mutsamp_core.Config
 module Pipeline = Mutsamp_core.Pipeline
 module Experiments = Mutsamp_core.Experiments
 module Report = Mutsamp_core.Report
+module Trace = Mutsamp_obs.Trace
+module Metrics = Mutsamp_obs.Metrics
+module Runreport = Mutsamp_obs.Runreport
 
 let find_circuit name =
   match Registry.find name with
@@ -56,11 +59,75 @@ let config_of ~quick ~seed =
   { base with Config.seed }
 
 (* ------------------------------------------------------------------ *)
+(* observability flags (shared by every subcommand)                   *)
+(* ------------------------------------------------------------------ *)
+
+type obs_opts = { trace : bool; metrics : bool; report : string option }
+
+let obs_term =
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Print the span timing tree to stderr when the command finishes.")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the counter/histogram snapshot to stderr when the command finishes.")
+  in
+  let report =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Write a machine-readable JSON run report to FILE.")
+  in
+  Term.(const (fun trace metrics report -> { trace; metrics; report })
+        $ trace $ metrics $ report)
+
+(* Run a subcommand body under a root span; afterwards render whatever
+   the flags asked for. Without flags the instrumentation stays
+   disabled and the wrapper is free. *)
+let with_obs obs ~command ?(circuits = []) ?config ?seed f =
+  let any = obs.trace || obs.metrics || obs.report <> None in
+  if any then begin
+    Trace.set_enabled true;
+    Trace.reset ();
+    Metrics.set_enabled true;
+    Metrics.reset ()
+  end;
+  let result = Trace.with_span command f in
+  if obs.trace then Trace.print stderr;
+  if obs.metrics then Format.eprintf "%a@?" Metrics.pp (Metrics.snapshot ());
+  (match obs.report with
+   | None -> ()
+   | Some path ->
+     (try
+        Runreport.write_file path
+          (Runreport.make ~command ~circuits ?config ?seed
+             ~spans:(Trace.roots ()) ~metrics:(Metrics.snapshot ()) ())
+      with Sys_error msg ->
+        Printf.eprintf "mutsamp: cannot write report: %s\n" msg;
+        exit 1));
+  result
+
+(* Parsing/elaboration is a phase worth seeing in traces. *)
+let design_of (e : Registry.entry) =
+  Trace.with_span "parse" ~attrs:[ ("circuit", e.Registry.name) ] (fun () ->
+      e.Registry.design ())
+
+(* Carriage-return progress line for the long serial phases. *)
+let progress_line label ~done_ ~total =
+  if total > 0 then begin
+    Printf.eprintf "\r%s: %d/%d%!" label done_ total;
+    if done_ = total then prerr_newline ()
+  end
+
+(* ------------------------------------------------------------------ *)
 (* list                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
-  let run () =
+  let run obs =
+    with_obs obs ~command:"list" @@ fun () ->
     let t = Table.create [ "Name"; "Kind"; "Paper"; "PIs"; "POs"; "FFs"; "Gates"; "Description" ] in
     List.iter
       (fun (e : Registry.entry) ->
@@ -84,22 +151,23 @@ let list_cmd =
     Table.print t
   in
   Cmd.v (Cmd.info "list" ~doc:"List the benchmark circuits.")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term)
 
 (* ------------------------------------------------------------------ *)
 (* show                                                               *)
 (* ------------------------------------------------------------------ *)
 
 let show_cmd =
-  let run (e : Registry.entry) =
-    let d = e.Registry.design () in
+  let run obs (e : Registry.entry) =
+    with_obs obs ~command:"show" ~circuits:[ e.Registry.name ] @@ fun () ->
+    let d = design_of e in
     print_string (Pretty.design d);
     let nl = Mutsamp_synth.Flow.synthesize d in
     Printf.printf "\n-- synthesised: %s\n" (Stats.to_string (Stats.compute nl))
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Print a circuit's behavioural source and netlist stats.")
-    Term.(const run $ circuit_pos)
+    Term.(const run $ obs_term $ circuit_pos)
 
 (* ------------------------------------------------------------------ *)
 (* mutants                                                            *)
@@ -113,9 +181,10 @@ let mutants_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"List every mutant.")
   in
-  let run (e : Registry.entry) operator verbose =
-    let d = e.Registry.design () in
-    let ms = Generate.all d in
+  let run obs (e : Registry.entry) operator verbose =
+    with_obs obs ~command:"mutants" ~circuits:[ e.Registry.name ] @@ fun () ->
+    let d = design_of e in
+    let ms = Trace.with_span "mutants" (fun () -> Generate.all d) in
     match operator with
     | Some opname ->
       (match Operator.of_string opname with
@@ -134,7 +203,7 @@ let mutants_cmd =
   in
   Cmd.v
     (Cmd.info "mutants" ~doc:"Enumerate the mutants of a circuit.")
-    Term.(const run $ circuit_pos $ operator $ verbose)
+    Term.(const run $ obs_term $ circuit_pos $ operator $ verbose)
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                           *)
@@ -145,8 +214,9 @@ let generate_cmd =
     Arg.(value & opt float 1.0
          & info [ "rate" ] ~docv:"R" ~doc:"Mutant sampling rate in (0,1].")
   in
-  let run (e : Registry.entry) rate seed =
-    let d = e.Registry.design () in
+  let run obs (e : Registry.entry) rate seed =
+    with_obs obs ~command:"generate" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
+    let d = design_of e in
     let p = Pipeline.prepare d in
     let prng = Prng.create seed in
     let sample =
@@ -172,7 +242,7 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate"
        ~doc:"Generate mutation-adequate validation data for a circuit.")
-    Term.(const run $ circuit_pos $ rate $ seed_flag)
+    Term.(const run $ obs_term $ circuit_pos $ rate $ seed_flag)
 
 (* ------------------------------------------------------------------ *)
 (* faultsim                                                           *)
@@ -184,8 +254,9 @@ let faultsim_cmd =
          & info [ "vectors"; "n" ] ~docv:"N" ~doc:"Number of pseudo-random vectors.")
   in
   let lfsr = Arg.(value & flag & info [ "lfsr" ] ~doc:"Use an LFSR instead of uniform codes.") in
-  let run (e : Registry.entry) length lfsr seed =
-    let p = Pipeline.prepare (e.Registry.design ()) in
+  let run obs (e : Registry.entry) length lfsr seed =
+    with_obs obs ~command:"faultsim" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
+    let p = Pipeline.prepare (design_of e) in
     let bits = Array.length p.Pipeline.netlist.Netlist.input_nets in
     let patterns =
       if lfsr && bits >= 2 && bits <= Prpg.max_lfsr_width then
@@ -198,7 +269,7 @@ let faultsim_cmd =
   in
   Cmd.v
     (Cmd.info "faultsim" ~doc:"Stuck-at fault simulation with pseudo-random vectors.")
-    Term.(const run $ circuit_pos $ length $ lfsr $ seed_flag)
+    Term.(const run $ obs_term $ circuit_pos $ length $ lfsr $ seed_flag)
 
 (* ------------------------------------------------------------------ *)
 (* atpg                                                               *)
@@ -210,8 +281,9 @@ let atpg_cmd =
            Topoff.Use_podem
          & info [ "engine" ] ~docv:"ENGINE" ~doc:"Deterministic engine: podem or sat.")
   in
-  let run (e : Registry.entry) engine seed =
-    let p = Pipeline.prepare (e.Registry.design ()) in
+  let run obs (e : Registry.entry) engine seed =
+    with_obs obs ~command:"atpg" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
+    let p = Pipeline.prepare (design_of e) in
     let scanned =
       if p.Pipeline.sequential then Scan.full_scan p.Pipeline.netlist
       else p.Pipeline.netlist
@@ -228,7 +300,7 @@ let atpg_cmd =
   in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Random + deterministic test generation to full coverage.")
-    Term.(const run $ circuit_pos $ engine $ seed_flag)
+    Term.(const run $ obs_term $ circuit_pos $ engine $ seed_flag)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                *)
@@ -239,15 +311,16 @@ let dot_cmd =
     Arg.(value & opt (some string) None
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
   in
-  let run (e : Registry.entry) output =
-    let nl = Mutsamp_synth.Flow.synthesize (e.Registry.design ()) in
+  let run obs (e : Registry.entry) output =
+    with_obs obs ~command:"dot" ~circuits:[ e.Registry.name ] @@ fun () ->
+    let nl = Mutsamp_synth.Flow.synthesize (design_of e) in
     match output with
     | Some path -> Dot.write_file path nl
     | None -> print_string (Dot.of_netlist nl)
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Export the synthesised netlist as Graphviz.")
-    Term.(const run $ circuit_pos $ output)
+    Term.(const run $ obs_term $ circuit_pos $ output)
 
 (* ------------------------------------------------------------------ *)
 (* export / import (.bench)                                           *)
@@ -258,15 +331,16 @@ let export_cmd =
     Arg.(value & opt (some string) None
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
   in
-  let run (e : Registry.entry) output =
-    let nl = Mutsamp_synth.Flow.synthesize (e.Registry.design ()) in
+  let run obs (e : Registry.entry) output =
+    with_obs obs ~command:"export" ~circuits:[ e.Registry.name ] @@ fun () ->
+    let nl = Mutsamp_synth.Flow.synthesize (design_of e) in
     match output with
     | Some path -> Mutsamp_netlist.Benchfmt.write_file path nl
     | None -> print_string (Mutsamp_netlist.Benchfmt.to_string nl)
   in
   Cmd.v
     (Cmd.info "export" ~doc:"Export the synthesised netlist in ISCAS .bench format.")
-    Term.(const run $ circuit_pos $ output)
+    Term.(const run $ obs_term $ circuit_pos $ output)
 
 let import_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -275,16 +349,23 @@ let import_cmd =
          & info [ "faultsim" ] ~docv:"N"
              ~doc:"Also fault-simulate N pseudo-random vectors.")
   in
-  let run path vectors seed =
-    let nl = Mutsamp_netlist.Benchfmt.read_file ~name:path path in
+  let run obs path vectors seed =
+    with_obs obs ~command:"import" ~seed @@ fun () ->
+    let nl =
+      Trace.with_span "parse" ~attrs:[ ("file", path) ] (fun () ->
+          Mutsamp_netlist.Benchfmt.read_file ~name:path path)
+    in
     Printf.printf "%s: %s\n" path (Stats.to_string (Stats.compute nl));
     if vectors > 0 then begin
       let faults = (Collapse.run nl).Collapse.representatives in
       let bits = Array.length nl.Netlist.input_nets in
       let patterns = Prpg.uniform_sequence (Prng.create seed) ~bits ~length:vectors in
       let r =
+        Trace.with_span "fsim" @@ fun () ->
         if Netlist.num_dffs nl = 0 then Fsim.run_combinational nl ~faults ~patterns
-        else Fsim.run_sequential nl ~faults ~sequence:patterns
+        else
+          Fsim.run_sequential ~on_progress:(progress_line "faultsim") nl ~faults
+            ~sequence:patterns
       in
       Printf.printf "%d collapsed faults, %d vectors -> %.2f%% coverage\n" r.Fsim.total
         vectors (Fsim.coverage_percent r)
@@ -292,7 +373,7 @@ let import_cmd =
   in
   Cmd.v
     (Cmd.info "import" ~doc:"Read an ISCAS .bench netlist; print stats, optionally fault-simulate.")
-    Term.(const run $ file $ vectors $ seed_flag)
+    Term.(const run $ obs_term $ file $ vectors $ seed_flag)
 
 (* ------------------------------------------------------------------ *)
 (* diagnose                                                           *)
@@ -307,8 +388,9 @@ let diagnose_cmd =
   let vectors =
     Arg.(value & opt int 16 & info [ "vectors"; "n" ] ~docv:"N" ~doc:"Test patterns applied.")
   in
-  let run (e : Registry.entry) fault_index vectors seed =
-    let p = Pipeline.prepare (e.Registry.design ()) in
+  let run obs (e : Registry.entry) fault_index vectors seed =
+    with_obs obs ~command:"diagnose" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
+    let p = Pipeline.prepare (design_of e) in
     if p.Pipeline.sequential then begin
       prerr_endline "diagnose: combinational circuits only (try c17/c432/c499)";
       exit 1
@@ -359,7 +441,7 @@ let diagnose_cmd =
   Cmd.v
     (Cmd.info "diagnose"
        ~doc:"Inject a hidden stuck-at defect and locate it from observed responses.")
-    Term.(const run $ circuit_pos $ fault_index $ vectors $ seed_flag)
+    Term.(const run $ obs_term $ circuit_pos $ fault_index $ vectors $ seed_flag)
 
 (* ------------------------------------------------------------------ *)
 (* seqatpg / bist / sync                                              *)
@@ -369,12 +451,13 @@ let seqatpg_cmd =
   let max_frames =
     Arg.(value & opt int 10 & info [ "frames" ] ~docv:"K" ~doc:"Frame budget.")
   in
-  let run (e : Registry.entry) max_frames =
-    let p = Pipeline.prepare (e.Registry.design ()) in
+  let run obs (e : Registry.entry) max_frames =
+    with_obs obs ~command:"seqatpg" ~circuits:[ e.Registry.name ] @@ fun () ->
+    let p = Pipeline.prepare (design_of e) in
     let nl = p.Pipeline.netlist in
-    let t0 = Unix.gettimeofday () in
-    let sequences, undetected =
-      Mutsamp_atpg.Seqatpg.generate_set ~max_frames nl ~faults:p.Pipeline.faults
+    let (sequences, undetected), elapsed =
+      Trace.with_span_timed "seqatpg" (fun () ->
+          Mutsamp_atpg.Seqatpg.generate_set ~max_frames nl ~faults:p.Pipeline.faults)
     in
     Printf.printf
       "%s: %d faults -> %d functional sequences (%d cycles total), %d without a test within %d frames (%.2fs)\n"
@@ -382,26 +465,26 @@ let seqatpg_cmd =
       (List.length p.Pipeline.faults)
       (List.length sequences)
       (List.fold_left (fun acc s -> acc + Array.length s) 0 sequences)
-      (List.length undetected) max_frames
-      (Unix.gettimeofday () -. t0)
+      (List.length undetected) max_frames elapsed
   in
   Cmd.v
     (Cmd.info "seqatpg"
        ~doc:"Generate functional test sequences by time-frame expansion.")
-    Term.(const run $ circuit_pos $ max_frames)
+    Term.(const run $ obs_term $ circuit_pos $ max_frames)
 
 let bist_cmd =
   let length =
     Arg.(value & opt int 256 & info [ "vectors"; "n" ] ~docv:"N" ~doc:"LFSR patterns.")
   in
-  let run (e : Registry.entry) length seed =
-    let p = Pipeline.prepare (e.Registry.design ()) in
+  let run obs (e : Registry.entry) length seed =
+    with_obs obs ~command:"bist" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
+    let p = Pipeline.prepare (design_of e) in
     let nl =
       if p.Pipeline.sequential then Scan.full_scan p.Pipeline.netlist
       else p.Pipeline.netlist
     in
     let faults = (Collapse.run nl).Collapse.representatives in
-    let r = Mutsamp_atpg.Bist.run nl ~faults ~seed ~length in
+    let r = Trace.with_span "bist" (fun () -> Mutsamp_atpg.Bist.run nl ~faults ~seed ~length) in
     Printf.printf
       "%s%s: signature %#x | %d/%d detected by signature, %d by comparison, %d aliased\n"
       e.Registry.name
@@ -412,7 +495,7 @@ let bist_cmd =
   in
   Cmd.v
     (Cmd.info "bist" ~doc:"Emulate an LFSR+MISR self-test session.")
-    Term.(const run $ circuit_pos $ length $ seed_flag)
+    Term.(const run $ obs_term $ circuit_pos $ length $ seed_flag)
 
 let wave_cmd =
   let length =
@@ -422,8 +505,9 @@ let wave_cmd =
     Arg.(required & opt (some string) None
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"VCD file to write.")
   in
-  let run (e : Registry.entry) length output seed =
-    let nl = Mutsamp_synth.Flow.synthesize (e.Registry.design ()) in
+  let run obs (e : Registry.entry) length output seed =
+    with_obs obs ~command:"wave" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
+    let nl = Mutsamp_synth.Flow.synthesize (design_of e) in
     let sim = Mutsamp_netlist.Bitsim.create nl in
     Mutsamp_netlist.Bitsim.reset sim;
     let recorder = Mutsamp_netlist.Vcd.create nl ~timescale:"1ns" in
@@ -443,14 +527,15 @@ let wave_cmd =
   in
   Cmd.v
     (Cmd.info "wave" ~doc:"Dump a random-stimulus run as a VCD waveform.")
-    Term.(const run $ circuit_pos $ length $ output $ seed_flag)
+    Term.(const run $ obs_term $ circuit_pos $ length $ output $ seed_flag)
 
 let sync_cmd =
   let length =
     Arg.(value & opt int 64 & info [ "vectors"; "n" ] ~docv:"N" ~doc:"Sequence length tried.")
   in
-  let run (e : Registry.entry) length seed =
-    let p = Pipeline.prepare (e.Registry.design ()) in
+  let run obs (e : Registry.entry) length seed =
+    with_obs obs ~command:"sync" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
+    let p = Pipeline.prepare (design_of e) in
     let nl = p.Pipeline.netlist in
     let bits = Array.length nl.Netlist.input_nets in
     let sequence = Prpg.uniform_sequence (Prng.create seed) ~bits ~length in
@@ -466,7 +551,7 @@ let sync_cmd =
   Cmd.v
     (Cmd.info "sync"
        ~doc:"Three-valued initialisation analysis: can random inputs synchronise the state?")
-    Term.(const run $ circuit_pos $ length $ seed_flag)
+    Term.(const run $ obs_term $ circuit_pos $ length $ seed_flag)
 
 (* ------------------------------------------------------------------ *)
 (* table1 / table2 / e3                                               *)
@@ -477,22 +562,36 @@ let circuits_opt =
        & info [ "circuit"; "c" ] ~docv:"NAME"
            ~doc:"Circuit to include (repeatable; default: the paper's four).")
 
+let circuits_pos =
+  Arg.(value & pos_all string [] & info [] ~docv:"CIRCUIT")
+
+(* Circuits can be named positionally or with --circuit; both combine. *)
+let circuit_names names_opt names_pos =
+  match names_opt @ names_pos with
+  | [] -> List.map (fun (e : Registry.entry) -> e.Registry.name) Registry.paper_benchmarks
+  | names -> names
+
 let resolve_circuits names =
   let entries =
-    if names = [] then Registry.paper_benchmarks
-    else
-      List.map
-        (fun n ->
-          match Registry.find n with
-          | Some e -> e
-          | None -> prerr_endline ("unknown circuit " ^ n); exit 1)
-        names
+    List.map
+      (fun n ->
+        match Registry.find n with
+        | Some e -> e
+        | None -> prerr_endline ("unknown circuit " ^ n); exit 1)
+      names
   in
-  List.map (fun (e : Registry.entry) -> (e.Registry.name, Pipeline.prepare (e.Registry.design ()))) entries
+  List.map
+    (fun (e : Registry.entry) ->
+      (e.Registry.name, Pipeline.prepare (design_of e)))
+    entries
 
 let table1_cmd =
-  let run names quick seed =
+  let run obs names_opt names_pos quick seed =
     let config = config_of ~quick ~seed in
+    let names = circuit_names names_opt names_pos in
+    with_obs obs ~command:"table1" ~circuits:names ~config:(Config.to_json config)
+      ~seed
+    @@ fun () ->
     let rows =
       List.map
         (fun (name, p) -> Experiments.operator_efficiency_avg ~config p ~name)
@@ -502,15 +601,19 @@ let table1_cmd =
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 (operator efficiency).")
-    Term.(const run $ circuits_opt $ quick_flag $ seed_flag)
+    Term.(const run $ obs_term $ circuits_opt $ circuits_pos $ quick_flag $ seed_flag)
 
 let table2_cmd =
   let reps =
     Arg.(value & opt int 5 & info [ "repetitions"; "r" ] ~docv:"N"
            ~doc:"Independent repetitions to average.")
   in
-  let run names quick seed reps =
+  let run obs names_opt names_pos quick seed reps =
     let config = config_of ~quick ~seed in
+    let names = circuit_names names_opt names_pos in
+    with_obs obs ~command:"table2" ~circuits:names ~config:(Config.to_json config)
+      ~seed
+    @@ fun () ->
     let rows =
       List.map
         (fun (name, p) ->
@@ -520,6 +623,7 @@ let table2_cmd =
           let weights = Experiments.weights_of_table1 full in
           let equivalents =
             Pipeline.classify_equivalents ~screen:config.Config.equivalence_screen
+              ~on_progress:(progress_line ("equivalence " ^ name))
               ~seed p
           in
           Experiments.sampling_comparison_avg ~config ~repetitions:reps p ~name
@@ -530,11 +634,15 @@ let table2_cmd =
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Reproduce the paper's Table 2 (sampling strategies).")
-    Term.(const run $ circuits_opt $ quick_flag $ seed_flag $ reps)
+    Term.(const run $ obs_term $ circuits_opt $ circuits_pos $ quick_flag $ seed_flag $ reps)
 
 let e3_cmd =
-  let run names quick seed =
+  let run obs names_opt names_pos quick seed =
     let config = config_of ~quick ~seed in
+    let names = circuit_names names_opt names_pos in
+    with_obs obs ~command:"e3" ~circuits:names ~config:(Config.to_json config)
+      ~seed
+    @@ fun () ->
     List.iter
       (fun (name, p) ->
         let sample =
@@ -555,7 +663,27 @@ let e3_cmd =
   in
   Cmd.v
     (Cmd.info "e3" ~doc:"ATPG-effort experiment (validation-data reuse).")
-    Term.(const run $ circuits_opt $ quick_flag $ seed_flag)
+    Term.(const run $ obs_term $ circuits_opt $ circuits_pos $ quick_flag $ seed_flag)
+
+(* ------------------------------------------------------------------ *)
+(* report-validate                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let report_validate_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run path =
+    match Runreport.validate_file path with
+    | Ok () ->
+      Printf.printf "%s: valid run report (schema %d)\n" path
+        Runreport.schema_version
+    | Error msg ->
+      Printf.eprintf "%s: invalid run report: %s\n" path msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "report-validate"
+       ~doc:"Check that FILE is a well-formed mutsamp run report.")
+    Term.(const run $ file)
 
 (* ------------------------------------------------------------------ *)
 
@@ -570,5 +698,5 @@ let () =
             list_cmd; show_cmd; mutants_cmd; generate_cmd; faultsim_cmd;
             atpg_cmd; dot_cmd; export_cmd; import_cmd; diagnose_cmd;
             seqatpg_cmd; bist_cmd; sync_cmd; wave_cmd;
-            table1_cmd; table2_cmd; e3_cmd;
+            table1_cmd; table2_cmd; e3_cmd; report_validate_cmd;
           ]))

@@ -1,1 +1,1 @@
-lib/atpg/podem.ml: Array Fivevalued Hashtbl List Mutsamp_fault Mutsamp_netlist Scoap
+lib/atpg/podem.ml: Array Fivevalued Hashtbl List Mutsamp_fault Mutsamp_netlist Mutsamp_obs Scoap

@@ -1,1 +1,1 @@
-lib/atpg/topoff.ml: Array List Mutsamp_fault Mutsamp_netlist Mutsamp_util Podem Prpg Satgen
+lib/atpg/topoff.ml: Array List Mutsamp_fault Mutsamp_netlist Mutsamp_obs Mutsamp_util Podem Prpg Satgen

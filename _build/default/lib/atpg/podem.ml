@@ -3,10 +3,20 @@ module Gate = Mutsamp_netlist.Gate
 module Topo = Mutsamp_netlist.Topo
 module Fault = Mutsamp_fault.Fault
 module V = Fivevalued
+module Metrics = Mutsamp_obs.Metrics
 
 type result = Test of int | Untestable | Aborted
 
 type stats = { backtracks : int; implications : int }
+
+(* Observability series (no-ops unless metrics collection is on). *)
+let c_calls = Metrics.counter "podem.calls"
+let c_backtracks = Metrics.counter "podem.backtracks"
+let c_implications = Metrics.counter "podem.implications"
+let c_tests = Metrics.counter "podem.tests_generated"
+let c_untestable = Metrics.counter "podem.untestable"
+let c_aborted = Metrics.counter "podem.aborted"
+let h_backtracks = Metrics.histogram "podem.backtracks_per_call"
 
 type ctx = {
   nl : Netlist.t;
@@ -287,4 +297,12 @@ let generate ?(backtrack_limit = 10_000) ?(guided = true) nl fault =
     | false -> Untestable
     | exception Abort -> Aborted
   in
+  Metrics.incr c_calls;
+  Metrics.add c_backtracks ctx.backtracks;
+  Metrics.add c_implications ctx.implications;
+  Metrics.observe h_backtracks (float_of_int ctx.backtracks);
+  (match outcome with
+   | Test _ -> Metrics.incr c_tests
+   | Untestable -> Metrics.incr c_untestable
+   | Aborted -> Metrics.incr c_aborted);
   (outcome, { backtracks = ctx.backtracks; implications = ctx.implications })

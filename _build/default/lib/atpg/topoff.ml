@@ -3,8 +3,18 @@ module Bitsim = Mutsamp_netlist.Bitsim
 module Fault = Mutsamp_fault.Fault
 module Fsim = Mutsamp_fault.Fsim
 module Prng = Mutsamp_util.Prng
+module Trace = Mutsamp_obs.Trace
+module Metrics = Mutsamp_obs.Metrics
 
 type engine = Use_podem | Use_sat
+
+(* Observability series (no-ops unless metrics collection is on). *)
+let c_runs = Metrics.counter "topoff.runs"
+let c_atpg_calls = Metrics.counter "topoff.atpg_calls"
+let c_atpg_patterns = Metrics.counter "topoff.atpg_patterns"
+let c_random_patterns = Metrics.counter "topoff.random_patterns"
+let c_untestable = Metrics.counter "topoff.untestable"
+let c_aborted = Metrics.counter "topoff.aborted"
 
 type report = {
   total_faults : int;
@@ -36,6 +46,10 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
     ?(backtrack_limit = 2000) nl ~faults ~seed_patterns =
   if Netlist.num_dffs nl > 0 then
     invalid_arg "Topoff.run: sequential netlist (apply Scan.full_scan first)";
+  Trace.with_span "atpg"
+    ~attrs:[ ("engine", match engine with Use_podem -> "podem" | Use_sat -> "sat") ]
+  @@ fun () ->
+  Metrics.incr c_runs;
   let total_faults = List.length faults in
   let test_set = ref (Array.to_list seed_patterns) in
   (* Phase 1: seed patterns. *)
@@ -100,6 +114,13 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
          phase3 rest)
   in
   phase3 !remaining;
+  Metrics.add c_atpg_calls !atpg_calls;
+  Metrics.add c_atpg_patterns !atpg_patterns;
+  Metrics.add c_random_patterns !random_patterns;
+  Metrics.add c_untestable !untestable;
+  Metrics.add c_aborted !aborted;
+  Trace.add_attr "faults" (string_of_int total_faults);
+  Trace.add_attr "atpg_calls" (string_of_int !atpg_calls);
   let testable = total_faults - !untestable in
   let detected = seed_detected + random_detected + !atpg_detected in
   {

@@ -1,1 +1,1 @@
-lib/core/config.ml: Mutsamp_validation
+lib/core/config.ml: Mutsamp_obs Mutsamp_validation

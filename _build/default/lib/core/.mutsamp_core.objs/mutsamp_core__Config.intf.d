@@ -1,1 +1,1 @@
-lib/core/config.mli: Mutsamp_validation
+lib/core/config.mli: Mutsamp_obs Mutsamp_validation

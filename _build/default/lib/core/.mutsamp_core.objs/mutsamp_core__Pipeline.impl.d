@@ -1,1 +1,1 @@
-lib/core/pipeline.ml: Array Fun List Mutsamp_fault Mutsamp_hdl Mutsamp_mutation Mutsamp_netlist Mutsamp_sat Mutsamp_synth Mutsamp_util
+lib/core/pipeline.ml: Array Fun List Mutsamp_fault Mutsamp_hdl Mutsamp_mutation Mutsamp_netlist Mutsamp_obs Mutsamp_sat Mutsamp_synth Mutsamp_util Printf

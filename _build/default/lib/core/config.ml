@@ -30,3 +30,26 @@ let quick =
       };
     equivalence_screen = 192;
   }
+
+let to_json t =
+  let module J = Mutsamp_obs.Json in
+  let v = t.vector in
+  J.Obj
+    [
+      ("seed", J.Int t.seed);
+      ("sample_rate", J.Float t.sample_rate);
+      ("random_multiplier", J.Int t.random_multiplier);
+      ("min_random_length", J.Int t.min_random_length);
+      ( "vector",
+        J.Obj
+          [
+            ("seed", J.Int v.Mutsamp_validation.Vectorgen.seed);
+            ("max_stall", J.Int v.max_stall);
+            ("sequence_length", J.Int v.sequence_length);
+            ("max_vectors", J.Int v.max_vectors);
+            ("directed", J.Bool v.directed);
+            ("sat_attack", J.Bool v.sat_attack);
+            ("minimize", J.Bool v.minimize);
+          ] );
+      ("equivalence_screen", J.Int t.equivalence_screen);
+    ]

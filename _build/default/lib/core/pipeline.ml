@@ -17,6 +17,13 @@ module Generate = Mutsamp_mutation.Generate
 module Kill = Mutsamp_mutation.Kill
 module Equivalence = Mutsamp_mutation.Equivalence
 module Equiv = Mutsamp_sat.Equiv
+module Trace = Mutsamp_obs.Trace
+module Metrics = Mutsamp_obs.Metrics
+
+(* Observability series (no-ops unless metrics collection is on). *)
+let c_equiv_screened = Metrics.counter "equiv.screened_out"
+let c_equiv_exact = Metrics.counter "equiv.exact_checks"
+let c_equiv_proven = Metrics.counter "equiv.proven_equivalent"
 
 type t = {
   design : Ast.design;
@@ -28,14 +35,22 @@ type t = {
 }
 
 let prepare design =
-  let netlist, mapping = Flow.synthesize_mapped design in
-  let collapse = Collapse.run netlist in
+  Trace.with_span "prepare" ~attrs:[ ("design", design.Ast.name) ] @@ fun () ->
+  let netlist, mapping =
+    Trace.with_span "synth" (fun () -> Flow.synthesize_mapped design)
+  in
+  let collapse = Trace.with_span "collapse" (fun () -> Collapse.run netlist) in
+  let mutants = Trace.with_span "mutants" (fun () -> Generate.all design) in
+  Trace.add_attr "gates" (string_of_int (Array.length netlist.Netlist.gates));
+  Trace.add_attr "faults"
+    (string_of_int (List.length collapse.Collapse.representatives));
+  Trace.add_attr "mutants" (string_of_int (List.length mutants));
   {
     design;
     netlist;
     mapping;
     faults = collapse.Collapse.representatives;
-    mutants = Generate.all design;
+    mutants;
     sequential = not (Check.is_combinational design);
   }
 
@@ -55,7 +70,13 @@ let code_of_stimulus t stimulus =
 let codes_of_sequences t sequences =
   Array.of_list (List.map (code_of_stimulus t) (List.concat sequences))
 
-let fault_simulate t sequence = Fsim.run_auto t.netlist ~faults:t.faults ~sequence
+let fault_simulate t sequence =
+  Trace.with_span "fsim" @@ fun () ->
+  let r = Fsim.run_auto t.netlist ~faults:t.faults ~sequence in
+  Trace.add_attr "patterns" (string_of_int r.Fsim.patterns_applied);
+  Trace.add_attr "detected"
+    (Printf.sprintf "%d/%d" r.Fsim.detected r.Fsim.total);
+  r
 
 let scan_codes_of_sequences t sequences =
   if not t.sequential then codes_of_sequences t sequences
@@ -80,7 +101,8 @@ let scan_codes_of_sequences t sequences =
     Array.of_list (List.rev !codes)
   end
 
-let classify_equivalents ?(screen = 512) ~seed t =
+let classify_equivalents ?(screen = 512) ?on_progress ~seed t =
+  Trace.with_span "equiv" @@ fun () ->
   let mutants = Array.of_list t.mutants in
   let runner = Kill.make t.design t.mutants in
   let prng = Prng.create seed in
@@ -94,8 +116,15 @@ let classify_equivalents ?(screen = 512) ~seed t =
   let survivors =
     List.filter (fun i -> not flags.(i)) (List.init (Array.length mutants) Fun.id)
   in
+  Metrics.add c_equiv_screened (Array.length mutants - List.length survivors);
+  Trace.add_attr "survivors" (string_of_int (List.length survivors));
   (* Phase 2: exact checks on the survivors. *)
+  let total = List.length survivors in
+  let progress done_ =
+    match on_progress with Some f -> f ~done_ ~total | None -> ()
+  in
   let exact i =
+    Metrics.incr c_equiv_exact;
     let m = mutants.(i) in
     if t.sequential then
       match Equivalence.check t.design m.Mutant.design with
@@ -110,4 +139,13 @@ let classify_equivalents ?(screen = 512) ~seed t =
       | exception Equiv.Equiv_error _ -> false
     end
   in
-  List.filter exact survivors
+  let equivalents =
+    List.filteri
+      (fun k i ->
+        let r = exact i in
+        progress (k + 1);
+        r)
+      survivors
+  in
+  Metrics.add c_equiv_proven (List.length equivalents);
+  equivalents

@@ -38,7 +38,11 @@ val scan_codes_of_sequences :
     {!codes_of_sequences}. *)
 
 val classify_equivalents :
-  ?screen:int -> seed:int -> t -> int list
+  ?screen:int ->
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  seed:int ->
+  t ->
+  int list
 (** Indices (into [mutants]) of the mutants that are provably
     equivalent to the design. A random screen of [screen] vectors
     (default 512) removes obviously killable mutants; survivors are
@@ -46,4 +50,6 @@ val classify_equivalents :
     combinational designs, product-machine BFS for sequential ones.
     Mutants whose exact check blows its budget are treated as
     non-equivalent (conservative; they deflate MS rather than inflate
-    it). *)
+    it). [on_progress] fires after each exact check ([total] is the
+    survivor count) — the checks dominate the runtime on larger
+    designs. *)

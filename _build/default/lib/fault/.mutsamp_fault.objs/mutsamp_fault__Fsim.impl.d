@@ -1,1 +1,1 @@
-lib/fault/fsim.ml: Array Fault List Mutsamp_netlist
+lib/fault/fsim.ml: Array Fault List Mutsamp_netlist Mutsamp_obs

@@ -1,5 +1,15 @@
 module Netlist = Mutsamp_netlist.Netlist
 module Bitsim = Mutsamp_netlist.Bitsim
+module Metrics = Mutsamp_obs.Metrics
+
+(* Observability series (no-ops unless metrics collection is on). *)
+let c_runs = Metrics.counter "fsim.runs"
+let c_patterns = Metrics.counter "fsim.patterns_simulated"
+let c_detected = Metrics.counter "fsim.faults_detected"
+let c_batches = Metrics.counter "fsim.pattern_batches"
+let c_machine_steps = Metrics.counter "fsim.machine_steps"
+let c_serial_cycles = Metrics.counter "fsim.serial_cycles"
+let c_pf_groups = Metrics.counter "fsim.parallel_fault_groups"
 
 type detection = { fault : Fault.t; detected_at : int option }
 
@@ -78,12 +88,16 @@ let run_combinational nl ~faults ~patterns =
   let n_pat = Array.length patterns in
   let batches = (n_pat + Bitsim.lanes - 1) / Bitsim.lanes in
   let batch = ref 0 in
+  Metrics.incr c_runs;
   while !batch < batches && !alive_count > 0 do
     let lo = !batch * Bitsim.lanes in
     let len = min Bitsim.lanes (n_pat - lo) in
     let words = pack_patterns nl patterns lo len in
     let lane_mask = if len = Bitsim.lanes then Bitsim.all_ones else (1 lsl len) - 1 in
     let good = Bitsim.step sim words in
+    Metrics.incr c_batches;
+    Metrics.add c_patterns len;
+    Metrics.incr c_machine_steps;
     let k = ref 0 in
     while !k < !alive_count do
       let fi = alive.(!k) in
@@ -91,6 +105,7 @@ let run_combinational nl ~faults ~patterns =
       let faulty =
         Bitsim.step_injected sim words ~inj:(Fault.injection f) ~stuck:(Fault.stuck_word f)
       in
+      Metrics.incr c_machine_steps;
       let diff = ref 0 in
       Array.iteri (fun o w -> diff := !diff lor (w lxor good.(o))) faulty;
       let diff = !diff land lane_mask in
@@ -108,6 +123,7 @@ let run_combinational nl ~faults ~patterns =
     done;
     incr batch
   done;
+  Metrics.add c_detected (Array.length faults - !alive_count);
   {
     total = Array.length faults;
     detected = Array.length faults - !alive_count;
@@ -115,17 +131,24 @@ let run_combinational nl ~faults ~patterns =
     patterns_applied = n_pat;
   }
 
-let run_sequential nl ~faults ~sequence =
+let run_sequential ?on_progress nl ~faults ~sequence =
   if Array.length nl.Netlist.input_nets > Bitsim.lanes then
     invalid_arg "Fsim.run_sequential: too many input bits for pattern codes";
   let faults = Array.of_list faults in
   let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
+  Metrics.incr c_runs;
+  Metrics.add c_patterns (Array.length sequence);
   let sim_good = Bitsim.create nl in
   Bitsim.reset sim_good;
   let good_outputs =
     Array.map
       (fun code -> Bitsim.step sim_good (replicate_code nl code))
       sequence
+  in
+  Metrics.add c_serial_cycles (Array.length sequence);
+  let total_faults = Array.length faults in
+  let progress done_ =
+    match on_progress with Some f -> f ~done_ ~total:total_faults | None -> ()
   in
   let sim_faulty = Bitsim.create nl in
   Array.iteri
@@ -139,18 +162,22 @@ let run_sequential nl ~faults ~sequence =
           let faulty =
             Bitsim.step_injected sim_faulty (replicate_code nl sequence.(c)) ~inj ~stuck
           in
+          Metrics.incr c_serial_cycles;
+          Metrics.incr c_machine_steps;
           if faulty <> good_outputs.(c) then
             detections.(fi) <- { fault = f; detected_at = Some c }
           else cycle (c + 1)
         end
       in
-      cycle 0)
+      cycle 0;
+      progress (fi + 1))
     faults;
   let detected =
     Array.fold_left
       (fun acc d -> match d.detected_at with Some _ -> acc + 1 | None -> acc)
       0 detections
   in
+  Metrics.add c_detected detected;
   {
     total = Array.length faults;
     detected;
@@ -166,7 +193,10 @@ let run_parallel_fault nl ~faults ~sequence =
   let group_size = Bitsim.lanes - 1 in
   let n_groups = (Array.length faults + group_size - 1) / group_size in
   let sim = Bitsim.create nl in
+  Metrics.incr c_runs;
+  Metrics.add c_patterns (Array.length sequence);
   for g = 0 to n_groups - 1 do
+    Metrics.incr c_pf_groups;
     let lo = g * group_size in
     let len = min group_size (Array.length faults - lo) in
     let injections =
@@ -185,6 +215,7 @@ let run_parallel_fault nl ~faults ~sequence =
       let outs =
         Bitsim.step_multi sim (replicate_code nl sequence.(!cycle)) ~injections
       in
+      Metrics.incr c_machine_steps;
       (* Lanes whose outputs differ from lane 0's value. *)
       let diff = ref 0 in
       Array.iter
@@ -208,6 +239,7 @@ let run_parallel_fault nl ~faults ~sequence =
       (fun acc d -> match d.detected_at with Some _ -> acc + 1 | None -> acc)
       0 detections
   in
+  Metrics.add c_detected detected;
   {
     total = Array.length faults;
     detected;

@@ -44,9 +44,15 @@ val run_combinational :
     than 62 input bits. *)
 
 val run_sequential :
-  Mutsamp_netlist.Netlist.t -> faults:Fault.t list -> sequence:int array -> report
+  ?on_progress:(done_:int -> total:int -> unit) ->
+  Mutsamp_netlist.Netlist.t ->
+  faults:Fault.t list ->
+  sequence:int array ->
+  report
 (** Works for combinational netlists too (each "cycle" is then an
-    independent pattern), but is serial and slower. *)
+    independent pattern), but is serial and slower. [on_progress] is
+    called after each fault's serial replay (long [b03]/[c499] runs are
+    otherwise silent for minutes). *)
 
 val run_parallel_fault :
   Mutsamp_netlist.Netlist.t -> faults:Fault.t list -> sequence:int array -> report

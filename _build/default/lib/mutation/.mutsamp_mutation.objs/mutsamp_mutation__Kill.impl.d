@@ -1,1 +1,1 @@
-lib/mutation/kill.ml: Array List Mutant Mutsamp_hdl
+lib/mutation/kill.ml: Array List Mutant Mutsamp_hdl Mutsamp_obs Operator

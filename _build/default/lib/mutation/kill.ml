@@ -1,4 +1,15 @@
 module Sim = Mutsamp_hdl.Sim
+module Metrics = Mutsamp_obs.Metrics
+
+(* Observability series (no-ops unless metrics collection is on). *)
+let c_sequences = Metrics.counter "kill.sequences"
+
+(* Per-operator kill events, e.g. [kill.killed.AOR]. A mutant counts
+   once per sequence that kills it, so re-detections across sequences
+   show up — the interesting ratio is against [kill.sequences]. *)
+let record_kill (mutants : Mutant.t array) i =
+  if Metrics.enabled () then
+    Metrics.add_named ("kill.killed." ^ Operator.name mutants.(i).Mutant.op) 1
 
 type t = {
   original : Mutsamp_hdl.Ast.design;
@@ -65,10 +76,13 @@ let kills_at t ?alive seq =
     | Some l -> l
     | None -> List.init (Array.length t.mutants) (fun i -> i)
   in
+  Metrics.incr c_sequences;
   List.filter_map
     (fun i ->
       match detection_cycle t reference i seq with
-      | Some c -> Some (i, c)
+      | Some c ->
+        record_kill t.mutants i;
+        Some (i, c)
       | None -> None)
     candidates
 
@@ -79,16 +93,26 @@ let kills t ?alive seq =
     | Some l -> l
     | None -> List.init (Array.length t.mutants) (fun i -> i)
   in
-  List.filter (fun i -> killed_against t reference i seq) candidates
+  Metrics.incr c_sequences;
+  List.filter
+    (fun i ->
+      let hit = killed_against t reference i seq in
+      if hit then record_kill t.mutants i;
+      hit)
+    candidates
 
 let killed_set t sequences =
   let n = Array.length t.mutants in
   let killed = Array.make n false in
   List.iter
     (fun seq ->
+      Metrics.incr c_sequences;
       let reference = reference_outputs t seq in
       for i = 0 to n - 1 do
-        if not killed.(i) && killed_against t reference i seq then killed.(i) <- true
+        if not killed.(i) && killed_against t reference i seq then begin
+          killed.(i) <- true;
+          record_kill t.mutants i
+        end
       done)
     sequences;
   killed

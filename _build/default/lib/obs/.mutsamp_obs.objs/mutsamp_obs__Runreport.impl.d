@@ -1,0 +1,1 @@
+lib/obs/runreport.ml: Fun Json List Metrics Printf Result Trace

@@ -1,0 +1,1 @@
+lib/obs/runreport.mli: Json Metrics Trace

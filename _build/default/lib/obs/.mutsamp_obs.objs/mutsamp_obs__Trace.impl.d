@@ -1,0 +1,1 @@
+lib/obs/trace.ml: Float Format Gc Json List Printf String Unix

@@ -1,0 +1,33 @@
+(** Minimal JSON values, printer and parser.
+
+    The repository's run reports and bench trajectories are plain JSON
+    files; nothing in the environment provides a JSON library, so this
+    module implements the small subset we need. The printer is stable:
+    the same value always renders to the same bytes (object keys keep
+    their construction order, floats use a shortest round-tripping
+    decimal), which makes reports diffable and golden-testable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed with two-space indentation and a trailing newline at
+    top level. Non-finite floats render as [null] (JSON has no NaN). *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document. Numbers without [.], [e] or [E] become
+    [Int]; everything else numeric becomes [Float]. Errors carry a byte
+    offset. *)
+
+val parse_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on missing field or non-object. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,113 @@
+type counter = { c_name : string; mutable count : int }
+
+type histogram = {
+  h_name : string;
+  mutable n : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; count = 0 } in
+    Hashtbl.replace counters name c;
+    c
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h = { h_name = name; n = 0; sum = 0.; min_v = infinity; max_v = neg_infinity } in
+    Hashtbl.replace histograms name h;
+    h
+
+let incr c = if !enabled_flag then c.count <- c.count + 1
+let add c n = if !enabled_flag then c.count <- c.count + n
+
+let observe h v =
+  if !enabled_flag then begin
+    h.n <- h.n + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v
+  end
+
+let add_named name n = if !enabled_flag then (counter name).count <- (counter name).count + n
+
+let observe_named name v = if !enabled_flag then observe (histogram name) v
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ h ->
+      h.n <- 0;
+      h.sum <- 0.;
+      h.min_v <- infinity;
+      h.max_v <- neg_infinity)
+    histograms
+
+type histogram_stats = { n : int; sum : float; min_v : float; max_v : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  histograms : (string * histogram_stats) list;
+}
+
+let snapshot () =
+  let cs =
+    Hashtbl.fold
+      (fun name c acc -> if c.count <> 0 then (name, c.count) :: acc else acc)
+      counters []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let hs =
+    Hashtbl.fold
+      (fun name (h : histogram) acc ->
+        if h.n > 0 then
+          (name, { n = h.n; sum = h.sum; min_v = h.min_v; max_v = h.max_v }) :: acc
+        else acc)
+      histograms []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  { counters = cs; histograms = hs }
+
+let to_json s =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.counters));
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (k, (h : histogram_stats)) ->
+               ( k,
+                 Json.Obj
+                   [
+                     ("n", Json.Int h.n);
+                     ("sum", Json.Float h.sum);
+                     ("min", Json.Float h.min_v);
+                     ("max", Json.Float h.max_v);
+                     ("mean", Json.Float (h.sum /. float_of_int h.n));
+                   ] ))
+             s.histograms) );
+    ]
+
+let pp fmt s =
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "%-40s %12d@\n" name v)
+    s.counters;
+  List.iter
+    (fun (name, (h : histogram_stats)) ->
+      Format.fprintf fmt "%-40s n=%d sum=%.3f min=%.3f max=%.3f mean=%.3f@\n" name
+        h.n h.sum h.min_v h.max_v
+        (h.sum /. float_of_int h.n))
+    s.histograms

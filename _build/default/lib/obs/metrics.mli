@@ -1,0 +1,47 @@
+(** Process-global counters and histograms.
+
+    Instrumented code registers a handle once at module initialisation
+    ([counter]/[histogram] are idempotent per name) and bumps it from
+    hot loops. With collection disabled — the default — [incr], [add]
+    and [observe] are a single mutable-field check, so the fault
+    simulator and SAT solver inner loops pay nothing measurable.
+
+    Histograms keep count/sum/min/max summaries (enough for run
+    reports) rather than buckets. *)
+
+type counter
+type histogram
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val counter : string -> counter
+(** Register (or fetch) the counter with this name. *)
+
+val histogram : string -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val observe : histogram -> float -> unit
+
+val add_named : string -> int -> unit
+(** Registry lookup by name on every call — for dynamically named
+    series (e.g. per-operator kill counts). Only pays the lookup when
+    collection is enabled. *)
+
+val observe_named : string -> float -> unit
+
+type histogram_stats = { n : int; sum : float; min_v : float; max_v : float }
+
+type snapshot = {
+  counters : (string * int) list;  (** nonzero counters, sorted by name *)
+  histograms : (string * histogram_stats) list;
+      (** histograms with observations, sorted by name *)
+}
+
+val reset : unit -> unit
+(** Zero every registered series (registrations are kept). *)
+
+val snapshot : unit -> snapshot
+val to_json : snapshot -> Json.t
+val pp : Format.formatter -> snapshot -> unit

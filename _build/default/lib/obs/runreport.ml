@@ -1,0 +1,155 @@
+let schema_version = 1
+let tool_version = "1.0.0"
+
+let make ~command ?(circuits = []) ?config ?seed ?(extra = []) ~spans
+    ~(metrics : Metrics.snapshot) () =
+  Json.Obj
+    ([
+       ("schema", Json.Int schema_version);
+       ("tool", Json.String "mutsamp");
+       ("version", Json.String tool_version);
+       ("command", Json.String command);
+       ("circuits", Json.List (List.map (fun c -> Json.String c) circuits));
+       ("seed", match seed with Some s -> Json.Int s | None -> Json.Null);
+       ("config", match config with Some c -> c | None -> Json.Null);
+       ("spans", Trace.to_json spans);
+       ("metrics", Metrics.to_json metrics);
+     ]
+    @ extra)
+
+let write_file path json =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string json))
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) r f = Result.bind r f
+
+let field name json =
+  match Json.member name json with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let expect_string name = function
+  | Json.String _ -> Ok ()
+  | _ -> Error (Printf.sprintf "field %S must be a string" name)
+
+let expect_number name = function
+  | Json.Int _ | Json.Float _ -> Ok ()
+  | _ -> Error (Printf.sprintf "field %S must be a number" name)
+
+let rec validate_span path json =
+  match json with
+  | Json.Obj _ ->
+    let* name = field "name" json in
+    let* () = expect_string (path ^ ".name") name in
+    let* dur = field "duration_s" json in
+    let* () = expect_number (path ^ ".duration_s") dur in
+    let* start = field "start_s" json in
+    let* () = expect_number (path ^ ".start_s") start in
+    let* alloc = field "alloc_words" json in
+    let* () = expect_number (path ^ ".alloc_words") alloc in
+    let* () =
+      match Json.member "attrs" json with
+      | None -> Ok ()
+      | Some (Json.Obj fields) ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let* () = acc in
+            expect_string (path ^ ".attrs." ^ k) v)
+          (Ok ()) fields
+      | Some _ -> Error (path ^ ".attrs must be an object")
+    in
+    (match Json.member "children" json with
+     | None -> Ok ()
+     | Some (Json.List children) ->
+       List.fold_left
+         (fun acc (i, c) ->
+           let* () = acc in
+           validate_span (Printf.sprintf "%s.children[%d]" path i) c)
+         (Ok ())
+         (List.mapi (fun i c -> (i, c)) children)
+     | Some _ -> Error (path ^ ".children must be a list"))
+  | _ -> Error (path ^ " must be an object")
+
+let validate_metrics json =
+  match json with
+  | Json.Obj _ ->
+    let* counters = field "counters" json in
+    let* () =
+      match counters with
+      | Json.Obj fields ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let* () = acc in
+            match v with
+            | Json.Int _ -> Ok ()
+            | _ -> Error (Printf.sprintf "counter %S must be an integer" k))
+          (Ok ()) fields
+      | _ -> Error "metrics.counters must be an object"
+    in
+    let* histograms = field "histograms" json in
+    (match histograms with
+     | Json.Obj fields ->
+       List.fold_left
+         (fun acc (k, v) ->
+           let* () = acc in
+           match v with
+           | Json.Obj _ ->
+             let* n = field "n" v in
+             let* () = expect_number ("histogram " ^ k ^ ".n") n in
+             let* sum = field "sum" v in
+             expect_number ("histogram " ^ k ^ ".sum") sum
+           | _ -> Error (Printf.sprintf "histogram %S must be an object" k))
+         (Ok ()) fields
+     | _ -> Error "metrics.histograms must be an object")
+  | _ -> Error "metrics must be an object"
+
+let validate json =
+  match json with
+  | Json.Obj _ ->
+    let* schema = field "schema" json in
+    let* () =
+      match schema with
+      | Json.Int v when v = schema_version -> Ok ()
+      | Json.Int v ->
+        Error (Printf.sprintf "unsupported schema version %d (expected %d)" v schema_version)
+      | _ -> Error "field \"schema\" must be an integer"
+    in
+    let* tool = field "tool" json in
+    let* () =
+      match tool with
+      | Json.String "mutsamp" -> Ok ()
+      | Json.String other -> Error (Printf.sprintf "unexpected tool %S" other)
+      | _ -> Error "field \"tool\" must be a string"
+    in
+    let* command = field "command" json in
+    let* () = expect_string "command" command in
+    let* () =
+      match Json.member "seed" json with
+      | Some (Json.Int _ | Json.Null) | None -> Ok ()
+      | Some _ -> Error "field \"seed\" must be an integer or null"
+    in
+    let* spans = field "spans" json in
+    let* () =
+      match spans with
+      | Json.List items ->
+        List.fold_left
+          (fun acc (i, s) ->
+            let* () = acc in
+            validate_span (Printf.sprintf "spans[%d]" i) s)
+          (Ok ())
+          (List.mapi (fun i s -> (i, s)) items)
+      | _ -> Error "field \"spans\" must be a list"
+    in
+    let* metrics = field "metrics" json in
+    validate_metrics metrics
+  | _ -> Error "report must be a JSON object"
+
+let validate_file path =
+  let* json = Json.parse_file path in
+  validate json

@@ -1,0 +1,48 @@
+(** Machine-readable run reports.
+
+    One experiment run — a CLI subcommand or a bench session — is
+    serialised to a single stable JSON document: a versioned header
+    (tool, command, the fully resolved configuration, master seed), the
+    completed span tree and the metric snapshot. The bench harness and
+    the CLI's [--report] flag share this schema, so `BENCH_*.json`
+    trajectory files and ad-hoc experiment reports are interchangeable
+    inputs for downstream tooling.
+
+    Schema (version 1):
+    {v
+    { "schema": 1,
+      "tool": "mutsamp",
+      "version": "<tool version>",
+      "command": "<subcommand>",
+      "circuits": ["c432", ...],
+      "seed": 2005,
+      "config": { ... } | null,
+      "spans": [ { "name", "start_s", "duration_s", "alloc_words",
+                   "attrs"?, "children"? } ... ],
+      "metrics": { "counters": {..}, "histograms": {..} },
+      ...extra fields... }
+    v} *)
+
+val schema_version : int
+val tool_version : string
+
+val make :
+  command:string ->
+  ?circuits:string list ->
+  ?config:Json.t ->
+  ?seed:int ->
+  ?extra:(string * Json.t) list ->
+  spans:Trace.span list ->
+  metrics:Metrics.snapshot ->
+  unit ->
+  Json.t
+
+val write_file : string -> Json.t -> unit
+
+val validate : Json.t -> (unit, string) result
+(** Structural schema check: version, required header fields, every
+    span well-formed recursively, metrics numeric. Used by the
+    [bench-smoke] alias and the report tests, so a report-format
+    regression fails [dune runtest]. *)
+
+val validate_file : string -> (unit, string) result

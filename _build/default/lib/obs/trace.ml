@@ -1,0 +1,172 @@
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_s : float;
+  duration_s : float;
+  alloc_words : float;
+  children : span list;
+}
+
+type frame = {
+  f_name : string;
+  mutable f_attrs : (string * string) list;  (* reversed *)
+  f_start_abs : float;
+  f_start_rel : float;
+  f_alloc0 : float;
+  mutable f_children_rev : span list;
+}
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let stack : frame list ref = ref []
+let roots_rev : span list ref = ref []
+let epoch : float option ref = ref None
+
+let reset () =
+  stack := [];
+  roots_rev := [];
+  epoch := None
+
+let now () = Unix.gettimeofday ()
+
+let alloc_now () =
+  (* [Gc.minor_words] reads the live allocation pointer; [quick_stat]'s
+     copy is only refreshed at collections and would show 0 for short
+     spans. *)
+  let s = Gc.quick_stat () in
+  Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words
+
+let add_attr k v =
+  match !stack with
+  | [] -> ()
+  | f :: _ -> f.f_attrs <- (k, v) :: f.f_attrs
+
+let open_frame attrs name =
+  let t0 = now () in
+  let ep =
+    match !epoch with
+    | Some e -> e
+    | None ->
+      epoch := Some t0;
+      t0
+  in
+  let frame =
+    {
+      f_name = name;
+      f_attrs = List.rev attrs;
+      f_start_abs = t0;
+      f_start_rel = t0 -. ep;
+      f_alloc0 = alloc_now ();
+      f_children_rev = [];
+    }
+  in
+  stack := frame :: !stack;
+  frame
+
+let close_frame frame =
+  let t1 = now () in
+  let span =
+    {
+      name = frame.f_name;
+      attrs = List.rev frame.f_attrs;
+      start_s = frame.f_start_rel;
+      duration_s = t1 -. frame.f_start_abs;
+      alloc_words = alloc_now () -. frame.f_alloc0;
+      children = List.rev frame.f_children_rev;
+    }
+  in
+  (match !stack with
+   | f :: rest when f == frame -> stack := rest
+   | _ -> ());
+  (match !stack with
+   | [] -> roots_rev := span :: !roots_rev
+   | parent :: _ -> parent.f_children_rev <- span :: parent.f_children_rev)
+
+let with_span ?(attrs = []) name f =
+  if not !enabled_flag then f ()
+  else begin
+    let frame = open_frame attrs name in
+    match f () with
+    | v ->
+      close_frame frame;
+      v
+    | exception e ->
+      frame.f_attrs <- ("error", "true") :: frame.f_attrs;
+      close_frame frame;
+      raise e
+  end
+
+let with_span_timed ?(attrs = []) name f =
+  if not !enabled_flag then begin
+    let t0 = now () in
+    let v = f () in
+    (v, now () -. t0)
+  end
+  else begin
+    let frame = open_frame attrs name in
+    match f () with
+    | v ->
+      let dt = now () -. frame.f_start_abs in
+      close_frame frame;
+      (v, dt)
+    | exception e ->
+      frame.f_attrs <- ("error", "true") :: frame.f_attrs;
+      close_frame frame;
+      raise e
+  end
+
+let roots () = List.rev !roots_rev
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec span_to_json s =
+  let base =
+    [
+      ("name", Json.String s.name);
+      ("start_s", Json.Float s.start_s);
+      ("duration_s", Json.Float s.duration_s);
+      ("alloc_words", Json.Float s.alloc_words);
+    ]
+  in
+  let attrs =
+    if s.attrs = [] then []
+    else [ ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.attrs)) ]
+  in
+  let children =
+    if s.children = [] then []
+    else [ ("children", Json.List (List.map span_to_json s.children)) ]
+  in
+  Json.Obj (base @ attrs @ children)
+
+let to_json spans = Json.List (List.map span_to_json spans)
+
+let human_words w =
+  if Float.abs w >= 1e9 then Printf.sprintf "%.2fGw" (w /. 1e9)
+  else if Float.abs w >= 1e6 then Printf.sprintf "%.2fMw" (w /. 1e6)
+  else if Float.abs w >= 1e3 then Printf.sprintf "%.1fkw" (w /. 1e3)
+  else Printf.sprintf "%.0fw" w
+
+let pp fmt spans =
+  let rec go depth s =
+    let label = String.make (2 * depth) ' ' ^ s.name in
+    let attrs =
+      if s.attrs = [] then ""
+      else
+        "  {"
+        ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) s.attrs)
+        ^ "}"
+    in
+    Format.fprintf fmt "%-32s %9.3fs %10s%s@\n" label s.duration_s
+      (human_words s.alloc_words) attrs;
+    List.iter (go (depth + 1)) s.children
+  in
+  List.iter (go 0) spans
+
+let print oc =
+  let fmt = Format.formatter_of_out_channel oc in
+  pp fmt (roots ());
+  Format.pp_print_flush fmt ()

@@ -1,0 +1,59 @@
+(** Hierarchical tracing spans.
+
+    A span measures one phase of the pipeline: wall-clock duration plus
+    the words allocated while it was open, with arbitrary nesting.
+    Collection is off by default; every [with_span] call then reduces to
+    a single mutable-field check around the wrapped function, so
+    instrumenting hot paths is free in normal runs.
+
+    The collector is a process-global tree (the pipeline is
+    single-threaded): spans opened while another span is open become its
+    children, spans opened at top level become roots. *)
+
+type span = {
+  name : string;
+  attrs : (string * string) list;
+  start_s : float;
+      (** seconds since the trace epoch — the first span opened after
+          [reset] *)
+  duration_s : float;
+  alloc_words : float;
+      (** words allocated during the span (minor + major − promoted,
+          from [Gc.quick_stat]) *)
+  children : span list;  (** in open order *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded spans and the epoch. Open spans are abandoned. *)
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the function inside a new span. The span closes when the
+    function returns or raises (an [error=true] attribute marks the
+    raising case, and the exception is re-raised). When collection is
+    disabled this is just a function call. *)
+
+val with_span_timed :
+  ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a * float
+(** Like [with_span] but also return the elapsed seconds, measured even
+    when collection is disabled (for callers that print timings). *)
+
+val add_attr : string -> string -> unit
+(** Attach an attribute to the innermost open span; no-op when disabled
+    or outside any span. Lets a phase record counts it only knows at the
+    end, e.g. [Trace.add_attr "faults" (string_of_int n)]. *)
+
+val roots : unit -> span list
+(** Completed top-level spans, in open order. *)
+
+val to_json : span list -> Json.t
+val span_to_json : span -> Json.t
+
+val pp : Format.formatter -> span list -> unit
+(** Indented tree: one line per span with duration, allocation and
+    attributes. *)
+
+val print : out_channel -> unit
+(** [pp] of [roots ()] to a channel (the CLI's [--trace] output). *)

@@ -1,1 +1,1 @@
-lib/sat/solver.ml: Array Cnf List
+lib/sat/solver.ml: Array Cnf List Mutsamp_obs

@@ -1,5 +1,18 @@
 type result = Sat of bool array | Unsat
 
+module Metrics = Mutsamp_obs.Metrics
+
+(* Observability series (no-ops unless metrics collection is on). *)
+let c_solves = Metrics.counter "sat.solves"
+let c_decisions = Metrics.counter "sat.decisions"
+let c_propagations = Metrics.counter "sat.propagations"
+let c_conflicts = Metrics.counter "sat.conflicts"
+let c_learnt = Metrics.counter "sat.learnt_clauses"
+let c_restarts = Metrics.counter "sat.restarts"
+let c_sat = Metrics.counter "sat.result_sat"
+let c_unsat = Metrics.counter "sat.result_unsat"
+let h_conflicts = Metrics.histogram "sat.conflicts_per_solve"
+
 (* Internal clause representation: a dynamic array of literal arrays.
    Clause 0..n_orig-1 are problem clauses, the rest are learnt. *)
 
@@ -58,6 +71,7 @@ let propagate st queue_head =
   while !conflict = -1 && !head < st.trail_size do
     let l = st.trail.(!head) in
     incr head;
+    Metrics.incr c_propagations;
     let falsified = -l in
     let wl = st.watches.(lit_index falsified) in
     st.watches.(lit_index falsified) <- [];
@@ -236,8 +250,10 @@ let solve ?(assumptions = []) cnf =
       seen = Array.make (nvars + 1) false;
     }
   in
+  Metrics.incr c_solves;
+  let total_conflicts = ref 0 in
   let exception Early of result in
-  try
+  match
     (* Load problem clauses; units go straight onto the trail. *)
     Array.iter
       (fun c ->
@@ -272,6 +288,8 @@ let solve ?(assumptions = []) cnf =
       queue_head := head;
       if conflict >= 0 then begin
         incr conflicts_since_restart;
+        incr total_conflicts;
+        Metrics.incr c_conflicts;
         st.var_inc <- st.var_inc *. 1.05;
         if st.decision_level = 0 then raise (Early Unsat);
         let learnt, back_level = analyze st conflict in
@@ -285,11 +303,13 @@ let solve ?(assumptions = []) cnf =
         end
         else begin
           let ci = add_learnt st learnt in
+          Metrics.incr c_learnt;
           enqueue st learnt.(0) ci
         end;
         search ()
       end
       else if !conflicts_since_restart >= !restart_limit then begin
+        Metrics.incr c_restarts;
         conflicts_since_restart := 0;
         restart_limit := !restart_limit * 3 / 2;
         backtrack st 0;
@@ -305,13 +325,18 @@ let solve ?(assumptions = []) cnf =
           done;
           raise (Early (Sat model))
         | Some l ->
+          Metrics.incr c_decisions;
           st.decision_level <- st.decision_level + 1;
           st.trail_lim.(st.decision_level) <- st.trail_size;
           enqueue st l (-1);
           search ()
     in
     search ()
-  with Early r -> r
+  with
+  | r | exception Early r ->
+    Metrics.observe h_conflicts (float_of_int !total_conflicts);
+    (match r with Sat _ -> Metrics.incr c_sat | Unsat -> Metrics.incr c_unsat);
+    r
 
 let is_satisfying cnf model =
   Array.for_all

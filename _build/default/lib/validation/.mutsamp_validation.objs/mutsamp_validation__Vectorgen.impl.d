@@ -1,1 +1,1 @@
-lib/validation/vectorgen.ml: Array Fun Hashtbl List Mutsamp_hdl Mutsamp_mutation Mutsamp_util Stdlib
+lib/validation/vectorgen.ml: Array Fun Hashtbl List Mutsamp_hdl Mutsamp_mutation Mutsamp_obs Mutsamp_sat Mutsamp_synth Mutsamp_util Stdlib

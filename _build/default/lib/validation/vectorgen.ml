@@ -6,6 +6,20 @@ module Prng = Mutsamp_util.Prng
 module Mutant = Mutsamp_mutation.Mutant
 module Kill = Mutsamp_mutation.Kill
 module Equivalence = Mutsamp_mutation.Equivalence
+module Flow = Mutsamp_synth.Flow
+module Lower = Mutsamp_synth.Lower
+module Equiv = Mutsamp_sat.Equiv
+module Bitvec = Mutsamp_util.Bitvec
+module Trace = Mutsamp_obs.Trace
+module Metrics = Mutsamp_obs.Metrics
+
+(* Observability series (no-ops unless metrics collection is on). *)
+let c_candidates = Metrics.counter "vectorgen.candidates"
+let c_accepted = Metrics.counter "vectorgen.accepted"
+let c_vectors = Metrics.counter "vectorgen.vectors"
+let c_sat_calls = Metrics.counter "vectorgen.sat_calls"
+let c_sat_equivalent = Metrics.counter "vectorgen.sat_equivalent"
+let c_sat_distinguished = Metrics.counter "vectorgen.sat_distinguished"
 
 type config = {
   seed : int;
@@ -13,6 +27,7 @@ type config = {
   sequence_length : int;
   max_vectors : int;
   directed : bool;
+  sat_attack : bool;
   minimize : bool;
 }
 
@@ -23,6 +38,7 @@ let default_config =
     sequence_length = 8;
     max_vectors = 4096;
     directed = true;
+    sat_attack = true;
     minimize = true;
   }
 
@@ -35,7 +51,38 @@ type outcome = {
   total_vectors : int;
 }
 
+(* Map a bit-level SAT counterexample back to one word-level stimulus
+   cycle: bit [i] of input [name] is the miter PI [Lower.bit_name]. *)
+let stimulus_of_assignment design bits =
+  List.map
+    (fun (d : Ast.decl) ->
+      let v = ref (Bitvec.make ~width:d.width 0) in
+      for i = 0 to d.width - 1 do
+        match List.assoc_opt (Lower.bit_name d.name d.width i) bits with
+        | Some true -> v := Bitvec.set_bit !v i true
+        | Some false | None -> ()
+      done;
+      (d.name, !v))
+    (Ast.inputs design)
+
+(* SAT-miter attack on a survivor the behavioural checker could not
+   decide — wide combinational designs exceed its exhaustive budget,
+   but the miter handles them. *)
+let sat_check design mutant_design =
+  Metrics.incr c_sat_calls;
+  match
+    Equiv.check (Flow.synthesize design) (Flow.synthesize mutant_design)
+  with
+  | Equiv.Equivalent ->
+    Metrics.incr c_sat_equivalent;
+    Equivalence.Equivalent
+  | Equiv.Counterexample bits ->
+    Metrics.incr c_sat_distinguished;
+    Equivalence.Distinguished [ stimulus_of_assignment design bits ]
+  | exception (Equiv.Equiv_error _ | Lower.Synth_error _) -> Equivalence.Unknown
+
 let generate ?(config = default_config) design mutants =
+  Trace.with_span "vectorgen" @@ fun () ->
   let runner = Kill.make design mutants in
   let prng = Prng.create config.seed in
   let seq_len = if Check.is_combinational design then 1 else config.sequence_length in
@@ -52,6 +99,7 @@ let generate ?(config = default_config) design mutants =
   do
     let candidate = Stimuli.random_sequence prng design seq_len in
     incr candidates;
+    Metrics.incr c_candidates;
     match Kill.kills_at runner ~alive:!alive candidate with
     | [] -> incr stall
     | detections ->
@@ -60,6 +108,8 @@ let generate ?(config = default_config) design mutants =
          contribute length but no kills. *)
       let last_cycle = List.fold_left (fun acc (_, c) -> max acc c) 0 detections in
       let kept = List.filteri (fun i _ -> i <= last_cycle) candidate in
+      Metrics.incr c_accepted;
+      Metrics.add c_vectors (List.length kept);
       test_set := kept :: !test_set;
       total_vectors := !total_vectors + List.length kept;
       let victims = List.map fst detections in
@@ -70,14 +120,24 @@ let generate ?(config = default_config) design mutants =
   let equivalent = ref [] in
   let unknown = ref [] in
   if config.directed then begin
+    Trace.with_span "equiv" @@ fun () ->
     let mutant_arr = Array.of_list mutants in
+    let combinational_pair (m : Mutant.t) =
+      Check.is_combinational design && Check.is_combinational m.Mutant.design
+    in
     let rec attack = function
       | [] -> ()
       | i :: rest ->
         if List.mem i !killed then attack rest
         else begin
           let m = mutant_arr.(i) in
-          match Equivalence.check design m.Mutant.design with
+          let verdict =
+            match Equivalence.check design m.Mutant.design with
+            | Equivalence.Unknown when config.sat_attack && combinational_pair m ->
+              sat_check design m.Mutant.design
+            | v -> v
+          in
+          match verdict with
           | Equivalence.Equivalent ->
             equivalent := i :: !equivalent;
             attack rest
@@ -86,6 +146,8 @@ let generate ?(config = default_config) design mutants =
             attack rest
           | Equivalence.Distinguished seq ->
             if !total_vectors + List.length seq <= config.max_vectors then begin
+              Metrics.incr c_accepted;
+              Metrics.add c_vectors (List.length seq);
               test_set := seq :: !test_set;
               total_vectors := !total_vectors + List.length seq;
               (* The distinguishing sequence kills [i] by construction
@@ -147,6 +209,9 @@ let generate ?(config = default_config) design mutants =
   let unknown_final =
     List.filter (fun i -> not (List.mem i !equivalent)) not_killed
   in
+  Trace.add_attr "mutants" (string_of_int (Kill.size runner));
+  Trace.add_attr "killed" (string_of_int (List.length (List.sort_uniq Stdlib.compare !killed)));
+  Trace.add_attr "vectors" (string_of_int !total_vectors);
   {
     test_set = !final_test_set;
     killed = List.sort_uniq Stdlib.compare !killed;

@@ -22,6 +22,12 @@ type config = {
   sequence_length : int;  (** cycles per candidate (sequential designs) *)
   max_vectors : int;  (** cap on the total test-set length in cycles *)
   directed : bool;  (** run the directed phase *)
+  sat_attack : bool;
+      (** directed phase only: when the behavioural checker answers
+          Unknown on a combinational pair (too many input bits for the
+          exhaustive sweep), synthesize both designs and run the
+          SAT-based miter ({!Mutsamp_sat.Equiv.check}); a model becomes
+          a one-cycle distinguishing stimulus *)
   minimize : bool;
       (** post-pass: kept sequences are truncated after their last
           useful cycle during generation, and a greedy set cover then
@@ -32,7 +38,7 @@ type config = {
 
 val default_config : config
 (** seed 1, stall 200, sequences of 8 cycles, 4096-cycle cap, directed
-    phase and minimisation on. *)
+    phase, SAT attack and minimisation on. *)
 
 type outcome = {
   test_set : Mutsamp_hdl.Sim.stimulus list list;  (** kept sequences, in order *)

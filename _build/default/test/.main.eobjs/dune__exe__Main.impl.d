@@ -1,1 +1,1 @@
-test/main.ml: Alcotest Test_atpg Test_circuits Test_core Test_extras Test_fault Test_hdl Test_mutation Test_netlist Test_sampling Test_sat Test_synth Test_util Test_validation
+test/main.ml: Alcotest Test_atpg Test_circuits Test_core Test_extras Test_fault Test_hdl Test_mutation Test_netlist Test_obs Test_sampling Test_sat Test_synth Test_util Test_validation

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Fun List Mutsamp_circuits Mutsamp_core Mutsamp_fault Mutsamp_obs Option Printf

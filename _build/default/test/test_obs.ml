@@ -1,0 +1,318 @@
+(* Tests for the observability library: spans, metrics, JSON and run
+   reports, plus the instrumentation wired into the core pipeline. *)
+
+module Trace = Mutsamp_obs.Trace
+module Metrics = Mutsamp_obs.Metrics
+module Json = Mutsamp_obs.Json
+module Runreport = Mutsamp_obs.Runreport
+module Registry = Mutsamp_circuits.Registry
+module Pipeline = Mutsamp_core.Pipeline
+
+(* Every test drives the same process-global collector; start clean and
+   leave it disabled for the rest of the suite. *)
+let with_clean_obs f () =
+  Trace.set_enabled false;
+  Trace.reset ();
+  Metrics.set_enabled false;
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ();
+      Metrics.set_enabled false;
+      Metrics.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_span_nesting () =
+  Trace.set_enabled true;
+  Trace.reset ();
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span "first" (fun () -> ());
+      Trace.with_span "second" ~attrs:[ ("k", "v") ] (fun () ->
+          Trace.with_span "grandchild" (fun () -> ())));
+  match Trace.roots () with
+  | [ outer ] ->
+    Alcotest.(check string) "root name" "outer" outer.Trace.name;
+    Alcotest.(check (list string))
+      "children in open order" [ "first"; "second" ]
+      (List.map (fun (s : Trace.span) -> s.Trace.name) outer.Trace.children);
+    let second = List.nth outer.Trace.children 1 in
+    Alcotest.(check (list string))
+      "nested child" [ "grandchild" ]
+      (List.map (fun (s : Trace.span) -> s.Trace.name) second.Trace.children);
+    Alcotest.(check (list (pair string string)))
+      "attrs kept" [ ("k", "v") ] second.Trace.attrs;
+    Alcotest.(check bool) "durations nest" true
+      (List.for_all
+         (fun (c : Trace.span) -> c.Trace.duration_s <= outer.Trace.duration_s)
+         outer.Trace.children)
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_span_disabled () =
+  (* Disabled collection records nothing and passes values through. *)
+  let v = Trace.with_span "ghost" (fun () -> 42) in
+  Alcotest.(check int) "value passes through" 42 v;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.roots ()))
+
+let test_span_exception () =
+  Trace.set_enabled true;
+  Trace.reset ();
+  (try Trace.with_span "boom" (fun () -> failwith "expected") with
+   | Failure _ -> ());
+  match Trace.roots () with
+  | [ s ] ->
+    Alcotest.(check (list (pair string string)))
+      "error attr" [ ("error", "true") ] s.Trace.attrs
+  | _ -> Alcotest.fail "span not closed on exception"
+
+let test_span_timed () =
+  (* with_span_timed reports elapsed time even while disabled. *)
+  let v, dt = Trace.with_span_timed "t" (fun () -> 7) in
+  Alcotest.(check int) "value" 7 v;
+  Alcotest.(check bool) "non-negative duration" true (dt >= 0.);
+  Alcotest.(check int) "still nothing recorded" 0 (List.length (Trace.roots ()))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters () =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let c = Metrics.counter "test.obs.hits" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 3;
+  Metrics.add_named "test.obs.named" 4;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (option int))
+    "counter total" (Some 5)
+    (List.assoc_opt "test.obs.hits" snap.Metrics.counters);
+  Alcotest.(check (option int))
+    "named counter" (Some 4)
+    (List.assoc_opt "test.obs.named" snap.Metrics.counters)
+
+let test_counters_disabled () =
+  let c = Metrics.counter "test.obs.cold" in
+  Metrics.incr c;
+  Metrics.add c 10;
+  Metrics.observe_named "test.obs.cold_hist" 1.0;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (option int))
+    "no count while disabled" None
+    (List.assoc_opt "test.obs.cold" snap.Metrics.counters);
+  Alcotest.(check bool) "no histogram while disabled" true
+    (not (List.mem_assoc "test.obs.cold_hist" snap.Metrics.histograms))
+
+let test_histograms () =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let h = Metrics.histogram "test.obs.sizes" in
+  List.iter (Metrics.observe h) [ 2.; 8.; 5. ];
+  let snap = Metrics.snapshot () in
+  match List.assoc_opt "test.obs.sizes" snap.Metrics.histograms with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some s ->
+    Alcotest.(check int) "n" 3 s.Metrics.n;
+    Alcotest.(check (float 1e-9)) "sum" 15. s.Metrics.sum;
+    Alcotest.(check (float 1e-9)) "min" 2. s.Metrics.min_v;
+    Alcotest.(check (float 1e-9)) "max" 8. s.Metrics.max_v
+
+let test_metrics_reset () =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let c = Metrics.counter "test.obs.resettable" in
+  Metrics.incr c;
+  Metrics.reset ();
+  Alcotest.(check int) "snapshot empty after reset" 0
+    (List.length (Metrics.snapshot ()).Metrics.counters);
+  (* The handle survives reset and keeps counting. *)
+  Metrics.incr c;
+  Alcotest.(check (option int))
+    "handle still live" (Some 1)
+    (List.assoc_opt "test.obs.resettable" (Metrics.snapshot ()).Metrics.counters)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let golden_json =
+  "{\n\
+  \  \"b\": true,\n\
+  \  \"f\": 1.5,\n\
+  \  \"i\": -3,\n\
+  \  \"l\": [\n\
+  \    1,\n\
+  \    \"two\"\n\
+  \  ],\n\
+  \  \"n\": null,\n\
+  \  \"s\": \"a\\\"b\\\\c\"\n\
+   }\n"
+
+let golden_value =
+  Json.Obj
+    [
+      ("b", Json.Bool true);
+      ("f", Json.Float 1.5);
+      ("i", Json.Int (-3));
+      ("l", Json.List [ Json.Int 1; Json.String "two" ]);
+      ("n", Json.Null);
+      ("s", Json.String "a\"b\\c");
+    ]
+
+let test_json_golden () =
+  (* The printed form is stable — diffs of committed reports stay
+     readable. *)
+  Alcotest.(check string) "golden output" golden_json (Json.to_string golden_value)
+
+let test_json_roundtrip () =
+  match Json.parse (Json.to_string golden_value) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok v -> Alcotest.(check bool) "round trip" true (Json.equal golden_value v)
+
+let test_json_float_roundtrip () =
+  let vals = [ 0.1; -1e-9; 3.141592653589793; 1e300; 2.0 ] in
+  List.iter
+    (fun f ->
+      match Json.parse (Json.to_string (Json.Float f)) with
+      | Ok (Json.Float g) ->
+        Alcotest.(check (float 0.)) (Printf.sprintf "float %h" f) f g
+      | Ok _ -> Alcotest.failf "float %h re-parsed as non-float" f
+      | Error e -> Alcotest.failf "float %h: %s" f e)
+    vals
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2" ]
+
+(* ------------------------------------------------------------------ *)
+(* Run reports                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let sample_report () =
+  Trace.set_enabled true;
+  Trace.reset ();
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Trace.with_span "root" (fun () -> Trace.with_span "child" (fun () -> ()));
+  Metrics.add_named "test.obs.report_counter" 2;
+  Metrics.observe_named "test.obs.report_hist" 1.0;
+  Runreport.make ~command:"test" ~circuits:[ "c17" ] ~seed:7
+    ~spans:(Trace.roots ()) ~metrics:(Metrics.snapshot ()) ()
+
+let test_report_validates () =
+  match Runreport.validate (sample_report ()) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "report should validate: %s" e
+
+let test_report_roundtrip_validates () =
+  let text = Json.to_string (sample_report ()) in
+  match Json.parse text with
+  | Error e -> Alcotest.failf "report text unparsable: %s" e
+  | Ok v ->
+    (match Runreport.validate v with
+     | Ok () -> ()
+     | Error e -> Alcotest.failf "parsed report invalid: %s" e)
+
+let test_report_rejects_bad_schema () =
+  let bad =
+    Json.Obj
+      [
+        ("schema", Json.Int 999);
+        ("tool", Json.String "mutsamp");
+        ("command", Json.String "x");
+        ("spans", Json.List []);
+        ("metrics", Json.Obj [ ("counters", Json.Obj []); ("histograms", Json.Obj []) ]);
+      ]
+  in
+  match Runreport.validate bad with
+  | Ok () -> Alcotest.fail "schema 999 accepted"
+  | Error _ -> ()
+
+let test_report_rejects_malformed_span () =
+  let bad =
+    Json.Obj
+      [
+        ("schema", Json.Int Runreport.schema_version);
+        ("tool", Json.String "mutsamp");
+        ("command", Json.String "x");
+        ("spans", Json.List [ Json.Obj [ ("name", Json.String "s") ] ]);
+        ("metrics", Json.Obj [ ("counters", Json.Obj []); ("histograms", Json.Obj []) ]);
+      ]
+  in
+  match Runreport.validate bad with
+  | Ok () -> Alcotest.fail "span without timing accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline instrumentation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_pipeline_prepare_spans () =
+  Trace.set_enabled true;
+  Trace.reset ();
+  let e = Option.get (Registry.find "c17") in
+  let (_ : Pipeline.t) = Pipeline.prepare (e.Registry.design ()) in
+  match Trace.roots () with
+  | [ prepare ] ->
+    Alcotest.(check string) "root" "prepare" prepare.Trace.name;
+    Alcotest.(check (list string))
+      "phases" [ "synth"; "collapse"; "mutants" ]
+      (List.map (fun (s : Trace.span) -> s.Trace.name) prepare.Trace.children);
+    Alcotest.(check bool) "fault count attr" true
+      (List.mem_assoc "faults" prepare.Trace.attrs)
+  | roots -> Alcotest.failf "expected one root, got %d" (List.length roots)
+
+let test_pipeline_fsim_counters () =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let e = Option.get (Registry.find "c17") in
+  let p = Pipeline.prepare (e.Registry.design ()) in
+  let r = Pipeline.fault_simulate p [| 0b01010; 0b11111; 0b00000; 0b10101 |] in
+  let snap = Metrics.snapshot () in
+  Alcotest.(check (option int))
+    "patterns counted" (Some 4)
+    (List.assoc_opt "fsim.patterns_simulated" snap.Metrics.counters);
+  Alcotest.(check (option int))
+    "detections counted" (Some r.Mutsamp_fault.Fsim.detected)
+    (List.assoc_opt "fsim.faults_detected" snap.Metrics.counters)
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "span nesting" `Quick (with_clean_obs test_span_nesting);
+        Alcotest.test_case "span disabled" `Quick (with_clean_obs test_span_disabled);
+        Alcotest.test_case "span exception" `Quick (with_clean_obs test_span_exception);
+        Alcotest.test_case "span timed" `Quick (with_clean_obs test_span_timed);
+        Alcotest.test_case "counters" `Quick (with_clean_obs test_counters);
+        Alcotest.test_case "counters disabled" `Quick
+          (with_clean_obs test_counters_disabled);
+        Alcotest.test_case "histograms" `Quick (with_clean_obs test_histograms);
+        Alcotest.test_case "metrics reset" `Quick (with_clean_obs test_metrics_reset);
+        Alcotest.test_case "json golden" `Quick test_json_golden;
+        Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "json float roundtrip" `Quick test_json_float_roundtrip;
+        Alcotest.test_case "json parse errors" `Quick test_json_parse_errors;
+        Alcotest.test_case "report validates" `Quick
+          (with_clean_obs test_report_validates);
+        Alcotest.test_case "report roundtrip validates" `Quick
+          (with_clean_obs test_report_roundtrip_validates);
+        Alcotest.test_case "report rejects bad schema" `Quick
+          test_report_rejects_bad_schema;
+        Alcotest.test_case "report rejects malformed span" `Quick
+          test_report_rejects_malformed_span;
+        Alcotest.test_case "pipeline prepare spans" `Quick
+          (with_clean_obs test_pipeline_prepare_spans);
+        Alcotest.test_case "pipeline fsim counters" `Quick
+          (with_clean_obs test_pipeline_fsim_counters);
+      ] );
+  ]

@@ -22,3 +22,8 @@ val default : t
 
 val quick : t
 (** Smaller budgets for demos and CI smoke runs. *)
+
+val to_json : t -> Mutsamp_obs.Json.t
+(** Every field, including the [vector] sub-record — embedded in run
+    reports so a result file pins down the exact configuration that
+    produced it. *)
