@@ -6,6 +6,16 @@ type t = {
   topo : Topo.t;
   values : int array;  (* per net, one word of lanes *)
   state : int array;  (* per net, flip-flop state (unused for others) *)
+  (* Dense fault-forcing scratch for [step_multi]: per-net and per-pin
+     masks live in preallocated arrays (pin slot = gate*2 + pin; gates
+     have at most two fanins). Touched slots are remembered so clearing
+     costs O(#injections), not O(#gates). *)
+  net_mask : int array;
+  net_forced : int array;
+  pin_mask : int array;
+  pin_force : int array;
+  mutable touched_nets : int list;
+  mutable touched_pins : int list;
 }
 
 type injection =
@@ -14,7 +24,18 @@ type injection =
 
 let create nl =
   let n = Array.length nl.Netlist.gates in
-  { nl; topo = Topo.compute nl; values = Array.make n 0; state = Array.make n 0 }
+  {
+    nl;
+    topo = Topo.compute nl;
+    values = Array.make n 0;
+    state = Array.make n 0;
+    net_mask = Array.make n 0;
+    net_forced = Array.make n 0;
+    pin_mask = Array.make (2 * n) 0;
+    pin_force = Array.make (2 * n) 0;
+    touched_nets = [];
+    touched_pins = [];
+  }
 
 let netlist t = t.nl
 
@@ -86,30 +107,29 @@ type lane_injection = {
 }
 
 (* Multi-fault evaluation: per-net and per-pin forcing masks are merged
-   up front, then one pass applies [value = (v land ~mask) lor forced]
-   wherever a mask is set. *)
+   into the preallocated dense scratch arrays, then one pass applies
+   [value = (v land ~mask) lor forced] wherever a mask is set. *)
 let step_multi t inputs ~injections =
   let gates = t.nl.Netlist.gates in
   if Array.length inputs <> Array.length t.nl.Netlist.input_nets then
     invalid_arg "Bitsim.step_multi: input arity mismatch";
-  let n = Array.length gates in
-  let net_mask = Array.make n 0 in
-  let net_forced = Array.make n 0 in
-  let pin_overrides = Hashtbl.create 8 in
+  let net_mask = t.net_mask and net_forced = t.net_forced in
+  let pin_mask = t.pin_mask and pin_force = t.pin_force in
   List.iter
     (fun { inj; lanes; stuck } ->
       let lanes = lanes land all_ones in
       match inj with
       | Net net ->
+        if net_mask.(net) = 0 then t.touched_nets <- net :: t.touched_nets;
         net_mask.(net) <- net_mask.(net) lor lanes;
         net_forced.(net) <-
           (net_forced.(net) land lnot lanes) lor (stuck land lanes)
       | Pin { gate; pin } ->
-        let m0, f0 =
-          Option.value ~default:(0, 0) (Hashtbl.find_opt pin_overrides (gate, pin))
-        in
-        Hashtbl.replace pin_overrides (gate, pin)
-          (m0 lor lanes, (f0 land lnot lanes) lor (stuck land lanes)))
+        let s = (2 * gate) + pin in
+        if pin_mask.(s) = 0 then t.touched_pins <- s :: t.touched_pins;
+        pin_mask.(s) <- pin_mask.(s) lor lanes;
+        pin_force.(s) <-
+          (pin_force.(s) land lnot lanes) lor (stuck land lanes))
     injections;
   let force i v =
     let m = net_mask.(i) in
@@ -131,9 +151,8 @@ let step_multi t inputs ~injections =
       let g = gates.(i) in
       let operand k =
         let v = t.values.(g.Gate.fanins.(k)) in
-        match Hashtbl.find_opt pin_overrides (i, k) with
-        | None -> v
-        | Some (m, f) -> (v land lnot m) lor (f land m)
+        let m = pin_mask.((2 * i) + k) in
+        if m = 0 then v else (v land lnot m) lor (pin_force.((2 * i) + k) land m)
       in
       let a = operand 0 in
       let b = if Array.length g.Gate.fanins > 1 then operand 1 else 0 in
@@ -142,13 +161,17 @@ let step_multi t inputs ~injections =
   Array.iter
     (fun q ->
       let d = gates.(q).Gate.fanins.(0) in
+      let m = pin_mask.(2 * q) in
       let v =
-        match Hashtbl.find_opt pin_overrides (q, 0) with
-        | None -> t.values.(d)
-        | Some (m, f) -> (t.values.(d) land lnot m) lor (f land m)
+        if m = 0 then t.values.(d)
+        else (t.values.(d) land lnot m) lor (pin_force.(2 * q) land m)
       in
       t.state.(q) <- v)
     t.nl.Netlist.dff_nets;
+  List.iter (fun n -> net_mask.(n) <- 0; net_forced.(n) <- 0) t.touched_nets;
+  List.iter (fun s -> pin_mask.(s) <- 0; pin_force.(s) <- 0) t.touched_pins;
+  t.touched_nets <- [];
+  t.touched_pins <- [];
   Array.map (fun (_, net) -> t.values.(net)) t.nl.Netlist.output_list
 
 let net_values t = Array.copy t.values
