@@ -9,6 +9,7 @@
                introduction's claim; the paper shows no table, we do)
      A1      — ablation: MS vs sample rate
      A2      — ablation: serial vs parallel fault simulation
+     throughput — fault-sim pattern x fault pairs per second
      bechamel — one Test.make per table/experiment kernel
 
    `dune exec bench/main.exe` runs the full configuration (a few
@@ -248,7 +249,7 @@ let run_a1 () =
 (* ------------------------------------------------------------------ *)
 
 let run_a2 () =
-  section "A2 (ablation): serial vs 62-lane parallel fault simulation";
+  section "A2 (ablation): serial vs word-parallel fault simulation";
   (* Sequential circuits: serial vs parallel-fault (one fault per lane). *)
   List.iter
     (fun name ->
@@ -335,6 +336,36 @@ let run_a3 () =
     [ "c432" ]
 
 (* ------------------------------------------------------------------ *)
+(* Fault-simulation throughput                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Effective bandwidth of the wide packed-vector kernel: pattern x
+   fault pairs processed per wall-clock second. Detected faults drop
+   out of later passes, so this is a lower bound on raw lane
+   throughput. Returned so the run report can embed the numbers. *)
+let run_throughput () =
+  section "fault-simulation throughput (pattern x fault pairs / s)";
+  List.map
+    (fun name ->
+      let p = pipeline name in
+      let nl = p.Pipeline.netlist in
+      let faults = p.Pipeline.faults in
+      let bits = Array.length nl.Netlist.input_nets in
+      let length = if quick then 496 else 1984 in
+      let patterns = Prpg.uniform_sequence (Prng.create 123) ~bits ~length in
+      let r, dt =
+        Trace.with_span_timed (name ^ " throughput") (fun () ->
+            Fsim.run_combinational nl ~faults ~patterns)
+      in
+      let pairs = float_of_int (List.length faults * length) in
+      let rate = pairs /. Float.max dt 1e-9 in
+      Printf.printf
+        "%s: %d faults x %d patterns in %.3fs -> %.3g pattern-fault pairs/s (coverage %.2f%%)\n%!"
+        name (List.length faults) length dt rate (Fsim.coverage_percent r);
+      (name, rate))
+    [ "c432"; "c499" ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/experiment      *)
 (* ------------------------------------------------------------------ *)
 
@@ -350,11 +381,11 @@ let run_micro () =
   let p432 = pipeline "c432" in
   let nl = p432.Pipeline.netlist in
   let faults = p432.Pipeline.faults in
-  let patterns = Prpg.uniform_sequence (Prng.create 4) ~bits:36 ~length:62 in
+  let patterns = Prpg.uniform_sequence (Prng.create 4) ~bits:36 ~length:63 in
   let mutants = p432.Pipeline.mutants in
   let some_fault = List.nth faults (List.length faults / 2) in
-  (* Table 1's inner loop: one fault-simulation pass of a 62-pattern
-     batch. *)
+  (* Table 1's inner loop: one fault-simulation pass of a single
+     63-lane word batch. *)
   let table1_kernel () = ignore (Fsim.run_combinational nl ~faults ~patterns) in
   (* Table 2's extra work over Table 1: drawing a weighted sample. *)
   let table2_kernel () =
@@ -370,7 +401,7 @@ let run_micro () =
   let a2_parallel () = ignore (Fsim.run_combinational nl ~faults ~patterns) in
   let tests =
     [
-      Test.make ~name:"table1.fault-sim-62-patterns" (Staged.stage table1_kernel);
+      Test.make ~name:"table1.fault-sim-one-word" (Staged.stage table1_kernel);
       Test.make ~name:"table2.weighted-sampling" (Staged.stage table2_kernel);
       Test.make ~name:"e3.podem-one-fault" (Staged.stage e3_kernel);
       Test.make ~name:"a2.serial-fault-sim" (Staged.stage a2_serial);
@@ -411,7 +442,7 @@ let () =
   Trace.set_enabled true;
   Trace.reset ();
   if print_metrics || report_path <> None then Metrics.set_enabled true;
-  let micro =
+  let throughput, micro =
     Trace.with_span "bench" @@ fun () ->
     run_table1 ();
     run_table2 ();
@@ -420,19 +451,23 @@ let () =
     run_a1 ();
     run_a2 ();
     run_a3 ();
-    if not skip_micro then run_micro () else []
+    let throughput = run_throughput () in
+    (throughput, if not skip_micro then run_micro () else [])
   in
   if print_metrics then Format.eprintf "%a@?" Metrics.pp (Metrics.snapshot ());
   (match report_path with
    | None -> ()
    | Some path ->
      let extra =
-       if micro = [] then []
-       else
-         [
-           ( "micro_ns_per_run",
-             Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) micro) );
-         ]
+       ( "fsim_throughput_pairs_per_sec",
+         Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) throughput) )
+       ::
+       (if micro = [] then []
+        else
+          [
+            ( "micro_ns_per_run",
+              Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) micro) );
+          ])
      in
      (try
         Runreport.write_file path

@@ -11,7 +11,9 @@ let () =
   let faults = Fault.full_list nl in
   let prng = Prng.create 7 in
   let n_in = Array.length nl.Mutsamp_netlist.Netlist.input_nets in
-  let sequence = Array.init 64 (fun _ -> Prng.int prng (1 lsl n_in)) in
+  let sequence =
+    Fsim.patterns_of_codes nl (Array.init 64 (fun _ -> Prng.int prng (1 lsl n_in)))
+  in
   (* warmup *)
   ignore (Fsim.run_parallel_fault nl ~faults ~sequence);
   let reps = 40 in

@@ -260,7 +260,8 @@ let faultsim_cmd =
     let bits = Array.length p.Pipeline.netlist.Netlist.input_nets in
     let patterns =
       if lfsr && bits >= 2 && bits <= Prpg.max_lfsr_width then
-        Prpg.lfsr_sequence ~width:bits ~seed ~length
+        Fsim.patterns_of_codes p.Pipeline.netlist
+          (Prpg.lfsr_sequence ~width:bits ~seed ~length)
       else Prpg.uniform_sequence (Prng.create seed) ~bits ~length
     in
     let r = Pipeline.fault_simulate p patterns in
@@ -538,7 +539,10 @@ let sync_cmd =
     let p = Pipeline.prepare (design_of e) in
     let nl = p.Pipeline.netlist in
     let bits = Array.length nl.Netlist.input_nets in
-    let sequence = Prpg.uniform_sequence (Prng.create seed) ~bits ~length in
+    let sequence =
+      Array.map Mutsamp_fault.Pattern.to_code
+        (Prpg.uniform_sequence (Prng.create seed) ~bits ~length)
+    in
     match Mutsamp_netlist.Xsim.synchronizing_length nl ~sequence with
     | Some n ->
       Printf.printf "%s: all %d flip-flops known after %d cycles from the all-X state\n"

@@ -85,7 +85,7 @@ let () =
   Printf.printf "netlist: %d gates, %d collapsed stuck-at faults\n"
     (Netlist.num_logic_gates pipeline.Pipeline.netlist)
     (List.length pipeline.Pipeline.faults);
-  let mutation_codes = Pipeline.codes_of_sequences pipeline outcome.Vectorgen.test_set in
+  let mutation_codes = Pipeline.patterns_of_sequences pipeline outcome.Vectorgen.test_set in
   let mutation_report = Pipeline.fault_simulate pipeline mutation_codes in
   Printf.printf "mutation data -> %.2f%% stuck-at coverage with %d vectors\n"
     (Fsim.coverage_percent mutation_report)

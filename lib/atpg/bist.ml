@@ -1,6 +1,7 @@
 module Netlist = Mutsamp_netlist.Netlist
 module Bitsim = Mutsamp_netlist.Bitsim
 module Fault = Mutsamp_fault.Fault
+module Packvec = Mutsamp_util.Packvec
 
 type signature = int
 
@@ -13,6 +14,15 @@ let misr_step ~width ~taps signature response =
 let misr_signature ~width ~taps responses =
   List.fold_left (fun s r -> misr_step ~width ~taps s r) 0 responses
 
+(* A response wider than one word is absorbed word by word (one MISR
+   clock each); responses of ≤ 63 outputs behave exactly like the
+   plain int fold. *)
+let misr_absorb ~width ~taps signature (response : Packvec.t) =
+  Array.fold_left (fun s w -> misr_step ~width ~taps s w) signature response.Packvec.words
+
+let misr_fold ~width ~taps responses =
+  List.fold_left (fun s r -> misr_absorb ~width ~taps s r) 0 responses
+
 type report = {
   patterns : int;
   good_signature : signature;
@@ -22,29 +32,28 @@ type report = {
   total_faults : int;
 }
 
-let response_word outs =
-  let code = ref 0 in
-  Array.iteri (fun k w -> if w land 1 = 1 then code := !code lor (1 lsl k)) outs;
-  !code
-
 let run ?(misr_width = 16) nl ~faults ~seed ~length =
   if Netlist.num_dffs nl > 0 then
     invalid_arg "Bist.run: sequential netlist (apply Scan.full_scan first)";
   let bits = Array.length nl.Netlist.input_nets in
+  let n_out = Array.length nl.Netlist.output_list in
   let patterns =
     if bits >= 2 && bits <= Prpg.max_lfsr_width then
-      Prpg.lfsr_sequence ~width:bits ~seed ~length
+      Array.map
+        (Packvec.of_code ~width:bits)
+        (Prpg.lfsr_sequence ~width:bits ~seed ~length)
     else Prpg.uniform_sequence (Mutsamp_util.Prng.create seed) ~bits ~length
   in
   let taps = Prpg.lfsr_taps misr_width in
-  let sim = Bitsim.create nl in
-  let words_of code =
-    Array.init bits (fun k -> if (code lsr k) land 1 = 1 then Bitsim.all_ones else 0)
+  let sim = Bitsim.create ~lanes:1 nl in
+  let words_of p =
+    Array.init bits (fun k -> if Packvec.get p k then Bitsim.all_ones else 0)
   in
+  let response outs = Packvec.init n_out (fun k -> outs.(k) land 1 = 1) in
   let good_responses =
-    Array.to_list (Array.map (fun p -> response_word (Bitsim.step sim (words_of p))) patterns)
+    Array.to_list (Array.map (fun p -> response (Bitsim.step sim (words_of p))) patterns)
   in
-  let good_signature = misr_signature ~width:misr_width ~taps good_responses in
+  let good_signature = misr_fold ~width:misr_width ~taps good_responses in
   let signature_detected = ref 0 in
   let comparison_detected = ref 0 in
   let aliased = ref 0 in
@@ -54,12 +63,12 @@ let run ?(misr_width = 16) nl ~faults ~seed ~length =
       let faulty_responses =
         Array.to_list
           (Array.map
-             (fun p -> response_word (Bitsim.step_injected sim (words_of p) ~inj ~stuck))
+             (fun p -> response (Bitsim.step_injected sim (words_of p) ~inj ~stuck))
              patterns)
       in
-      let differs = not (List.equal Int.equal faulty_responses good_responses) in
+      let differs = not (List.equal Packvec.equal faulty_responses good_responses) in
       let sig_differs =
-        misr_signature ~width:misr_width ~taps faulty_responses <> good_signature
+        misr_fold ~width:misr_width ~taps faulty_responses <> good_signature
       in
       if differs then incr comparison_detected;
       if sig_differs then incr signature_detected;

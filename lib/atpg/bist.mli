@@ -17,6 +17,12 @@ val misr_step : width:int -> taps:int list -> signature -> int -> signature
 val misr_signature : width:int -> taps:int list -> int list -> signature
 (** Fold a whole response stream (initial signature 0). *)
 
+val misr_absorb :
+  width:int -> taps:int list -> signature -> Mutsamp_util.Packvec.t -> signature
+(** Absorb a packed response of any output count, one MISR clock per
+    63-bit word — coincides with {!misr_step} on word 0 when the
+    response fits one word. *)
+
 type report = {
   patterns : int;
   good_signature : signature;

@@ -5,7 +5,7 @@ module Fault = Mutsamp_fault.Fault
 module V = Fivevalued
 module Metrics = Mutsamp_obs.Metrics
 
-type result = Test of int | Untestable | Aborted
+type result = Test of Mutsamp_fault.Pattern.t | Untestable | Aborted
 
 type stats = { backtracks : int; implications : int }
 
@@ -217,8 +217,6 @@ exception Abort
 let generate ?(backtrack_limit = 10_000) ?(guided = true) nl fault =
   if Netlist.num_dffs nl > 0 then
     invalid_arg "Podem.generate: sequential netlist (apply Scan.full_scan first)";
-  if Array.length nl.Netlist.input_nets > 62 then
-    invalid_arg "Podem.generate: too many inputs for pattern codes";
   let pi_position = Hashtbl.create 16 in
   Array.iteri (fun pos net -> Hashtbl.replace pi_position net pos) nl.Netlist.input_nets;
   let site_net =
@@ -289,11 +287,10 @@ let generate ?(backtrack_limit = 10_000) ?(guided = true) nl fault =
   let outcome =
     match search () with
     | true ->
-      let code = ref 0 in
-      Array.iteri
-        (fun pos v -> if v = V.One then code := !code lor (1 lsl pos))
-        ctx.pi_value;
-      Test !code
+      Test
+        (Mutsamp_fault.Pattern.init
+           ~inputs:(Array.length ctx.pi_value)
+           (fun pos -> ctx.pi_value.(pos) = V.One))
     | false -> Untestable
     | exception Abort -> Aborted
   in

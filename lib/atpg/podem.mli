@@ -7,7 +7,8 @@
     backtrack budget, [Untestable] is a proof of redundancy. *)
 
 type result =
-  | Test of int  (** pattern code over the netlist's inputs (see {!Mutsamp_fault.Fsim}) *)
+  | Test of Mutsamp_fault.Pattern.t
+      (** pattern over the netlist's inputs (see {!Mutsamp_fault.Fsim}) *)
   | Untestable
   | Aborted  (** backtrack budget exhausted *)
 
@@ -26,5 +27,4 @@ val generate :
     to 10_000; [guided] (default true) enables the SCOAP branching
     heuristics — turning it off reverts to first-X-input/first-frontier
     choices (the A3 ablation). Raises [Invalid_argument] on a
-    sequential netlist (use {!Scan.full_scan} first) or one with more
-    than 62 input bits. *)
+    sequential netlist (use {!Scan.full_scan} first). *)

@@ -1,4 +1,5 @@
 module Prng = Mutsamp_util.Prng
+module Packvec = Mutsamp_util.Packvec
 
 let max_lfsr_width = 48
 
@@ -90,21 +91,20 @@ let lfsr_period_is_maximal ~width =
 
 let weighted_sequence prng ~one_probability ~length =
   let bits = Array.length one_probability in
-  if bits < 1 || bits > 62 then
-    invalid_arg "Prpg.weighted_sequence: profile must cover 1..62 bits";
+  if bits < 1 then invalid_arg "Prpg.weighted_sequence: empty profile";
   Array.init length (fun _ ->
-      let code = ref 0 in
-      Array.iteri
-        (fun k p ->
-          let p = Float.max 0. (Float.min 1. p) in
-          if Prng.float prng < p then code := !code lor (1 lsl k))
-        one_probability;
-      !code)
+      Packvec.init bits (fun k ->
+          let p = Float.max 0. (Float.min 1. one_probability.(k)) in
+          Prng.float prng < p))
 
+(* Widths up to 62 keep the historical one-or-two-draw stream (seeded
+   experiments stay reproducible); wider patterns draw per bit. *)
 let uniform_sequence prng ~bits ~length =
-  if bits < 1 || bits > 62 then invalid_arg "Prpg.uniform_sequence: bits not in 1..62";
-  let draw () =
-    if bits <= 30 then Prng.int prng (1 lsl bits)
-    else (Prng.int prng (1 lsl (bits - 30)) lsl 30) lor Prng.int prng (1 lsl 30)
-  in
-  Array.init length (fun _ -> draw ())
+  if bits < 1 then invalid_arg "Prpg.uniform_sequence: bits not positive";
+  if bits <= 62 then
+    let draw () =
+      if bits <= 30 then Prng.int prng (1 lsl bits)
+      else (Prng.int prng (1 lsl (bits - 30)) lsl 30) lor Prng.int prng (1 lsl 30)
+    in
+    Array.init length (fun _ -> Packvec.of_code ~width:bits (draw ()))
+  else Array.init length (fun _ -> Packvec.init bits (fun _ -> Prng.bool prng))

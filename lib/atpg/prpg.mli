@@ -26,14 +26,17 @@ val lfsr_period_is_maximal : width:int -> bool
     the period. *)
 
 val uniform_sequence :
-  Mutsamp_util.Prng.t -> bits:int -> length:int -> int array
-(** Uniform [bits]-bit codes from the given PRNG (1..62 bits). *)
+  Mutsamp_util.Prng.t -> bits:int -> length:int -> Mutsamp_fault.Pattern.t array
+(** Uniform [bits]-bit patterns from the given PRNG; any positive
+    width. Raises [Invalid_argument] when [bits] is not positive. *)
 
 val weighted_sequence :
-  Mutsamp_util.Prng.t -> one_probability:float array -> length:int -> int array
-(** Weighted random patterns: bit [k] of each code is 1 with
+  Mutsamp_util.Prng.t ->
+  one_probability:float array ->
+  length:int ->
+  Mutsamp_fault.Pattern.t array
+(** Weighted random patterns: bit [k] of each pattern is 1 with
     probability [one_probability.(k)] (clamped to [0,1]) — the
     classical remedy when a circuit's random-pattern-resistant faults
     need biased inputs (wide AND trees want mostly-1 inputs, etc.).
-    Raises [Invalid_argument] when the profile is empty or longer than
-    62 bits. *)
+    Raises [Invalid_argument] when the profile is empty. *)

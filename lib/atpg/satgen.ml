@@ -4,7 +4,7 @@ module Inject = Mutsamp_fault.Inject
 module Fsim = Mutsamp_fault.Fsim
 module Equiv = Mutsamp_sat.Equiv
 
-type result = Test of int | Untestable
+type result = Test of Mutsamp_fault.Pattern.t | Untestable
 
 let generate nl fault =
   if Netlist.num_dffs nl > 0 then
@@ -12,4 +12,4 @@ let generate nl fault =
   let faulty = Inject.apply nl fault in
   match Equiv.check nl faulty with
   | Equiv.Equivalent -> Untestable
-  | Equiv.Counterexample assignment -> Test (Fsim.input_code nl assignment)
+  | Equiv.Counterexample assignment -> Test (Fsim.input_pattern nl assignment)

@@ -7,7 +7,7 @@
     testability for every fault, which the test suite exploits. *)
 
 type result =
-  | Test of int  (** pattern code over the netlist's inputs *)
+  | Test of Mutsamp_fault.Pattern.t  (** pattern over the netlist's inputs *)
   | Untestable
 
 val generate : Mutsamp_netlist.Netlist.t -> Mutsamp_fault.Fault.t -> result

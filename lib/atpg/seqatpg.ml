@@ -4,7 +4,7 @@ module Fsim = Mutsamp_fault.Fsim
 module Equiv = Mutsamp_sat.Equiv
 
 type result =
-  | Test of int array
+  | Test of Mutsamp_fault.Pattern.t array
   | No_test_within of int
 
 let generate ?(max_frames = 8) nl fault =
@@ -16,7 +16,7 @@ let generate ?(max_frames = 8) nl fault =
       match Equiv.check good faulty with
       | Equiv.Equivalent -> try_frames (k + 1)
       | Equiv.Counterexample assignment ->
-        Test (Unroll.codes_of_assignment nl ~frames:k assignment)
+        Test (Unroll.patterns_of_assignment nl ~frames:k assignment)
     end
   in
   try_frames 1

@@ -12,7 +12,8 @@
     the ITC'99 circuits. *)
 
 type result =
-  | Test of int array  (** one input code per cycle, applied from reset *)
+  | Test of Mutsamp_fault.Pattern.t array
+      (** one input pattern per cycle, applied from reset *)
   | No_test_within of int  (** no detecting sequence of ≤ that many frames *)
 
 val generate :
@@ -28,7 +29,7 @@ val generate_set :
   ?max_frames:int ->
   Mutsamp_netlist.Netlist.t ->
   faults:Mutsamp_fault.Fault.t list ->
-  int array list * Mutsamp_fault.Fault.t list
+  Mutsamp_fault.Pattern.t array list * Mutsamp_fault.Fault.t list
 (** Tests for a whole fault list with cross fault dropping (each new
     sequence is fault-simulated against the remaining faults). Returns
     the sequences and the faults left undetected within the frame

@@ -28,7 +28,7 @@ type report = {
   random_patterns : int;
   atpg_calls : int;
   atpg_patterns : int;
-  test_set : int array;
+  test_set : Mutsamp_fault.Pattern.t array;
 }
 
 (* Which of [faults] does [patterns] detect? Returns the undetected
@@ -64,10 +64,10 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
   while
     !stall < random_stall && !random_patterns < random_budget && !remaining <> []
   do
-    let batch = Prpg.uniform_sequence prng ~bits ~length:Bitsim.lanes in
+    let batch = Prpg.uniform_sequence prng ~bits ~length:Bitsim.word_bits in
     let before = List.length !remaining in
     let next = surviving nl !remaining batch in
-    random_patterns := !random_patterns + Bitsim.lanes;
+    random_patterns := !random_patterns + Bitsim.word_bits;
     if List.length next = before then incr stall
     else begin
       stall := 0;

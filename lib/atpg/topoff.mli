@@ -20,7 +20,8 @@ type report = {
   random_patterns : int;
   atpg_calls : int;
   atpg_patterns : int;  (** deterministic vectors added *)
-  test_set : int array;  (** the complete final pattern set, in order *)
+  test_set : Mutsamp_fault.Pattern.t array;
+      (** the complete final pattern set, in order *)
 }
 
 val run :
@@ -31,13 +32,13 @@ val run :
   ?backtrack_limit:int ->
   Mutsamp_netlist.Netlist.t ->
   faults:Mutsamp_fault.Fault.t list ->
-  seed_patterns:int array ->
+  seed_patterns:Mutsamp_fault.Pattern.t array ->
   report
 (** [run nl ~faults ~seed_patterns] executes the three phases on a
     combinational netlist (apply {!Scan.full_scan} first for sequential
     designs).
 
-    The random phase draws batches of 62 uniform patterns and stops
+    The random phase draws batches of 63 uniform patterns and stops
     after [random_stall] consecutive batches with no new detection or
     when [random_budget] patterns have been applied (defaults: 4 and
     4096). Every deterministic test is fault-simulated against the

@@ -94,18 +94,14 @@ let expand ?fault ~frames (nl : Netlist.t) =
   done;
   B.finalize b
 
-let codes_of_assignment (nl : Netlist.t) ~frames assignment =
+let patterns_of_assignment (nl : Netlist.t) ~frames assignment =
   Array.init frames (fun f ->
-      let code = ref 0 in
-      Array.iteri
-        (fun k net ->
+      Mutsamp_fault.Pattern.init ~inputs:(Array.length nl.input_nets) (fun k ->
           let name =
-            match nl.gates.(net).Gate.kind with
+            match nl.gates.(nl.input_nets.(k)).Gate.kind with
             | Gate.Pi name -> name
             | _ -> assert false
           in
           match List.assoc_opt (frame_input_name name f) assignment with
-          | Some true -> code := !code lor (1 lsl k)
-          | Some false | None -> ())
-        nl.input_nets;
-      !code)
+          | Some v -> v
+          | None -> false))

@@ -25,8 +25,11 @@ val expand :
     nets/pins of the ORIGINAL netlist. Combinational netlists unroll
     too (frames are then independent copies). *)
 
-val codes_of_assignment :
-  Mutsamp_netlist.Netlist.t -> frames:int -> (string * bool) list -> int array
+val patterns_of_assignment :
+  Mutsamp_netlist.Netlist.t ->
+  frames:int ->
+  (string * bool) list ->
+  Mutsamp_fault.Pattern.t array
 (** Decode a per-frame-input assignment (as produced by the SAT miter's
-    counterexample on an expanded pair) into one pattern code per frame
-    of the original netlist. Missing inputs default to 0. *)
+    counterexample on an expanded pair) into one pattern per frame of
+    the original netlist. Missing inputs default to 0. *)

@@ -83,6 +83,13 @@ let all =
       in_paper = true;
       design = C499.design;
     };
+    {
+      name = "wide128";
+      description = "128-input parity/OR reduction (wide-vector stress, synthetic)";
+      kind = Combinational;
+      in_paper = false;
+      design = Wide.design_128;
+    };
   ]
 
 let paper_benchmarks = List.filter (fun e -> e.in_paper) all

@@ -11,7 +11,7 @@ type entry = {
 }
 
 val all : entry list
-(** b01, b02, b03, b06, c17, c432, c499 — deterministic order. *)
+(** b01, b02, b03, b06, c17, c432, c499, wide128, … — deterministic order. *)
 
 val paper_benchmarks : entry list
 (** The four circuits of the paper's tables: b01, b03, c432, c499. *)

@@ -1,0 +1,33 @@
+(* Synthetic wide-input combinational circuit: an n-input parity chain
+   plus an n-input OR reduction.  Exists to exercise the >62-input
+   simulation paths (multi-word packed vectors); not from the paper. *)
+
+let source n =
+  if n < 3 then invalid_arg "Wide.source: need at least 3 inputs";
+  let b = Buffer.create 8192 in
+  Printf.bprintf b "design wide%d is\n" n;
+  for i = 0 to n - 1 do
+    Printf.bprintf b "  input i%d : bit;\n" i
+  done;
+  Buffer.add_string b "  output parity : bit;\n";
+  Buffer.add_string b "  output anyhigh : bit;\n";
+  for i = 1 to n - 2 do
+    Printf.bprintf b "  var p%d : bit;\n" i;
+    Printf.bprintf b "  var r%d : bit;\n" i
+  done;
+  Buffer.add_string b "begin\n";
+  Printf.bprintf b "  p1 := i0 xor i1;\n";
+  Printf.bprintf b "  r1 := i0 or i1;\n";
+  for i = 2 to n - 2 do
+    Printf.bprintf b "  p%d := p%d xor i%d;\n" i (i - 1) i;
+    Printf.bprintf b "  r%d := r%d or i%d;\n" i (i - 1) i
+  done;
+  Printf.bprintf b "  parity := p%d xor i%d;\n" (n - 2) (n - 1);
+  Printf.bprintf b "  anyhigh := r%d or i%d;\n" (n - 2) (n - 1);
+  Buffer.add_string b "end design;\n";
+  Buffer.contents b
+
+let design n () =
+  Mutsamp_hdl.Check.elaborate (Mutsamp_hdl.Parser.design_of_string (source n))
+
+let design_128 = design 128

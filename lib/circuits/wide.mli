@@ -1,0 +1,17 @@
+(** Synthetic wide-input circuits for >62-input simulation coverage.
+
+    [wide{n}] has [n] primary inputs and two outputs: [parity] (XOR
+    chain over all inputs) and [anyhigh] (OR reduction).  Every gate
+    fault on the parity chain is randomly testable, so fault coverage
+    is nonzero under any sampled pattern set.  Not part of the paper's
+    benchmark tables. *)
+
+val source : int -> string
+(** HDL source text for an [n]-input instance.  Raises
+    [Invalid_argument] for [n < 3]. *)
+
+val design : int -> unit -> Mutsamp_hdl.Ast.design
+(** Elaborated design, built on demand. *)
+
+val design_128 : unit -> Mutsamp_hdl.Ast.design
+(** The registered 128-input instance. *)

@@ -35,7 +35,7 @@ let measure_against_random (config : Config.t) pipeline ~label mutant_subset =
   let outcome =
     Vectorgen.generate ~config:vector_config pipeline.Pipeline.design mutant_subset
   in
-  let mutation_codes = Pipeline.codes_of_sequences pipeline outcome.Vectorgen.test_set in
+  let mutation_codes = Pipeline.patterns_of_sequences pipeline outcome.Vectorgen.test_set in
   let random_length =
     max
       (config.Config.random_multiplier * Array.length mutation_codes)
@@ -178,9 +178,9 @@ let sampling_comparison ?(config = Config.default) pipeline ~name ~weights
     run_strategy_data config pipeline ~name
       ~strategy:(Strategy.Operator_weighted weights) ~strategy_name:"oriented"
   in
-  let random_codes = Pipeline.codes_of_sequences pipeline random_outcome.Vectorgen.test_set in
+  let random_codes = Pipeline.patterns_of_sequences pipeline random_outcome.Vectorgen.test_set in
   let oriented_codes =
-    Pipeline.codes_of_sequences pipeline oriented_outcome.Vectorgen.test_set
+    Pipeline.patterns_of_sequences pipeline oriented_outcome.Vectorgen.test_set
   in
   (* One shared pseudo-random baseline judges both strategies, sized by
      the longer of the two validation sets. *)
@@ -275,7 +275,7 @@ let atpg_effort ?(config = Config.default) ?(engine = Topoff.Use_podem) pipeline
     else pipeline.Pipeline.netlist
   in
   let faults = (Collapse.run scanned).Collapse.representatives in
-  let mutation_seed = Pipeline.scan_codes_of_sequences pipeline mutation_sequences in
+  let mutation_seed = Pipeline.scan_patterns_of_sequences pipeline mutation_sequences in
   let bits = Array.length scanned.Netlist.input_nets in
   let random_seed_patterns =
     Prpg.uniform_sequence

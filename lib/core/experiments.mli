@@ -119,7 +119,7 @@ val atpg_effort :
   mutation_sequences:Mutsamp_hdl.Sim.stimulus list list ->
   atpg_row list
 (** Sequential circuits are full-scanned; the mutation seed is replayed
-    into scan patterns with {!Pipeline.scan_codes_of_sequences}. The
+    into scan patterns with {!Pipeline.scan_patterns_of_sequences}. The
     random seed has the same length as the mutation seed. [engine]
     defaults to PODEM; use [Use_sat] for XOR-dominated circuits
     (e.g. c499) where PODEM's search degenerates. *)

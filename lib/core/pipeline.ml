@@ -54,21 +54,21 @@ let prepare design =
     sequential = not (Check.is_combinational design);
   }
 
-let code_of_stimulus t stimulus =
+let pattern_of_stimulus t stimulus =
   let bits =
     List.concat_map
       (fun (dc : Ast.decl) ->
         match List.assoc_opt dc.name stimulus with
-        | None -> invalid_arg ("Pipeline.code_of_stimulus: missing input " ^ dc.name)
+        | None -> invalid_arg ("Pipeline.pattern_of_stimulus: missing input " ^ dc.name)
         | Some bv ->
           List.init dc.width (fun i ->
               (Lower.bit_name dc.name dc.width i, Bitvec.bit bv i)))
       (Ast.inputs t.design)
   in
-  Fsim.input_code t.netlist bits
+  Fsim.input_pattern t.netlist bits
 
-let codes_of_sequences t sequences =
-  Array.of_list (List.map (code_of_stimulus t) (List.concat sequences))
+let patterns_of_sequences t sequences =
+  Array.of_list (List.map (pattern_of_stimulus t) (List.concat sequences))
 
 let fault_simulate t sequence =
   Trace.with_span "fsim" @@ fun () ->
@@ -78,27 +78,29 @@ let fault_simulate t sequence =
     (Printf.sprintf "%d/%d" r.Fsim.detected r.Fsim.total);
   r
 
-let scan_codes_of_sequences t sequences =
-  if not t.sequential then codes_of_sequences t sequences
+let scan_patterns_of_sequences t sequences =
+  if not t.sequential then patterns_of_sequences t sequences
   else begin
-    let sim = Bitsim.create t.netlist in
+    let sim = Bitsim.create ~lanes:1 t.netlist in
     Bitsim.reset sim;
     let n_in = Array.length t.netlist.Netlist.input_nets in
-    let codes = ref [] in
+    let n_dffs = Array.length t.netlist.Netlist.dff_nets in
+    let patterns = ref [] in
     List.iter
       (fun stim ->
         let state = Bitsim.dff_states sim in
-        let pi_code = code_of_stimulus t stim in
+        let pi = pattern_of_stimulus t stim in
         (* Scan pattern layout matches Scan.full_scan: original inputs
            first, then the flip-flops in dff_nets order. *)
-        let code = ref pi_code in
-        Array.iteri
-          (fun k word -> if word land 1 = 1 then code := !code lor (1 lsl (n_in + k)))
-          state;
-        codes := !code :: !codes;
+        let p =
+          Mutsamp_fault.Pattern.init ~inputs:(n_in + n_dffs) (fun k ->
+              if k < n_in then Mutsamp_fault.Pattern.get pi k
+              else state.(k - n_in) land 1 = 1)
+        in
+        patterns := p :: !patterns;
         ignore (Bitsim.step sim (Mapping.pack_stimulus t.mapping stim)))
       (List.concat sequences);
-    Array.of_list (List.rev !codes)
+    Array.of_list (List.rev !patterns)
   end
 
 let classify_equivalents ?(screen = 512) ?on_progress ~seed t =

@@ -16,26 +16,27 @@ type t = {
 val prepare : Mutsamp_hdl.Ast.design -> t
 (** Synthesise, collapse faults, enumerate mutants. *)
 
-val code_of_stimulus : t -> Mutsamp_hdl.Sim.stimulus -> int
-(** Pattern code over the netlist's bit-level inputs. *)
+val pattern_of_stimulus : t -> Mutsamp_hdl.Sim.stimulus -> Mutsamp_fault.Pattern.t
+(** Pattern over the netlist's bit-level inputs. *)
 
-val codes_of_sequences : t -> Mutsamp_hdl.Sim.stimulus list list -> int array
+val patterns_of_sequences :
+  t -> Mutsamp_hdl.Sim.stimulus list list -> Mutsamp_fault.Pattern.t array
 (** Concatenate validation sequences into one structural test sequence
     (applied from reset; sequence boundaries are not reset — the
     standard single-sequence test-application model, noted in
     DESIGN.md). *)
 
-val fault_simulate : t -> int array -> Mutsamp_fault.Fsim.report
+val fault_simulate : t -> Mutsamp_fault.Pattern.t array -> Mutsamp_fault.Fsim.report
 (** Parallel-pattern engine for combinational circuits, serial engine
     from reset for sequential ones, over the collapsed fault list. *)
 
-val scan_codes_of_sequences :
-  t -> Mutsamp_hdl.Sim.stimulus list list -> int array
+val scan_patterns_of_sequences :
+  t -> Mutsamp_hdl.Sim.stimulus list list -> Mutsamp_fault.Pattern.t array
 (** Replay the sequences on the netlist and emit one full-scan pattern
     per cycle (primary inputs plus the state the cycle starts from) —
     the seed format for {!Mutsamp_atpg.Topoff} on scanned sequential
     circuits. For combinational circuits this equals
-    {!codes_of_sequences}. *)
+    {!patterns_of_sequences}. *)
 
 val classify_equivalents :
   ?screen:int ->

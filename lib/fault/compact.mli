@@ -15,11 +15,11 @@
 val reverse_order :
   Mutsamp_netlist.Netlist.t ->
   faults:Fault.t list ->
-  patterns:int array ->
-  int array
+  patterns:Pattern.t array ->
+  Pattern.t array
 
 val greedy_cover :
   Mutsamp_netlist.Netlist.t ->
   faults:Fault.t list ->
-  patterns:int array ->
-  int array
+  patterns:Pattern.t array ->
+  Pattern.t array

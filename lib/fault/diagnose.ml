@@ -1,22 +1,23 @@
 module Netlist = Mutsamp_netlist.Netlist
 module Bitsim = Mutsamp_netlist.Bitsim
+module Packvec = Mutsamp_util.Packvec
 
-type observation = { pattern : int; response : int }
+type observation = { pattern : Pattern.t; response : Packvec.t }
 
 type verdict = { fault : Fault.t; matches : int; explains : bool }
 
-let words_of_code nl code =
+(* Single-lane simulation: one word per net, the pattern replicated. *)
+let words_of_pattern nl p =
   Array.init (Array.length nl.Netlist.input_nets) (fun k ->
-      if (code lsr k) land 1 = 1 then Bitsim.all_ones else 0)
+      if Packvec.get p k then Bitsim.all_ones else 0)
 
+(* Lane 0 of every output word, packed output-index-first. *)
 let response_of_outputs outs =
-  let code = ref 0 in
-  Array.iteri (fun k w -> if w land 1 = 1 then code := !code lor (1 lsl k)) outs;
-  !code
+  Packvec.init (Array.length outs) (fun k -> outs.(k) land 1 = 1)
 
-let simulate_response nl fault code =
-  let sim = Bitsim.create nl in
-  let words = words_of_code nl code in
+let simulate_response nl fault p =
+  let sim = Bitsim.create ~lanes:1 nl in
+  let words = words_of_pattern nl p in
   let outs =
     match fault with
     | None -> Bitsim.step sim words
@@ -28,7 +29,7 @@ let simulate_response nl fault code =
 let rank nl ~candidates ~observations =
   if observations = [] then invalid_arg "Diagnose.rank: no observations";
   if Netlist.num_dffs nl > 0 then invalid_arg "Diagnose.rank: sequential netlist";
-  let sim = Bitsim.create nl in
+  let sim = Bitsim.create ~lanes:1 nl in
   let n_obs = List.length observations in
   let verdicts =
     List.map
@@ -37,10 +38,10 @@ let rank nl ~candidates ~observations =
           List.fold_left
             (fun acc { pattern; response } ->
               let outs =
-                Bitsim.step_injected sim (words_of_code nl pattern)
+                Bitsim.step_injected sim (words_of_pattern nl pattern)
                   ~inj:(Fault.injection f) ~stuck:(Fault.stuck_word f)
               in
-              if response_of_outputs outs = response then acc + 1 else acc)
+              if Packvec.equal (response_of_outputs outs) response then acc + 1 else acc)
             0 observations
         in
         { fault = f; matches; explains = matches = n_obs })
@@ -54,22 +55,22 @@ let perfect_matches nl ~candidates ~observations =
   |> List.map (fun v -> v.fault)
 
 type dictionary = {
-  dict_patterns : int array;
-  entries : (Fault.t * int array) array;  (* fault, response per pattern *)
+  dict_patterns : Pattern.t array;
+  entries : (Fault.t * Packvec.t array) array;  (* fault, response per pattern *)
 }
 
 let build nl ~candidates ~patterns =
   if Netlist.num_dffs nl > 0 then invalid_arg "Diagnose.build: sequential netlist";
-  let sim = Bitsim.create nl in
+  let sim = Bitsim.create ~lanes:1 nl in
   let entries =
     Array.of_list
       (List.map
          (fun f ->
            let responses =
              Array.map
-               (fun code ->
+               (fun p ->
                  let outs =
-                   Bitsim.step_injected sim (words_of_code nl code)
+                   Bitsim.step_injected sim (words_of_pattern nl p)
                      ~inj:(Fault.injection f) ~stuck:(Fault.stuck_word f)
                  in
                  response_of_outputs outs)
@@ -78,12 +79,13 @@ let build nl ~candidates ~patterns =
            (f, responses))
          candidates)
   in
-  { dict_patterns = Array.copy patterns; entries }
+  { dict_patterns = Array.map Pattern.copy patterns; entries }
 
-let dictionary_patterns d = Array.copy d.dict_patterns
+let dictionary_patterns d = Array.map Pattern.copy d.dict_patterns
 
 let lookup d ~responses =
   if Array.length responses <> Array.length d.dict_patterns then
     invalid_arg "Diagnose.lookup: response count does not match dictionary";
   Array.to_list d.entries
-  |> List.filter_map (fun (f, stored) -> if stored = responses then Some f else None)
+  |> List.filter_map (fun (f, stored) ->
+         if Array.for_all2 Packvec.equal stored responses then Some f else None)

@@ -9,8 +9,9 @@
     is not a perfect single stuck-at). *)
 
 type observation = {
-  pattern : int;  (** input code, as in {!Fsim} *)
-  response : int;  (** observed output bits, output k in bit k *)
+  pattern : Pattern.t;  (** input pattern, as in {!Fsim} *)
+  response : Mutsamp_util.Packvec.t;
+      (** observed output bits, output [k] in bit [k] of the vector *)
 }
 
 type verdict = {
@@ -19,9 +20,10 @@ type verdict = {
   explains : bool;  (** matches every observation *)
 }
 
-val simulate_response : Mutsamp_netlist.Netlist.t -> Fault.t option -> int -> int
-(** Response code of the (faulty) circuit on one pattern; [None]
-    simulates the good machine. *)
+val simulate_response :
+  Mutsamp_netlist.Netlist.t -> Fault.t option -> Pattern.t -> Mutsamp_util.Packvec.t
+(** Response of the (faulty) circuit on one pattern; [None] simulates
+    the good machine. *)
 
 val rank :
   Mutsamp_netlist.Netlist.t ->
@@ -51,12 +53,12 @@ type dictionary
 val build :
   Mutsamp_netlist.Netlist.t ->
   candidates:Fault.t list ->
-  patterns:int array ->
+  patterns:Pattern.t array ->
   dictionary
 
-val dictionary_patterns : dictionary -> int array
+val dictionary_patterns : dictionary -> Pattern.t array
 
-val lookup : dictionary -> responses:int array -> Fault.t list
+val lookup : dictionary -> responses:Mutsamp_util.Packvec.t array -> Fault.t list
 (** Candidates whose stored responses equal [responses] (one observed
     response per dictionary pattern, same order). Raises
     [Invalid_argument] on a length mismatch. Equivalent to

@@ -1,5 +1,6 @@
 module Netlist = Mutsamp_netlist.Netlist
 module Bitsim = Mutsamp_netlist.Bitsim
+module Packvec = Mutsamp_util.Packvec
 module Metrics = Mutsamp_obs.Metrics
 
 (* Observability series (no-ops unless metrics collection is on). *)
@@ -9,7 +10,8 @@ let c_detected = Metrics.counter "fsim.faults_detected"
 let c_batches = Metrics.counter "fsim.pattern_batches"
 let c_machine_steps = Metrics.counter "fsim.machine_steps"
 let c_serial_cycles = Metrics.counter "fsim.serial_cycles"
-let c_pf_groups = Metrics.counter "fsim.parallel_fault_groups"
+let c_fault_groups = Metrics.counter "fsim.fault_groups"
+let h_lanes_per_step = Metrics.histogram "fsim.lanes_per_step"
 
 type detection = { fault : Fault.t; detected_at : int option }
 
@@ -58,46 +60,71 @@ let length_to_reach r target =
   in
   scan (coverage_curve r)
 
-(* Spread a pattern code over the per-input words: lane [lane] of input
-   [k] receives bit [k] of the code. *)
-let pack_patterns nl (patterns : int array) lo len =
+let check_width nl op (p : Pattern.t) =
+  if Packvec.width p <> Array.length nl.Netlist.input_nets then
+    invalid_arg
+      (Printf.sprintf "Fsim.%s: pattern width %d does not match %d inputs" op
+         (Packvec.width p) (Array.length nl.Netlist.input_nets))
+
+(* Spread [len] patterns over the per-input lane words: lane [l] of
+   input [k] receives bit [k] of pattern [lo + l]. *)
+let pack_patterns nl nw (patterns : Pattern.t array) lo len =
   let n_in = Array.length nl.Netlist.input_nets in
-  let words = Array.make n_in 0 in
-  for lane = 0 to len - 1 do
-    let code = patterns.(lo + lane) in
+  let words = Array.make (n_in * nw) 0 in
+  for l = 0 to len - 1 do
+    let p = patterns.(lo + l) in
+    check_width nl "run_combinational" p;
+    let j = l / Bitsim.word_bits and b = l mod Bitsim.word_bits in
     for k = 0 to n_in - 1 do
-      if (code lsr k) land 1 = 1 then words.(k) <- words.(k) lor (1 lsl lane)
+      if Packvec.get p k then
+        words.((k * nw) + j) <- words.((k * nw) + j) lor (1 lsl b)
     done
   done;
   words
 
-let replicate_code nl code =
-  Array.init (Array.length nl.Netlist.input_nets) (fun k ->
-      if (code lsr k) land 1 = 1 then Bitsim.all_ones else 0)
+(* All lanes carry the same pattern. *)
+let replicate_pattern nl nw (p : Pattern.t) =
+  check_width nl "replicate" p;
+  let n_in = Array.length nl.Netlist.input_nets in
+  Array.init (n_in * nw) (fun idx ->
+      if Packvec.get p (idx / nw) then Bitsim.all_ones else 0)
 
-let run_combinational nl ~faults ~patterns =
+(* Mask of valid lanes in word [j] when only [len] lanes are in use. *)
+let word_lane_mask len j =
+  let lo = j * Bitsim.word_bits in
+  if len >= lo + Bitsim.word_bits then -1
+  else if len <= lo then 0
+  else (1 lsl (len - lo)) - 1
+
+let lowest_bit w =
+  let rec go k = if (w lsr k) land 1 = 1 then k else go (k + 1) in
+  go 0
+
+let run_combinational ?lanes nl ~faults ~patterns =
   if Netlist.num_dffs nl > 0 then
     invalid_arg "Fsim.run_combinational: netlist has flip-flops";
-  if Array.length nl.Netlist.input_nets > Bitsim.lanes then
-    invalid_arg "Fsim.run_combinational: too many input bits for pattern codes";
   let faults = Array.of_list faults in
   let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
   let alive = Array.init (Array.length faults) (fun i -> i) in
   let alive_count = ref (Array.length faults) in
-  let sim = Bitsim.create nl in
+  let sim = Bitsim.create ?lanes nl in
+  let w = Bitsim.lanes sim in
+  let nw = Bitsim.words_per_net sim in
+  let n_out = Array.length nl.Netlist.output_list in
   let n_pat = Array.length patterns in
-  let batches = (n_pat + Bitsim.lanes - 1) / Bitsim.lanes in
+  let batches = (n_pat + w - 1) / w in
   let batch = ref 0 in
+  let diff = Array.make nw 0 in
   Metrics.incr c_runs;
   while !batch < batches && !alive_count > 0 do
-    let lo = !batch * Bitsim.lanes in
-    let len = min Bitsim.lanes (n_pat - lo) in
-    let words = pack_patterns nl patterns lo len in
-    let lane_mask = if len = Bitsim.lanes then Bitsim.all_ones else (1 lsl len) - 1 in
+    let lo = !batch * w in
+    let len = min w (n_pat - lo) in
+    let words = pack_patterns nl nw patterns lo len in
     let good = Bitsim.step sim words in
     Metrics.incr c_batches;
     Metrics.add c_patterns len;
     Metrics.incr c_machine_steps;
+    Metrics.observe h_lanes_per_step (float_of_int len);
     let k = ref 0 in
     while !k < !alive_count do
       let fi = alive.(!k) in
@@ -106,14 +133,21 @@ let run_combinational nl ~faults ~patterns =
         Bitsim.step_injected sim words ~inj:(Fault.injection f) ~stuck:(Fault.stuck_word f)
       in
       Metrics.incr c_machine_steps;
-      let diff = ref 0 in
-      Array.iteri (fun o w -> diff := !diff lor (w lxor good.(o))) faulty;
-      let diff = !diff land lane_mask in
-      if diff <> 0 then begin
-        (* First detecting lane = lowest set bit. *)
-        let rec lowest bit = if (diff lsr bit) land 1 = 1 then bit else lowest (bit + 1) in
-        let lane = lowest 0 in
-        detections.(fi) <- { detections.(fi) with detected_at = Some (lo + lane) };
+      Array.fill diff 0 nw 0;
+      for o = 0 to n_out - 1 do
+        for j = 0 to nw - 1 do
+          diff.(j) <- diff.(j) lor (faulty.((o * nw) + j) lxor good.((o * nw) + j))
+        done
+      done;
+      let first = ref (-1) in
+      for j = 0 to nw - 1 do
+        if !first < 0 then begin
+          let d = diff.(j) land word_lane_mask len j in
+          if d <> 0 then first := (j * Bitsim.word_bits) + lowest_bit d
+        end
+      done;
+      if !first >= 0 then begin
+        detections.(fi) <- { detections.(fi) with detected_at = Some (lo + !first) };
         (* Drop: swap with the last alive fault. *)
         alive_count := !alive_count - 1;
         alive.(!k) <- alive.(!alive_count);
@@ -131,26 +165,24 @@ let run_combinational nl ~faults ~patterns =
     patterns_applied = n_pat;
   }
 
+(* Serial single-lane engine, kept as the reference implementation the
+   differential property tests compare the wide engines against. *)
 let run_sequential ?on_progress nl ~faults ~sequence =
-  if Array.length nl.Netlist.input_nets > Bitsim.lanes then
-    invalid_arg "Fsim.run_sequential: too many input bits for pattern codes";
   let faults = Array.of_list faults in
   let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
   Metrics.incr c_runs;
   Metrics.add c_patterns (Array.length sequence);
-  let sim_good = Bitsim.create nl in
+  let sim_good = Bitsim.create ~lanes:1 nl in
   Bitsim.reset sim_good;
   let good_outputs =
-    Array.map
-      (fun code -> Bitsim.step sim_good (replicate_code nl code))
-      sequence
+    Array.map (fun p -> Bitsim.step sim_good (replicate_pattern nl 1 p)) sequence
   in
   Metrics.add c_serial_cycles (Array.length sequence);
   let total_faults = Array.length faults in
   let progress done_ =
     match on_progress with Some f -> f ~done_ ~total:total_faults | None -> ()
   in
-  let sim_faulty = Bitsim.create nl in
+  let sim_faulty = Bitsim.create ~lanes:1 nl in
   Array.iteri
     (fun fi f ->
       Bitsim.reset sim_faulty;
@@ -160,7 +192,7 @@ let run_sequential ?on_progress nl ~faults ~sequence =
       let rec cycle c =
         if c < Array.length sequence then begin
           let faulty =
-            Bitsim.step_injected sim_faulty (replicate_code nl sequence.(c)) ~inj ~stuck
+            Bitsim.step_injected sim_faulty (replicate_pattern nl 1 sequence.(c)) ~inj ~stuck
           in
           Metrics.incr c_serial_cycles;
           Metrics.incr c_machine_steps;
@@ -185,46 +217,52 @@ let run_sequential ?on_progress nl ~faults ~sequence =
     patterns_applied = Array.length sequence;
   }
 
-let run_parallel_fault nl ~faults ~sequence =
-  if Array.length nl.Netlist.input_nets > Bitsim.lanes then
-    invalid_arg "Fsim.run_parallel_fault: too many input bits for pattern codes";
+let run_parallel_fault ?lanes nl ~faults ~sequence =
   let faults = Array.of_list faults in
   let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
-  let group_size = Bitsim.lanes - 1 in
+  let sim = Bitsim.create ?lanes nl in
+  let w = Bitsim.lanes sim in
+  let nw = Bitsim.words_per_net sim in
+  let n_out = Array.length nl.Netlist.output_list in
+  let group_size = w - 1 in
+  if group_size < 1 then invalid_arg "Fsim.run_parallel_fault: needs at least 2 lanes";
   let n_groups = (Array.length faults + group_size - 1) / group_size in
-  let sim = Bitsim.create nl in
   Metrics.incr c_runs;
   Metrics.add c_patterns (Array.length sequence);
+  let diff = Array.make nw 0 in
   for g = 0 to n_groups - 1 do
-    Metrics.incr c_pf_groups;
+    Metrics.incr c_fault_groups;
     let lo = g * group_size in
     let len = min group_size (Array.length faults - lo) in
     let injections =
       List.init len (fun j ->
           let f = faults.(lo + j) in
-          {
-            Bitsim.inj = Fault.injection f;
-            lanes = 1 lsl (j + 1);
-            stuck = Fault.stuck_word f;
-          })
+          let lane = j + 1 in
+          let mask = Array.make nw 0 in
+          mask.(lane / Bitsim.word_bits) <- 1 lsl (lane mod Bitsim.word_bits);
+          { Bitsim.inj = Fault.injection f; lanes = mask; stuck = Fault.stuck_word f })
     in
     Bitsim.reset sim;
     let cycle = ref 0 in
     let n_cycles = Array.length sequence in
     while !cycle < n_cycles do
       let outs =
-        Bitsim.step_multi sim (replicate_code nl sequence.(!cycle)) ~injections
+        Bitsim.step_multi sim (replicate_pattern nl nw sequence.(!cycle)) ~injections
       in
       Metrics.incr c_machine_steps;
+      Metrics.observe h_lanes_per_step (float_of_int (len + 1));
       (* Lanes whose outputs differ from lane 0's value. *)
-      let diff = ref 0 in
-      Array.iter
-        (fun w ->
-          let good = -(w land 1) land Bitsim.all_ones in
-          diff := !diff lor (w lxor good))
-        outs;
+      Array.fill diff 0 nw 0;
+      for o = 0 to n_out - 1 do
+        let good = -(outs.(o * nw) land 1) in
+        for j = 0 to nw - 1 do
+          diff.(j) <- diff.(j) lor (outs.((o * nw) + j) lxor good)
+        done
+      done;
       for j = 0 to len - 1 do
-        if (!diff lsr (j + 1)) land 1 = 1 then begin
+        let lane = j + 1 in
+        if (diff.(lane / Bitsim.word_bits) lsr (lane mod Bitsim.word_bits)) land 1 = 1
+        then begin
           let fi = lo + j in
           match detections.(fi).detected_at with
           | None -> detections.(fi) <- { detections.(fi) with detected_at = Some !cycle }
@@ -247,17 +285,13 @@ let run_parallel_fault nl ~faults ~sequence =
     patterns_applied = Array.length sequence;
   }
 
-let run_auto nl ~faults ~sequence =
-  if Netlist.num_dffs nl = 0 then run_combinational nl ~faults ~patterns:sequence
-  else run_parallel_fault nl ~faults ~sequence
+let run_auto ?lanes nl ~faults ~sequence =
+  if Netlist.num_dffs nl = 0 then run_combinational ?lanes nl ~faults ~patterns:sequence
+  else run_parallel_fault ?lanes nl ~faults ~sequence
 
-let input_code nl bits =
-  let names = Netlist.input_names nl in
-  let code = ref 0 in
-  Array.iteri
-    (fun k name ->
-      match List.assoc_opt name bits with
-      | Some true -> code := !code lor (1 lsl k)
-      | Some false | None -> ())
-    names;
-  !code
+let input_pattern = Pattern.of_bits
+
+let pattern_of_code nl code =
+  Pattern.of_code ~inputs:(Array.length nl.Netlist.input_nets) code
+
+let patterns_of_codes nl codes = Array.map (pattern_of_code nl) codes

@@ -1,20 +1,25 @@
 (** Stuck-at fault simulation with fault dropping.
 
-    Patterns are flat integer codes over the netlist's primary inputs
-    in [input_nets] order (bit [k] of the code feeds input [k]); the
-    synthesis {!Mutsamp_synth.Mapping} layer produces them from
-    word-level stimuli via netlist input names.
+    Patterns are {!Pattern.t} values over the netlist's primary inputs
+    in [input_nets] order (bit [k] of the pattern feeds input [k]) —
+    arbitrary input counts, no integer-code ceiling. The synthesis
+    {!Mutsamp_synth.Mapping} layer produces them from word-level
+    stimuli via netlist input names.
 
-    Two engines:
+    Three engines:
     - {!run_combinational}: parallel-pattern single-fault propagation,
-      62 patterns per pass, good circuit simulated once per pass;
-    - {!run_sequential}: the sequence is applied from reset to the good
-      machine once, then to each faulty machine serially, dropping the
-      fault at the first differing cycle.
+      [lanes] patterns per pass (default one machine word), good
+      circuit simulated once per pass;
+    - {!run_parallel_fault}: lane 0 carries the good machine, every
+      other lane one faulty machine, so [lanes - 1] faults advance per
+      pass — the workhorse for sequential circuits;
+    - {!run_sequential}: the serial single-lane reference the
+      differential property tests compare the wide engines against.
 
-    Both record, per fault, the index of the first detecting pattern
+    All record, per fault, the index of the first detecting pattern
     (combinational) or cycle (sequential), which is what the coverage
-    curves of the NLFCE metric need. *)
+    curves of the NLFCE metric need; the index is independent of the
+    lane count. *)
 
 type detection = { fault : Fault.t; detected_at : int option }
 
@@ -39,34 +44,53 @@ val length_to_reach : report -> float -> int option
 (** Shortest prefix achieving at least the given coverage, if any. *)
 
 val run_combinational :
-  Mutsamp_netlist.Netlist.t -> faults:Fault.t list -> patterns:int array -> report
-(** Raises [Invalid_argument] if the netlist has flip-flops or more
-    than 62 input bits. *)
+  ?lanes:int ->
+  Mutsamp_netlist.Netlist.t ->
+  faults:Fault.t list ->
+  patterns:Pattern.t array ->
+  report
+(** [lanes] patterns are simulated per pass (rounded up to whole
+    words). Raises [Invalid_argument] if the netlist has flip-flops or
+    a pattern's width does not match the input count. *)
 
 val run_sequential :
   ?on_progress:(done_:int -> total:int -> unit) ->
   Mutsamp_netlist.Netlist.t ->
   faults:Fault.t list ->
-  sequence:int array ->
+  sequence:Pattern.t array ->
   report
 (** Works for combinational netlists too (each "cycle" is then an
-    independent pattern), but is serial and slower. [on_progress] is
-    called after each fault's serial replay (long [b03]/[c499] runs are
-    otherwise silent for minutes). *)
+    independent pattern), but is serial and slower — it exists as the
+    plain reference implementation. [on_progress] is called after each
+    fault's serial replay (long [b03]/[c499] runs are otherwise silent
+    for minutes). *)
 
 val run_parallel_fault :
-  Mutsamp_netlist.Netlist.t -> faults:Fault.t list -> sequence:int array -> report
+  ?lanes:int ->
+  Mutsamp_netlist.Netlist.t ->
+  faults:Fault.t list ->
+  sequence:Pattern.t array ->
+  report
 (** Classical parallel-fault simulation: lane 0 carries the good
-    machine and each other lane one fault, so up to 61 faulty machines
-    advance per pass. Works for sequential circuits (per-lane state)
-    and combinational ones alike, and produces exactly the
+    machine and each other lane one fault, so [lanes - 1] faulty
+    machines advance per pass. Works for sequential circuits (per-lane
+    state) and combinational ones alike, and produces exactly the
     {!run_sequential} result — the property suite checks it. *)
 
 val run_auto :
-  Mutsamp_netlist.Netlist.t -> faults:Fault.t list -> sequence:int array -> report
+  ?lanes:int ->
+  Mutsamp_netlist.Netlist.t ->
+  faults:Fault.t list ->
+  sequence:Pattern.t array ->
+  report
 (** {!run_combinational} when the netlist has no flip-flops, otherwise
     {!run_parallel_fault}. *)
 
-val input_code : Mutsamp_netlist.Netlist.t -> (string * bool) list -> int
-(** Build a pattern code from named input bits (missing names default
-    to 0). *)
+val input_pattern : Mutsamp_netlist.Netlist.t -> (string * bool) list -> Pattern.t
+(** Build a pattern from named input bits (missing names default to
+    0). *)
+
+val pattern_of_code : Mutsamp_netlist.Netlist.t -> int -> Pattern.t
+val patterns_of_codes : Mutsamp_netlist.Netlist.t -> int array -> Pattern.t array
+(** Integer-code conveniences for narrow circuits and external
+    formats ({!Pattern.of_code} with the netlist's input count). *)

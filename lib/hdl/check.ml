@@ -4,8 +4,6 @@ exception Check_error of string
 
 let fail fmt = Printf.ksprintf (fun msg -> raise (Check_error msg)) fmt
 
-let max_width = Mutsamp_util.Bitvec.max_width
-
 type env = { design_name : string; table : (string, decl) Hashtbl.t }
 
 let build_env (d : design) =
@@ -14,8 +12,8 @@ let build_env (d : design) =
     (fun (dc : decl) ->
       if Hashtbl.mem table dc.name then
         fail "%s: duplicate declaration of %s" d.name dc.name;
-      if dc.width < 1 || dc.width > max_width then
-        fail "%s: %s has width %d, outside 1..%d" d.name dc.name dc.width max_width;
+      if dc.width < 1 then
+        fail "%s: %s has width %d, not positive" d.name dc.name dc.width;
       Hashtbl.add table dc.name dc)
     d.decls;
   { design_name = d.name; table }
@@ -130,12 +128,10 @@ let rec elab_expr env ~expected e =
     let a, wa = elab_operand env a "concat" in
     let b, wb = elab_operand env b "concat" in
     let w = wa + wb in
-    if w > max_width then fail "%s: concat result width %d too wide" env.design_name w;
     check_expected env expected w;
     (Concat (a, b), w)
   | Resize (a, w) ->
-    if w < 1 || w > max_width then
-      fail "%s: resize to width %d out of range" env.design_name w;
+    if w < 1 then fail "%s: resize to width %d out of range" env.design_name w;
     let a, _ = elab_operand env a "resize" in
     check_expected env expected w;
     (Resize (a, w), w)

@@ -85,7 +85,9 @@ let tokenize src =
           if count <> num then
             error !line
               (Printf.sprintf "sized literal: %d bits given, width says %d" count num);
-          if num < 1 || num > Mutsamp_util.Bitvec.max_width then
+          (* Literal values are native ints, so sized literals carry at
+             most 62 bits; wider signals are built structurally. *)
+          if num < 1 || num > 62 then
             error !line (Printf.sprintf "sized literal: width %d out of range" num);
           emit (SIZED (num, value));
           scan k

@@ -139,8 +139,7 @@ let parse_type st =
     expect st Lexer.LPAREN "expected '(' after unsigned";
     let w = num st in
     expect st Lexer.RPAREN "expected ')' after width";
-    if w < 1 || w > Mutsamp_util.Bitvec.max_width then
-      fail st (Printf.sprintf "width %d out of range" w);
+    if w < 1 then fail st (Printf.sprintf "width %d out of range" w);
     w
   | _ -> fail st "expected type (bit or unsigned(n))"
 

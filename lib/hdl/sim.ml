@@ -152,6 +152,14 @@ and compile_stmts slots design_name ss =
 let create (d : design) =
   if not (Check.is_elaborated d) then
     fail "%s: design not elaborated (run Check.elaborate first)" d.name;
+  (* Signal values live in native ints here; wide circuits are served
+     by synthesis plus the netlist simulators instead. *)
+  List.iter
+    (fun (dc : decl) ->
+      if dc.width > 62 then
+        fail "%s: %s is %d bits wide; behavioural simulation is limited to 62-bit signals"
+          d.name dc.name dc.width)
+    d.decls;
   let slots = Hashtbl.create 16 in
   let decls = Array.of_list d.decls in
   Array.iteri

@@ -1,20 +1,26 @@
-(** Bit-parallel netlist simulation.
+(** Bit-parallel netlist simulation, width-parametric.
 
-    Every net carries a native-int word of {!lanes} independent
-    simulation lanes (bit [k] of every word belongs to lane [k]). For a
-    combinational circuit one [step] evaluates {!lanes} patterns at
-    once; for a sequential circuit the lanes are {!lanes} independent
-    sequences advancing in lockstep, each with its own flip-flop state.
+    Every net carries [words_per_net] native-int words of {!word_bits}
+    independent simulation lanes each (lane [l] is bit [l mod word_bits]
+    of word [l / word_bits]). For a combinational circuit one [step]
+    evaluates [lanes t] patterns at once; for a sequential circuit the
+    lanes are independent sequences advancing in lockstep, each with its
+    own flip-flop state.
+
+    Input and output arrays are flat: input [k]'s word [j] lives at
+    index [k * words_per_net t + j], and likewise for outputs in
+    [output_list] order. With the default single word per net the
+    layout coincides with one word per input/output.
 
     The fault simulator also uses this engine with all lanes carrying
     the same pattern: good value vs faulty value then differ per lane
     only where a fault is injected. *)
 
-val lanes : int
-(** Number of parallel lanes (62). *)
+val word_bits : int
+(** Lanes per word (63 — the full OCaml native int). *)
 
 val all_ones : int
-(** Word with every lane set. *)
+(** Word with every lane set ([-1]). *)
 
 type t
 
@@ -24,23 +30,34 @@ type injection =
       (** one gate's input pin (branch fault); for a flip-flop, pin 0 is
           the D input *)
 
-val create : Netlist.t -> t
+val create : ?lanes:int -> Netlist.t -> t
+(** [create ~lanes nl] sizes every net for at least [lanes] lanes
+    (rounded up to whole words; default one word = {!word_bits}
+    lanes). Raises [Invalid_argument] when [lanes < 1]. *)
+
 val netlist : t -> Netlist.t
+
+val lanes : t -> int
+(** Usable lanes ([words_per_net * word_bits]). *)
+
+val words_per_net : t -> int
 
 val reset : t -> unit
 (** Load every flip-flop's reset value into all lanes. *)
 
 val step : t -> int array -> int array
-(** [step t inputs] evaluates one cycle. [inputs] holds one word per
-    primary input, in [input_nets] order; the result holds one word per
-    primary output, in [output_list] order. Flip-flops advance.
-    Raises [Invalid_argument] on an input arity mismatch. *)
+(** [step t inputs] evaluates one cycle. [inputs] holds
+    [words_per_net t] words per primary input, flat in [input_nets]
+    order; the result holds the same per primary output, in
+    [output_list] order. Flip-flops advance. Raises [Invalid_argument]
+    on an input arity mismatch. *)
 
 val step_with_fault : t -> int array -> fault_net:int -> stuck_value:int -> int array
 (** Like {!step}, but after evaluating [fault_net] its value is forced
-    to [stuck_value] (a full word: 0 or {!all_ones}) before propagating
-    further, and the faulty flip-flop state evolves accordingly.
-    [fault_net] may be any net, including a PI or DFF output. *)
+    to [stuck_value] (a full word: 0 or {!all_ones}, applied to every
+    word) before propagating further, and the faulty flip-flop state
+    evolves accordingly. [fault_net] may be any net, including a PI or
+    DFF output. *)
 
 val step_injected : t -> int array -> inj:injection -> stuck:int -> int array
 (** Generalisation of {!step_with_fault} covering pin (branch)
@@ -48,7 +65,9 @@ val step_injected : t -> int array -> inj:injection -> stuck:int -> int array
 
 type lane_injection = {
   inj : injection;
-  lanes : int;  (** which lanes this fault lives in (bit mask) *)
+  lanes : int array;
+      (** which lanes this fault lives in: a bit mask of
+          [words_per_net] words *)
   stuck : int;  (** 0 or {!all_ones}; applied only within [lanes] *)
 }
 
@@ -59,8 +78,10 @@ val step_multi : t -> int array -> injections:lane_injection list -> int array
     per lane, so sequential circuits work naturally. *)
 
 val net_values : t -> int array
-(** A copy of all net words after the last step (diagnostic use). *)
+(** A copy of all net words after the last step, flat per net
+    (diagnostic use). *)
 
 val dff_states : t -> int array
-(** Current flip-flop state words in [dff_nets] order — after a [step],
-    the state the next cycle will start from. *)
+(** Current flip-flop state words, [words_per_net] per flip-flop in
+    [dff_nets] order — after a [step], the state the next cycle will
+    start from. *)

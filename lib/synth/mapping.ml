@@ -55,25 +55,26 @@ let make design nl =
 let netlist t = t.nl
 let design t = t.design
 
+let port_bits t name width stimulus =
+  match List.assoc_opt name stimulus with
+  | Some bv ->
+    if Bitvec.width bv <> width then
+      fail "%s: input %s width mismatch" t.design.Ast.name name;
+    bv
+  | None -> fail "%s: stimulus missing input %s" t.design.Ast.name name
+
 let pack_stimuli t stimuli =
-  if Array.length stimuli > Bitsim.lanes then
+  if Array.length stimuli > Bitsim.word_bits then
     fail "%s: %d stimuli exceed %d lanes" t.design.Ast.name (Array.length stimuli)
-      Bitsim.lanes;
+      Bitsim.word_bits;
   let words = Array.make (Array.length t.nl.Netlist.input_nets) 0 in
   Array.iteri
     (fun lane stimulus ->
       Array.iter
         (fun (name, width, positions) ->
-          let v =
-            match List.assoc_opt name stimulus with
-            | Some bv ->
-              if Bitvec.width bv <> width then
-                fail "%s: input %s width mismatch" t.design.Ast.name name;
-              Bitvec.to_int bv
-            | None -> fail "%s: stimulus missing input %s" t.design.Ast.name name
-          in
+          let bv = port_bits t name width stimulus in
           Array.iteri
-            (fun i k -> if (v lsr i) land 1 = 1 then words.(k) <- words.(k) lor (1 lsl lane))
+            (fun i k -> if Bitvec.bit bv i then words.(k) <- words.(k) lor (1 lsl lane))
             positions)
         t.in_ports)
     stimuli;
@@ -83,16 +84,9 @@ let pack_stimulus t stimulus =
   let words = Array.make (Array.length t.nl.Netlist.input_nets) 0 in
   Array.iter
     (fun (name, width, positions) ->
-      let v =
-        match List.assoc_opt name stimulus with
-        | Some bv ->
-          if Bitvec.width bv <> width then
-            fail "%s: input %s width mismatch" t.design.Ast.name name;
-          Bitvec.to_int bv
-        | None -> fail "%s: stimulus missing input %s" t.design.Ast.name name
-      in
+      let bv = port_bits t name width stimulus in
       Array.iteri
-        (fun i k -> words.(k) <- (if (v lsr i) land 1 = 1 then Bitsim.all_ones else 0))
+        (fun i k -> words.(k) <- (if Bitvec.bit bv i then Bitsim.all_ones else 0))
         positions)
     t.in_ports;
   words
@@ -101,9 +95,7 @@ let unpack_outputs t output_words ~lane =
   Array.to_list
     (Array.map
        (fun (name, width, positions) ->
-         let v = ref 0 in
-         Array.iteri
-           (fun i k -> if (output_words.(k) lsr lane) land 1 = 1 then v := !v lor (1 lsl i))
-           positions;
-         (name, Bitvec.make ~width !v))
+         ( name,
+           Bitvec.init width (fun i ->
+               (output_words.(positions.(i)) lsr lane) land 1 = 1) ))
        t.out_ports)

@@ -19,8 +19,8 @@ val netlist : t -> Mutsamp_netlist.Netlist.t
 val design : t -> Mutsamp_hdl.Ast.design
 
 val pack_stimuli : t -> Mutsamp_hdl.Sim.stimulus array -> int array
-(** Pack up to {!Mutsamp_netlist.Bitsim.lanes} stimuli, one per lane,
-    into the per-input word array for [Bitsim.step]. Raises
+(** Pack up to {!Mutsamp_netlist.Bitsim.word_bits} stimuli, one per
+    lane, into the per-input word array for [Bitsim.step]. Raises
     {!Mapping_error} on a missing input or too many stimuli. *)
 
 val pack_stimulus : t -> Mutsamp_hdl.Sim.stimulus -> int array

@@ -1,21 +1,17 @@
-(** Fixed-width unsigned bit vectors.
+(** Arbitrary-width unsigned bit vectors.
 
     Values model the word-level data of the behavioural HDL: a width in
-    bits (1..62) and an unsigned payload. All arithmetic wraps modulo
-    [2^width], as VHDL [unsigned] arithmetic does after resizing. Widths
-    are capped at 62 so a value always fits an OCaml immediate integer;
-    the benchmark designs never exceed 32 bits. *)
+    bits (>= 1) and an unsigned payload stored as 63-bit limbs in the
+    {!Packvec} layout. All arithmetic wraps modulo [2^width], as VHDL
+    [unsigned] arithmetic does after resizing. There is no upper width
+    limit; only {!to_int} requires the value to fit a native integer. *)
 
 type t
 (** A bit vector: width plus payload. Structural equality compares both. *)
 
-val max_width : int
-(** Largest supported width (62). *)
-
 val make : width:int -> int -> t
 (** [make ~width v] is [v] truncated to [width] bits. Raises
-    [Invalid_argument] if [width] is outside [1..max_width] or [v] is
-    negative. *)
+    [Invalid_argument] if [width < 1] or [v] is negative. *)
 
 val zero : int -> t
 (** [zero width] is the all-zero vector. *)
@@ -23,11 +19,18 @@ val zero : int -> t
 val ones : int -> t
 (** [ones width] is the all-one vector. *)
 
+val init : int -> (int -> bool) -> t
+(** [init width f] sets bit [i] to [f i]. *)
+
 val width : t -> int
+
 val to_int : t -> int
+(** The payload as a native integer. Raises [Invalid_argument] when
+    [width > 62]; use {!bit} for wide vectors. *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
+(** Orders by width, then unsigned value. *)
 
 val bit : t -> int -> bool
 (** [bit v i] is bit [i] (LSB is 0). Raises [Invalid_argument] if [i] is
@@ -66,3 +69,7 @@ val to_string : t -> string
 (** Binary literal, MSB first, e.g. ["5'b01101"]. *)
 
 val pp : Format.formatter -> t -> unit
+
+val of_packvec : Packvec.t -> t
+val to_packvec : t -> Packvec.t
+(** Conversions to the mutable packed-lane representation (copying). *)

@@ -112,7 +112,8 @@ let test_podem_untestable_redundant () =
    | Podem.Untestable -> ()
    | Podem.Test p ->
      Alcotest.fail
-       (Printf.sprintf "redundant fault got test %d (detects=%b)" p (detects nl f p))
+       (Printf.sprintf "redundant fault got test %s (detects=%b)"
+          (Mutsamp_fault.Pattern.to_string p) (detects nl f p))
    | Podem.Aborted -> Alcotest.fail "abort on tiny circuit")
 
 let test_podem_stats_populated () =
@@ -273,7 +274,24 @@ let test_lfsr_values_in_range () =
 let test_uniform_sequence_range () =
   let prng = Prng.create 7 in
   let seq = Prpg.uniform_sequence prng ~bits:10 ~length:200 in
-  Array.iter (fun s -> check_bool "10 bits" true (s >= 0 && s < 1024)) seq
+  Array.iter
+    (fun s ->
+      check_int "10 bits wide" 10 (Mutsamp_fault.Pattern.width s);
+      let code = Mutsamp_fault.Pattern.to_code s in
+      check_bool "10 bits" true (code >= 0 && code < 1024))
+    seq
+
+let test_uniform_sequence_wide () =
+  (* Widths past the old 62-bit code ceiling draw per bit; the patterns
+     must carry the full width and not be degenerate. *)
+  let prng = Prng.create 11 in
+  let seq = Prpg.uniform_sequence prng ~bits:128 ~length:50 in
+  check_int "width kept" 128 (Mutsamp_fault.Pattern.width seq.(0));
+  let total =
+    Array.fold_left (fun acc s -> acc + Mutsamp_util.Packvec.popcount s) 0 seq
+  in
+  (* 6400 fair coin flips: astronomically unlikely to stray this far. *)
+  check_bool "roughly balanced" true (total > 2500 && total < 3900)
 
 (* ------------------------------------------------------------------ *)
 (* Scan                                                               *)
@@ -507,7 +525,10 @@ let test_topoff_seed_reduces_work () =
   let nl = full_adder () in
   let faults = Fault.full_list nl in
   (* A full exhaustive seed leaves nothing for the other phases. *)
-  let r = Topoff.run nl ~faults ~seed_patterns:(Array.init 8 (fun i -> i)) in
+  let r =
+    Topoff.run nl ~faults
+      ~seed_patterns:(Fsim.patterns_of_codes nl (Array.init 8 (fun i -> i)))
+  in
   check_int "everything from seed" (List.length faults) r.Topoff.seed_detected;
   check_int "no atpg calls" 0 r.Topoff.atpg_calls;
   check_int "no random patterns" 0 r.Topoff.random_patterns
@@ -522,7 +543,7 @@ let test_topoff_sat_engine () =
 let test_topoff_final_test_set_detects_everything () =
   let nl = full_adder () in
   let faults = Fault.full_list nl in
-  let r = Topoff.run nl ~faults ~seed_patterns:[| 0b111 |] in
+  let r = Topoff.run nl ~faults ~seed_patterns:(Fsim.patterns_of_codes nl [| 0b111 |]) in
   let check_run = Fsim.run_combinational nl ~faults ~patterns:r.Topoff.test_set in
   check_int "replay detects all testable"
     (List.length faults - r.Topoff.untestable - r.Topoff.aborted)
@@ -590,6 +611,7 @@ let suite =
         Alcotest.test_case "zero seed replaced" `Quick test_lfsr_zero_seed_replaced;
         Alcotest.test_case "values in range" `Quick test_lfsr_values_in_range;
         Alcotest.test_case "uniform range" `Quick test_uniform_sequence_range;
+        Alcotest.test_case "uniform wide" `Quick test_uniform_sequence_wide;
       ] );
     ( "atpg.scan",
       [

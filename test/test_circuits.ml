@@ -26,7 +26,7 @@ let bv w v = Bitvec.make ~width:w v
 (* ------------------------------------------------------------------ *)
 
 let test_registry_contents () =
-  check_int "ten benchmarks" 10 (List.length Registry.all);
+  check_int "eleven benchmarks" 11 (List.length Registry.all);
   check_int "four paper benchmarks" 4 (List.length Registry.paper_benchmarks);
   Alcotest.(check (list string))
     "paper set"

@@ -68,7 +68,8 @@ let test_code_of_stimulus_roundtrip () =
     List.mapi (fun k name -> (name, bv 1 ((v lsr k) land 1))) [ "g1"; "g2"; "g3"; "g6"; "g7" ]
   in
   for v = 0 to 31 do
-    check_int "code" v (Pipeline.code_of_stimulus p (stim v))
+    check_int "code" v
+      (Mutsamp_fault.Pattern.to_code (Pipeline.pattern_of_stimulus p (stim v)))
   done
 
 let test_codes_of_sequences_concatenates () =
@@ -76,19 +77,28 @@ let test_codes_of_sequences_concatenates () =
   let stim v =
     List.mapi (fun k name -> (name, bv 1 ((v lsr k) land 1))) [ "g1"; "g2"; "g3"; "g6"; "g7" ]
   in
-  let codes = Pipeline.codes_of_sequences p [ [ stim 1; stim 2 ]; [ stim 3 ] ] in
+  let codes =
+    Array.map Mutsamp_fault.Pattern.to_code
+      (Pipeline.patterns_of_sequences p [ [ stim 1; stim 2 ]; [ stim 3 ] ])
+  in
   Alcotest.(check (array int)) "flattened" [| 1; 2; 3 |] codes
 
 let test_fault_simulate_runs () =
   let p = Lazy.force c17_pipeline in
-  let r = Pipeline.fault_simulate p (Array.init 32 (fun i -> i)) in
+  let r =
+    Pipeline.fault_simulate p
+      (Mutsamp_fault.Fsim.patterns_of_codes p.Pipeline.netlist
+         (Array.init 32 (fun i -> i)))
+  in
   (* Exhaustive patterns on c17 detect every collapsed fault. *)
   Alcotest.(check (float 1e-6)) "full coverage" 100. (Fsim.coverage_percent r)
 
 let test_scan_codes_layout () =
   let p = Lazy.force b02_pipeline in
   let seq = [ [ ("linea", bv 1 1) ]; [ ("linea", bv 1 0) ] ] in
-  let codes = Pipeline.scan_codes_of_sequences p [ seq ] in
+  let codes =
+    Array.map Mutsamp_fault.Pattern.to_code (Pipeline.scan_patterns_of_sequences p [ seq ])
+  in
   check_int "one code per cycle" 2 (Array.length codes);
   (* Cycle 0 starts from reset: all scan bits zero, so the code is just
      the PI bit. *)

@@ -11,6 +11,8 @@ module Fault = Mutsamp_fault.Fault
 module Fsim = Mutsamp_fault.Fsim
 module Compact = Mutsamp_fault.Compact
 module Diagnose = Mutsamp_fault.Diagnose
+module Pattern = Mutsamp_fault.Pattern
+module Packvec = Mutsamp_util.Packvec
 module Registry = Mutsamp_circuits.Registry
 module C17 = Mutsamp_circuits.C17
 module Sim = Mutsamp_hdl.Sim
@@ -256,7 +258,8 @@ let test_diagnose_recovers_injected_fault () =
   for _ = 1 to 10 do
     let injected = List.nth faults (Prng.int prng (List.length faults)) in
     let observations =
-      List.init 8 (fun p ->
+      List.init 8 (fun code ->
+          let p = Fsim.pattern_of_code nl code in
           { Diagnose.pattern = p;
             response = Diagnose.simulate_response nl (Some injected) p })
     in
@@ -272,7 +275,8 @@ let test_diagnose_good_machine_rejects_all () =
      candidates can explain them; with exhaustive patterns, none (the
      full adder has no untestable faults). *)
   let observations =
-    List.init 8 (fun p ->
+    List.init 8 (fun code ->
+        let p = Fsim.pattern_of_code nl code in
         { Diagnose.pattern = p; response = Diagnose.simulate_response nl None p })
   in
   let suspects = Diagnose.perfect_matches nl ~candidates:faults ~observations in
@@ -283,7 +287,8 @@ let test_diagnose_ranking_sane () =
   let faults = Fault.full_list nl in
   let injected = List.hd faults in
   let observations =
-    List.init 8 (fun p ->
+    List.init 8 (fun code ->
+        let p = Fsim.pattern_of_code nl code in
         { Diagnose.pattern = p;
           response = Diagnose.simulate_response nl (Some injected) p })
   in
@@ -311,7 +316,9 @@ let test_diagnose_rejects_sequential () =
      ignore
        (Diagnose.rank nl
           ~candidates:(Fault.full_list nl)
-          ~observations:[ { Diagnose.pattern = 0; response = 0 } ]);
+          ~observations:
+            [ { Diagnose.pattern = Fsim.pattern_of_code nl 0;
+                response = Packvec.create 1 } ]);
      Alcotest.fail "should reject"
    with Invalid_argument _ -> ())
 
@@ -378,15 +385,17 @@ let test_testpoints_preserve_function () =
 let test_weighted_extremes () =
   let prng = Prng.create 1 in
   let all_one = Prpg.weighted_sequence prng ~one_probability:(Array.make 8 1.) ~length:20 in
-  Array.iter (fun c -> check_int "all ones" 255 c) all_one;
+  Array.iter (fun c -> check_int "all ones" 255 (Pattern.to_code c)) all_one;
   let all_zero = Prpg.weighted_sequence prng ~one_probability:(Array.make 8 0.) ~length:20 in
-  Array.iter (fun c -> check_int "all zeros" 0 c) all_zero
+  Array.iter (fun c -> check_int "all zeros" 0 (Pattern.to_code c)) all_zero
 
 let test_weighted_bias () =
   let prng = Prng.create 2 in
   let profile = [| 0.9; 0.1 |] in
   let seq = Prpg.weighted_sequence prng ~one_probability:profile ~length:2000 in
-  let count bit = Array.fold_left (fun acc c -> acc + ((c lsr bit) land 1)) 0 seq in
+  let count bit =
+    Array.fold_left (fun acc c -> acc + if Pattern.get c bit then 1 else 0) 0 seq
+  in
   let p0 = float_of_int (count 0) /. 2000. in
   let p1 = float_of_int (count 1) /. 2000. in
   check_bool "bit0 biased high" true (p0 > 0.85 && p0 < 0.95);
@@ -399,7 +408,7 @@ let test_weighted_bias () =
 let test_dictionary_agrees_with_rank () =
   let nl = full_adder () in
   let candidates = Fault.full_list nl in
-  let patterns = Array.init 8 (fun i -> i) in
+  let patterns = Fsim.patterns_of_codes nl (Array.init 8 (fun i -> i)) in
   let dict = Diagnose.build nl ~candidates ~patterns in
   let prng = Prng.create 31 in
   for _ = 1 to 10 do
@@ -421,9 +430,12 @@ let test_dictionary_agrees_with_rank () =
 
 let test_dictionary_rejects_wrong_arity () =
   let nl = full_adder () in
-  let dict = Diagnose.build nl ~candidates:(Fault.full_list nl) ~patterns:[| 0; 1 |] in
+  let dict =
+    Diagnose.build nl ~candidates:(Fault.full_list nl)
+      ~patterns:(Fsim.patterns_of_codes nl [| 0; 1 |])
+  in
   (try
-     ignore (Diagnose.lookup dict ~responses:[| 0 |]);
+     ignore (Diagnose.lookup dict ~responses:[| Packvec.create 2 |]);
      Alcotest.fail "should reject"
    with Invalid_argument _ -> ())
 

@@ -133,7 +133,7 @@ let test_collapse_sound_on_full_adder () =
   let nl = full_adder () in
   let c = Collapse.run nl in
   let all = Fault.full_list nl in
-  let patterns = Array.init 8 (fun i -> i) in
+  let patterns = Fsim.patterns_of_codes nl (Array.init 8 (fun i -> i)) in
   let detect_set f =
     let r = Fsim.run_combinational nl ~faults:[ f ] ~patterns in
     (* With a single fault and no dropping subtleties we need the set of
@@ -184,10 +184,11 @@ let test_dominance_sound () =
   let nl = full_adder () in
   let c = Collapse.run nl in
   let reduced = Collapse.dominance_reduced nl c in
-  let all_patterns = Array.init 8 (fun i -> i) in
+  let all_patterns = Fsim.patterns_of_codes nl (Array.init 8 (fun i -> i)) in
   (* Build a minimal-ish test set covering the reduced list greedily. *)
   let detects f p =
-    (Fsim.run_combinational nl ~faults:[ f ] ~patterns:[| p |]).Fsim.detected = 1
+    (Fsim.run_combinational nl ~faults:[ f ]
+       ~patterns:[| Fsim.pattern_of_code nl p |]).Fsim.detected = 1
   in
   let tests =
     List.sort_uniq Stdlib.compare
@@ -205,7 +206,8 @@ let test_dominance_sound () =
       full
   in
   let r =
-    Fsim.run_combinational nl ~faults:testable ~patterns:(Array.of_list tests)
+    Fsim.run_combinational nl ~faults:testable
+      ~patterns:(Fsim.patterns_of_codes nl (Array.of_list tests))
   in
   check_int "reduced-list tests detect all testable faults"
     (List.length testable) r.Fsim.detected
@@ -217,7 +219,10 @@ let test_dominance_sound () =
 let test_fsim_and_gate_exhaustive_full_coverage () =
   let nl = and_netlist () in
   let faults = Fault.full_list nl in
-  let r = Fsim.run_combinational nl ~faults ~patterns:[| 0b00; 0b01; 0b10; 0b11 |] in
+  let r =
+    Fsim.run_combinational nl ~faults
+      ~patterns:(Fsim.patterns_of_codes nl [| 0b00; 0b01; 0b10; 0b11 |])
+  in
   check_int "all detected" (List.length faults) r.Fsim.detected;
   Alcotest.(check (float 1e-6)) "coverage 100" 100. (Fsim.coverage_percent r)
 
@@ -225,13 +230,15 @@ let test_fsim_single_pattern_partial () =
   let nl = and_netlist () in
   let faults = Fault.full_list nl in
   (* Pattern a=1,b=1 detects y SA0, a SA0, b SA0 only. *)
-  let r = Fsim.run_combinational nl ~faults ~patterns:[| 0b11 |] in
+  let r =
+    Fsim.run_combinational nl ~faults ~patterns:(Fsim.patterns_of_codes nl [| 0b11 |])
+  in
   check_int "three detected" 3 r.Fsim.detected
 
 let test_fsim_detection_indices_monotone () =
   let nl = full_adder () in
   let faults = Fault.full_list nl in
-  let patterns = Array.init 8 (fun i -> i) in
+  let patterns = Fsim.patterns_of_codes nl (Array.init 8 (fun i -> i)) in
   let r = Fsim.run_combinational nl ~faults ~patterns in
   Array.iter
     (fun (d : Fsim.detection) ->
@@ -243,7 +250,7 @@ let test_fsim_detection_indices_monotone () =
 let test_fsim_coverage_curve_monotone () =
   let nl = full_adder () in
   let faults = Fault.full_list nl in
-  let patterns = Array.init 8 (fun i -> i) in
+  let patterns = Fsim.patterns_of_codes nl (Array.init 8 (fun i -> i)) in
   let r = Fsim.run_combinational nl ~faults ~patterns in
   let curve = Fsim.coverage_curve r in
   check_int "curve length" 9 (List.length curve);
@@ -261,7 +268,10 @@ let test_fsim_coverage_curve_monotone () =
 let test_fsim_length_to_reach () =
   let nl = and_netlist () in
   let faults = Fault.full_list nl in
-  let r = Fsim.run_combinational nl ~faults ~patterns:[| 0b11; 0b01; 0b10; 0b00 |] in
+  let r =
+    Fsim.run_combinational nl ~faults
+      ~patterns:(Fsim.patterns_of_codes nl [| 0b11; 0b01; 0b10; 0b00 |])
+  in
   (match Fsim.length_to_reach r 50.0 with
    | Some n -> check_bool "reasonable prefix" true (n >= 1 && n <= 4)
    | None -> Alcotest.fail "should reach 50%");
@@ -272,34 +282,45 @@ let test_fsim_sequential_counter () =
   let nl = counter_netlist () in
   let faults = Fault.full_list nl in
   (* Enable high for 16 cycles exercises the whole count range. *)
-  let seq = Array.make 16 1 in
+  let seq = Fsim.patterns_of_codes nl (Array.make 16 1) in
   let r = Fsim.run_sequential nl ~faults ~sequence:seq in
   check_bool "detects most faults" true
     (Fsim.coverage_percent r > 60.);
   (* A short sequence detects fewer faults. *)
-  let r2 = Fsim.run_sequential nl ~faults ~sequence:(Array.make 2 1) in
+  let r2 =
+    Fsim.run_sequential nl ~faults
+      ~sequence:(Fsim.patterns_of_codes nl (Array.make 2 1))
+  in
   check_bool "short sequence weaker" true (r2.Fsim.detected <= r.Fsim.detected)
 
 let test_fsim_rejects_seq_in_comb_engine () =
   let nl = counter_netlist () in
   (try
-     ignore (Fsim.run_combinational nl ~faults:(Fault.full_list nl) ~patterns:[| 1 |]);
+     ignore
+       (Fsim.run_combinational nl ~faults:(Fault.full_list nl)
+          ~patterns:(Fsim.patterns_of_codes nl [| 1 |]));
      Alcotest.fail "should reject"
    with Invalid_argument _ -> ())
 
 let test_fsim_auto_dispatch () =
   let comb = and_netlist () in
   let seq = counter_netlist () in
-  let r1 = Fsim.run_auto comb ~faults:(Fault.full_list comb) ~sequence:[| 3 |] in
+  let r1 =
+    Fsim.run_auto comb ~faults:(Fault.full_list comb)
+      ~sequence:(Fsim.patterns_of_codes comb [| 3 |])
+  in
   check_bool "comb ran" true (r1.Fsim.total > 0);
-  let r2 = Fsim.run_auto seq ~faults:(Fault.full_list seq) ~sequence:[| 1; 1 |] in
+  let r2 =
+    Fsim.run_auto seq ~faults:(Fault.full_list seq)
+      ~sequence:(Fsim.patterns_of_codes seq [| 1; 1 |])
+  in
   check_bool "seq ran" true (r2.Fsim.total > 0)
 
 let test_input_code () =
   let nl = full_adder () in
-  let code = Fsim.input_code nl [ ("a", true); ("cin", true) ] in
+  let p = Fsim.input_pattern nl [ ("a", true); ("cin", true) ] in
   (* a is input 0, b input 1, cin input 2. *)
-  check_int "code" 0b101 code
+  check_int "code" 0b101 (Mutsamp_fault.Pattern.to_code p)
 
 (* Property: serial and parallel engines agree on combinational
    circuits (same detected set and same first-detection indices). *)
@@ -310,7 +331,9 @@ let prop_serial_equals_parallel =
       let nl = full_adder () in
       let faults = Fault.full_list nl in
       let prng = Prng.create seed in
-      let patterns = Array.init n_patterns (fun _ -> Prng.int prng 8) in
+      let patterns =
+        Fsim.patterns_of_codes nl (Array.init n_patterns (fun _ -> Prng.int prng 8))
+      in
       let rp = Fsim.run_combinational nl ~faults ~patterns in
       let rs = Fsim.run_sequential nl ~faults ~sequence:patterns in
       rp.Fsim.detected = rs.Fsim.detected
@@ -328,7 +351,9 @@ let prop_parallel_fault_equals_serial =
       let nl = counter_netlist () in
       let faults = Fault.full_list nl in
       let prng = Prng.create seed in
-      let sequence = Array.init len (fun _ -> Prng.int prng 2) in
+      let sequence =
+        Fsim.patterns_of_codes nl (Array.init len (fun _ -> Prng.int prng 2))
+      in
       let rs = Fsim.run_sequential nl ~faults ~sequence in
       let rp = Fsim.run_parallel_fault nl ~faults ~sequence in
       rs.Fsim.detected = rp.Fsim.detected
@@ -340,7 +365,7 @@ let prop_parallel_fault_equals_serial =
 let test_parallel_fault_combinational_too () =
   let nl = full_adder () in
   let faults = Fault.full_list nl in
-  let patterns = Array.init 8 (fun i -> i) in
+  let patterns = Fsim.patterns_of_codes nl (Array.init 8 (fun i -> i)) in
   let rp = Fsim.run_parallel_fault nl ~faults ~sequence:patterns in
   let rc = Fsim.run_combinational nl ~faults ~patterns in
   check_int "same detected" rc.Fsim.detected rp.Fsim.detected
@@ -349,8 +374,8 @@ let test_parallel_fault_many_groups () =
   (* More faults than lanes forces several passes. *)
   let nl = counter_netlist () in
   let faults = Fault.full_list nl in
-  check_bool "enough faults to need grouping" true (List.length faults > 61);
-  let sequence = Array.make 16 1 in
+  check_bool "enough faults to need grouping" true (List.length faults > 62);
+  let sequence = Fsim.patterns_of_codes nl (Array.make 16 1) in
   let rp = Fsim.run_parallel_fault nl ~faults ~sequence in
   let rs = Fsim.run_sequential nl ~faults ~sequence in
   check_int "same detected" rs.Fsim.detected rp.Fsim.detected
@@ -363,7 +388,9 @@ let prop_coverage_monotone_in_patterns =
       let nl = full_adder () in
       let faults = Fault.full_list nl in
       let prng = Prng.create seed in
-      let patterns = Array.init (2 * n) (fun _ -> Prng.int prng 8) in
+      let patterns =
+        Fsim.patterns_of_codes nl (Array.init (2 * n) (fun _ -> Prng.int prng 8))
+      in
       let r1 = Fsim.run_combinational nl ~faults ~patterns:(Array.sub patterns 0 n) in
       let r2 = Fsim.run_combinational nl ~faults ~patterns in
       Fsim.coverage_percent r2 >= Fsim.coverage_percent r1 -. 1e-9)

@@ -333,7 +333,7 @@ let test_xsim_reset_known () =
   Xsim.reset sim;
   check_int "all known after reset" 0 (Xsim.unknown_dff_lanes sim);
   Xsim.reset_to_x sim;
-  check_int "all unknown" Bitsim.lanes (Xsim.unknown_dff_lanes sim)
+  check_int "all unknown" Bitsim.word_bits (Xsim.unknown_dff_lanes sim)
 
 let test_xsim_toggle_never_synchronizes () =
   (* q' = q xor en: from X the state stays X whatever the inputs. *)

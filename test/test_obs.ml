@@ -276,7 +276,11 @@ let test_pipeline_fsim_counters () =
   Metrics.reset ();
   let e = Option.get (Registry.find "c17") in
   let p = Pipeline.prepare (e.Registry.design ()) in
-  let r = Pipeline.fault_simulate p [| 0b01010; 0b11111; 0b00000; 0b10101 |] in
+  let r =
+    Pipeline.fault_simulate p
+      (Mutsamp_fault.Fsim.patterns_of_codes p.Pipeline.netlist
+         [| 0b01010; 0b11111; 0b00000; 0b10101 |])
+  in
   let snap = Metrics.snapshot () in
   Alcotest.(check (option int))
     "patterns counted" (Some 4)

@@ -271,10 +271,10 @@ let test_equiv_alu_exhaustive () =
   let _, mapping = Flow.synthesize_mapped d in
   let net_sim = Bitsim.create (Mapping.netlist mapping) in
   let all = Array.of_list (Stimuli.enumerate d) in
-  let chunks = (Array.length all + Bitsim.lanes - 1) / Bitsim.lanes in
+  let chunks = (Array.length all + Bitsim.word_bits - 1) / Bitsim.word_bits in
   for c = 0 to chunks - 1 do
-    let lo = c * Bitsim.lanes in
-    let batch = Array.sub all lo (min Bitsim.lanes (Array.length all - lo)) in
+    let lo = c * Bitsim.word_bits in
+    let batch = Array.sub all lo (min Bitsim.word_bits (Array.length all - lo)) in
     let words = Bitsim.step net_sim (Mapping.pack_stimuli mapping batch) in
     Array.iteri
       (fun lane stim ->

@@ -115,8 +115,18 @@ let test_bitvec_make_truncates () =
 
 let test_bitvec_make_rejects_bad_width () =
   Alcotest.check_raises "width 0"
-    (Invalid_argument "Bitvec.make: width 0 not in 1..62")
+    (Invalid_argument "Bitvec.make: width 0 not positive")
     (fun () -> ignore (bv 0 1))
+
+let test_bitvec_wide () =
+  (* Widths above the native-int range are legal; only to_int refuses. *)
+  let v = Bitvec.init 100 (fun i -> i mod 2 = 1) in
+  check_int "width" 100 (Bitvec.width v);
+  check_bool "bit 99" true (Bitvec.bit v 99);
+  check_bool "bit 98" false (Bitvec.bit v 98);
+  Alcotest.check_raises "to_int refuses wide"
+    (Invalid_argument "Bitvec.to_int: width exceeds 62-bit integers")
+    (fun () -> ignore (Bitvec.to_int v))
 
 let test_bitvec_add_wraps () =
   check_int "wrap" 0 (Bitvec.to_int (Bitvec.add (bv 4 15) (bv 4 1)));
@@ -301,6 +311,7 @@ let suite =
       [
         Alcotest.test_case "make truncates" `Quick test_bitvec_make_truncates;
         Alcotest.test_case "make rejects bad width" `Quick test_bitvec_make_rejects_bad_width;
+        Alcotest.test_case "wide vectors" `Quick test_bitvec_wide;
         Alcotest.test_case "add wraps" `Quick test_bitvec_add_wraps;
         Alcotest.test_case "sub wraps" `Quick test_bitvec_sub_wraps;
         Alcotest.test_case "logic ops" `Quick test_bitvec_logic;

@@ -1,0 +1,256 @@
+(* Wide-pattern kernel tests: Packvec unit coverage, differential
+   properties of the word-parallel fault-simulation engines against the
+   serial single-lane reference, and the >62-input end-to-end
+   regression on the registered wide128 circuit. *)
+
+module Packvec = Mutsamp_util.Packvec
+module Prng = Mutsamp_util.Prng
+module Netlist = Mutsamp_netlist.Netlist
+module Bitsim = Mutsamp_netlist.Bitsim
+module B = Netlist.Builder
+module Fault = Mutsamp_fault.Fault
+module Fsim = Mutsamp_fault.Fsim
+module Pattern = Mutsamp_fault.Pattern
+module Registry = Mutsamp_circuits.Registry
+module Flow = Mutsamp_synth.Flow
+module Prpg = Mutsamp_atpg.Prpg
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Packvec units                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_packvec_layout () =
+  check_int "word_bits" 63 Packvec.word_bits;
+  check_int "one word" 1 (Packvec.words_for 63);
+  check_int "two words" 2 (Packvec.words_for 64);
+  check_int "three words" 3 (Packvec.words_for 128);
+  check_int "full mask" (-1) (Packvec.last_mask 126);
+  check_int "partial mask" 0b11 (Packvec.last_mask 65)
+
+let test_packvec_get_set () =
+  let v = Packvec.create 128 in
+  check_bool "starts zero" true (Packvec.is_zero v);
+  Packvec.set v 0 true;
+  Packvec.set v 62 true;
+  Packvec.set v 63 true;
+  Packvec.set v 127 true;
+  check_bool "bit 0" true (Packvec.get v 0);
+  check_bool "bit 62" true (Packvec.get v 62);
+  check_bool "bit 63 crosses word" true (Packvec.get v 63);
+  check_bool "bit 127" true (Packvec.get v 127);
+  check_bool "bit 64 clear" false (Packvec.get v 64);
+  check_int "popcount" 4 (Packvec.popcount v);
+  Packvec.set v 63 false;
+  check_int "popcount after clear" 3 (Packvec.popcount v);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Packvec.get: index 128 out of range 0..127") (fun () ->
+      ignore (Packvec.get v 128))
+
+let test_packvec_code_roundtrip () =
+  let v = Packvec.of_code ~width:40 0b1011001 in
+  check_int "roundtrip" 0b1011001 (Packvec.to_code v);
+  let w = Packvec.of_code ~width:70 0b1011001 in
+  check_bool "bit 0" true (Packvec.get w 0);
+  check_bool "bit 6" true (Packvec.get w 6);
+  check_bool "high bits zero" false (Packvec.get w 69);
+  Alcotest.check_raises "to_code wide"
+    (Invalid_argument "Packvec.to_code: width exceeds 62-bit integer codes")
+    (fun () ->
+      let wide = Packvec.init 70 (fun i -> i = 69) in
+      ignore (Packvec.to_code wide))
+
+let test_packvec_first_diff () =
+  let a = Packvec.init 130 (fun i -> i mod 3 = 0) in
+  let b = Packvec.copy a in
+  check_bool "equal copies" true (Packvec.equal a b);
+  Alcotest.(check (option int)) "no diff" None (Packvec.first_diff a b);
+  Packvec.set b 100 (not (Packvec.get b 100));
+  Packvec.set b 129 (not (Packvec.get b 129));
+  Alcotest.(check (option int)) "first diff" (Some 100) (Packvec.first_diff a b);
+  check_bool "not equal" false (Packvec.equal a b)
+
+let test_packvec_invariant_under_ops () =
+  (* Unused high bits of the last word stay zero through the word-level
+     logic ops, so popcount/equal never see garbage lanes. *)
+  let prng = Prng.create 42 in
+  for width = 60 to 70 do
+    let a = Packvec.random prng width in
+    let b = Packvec.random prng width in
+    let dst = Packvec.create width in
+    let mask = Packvec.last_mask width in
+    let last v = (Packvec.words v).(Packvec.num_words v - 1) in
+    Packvec.lognot_into a ~into:dst;
+    check_int "lognot masked" (last dst) (last dst land mask);
+    Packvec.logor_into a b ~into:dst;
+    check_int "logor masked" (last dst) (last dst land mask);
+    check_int "popcount bound" (Packvec.popcount dst)
+      (min (Packvec.popcount dst) width)
+  done
+
+let test_packvec_first_set () =
+  Alcotest.(check (option int)) "zero" None
+    (Packvec.first_set (Packvec.create 200));
+  Alcotest.(check (option int)) "high bit" (Some 150)
+    (Packvec.first_set (Packvec.init 200 (fun i -> i >= 150)))
+
+(* ------------------------------------------------------------------ *)
+(* Differential properties: wide engines vs serial reference          *)
+(* ------------------------------------------------------------------ *)
+
+(* Random small netlists, optionally sequential: a few inputs, a pile
+   of random gates, random outputs. *)
+let random_netlist ~dffs seed =
+  let prng = Prng.create seed in
+  let b = B.create (Printf.sprintf "rand%d" seed) in
+  let n_inputs = 2 + Prng.int prng 3 in
+  let pool =
+    ref (List.init n_inputs (fun k -> B.input b (Printf.sprintf "i%d" k)))
+  in
+  let qs =
+    if not dffs then []
+    else
+      List.init
+        (1 + Prng.int prng 2)
+        (fun _ ->
+          let q = B.dff b ~init:(Prng.bool prng) in
+          pool := q :: !pool;
+          q)
+  in
+  let pick () = Prng.pick_list prng !pool in
+  for _ = 1 to 6 + Prng.int prng 12 do
+    let x = pick () and y = pick () in
+    let g =
+      match Prng.int prng 7 with
+      | 0 -> B.and_ b x y
+      | 1 -> B.or_ b x y
+      | 2 -> B.xor_ b x y
+      | 3 -> B.nand_ b x y
+      | 4 -> B.nor_ b x y
+      | 5 -> B.xnor_ b x y
+      | _ -> B.not_ b x
+    in
+    pool := g :: !pool
+  done;
+  List.iter (fun q -> B.connect_dff b q ~d:(pick ())) qs;
+  let n_outputs = 1 + Prng.int prng 3 in
+  for k = 0 to n_outputs - 1 do
+    B.output b (Printf.sprintf "o%d" k) (pick ())
+  done;
+  B.finalize b
+
+let random_sequence nl ~length seed =
+  let prng = Prng.create seed in
+  let n_in = Array.length nl.Netlist.input_nets in
+  Array.init length (fun _ -> Packvec.random prng n_in)
+
+let same_report (a : Fsim.report) (b : Fsim.report) =
+  a.Fsim.total = b.Fsim.total
+  && a.Fsim.detected = b.Fsim.detected
+  && a.Fsim.patterns_applied = b.Fsim.patterns_applied
+  && Array.for_all2
+       (fun (da : Fsim.detection) (db : Fsim.detection) ->
+         da.Fsim.fault = db.Fsim.fault
+         && da.Fsim.detected_at = db.Fsim.detected_at)
+       a.Fsim.detections b.Fsim.detections
+
+(* Wide combinational engine (multi-word lane batches) must reproduce
+   the serial reference exactly, including first-detection indices. *)
+let prop_combinational_matches_reference =
+  QCheck.Test.make ~name:"wide combinational = serial reference" ~count:60
+    (QCheck.make QCheck.Gen.(int_range 0 1000000))
+    (fun seed ->
+      let nl = random_netlist ~dffs:false seed in
+      let faults = Fault.full_list nl in
+      let patterns = random_sequence nl ~length:(40 + (seed mod 100)) seed in
+      let reference = Fsim.run_sequential nl ~faults ~sequence:patterns in
+      let wide = Fsim.run_combinational nl ~faults ~patterns in
+      let wider = Fsim.run_combinational ~lanes:126 nl ~faults ~patterns in
+      same_report reference wide && same_report reference wider)
+
+(* Parallel-fault engine with multi-word lanes on sequential machines. *)
+let prop_parallel_fault_matches_reference =
+  QCheck.Test.make ~name:"wide parallel-fault = serial reference" ~count:40
+    (QCheck.make QCheck.Gen.(int_range 0 1000000))
+    (fun seed ->
+      let nl = random_netlist ~dffs:true seed in
+      let faults = Fault.full_list nl in
+      let sequence = random_sequence nl ~length:(8 + (seed mod 16)) seed in
+      let reference = Fsim.run_sequential nl ~faults ~sequence in
+      let wide = Fsim.run_parallel_fault nl ~faults ~sequence in
+      let wider = Fsim.run_parallel_fault ~lanes:189 nl ~faults ~sequence in
+      same_report reference wide && same_report reference wider)
+
+(* ------------------------------------------------------------------ *)
+(* >62-input end-to-end regression                                    *)
+(* ------------------------------------------------------------------ *)
+
+let wide128_netlist () =
+  match Registry.find "wide128" with
+  | None -> Alcotest.fail "wide128 not registered"
+  | Some e -> Flow.synthesize (e.Registry.design ())
+
+let test_wide128_registered () =
+  let nl = wide128_netlist () in
+  check_int "128 inputs" 128 (Array.length nl.Netlist.input_nets);
+  check_int "2 outputs" 2 (Array.length nl.Netlist.output_list);
+  check_int "combinational" 0 (Array.length nl.Netlist.dff_nets)
+
+let test_wide128_fault_coverage () =
+  let nl = wide128_netlist () in
+  let faults = Fault.full_list nl in
+  let patterns = Prpg.uniform_sequence (Prng.create 11) ~bits:128 ~length:64 in
+  let r = Fsim.run_auto nl ~faults ~sequence:patterns in
+  check_bool "patterns are wide" true (Pattern.width patterns.(0) = 128);
+  check_bool "nonzero coverage" true (r.Fsim.detected > 0);
+  (* The parity chain makes most faults randomly testable; 64 random
+     vectors reliably clear half the list by a wide margin. *)
+  check_bool "substantial coverage" true
+    (Fsim.coverage_percent r > 50.);
+  check_bool "coverage curve monotone" true
+    (let c = Fsim.coverage_curve r in
+     List.for_all2
+       (fun (_, a) (_, b) -> a <= b +. 1e-9)
+       (List.filteri (fun i _ -> i < List.length c - 1) c)
+       (List.tl c))
+
+let test_wide128_differential_sample () =
+  (* Exact agreement with the serial reference on a fault sample, so the
+     >62-input path is covered by the differential property too. *)
+  let nl = wide128_netlist () in
+  let faults =
+    List.filteri (fun i _ -> i mod 23 = 0) (Fault.full_list nl)
+  in
+  let patterns = Prpg.uniform_sequence (Prng.create 3) ~bits:128 ~length:16 in
+  let reference = Fsim.run_sequential nl ~faults ~sequence:patterns in
+  let wide = Fsim.run_combinational nl ~faults ~patterns in
+  check_bool "sampled faults agree" true (same_report reference wide)
+
+let suite =
+  [
+    ( "wide.packvec",
+      [
+        Alcotest.test_case "word layout" `Quick test_packvec_layout;
+        Alcotest.test_case "get/set across words" `Quick test_packvec_get_set;
+        Alcotest.test_case "code roundtrip" `Quick test_packvec_code_roundtrip;
+        Alcotest.test_case "first_diff" `Quick test_packvec_first_diff;
+        Alcotest.test_case "last-word invariant" `Quick
+          test_packvec_invariant_under_ops;
+        Alcotest.test_case "first_set" `Quick test_packvec_first_set;
+      ] );
+    ( "wide.differential",
+      [
+        QCheck_alcotest.to_alcotest prop_combinational_matches_reference;
+        QCheck_alcotest.to_alcotest prop_parallel_fault_matches_reference;
+      ] );
+    ( "wide.end_to_end",
+      [
+        Alcotest.test_case "wide128 registered" `Quick test_wide128_registered;
+        Alcotest.test_case "wide128 coverage" `Quick
+          test_wide128_fault_coverage;
+        Alcotest.test_case "wide128 differential sample" `Quick
+          test_wide128_differential_sample;
+      ] );
+  ]
