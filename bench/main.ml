@@ -38,6 +38,8 @@ module Trace = Mutsamp_obs.Trace
 module Metrics = Mutsamp_obs.Metrics
 module Json = Mutsamp_obs.Json
 module Runreport = Mutsamp_obs.Runreport
+module Budget = Mutsamp_robust.Budget
+module Degrade = Mutsamp_robust.Degrade
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 let skip_micro = Array.exists (fun a -> a = "--skip-micro") Sys.argv
@@ -461,6 +463,15 @@ let () =
      let extra =
        ( "fsim_throughput_pairs_per_sec",
          Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) throughput) )
+       (* The robust section plus the robust.* counters in the metrics
+          snapshot record whether any stage degraded mid-bench — a
+          trajectory with a degraded run is not comparable to an exact
+          one. *)
+       :: ( "robust",
+            match Degrade.to_json () with
+            | Json.Obj fields ->
+              Json.Obj (fields @ [ ("budget", Budget.to_json (Budget.ambient ())) ])
+            | other -> other )
        ::
        (if micro = [] then []
         else

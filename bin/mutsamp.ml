@@ -30,6 +30,13 @@ module Report = Mutsamp_core.Report
 module Trace = Mutsamp_obs.Trace
 module Metrics = Mutsamp_obs.Metrics
 module Runreport = Mutsamp_obs.Runreport
+module Json = Mutsamp_obs.Json
+module Rerror = Mutsamp_robust.Error
+module Budget = Mutsamp_robust.Budget
+module Chaos = Mutsamp_robust.Chaos
+module Degrade = Mutsamp_robust.Degrade
+module Atomicio = Mutsamp_robust.Atomicio
+module Checkpoint = Mutsamp_robust.Checkpoint
 
 let find_circuit name =
   match Registry.find name with
@@ -59,10 +66,20 @@ let config_of ~quick ~seed =
   { base with Config.seed }
 
 (* ------------------------------------------------------------------ *)
-(* observability flags (shared by every subcommand)                   *)
+(* observability + robustness flags (shared by every subcommand)      *)
 (* ------------------------------------------------------------------ *)
 
-type obs_opts = { trace : bool; metrics : bool; report : string option }
+type obs_opts = {
+  trace : bool;
+  metrics : bool;
+  report : string option;
+  deadline_ms : int option;
+  sat_conflicts : int option;
+  podem_backtracks : int option;
+  fsim_pairs : int option;
+  chaos : string list;
+  chaos_seed : int;
+}
 
 let obs_term =
   let trace =
@@ -80,12 +97,58 @@ let obs_term =
          & info [ "report" ] ~docv:"FILE"
              ~doc:"Write a machine-readable JSON run report to FILE.")
   in
-  Term.(const (fun trace metrics report -> { trace; metrics; report })
-        $ trace $ metrics $ report)
+  let deadline_ms =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Wall-clock budget; past it the stages degrade instead of running on.")
+  in
+  let sat_conflicts =
+    Arg.(value & opt (some int) None
+         & info [ "sat-conflicts" ] ~docv:"N"
+             ~doc:"Total SAT conflict budget across every solve.")
+  in
+  let podem_backtracks =
+    Arg.(value & opt (some int) None
+         & info [ "podem-backtracks" ] ~docv:"N"
+             ~doc:"Total PODEM backtrack budget across every search.")
+  in
+  let fsim_pairs =
+    Arg.(value & opt (some int) None
+         & info [ "fsim-pairs" ] ~docv:"N"
+             ~doc:"Total fault-simulation budget in pattern-times-fault pairs.")
+  in
+  let chaos =
+    Arg.(value & opt_all string []
+         & info [ "chaos" ] ~docv:"SPEC"
+             ~doc:"Arm the fault-injection harness: POINT:ACTION[@AFTER], e.g. \
+                   sat:timeout, report:truncate=16, podem:exn@3. Repeatable.")
+  in
+  let chaos_seed =
+    Arg.(value & opt int 2005
+         & info [ "chaos-seed" ] ~docv:"N"
+             ~doc:"Seed for probabilistic chaos armings.")
+  in
+  Term.(const (fun trace metrics report deadline_ms sat_conflicts podem_backtracks
+                   fsim_pairs chaos chaos_seed ->
+            { trace; metrics; report; deadline_ms; sat_conflicts;
+              podem_backtracks; fsim_pairs; chaos; chaos_seed })
+        $ trace $ metrics $ report $ deadline_ms $ sat_conflicts
+        $ podem_backtracks $ fsim_pairs $ chaos $ chaos_seed)
 
-(* Run a subcommand body under a root span; afterwards render whatever
-   the flags asked for. Without flags the instrumentation stays
-   disabled and the wrapper is free. *)
+(* The "robust" report section: the degradation record plus the budget
+   the run was given. *)
+let robust_json budget =
+  match Degrade.to_json () with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("budget", Budget.to_json budget) ])
+  | other -> other
+
+(* Run a subcommand body under a root span with the ambient budget and
+   chaos armings installed; afterwards render whatever the flags asked
+   for. Typed errors escaping the body (and injected chaos exceptions)
+   become a one-line message and a per-class exit code — the report, if
+   requested, is still written first, recording the partial run.
+   Without flags the instrumentation stays disabled and the wrapper is
+   free. *)
 let with_obs obs ~command ?(circuits = []) ?config ?seed f =
   let any = obs.trace || obs.metrics || obs.report <> None in
   if any then begin
@@ -94,20 +157,53 @@ let with_obs obs ~command ?(circuits = []) ?config ?seed f =
     Metrics.set_enabled true;
     Metrics.reset ()
   end;
-  let result = Trace.with_span command f in
+  let budget =
+    match (obs.deadline_ms, obs.sat_conflicts, obs.podem_backtracks, obs.fsim_pairs) with
+    | None, None, None, None -> Budget.unlimited
+    | deadline_ms, sat_conflicts, podem_backtracks, fsim_pairs ->
+      Budget.create ?deadline_ms ?sat_conflicts ?podem_backtracks ?fsim_pairs ()
+  in
+  Budget.set_ambient budget;
+  Degrade.reset ();
+  Chaos.init ~seed:obs.chaos_seed ();
+  Chaos.disarm_all ();
+  List.iter
+    (fun spec ->
+      match Chaos.parse_spec spec with
+      | Ok () -> ()
+      | Error msg ->
+        Printf.eprintf "mutsamp: bad --chaos spec: %s\n" msg;
+        exit 64)
+    obs.chaos;
+  let result =
+    try Ok (Trace.with_span command f) with
+    | Rerror.E e -> Error e
+    | Chaos.Injected _ -> Error (Rerror.Injected Rerror.Pipeline)
+    | Mutsamp_netlist.Benchfmt.Parse_error msg
+    | Mutsamp_hdl.Parser.Parse_error msg
+    | Mutsamp_hdl.Lexer.Lex_error msg ->
+      Error (Rerror.Parse_error { loc = { Rerror.file = None; line = None }; msg })
+  in
   if obs.trace then Trace.print stderr;
   if obs.metrics then Format.eprintf "%a@?" Metrics.pp (Metrics.snapshot ());
   (match obs.report with
    | None -> ()
    | Some path ->
-     (try
-        Runreport.write_file path
-          (Runreport.make ~command ~circuits ?config ?seed
-             ~spans:(Trace.roots ()) ~metrics:(Metrics.snapshot ()) ())
-      with Sys_error msg ->
-        Printf.eprintf "mutsamp: cannot write report: %s\n" msg;
-        exit 1));
-  result
+     let json =
+       Runreport.make ~command ~circuits ?config ?seed
+         ~extra:[ ("robust", robust_json budget) ]
+         ~spans:(Trace.roots ()) ~metrics:(Metrics.snapshot ()) ()
+     in
+     (match Atomicio.write_file path (Json.to_string json) with
+      | Ok () -> ()
+      | Error e ->
+        Printf.eprintf "mutsamp: cannot write report: %s\n" (Rerror.to_string e);
+        exit (Rerror.exit_code e)));
+  match result with
+  | Ok v -> v
+  | Error e ->
+    Printf.eprintf "mutsamp: %s\n" (Rerror.to_string e);
+    exit (Rerror.exit_code e)
 
 (* Parsing/elaboration is a phase worth seeing in traces. *)
 let design_of (e : Registry.entry) =
@@ -292,12 +388,16 @@ let atpg_cmd =
     let faults = (Collapse.run scanned).Collapse.representatives in
     let r = Topoff.run ~engine ~seed scanned ~faults ~seed_patterns:[||] in
     Printf.printf
-      "%s%s: %d faults | random: %d vectors (%d detected) | atpg: %d calls, %d vectors (%d detected) | untestable %d, aborted %d | coverage %.2f%% of testable\n"
+      "%s%s: %d faults | random: %d vectors (%d detected) | atpg: %d calls, %d vectors (%d detected) | untestable %d, aborted %d | coverage %.2f%% of testable%s\n"
       e.Registry.name
       (if p.Pipeline.sequential then " (full-scan)" else "")
       r.Topoff.total_faults r.Topoff.random_patterns r.Topoff.random_detected
       r.Topoff.atpg_calls r.Topoff.atpg_patterns r.Topoff.atpg_detected
       r.Topoff.untestable r.Topoff.aborted r.Topoff.final_coverage_percent
+      (if r.Topoff.degraded then
+         Printf.sprintf " | DEGRADED (random fallback x%d, +%d detected)"
+           r.Topoff.degraded_retries r.Topoff.degraded_detected
+       else "")
   in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Random + deterministic test generation to full coverage.")
@@ -354,7 +454,9 @@ let import_cmd =
     with_obs obs ~command:"import" ~seed @@ fun () ->
     let nl =
       Trace.with_span "parse" ~attrs:[ ("file", path) ] (fun () ->
-          Mutsamp_netlist.Benchfmt.read_file ~name:path path)
+          match Mutsamp_netlist.Benchfmt.read_file_result ~name:path path with
+          | Ok nl -> nl
+          | Error e -> raise (Rerror.E e))
     in
     Printf.printf "%s: %s\n" path (Stats.to_string (Stats.compute nl));
     if vectors > 0 then begin
@@ -589,32 +691,43 @@ let resolve_circuits names =
       (e.Registry.name, Pipeline.prepare (design_of e)))
     entries
 
+let checkpoint_flag =
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Persist each finished operator row to FILE (atomically) and \
+                 resume from it: rows already on disk for the same seed, \
+                 circuit and operator are not recomputed.")
+
 let table1_cmd =
-  let run obs names_opt names_pos quick seed =
+  let run obs names_opt names_pos quick seed checkpoint_path =
     let config = config_of ~quick ~seed in
     let names = circuit_names names_opt names_pos in
+    let checkpoint = Option.map Checkpoint.load checkpoint_path in
     with_obs obs ~command:"table1" ~circuits:names ~config:(Config.to_json config)
       ~seed
     @@ fun () ->
     let rows =
       List.map
-        (fun (name, p) -> Experiments.operator_efficiency_avg ~config p ~name)
+        (fun (name, p) ->
+          Experiments.operator_efficiency_avg ~config ?checkpoint p ~name)
         (resolve_circuits names)
     in
     print_endline (Report.table1 rows)
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 (operator efficiency).")
-    Term.(const run $ obs_term $ circuits_opt $ circuits_pos $ quick_flag $ seed_flag)
+    Term.(const run $ obs_term $ circuits_opt $ circuits_pos $ quick_flag $ seed_flag
+          $ checkpoint_flag)
 
 let table2_cmd =
   let reps =
     Arg.(value & opt int 5 & info [ "repetitions"; "r" ] ~docv:"N"
            ~doc:"Independent repetitions to average.")
   in
-  let run obs names_opt names_pos quick seed reps =
+  let run obs names_opt names_pos quick seed reps checkpoint_path =
     let config = config_of ~quick ~seed in
     let names = circuit_names names_opt names_pos in
+    let checkpoint = Option.map Checkpoint.load checkpoint_path in
     with_obs obs ~command:"table2" ~circuits:names ~config:(Config.to_json config)
       ~seed
     @@ fun () ->
@@ -622,7 +735,8 @@ let table2_cmd =
       List.map
         (fun (name, p) ->
           let full =
-            Experiments.operator_efficiency_avg ~config ~operators:Operator.all p ~name
+            Experiments.operator_efficiency_avg ~config ~operators:Operator.all
+              ?checkpoint p ~name
           in
           let weights = Experiments.weights_of_table1 full in
           let equivalents =
@@ -638,7 +752,8 @@ let table2_cmd =
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Reproduce the paper's Table 2 (sampling strategies).")
-    Term.(const run $ obs_term $ circuits_opt $ circuits_pos $ quick_flag $ seed_flag $ reps)
+    Term.(const run $ obs_term $ circuits_opt $ circuits_pos $ quick_flag $ seed_flag
+          $ reps $ checkpoint_flag)
 
 let e3_cmd =
   let run obs names_opt names_pos quick seed =

@@ -4,6 +4,9 @@ module Topo = Mutsamp_netlist.Topo
 module Fault = Mutsamp_fault.Fault
 module V = Fivevalued
 module Metrics = Mutsamp_obs.Metrics
+module Rerror = Mutsamp_robust.Error
+module Budget = Mutsamp_robust.Budget
+module Chaos = Mutsamp_robust.Chaos
 
 type result = Test of Mutsamp_fault.Pattern.t | Untestable | Aborted
 
@@ -213,8 +216,9 @@ let backtrace ctx net v =
   walk net v
 
 exception Abort
+exception Stop of Rerror.t
 
-let generate ?(backtrack_limit = 10_000) ?(guided = true) nl fault =
+let generate_core ~backtrack_limit ~guided ~budget nl fault =
   if Netlist.num_dffs nl > 0 then
     invalid_arg "Podem.generate: sequential netlist (apply Scan.full_scan first)";
   let pi_position = Hashtbl.create 16 in
@@ -270,6 +274,10 @@ let generate ?(backtrack_limit = 10_000) ?(guided = true) nl fault =
             if search () then true
             else begin
               ctx.backtracks <- ctx.backtracks + 1;
+              (* One work unit per backtrack; also polls the deadline. *)
+              (match Budget.spend budget ~stage:Rerror.Podem Budget.Podem_backtracks 1 with
+               | Ok () -> ()
+               | Error e -> raise (Stop e));
               if ctx.backtracks > ctx.backtrack_limit then raise Abort;
               ctx.pi_value.(pos) <- V.of_bool (not value);
               if search () then true
@@ -303,3 +311,21 @@ let generate ?(backtrack_limit = 10_000) ?(guided = true) nl fault =
    | Untestable -> Metrics.incr c_untestable
    | Aborted -> Metrics.incr c_aborted);
   (outcome, { backtracks = ctx.backtracks; implications = ctx.implications })
+
+let generate ?(backtrack_limit = 10_000) ?(guided = true) nl fault =
+  generate_core ~backtrack_limit ~guided ~budget:Budget.unlimited nl fault
+
+let find_test ?(backtrack_limit = 10_000) ?(guided = true) ?budget nl fault =
+  let budget = match budget with Some b -> b | None -> Budget.ambient () in
+  Chaos.contain Rerror.Podem (fun () ->
+      (match Chaos.trip Chaos.Podem_search with
+       | Ok () -> ()
+       | Error e -> raise (Rerror.E e));
+      match generate_core ~backtrack_limit ~guided ~budget nl fault with
+      | exception Stop e -> raise (Rerror.E e)
+      | Test p, stats -> (Some p, stats)
+      | Untestable, stats -> (None, stats)
+      | Aborted, _ ->
+        (* Distinct from a redundancy proof: the search ran out of its
+           own backtrack limit, so the fault's status is unknown. *)
+        raise (Rerror.E (Rerror.Aborted Rerror.Podem)))

@@ -27,4 +27,21 @@ val generate :
     to 10_000; [guided] (default true) enables the SCOAP branching
     heuristics — turning it off reverts to first-X-input/first-frontier
     choices (the A3 ablation). Raises [Invalid_argument] on a
-    sequential netlist (use {!Scan.full_scan} first). *)
+    sequential netlist (use {!Scan.full_scan} first). Runs under an
+    unlimited budget. *)
+
+val find_test :
+  ?backtrack_limit:int ->
+  ?guided:bool ->
+  ?budget:Mutsamp_robust.Budget.t ->
+  Mutsamp_netlist.Netlist.t ->
+  Mutsamp_fault.Fault.t ->
+  (Mutsamp_fault.Pattern.t option * stats, Mutsamp_robust.Error.t) Stdlib.result
+(** Typed-result entry point, separating the three ways a search ends:
+    [Ok (Some p, _)] is a test, [Ok (None, _)] is a {e proof} that the
+    fault is untestable, and [Error (Aborted Podem)] means the search
+    hit [backtrack_limit] with the fault's status unknown — callers must
+    not count it as redundant. One [Podem_backtracks] work unit is spent
+    per backtrack against [budget] (default: ambient), yielding
+    [Error (Budget_exhausted _)] / [Error (Timeout Podem)] when
+    exhausted. *)

@@ -2,6 +2,9 @@ module Netlist = Mutsamp_netlist.Netlist
 module Gate = Mutsamp_netlist.Gate
 module Sweep = Mutsamp_netlist.Sweep
 module Fault = Mutsamp_fault.Fault
+module Rerror = Mutsamp_robust.Error
+module Budget = Mutsamp_robust.Budget
+module Degrade = Mutsamp_robust.Degrade
 
 let tie_net (nl : Netlist.t) net value =
   let gates = Array.copy nl.gates in
@@ -13,8 +16,9 @@ let tie_net (nl : Netlist.t) net value =
    | _ -> gates.(net) <- { Gate.kind = Gate.Const value; fanins = [||] });
   { nl with Netlist.gates }
 
-let round nl =
+let round ~budget ~first_error nl =
   let tied = ref 0 in
+  let skipped = ref 0 in
   let current = ref nl in
   let gate_count = Array.length nl.Netlist.gates in
   let net = ref 0 in
@@ -28,13 +32,20 @@ let round nl =
      | Gate.Xor | Gate.Xnor ->
        let try_tie polarity value =
          match
-           Satgen.generate !current { Fault.site = Fault.Stem i; polarity }
+           Satgen.generate_result ~budget !current
+             { Fault.site = Fault.Stem i; polarity }
          with
-         | Satgen.Untestable ->
+         | Ok Satgen.Untestable ->
+           (* Only a completed UNSAT proof licenses tying the net — an
+              aborted solve says nothing about redundancy. *)
            current := tie_net !current i value;
            incr tied;
            true
-         | Satgen.Test _ -> false
+         | Ok (Satgen.Test _) -> false
+         | Error e ->
+           if !first_error = None then first_error := Some e;
+           incr skipped;
+           false
        in
        (* stuck-at-0 untestable -> the net never influences an output
           when forced to 0 ... precisely: outputs are identical with the
@@ -43,17 +54,29 @@ let round nl =
          ignore (try_tie Fault.Stuck_at_1 true));
     incr net
   done;
-  (!current, !tied)
+  (!current, !tied, !skipped)
 
-let remove ?(max_rounds = 4) nl =
+let remove ?(max_rounds = 4) ?budget nl =
   if Netlist.num_dffs nl > 0 then
     invalid_arg "Redundancy.remove: sequential netlist (apply Scan.full_scan first)";
+  let budget = match budget with Some b -> b | None -> Budget.ambient () in
+  let total_skipped = ref 0 in
+  let first_error = ref None in
   let rec loop nl total rounds =
     if rounds = 0 then (fst (Sweep.run nl), total)
     else begin
-      let cleaned, tied = round nl in
+      let cleaned, tied, skipped = round ~budget ~first_error nl in
+      total_skipped := !total_skipped + skipped;
       let swept = fst (Sweep.run cleaned) in
       if tied = 0 then (swept, total) else loop swept (total + tied) (rounds - 1)
     end
   in
-  loop nl 0 max_rounds
+  let result = loop nl 0 max_rounds in
+  (match !first_error with
+   | Some e when !total_skipped > 0 ->
+     Degrade.note ~stage:Rerror.Pipeline
+       ~detail:
+         (Printf.sprintf "redundancy removal left %d nets undecided" !total_skipped)
+       e
+   | _ -> ());
+  result

@@ -13,9 +13,15 @@
 
 val remove :
   ?max_rounds:int ->
+  ?budget:Mutsamp_robust.Budget.t ->
   Mutsamp_netlist.Netlist.t ->
   Mutsamp_netlist.Netlist.t * int
 (** Returns the cleaned netlist and the number of nets tied off.
     [max_rounds] defaults to 4. Raises [Invalid_argument] on
     sequential netlists ({!Scan.full_scan} first if that
-    approximation suits the use). *)
+    approximation suits the use).
+
+    Soundness under budgets: a net is tied only on a {e completed}
+    UNSAT proof. When [budget] (default: ambient) cuts a solve short
+    the net is skipped — conservatively kept — and the degradation is
+    recorded; the cleaned netlist is always equivalent to the input. *)

@@ -11,4 +11,15 @@ type result =
   | Untestable
 
 val generate : Mutsamp_netlist.Netlist.t -> Mutsamp_fault.Fault.t -> result
-(** Raises [Invalid_argument] on a sequential netlist. *)
+(** Raises [Invalid_argument] on a sequential netlist. Runs under an
+    unlimited SAT budget. *)
+
+val generate_result :
+  ?budget:Mutsamp_robust.Budget.t ->
+  Mutsamp_netlist.Netlist.t ->
+  Mutsamp_fault.Fault.t ->
+  (result, Mutsamp_robust.Error.t) Stdlib.result
+(** Budgeted variant. [Error] means the miter solve was cut short —
+    crucially, {e not} a proof of untestability; callers tracking
+    redundancy must treat it as unknown. [budget] defaults to the
+    ambient budget. *)

@@ -2,34 +2,56 @@ module Netlist = Mutsamp_netlist.Netlist
 module Fault = Mutsamp_fault.Fault
 module Fsim = Mutsamp_fault.Fsim
 module Equiv = Mutsamp_sat.Equiv
+module Rerror = Mutsamp_robust.Error
+module Budget = Mutsamp_robust.Budget
+module Chaos = Mutsamp_robust.Chaos
+module Degrade = Mutsamp_robust.Degrade
 
 type result =
   | Test of Mutsamp_fault.Pattern.t array
   | No_test_within of int
 
-let generate ?(max_frames = 8) nl fault =
-  let rec try_frames k =
-    if k > max_frames then No_test_within max_frames
-    else begin
-      let good = Unroll.expand ~frames:k nl in
-      let faulty = Unroll.expand ~fault ~frames:k nl in
-      match Equiv.check good faulty with
-      | Equiv.Equivalent -> try_frames (k + 1)
-      | Equiv.Counterexample assignment ->
-        Test (Unroll.patterns_of_assignment nl ~frames:k assignment)
-    end
-  in
-  try_frames 1
+let generate_result ?(max_frames = 8) ?budget nl fault =
+  let budget = match budget with Some b -> b | None -> Budget.ambient () in
+  Chaos.contain Rerror.Seqatpg (fun () ->
+      let check = function Ok () -> () | Error e -> raise (Rerror.E e) in
+      let rec try_frames k =
+        if k > max_frames then No_test_within max_frames
+        else begin
+          check (Chaos.trip Chaos.Seqatpg_frame);
+          check (Budget.check_deadline budget ~stage:Rerror.Seqatpg);
+          let good = Unroll.expand ~frames:k nl in
+          let faulty = Unroll.expand ~fault ~frames:k nl in
+          match Equiv.check_result ~budget good faulty with
+          | Error e -> raise (Rerror.E e)
+          | Ok Equiv.Equivalent -> try_frames (k + 1)
+          | Ok (Equiv.Counterexample assignment) ->
+            Test (Unroll.patterns_of_assignment nl ~frames:k assignment)
+        end
+      in
+      try_frames 1)
 
-let generate_set ?max_frames nl ~faults =
+let generate ?max_frames nl fault =
+  match generate_result ?max_frames ~budget:Budget.unlimited nl fault with
+  | Ok r -> r
+  | Error e -> raise (Rerror.E e)
+
+let generate_set ?max_frames ?budget nl ~faults =
+  let budget = match budget with Some b -> b | None -> Budget.ambient () in
   let sequences = ref [] in
   let rec work remaining undetected =
     match remaining with
     | [] -> undetected
     | target :: rest ->
-      (match generate ?max_frames nl target with
-       | No_test_within _ -> work rest (target :: undetected)
-       | Test seq ->
+      (match generate_result ?max_frames ~budget nl target with
+       | Error e ->
+         (* Budget/deadline/injection: stop expanding and return every
+            unresolved fault as undetected — a partial but valid set. *)
+         Degrade.note ~stage:Rerror.Seqatpg
+           ~detail:"sequential ATPG cut short; remaining faults left undetected" e;
+         List.rev_append remaining undetected
+       | Ok (No_test_within _) -> work rest (target :: undetected)
+       | Ok (Test seq) ->
          sequences := seq :: !sequences;
          (* The new sequence may detect other remaining faults too. *)
          let r = Fsim.run_sequential nl ~faults:(target :: rest) ~sequence:seq in

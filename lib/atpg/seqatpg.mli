@@ -23,14 +23,29 @@ val generate :
   result
 (** [max_frames] defaults to 8. The returned sequence is the shortest
     (fewest frames) the expansion admits. Works on combinational
-    netlists too (the answer then has 1 frame). *)
+    netlists too (the answer then has 1 frame). Runs under an unlimited
+    budget. *)
+
+val generate_result :
+  ?max_frames:int ->
+  ?budget:Mutsamp_robust.Budget.t ->
+  Mutsamp_netlist.Netlist.t ->
+  Mutsamp_fault.Fault.t ->
+  (result, Mutsamp_robust.Error.t) Stdlib.result
+(** Budgeted variant: each frame expansion checks the deadline and the
+    miter solves spend [Sat_conflicts]. [budget] defaults to the
+    ambient budget. *)
 
 val generate_set :
   ?max_frames:int ->
+  ?budget:Mutsamp_robust.Budget.t ->
   Mutsamp_netlist.Netlist.t ->
   faults:Mutsamp_fault.Fault.t list ->
   Mutsamp_fault.Pattern.t array list * Mutsamp_fault.Fault.t list
 (** Tests for a whole fault list with cross fault dropping (each new
     sequence is fault-simulated against the remaining faults). Returns
     the sequences and the faults left undetected within the frame
-    budget. *)
+    budget. If [budget] (default: ambient) runs out mid-list the
+    remaining faults are returned as undetected and the degradation is
+    recorded ({!Mutsamp_robust.Degrade}) — the partial sequence set is
+    still valid. *)

@@ -5,6 +5,9 @@ module Fsim = Mutsamp_fault.Fsim
 module Prng = Mutsamp_util.Prng
 module Trace = Mutsamp_obs.Trace
 module Metrics = Mutsamp_obs.Metrics
+module Rerror = Mutsamp_robust.Error
+module Budget = Mutsamp_robust.Budget
+module Degrade = Mutsamp_robust.Degrade
 
 type engine = Use_podem | Use_sat
 
@@ -15,6 +18,7 @@ let c_atpg_patterns = Metrics.counter "topoff.atpg_patterns"
 let c_random_patterns = Metrics.counter "topoff.random_patterns"
 let c_untestable = Metrics.counter "topoff.untestable"
 let c_aborted = Metrics.counter "topoff.aborted"
+let c_degraded = Metrics.counter "topoff.degraded_runs"
 
 type report = {
   total_faults : int;
@@ -28,6 +32,9 @@ type report = {
   random_patterns : int;
   atpg_calls : int;
   atpg_patterns : int;
+  degraded : bool;
+  degraded_retries : int;
+  degraded_detected : int;
   test_set : Mutsamp_fault.Pattern.t array;
 }
 
@@ -43,9 +50,15 @@ let surviving nl faults patterns =
   end
 
 let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed = 1)
-    ?(backtrack_limit = 2000) nl ~faults ~seed_patterns =
+    ?(backtrack_limit = 2000) ?budget ?(degraded_retries = 3) nl ~faults ~seed_patterns =
   if Netlist.num_dffs nl > 0 then
     invalid_arg "Topoff.run: sequential netlist (apply Scan.full_scan first)";
+  let budget = match budget with Some b -> b | None -> Budget.ambient () in
+  let expired () =
+    match Budget.check_deadline budget ~stage:Rerror.Topoff with
+    | Ok () -> false
+    | Error _ -> true
+  in
   Trace.with_span "atpg"
     ~attrs:[ ("engine", match engine with Use_podem -> "podem" | Use_sat -> "sat") ]
   @@ fun () ->
@@ -62,7 +75,8 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
   let random_patterns = ref 0 in
   let stall = ref 0 in
   while
-    !stall < random_stall && !random_patterns < random_budget && !remaining <> []
+    (not (expired ()))
+    && !stall < random_stall && !random_patterns < random_budget && !remaining <> []
   do
     let batch = Prpg.uniform_sequence prng ~bits ~length:Bitsim.word_bits in
     let before = List.length !remaining in
@@ -82,38 +96,93 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
   let untestable = ref 0 in
   let aborted = ref 0 in
   let atpg_detected = ref 0 in
-  let rec phase3 = function
-    | [] -> ()
-    | target :: rest ->
-      incr atpg_calls;
-      let outcome =
-        match engine with
-        | Use_podem ->
-          (match fst (Podem.generate ~backtrack_limit nl target) with
-           | Podem.Test p -> `Test p
-           | Podem.Untestable -> `Untestable
-           | Podem.Aborted -> `Aborted)
-        | Use_sat ->
-          (match Satgen.generate nl target with
-           | Satgen.Test p -> `Test p
-           | Satgen.Untestable -> `Untestable)
-      in
-      (match outcome with
-       | `Test p ->
-         incr atpg_patterns;
-         test_set := !test_set @ [ p ];
-         (* Drop every remaining fault this vector also detects. *)
-         let next = surviving nl (target :: rest) [| p |] in
-         atpg_detected := !atpg_detected + (List.length rest + 1 - List.length next);
-         phase3 next
-       | `Untestable ->
-         incr untestable;
-         phase3 rest
-       | `Aborted ->
-         incr aborted;
-         phase3 rest)
+  let degrade_error = ref None in
+  let rec phase3 pending =
+    match pending with
+    | [] -> []
+    | target :: rest -> (
+      match Budget.check_deadline budget ~stage:Rerror.Topoff with
+      | Error e ->
+        degrade_error := Some e;
+        pending
+      | Ok () ->
+        incr atpg_calls;
+        let outcome =
+          match engine with
+          | Use_podem ->
+            (match Podem.find_test ~backtrack_limit ~budget nl target with
+             | Ok (Some p, _) -> `Test p
+             | Ok (None, _) -> `Untestable
+             | Error (Rerror.Aborted _) -> `Aborted
+             | Error e -> `Stop e)
+          | Use_sat ->
+            (match Satgen.generate_result ~budget nl target with
+             | Ok (Satgen.Test p) -> `Test p
+             | Ok Satgen.Untestable -> `Untestable
+             | Error e -> `Stop e)
+        in
+        (match outcome with
+         | `Test p ->
+           incr atpg_patterns;
+           test_set := !test_set @ [ p ];
+           (* Drop every remaining fault this vector also detects. *)
+           let next = surviving nl (target :: rest) [| p |] in
+           atpg_detected := !atpg_detected + (List.length rest + 1 - List.length next);
+           phase3 next
+         | `Untestable ->
+           incr untestable;
+           phase3 rest
+         | `Aborted ->
+           (* Stage-local backtrack limit: this fault alone is given up;
+              deterministic generation continues for the rest. *)
+           incr aborted;
+           phase3 rest
+         | `Stop e ->
+           (* Budget/timeout/injection: the whole deterministic phase is
+              cut short and the caller-visible degradation path runs. *)
+           degrade_error := Some e;
+           pending))
   in
-  phase3 !remaining;
+  let leftover = ref (phase3 !remaining) in
+  (* Graceful degradation: when deterministic ATPG was cut short, fall
+     back to bounded random top-off rounds with exponential
+     vector-count backoff (64, 128, 256, … patterns per retry). Random
+     simulation costs no SAT/PODEM budget, so partial coverage keeps
+     improving even after the solver quota is gone; only the deadline
+     can stop the retries early. *)
+  let degraded_detected = ref 0 in
+  let retries_used = ref 0 in
+  (match !degrade_error with
+   | None -> ()
+   | Some e ->
+     Metrics.incr c_degraded;
+     Degrade.note ~stage:Rerror.Topoff
+       ~detail:"deterministic ATPG cut short; random top-off fallback" e;
+     let batch_words = ref 1 in
+     (try
+        for _retry = 1 to degraded_retries do
+          if !leftover = [] || expired () then raise Exit;
+          Degrade.retry ~stage:Rerror.Topoff;
+          incr retries_used;
+          for _batch = 1 to !batch_words do
+            if !leftover <> [] then begin
+              let batch = Prpg.uniform_sequence prng ~bits ~length:Bitsim.word_bits in
+              random_patterns := !random_patterns + Bitsim.word_bits;
+              let before = List.length !leftover in
+              let next = surviving nl !leftover batch in
+              if List.length next < before then begin
+                test_set := !test_set @ Array.to_list batch;
+                degraded_detected := !degraded_detected + (before - List.length next);
+                leftover := next
+              end
+            end
+          done;
+          batch_words := !batch_words * 2
+        done
+      with Exit -> ()));
+  (* Whatever survived the fallback is undetected with unknown status —
+     counted as aborted, never as untestable. *)
+  aborted := !aborted + List.length !leftover;
   Metrics.add c_atpg_calls !atpg_calls;
   Metrics.add c_atpg_patterns !atpg_patterns;
   Metrics.add c_random_patterns !random_patterns;
@@ -122,7 +191,9 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
   Trace.add_attr "faults" (string_of_int total_faults);
   Trace.add_attr "atpg_calls" (string_of_int !atpg_calls);
   let testable = total_faults - !untestable in
-  let detected = seed_detected + random_detected + !atpg_detected in
+  let detected =
+    seed_detected + random_detected + !atpg_detected + !degraded_detected
+  in
   {
     total_faults;
     seed_detected;
@@ -136,5 +207,8 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
     random_patterns = !random_patterns;
     atpg_calls = !atpg_calls;
     atpg_patterns = !atpg_patterns;
+    degraded = !degrade_error <> None;
+    degraded_retries = !retries_used;
+    degraded_detected = !degraded_detected;
     test_set = Array.of_list !test_set;
   }

@@ -14,12 +14,19 @@ type report = {
   random_detected : int;  (** additionally detected by the random phase *)
   atpg_detected : int;  (** additionally detected by deterministic tests *)
   untestable : int;  (** proven redundant *)
-  aborted : int;  (** PODEM budget exhausted, fault left undetected *)
+  aborted : int;
+      (** left undetected with unknown status: PODEM hit its backtrack
+          limit, or the run degraded before the fault was resolved *)
   final_coverage_percent : float;  (** over testable faults *)
   seed_patterns : int;
   random_patterns : int;
   atpg_calls : int;
   atpg_patterns : int;  (** deterministic vectors added *)
+  degraded : bool;
+      (** deterministic ATPG was cut short by budget/deadline/injection
+          and the random fallback ran *)
+  degraded_retries : int;  (** fallback rounds actually taken *)
+  degraded_detected : int;  (** additionally detected by the fallback *)
   test_set : Mutsamp_fault.Pattern.t array;
       (** the complete final pattern set, in order *)
 }
@@ -30,6 +37,8 @@ val run :
   ?random_stall:int ->
   ?seed:int ->
   ?backtrack_limit:int ->
+  ?budget:Mutsamp_robust.Budget.t ->
+  ?degraded_retries:int ->
   Mutsamp_netlist.Netlist.t ->
   faults:Mutsamp_fault.Fault.t list ->
   seed_patterns:Mutsamp_fault.Pattern.t array ->
@@ -45,4 +54,13 @@ val run :
     remaining faults so one ATPG call can cover several faults.
     [backtrack_limit] (default 2000) bounds each PODEM call; exhausted
     budgets are reported as [aborted]. XOR-dominated circuits are
-    PODEM's worst case — prefer [Use_sat] there. *)
+    PODEM's worst case — prefer [Use_sat] there.
+
+    Degradation: when [budget] (default: ambient) is exhausted — SAT
+    conflicts, PODEM backtracks or the wall-clock deadline — the
+    deterministic phase stops and up to [degraded_retries] (default 3)
+    random top-off rounds run instead, doubling the vector count each
+    round. The run then {e returns} a report with [degraded = true] and
+    partial coverage rather than failing; pending faults are counted as
+    [aborted]. Under the default unlimited budget the flow and report
+    are identical to the pre-budget behaviour. *)

@@ -11,6 +11,8 @@ module Topoff = Mutsamp_atpg.Topoff
 module Fault = Mutsamp_fault.Fault
 module Collapse = Mutsamp_fault.Collapse
 module Netlist = Mutsamp_netlist.Netlist
+module Json = Mutsamp_obs.Json
+module Checkpoint = Mutsamp_robust.Checkpoint
 
 type operator_row = {
   op : Operator.t;
@@ -19,6 +21,66 @@ type operator_row = {
 }
 
 type table1_row = { circuit : string; per_operator : operator_row list }
+
+(* --- checkpoint (de)serialisation of operator rows --------------------- *)
+
+let json_of_operator_row row =
+  let m = row.metric in
+  Json.Obj
+    [
+      ("op", Json.String (Operator.name row.op));
+      ("mutant_count", Json.Int row.mutant_count);
+      ("mutation_length", Json.Int m.Nlfce.mutation_length);
+      ("mfc", Json.Float m.Nlfce.mfc);
+      ("rfc_at_equal_length", Json.Float m.Nlfce.rfc_at_equal_length);
+      ("random_length_for_mfc", Json.Int m.Nlfce.random_length_for_mfc);
+      ("random_saturated", Json.Bool m.Nlfce.random_saturated);
+      ("delta_fc_percent", Json.Float m.Nlfce.delta_fc_percent);
+      ("delta_l_percent", Json.Float m.Nlfce.delta_l_percent);
+      ("nlfce", Json.Float m.Nlfce.nlfce);
+    ]
+
+(* [op] comes from the request, not the payload: the key already names
+   the operator, so a payload recorded under the wrong key cannot smuggle
+   in a row for a different operator. *)
+let operator_row_of_json ~op json =
+  let int k = match Json.member k json with Some (Json.Int v) -> Some v | _ -> None in
+  let num k =
+    match Json.member k json with
+    | Some (Json.Float v) -> Some v
+    | Some (Json.Int v) -> Some (float_of_int v)
+    | _ -> None
+  in
+  let bool k = match Json.member k json with Some (Json.Bool v) -> Some v | _ -> None in
+  match
+    ( int "mutant_count", int "mutation_length", num "mfc",
+      num "rfc_at_equal_length", int "random_length_for_mfc",
+      bool "random_saturated", num "delta_fc_percent", num "delta_l_percent",
+      num "nlfce" )
+  with
+  | ( Some mutant_count, Some mutation_length, Some mfc,
+      Some rfc_at_equal_length, Some random_length_for_mfc,
+      Some random_saturated, Some delta_fc_percent, Some delta_l_percent,
+      Some nlfce ) ->
+    Some
+      {
+        op;
+        mutant_count;
+        metric =
+          {
+            Nlfce.mutation_length;
+            mfc;
+            rfc_at_equal_length;
+            random_length_for_mfc;
+            random_saturated;
+            delta_fc_percent;
+            delta_l_percent;
+            nlfce;
+          };
+      }
+  | _ -> None
+
+let t1_key ~seed ~name op = Printf.sprintf "t1/%d/%s/%s" seed name (Operator.name op)
 
 (* Mix a sub-experiment label into the master seed so each use draws an
    independent deterministic stream. *)
@@ -54,7 +116,22 @@ let measure_against_random (config : Config.t) pipeline ~label mutant_subset =
 let paper_operators = [ Operator.LOR; Operator.VR; Operator.CVR; Operator.CR ]
 
 let operator_efficiency ?(config = Config.default) ?(operators = paper_operators)
-    pipeline ~name =
+    ?checkpoint pipeline ~name =
+  let resume op =
+    match checkpoint with
+    | None -> None
+    | Some cp ->
+      Option.bind
+        (Checkpoint.find cp (t1_key ~seed:config.Config.seed ~name op))
+        (operator_row_of_json ~op)
+  in
+  let persist op row =
+    match checkpoint with
+    | None -> ()
+    | Some cp ->
+      Checkpoint.record cp (t1_key ~seed:config.Config.seed ~name op)
+        (json_of_operator_row row)
+  in
   let rows =
     List.filter_map
       (fun op ->
@@ -64,11 +141,15 @@ let operator_efficiency ?(config = Config.default) ?(operators = paper_operators
             pipeline.Pipeline.mutants
         in
         if subset = [] then None
-        else begin
-          let label = Printf.sprintf "%s/t1/%s" name (Operator.name op) in
-          let _, metric = measure_against_random config pipeline ~label subset in
-          Some { op; mutant_count = List.length subset; metric }
-        end)
+        else
+          match resume op with
+          | Some row -> Some row
+          | None ->
+            let label = Printf.sprintf "%s/t1/%s" name (Operator.name op) in
+            let _, metric = measure_against_random config pipeline ~label subset in
+            let row = { op; mutant_count = List.length subset; metric } in
+            persist op row;
+            Some row)
       operators
   in
   { circuit = name; per_operator = rows }
@@ -112,13 +193,15 @@ let average_table1 rows =
     { circuit = first.circuit; per_operator }
 
 let operator_efficiency_avg ?(config = Config.default) ?operators ?(repetitions = 3)
-    pipeline ~name =
+    ?checkpoint pipeline ~name =
   let rows =
     List.init repetitions (fun r ->
         let cfg =
           { config with Config.seed = derived_seed config.Config.seed (Printf.sprintf "%s/t1rep%d" name r) }
         in
-        operator_efficiency ~config:cfg ?operators pipeline ~name)
+        (* Each repetition carries its own derived seed, so its rows land
+           under distinct checkpoint keys. *)
+        operator_efficiency ~config:cfg ?operators ?checkpoint pipeline ~name)
   in
   average_table1 rows
 

@@ -23,12 +23,19 @@ type table1_row = { circuit : string; per_operator : operator_row list }
 val operator_efficiency :
   ?config:Config.t ->
   ?operators:Mutsamp_mutation.Operator.t list ->
+  ?checkpoint:Mutsamp_robust.Checkpoint.t ->
   Pipeline.t ->
   name:string ->
   table1_row
 (** Default operator set: the paper's LOR, VR, CVR, CR. Operators with
     no mutants on the circuit are skipped (like CR in the paper when a
-    description declares no constant). *)
+    description declares no constant).
+
+    With [checkpoint], each finished operator row is persisted under
+    key ["t1/<seed>/<circuit>/<op>"] as soon as it is computed, and
+    rows already on disk for this exact seed/circuit/operator are
+    reused instead of recomputed — a crashed campaign resumes where it
+    stopped. *)
 
 val average_table1 : table1_row list -> table1_row
 (** Field-wise mean of several runs of the same circuit (same operator
@@ -38,11 +45,14 @@ val operator_efficiency_avg :
   ?config:Config.t ->
   ?operators:Mutsamp_mutation.Operator.t list ->
   ?repetitions:int ->
+  ?checkpoint:Mutsamp_robust.Checkpoint.t ->
   Pipeline.t ->
   name:string ->
   table1_row
 (** {!operator_efficiency} repeated with independent derived seeds
-    (default 3) and averaged. *)
+    (default 3) and averaged. Each repetition checkpoints under its own
+    derived seed, so resuming replays only the unfinished
+    repetitions. *)
 
 val weights_of_table1 : table1_row -> (Mutsamp_mutation.Operator.t * float) list
 (** Efficiency-proportional weights with bounded skew: a class at the

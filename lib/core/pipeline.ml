@@ -19,6 +19,9 @@ module Equivalence = Mutsamp_mutation.Equivalence
 module Equiv = Mutsamp_sat.Equiv
 module Trace = Mutsamp_obs.Trace
 module Metrics = Mutsamp_obs.Metrics
+module Rerror = Mutsamp_robust.Error
+module Budget = Mutsamp_robust.Budget
+module Degrade = Mutsamp_robust.Degrade
 
 (* Observability series (no-ops unless metrics collection is on). *)
 let c_equiv_screened = Metrics.counter "equiv.screened_out"
@@ -103,8 +106,9 @@ let scan_patterns_of_sequences t sequences =
     Array.of_list (List.rev !patterns)
   end
 
-let classify_equivalents ?(screen = 512) ?on_progress ~seed t =
+let classify_equivalents ?(screen = 512) ?on_progress ?budget ~seed t =
   Trace.with_span "equiv" @@ fun () ->
+  let budget = match budget with Some b -> b | None -> Budget.ambient () in
   let mutants = Array.of_list t.mutants in
   let runner = Kill.make t.design t.mutants in
   let prng = Prng.create seed in
@@ -114,16 +118,28 @@ let classify_equivalents ?(screen = 512) ?on_progress ~seed t =
   let sequences =
     List.init n_seqs (fun _ -> Stimuli.random_sequence prng t.design seq_len)
   in
-  let flags = Kill.killed_set runner sequences in
+  let flags = Kill.killed_set runner ~budget sequences in
   let survivors =
     List.filter (fun i -> not flags.(i)) (List.init (Array.length mutants) Fun.id)
   in
   Metrics.add c_equiv_screened (Array.length mutants - List.length survivors);
   Trace.add_attr "survivors" (string_of_int (List.length survivors));
-  (* Phase 2: exact checks on the survivors. *)
+  (* Phase 2: exact checks on the survivors. Budget exhaustion degrades
+     to "non-equivalent" for the unresolved mutants — a conservative
+     answer that deflates MS rather than inflating it — and the cut is
+     recorded once. *)
   let total = List.length survivors in
   let progress done_ =
     match on_progress with Some f -> f ~done_ ~total | None -> ()
+  in
+  let stopped = ref None in
+  let note_stop e =
+    if !stopped = None then begin
+      stopped := Some e;
+      Degrade.note ~stage:Rerror.Equivalence
+        ~detail:"equivalence classification cut short; unresolved mutants treated non-equivalent"
+        e
+    end
   in
   let exact i =
     Metrics.incr c_equiv_exact;
@@ -135,16 +151,23 @@ let classify_equivalents ?(screen = 512) ?on_progress ~seed t =
     else begin
       (* SAT miter over the synthesised netlists. *)
       let mutant_nl = Flow.synthesize m.Mutant.design in
-      match Equiv.check t.netlist mutant_nl with
-      | Equiv.Equivalent -> true
-      | Equiv.Counterexample _ -> false
+      match Equiv.check_result ~budget t.netlist mutant_nl with
+      | Ok Equiv.Equivalent -> true
+      | Ok (Equiv.Counterexample _) -> false
+      | Error e -> note_stop e; false
       | exception Equiv.Equiv_error _ -> false
     end
   in
   let equivalents =
     List.filteri
       (fun k i ->
-        let r = exact i in
+        let r =
+          if !stopped <> None then false
+          else
+            match Budget.check_deadline budget ~stage:Rerror.Equivalence with
+            | Error e -> note_stop e; false
+            | Ok () -> exact i
+        in
         progress (k + 1);
         r)
       survivors

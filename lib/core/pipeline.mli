@@ -41,6 +41,7 @@ val scan_patterns_of_sequences :
 val classify_equivalents :
   ?screen:int ->
   ?on_progress:(done_:int -> total:int -> unit) ->
+  ?budget:Mutsamp_robust.Budget.t ->
   seed:int ->
   t ->
   int list
@@ -53,4 +54,11 @@ val classify_equivalents :
     non-equivalent (conservative; they deflate MS rather than inflate
     it). [on_progress] fires after each exact check ([total] is the
     survivor count) — the checks dominate the runtime on larger
-    designs. *)
+    designs.
+
+    [budget] (default: ambient) bounds the whole classification: the
+    screen spends [Fsim_pairs], each miter solve spends
+    [Sat_conflicts], and the deadline is checked before every exact
+    check. Exhaustion stops the exact phase — remaining survivors are
+    reported non-equivalent and the degradation is recorded via
+    {!Mutsamp_robust.Degrade}. *)

@@ -2,6 +2,10 @@ module Netlist = Mutsamp_netlist.Netlist
 module Bitsim = Mutsamp_netlist.Bitsim
 module Packvec = Mutsamp_util.Packvec
 module Metrics = Mutsamp_obs.Metrics
+module Rerror = Mutsamp_robust.Error
+module Budget = Mutsamp_robust.Budget
+module Chaos = Mutsamp_robust.Chaos
+module Degrade = Mutsamp_robust.Degrade
 
 (* Observability series (no-ops unless metrics collection is on). *)
 let c_runs = Metrics.counter "fsim.runs"
@@ -100,7 +104,18 @@ let lowest_bit w =
   let rec go k = if (w lsr k) land 1 = 1 then k else go (k + 1) in
   go 0
 
-let run_combinational ?lanes nl ~faults ~patterns =
+(* Entry-point chaos consultation shared by the engines. [Timeout]
+   behaves like an exhausted budget (the run degrades to a partial
+   report); [Exception] raises to prove caller containment; [Truncate]
+   is meaningless for simulation and ignored. *)
+let chaos_entry () =
+  match Chaos.fire Chaos.Fsim_run with
+  | Some Chaos.Timeout -> Some (Rerror.Timeout Rerror.Fsim)
+  | Some Chaos.Exception ->
+    raise (Chaos.Injected "chaos: injected exception at fsim")
+  | Some (Chaos.Truncate _) | None -> None
+
+let run_combinational ?lanes ?budget nl ~faults ~patterns =
   if Netlist.num_dffs nl > 0 then
     invalid_arg "Fsim.run_combinational: netlist has flip-flops";
   let faults = Array.of_list faults in
@@ -116,9 +131,16 @@ let run_combinational ?lanes nl ~faults ~patterns =
   let batch = ref 0 in
   let diff = Array.make nw 0 in
   Metrics.incr c_runs;
-  while !batch < batches && !alive_count > 0 do
+  let budget = match budget with Some b -> b | None -> Budget.ambient () in
+  let stop = ref (chaos_entry ()) in
+  while !batch < batches && !alive_count > 0 && !stop = None do
     let lo = !batch * w in
     let len = min w (n_pat - lo) in
+    (* One work unit per pattern·fault pair this batch will simulate. *)
+    (match Budget.spend budget ~stage:Rerror.Fsim Budget.Fsim_pairs (len * !alive_count) with
+     | Ok () -> ()
+     | Error e -> stop := Some e);
+    if !stop = None then begin
     let words = pack_patterns nl nw patterns lo len in
     let good = Bitsim.step sim words in
     Metrics.incr c_batches;
@@ -154,9 +176,15 @@ let run_combinational ?lanes nl ~faults ~patterns =
         alive.(!alive_count) <- fi
       end
       else incr k
-    done;
+    done
+    end;
     incr batch
   done;
+  (match !stop with
+   | None -> ()
+   | Some e ->
+     Degrade.note ~stage:Rerror.Fsim
+       ~detail:"fault simulation cut short; remaining faults reported undetected" e);
   Metrics.add c_detected (Array.length faults - !alive_count);
   {
     total = Array.length faults;
@@ -167,10 +195,12 @@ let run_combinational ?lanes nl ~faults ~patterns =
 
 (* Serial single-lane engine, kept as the reference implementation the
    differential property tests compare the wide engines against. *)
-let run_sequential ?on_progress nl ~faults ~sequence =
+let run_sequential ?on_progress ?budget nl ~faults ~sequence =
   let faults = Array.of_list faults in
   let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
   Metrics.incr c_runs;
+  let budget = match budget with Some b -> b | None -> Budget.ambient () in
+  let stop = ref (chaos_entry ()) in
   Metrics.add c_patterns (Array.length sequence);
   let sim_good = Bitsim.create ~lanes:1 nl in
   Bitsim.reset sim_good;
@@ -185,6 +215,16 @@ let run_sequential ?on_progress nl ~faults ~sequence =
   let sim_faulty = Bitsim.create ~lanes:1 nl in
   Array.iteri
     (fun fi f ->
+      if !stop = None then begin
+      (match
+         Budget.spend budget ~stage:Rerror.Fsim Budget.Fsim_pairs
+           (Array.length sequence)
+       with
+       | Ok () -> ()
+       | Error e -> stop := Some e)
+      end;
+      if !stop <> None then progress (fi + 1)
+      else begin
       Bitsim.reset sim_faulty;
       let inj = Fault.injection f and stuck = Fault.stuck_word f in
       (* A stem fault on a flip-flop output also corrupts the reset
@@ -202,8 +242,15 @@ let run_sequential ?on_progress nl ~faults ~sequence =
         end
       in
       cycle 0;
-      progress (fi + 1))
+      progress (fi + 1)
+      end)
     faults;
+  (match !stop with
+   | None -> ()
+   | Some e ->
+     Degrade.note ~stage:Rerror.Fsim
+       ~detail:"serial fault simulation cut short; remaining faults reported undetected"
+       e);
   let detected =
     Array.fold_left
       (fun acc d -> match d.detected_at with Some _ -> acc + 1 | None -> acc)
@@ -217,9 +264,11 @@ let run_sequential ?on_progress nl ~faults ~sequence =
     patterns_applied = Array.length sequence;
   }
 
-let run_parallel_fault ?lanes nl ~faults ~sequence =
+let run_parallel_fault ?lanes ?budget nl ~faults ~sequence =
   let faults = Array.of_list faults in
   let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
+  let budget = match budget with Some b -> b | None -> Budget.ambient () in
+  let stop = ref (chaos_entry ()) in
   let sim = Bitsim.create ?lanes nl in
   let w = Bitsim.lanes sim in
   let nw = Bitsim.words_per_net sim in
@@ -231,9 +280,17 @@ let run_parallel_fault ?lanes nl ~faults ~sequence =
   Metrics.add c_patterns (Array.length sequence);
   let diff = Array.make nw 0 in
   for g = 0 to n_groups - 1 do
+    if !stop = None then begin
     Metrics.incr c_fault_groups;
     let lo = g * group_size in
     let len = min group_size (Array.length faults - lo) in
+    (match
+       Budget.spend budget ~stage:Rerror.Fsim Budget.Fsim_pairs
+         (len * Array.length sequence)
+     with
+     | Ok () -> ()
+     | Error e -> stop := Some e);
+    if !stop = None then begin
     let injections =
       List.init len (fun j ->
           let f = faults.(lo + j) in
@@ -271,7 +328,15 @@ let run_parallel_fault ?lanes nl ~faults ~sequence =
       done;
       incr cycle
     done
+    end
+    end
   done;
+  (match !stop with
+   | None -> ()
+   | Some e ->
+     Degrade.note ~stage:Rerror.Fsim
+       ~detail:"parallel-fault simulation cut short; remaining faults reported undetected"
+       e);
   let detected =
     Array.fold_left
       (fun acc d -> match d.detected_at with Some _ -> acc + 1 | None -> acc)
@@ -285,9 +350,10 @@ let run_parallel_fault ?lanes nl ~faults ~sequence =
     patterns_applied = Array.length sequence;
   }
 
-let run_auto ?lanes nl ~faults ~sequence =
-  if Netlist.num_dffs nl = 0 then run_combinational ?lanes nl ~faults ~patterns:sequence
-  else run_parallel_fault ?lanes nl ~faults ~sequence
+let run_auto ?lanes ?budget nl ~faults ~sequence =
+  if Netlist.num_dffs nl = 0 then
+    run_combinational ?lanes ?budget nl ~faults ~patterns:sequence
+  else run_parallel_fault ?lanes ?budget nl ~faults ~sequence
 
 let input_pattern = Pattern.of_bits
 

@@ -19,7 +19,16 @@
     All record, per fault, the index of the first detecting pattern
     (combinational) or cycle (sequential), which is what the coverage
     curves of the NLFCE metric need; the index is independent of the
-    lane count. *)
+    lane count.
+
+    Budgets: every engine takes [?budget] (default: the ambient
+    budget) and spends one [Fsim_pairs] work unit per pattern·fault
+    pair it simulates. Exhaustion never fails the run — simulation
+    stops early, the remaining faults stay undetected in the report,
+    and the degradation is recorded via {!Mutsamp_robust.Degrade}. A
+    chaos arming at [Fsim_run] behaves like immediate exhaustion
+    ([Timeout]) or raises {!Mutsamp_robust.Chaos.Injected}
+    ([Exception]). *)
 
 type detection = { fault : Fault.t; detected_at : int option }
 
@@ -45,6 +54,7 @@ val length_to_reach : report -> float -> int option
 
 val run_combinational :
   ?lanes:int ->
+  ?budget:Mutsamp_robust.Budget.t ->
   Mutsamp_netlist.Netlist.t ->
   faults:Fault.t list ->
   patterns:Pattern.t array ->
@@ -55,6 +65,7 @@ val run_combinational :
 
 val run_sequential :
   ?on_progress:(done_:int -> total:int -> unit) ->
+  ?budget:Mutsamp_robust.Budget.t ->
   Mutsamp_netlist.Netlist.t ->
   faults:Fault.t list ->
   sequence:Pattern.t array ->
@@ -67,6 +78,7 @@ val run_sequential :
 
 val run_parallel_fault :
   ?lanes:int ->
+  ?budget:Mutsamp_robust.Budget.t ->
   Mutsamp_netlist.Netlist.t ->
   faults:Fault.t list ->
   sequence:Pattern.t array ->
@@ -79,6 +91,7 @@ val run_parallel_fault :
 
 val run_auto :
   ?lanes:int ->
+  ?budget:Mutsamp_robust.Budget.t ->
   Mutsamp_netlist.Netlist.t ->
   faults:Fault.t list ->
   sequence:Pattern.t array ->

@@ -73,7 +73,11 @@ let tokenize src =
       | c when is_digit c ->
         let rec digits j = if j < n && is_digit src.[j] then digits (j + 1) else j in
         let j = digits i in
-        let num = int_of_string (String.sub src i (j - i)) in
+        let num =
+          match int_of_string_opt (String.sub src i (j - i)) with
+          | Some v -> v
+          | None -> error !line "numeric literal out of range"
+        in
         if j + 1 < n && src.[j] = '\'' && src.[j + 1] = 'b' then begin
           (* Sized binary literal: <width>'b<bits>. *)
           let rec bits k acc count =

@@ -279,3 +279,33 @@ let expr_of_string src =
   let e = expr st in
   if peek st <> Lexer.EOF then fail st "trailing input after expression";
   e
+
+(* --- typed-result entry point ------------------------------------------ *)
+
+module Rerror = Mutsamp_robust.Error
+module Chaos = Mutsamp_robust.Chaos
+
+(* Recover the "line N:" prefix both the lexer and [fail] embed. *)
+let located_error ?file msg =
+  let line =
+    if String.length msg > 5 && String.sub msg 0 5 = "line " then
+      let rest = String.sub msg 5 (String.length msg - 5) in
+      match String.index_opt rest ':' with
+      | Some i -> int_of_string_opt (String.sub rest 0 i)
+      | None -> None
+    else None
+  in
+  Rerror.Parse_error { loc = { Rerror.file; line }; msg }
+
+let design_result ?file src =
+  try
+    match Chaos.trip Chaos.Parse_input with
+    | Error e -> Error e
+    | Ok () -> Ok (design_of_string src)
+  with
+  | Parse_error msg | Lexer.Lex_error msg -> Error (located_error ?file msg)
+  | Chaos.Injected _ -> Error (Rerror.Injected Rerror.Parse)
+  | Stack_overflow ->
+    Error
+      (Rerror.Parse_error
+         { loc = { Rerror.file; line = None }; msg = "design too deeply nested to parse" })

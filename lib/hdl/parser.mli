@@ -35,3 +35,10 @@ val design_of_string : string -> Ast.design
 
 val expr_of_string : string -> Ast.expr
 (** Parse a standalone expression (used by tests and the CLI). *)
+
+val design_result :
+  ?file:string -> string -> (Ast.design, Mutsamp_robust.Error.t) result
+(** Typed-result variant of {!design_of_string}: lexer and parser
+    failures become [Error (Parse_error _)] carrying the (1-based)
+    source line, never an exception. [file] only labels the error
+    location. *)

@@ -1,5 +1,9 @@
 module Sim = Mutsamp_hdl.Sim
 module Metrics = Mutsamp_obs.Metrics
+module Rerror = Mutsamp_robust.Error
+module Budget = Mutsamp_robust.Budget
+module Chaos = Mutsamp_robust.Chaos
+module Degrade = Mutsamp_robust.Degrade
 
 (* Observability series (no-ops unless metrics collection is on). *)
 let c_sequences = Metrics.counter "kill.sequences"
@@ -69,7 +73,24 @@ let detection_cycle t reference i seq =
   in
   loop 0 seq reference
 
-let kills_at t ?alive seq =
+(* Entry-point chaos consultation; see {!Fsim}. A mutant skipped
+   because the budget ran out is reported alive — never killed — so
+   degraded mutation scores are conservative. *)
+let chaos_entry () =
+  match Chaos.fire Chaos.Kill_run with
+  | Some Chaos.Timeout -> Some (Rerror.Timeout Rerror.Kill)
+  | Some Chaos.Exception ->
+    raise (Chaos.Injected "chaos: injected exception at kill")
+  | Some (Chaos.Truncate _) | None -> None
+
+let note_degraded = function
+  | None -> ()
+  | Some e ->
+    Degrade.note ~stage:Rerror.Kill
+      ~detail:"mutant execution cut short; remaining mutants reported alive" e
+
+let kills_at t ?alive ?budget seq =
+  let budget = match budget with Some b -> b | None -> Budget.ambient () in
   let reference = reference_outputs t seq in
   let candidates =
     match alive with
@@ -77,16 +98,31 @@ let kills_at t ?alive seq =
     | None -> List.init (Array.length t.mutants) (fun i -> i)
   in
   Metrics.incr c_sequences;
-  List.filter_map
-    (fun i ->
-      match detection_cycle t reference i seq with
-      | Some c ->
-        record_kill t.mutants i;
-        Some (i, c)
-      | None -> None)
-    candidates
+  let stop = ref (chaos_entry ()) in
+  let seq_len = List.length seq in
+  let out =
+    List.filter_map
+      (fun i ->
+        if !stop <> None then None
+        else begin
+          (match Budget.spend budget ~stage:Rerror.Kill Budget.Fsim_pairs seq_len with
+           | Ok () -> ()
+           | Error e -> stop := Some e);
+          if !stop <> None then None
+          else
+            match detection_cycle t reference i seq with
+            | Some c ->
+              record_kill t.mutants i;
+              Some (i, c)
+            | None -> None
+        end)
+      candidates
+  in
+  note_degraded !stop;
+  out
 
-let kills t ?alive seq =
+let kills t ?alive ?budget seq =
+  let budget = match budget with Some b -> b | None -> Budget.ambient () in
   let reference = reference_outputs t seq in
   let candidates =
     match alive with
@@ -94,25 +130,53 @@ let kills t ?alive seq =
     | None -> List.init (Array.length t.mutants) (fun i -> i)
   in
   Metrics.incr c_sequences;
-  List.filter
-    (fun i ->
-      let hit = killed_against t reference i seq in
-      if hit then record_kill t.mutants i;
-      hit)
-    candidates
+  let stop = ref (chaos_entry ()) in
+  let seq_len = List.length seq in
+  let out =
+    List.filter
+      (fun i ->
+        if !stop <> None then false
+        else begin
+          (match Budget.spend budget ~stage:Rerror.Kill Budget.Fsim_pairs seq_len with
+           | Ok () -> ()
+           | Error e -> stop := Some e);
+          if !stop <> None then false
+          else begin
+            let hit = killed_against t reference i seq in
+            if hit then record_kill t.mutants i;
+            hit
+          end
+        end)
+      candidates
+  in
+  note_degraded !stop;
+  out
 
-let killed_set t sequences =
+let killed_set t ?budget sequences =
+  let budget = match budget with Some b -> b | None -> Budget.ambient () in
   let n = Array.length t.mutants in
   let killed = Array.make n false in
+  let stop = ref (chaos_entry ()) in
   List.iter
     (fun seq ->
-      Metrics.incr c_sequences;
-      let reference = reference_outputs t seq in
-      for i = 0 to n - 1 do
-        if not killed.(i) && killed_against t reference i seq then begin
-          killed.(i) <- true;
-          record_kill t.mutants i
-        end
-      done)
+      if !stop = None then begin
+        Metrics.incr c_sequences;
+        let reference = reference_outputs t seq in
+        let seq_len = List.length seq in
+        let i = ref 0 in
+        while !stop = None && !i < n do
+          if not killed.(!i) then begin
+            match Budget.spend budget ~stage:Rerror.Kill Budget.Fsim_pairs seq_len with
+            | Error e -> stop := Some e
+            | Ok () ->
+              if killed_against t reference !i seq then begin
+                killed.(!i) <- true;
+                record_kill t.mutants !i
+              end
+          end;
+          incr i
+        done
+      end)
     sequences;
+  note_degraded !stop;
   killed

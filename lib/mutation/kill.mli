@@ -23,16 +23,36 @@ val killed_by : t -> int -> Mutsamp_hdl.Sim.stimulus list -> bool
 (** [killed_by t i seq]: does [seq] kill mutant index [i]? Simulation
     stops at the first differing cycle. *)
 
-val kills : t -> ?alive:int list -> Mutsamp_hdl.Sim.stimulus list -> int list
+val kills :
+  t ->
+  ?alive:int list ->
+  ?budget:Mutsamp_robust.Budget.t ->
+  Mutsamp_hdl.Sim.stimulus list ->
+  int list
 (** Indices of mutants killed by the sequence, restricted to [alive]
     (default: the whole population). *)
 
 val kills_at :
-  t -> ?alive:int list -> Mutsamp_hdl.Sim.stimulus list -> (int * int) list
+  t ->
+  ?alive:int list ->
+  ?budget:Mutsamp_robust.Budget.t ->
+  Mutsamp_hdl.Sim.stimulus list ->
+  (int * int) list
 (** Like {!kills} but with the 0-based cycle of the first differing
     output per killed mutant, so callers can truncate the sequence after
     its last useful cycle. *)
 
-val killed_set : t -> Mutsamp_hdl.Sim.stimulus list list -> bool array
+val killed_set :
+  t ->
+  ?budget:Mutsamp_robust.Budget.t ->
+  Mutsamp_hdl.Sim.stimulus list list ->
+  bool array
 (** For a whole test set (list of sequences), the per-mutant killed
     flags, with fault dropping across sequences. *)
+
+(** Budgets: each mutant·sequence check spends the sequence length in
+    [Fsim_pairs] work units against [?budget] (default: ambient).
+    Exhaustion stops the campaign early: unchecked mutants are reported
+    alive (conservative mutation scores) and the degradation is recorded
+    via {!Mutsamp_robust.Degrade}. The [Kill_run] chaos point is
+    consulted on entry. *)

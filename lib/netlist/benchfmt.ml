@@ -164,10 +164,22 @@ let of_string ?(name = "bench") src =
   let b = B.create name in
   let nets : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let dff_pending = ref [] in
+  (* Signals whose definition is being elaborated right now: hitting one
+     again means a combinational cycle (e.g. [a = AND(a, b)]), which
+     would otherwise recurse forever. DFF feedback is fine — the Q net
+     exists before the D cone is walked. *)
+  let visiting : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let rec net_of signal =
     match Hashtbl.find_opt nets signal with
     | Some id -> id
     | None ->
+      if Hashtbl.mem visiting signal then
+        fail "combinational cycle through signal %s" signal;
+      Hashtbl.add visiting signal ();
+      let id = net_of_uncached signal in
+      Hashtbl.remove visiting signal;
+      id
+  and net_of_uncached signal =
       (match Hashtbl.find_opt defs signal with
        | None -> fail "undefined signal %s" signal
        | Some Dinput ->
@@ -231,3 +243,46 @@ let read_file ?name path =
   let src = really_input_string ic n in
   close_in ic;
   of_string ?name src
+
+(* --- typed-result entry points ----------------------------------------- *)
+
+module Rerror = Mutsamp_robust.Error
+module Chaos = Mutsamp_robust.Chaos
+
+(* Recover the "line N:" location prefix the line parser embeds. *)
+let located_error ?file msg =
+  let line =
+    if String.length msg > 5 && String.sub msg 0 5 = "line " then
+      let rest = String.sub msg 5 (String.length msg - 5) in
+      match String.index_opt rest ':' with
+      | Some i -> int_of_string_opt (String.sub rest 0 i)
+      | None -> None
+    else None
+  in
+  Rerror.Parse_error { loc = { Rerror.file; line }; msg }
+
+let parse ?name ?file src =
+  try
+    match Chaos.trip Chaos.Parse_input with
+    | Error e -> Error e
+    | Ok () -> Ok (of_string ?name src)
+  with
+  | Parse_error msg -> Error (located_error ?file msg)
+  | Chaos.Injected _ -> Error (Rerror.Injected Rerror.Parse)
+  | Stack_overflow ->
+    Error
+      (Rerror.Parse_error
+         { loc = { Rerror.file; line = None }; msg = "netlist too deep to elaborate" })
+
+let read_file_result ?name path =
+  match
+    try
+      let ic = open_in path in
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      Ok src
+    with Sys_error msg -> Error (Rerror.Io_error msg)
+  with
+  | Error e -> Error e
+  | Ok src -> parse ?name ~file:path src

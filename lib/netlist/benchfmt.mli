@@ -29,7 +29,23 @@ exception Parse_error of string
 val to_string : Netlist.t -> string
 val of_string : ?name:string -> string -> Netlist.t
 (** Raises {!Parse_error} on malformed input, unknown functions,
-    undefined signals or multiply-driven signals. *)
+    undefined signals, multiply-driven signals or combinational
+    cycles. *)
 
 val write_file : string -> Netlist.t -> unit
 val read_file : ?name:string -> string -> Netlist.t
+
+val parse :
+  ?name:string ->
+  ?file:string ->
+  string ->
+  (Netlist.t, Mutsamp_robust.Error.t) result
+(** Typed-result import: malformed input becomes
+    [Error (Parse_error _)] carrying the (1-based) source line when the
+    message is line-located, never an exception. [file] only labels the
+    error location. *)
+
+val read_file_result :
+  ?name:string -> string -> (Netlist.t, Mutsamp_robust.Error.t) result
+(** {!parse} on a file's contents; unreadable files become
+    [Error (Io_error _)]. *)

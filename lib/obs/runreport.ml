@@ -17,11 +17,21 @@ let make ~command ?(circuits = []) ?config ?seed ?(extra = []) ~spans
      ]
     @ extra)
 
+(* Atomic: a crash mid-write must not leave a truncated report where a
+   previous good one stood. Inlined temp+rename rather than
+   Mutsamp_robust.Atomicio — obs sits below robust in the library
+   stack. *)
 let write_file path json =
-  let oc = open_out_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (Json.to_string json))
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out_bin tmp in
+  (try
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () -> output_string oc (Json.to_string json))
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
 
 (* ------------------------------------------------------------------ *)
 (* Validation                                                         *)

@@ -38,6 +38,8 @@ val make :
   Json.t
 
 val write_file : string -> Json.t -> unit
+(** Atomic: the report is written to a [.tmp.<pid>] sibling and renamed
+    into place, so readers never observe a torn file. *)
 
 val validate : Json.t -> (unit, string) result
 (** Structural schema check: version, required header fields, every

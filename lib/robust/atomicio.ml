@@ -1,0 +1,37 @@
+let temp_name path =
+  (* Unique within the process; the rename target directory is the
+     destination's, so the rename stays on one filesystem. *)
+  Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+
+let write_file path contents =
+  let truncate_at =
+    match Chaos.fire Chaos.Report_write with
+    | Some (Chaos.Truncate n) -> Some n
+    | Some Chaos.Timeout -> None  (* meaningless for a write; ignore *)
+    | Some Chaos.Exception ->
+      raise (Chaos.Injected "chaos: injected exception at report")
+    | None -> None
+  in
+  let tmp = temp_name path in
+  let cleanup () = try Sys.remove tmp with Sys_error _ -> () in
+  try
+    let oc = open_out_bin tmp in
+    (match truncate_at with
+     | Some n ->
+       output_string oc (String.sub contents 0 (min n (String.length contents)));
+       close_out oc;
+       cleanup ();
+       raise (Error.E (Error.Io_error (Printf.sprintf "truncated write to %s" path)))
+     | None ->
+       output_string oc contents;
+       close_out oc);
+    Sys.rename tmp path;
+    Ok ()
+  with
+  | Error.E e -> Error e
+  | Sys_error msg ->
+    cleanup ();
+    Error (Error.Io_error msg)
+  | Unix.Unix_error (err, _, _) ->
+    cleanup ();
+    Error (Error.Io_error (Unix.error_message err))

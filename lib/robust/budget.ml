@@ -1,0 +1,114 @@
+module Metrics = Mutsamp_obs.Metrics
+module Json = Mutsamp_obs.Json
+
+(* Observability series (no-ops unless metrics collection is on). *)
+let c_checks = Metrics.counter "robust.budget_checks"
+let c_exhausted = Metrics.counter "robust.budget_exhausted"
+let c_timeouts = Metrics.counter "robust.timeouts"
+
+type resource = Sat_conflicts | Podem_backtracks | Fsim_pairs
+
+let resource_name = function
+  | Sat_conflicts -> "sat_conflicts"
+  | Podem_backtracks -> "podem_backtracks"
+  | Fsim_pairs -> "fsim_pairs"
+
+type t = {
+  deadline : float option;  (* absolute Unix time *)
+  deadline_ms : int option;  (* as configured, for reports *)
+  mutable sat_conflicts : int;  (* remaining; max_int = unlimited *)
+  mutable podem_backtracks : int;
+  mutable fsim_pairs : int;
+  mutable clock_skip : int;  (* spends until the next deadline poll *)
+}
+
+(* Deadline polls happen at most every [clock_interval] spends; at the
+   granularity budgets are spent (conflicts, backtracks, fault-sim
+   batches) this keeps gettimeofday off the hot path. *)
+let clock_interval = 64
+
+let unlimited =
+  {
+    deadline = None;
+    deadline_ms = None;
+    sat_conflicts = max_int;
+    podem_backtracks = max_int;
+    fsim_pairs = max_int;
+    clock_skip = 0;
+  }
+
+let create ?deadline_ms ?sat_conflicts ?podem_backtracks ?fsim_pairs () =
+  {
+    deadline =
+      (match deadline_ms with
+       | Some ms -> Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+       | None -> None);
+    deadline_ms;
+    sat_conflicts = (match sat_conflicts with Some n -> max 0 n | None -> max_int);
+    podem_backtracks = (match podem_backtracks with Some n -> max 0 n | None -> max_int);
+    fsim_pairs = (match fsim_pairs with Some n -> max 0 n | None -> max_int);
+    clock_skip = 0;
+  }
+
+let is_unlimited t =
+  t.deadline = None
+  && t.sat_conflicts = max_int
+  && t.podem_backtracks = max_int
+  && t.fsim_pairs = max_int
+
+let check_deadline t ~stage =
+  match t.deadline with
+  | None -> Ok ()
+  | Some d ->
+    Metrics.incr c_checks;
+    if Unix.gettimeofday () > d then begin
+      Metrics.incr c_timeouts;
+      Error (Error.Timeout stage)
+    end
+    else Ok ()
+
+let remaining t = function
+  | Sat_conflicts -> t.sat_conflicts
+  | Podem_backtracks -> t.podem_backtracks
+  | Fsim_pairs -> t.fsim_pairs
+
+let spend t ~stage resource n =
+  Metrics.incr c_checks;
+  let left = remaining t resource in
+  if left <> max_int && left < n then begin
+    Metrics.incr c_exhausted;
+    Error (Error.Budget_exhausted { stage; resource = resource_name resource })
+  end
+  else begin
+    if left <> max_int then begin
+      match resource with
+      | Sat_conflicts -> t.sat_conflicts <- left - n
+      | Podem_backtracks -> t.podem_backtracks <- left - n
+      | Fsim_pairs -> t.fsim_pairs <- left - n
+    end;
+    match t.deadline with
+    | None -> Ok ()
+    | Some _ ->
+      if t.clock_skip > 0 then begin
+        t.clock_skip <- t.clock_skip - 1;
+        Ok ()
+      end
+      else begin
+        t.clock_skip <- clock_interval;
+        check_deadline t ~stage
+      end
+  end
+
+let to_json t =
+  let quota = function n when n = max_int -> Json.Null | n -> Json.Int n in
+  Json.Obj
+    [
+      ("deadline_ms", match t.deadline_ms with Some ms -> Json.Int ms | None -> Json.Null);
+      ("sat_conflicts_remaining", quota t.sat_conflicts);
+      ("podem_backtracks_remaining", quota t.podem_backtracks);
+      ("fsim_pairs_remaining", quota t.fsim_pairs);
+    ]
+
+let ambient_budget = ref unlimited
+let set_ambient t = ambient_budget := t
+let ambient () = !ambient_budget

@@ -1,0 +1,57 @@
+(** Cooperative budgets: a wall-clock deadline plus work-unit quotas.
+
+    A budget is handed (or ambient-installed) to the long-running
+    stages, which [spend] work units at natural checkpoints — one SAT
+    conflict, one PODEM backtrack, one fault-sim batch of
+    pattern·fault pairs. When a quota runs out or the deadline passes,
+    the stage receives a typed error and degrades instead of spinning.
+
+    The default everywhere is {!unlimited}, under which every check
+    succeeds without mutating anything, so un-budgeted runs take
+    exactly the same path (and produce bit-identical results) as
+    before budgets existed. *)
+
+type t
+
+type resource = Sat_conflicts | Podem_backtracks | Fsim_pairs
+
+val unlimited : t
+(** Never exhausts. Shared constant; [spend] on it is a few compares. *)
+
+val create :
+  ?deadline_ms:int ->
+  ?sat_conflicts:int ->
+  ?podem_backtracks:int ->
+  ?fsim_pairs:int ->
+  unit ->
+  t
+(** Omitted quotas are unlimited. [deadline_ms] is relative to the call
+    (wall clock). A budget is mutable: quotas deplete as stages spend
+    against it, so one budget bounds a whole multi-stage run. *)
+
+val is_unlimited : t -> bool
+
+val spend : t -> stage:Error.stage -> resource -> int -> (unit, Error.t) result
+(** Consume [n] units; [Error (Budget_exhausted _)] once the quota is
+    gone (the failing call does not go negative — a zero quota fails
+    on the first spend). Also polls the deadline every few calls, so
+    hot loops need no separate {!check_deadline}. *)
+
+val check_deadline : t -> stage:Error.stage -> (unit, Error.t) result
+(** [Error (Timeout stage)] once the wall-clock deadline has passed. *)
+
+val remaining : t -> resource -> int
+(** [max_int] when unlimited. *)
+
+val to_json : t -> Mutsamp_obs.Json.t
+(** Configuration rendering for run reports ([null] fields when
+    unlimited). *)
+
+(** {2 Ambient budget}
+
+    The CLI installs one budget for the whole process; stage entry
+    points default their [?budget] argument to it. Defaults to
+    {!unlimited}. *)
+
+val set_ambient : t -> unit
+val ambient : unit -> t

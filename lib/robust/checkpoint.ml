@@ -1,0 +1,33 @@
+module Json = Mutsamp_obs.Json
+
+let schema_version = 1
+
+type t = { path : string; mutable table : (string * Json.t) list }
+
+let load path =
+  let table =
+    if Sys.file_exists path then
+      match Json.parse_file path with
+      | Ok doc
+        when Json.member "schema" doc = Some (Json.Int schema_version) -> (
+        match Json.member "entries" doc with
+        | Some (Json.Obj fields) -> fields
+        | _ -> [])
+      | _ -> []
+    else []
+  in
+  { path; table }
+
+let find t key = List.assoc_opt key t.table
+
+let to_json t =
+  Json.Obj [ ("schema", Json.Int schema_version); ("entries", Json.Obj t.table) ]
+
+let record t key payload =
+  t.table <- (List.remove_assoc key t.table) @ [ (key, payload) ];
+  match Atomicio.write_file t.path (Json.to_string (to_json t)) with
+  | Ok () -> ()
+  | Error _ -> ()  (* keep going; the row stays computed in memory *)
+
+let entries t = List.length t.table
+let path t = t.path

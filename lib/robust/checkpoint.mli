@@ -1,0 +1,28 @@
+(** Checkpoint/resume for long kill campaigns.
+
+    The Table-1/Table-2 experiments fault-simulate every operator of
+    every circuit; with [--checkpoint FILE] each finished operator row
+    is persisted (atomically) as soon as it is computed, and a rerun
+    skips rows already on disk. Keys name the experiment, seed, circuit
+    and operator (e.g. ["t1/2005/c432/AOR"]), so a checkpoint file can
+    only resume the run it came from.
+
+    A missing, unreadable or schema-mismatched file behaves as an empty
+    checkpoint — resuming never fails harder than recomputing. *)
+
+type t
+
+val load : string -> t
+(** Load [path], or an empty checkpoint bound to [path] if the file is
+    missing or corrupt. *)
+
+val find : t -> string -> Mutsamp_obs.Json.t option
+(** Payload recorded under a key, if any. *)
+
+val record : t -> string -> Mutsamp_obs.Json.t -> unit
+(** Store [key -> payload] and rewrite the file atomically. Best-effort:
+    an I/O failure leaves the in-memory entry in place (the run
+    continues; only resumability for that row is lost). *)
+
+val entries : t -> int
+val path : t -> string

@@ -1,0 +1,51 @@
+module Metrics = Mutsamp_obs.Metrics
+module Json = Mutsamp_obs.Json
+
+type event = { stage : Error.stage; error : Error.t; detail : string }
+
+let c_retries = Metrics.counter "robust.retries"
+
+let recorded : event list ref = ref []
+let retry_count = ref 0
+
+let reset () =
+  recorded := [];
+  retry_count := 0
+
+let note ~stage ?(detail = "") error =
+  recorded := { stage; error; detail } :: !recorded;
+  Metrics.add_named (Printf.sprintf "robust.degraded.%s" (Error.stage_name stage)) 1
+
+let retry ~stage:_ =
+  incr retry_count;
+  Metrics.incr c_retries
+
+let events () = List.rev !recorded
+
+let degraded_stages () =
+  List.fold_left
+    (fun acc e ->
+      let name = Error.stage_name e.stage in
+      if List.mem name acc then acc else acc @ [ name ])
+    [] (events ())
+
+let retries () = !retry_count
+let any () = !recorded <> []
+
+let to_json () =
+  Json.Obj
+    [
+      ("degraded_stages", Json.List (List.map (fun s -> Json.String s) (degraded_stages ())));
+      ("retries", Json.Int (retries ()));
+      ( "events",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("stage", Json.String (Error.stage_name e.stage));
+                   ("error", Json.String (Error.to_string e.error));
+                   ("detail", Json.String e.detail);
+                 ])
+             (events ())) );
+    ]

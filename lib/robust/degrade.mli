@@ -1,0 +1,38 @@
+(** Process-global record of graceful degradations.
+
+    When a stage hits its budget and the pipeline falls back (random
+    top-off instead of SAT, partial kill matrix, …), it [note]s the
+    downgrade here; the CLI embeds the accumulated record in the
+    schema-1 run report under ["robust"], so a report always says
+    whether its numbers are exact or degraded. *)
+
+type event = {
+  stage : Error.stage;
+  error : Error.t;  (** what triggered the downgrade *)
+  detail : string;  (** what the fallback was, human-readable *)
+}
+
+val reset : unit -> unit
+(** Clear the record (start of a CLI run / each test). *)
+
+val note : stage:Error.stage -> ?detail:string -> Error.t -> unit
+(** Record that [stage] degraded because of the given error. Also bumps
+    the [robust.degraded.<stage>] metrics counter. *)
+
+val retry : stage:Error.stage -> unit
+(** Record one bounded retry attempt ([robust.retries]). *)
+
+val events : unit -> event list
+(** Degradations noted since [reset], in order. *)
+
+val degraded_stages : unit -> string list
+(** Stage names with at least one degradation, deduplicated, in first-
+    degradation order. *)
+
+val retries : unit -> int
+val any : unit -> bool
+
+val to_json : unit -> Mutsamp_obs.Json.t
+(** [{ "degraded_stages": [...], "retries": N, "events": [...] }] —
+    the ["robust"] report section (budget config is appended by the
+    CLI). *)

@@ -15,7 +15,17 @@ exception Equiv_error of string
 
 val check : Mutsamp_netlist.Netlist.t -> Mutsamp_netlist.Netlist.t -> verdict
 (** Raises {!Equiv_error} if interfaces differ or a netlist holds
-    flip-flops. *)
+    flip-flops. Runs under an unlimited SAT budget. *)
+
+val check_result :
+  ?budget:Mutsamp_robust.Budget.t ->
+  Mutsamp_netlist.Netlist.t ->
+  Mutsamp_netlist.Netlist.t ->
+  (verdict, Mutsamp_robust.Error.t) result
+(** Budgeted variant: the miter solve spends [Sat_conflicts] and obeys
+    the deadline; see {!Solver.solve_result}. Still raises
+    {!Equiv_error} on interface mismatch (caller bug, not a runtime
+    hazard). [budget] defaults to the ambient budget. *)
 
 val counterexample_is_real :
   Mutsamp_netlist.Netlist.t ->

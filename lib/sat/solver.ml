@@ -1,6 +1,9 @@
 type result = Sat of bool array | Unsat
 
 module Metrics = Mutsamp_obs.Metrics
+module Rerror = Mutsamp_robust.Error
+module Budget = Mutsamp_robust.Budget
+module Chaos = Mutsamp_robust.Chaos
 
 (* Observability series (no-ops unless metrics collection is on). *)
 let c_solves = Metrics.counter "sat.solves"
@@ -228,7 +231,7 @@ let add_learnt st c =
   watch_clause st ci;
   ci
 
-let solve ?(assumptions = []) cnf =
+let solve_core ~assumptions ~budget cnf =
   let nvars = Cnf.num_vars cnf in
   let original = Cnf.clauses cnf in
   let st =
@@ -290,6 +293,11 @@ let solve ?(assumptions = []) cnf =
         incr conflicts_since_restart;
         incr total_conflicts;
         Metrics.incr c_conflicts;
+        (* Cooperative budget check: one work unit per conflict. Under
+           the unlimited budget this is a couple of compares. *)
+        (match Budget.spend budget ~stage:Rerror.Sat Budget.Sat_conflicts 1 with
+         | Ok () -> ()
+         | Error e -> raise (Rerror.E e));
         st.var_inc <- st.var_inc *. 1.05;
         if st.decision_level = 0 then raise (Early Unsat);
         let learnt, back_level = analyze st conflict in
@@ -337,6 +345,22 @@ let solve ?(assumptions = []) cnf =
     Metrics.observe h_conflicts (float_of_int !total_conflicts);
     (match r with Sat _ -> Metrics.incr c_sat | Unsat -> Metrics.incr c_unsat);
     r
+
+let solve_result ?(assumptions = []) ?budget cnf =
+  let budget = match budget with Some b -> b | None -> Budget.ambient () in
+  Chaos.contain Rerror.Sat (fun () ->
+      (match Chaos.trip Chaos.Sat_solve with
+       | Ok () -> ()
+       | Error e -> raise (Rerror.E e));
+      solve_core ~assumptions ~budget cnf)
+
+let solve ?(assumptions = []) cnf =
+  (* Legacy raise-style entry point: explicitly unlimited (and hence
+     chaos-transparent only via Error.E), kept for callers that predate
+     budgets. Cannot fail on budget under [unlimited]. *)
+  match solve_result ~assumptions ~budget:Budget.unlimited cnf with
+  | Ok r -> r
+  | Error e -> raise (Rerror.E e)
 
 let is_satisfying cnf model =
   Array.for_all

@@ -12,6 +12,10 @@ module Equiv = Mutsamp_sat.Equiv
 module Bitvec = Mutsamp_util.Bitvec
 module Trace = Mutsamp_obs.Trace
 module Metrics = Mutsamp_obs.Metrics
+module Rerror = Mutsamp_robust.Error
+module Budget = Mutsamp_robust.Budget
+module Chaos = Mutsamp_robust.Chaos
+module Degrade = Mutsamp_robust.Degrade
 
 (* Observability series (no-ops unless metrics collection is on). *)
 let c_candidates = Metrics.counter "vectorgen.candidates"
@@ -49,6 +53,7 @@ type outcome = {
   unknown : int list;
   candidates_tried : int;
   total_vectors : int;
+  degraded : string list;
 }
 
 (* Map a bit-level SAT counterexample back to one word-level stimulus
@@ -67,22 +72,41 @@ let stimulus_of_assignment design bits =
 
 (* SAT-miter attack on a survivor the behavioural checker could not
    decide — wide combinational designs exceed its exhaustive budget,
-   but the miter handles them. *)
-let sat_check design mutant_design =
+   but the miter handles them. The second component reports a budget
+   cut, which the caller records as a degradation (the verdict is then
+   a conservative [Unknown], not a proof). *)
+let sat_check ~budget design mutant_design =
   Metrics.incr c_sat_calls;
   match
-    Equiv.check (Flow.synthesize design) (Flow.synthesize mutant_design)
+    (try
+       `R (Equiv.check_result ~budget (Flow.synthesize design) (Flow.synthesize mutant_design))
+     with Equiv.Equiv_error _ | Lower.Synth_error _ -> `Undecidable)
   with
-  | Equiv.Equivalent ->
+  | `Undecidable -> (Equivalence.Unknown, None)
+  | `R (Ok Equiv.Equivalent) ->
     Metrics.incr c_sat_equivalent;
-    Equivalence.Equivalent
-  | Equiv.Counterexample bits ->
+    (Equivalence.Equivalent, None)
+  | `R (Ok (Equiv.Counterexample bits)) ->
     Metrics.incr c_sat_distinguished;
-    Equivalence.Distinguished [ stimulus_of_assignment design bits ]
-  | exception (Equiv.Equiv_error _ | Lower.Synth_error _) -> Equivalence.Unknown
+    (Equivalence.Distinguished [ stimulus_of_assignment design bits ], None)
+  | `R (Error e) -> (Equivalence.Unknown, Some e)
 
-let generate ?(config = default_config) design mutants =
+let generate ?(config = default_config) ?budget design mutants =
   Trace.with_span "vectorgen" @@ fun () ->
+  let budget = match budget with Some b -> b | None -> Budget.ambient () in
+  let degraded = ref [] in
+  let note_deg detail e =
+    if not (List.mem detail !degraded) then degraded := !degraded @ [ detail ];
+    Degrade.note ~stage:Rerror.Vectorgen ~detail e
+  in
+  let deadline_stop = ref None in
+  let expired () =
+    match Budget.check_deadline budget ~stage:Rerror.Vectorgen with
+    | Ok () -> false
+    | Error e ->
+      deadline_stop := Some e;
+      true
+  in
   let runner = Kill.make design mutants in
   let prng = Prng.create config.seed in
   let seq_len = if Check.is_combinational design then 1 else config.sequence_length in
@@ -94,13 +118,14 @@ let generate ?(config = default_config) design mutants =
   let stall = ref 0 in
   (* Random phase. *)
   while
-    !alive <> [] && !stall < config.max_stall
+    (not (expired ()))
+    && !alive <> [] && !stall < config.max_stall
     && !total_vectors + seq_len <= config.max_vectors
   do
     let candidate = Stimuli.random_sequence prng design seq_len in
     incr candidates;
     Metrics.incr c_candidates;
-    match Kill.kills_at runner ~alive:!alive candidate with
+    match Kill.kills_at runner ~alive:!alive ~budget candidate with
     | [] -> incr stall
     | detections ->
       stall := 0;
@@ -116,6 +141,9 @@ let generate ?(config = default_config) design mutants =
       killed := victims @ !killed;
       alive := List.filter (fun i -> not (List.mem i victims)) !alive
   done;
+  (match !deadline_stop with
+   | Some e -> note_deg "random phase stopped at deadline" e
+   | None -> ());
   (* Directed phase: exact attack on each survivor. *)
   let equivalent = ref [] in
   let unknown = ref [] in
@@ -129,12 +157,38 @@ let generate ?(config = default_config) design mutants =
       | [] -> ()
       | i :: rest ->
         if List.mem i !killed then attack rest
+        else if expired () then begin
+          (* Deadline: every remaining survivor stays unknown. *)
+          (match !deadline_stop with
+           | Some e -> note_deg "directed phase cut short; survivors left unknown" e
+           | None -> ());
+          List.iter
+            (fun j -> if not (List.mem j !killed) then unknown := j :: !unknown)
+            (i :: rest)
+        end
         else begin
+          (* Per-survivor containment: an injected failure or exhausted
+             SAT budget downgrades this mutant to unknown and the attack
+             moves on. *)
+          let tripped =
+            try Chaos.trip Chaos.Vectorgen_directed
+            with Chaos.Injected _ -> Error (Rerror.Injected Rerror.Vectorgen)
+          in
+          match tripped with
+          | Error e ->
+            note_deg "directed attack skipped; mutant left unknown" e;
+            unknown := i :: !unknown;
+            attack rest
+          | Ok () ->
           let m = mutant_arr.(i) in
           let verdict =
             match Equivalence.check design m.Mutant.design with
             | Equivalence.Unknown when config.sat_attack && combinational_pair m ->
-              sat_check design m.Mutant.design
+              let v, cut = sat_check ~budget design m.Mutant.design in
+              (match cut with
+               | Some e -> note_deg "sat attack cut short; mutant left unknown" e
+               | None -> ());
+              v
             | v -> v
           in
           match verdict with
@@ -152,7 +206,7 @@ let generate ?(config = default_config) design mutants =
               total_vectors := !total_vectors + List.length seq;
               (* The distinguishing sequence kills [i] by construction
                  and may kill other survivors too. *)
-              let victims = Kill.kills runner ~alive:(i :: rest) seq in
+              let victims = Kill.kills runner ~alive:(i :: rest) ~budget seq in
               killed := victims @ !killed;
               attack (List.filter (fun j -> not (List.mem j victims)) rest)
             end
@@ -174,7 +228,11 @@ let generate ?(config = default_config) design mutants =
     let sequences = Array.of_list !final_test_set in
     let killed_list = List.sort_uniq Stdlib.compare !killed in
     let kill_sets =
-      Array.map (fun seq -> Kill.kills runner ~alive:killed_list seq) sequences
+      (* Re-simulation of sequences already paid for — run it unbudgeted
+         so an exhausted quota cannot corrupt the set cover. *)
+      Array.map
+        (fun seq -> Kill.kills runner ~alive:killed_list ~budget:Budget.unlimited seq)
+        sequences
     in
     let uncovered = Hashtbl.create 64 in
     List.iter (fun i -> Hashtbl.replace uncovered i ()) killed_list;
@@ -219,6 +277,7 @@ let generate ?(config = default_config) design mutants =
     unknown = List.sort_uniq Stdlib.compare unknown_final;
     candidates_tried = !candidates;
     total_vectors = !total_vectors;
+    degraded = !degraded;
   }
 
 let flatten_test_set outcome = List.concat outcome.test_set

@@ -47,15 +47,27 @@ type outcome = {
   unknown : int list;  (** neither killed nor proven equivalent *)
   candidates_tried : int;
   total_vectors : int;  (** sum of sequence lengths *)
+  degraded : string list;
+      (** degradations taken under budget pressure (empty = exact run):
+          human-readable descriptions, also recorded via
+          {!Mutsamp_robust.Degrade} *)
 }
 
 val generate :
   ?config:config ->
+  ?budget:Mutsamp_robust.Budget.t ->
   Mutsamp_hdl.Ast.design ->
   Mutsamp_mutation.Mutant.t list ->
   outcome
 (** Generate validation data killing the given mutants. Indices in the
-    outcome refer to positions in the supplied mutant list. *)
+    outcome refer to positions in the supplied mutant list.
+
+    Under [budget] (default: ambient) the run degrades instead of
+    failing: the random phase stops at the deadline, a cut-short SAT
+    attack or injected directed-phase failure leaves its mutant
+    [unknown] (never spuriously equivalent), and each downgrade is
+    listed in [degraded]. With the default unlimited budget the outcome
+    is bit-identical to the pre-budget implementation. *)
 
 val flatten_test_set :
   outcome -> Mutsamp_hdl.Sim.stimulus list

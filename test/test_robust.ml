@@ -1,0 +1,542 @@
+(* Tests for lib/robust and its integration across the pipeline:
+   budgets, typed errors, chaos injection and containment, graceful
+   degradation, atomic artifact writes and checkpoint/resume. The
+   invariant under test throughout: every stage either succeeds,
+   degrades with a recorded downgrade, or returns a typed error — an
+   armed injection point never escapes as an uncaught exception. *)
+
+module Budget = Mutsamp_robust.Budget
+module Rerror = Mutsamp_robust.Error
+module Chaos = Mutsamp_robust.Chaos
+module Degrade = Mutsamp_robust.Degrade
+module Atomicio = Mutsamp_robust.Atomicio
+module Checkpoint = Mutsamp_robust.Checkpoint
+module Json = Mutsamp_obs.Json
+module Metrics = Mutsamp_obs.Metrics
+module Runreport = Mutsamp_obs.Runreport
+module Cnf = Mutsamp_sat.Cnf
+module Solver = Mutsamp_sat.Solver
+module Podem = Mutsamp_atpg.Podem
+module Topoff = Mutsamp_atpg.Topoff
+module Collapse = Mutsamp_fault.Collapse
+module Fsim = Mutsamp_fault.Fsim
+module Prpg = Mutsamp_atpg.Prpg
+module Prng = Mutsamp_util.Prng
+module Benchfmt = Mutsamp_netlist.Benchfmt
+module Parser = Mutsamp_hdl.Parser
+module Flow = Mutsamp_synth.Flow
+module Registry = Mutsamp_circuits.Registry
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* Chaos armings and the degradation record are process-global; every
+   test starts clean and leaves nothing armed for the rest of the
+   suite. *)
+let clean f () =
+  Chaos.disarm_all ();
+  Chaos.init ~seed:2005 ();
+  Degrade.reset ();
+  Budget.set_ambient Budget.unlimited;
+  Fun.protect
+    ~finally:(fun () ->
+      Chaos.disarm_all ();
+      Degrade.reset ();
+      Budget.set_ambient Budget.unlimited)
+    f
+
+let circuit name =
+  match Registry.find name with
+  | Some e -> Flow.synthesize (e.Registry.design ())
+  | None -> Alcotest.failf "circuit %s not in registry" name
+
+(* ------------------------------------------------------------------ *)
+(* Budget                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_unlimited () =
+  check_bool "unlimited" true (Budget.is_unlimited Budget.unlimited);
+  (match Budget.spend Budget.unlimited ~stage:Rerror.Sat Budget.Sat_conflicts 1_000_000 with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "unlimited budget exhausted");
+  check_int "remaining is max_int" max_int
+    (Budget.remaining Budget.unlimited Budget.Sat_conflicts)
+
+let test_budget_quota () =
+  let b = Budget.create ~sat_conflicts:10 () in
+  check_bool "not unlimited" false (Budget.is_unlimited b);
+  (match Budget.spend b ~stage:Rerror.Sat Budget.Sat_conflicts 7 with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "spend within quota failed");
+  check_int "remaining after spend" 3 (Budget.remaining b Budget.Sat_conflicts);
+  (match Budget.spend b ~stage:Rerror.Sat Budget.Sat_conflicts 4 with
+   | Error (Rerror.Budget_exhausted { stage = Rerror.Sat; resource }) ->
+     check_string "resource name" "sat_conflicts" resource
+   | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
+   | Ok () -> Alcotest.fail "overdraw succeeded");
+  (* The failing spend must not go negative. *)
+  check_int "remaining unchanged after failed spend" 3
+    (Budget.remaining b Budget.Sat_conflicts);
+  (* Other resources stay unlimited. *)
+  (match Budget.spend b ~stage:Rerror.Podem Budget.Podem_backtracks 1_000_000 with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "unrelated resource exhausted")
+
+let test_budget_deadline () =
+  let b = Budget.create ~deadline_ms:1 () in
+  Unix.sleepf 0.01;
+  (match Budget.check_deadline b ~stage:Rerror.Topoff with
+   | Error (Rerror.Timeout Rerror.Topoff) -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
+   | Ok () -> Alcotest.fail "deadline not detected");
+  (* A far deadline passes. *)
+  match Budget.check_deadline (Budget.create ~deadline_ms:60_000 ()) ~stage:Rerror.Topoff with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "future deadline reported expired"
+
+let test_budget_json () =
+  (match Budget.to_json Budget.unlimited with
+   | Json.Obj fields ->
+     List.iter
+       (fun (k, v) -> check_bool (k ^ " null when unlimited") true (v = Json.Null))
+       fields
+   | _ -> Alcotest.fail "budget json not an object");
+  match Budget.to_json (Budget.create ~deadline_ms:500 ~sat_conflicts:9 ()) with
+  | Json.Obj fields ->
+    check_bool "deadline rendered" true
+      (List.assoc_opt "deadline_ms" fields = Some (Json.Int 500));
+    check_bool "quota rendered" true
+      (List.assoc_opt "sat_conflicts_remaining" fields = Some (Json.Int 9))
+  | _ -> Alcotest.fail "budget json not an object"
+
+let test_ambient_budget () =
+  let b = Budget.create ~sat_conflicts:5 () in
+  Budget.set_ambient b;
+  check_bool "ambient returns the installed budget" true (Budget.ambient () == b);
+  Budget.set_ambient Budget.unlimited;
+  check_bool "ambient restored" true (Budget.is_unlimited (Budget.ambient ()))
+
+let test_exit_codes_distinct () =
+  let errors =
+    [
+      Rerror.Timeout Rerror.Sat;
+      Rerror.Budget_exhausted { stage = Rerror.Sat; resource = "sat_conflicts" };
+      Rerror.Parse_error { loc = { Rerror.file = None; line = None }; msg = "x" };
+      Rerror.Aborted Rerror.Podem;
+      Rerror.Injected Rerror.Pipeline;
+      Rerror.Io_error "x";
+    ]
+  in
+  let codes = List.map Rerror.exit_code errors in
+  check_int "six distinct nonzero codes" 6
+    (List.length (List.sort_uniq compare codes));
+  List.iter (fun c -> check_bool "nonzero" true (c <> 0)) codes;
+  (* Every class renders to a non-empty one-liner. *)
+  List.iter
+    (fun e ->
+      let s = Rerror.to_string e in
+      check_bool "non-empty message" true (String.length s > 0);
+      check_bool "one line" true (not (String.contains s '\n')))
+    errors
+
+(* ------------------------------------------------------------------ *)
+(* Budgets inside the engines                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Two-variable UNSAT core: refuting it forces conflicts, so a
+   zero-conflict budget must trip. *)
+let unsat_cnf () =
+  let cnf = Cnf.create () in
+  let a = Cnf.new_var cnf and b = Cnf.new_var cnf in
+  Cnf.add_clause cnf [ a; b ];
+  Cnf.add_clause cnf [ a; Cnf.neg b ];
+  Cnf.add_clause cnf [ Cnf.neg a; b ];
+  Cnf.add_clause cnf [ Cnf.neg a; Cnf.neg b ];
+  cnf
+
+let test_solver_budget () =
+  (match Solver.solve_result ~budget:Budget.unlimited (unsat_cnf ()) with
+   | Ok Solver.Unsat -> ()
+   | Ok (Solver.Sat _) -> Alcotest.fail "unsat core declared sat"
+   | Error e -> Alcotest.failf "unlimited solve errored: %s" (Rerror.to_string e));
+  match Solver.solve_result ~budget:(Budget.create ~sat_conflicts:0 ()) (unsat_cnf ()) with
+  | Error (Rerror.Budget_exhausted { stage = Rerror.Sat; _ }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
+  | Ok _ -> Alcotest.fail "zero-conflict budget not enforced"
+
+let test_podem_budget () =
+  (* c499's XOR trees force PODEM to backtrack; with a zero-backtrack
+     budget at least one fault must report exhaustion — and never a
+     spurious untestability proof. *)
+  let nl = circuit "c499" in
+  let faults = (Collapse.run nl).Collapse.representatives in
+  let budget_errors = ref 0 in
+  List.iter
+    (fun f ->
+      let b = Budget.create ~podem_backtracks:0 () in
+      match Podem.find_test ~budget:b nl f with
+      | Ok (Some _, _) -> ()
+      | Ok (None, _) -> Alcotest.fail "untestability 'proved' under a zero budget"
+      | Error (Rerror.Budget_exhausted { stage = Rerror.Podem; _ }) ->
+        incr budget_errors
+      | Error (Rerror.Aborted Rerror.Podem) -> ()
+      | Error e -> Alcotest.failf "unexpected error: %s" (Rerror.to_string e))
+    faults;
+  check_bool "some fault needed backtracks" true (!budget_errors > 0)
+
+let test_fsim_budget_degrades () =
+  Degrade.reset ();
+  let nl = circuit "c432" in
+  let faults = (Collapse.run nl).Collapse.representatives in
+  let bits = Array.length nl.Mutsamp_netlist.Netlist.input_nets in
+  let patterns = Prpg.uniform_sequence (Prng.create 7) ~bits ~length:64 in
+  let full = Fsim.run_combinational ~budget:Budget.unlimited nl ~faults ~patterns in
+  (* A one-pair budget stops the run almost immediately: the report is
+     partial (never over-reports) and the cut is on record. *)
+  let cut =
+    Fsim.run_combinational ~budget:(Budget.create ~fsim_pairs:1 ()) nl ~faults ~patterns
+  in
+  check_int "fault universe unchanged" full.Fsim.total cut.Fsim.total;
+  check_bool "partial detection" true (cut.Fsim.detected < full.Fsim.detected);
+  check_bool "degradation recorded" true
+    (List.mem "fsim" (Degrade.degraded_stages ()))
+
+(* ------------------------------------------------------------------ *)
+(* Chaos: injection and containment                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_chaos_timeout_contained () =
+  Chaos.arm Chaos.Sat_solve Chaos.Timeout;
+  match Solver.solve_result (unsat_cnf ()) with
+  | Error (Rerror.Timeout Rerror.Sat) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
+  | Ok _ -> Alcotest.fail "armed timeout did not fire"
+
+let test_chaos_exception_contained () =
+  Chaos.arm Chaos.Sat_solve Chaos.Exception;
+  match Solver.solve_result (unsat_cnf ()) with
+  | Error (Rerror.Injected Rerror.Sat) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
+  | Ok _ -> Alcotest.fail "armed exception did not fire"
+
+let test_chaos_after_count () =
+  Chaos.arm ~after:2 Chaos.Sat_solve Chaos.Timeout;
+  check_bool "first hit passes" true (Chaos.fire Chaos.Sat_solve = None);
+  check_bool "second hit passes" true (Chaos.fire Chaos.Sat_solve = None);
+  check_bool "third hit fires" true (Chaos.fire Chaos.Sat_solve = Some Chaos.Timeout);
+  check_bool "stays armed" true (Chaos.fire Chaos.Sat_solve = Some Chaos.Timeout)
+
+let test_chaos_spec_parsing () =
+  (match Chaos.parse_spec "sat:timeout" with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "valid spec rejected: %s" msg);
+  check_bool "armed by spec" true (Chaos.any_armed ());
+  Chaos.disarm_all ();
+  (match Chaos.parse_spec "report:truncate=16" with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "valid spec rejected: %s" msg);
+  (match Chaos.parse_spec "podem:exn@3" with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "valid spec rejected: %s" msg);
+  List.iter
+    (fun bad ->
+      match Chaos.parse_spec bad with
+      | Ok () -> Alcotest.failf "bad spec %S accepted" bad
+      | Error _ -> ())
+    [ "bogus:timeout"; "sat:frobnicate"; "sat"; "sat:truncate=x"; "" ]
+
+let test_topoff_degrades_under_chaos () =
+  Degrade.reset ();
+  Chaos.arm Chaos.Sat_solve Chaos.Timeout;
+  let nl = circuit "c432" in
+  let faults = (Collapse.run nl).Collapse.representatives in
+  (* The deterministic phase dies instantly; the run must still return
+     a report, fall back to random top-off and say so. *)
+  let r = Topoff.run ~engine:Topoff.Use_sat ~seed:3 nl ~faults ~seed_patterns:[||] in
+  check_bool "degraded flagged" true r.Topoff.degraded;
+  check_bool "fallback rounds ran" true (r.Topoff.degraded_retries > 0);
+  check_bool "degradation recorded" true
+    (List.mem "topoff" (Degrade.degraded_stages ()));
+  check_bool "retries counted" true (Degrade.retries () > 0);
+  (* Every fault is accounted for. *)
+  check_int "accounting" r.Topoff.total_faults
+    (r.Topoff.seed_detected + r.Topoff.random_detected + r.Topoff.atpg_detected
+     + r.Topoff.degraded_detected + r.Topoff.untestable + r.Topoff.aborted)
+
+let test_topoff_default_budget_unchanged () =
+  (* Same seed, no chaos, unlimited budget: the degradation machinery
+     must be invisible. *)
+  let nl = circuit "c17" in
+  let faults = (Collapse.run nl).Collapse.representatives in
+  let r = Topoff.run ~seed:3 nl ~faults ~seed_patterns:[||] in
+  check_bool "not degraded" false r.Topoff.degraded;
+  check_int "no fallback rounds" 0 r.Topoff.degraded_retries;
+  check_bool "nothing recorded" false (Degrade.any ())
+
+(* ------------------------------------------------------------------ *)
+(* Parsers: typed results, no escaping exceptions                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_benchfmt_typed_errors () =
+  (match Benchfmt.parse ~file:"x.bench" "G1 = FROB(G2)\n" with
+   | Error (Rerror.Parse_error { loc; _ }) ->
+     check_bool "file recorded" true (loc.Rerror.file = Some "x.bench")
+   | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
+   | Ok _ -> Alcotest.fail "garbage accepted");
+  (* Line numbers survive into the location. *)
+  (match Benchfmt.parse "INPUT(a)\nnonsense\n" with
+   | Error (Rerror.Parse_error { loc; _ }) ->
+     check_bool "line recovered" true (loc.Rerror.line = Some 2)
+   | _ -> Alcotest.fail "expected a located parse error");
+  (* Combinational cycles are a parse error, not a stack overflow. *)
+  (match Benchfmt.parse "INPUT(b)\nOUTPUT(a)\na = AND(a, b)\n" with
+   | Error (Rerror.Parse_error _) -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
+   | Ok _ -> Alcotest.fail "cyclic netlist accepted");
+  (* A valid netlist still parses. *)
+  match Benchfmt.parse (Benchfmt.to_string (circuit "c17")) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "valid netlist rejected: %s" (Rerror.to_string e)
+
+let test_benchfmt_missing_file () =
+  match Benchfmt.read_file_result "/nonexistent/definitely/missing.bench" with
+  | Error (Rerror.Io_error _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
+  | Ok _ -> Alcotest.fail "missing file read"
+
+let test_hdl_typed_errors () =
+  (match Parser.design_result "design d is begin x := end design;" with
+   | Error (Rerror.Parse_error { loc; _ }) ->
+     check_bool "line recovered" true (loc.Rerror.line <> None)
+   | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
+   | Ok _ -> Alcotest.fail "garbage accepted");
+  (* Lexer failures take the same typed path — including the numeric
+     overflow that used to raise [Failure]. *)
+  (match Parser.design_result "design d is var x : bit; begin x := 99999999999999999999999; end design;" with
+   | Error (Rerror.Parse_error _) -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
+   | Ok _ -> Alcotest.fail "overflowing literal accepted");
+  match Parser.design_result "design d is input a : bit; output y : bit; begin y := not a; end design;" with
+  | Ok d -> check_string "design parsed" "d" d.Mutsamp_hdl.Ast.name
+  | Error e -> Alcotest.failf "valid design rejected: %s" (Rerror.to_string e)
+
+let test_chaos_parse_point () =
+  Chaos.arm Chaos.Parse_input Chaos.Exception;
+  (match Benchfmt.parse "INPUT(a)\nOUTPUT(a)\n" with
+   | Error (Rerror.Injected Rerror.Parse) -> ()
+   | _ -> Alcotest.fail "injected parse failure not contained");
+  match Parser.design_result "design d is begin null; end design;" with
+  | Error (Rerror.Injected Rerror.Parse) -> ()
+  | _ -> Alcotest.fail "injected parse failure not contained (hdl)"
+
+(* Fuzz: arbitrary bytes — random garbage and corrupted/truncated valid
+   sources — must yield Ok or a typed Error, never an exception. QCheck
+   reports any escaping exception as a failure. *)
+let fuzz_tests =
+  let bench_src = Benchfmt.to_string (circuit "c17") in
+  let hdl_src =
+    "design d is input a : bit; input b : bit; output y : bit; begin y := a and b; end design;"
+  in
+  let corrupt src (cut, flip_at, flip_to) =
+    let cut = cut mod (String.length src + 1) in
+    let s = Bytes.of_string (String.sub src 0 cut) in
+    if Bytes.length s > 0 then
+      Bytes.set s (flip_at mod Bytes.length s) (Char.chr (flip_to land 0xff));
+    Bytes.to_string s
+  in
+  let gen = QCheck.Gen.(triple small_nat small_nat (int_bound 255)) in
+  [
+    QCheck.Test.make ~name:"Benchfmt.parse total on random bytes" ~count:200
+      (QCheck.make QCheck.Gen.(string_size (int_bound 120)))
+      (fun s ->
+        (match Benchfmt.parse s with Ok _ | Error _ -> ());
+        true);
+    QCheck.Test.make ~name:"Benchfmt.parse total on corrupted .bench" ~count:200
+      (QCheck.make gen)
+      (fun c ->
+        (match Benchfmt.parse (corrupt bench_src c) with Ok _ | Error _ -> ());
+        true);
+    QCheck.Test.make ~name:"Parser.design_result total on random bytes" ~count:200
+      (QCheck.make QCheck.Gen.(string_size (int_bound 120)))
+      (fun s ->
+        (match Parser.design_result s with Ok _ | Error _ -> ());
+        true);
+    QCheck.Test.make ~name:"Parser.design_result total on corrupted source"
+      ~count:200 (QCheck.make gen)
+      (fun c ->
+        (match Parser.design_result (corrupt hdl_src c) with Ok _ | Error _ -> ());
+        true);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Atomic writes and checkpoints                                      *)
+(* ------------------------------------------------------------------ *)
+
+let temp_path () =
+  let path = Filename.temp_file "mutsamp_robust" ".json" in
+  path
+
+let test_atomic_write () =
+  let path = temp_path () in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (match Atomicio.write_file path "first version" with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "write failed: %s" (Rerror.to_string e));
+  (* An injected truncation fails the write and leaves the previous
+     contents (and no temp litter) behind. *)
+  Chaos.arm Chaos.Report_write (Chaos.Truncate 4);
+  (match Atomicio.write_file path "second version, much longer" with
+   | Error (Rerror.Io_error _) -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
+   | Ok () -> Alcotest.fail "truncated write reported success");
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  check_string "original intact" "first version" contents;
+  let dir = Filename.dirname path and base = Filename.basename path in
+  Array.iter
+    (fun f ->
+      check_bool "no temp litter" false
+        (String.length f > String.length base
+         && String.sub f 0 (String.length base) = base))
+    (Sys.readdir dir);
+  (* Disarmed, the replacement goes through. *)
+  Chaos.disarm_all ();
+  (match Atomicio.write_file path "second version" with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "write failed: %s" (Rerror.to_string e));
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  check_string "replaced" "second version" contents
+
+let test_checkpoint_roundtrip () =
+  let path = temp_path () in
+  Sys.remove path;
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let cp = Checkpoint.load path in
+  check_int "missing file is empty" 0 (Checkpoint.entries cp);
+  Checkpoint.record cp "t1/7/c17/LOR" (Json.Obj [ ("nlfce", Json.Float 1.5) ]);
+  Checkpoint.record cp "t1/7/c17/VR" (Json.Int 3);
+  check_int "entries recorded" 2 (Checkpoint.entries cp);
+  (* A fresh load sees both entries. *)
+  let cp2 = Checkpoint.load path in
+  check_int "entries persisted" 2 (Checkpoint.entries cp2);
+  (match Checkpoint.find cp2 "t1/7/c17/VR" with
+   | Some (Json.Int 3) -> ()
+   | _ -> Alcotest.fail "payload lost in roundtrip");
+  check_bool "unknown key absent" true (Checkpoint.find cp2 "t1/7/c17/CR" = None)
+
+let test_checkpoint_corrupt () =
+  let path = temp_path () in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let oc = open_out path in
+  output_string oc "{ not json at all";
+  close_out oc;
+  let cp = Checkpoint.load path in
+  check_int "corrupt file is empty" 0 (Checkpoint.entries cp);
+  (* And recording over it repairs the file. *)
+  Checkpoint.record cp "k" Json.Null;
+  check_int "recoverable" 1 (Checkpoint.entries (Checkpoint.load path))
+
+(* ------------------------------------------------------------------ *)
+(* Run reports under degradation                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_degraded_report_validates () =
+  Degrade.reset ();
+  Degrade.note ~stage:Rerror.Topoff ~detail:"random fallback"
+    (Rerror.Timeout Rerror.Sat);
+  Degrade.retry ~stage:Rerror.Topoff;
+  let budget = Budget.create ~deadline_ms:100 ~sat_conflicts:50 () in
+  let robust =
+    match Degrade.to_json () with
+    | Json.Obj fields -> Json.Obj (fields @ [ ("budget", Budget.to_json budget) ])
+    | other -> other
+  in
+  let report =
+    Runreport.make ~command:"test" ~circuits:[ "c17" ] ~seed:7
+      ~extra:[ ("robust", robust) ]
+      ~spans:[] ~metrics:(Metrics.snapshot ()) ()
+  in
+  (match Runreport.validate report with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "degraded report rejected by schema: %s" msg);
+  (* The robust section carries the downgrade. *)
+  match Json.member "robust" report with
+  | Some robust ->
+    (match Json.member "degraded_stages" robust with
+     | Some (Json.List [ Json.String "topoff" ]) -> ()
+     | _ -> Alcotest.fail "degraded_stages missing or wrong");
+    (match Json.member "retries" robust with
+     | Some (Json.Int 1) -> ()
+     | _ -> Alcotest.fail "retries missing or wrong")
+  | None -> Alcotest.fail "robust section missing"
+
+let test_degrade_record () =
+  Degrade.reset ();
+  check_bool "clean" false (Degrade.any ());
+  Degrade.note ~stage:Rerror.Fsim (Rerror.Timeout Rerror.Fsim);
+  Degrade.note ~stage:Rerror.Fsim (Rerror.Timeout Rerror.Fsim);
+  Degrade.note ~stage:Rerror.Kill
+    (Rerror.Budget_exhausted { stage = Rerror.Kill; resource = "fsim_pairs" });
+  Alcotest.(check (list string))
+    "dedup in first-degradation order" [ "fsim"; "kill" ]
+    (Degrade.degraded_stages ());
+  check_int "all events kept" 3 (List.length (Degrade.events ()));
+  Degrade.reset ();
+  check_bool "reset clears" false (Degrade.any ())
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "robust.budget",
+      [
+        Alcotest.test_case "unlimited budget" `Quick (clean test_budget_unlimited);
+        Alcotest.test_case "quota accounting" `Quick (clean test_budget_quota);
+        Alcotest.test_case "deadline" `Quick (clean test_budget_deadline);
+        Alcotest.test_case "json rendering" `Quick (clean test_budget_json);
+        Alcotest.test_case "ambient install" `Quick (clean test_ambient_budget);
+        Alcotest.test_case "exit codes distinct" `Quick (clean test_exit_codes_distinct);
+      ] );
+    ( "robust.engines",
+      [
+        Alcotest.test_case "solver conflict budget" `Quick (clean test_solver_budget);
+        Alcotest.test_case "podem backtrack budget" `Quick (clean test_podem_budget);
+        Alcotest.test_case "fsim pair budget degrades" `Quick
+          (clean test_fsim_budget_degrades);
+      ] );
+    ( "robust.chaos",
+      [
+        Alcotest.test_case "timeout contained" `Quick (clean test_chaos_timeout_contained);
+        Alcotest.test_case "exception contained" `Quick
+          (clean test_chaos_exception_contained);
+        Alcotest.test_case "after count" `Quick (clean test_chaos_after_count);
+        Alcotest.test_case "spec parsing" `Quick (clean test_chaos_spec_parsing);
+        Alcotest.test_case "topoff degrades under chaos" `Quick
+          (clean test_topoff_degrades_under_chaos);
+        Alcotest.test_case "default budget unchanged" `Quick
+          (clean test_topoff_default_budget_unchanged);
+      ] );
+    ( "robust.parsers",
+      [
+        Alcotest.test_case "benchfmt typed errors" `Quick (clean test_benchfmt_typed_errors);
+        Alcotest.test_case "benchfmt missing file" `Quick (clean test_benchfmt_missing_file);
+        Alcotest.test_case "hdl typed errors" `Quick (clean test_hdl_typed_errors);
+        Alcotest.test_case "chaos parse point" `Quick (clean test_chaos_parse_point);
+      ]
+      @ List.map q fuzz_tests );
+    ( "robust.artifacts",
+      [
+        Alcotest.test_case "atomic write truncation" `Quick (clean test_atomic_write);
+        Alcotest.test_case "checkpoint roundtrip" `Quick (clean test_checkpoint_roundtrip);
+        Alcotest.test_case "checkpoint corrupt file" `Quick (clean test_checkpoint_corrupt);
+        Alcotest.test_case "degraded report validates" `Quick
+          (clean test_degraded_report_validates);
+        Alcotest.test_case "degrade record" `Quick (clean test_degrade_record);
+      ] );
+  ]
