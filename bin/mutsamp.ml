@@ -27,6 +27,7 @@ module Config = Mutsamp_core.Config
 module Pipeline = Mutsamp_core.Pipeline
 module Experiments = Mutsamp_core.Experiments
 module Report = Mutsamp_core.Report
+module Analysis = Mutsamp_analysis
 module Trace = Mutsamp_obs.Trace
 module Metrics = Mutsamp_obs.Metrics
 module Runreport = Mutsamp_obs.Runreport
@@ -149,7 +150,8 @@ let robust_json budget =
    requested, is still written first, recording the partial run.
    Without flags the instrumentation stays disabled and the wrapper is
    free. *)
-let with_obs obs ~command ?(circuits = []) ?config ?seed f =
+let with_obs obs ~command ?(circuits = []) ?config ?seed
+    ?(sections = fun () -> []) f =
   let any = obs.trace || obs.metrics || obs.report <> None in
   if any then begin
     Trace.set_enabled true;
@@ -191,7 +193,7 @@ let with_obs obs ~command ?(circuits = []) ?config ?seed f =
    | Some path ->
      let json =
        Runreport.make ~command ~circuits ?config ?seed
-         ~extra:[ ("robust", robust_json budget) ]
+         ~extra:(("robust", robust_json budget) :: sections ())
          ~spans:(Trace.roots ()) ~metrics:(Metrics.snapshot ()) ()
      in
      (match Atomicio.write_file path (Json.to_string json) with
@@ -310,14 +312,48 @@ let generate_cmd =
     Arg.(value & opt float 1.0
          & info [ "rate" ] ~docv:"R" ~doc:"Mutant sampling rate in (0,1].")
   in
-  let run obs (e : Registry.entry) rate seed =
+  let triage =
+    Arg.(value & flag
+         & info [ "triage" ]
+             ~doc:"Statically discard stillborn and duplicate mutants before \
+                   sampling; stillborns feed the E term of the score.")
+  in
+  let run obs (e : Registry.entry) rate triage seed =
     with_obs obs ~command:"generate" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
     let d = design_of e in
     let p = Pipeline.prepare d in
+    (* Optional static triage: sample only from the kept mutants, and
+       count the statically-proven-equivalent stillborns into E. The
+       score denominator still spans the full population, so triage
+       changes the effort, never the reported MS semantics. *)
+    let population, equivalent_idx =
+      if not triage then (p.Pipeline.mutants, [])
+      else begin
+        let t =
+          Trace.with_span "triage" (fun () ->
+              Analysis.Triage.run d p.Pipeline.mutants)
+        in
+        Printf.printf "triage: %d stillborn, %d duplicates discarded; %d of %d kept\n"
+          t.Analysis.Triage.stillborn t.Analysis.Triage.duplicates
+          (List.length t.Analysis.Triage.kept)
+          (List.length p.Pipeline.mutants);
+        List.iter
+          (fun (op, n) -> Printf.printf "  %-4s %d discarded\n" (Operator.name op) n)
+          t.Analysis.Triage.discards_by_op;
+        let equivalent_idx =
+          List.concat
+            (List.mapi
+               (fun i (_, v) ->
+                 match v with Analysis.Triage.Stillborn -> [ i ] | _ -> [])
+               t.Analysis.Triage.verdicts)
+        in
+        (t.Analysis.Triage.kept, equivalent_idx)
+      end
+    in
     let prng = Prng.create seed in
     let sample =
-      if rate >= 1.0 then p.Pipeline.mutants
-      else Strategy.sample prng Strategy.Random_uniform p.Pipeline.mutants ~rate
+      if rate >= 1.0 then population
+      else Strategy.sample prng Strategy.Random_uniform population ~rate
     in
     let config = { Vectorgen.default_config with Vectorgen.seed } in
     let outcome = Vectorgen.generate ~config d sample in
@@ -330,15 +366,16 @@ let generate_cmd =
       (List.length outcome.Vectorgen.equivalent)
       (List.length outcome.Vectorgen.unknown);
     let ms =
-      Score.of_test_set d p.Pipeline.mutants ~equivalent:[] outcome.Vectorgen.test_set
+      Score.of_test_set d p.Pipeline.mutants ~equivalent:equivalent_idx
+        outcome.Vectorgen.test_set
     in
-    Printf.printf "%s (over the full population, E not classified)\n"
-      (Score.to_string ms)
+    Printf.printf "%s (over the full population, E %s)\n" (Score.to_string ms)
+      (if triage then "from static triage" else "not classified")
   in
   Cmd.v
     (Cmd.info "generate"
        ~doc:"Generate mutation-adequate validation data for a circuit.")
-    Term.(const run $ obs_term $ circuit_pos $ rate $ seed_flag)
+    Term.(const run $ obs_term $ circuit_pos $ rate $ triage $ seed_flag)
 
 (* ------------------------------------------------------------------ *)
 (* faultsim                                                           *)
@@ -785,6 +822,120 @@ let e3_cmd =
     Term.(const run $ obs_term $ circuits_opt $ circuits_pos $ quick_flag $ seed_flag)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let format =
+    Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+         & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let waive =
+    Arg.(value & opt_all string []
+         & info [ "waive" ] ~docv:"RULEID[:LOC]"
+             ~doc:"Suppress a finding: RULEID:LOC waives one location, bare \
+                   RULEID waives the rule everywhere. Repeatable.")
+  in
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ] ~doc:"Exit nonzero on warnings too, not just errors.")
+  in
+  let no_observability =
+    Arg.(value & flag
+         & info [ "no-observability" ]
+             ~doc:"Skip the quadratic blocked-net (NL004) netlist pass.")
+  in
+  let triage =
+    Arg.(value & flag
+         & info [ "triage" ]
+             ~doc:"Also triage the mutant population (MUT001/MUT002 findings). \
+                   Generates every mutant, so expensive on large circuits.")
+  in
+  let run obs names_opt names_pos format waive strict no_observability triage =
+    (* Default: the whole registry — lint is a tree-wide health check. *)
+    let names =
+      match names_opt @ names_pos with [] -> Registry.names () | ns -> ns
+    in
+    let waivers =
+      List.map
+        (fun s ->
+          match Analysis.Engine.waiver_of_string s with
+          | Ok w -> w
+          | Error msg ->
+            Printf.eprintf "mutsamp: bad --waive: %s\n" msg;
+            exit 64)
+        waive
+    in
+    let opts =
+      {
+        Analysis.Engine.waivers;
+        strict;
+        check_observability = not no_observability;
+      }
+    in
+    let all_diags = ref [] in
+    let errors =
+      with_obs obs ~command:"lint" ~circuits:names
+        ~sections:(fun () ->
+          [ ("analysis", Analysis.Engine.report_section !all_diags) ])
+      @@ fun () ->
+      List.iter
+        (fun name ->
+          (match
+             Budget.check_deadline (Budget.ambient ()) ~stage:Rerror.Pipeline
+           with
+           | Ok () -> ()
+           | Error e -> raise (Rerror.E e));
+          let e =
+            match Registry.find name with
+            | Some e -> e
+            | None ->
+              Printf.eprintf "mutsamp: unknown circuit %S\n" name;
+              exit 64
+          in
+          Trace.with_span "lint" ~attrs:[ ("circuit", name) ] @@ fun () ->
+          let d = design_of e in
+          let dd = Analysis.Engine.lint_design opts ~circuit:name d in
+          let nl =
+            Trace.with_span "synth" (fun () -> Mutsamp_synth.Flow.synthesize d)
+          in
+          let dn = Analysis.Engine.lint_netlist opts ~circuit:name nl in
+          let dm =
+            if not triage then []
+            else
+              let t =
+                Trace.with_span "triage" (fun () ->
+                    Analysis.Triage.run d (Generate.all d))
+              in
+              Analysis.Engine.finish opts (Analysis.Triage.diagnostics t ~circuit:name)
+          in
+          all_diags := !all_diags @ dd @ dn @ dm)
+        names;
+      let diags = !all_diags in
+      (match format with
+       | `Text ->
+         List.iter (fun d -> print_endline (Analysis.Diag.to_string d)) diags;
+         let s = Analysis.Engine.summary diags in
+         let get k = Option.value ~default:0 (List.assoc_opt k s) in
+         Printf.printf
+           "%d circuit(s): %d finding(s) — %d error(s), %d warning(s), %d info(s), %d waived\n"
+           (List.length names) (get "findings") (get "errors") (get "warnings")
+           (get "infos") (get "waived")
+       | `Json ->
+         print_endline
+           (Json.to_string (Analysis.Engine.report_section diags)));
+      Analysis.Engine.error_count ~strict diags
+    in
+    if errors > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static analysis: lint behavioural designs and synthesised \
+             netlists (and optionally the mutant population).")
+    Term.(const run $ obs_term $ circuits_opt $ circuits_pos $ format $ waive
+          $ strict $ no_observability $ triage)
+
+(* ------------------------------------------------------------------ *)
 (* report-validate                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -817,5 +968,5 @@ let () =
             list_cmd; show_cmd; mutants_cmd; generate_cmd; faultsim_cmd;
             atpg_cmd; dot_cmd; export_cmd; import_cmd; diagnose_cmd;
             seqatpg_cmd; bist_cmd; sync_cmd; wave_cmd;
-            table1_cmd; table2_cmd; e3_cmd; report_validate_cmd;
+            lint_cmd; table1_cmd; table2_cmd; e3_cmd; report_validate_cmd;
           ]))

@@ -1,0 +1,126 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+module Topo = Mutsamp_netlist.Topo
+
+type value = Zero | One | Unknown
+
+type t = { nl : Netlist.t; values : value array }
+
+let v_not = function Zero -> One | One -> Zero | Unknown -> Unknown
+
+(* [a] and [b] are the fanin NET IDS, [va]/[vb] their lattice values;
+   the net ids let us use structural facts (same net, complementary
+   pair) that hold even when the value is Unknown. *)
+let eval (nl : Netlist.t) values kind a b =
+  let va = values.(a) and vb = values.(b) in
+  let complementary =
+    (match nl.Netlist.gates.(b).Gate.kind with
+     | Gate.Not -> nl.Netlist.gates.(b).Gate.fanins.(0) = a
+     | _ -> false)
+    || match nl.Netlist.gates.(a).Gate.kind with
+       | Gate.Not -> nl.Netlist.gates.(a).Gate.fanins.(0) = b
+       | _ -> false
+  in
+  let same = a = b in
+  match kind with
+  | Gate.And ->
+    if va = Zero || vb = Zero || complementary then Zero
+    else if va = One && vb = One then One
+    else if same then va
+    else if va = One then vb
+    else if vb = One then va
+    else Unknown
+  | Gate.Or ->
+    if va = One || vb = One || complementary then One
+    else if va = Zero && vb = Zero then Zero
+    else if same then va
+    else if va = Zero then vb
+    else if vb = Zero then va
+    else Unknown
+  | Gate.Nand ->
+    if va = Zero || vb = Zero || complementary then One
+    else if va = One && vb = One then Zero
+    else if same then v_not va
+    else if va = One then v_not vb
+    else if vb = One then v_not va
+    else Unknown
+  | Gate.Nor ->
+    if va = One || vb = One || complementary then Zero
+    else if va = Zero && vb = Zero then One
+    else if same then v_not va
+    else if va = Zero then v_not vb
+    else if vb = Zero then v_not va
+    else Unknown
+  | Gate.Xor ->
+    if complementary then One
+    else if same then Zero
+    else (match va, vb with
+      | Unknown, _ | _, Unknown -> Unknown
+      | _ -> if va = vb then Zero else One)
+  | Gate.Xnor ->
+    if complementary then Zero
+    else if same then One
+    else (match va, vb with
+      | Unknown, _ | _, Unknown -> Unknown
+      | _ -> if va = vb then One else Zero)
+  | Gate.Pi _ | Gate.Const _ | Gate.Buf | Gate.Not | Gate.Dff _ ->
+    invalid_arg "Constprop.eval: not a binary gate"
+
+let compute (nl : Netlist.t) =
+  let n = Array.length nl.Netlist.gates in
+  let values = Array.make n Unknown in
+  (* Topo order covers the combinational gates; sources and DFFs are
+     handled inline. A DFF whose D is proved equal to its reset value
+     can never change state, so the outer fixpoint loop re-runs the
+     combinational pass after a register is pinned. *)
+  let topo = Topo.compute nl in
+  let pass () =
+    let changed = ref false in
+    let set i v =
+      if values.(i) <> v then begin
+        values.(i) <- v;
+        changed := true
+      end
+    in
+    for i = 0 to n - 1 do
+      match nl.Netlist.gates.(i).Gate.kind with
+      | Gate.Const b -> set i (if b then One else Zero)
+      | Gate.Pi _ -> ()
+      | Gate.Dff init ->
+        let d = nl.Netlist.gates.(i).Gate.fanins.(0) in
+        let reset = if init then One else Zero in
+        if values.(d) = reset then set i reset
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor
+      | Gate.Xor | Gate.Xnor -> ()
+    done;
+    Array.iter
+      (fun i ->
+        let g = nl.Netlist.gates.(i) in
+        match g.Gate.kind with
+        | Gate.Buf -> set i values.(g.Gate.fanins.(0))
+        | Gate.Not -> set i (v_not values.(g.Gate.fanins.(0)))
+        | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor ->
+          set i (eval nl values g.Gate.kind g.Gate.fanins.(0) g.Gate.fanins.(1))
+        | Gate.Pi _ | Gate.Const _ | Gate.Dff _ -> ())
+      topo.Topo.order;
+    !changed
+  in
+  (* Values only move up the lattice (Unknown -> constant), so this
+     terminates in at most [dffs + 1] passes. *)
+  while pass () do () done;
+  { nl; values }
+
+let value t i = t.values.(i)
+
+let constant_nets t =
+  let acc = ref [] in
+  for i = Array.length t.values - 1 downto 0 do
+    match t.values.(i), t.nl.Netlist.gates.(i).Gate.kind with
+    | (Zero | One), Gate.Const _ -> ()
+    | Zero, _ -> acc := (i, false) :: !acc
+    | One, _ -> acc := (i, true) :: !acc
+    | Unknown, _ -> ()
+  done;
+  !acc
+
+let num_constant t = List.length (constant_nets t)

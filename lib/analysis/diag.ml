@@ -1,0 +1,34 @@
+module Json = Mutsamp_obs.Json
+
+type t = {
+  rule : Rule.t;
+  circuit : string;
+  loc : string;
+  message : string;
+  waived : bool;
+}
+
+let make ~rule ~circuit ~loc ~message = { rule; circuit; loc; message; waived = false }
+
+let to_string d =
+  Printf.sprintf "%s: %s %s [%s] %s%s" d.circuit d.rule.Rule.id
+    (Rule.severity_name d.rule.Rule.severity)
+    d.loc d.message
+    (if d.waived then " (waived)" else "")
+
+let to_json d =
+  Json.Obj
+    [
+      ("id", Json.String d.rule.Rule.id);
+      ("severity", Json.String (Rule.severity_name d.rule.Rule.severity));
+      ("circuit", Json.String d.circuit);
+      ("loc", Json.String d.loc);
+      ("message", Json.String d.message);
+      ("waived", Json.Bool d.waived);
+    ]
+
+let compare a b =
+  let sev r = -Rule.severity_rank r.Rule.severity in
+  Stdlib.compare
+    (sev a.rule, a.circuit, a.rule.Rule.id, a.loc, a.message)
+    (sev b.rule, b.circuit, b.rule.Rule.id, b.loc, b.message)

@@ -1,0 +1,101 @@
+module Json = Mutsamp_obs.Json
+module Metrics = Mutsamp_obs.Metrics
+
+type waiver = { rule_id : string; loc : string }
+
+let waiver_of_string s =
+  let rule_id, loc =
+    match String.index_opt s ':' with
+    | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> (s, "*")
+  in
+  match Rule.find rule_id with
+  | None -> Error (Printf.sprintf "unknown rule id %S" rule_id)
+  | Some r ->
+    if loc = "" then Error "empty waiver location (use RULEID:LOC or RULEID:*)"
+    else Ok { rule_id = r.Rule.id; loc }
+
+type options = {
+  waivers : waiver list;
+  strict : bool;
+  check_observability : bool;
+}
+
+let default_options = { waivers = []; strict = false; check_observability = true }
+
+let matches (w : waiver) (d : Diag.t) =
+  w.rule_id = d.Diag.rule.Rule.id && (w.loc = "*" || w.loc = d.Diag.loc)
+
+let apply_waivers waivers diags =
+  List.map
+    (fun (d : Diag.t) ->
+      if List.exists (fun w -> matches w d) waivers then { d with Diag.waived = true }
+      else d)
+    diags
+
+let c_findings = Metrics.counter "analysis.findings"
+let c_waived = Metrics.counter "analysis.waived"
+let c_errors = Metrics.counter "analysis.errors"
+
+let record diags =
+  List.iter
+    (fun (d : Diag.t) ->
+      if d.Diag.waived then Metrics.incr c_waived
+      else begin
+        Metrics.incr c_findings;
+        Metrics.add_named ("analysis.rule." ^ d.Diag.rule.Rule.id) 1;
+        if d.Diag.rule.Rule.severity = Rule.Error then Metrics.incr c_errors
+      end)
+    diags;
+  diags
+
+let finish options diags =
+  record (List.sort Diag.compare (apply_waivers options.waivers diags))
+
+let lint_design options ~circuit d = finish options (Hdl_lint.run ~circuit d)
+
+let lint_netlist options ~circuit nl =
+  finish options
+    (Nl_lint.run ~check_observability:options.check_observability ~circuit nl)
+
+let error_count ~strict diags =
+  List.length
+    (List.filter
+       (fun (d : Diag.t) ->
+         (not d.Diag.waived)
+         &&
+         match d.Diag.rule.Rule.severity with
+         | Rule.Error -> true
+         | Rule.Warning -> strict
+         | Rule.Info -> false)
+       diags)
+
+let summary diags =
+  let count pred = List.length (List.filter pred diags) in
+  let live sev (d : Diag.t) = (not d.Diag.waived) && d.Diag.rule.Rule.severity = sev in
+  [
+    ("findings", count (fun (d : Diag.t) -> not d.Diag.waived));
+    ("errors", count (live Rule.Error));
+    ("warnings", count (live Rule.Warning));
+    ("infos", count (live Rule.Info));
+    ("waived", count (fun (d : Diag.t) -> d.Diag.waived));
+  ]
+
+let report_section diags =
+  let rules = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Diag.t) ->
+      if not d.Diag.waived then
+        let id = d.Diag.rule.Rule.id in
+        Hashtbl.replace rules id (1 + Option.value ~default:0 (Hashtbl.find_opt rules id)))
+    diags;
+  let rule_counts =
+    List.sort Stdlib.compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) rules [])
+  in
+  Json.Obj
+    (List.map (fun (k, v) -> (k, Json.Int v)) (summary diags)
+    @ [
+        ("rules", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) rule_counts));
+        ("diagnostics", Json.List (List.map Diag.to_json diags));
+      ])

@@ -1,0 +1,94 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+
+let net_loc i = Printf.sprintf "net%d" i
+
+let run ?(check_observability = true) ~circuit (nl : Netlist.t) =
+  let diags = ref [] in
+  let emit rule loc fmt =
+    Printf.ksprintf
+      (fun message -> diags := Diag.make ~rule ~circuit ~loc ~message :: !diags)
+      fmt
+  in
+  let n = Array.length nl.Netlist.gates in
+  let gate i = nl.Netlist.gates.(i) in
+  let kind i = (gate i).Gate.kind in
+  (* NL001: constant nets. *)
+  let cp = Constprop.compute nl in
+  List.iter
+    (fun (i, v) ->
+      emit Rule.nl_constant_net (net_loc i) "%s gate output is always %d"
+        (Gate.kind_name (kind i))
+        (if v then 1 else 0))
+    (Constprop.constant_nets cp);
+  (* NL002: gates outside every output cone — what [Sweep.run] would
+     remove. *)
+  let live = Array.make n false in
+  let rec mark i =
+    if not live.(i) then begin
+      live.(i) <- true;
+      Array.iter mark (gate i).Gate.fanins
+    end
+  in
+  Array.iter (fun (_, net) -> mark net) nl.Netlist.output_list;
+  let fanouts = Netlist.fanouts nl in
+  for i = 0 to n - 1 do
+    match kind i with
+    | Gate.Pi _ -> ()
+    | k ->
+      if not live.(i) then
+        emit Rule.nl_dead_gate (net_loc i) "%s gate feeds no primary output"
+          (Gate.kind_name k)
+  done;
+  (* NL003: inputs are always kept by the sweeper, so "dead" for a PI
+     means it feeds nothing and is not wired straight to an output. *)
+  Array.iter
+    (fun i ->
+      if fanouts.(i) = []
+         && not (Array.exists (fun (_, net) -> net = i) nl.Netlist.output_list)
+      then emit Rule.nl_unused_input (net_loc i) "primary input drives no gate")
+    nl.Netlist.input_nets;
+  (* NL005: buffers (the builder never emits them; imports can). *)
+  for i = 0 to n - 1 do
+    match kind i with
+    | Gate.Buf -> emit Rule.nl_buffer_gate (net_loc i) "buffer copies net %d"
+                    (gate i).Gate.fanins.(0)
+    | _ -> ()
+  done;
+  (* NL006: structural duplicates the hash-consing missed (imported
+     netlists, nets tied mid-flow). *)
+  let seen = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    let g = gate i in
+    (match g.Gate.kind with
+     | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor
+     | Gate.Not | Gate.Buf ->
+       let fanins = Array.to_list g.Gate.fanins in
+       let fanins =
+         if Gate.is_commutative g.Gate.kind then List.sort Stdlib.compare fanins
+         else fanins
+       in
+       let key = (Gate.kind_name g.Gate.kind, fanins) in
+       (match Hashtbl.find_opt seen key with
+        | Some first ->
+          emit Rule.nl_duplicate_gate (net_loc i) "%s gate duplicates net %d"
+            (Gate.kind_name g.Gate.kind) first
+        | None -> Hashtbl.add seen key i)
+     | Gate.Pi _ | Gate.Const _ | Gate.Dff _ -> ())
+  done;
+  (* NL004: live, non-constant nets that still cannot influence any
+     output — every propagation path is blocked by a constant side
+     input. *)
+  if check_observability then begin
+    let ut = Untestable.analyze nl in
+    for i = 0 to n - 1 do
+      if live.(i)
+         && Constprop.value cp i = Constprop.Unknown
+         && not (Untestable.stem_observable ut i)
+      then
+        emit Rule.nl_blocked_net (net_loc i)
+          "%s gate output cannot influence any primary output"
+          (Gate.kind_name (kind i))
+    done
+  end;
+  !diags

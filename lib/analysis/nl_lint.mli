@@ -1,0 +1,14 @@
+(** Gate-level lint over a netlist: [NL001]..[NL006].
+
+    [Netlist.lint] keeps the hard invariants (arities, ranges, cycles);
+    this pass reports redundancy and reachability smells on a netlist
+    that already satisfies them. The observability pass ([NL004]) runs
+    one may-differ sweep per live net, so it is quadratic in netlist
+    size; [check_observability:false] (used under tight budgets) skips
+    it. *)
+
+val run :
+  ?check_observability:bool ->
+  circuit:string ->
+  Mutsamp_netlist.Netlist.t ->
+  Diag.t list

@@ -1,0 +1,48 @@
+type severity = Error | Warning | Info
+
+type t = {
+  id : string;
+  severity : severity;
+  title : string;
+}
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+let mk id severity title = { id; severity; title }
+
+let hdl_self_assign = mk "HDL001" Warning "self-assignment"
+let hdl_never_read = mk "HDL002" Warning "signal written but never read"
+let hdl_never_written = mk "HDL003" Warning "signal declared but never written"
+let hdl_dead_assign = mk "HDL004" Warning "dead assignment"
+let hdl_unread_input = mk "HDL005" Warning "input never read"
+let hdl_unassigned_output = mk "HDL006" Error "output never assigned"
+let hdl_constant_branch = mk "HDL007" Warning "branch condition is constant"
+
+let nl_constant_net = mk "NL001" Warning "net provably constant"
+let nl_dead_gate = mk "NL002" Warning "gate unreachable from any output"
+let nl_unused_input = mk "NL003" Warning "primary input drives nothing"
+let nl_blocked_net = mk "NL004" Warning "net cannot influence any output"
+let nl_buffer_gate = mk "NL005" Info "redundant buffer gate"
+let nl_duplicate_gate = mk "NL006" Info "structurally duplicate gate"
+
+let mut_stillborn = mk "MUT001" Info "stillborn mutant (equivalent to original)"
+let mut_duplicate = mk "MUT002" Info "duplicate mutant"
+
+let atp_unexcitable = mk "ATP001" Info "stuck-at fault on constant net"
+let atp_unobservable = mk "ATP002" Info "stuck-at fault cannot reach an output"
+
+let all =
+  List.sort (fun a b -> compare a.id b.id)
+  [
+    hdl_self_assign; hdl_never_read; hdl_never_written; hdl_dead_assign;
+    hdl_unread_input; hdl_unassigned_output; hdl_constant_branch;
+    nl_constant_net; nl_dead_gate; nl_unused_input; nl_blocked_net;
+    nl_buffer_gate; nl_duplicate_gate;
+    mut_stillborn; mut_duplicate;
+    atp_unexcitable; atp_unobservable;
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.find_opt (fun r -> r.id = id) all

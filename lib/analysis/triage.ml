@@ -1,0 +1,474 @@
+open Mutsamp_hdl.Ast
+module Mutant = Mutsamp_mutation.Mutant
+module Operator = Mutsamp_mutation.Operator
+module Metrics = Mutsamp_obs.Metrics
+
+type verdict = Kept | Stillborn | Duplicate of int
+
+type t = {
+  design : design;
+  verdicts : (Mutant.t * verdict) list;
+  kept : Mutant.t list;
+  stillborn : int;
+  duplicates : int;
+  discards_by_op : (Operator.t * int) list;
+}
+
+let c_stillborn = Metrics.counter "analysis.triage.stillborn"
+let c_duplicate = Metrics.counter "analysis.triage.duplicates"
+let c_kept = Metrics.counter "analysis.triage.kept"
+
+(* --- environment ------------------------------------------------------- *)
+
+type env = { widths : (string, int) Hashtbl.t; kinds : (string, kind) Hashtbl.t }
+
+let build_env (d : design) =
+  let widths = Hashtbl.create 16 and kinds = Hashtbl.create 16 in
+  List.iter
+    (fun (dc : decl) ->
+      Hashtbl.replace widths dc.name dc.width;
+      Hashtbl.replace kinds dc.name dc.kind)
+    d.decls;
+  { widths; kinds }
+
+let mask w = (1 lsl w) - 1
+
+let lit_width (l : literal) =
+  match l.width with
+  | Some w -> w
+  | None -> invalid_arg "Triage.normalize: unsized literal (design not elaborated)"
+
+(* Width of a normalized expression, mirroring the simulator: a
+   non-relational binop takes the width of its left operand. *)
+let rec width_of env = function
+  | Const l -> lit_width l
+  | Ref name -> Hashtbl.find env.widths name
+  | Unop (Not, e) -> width_of env e
+  | Binop (op, a, _) -> if is_relational op then 1 else width_of env a
+  | Bit _ -> 1
+  | Slice (_, hi, lo) -> hi - lo + 1
+  | Concat (a, b) -> width_of env a + width_of env b
+  | Resize (_, w) -> w
+
+let cst ~width value = Const { value = value land mask width; width = Some width }
+let as_const = function Const l -> Some l.value | _ -> None
+
+(* Structural complement test on normalized operands: [not x] never
+   survives normalization as [not (not y)], so one level suffices. *)
+let complementary a b =
+  (match b with Unop (Not, b') -> equal_expr a b' | _ -> false)
+  || (match a with Unop (Not, a') -> equal_expr a' b | _ -> false)
+
+(* --- smart constructors ------------------------------------------------
+   Each takes already-normalized children and returns a normalized
+   expression. Every internal call strictly shrinks the term or moves
+   to a constructor no rule rewrites again, so the rewriting
+   terminates. *)
+
+let rec mk_not _env a =
+  match a with
+  | Const l -> cst ~width:(lit_width l) (lnot l.value)
+  | Unop (Not, x) -> x
+  | _ -> Unop (Not, a)
+
+and mk_logical env op a b =
+  let w = width_of env a in
+  let m = mask w in
+  let fold va vb =
+    match op with
+    | And -> va land vb
+    | Or -> va lor vb
+    | Xor -> va lxor vb
+    | Nand -> lnot (va land vb)
+    | Nor -> lnot (va lor vb)
+    | Xnor -> lnot (va lxor vb)
+    | _ -> assert false
+  in
+  match as_const a, as_const b with
+  | Some va, Some vb -> cst ~width:w (fold va vb)
+  | _ ->
+    if equal_expr a b then
+      (match op with
+       | And | Or -> a
+       | Xor -> cst ~width:w 0
+       | Xnor -> cst ~width:w m
+       | Nand | Nor -> mk_not env a
+       | _ -> assert false)
+    else if complementary a b then
+      (match op with
+       | And | Nor -> cst ~width:w 0
+       | Or | Nand | Xor -> cst ~width:w m
+       | Xnor -> cst ~width:w 0
+       | _ -> assert false)
+    else
+      let with_const v other =
+        if v = 0 then
+          (match op with
+           | And -> Some (cst ~width:w 0)
+           | Or | Xor -> Some other
+           | Nand -> Some (cst ~width:w m)
+           | Nor | Xnor -> Some (mk_not env other)
+           | _ -> None)
+        else if v = m then
+          (match op with
+           | And | Xnor -> Some other
+           | Or -> Some (cst ~width:w m)
+           | Xor | Nand -> Some (mk_not env other)
+           | Nor -> Some (cst ~width:w 0)
+           | _ -> None)
+        else None
+      in
+      let folded =
+        match as_const a, as_const b with
+        | Some v, None -> with_const v b
+        | None, Some v -> with_const v a
+        | _ -> None
+      in
+      (match folded with
+       | Some e -> e
+       | None ->
+         let a, b = if Stdlib.compare a b <= 0 then (a, b) else (b, a) in
+         Binop (op, a, b))
+
+and mk_arith env op a b =
+  let w = width_of env a in
+  match op, as_const a, as_const b with
+  | Add, Some va, Some vb -> cst ~width:w (va + vb)
+  | Sub, Some va, Some vb -> cst ~width:w (va - vb)
+  | Add, Some 0, None -> b
+  | Add, None, Some 0 -> a
+  | Sub, None, Some 0 -> a
+  | Sub, _, _ when equal_expr a b -> cst ~width:w 0
+  | Add, _, _ ->
+    let a, b = if Stdlib.compare a b <= 0 then (a, b) else (b, a) in
+    Binop (Add, a, b)
+  | _ -> Binop (op, a, b)
+
+(* Comparisons are unsigned over masked values. [Gt]/[Ge] flip to
+   [Lt]/[Le]; [Neq] becomes [not Eq]; one-bit comparisons become logic
+   gates so the logical identities above apply to them too. *)
+and mk_rel env op a b =
+  match op with
+  | Gt -> mk_rel env Lt b a
+  | Ge -> mk_rel env Le b a
+  | _ ->
+    let w = width_of env a in
+    if w = 1 then
+      match op with
+      | Lt -> mk_logical env And (mk_not env a) b
+      | Le -> mk_logical env Or (mk_not env a) b
+      | Eq -> mk_logical env Xnor a b
+      | Neq -> mk_logical env Xor a b
+      | _ -> assert false
+    else
+      let m = mask w in
+      match as_const a, as_const b with
+      | Some va, Some vb ->
+        let r =
+          match op with
+          | Lt -> va < vb
+          | Le -> va <= vb
+          | Eq -> va = vb
+          | Neq -> va <> vb
+          | _ -> assert false
+        in
+        cst ~width:1 (if r then 1 else 0)
+      | ca, cb ->
+        if equal_expr a b then
+          cst ~width:1 (match op with Le | Eq -> 1 | _ -> 0)
+        else
+          let eq x v = mk_eq env x (cst ~width:w v) in
+          (match op, ca, cb with
+           | Neq, _, _ -> mk_not env (mk_eq env a b)
+           | Lt, _, Some 0 -> cst ~width:1 0
+           | Lt, _, Some 1 -> eq a 0
+           | Lt, _, Some v when v = m -> mk_not env (eq a m)
+           | Lt, Some 0, _ -> mk_not env (eq b 0)
+           | Lt, Some v, _ when v = m -> cst ~width:1 0
+           | Le, _, Some v when v = m -> cst ~width:1 1
+           | Le, _, Some 0 -> eq a 0
+           | Le, _, Some v when v = m - 1 -> mk_not env (eq a m)
+           | Le, Some 0, _ -> cst ~width:1 1
+           | Le, Some 1, _ -> mk_not env (eq b 0)
+           | Le, Some v, _ when v = m -> eq b m
+           | Eq, _, _ -> mk_eq env a b
+           | _ -> Binop (op, a, b))
+
+and mk_eq _env a b =
+  (* Only reached with operands wider than one bit and not both
+     constant; just canonicalise the order. *)
+  let a, b = if Stdlib.compare a b <= 0 then (a, b) else (b, a) in
+  Binop (Eq, a, b)
+
+let mk_binop env op a b =
+  if is_logical op then mk_logical env op a b
+  else if is_arith op then mk_arith env op a b
+  else mk_rel env op a b
+
+let mk_bit env a i =
+  match a with
+  | Const l -> cst ~width:1 (l.value lsr i)
+  | _ -> if width_of env a = 1 && i = 0 then a else Bit (a, i)
+
+let mk_slice env a hi lo =
+  match a with
+  | Const l -> cst ~width:(hi - lo + 1) (l.value lsr lo)
+  | _ -> if lo = 0 && hi = width_of env a - 1 then a else Slice (a, hi, lo)
+
+let mk_concat env a b =
+  let wa = width_of env a and wb = width_of env b in
+  match as_const a, as_const b with
+  | Some va, Some vb when wa + wb <= 62 -> cst ~width:(wa + wb) ((va lsl wb) lor vb)
+  | _ -> Concat (a, b)
+
+let mk_resize env a w =
+  match a with
+  | Const l -> cst ~width:w l.value
+  | _ -> if width_of env a = w then a else Resize (a, w)
+
+let rec norm_expr env e =
+  match e with
+  | Const l -> cst ~width:(lit_width l) l.value
+  | Ref _ -> e
+  | Unop (Not, a) -> mk_not env (norm_expr env a)
+  | Binop (op, a, b) -> mk_binop env op (norm_expr env a) (norm_expr env b)
+  | Bit (a, i) -> mk_bit env (norm_expr env a) i
+  | Slice (a, hi, lo) -> mk_slice env (norm_expr env a) hi lo
+  | Concat (a, b) -> mk_concat env (norm_expr env a) (norm_expr env b)
+  | Resize (a, w) -> mk_resize env (norm_expr env a) w
+
+(* --- statements -------------------------------------------------------- *)
+
+let rec reads name = function
+  | Const _ -> false
+  | Ref n -> n = name
+  | Unop (_, e) | Bit (e, _) | Slice (e, _, _) | Resize (e, _) -> reads name e
+  | Binop (_, a, b) | Concat (a, b) -> reads name a || reads name b
+
+(* Drop an assignment immediately overwritten by the next statement.
+   Register writes are deferred to the cycle boundary (reads in between
+   see the pre-cycle value), so for a register the earlier of two
+   adjacent writes is dead unconditionally; for a variable or output
+   only when the second right-hand side does not read the target. *)
+let rec drop_dead_stores env = function
+  | (Assign (x, _) as s1) :: (Assign (y, e2) :: _ as rest) when x = y ->
+    let dead =
+      match Hashtbl.find_opt env.kinds x with
+      | Some (Reg _) -> true
+      | Some (Var | Output) -> not (reads x e2)
+      | _ -> false
+    in
+    if dead then drop_dead_stores env rest else s1 :: drop_dead_stores env rest
+  | s :: rest -> s :: drop_dead_stores env rest
+  | [] -> []
+
+let rec norm_stmt env s =
+  match s with
+  | Null -> []
+  | Assign (x, e) -> [ Assign (x, norm_expr env e) ]
+  | If (c, t, f) ->
+    (match norm_expr env c with
+     | Const l -> if l.value <> 0 then norm_stmts env t else norm_stmts env f
+     | Unop (Not, c') ->
+       (* if not c then T else F  =  if c then F else T; c' is already
+          normalized and not itself Not-headed. *)
+       branch env c' f t
+     | c -> branch env c t f)
+  | Case (scrut, arms, others) ->
+    (match norm_expr env scrut with
+     | Const l ->
+       let hit =
+         List.find_opt (fun (choices, _) -> List.exists (fun c -> c.value = l.value) choices) arms
+       in
+       (match hit, others with
+        | Some (_, body), _ -> norm_stmts env body
+        | None, Some body -> norm_stmts env body
+        | None, None -> [])
+     | scrut ->
+       let arms = List.map (fun (cs, body) -> (cs, norm_stmts env body)) arms in
+       let others = Option.map (norm_stmts env) others in
+       let empty = function [] -> true | _ :: _ -> false in
+       if List.for_all (fun (_, b) -> empty b) arms
+          && (match others with None -> true | Some b -> empty b)
+       then []
+       else [ Case (scrut, arms, others) ])
+
+and branch env c t f =
+  let t = norm_stmts env t and f = norm_stmts env f in
+  match t, f with [], [] -> [] | _ -> [ If (c, t, f) ]
+
+and norm_stmts env ss = drop_dead_stores env (List.concat_map (norm_stmt env) ss)
+
+let normalize (d : design) =
+  let env = build_env d in
+  { d with body = norm_stmts env d.body }
+
+let normalize_expr (d : design) e = norm_expr (build_env d) e
+let expr_reads_name = reads
+
+(* --- triage ------------------------------------------------------------
+
+   Mutant populations reach the hundreds of thousands (wide128), so the
+   dedup table stores one full-traversal structural hash per kept
+   mutant instead of its normal form: constant memory per mutant, and
+   the polymorphic [Hashtbl.hash]'s bounded traversal (which would
+   collapse large designs into one bucket) is avoided. A bucket hit
+   re-normalizes the candidate representative to confirm true
+   structural equality, so a hash collision can never discard a
+   non-duplicate. *)
+
+let mix h v = (h * 0x01000193) lxor (v land max_int)
+
+let rec hash_expr h = function
+  | Const l -> mix (mix (mix h 1) l.value) (Option.value ~default:(-1) l.width)
+  | Ref n -> mix (mix h 2) (Hashtbl.hash n)
+  | Unop (Not, a) -> hash_expr (mix h 3) a
+  | Binop (op, a, b) -> hash_expr (hash_expr (mix (mix h 4) (Hashtbl.hash op)) a) b
+  | Bit (a, i) -> hash_expr (mix (mix h 5) i) a
+  | Slice (a, hi, lo) -> hash_expr (mix (mix (mix h 6) hi) lo) a
+  | Concat (a, b) -> hash_expr (hash_expr (mix h 7) a) b
+  | Resize (a, w) -> hash_expr (mix (mix h 8) w) a
+
+let rec hash_stmt h = function
+  | Null -> mix h 10
+  | Assign (x, e) -> hash_expr (mix (mix h 11) (Hashtbl.hash x)) e
+  | If (c, t, f) -> hash_stmts (hash_stmts (hash_expr (mix h 12) c) t) f
+  | Case (scrut, arms, others) ->
+    let h = hash_expr (mix h 13) scrut in
+    let h =
+      List.fold_left
+        (fun h (cs, body) ->
+          hash_stmts
+            (List.fold_left (fun h (l : literal) -> mix h l.value) h cs)
+            body)
+        h arms
+    in
+    (match others with None -> mix h 14 | Some b -> hash_stmts (mix h 15) b)
+
+and hash_stmts h ss = List.fold_left hash_stmt h ss
+
+(* Mutation never touches declarations, so the body alone suffices. *)
+let hash_design (d : design) = hash_stmts 0x811c9dc5 d.body
+
+let run (d : design) (mutants : Mutant.t list) =
+  let nd = normalize d in
+  let hd = hash_design nd in
+  let by_id : (int, Mutant.t) Hashtbl.t = Hashtbl.create 997 in
+  let seen : (int, int list) Hashtbl.t = Hashtbl.create 997 in
+  let discards = Hashtbl.create 16 in
+  let discard (m : Mutant.t) =
+    Hashtbl.replace discards m.Mutant.op
+      (1 + Option.value ~default:0 (Hashtbl.find_opt discards m.Mutant.op))
+  in
+  let stillborn = ref 0 and duplicates = ref 0 in
+  let verdicts =
+    List.map
+      (fun (m : Mutant.t) ->
+        let nm = normalize m.Mutant.design in
+        let h = hash_design nm in
+        let v =
+          if h = hd && equal_design nm nd then begin
+            incr stillborn;
+            Metrics.incr c_stillborn;
+            discard m;
+            Stillborn
+          end
+          else
+            let bucket = Option.value ~default:[] (Hashtbl.find_opt seen h) in
+            let rep =
+              List.find_opt
+                (fun id ->
+                  equal_design nm
+                    (normalize (Hashtbl.find by_id id).Mutant.design))
+                bucket
+            in
+            match rep with
+            | Some rep ->
+              incr duplicates;
+              Metrics.incr c_duplicate;
+              discard m;
+              Duplicate rep
+            | None ->
+              Hashtbl.replace seen h (m.Mutant.id :: bucket);
+              Hashtbl.replace by_id m.Mutant.id m;
+              Metrics.incr c_kept;
+              Kept
+        in
+        (m, v))
+      mutants
+  in
+  List.iter
+    (fun ((m : Mutant.t), v) ->
+      match v with
+      | Stillborn | Duplicate _ ->
+        Metrics.add_named ("analysis.triage.discard." ^ Operator.name m.Mutant.op) 1
+      | Kept -> ())
+    verdicts;
+  let kept =
+    List.filter_map (fun (m, v) -> match v with Kept -> Some m | _ -> None) verdicts
+  in
+  let discards_by_op =
+    List.filter_map
+      (fun op -> Option.map (fun n -> (op, n)) (Hashtbl.find_opt discards op))
+      Operator.all
+  in
+  {
+    design = nd;
+    verdicts;
+    kept;
+    stillborn = !stillborn;
+    duplicates = !duplicates;
+    discards_by_op;
+  }
+
+type outcome = { total : int; killed : int; equivalent : int }
+
+let extrapolate t ~killed ~equivalent =
+  let status = Hashtbl.create 97 in
+  (* id -> `Killed | `Equivalent | `Survived, for kept mutants *)
+  List.iter
+    (fun ((m : Mutant.t), v) ->
+      match v with
+      | Kept ->
+        let s =
+          if killed m then `Killed else if equivalent m then `Equivalent else `Survived
+        in
+        Hashtbl.replace status m.Mutant.id s
+      | Stillborn | Duplicate _ -> ())
+    t.verdicts;
+  let total = ref 0 and k = ref 0 and e = ref 0 in
+  List.iter
+    (fun ((m : Mutant.t), v) ->
+      incr total;
+      let s =
+        match v with
+        | Kept -> Hashtbl.find status m.Mutant.id
+        | Stillborn -> `Equivalent
+        | Duplicate rep -> Hashtbl.find status rep
+      in
+      match s with
+      | `Killed -> incr k
+      | `Equivalent -> incr e
+      | `Survived -> ())
+    t.verdicts;
+  { total = !total; killed = !k; equivalent = !e }
+
+let diagnostics t ~circuit =
+  List.filter_map
+    (fun ((m : Mutant.t), v) ->
+      let loc = Printf.sprintf "mutant%d" m.Mutant.id in
+      match v with
+      | Kept -> None
+      | Stillborn ->
+        Some
+          (Diag.make ~rule:Rule.mut_stillborn ~circuit ~loc
+             ~message:
+               (Printf.sprintf "%s @%d (%s) normalizes to the original design"
+                  (Operator.name m.Mutant.op) m.Mutant.site m.Mutant.info))
+      | Duplicate rep ->
+        Some
+          (Diag.make ~rule:Rule.mut_duplicate ~circuit ~loc
+             ~message:
+               (Printf.sprintf "%s @%d (%s) duplicates mutant %d"
+                  (Operator.name m.Mutant.op) m.Mutant.site m.Mutant.info rep)))
+    t.verdicts

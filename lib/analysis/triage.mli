@@ -1,0 +1,67 @@
+(** Static mutant triage: discard stillborn and duplicate mutants
+    before any simulation or equivalence checking.
+
+    The core is {!normalize}, a semantics-preserving rewriter over
+    elaborated designs: bottom-up constant folding with exactly the
+    simulator's masking semantics, local algebraic identities on
+    syntactically equal (hence pure, hence value-equal) operands
+    ([x and x], [a <= a], [x xor not x]), canonical operand order for
+    commutative operators, relational canonicalisation ([a > b] to
+    [b < a], one-bit comparisons to logic gates), splicing of
+    branches with constant conditions, and adjacent dead-store
+    elimination. Two designs with equal normal forms are behaviourally
+    identical cycle-for-cycle.
+
+    A mutant whose normal form equals the original's is {e stillborn}
+    (semantically equivalent — it can feed the E term of
+    MS = K/(M − E) without an equivalence check); one whose normal
+    form equals an earlier kept mutant's is a {e duplicate} whose kill
+    outcome is that of its representative. {!extrapolate} rebuilds the
+    full-population (total, killed, equivalent) counts from results on
+    the kept set only, so the mutation score is bit-identical to an
+    untriaged run wherever the downstream equivalence checker would
+    have proved the stillborns equivalent. *)
+
+module Mutant = Mutsamp_mutation.Mutant
+module Operator = Mutsamp_mutation.Operator
+
+type verdict =
+  | Kept
+  | Stillborn
+  | Duplicate of int  (** id of the kept representative *)
+
+type t = {
+  design : Mutsamp_hdl.Ast.design;  (** normalized original *)
+  verdicts : (Mutant.t * verdict) list;  (** every mutant, input order *)
+  kept : Mutant.t list;
+  stillborn : int;
+  duplicates : int;
+  discards_by_op : (Operator.t * int) list;  (** nonzero entries only *)
+}
+
+val normalize : Mutsamp_hdl.Ast.design -> Mutsamp_hdl.Ast.design
+(** Requires an elaborated design (every literal sized). *)
+
+val normalize_expr :
+  Mutsamp_hdl.Ast.design -> Mutsamp_hdl.Ast.expr -> Mutsamp_hdl.Ast.expr
+(** Normalize one expression in the design's declaration environment
+    (the design supplies signal widths). *)
+
+val expr_reads_name : string -> Mutsamp_hdl.Ast.expr -> bool
+
+val run : Mutsamp_hdl.Ast.design -> Mutant.t list -> t
+(** Also bumps the [analysis.triage.*] metrics. *)
+
+type outcome = { total : int; killed : int; equivalent : int }
+
+val extrapolate :
+  t ->
+  killed:(Mutant.t -> bool) ->
+  equivalent:(Mutant.t -> bool) ->
+  outcome
+(** The callbacks are consulted for kept mutants only; discarded ones
+    inherit [equivalent] (stillborn) or their representative's
+    outcome (duplicates). *)
+
+val diagnostics : t -> circuit:string -> Diag.t list
+(** One [MUT001]/[MUT002] per discarded mutant. *)

@@ -1,0 +1,49 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+module Fault = Mutsamp_fault.Fault
+module Untestable = Mutsamp_analysis.Untestable
+module Metrics = Mutsamp_obs.Metrics
+
+type t = { nl : Netlist.t; ut : Untestable.t; scoap : Scoap.t }
+
+let c_static = Metrics.counter "analysis.static_untestable"
+
+let make nl = { nl; ut = Untestable.analyze nl; scoap = Scoap.compute nl }
+
+(* The net whose value appears on the faulty line: the stem itself, or
+   the driver of the branch's pin. *)
+let line_driver t (f : Fault.t) =
+  match f.Fault.site with
+  | Fault.Stem n -> n
+  | Fault.Branch { gate; pin } -> t.nl.Netlist.gates.(gate).Gate.fanins.(pin)
+
+(* SCOAP infinity is a structural proof: CC1 = inf means no input
+   assignment drives the net to 1 (the cost only becomes infinite when
+   a required side is itself provably stuck), and CO = inf means no
+   sensitised path from the stem reaches an output. Exciting stuck-at-v
+   requires driving the line to (not v), so CC(not v) = inf proves
+   unexcitability; CO = inf at the stem proves unobservability for the
+   stem and every branch it feeds. *)
+let scoap_verdict t f =
+  let d = line_driver t f in
+  let inf = Scoap.infinity_cost in
+  let unexcitable =
+    match f.Fault.polarity with
+    | Fault.Stuck_at_0 -> t.scoap.Scoap.cc1.(d) >= inf
+    | Fault.Stuck_at_1 -> t.scoap.Scoap.cc0.(d) >= inf
+  in
+  if unexcitable then Untestable.Unexcitable
+  else if t.scoap.Scoap.co.(d) >= inf then Untestable.Unobservable
+  else Untestable.Testable_maybe
+
+let prove t f =
+  match Untestable.prove t.ut f with
+  | Untestable.Testable_maybe -> scoap_verdict t f
+  | v -> v
+
+let is_untestable t f =
+  match prove t f with
+  | Untestable.Testable_maybe -> false
+  | Untestable.Unexcitable | Untestable.Unobservable ->
+    Metrics.incr c_static;
+    true

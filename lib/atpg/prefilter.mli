@@ -1,0 +1,26 @@
+(** Static untestability pre-filter for the ATPG engines.
+
+    Combines the three sound static proofs the analysis layer offers —
+    constant propagation (excitation), the may-differ forward pass
+    (observability), and SCOAP infinity costs — into one oracle that
+    the SAT/PODEM callers consult before paying for a solve. A [true]
+    from {!is_untestable} is a proof; [false] just means "not decided
+    statically, ask the solver".
+
+    Every successful proof bumps the [analysis.static_untestable]
+    counter, so run reports show how much solver work the filter
+    saved. *)
+
+type t
+
+val make : Mutsamp_netlist.Netlist.t -> t
+(** One shared analysis pass (constprop + SCOAP) over the netlist.
+    Rebuild after any structural edit — {!Redundancy} re-makes it
+    after each tie, because a tied net becomes a constant that
+    strengthens later proofs. *)
+
+val prove : t -> Mutsamp_fault.Fault.t -> Mutsamp_analysis.Untestable.verdict
+
+val is_untestable : t -> Mutsamp_fault.Fault.t -> bool
+(** [true] is a proof of untestability (and bumps
+    [analysis.static_untestable]); [false] is no information. *)

@@ -16,10 +16,15 @@ let tie_net (nl : Netlist.t) net value =
    | _ -> gates.(net) <- { Gate.kind = Gate.Const value; fanins = [||] });
   { nl with Netlist.gates }
 
-let round ~budget ~first_error nl =
+let round ~static_filter ~budget ~first_error nl =
   let tied = ref 0 in
   let skipped = ref 0 in
   let current = ref nl in
+  (* Static pre-filter: a sound untestability proof licenses a tie
+     without touching the solver. Every tie turns a net into a
+     constant, which strengthens later static proofs in the same
+     round, so the filter is rebuilt after each tie. *)
+  let filter = ref (if static_filter then Some (Prefilter.make nl) else None) in
   let gate_count = Array.length nl.Netlist.gates in
   let net = ref 0 in
   while !net < gate_count do
@@ -30,22 +35,31 @@ let round ~budget ~first_error nl =
      | Gate.Pi _ | Gate.Const _ | Gate.Dff _ -> ()
      | Gate.Buf | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor
      | Gate.Xor | Gate.Xnor ->
+       let tie value =
+         current := tie_net !current i value;
+         if static_filter then filter := Some (Prefilter.make !current);
+         incr tied;
+         true
+       in
+       let statically_untestable fault =
+         match !filter with
+         | Some pf -> Prefilter.is_untestable pf fault
+         | None -> false
+       in
        let try_tie polarity value =
-         match
-           Satgen.generate_result ~budget !current
-             { Fault.site = Fault.Stem i; polarity }
-         with
-         | Ok Satgen.Untestable ->
-           (* Only a completed UNSAT proof licenses tying the net — an
-              aborted solve says nothing about redundancy. *)
-           current := tie_net !current i value;
-           incr tied;
-           true
-         | Ok (Satgen.Test _) -> false
-         | Error e ->
-           if !first_error = None then first_error := Some e;
-           incr skipped;
-           false
+         let fault = { Fault.site = Fault.Stem i; polarity } in
+         if statically_untestable fault then tie value
+         else
+           match Satgen.generate_result ~budget !current fault with
+           | Ok Satgen.Untestable ->
+             (* Only a completed UNSAT proof licenses tying the net — an
+                aborted solve says nothing about redundancy. *)
+             tie value
+           | Ok (Satgen.Test _) -> false
+           | Error e ->
+             if !first_error = None then first_error := Some e;
+             incr skipped;
+             false
        in
        (* stuck-at-0 untestable -> the net never influences an output
           when forced to 0 ... precisely: outputs are identical with the
@@ -56,7 +70,7 @@ let round ~budget ~first_error nl =
   done;
   (!current, !tied, !skipped)
 
-let remove ?(max_rounds = 4) ?budget nl =
+let remove ?(max_rounds = 4) ?(static_filter = true) ?budget nl =
   if Netlist.num_dffs nl > 0 then
     invalid_arg "Redundancy.remove: sequential netlist (apply Scan.full_scan first)";
   let budget = match budget with Some b -> b | None -> Budget.ambient () in
@@ -65,7 +79,7 @@ let remove ?(max_rounds = 4) ?budget nl =
   let rec loop nl total rounds =
     if rounds = 0 then (fst (Sweep.run nl), total)
     else begin
-      let cleaned, tied, skipped = round ~budget ~first_error nl in
+      let cleaned, tied, skipped = round ~static_filter ~budget ~first_error nl in
       total_skipped := !total_skipped + skipped;
       let swept = fst (Sweep.run cleaned) in
       if tied = 0 then (swept, total) else loop swept (total + tied) (rounds - 1)

@@ -13,6 +13,7 @@
 
 val remove :
   ?max_rounds:int ->
+  ?static_filter:bool ->
   ?budget:Mutsamp_robust.Budget.t ->
   Mutsamp_netlist.Netlist.t ->
   Mutsamp_netlist.Netlist.t * int
@@ -20,6 +21,13 @@ val remove :
     [max_rounds] defaults to 4. Raises [Invalid_argument] on
     sequential netlists ({!Scan.full_scan} first if that
     approximation suits the use).
+
+    [static_filter] (default [true]) consults {!Prefilter} before each
+    miter solve: a net whose fault is already statically proved
+    untestable is tied without calling the solver. The proofs are sound,
+    so the final netlist and tie count are identical either way — only
+    the number of SAT invocations drops (watch [sat.solves] against
+    [analysis.static_untestable]).
 
     Soundness under budgets: a net is tied only on a {e completed}
     UNSAT proof. When [budget] (default: ambient) cuts a solve short

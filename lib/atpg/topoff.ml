@@ -50,7 +50,8 @@ let surviving nl faults patterns =
   end
 
 let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed = 1)
-    ?(backtrack_limit = 2000) ?budget ?(degraded_retries = 3) nl ~faults ~seed_patterns =
+    ?(backtrack_limit = 2000) ?(static_filter = true) ?budget ?(degraded_retries = 3)
+    nl ~faults ~seed_patterns =
   if Netlist.num_dffs nl > 0 then
     invalid_arg "Topoff.run: sequential netlist (apply Scan.full_scan first)";
   let budget = match budget with Some b -> b | None -> Budget.ambient () in
@@ -97,6 +98,10 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
   let aborted = ref 0 in
   let atpg_detected = ref 0 in
   let degrade_error = ref None in
+  (* Static pre-filter: faults with a standing untestability proof
+     never reach the deterministic engine. The netlist is fixed for
+     the whole run, so one analysis pass serves every fault. *)
+  let filter = if static_filter then Some (Prefilter.make nl) else None in
   let rec phase3 pending =
     match pending with
     | [] -> []
@@ -106,6 +111,14 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
         degrade_error := Some e;
         pending
       | Ok () ->
+        if (match filter with
+            | Some pf -> Prefilter.is_untestable pf target
+            | None -> false)
+        then begin
+          incr untestable;
+          phase3 rest
+        end
+        else begin
         incr atpg_calls;
         let outcome =
           match engine with
@@ -141,7 +154,8 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
            (* Budget/timeout/injection: the whole deterministic phase is
               cut short and the caller-visible degradation path runs. *)
            degrade_error := Some e;
-           pending))
+           pending)
+        end)
   in
   let leftover = ref (phase3 !remaining) in
   (* Graceful degradation: when deterministic ATPG was cut short, fall

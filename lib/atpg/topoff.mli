@@ -37,6 +37,7 @@ val run :
   ?random_stall:int ->
   ?seed:int ->
   ?backtrack_limit:int ->
+  ?static_filter:bool ->
   ?budget:Mutsamp_robust.Budget.t ->
   ?degraded_retries:int ->
   Mutsamp_netlist.Netlist.t ->
@@ -55,6 +56,12 @@ val run :
     [backtrack_limit] (default 2000) bounds each PODEM call; exhausted
     budgets are reported as [aborted]. XOR-dominated circuits are
     PODEM's worst case — prefer [Use_sat] there.
+
+    [static_filter] (default [true]) consults {!Prefilter} before each
+    deterministic call: a statically-proved-untestable fault is counted
+    as [untestable] without running the engine. The proofs are sound, so
+    coverage and classifications are unchanged — only [atpg_calls]
+    shrinks.
 
     Degradation: when [budget] (default: ambient) is exhausted — SAT
     conflicts, PODEM backtracks or the wall-clock deadline — the

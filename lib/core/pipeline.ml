@@ -44,6 +44,24 @@ let prepare design =
   in
   let collapse = Trace.with_span "collapse" (fun () -> Collapse.run netlist) in
   let mutants = Trace.with_span "mutants" (fun () -> Generate.all design) in
+  (* Structural run-report series: netlist shape and fault-collapse
+     effectiveness, keyed by circuit so multi-circuit commands stay
+     readable. No-ops unless metrics collection is on. *)
+  if Metrics.enabled () then begin
+    let s = Mutsamp_netlist.Stats.compute netlist in
+    let named suffix v =
+      Metrics.add_named ("analysis." ^ design.Ast.name ^ "." ^ suffix) v
+    in
+    named "nets" s.Mutsamp_netlist.Stats.nets;
+    named "logic_gates" s.Mutsamp_netlist.Stats.logic_gates;
+    named "flip_flops" s.Mutsamp_netlist.Stats.flip_flops;
+    named "levels" s.Mutsamp_netlist.Stats.levels;
+    named "max_fanout" s.Mutsamp_netlist.Stats.max_fanout;
+    named "faults_full" collapse.Collapse.full_size;
+    named "faults_collapsed" collapse.Collapse.collapsed_size;
+    named "collapse_ratio_bp"
+      (int_of_float (Float.round (10000. *. Collapse.ratio collapse)))
+  end;
   Trace.add_attr "gates" (string_of_int (Array.length netlist.Netlist.gates));
   Trace.add_attr "faults"
     (string_of_int (List.length collapse.Collapse.representatives));

@@ -119,6 +119,72 @@ let validate_metrics json =
      | _ -> Error "metrics.histograms must be an object")
   | _ -> Error "metrics must be an object"
 
+(* The optional "analysis" section (static-analysis findings). Absent
+   in reports from commands that run no analysis — validation is
+   additive so old reports stay valid. *)
+let validate_diag path json =
+  match json with
+  | Json.Obj _ ->
+    let* () =
+      List.fold_left
+        (fun acc name ->
+          let* () = acc in
+          let* v = field name json in
+          expect_string (path ^ "." ^ name) v)
+        (Ok ())
+        [ "id"; "circuit"; "loc"; "message" ]
+    in
+    let* sev = field "severity" json in
+    let* () =
+      match sev with
+      | Json.String ("error" | "warning" | "info") -> Ok ()
+      | Json.String s -> Error (Printf.sprintf "%s.severity: unknown severity %S" path s)
+      | _ -> Error (path ^ ".severity must be a string")
+    in
+    (match Json.member "waived" json with
+     | Some (Json.Bool _) | None -> Ok ()
+     | Some _ -> Error (path ^ ".waived must be a boolean"))
+  | _ -> Error (path ^ " must be an object")
+
+let validate_analysis json =
+  match json with
+  | Json.Obj _ ->
+    let* () =
+      List.fold_left
+        (fun acc name ->
+          let* () = acc in
+          let* v = field name json in
+          match v with
+          | Json.Int _ -> Ok ()
+          | _ -> Error (Printf.sprintf "analysis.%s must be an integer" name))
+        (Ok ())
+        [ "findings"; "errors"; "warnings"; "infos"; "waived" ]
+    in
+    let* rules = field "rules" json in
+    let* () =
+      match rules with
+      | Json.Obj fields ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let* () = acc in
+            match v with
+            | Json.Int _ -> Ok ()
+            | _ -> Error (Printf.sprintf "analysis.rules.%s must be an integer" k))
+          (Ok ()) fields
+      | _ -> Error "analysis.rules must be an object"
+    in
+    let* diags = field "diagnostics" json in
+    (match diags with
+     | Json.List items ->
+       List.fold_left
+         (fun acc (i, d) ->
+           let* () = acc in
+           validate_diag (Printf.sprintf "analysis.diagnostics[%d]" i) d)
+         (Ok ())
+         (List.mapi (fun i d -> (i, d)) items)
+     | _ -> Error "analysis.diagnostics must be a list")
+  | _ -> Error "field \"analysis\" must be an object"
+
 let validate json =
   match json with
   | Json.Obj _ ->
@@ -157,7 +223,10 @@ let validate json =
       | _ -> Error "field \"spans\" must be a list"
     in
     let* metrics = field "metrics" json in
-    validate_metrics metrics
+    let* () = validate_metrics metrics in
+    (match Json.member "analysis" json with
+     | None -> Ok ()
+     | Some a -> validate_analysis a)
   | _ -> Error "report must be a JSON object"
 
 let validate_file path =

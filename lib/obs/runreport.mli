@@ -43,7 +43,10 @@ val write_file : string -> Json.t -> unit
 
 val validate : Json.t -> (unit, string) result
 (** Structural schema check: version, required header fields, every
-    span well-formed recursively, metrics numeric. Used by the
+    span well-formed recursively, metrics numeric. The optional
+    ["analysis"] section (written by [mutsamp lint]) is validated when
+    present — summary counts, per-rule counts and each diagnostic's
+    shape — and reports without it remain valid. Used by the
     [bench-smoke] alias and the report tests, so a report-format
     regression fails [dune runtest]. *)
 

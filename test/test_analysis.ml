@@ -1,0 +1,614 @@
+(* Static analysis: rule registry, constant propagation, HDL and
+   netlist lint, mutant triage, untestability proofs and their ATPG
+   prefilter, waivers and the run-report section. *)
+
+module Ast = Mutsamp_hdl.Ast
+module Parser = Mutsamp_hdl.Parser
+module Check = Mutsamp_hdl.Check
+module Sim = Mutsamp_hdl.Sim
+module Stimuli = Mutsamp_hdl.Stimuli
+module Prng = Mutsamp_util.Prng
+module Operator = Mutsamp_mutation.Operator
+module Mutant = Mutsamp_mutation.Mutant
+module Generate = Mutsamp_mutation.Generate
+module Kill = Mutsamp_mutation.Kill
+module Equivalence = Mutsamp_mutation.Equivalence
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+module Topo = Mutsamp_netlist.Topo
+module B = Netlist.Builder
+module Flow = Mutsamp_synth.Flow
+module Fault = Mutsamp_fault.Fault
+module Satgen = Mutsamp_atpg.Satgen
+module Prefilter = Mutsamp_atpg.Prefilter
+module Redundancy = Mutsamp_atpg.Redundancy
+module Topoff = Mutsamp_atpg.Topoff
+module Registry = Mutsamp_circuits.Registry
+module Strategy = Mutsamp_sampling.Strategy
+module Metrics = Mutsamp_obs.Metrics
+module Json = Mutsamp_obs.Json
+module Runreport = Mutsamp_obs.Runreport
+module Rule = Mutsamp_analysis.Rule
+module Diag = Mutsamp_analysis.Diag
+module Constprop = Mutsamp_analysis.Constprop
+module Untestable = Mutsamp_analysis.Untestable
+module Triage = Mutsamp_analysis.Triage
+module Engine = Mutsamp_analysis.Engine
+
+let parse src = Check.elaborate (Parser.design_of_string src)
+let design name = (Option.get (Registry.find name)).Registry.design ()
+
+let counter_value snap name =
+  match List.assoc_opt name snap.Metrics.counters with Some n -> n | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Rule registry                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_rule_catalogue () =
+  let ids = List.map (fun (r : Rule.t) -> r.Rule.id) Rule.all in
+  Alcotest.(check bool) "sorted" true (List.sort compare ids = ids);
+  Alcotest.(check int)
+    "unique ids"
+    (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun (r : Rule.t) ->
+      Alcotest.(check bool) ("find " ^ r.Rule.id) true (Rule.find r.Rule.id = Some r))
+    Rule.all
+
+let test_rule_find () =
+  Alcotest.(check bool) "case-insensitive" true
+    (Rule.find "hdl001" = Some Rule.hdl_self_assign);
+  Alcotest.(check bool) "unknown" true (Rule.find "ZZZ999" = None);
+  Alcotest.(check string) "severity names" "error,warning,info"
+    (String.concat ","
+       (List.map Rule.severity_name [ Rule.Error; Rule.Warning; Rule.Info ]))
+
+(* ------------------------------------------------------------------ *)
+(* Constant propagation                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The builder's structural hashing never folds complementary pairs,
+   so every gate below survives into the netlist; constprop must prove
+   each one anyway. *)
+let test_constprop_complementary_pairs () =
+  let b = B.create "cp" in
+  let x = B.input b "x" in
+  let nx = B.not_ b x in
+  let pairs =
+    [
+      ("and", B.and_ b x nx, Constprop.Zero);
+      ("or", B.or_ b x nx, Constprop.One);
+      ("nand", B.nand_ b x nx, Constprop.One);
+      ("nor", B.nor_ b x nx, Constprop.Zero);
+      ("xor", B.xor_ b x nx, Constprop.One);
+      ("xnor", B.xnor_ b x nx, Constprop.Zero);
+    ]
+  in
+  List.iteri (fun i (name, net, _) -> B.output b (name ^ string_of_int i) net) pairs;
+  let nl = B.finalize b in
+  let cp = Constprop.compute nl in
+  List.iter
+    (fun (name, net, expect) ->
+      Alcotest.(check bool) name true (Constprop.value cp net = expect))
+    pairs;
+  Alcotest.(check bool) "x itself unknown" true
+    (Constprop.value cp x = Constprop.Unknown);
+  Alcotest.(check bool) "some constant nets" true (Constprop.num_constant cp >= 6)
+
+(* A flip-flop is pinned only when its D input is proved equal to the
+   reset value: D = and(x, not x) = 0 with init=false pins Q to 0; a
+   self-feeding register stays Unknown. *)
+let test_constprop_dff () =
+  let b = B.create "cpdff" in
+  let x = B.input b "x" in
+  let q_pinned = B.dff b ~init:false in
+  B.connect_dff b q_pinned ~d:(B.and_ b x (B.not_ b x));
+  let q_free = B.dff b ~init:false in
+  B.connect_dff b q_free ~d:(B.and_ b q_free x);
+  B.output b "a" q_pinned;
+  B.output b "b" q_free;
+  let nl = B.finalize b in
+  let cp = Constprop.compute nl in
+  Alcotest.(check bool) "pinned dff is Zero" true
+    (Constprop.value cp q_pinned = Constprop.Zero);
+  Alcotest.(check bool) "self-feeding dff unknown" true
+    (Constprop.value cp q_free = Constprop.Unknown)
+
+(* ------------------------------------------------------------------ *)
+(* HDL lint                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let lintbad_src =
+  {|design lintbad is
+  input a : bit;
+  input unused : bit;
+  output y : bit;
+  output z : bit;
+  output w : bit;
+  reg selfy : bit := 0;
+  reg dead : bit := 0;
+  reg ghost : bit := 0;
+begin
+  y := a;
+  y := not a;
+  selfy := selfy;
+  dead := a;
+  if '1' = '1' then
+    z := a xor ghost;
+  else
+    z := not a;
+  end if;
+end design;|}
+
+let test_hdl_lint_fixture () =
+  let d = parse lintbad_src in
+  let diags = Engine.lint_design Engine.default_options ~circuit:"lintbad" d in
+  let ids = List.map (fun dg -> dg.Diag.rule.Rule.id) diags in
+  Alcotest.(check (list string)) "rule ids, severity-sorted"
+    [ "HDL006"; "HDL001"; "HDL002"; "HDL003"; "HDL004"; "HDL004"; "HDL005"; "HDL007" ]
+    ids;
+  Alcotest.(check int) "one error" 1 (Engine.error_count ~strict:false diags);
+  Alcotest.(check int) "strict counts all" 8 (Engine.error_count ~strict:true diags);
+  let by_loc loc = List.find (fun dg -> dg.Diag.loc = loc) diags in
+  Alcotest.(check string) "unassigned output is the error" "HDL006"
+    (by_loc "w").Diag.rule.Rule.id;
+  Alcotest.(check string) "dead store anchored to signal" "HDL004"
+    (by_loc "y").Diag.rule.Rule.id
+
+let test_hdl_lint_clean_design () =
+  let d = design "b01" in
+  let diags = Engine.lint_design Engine.default_options ~circuit:"b01" d in
+  Alcotest.(check int) "b01 lint-clean" 0 (List.length diags)
+
+(* ------------------------------------------------------------------ *)
+(* Netlist lint                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_netlist_lint_fixture () =
+  let b = B.create "nlbad" in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let _unused = B.input b "unused" in
+  let blocked = B.and_ b x (B.not_ b x) in
+  let extra = B.and_ b blocked y in
+  B.output b "o1" (B.or_ b x extra);
+  let nl = B.finalize b in
+  let diags = Engine.lint_netlist Engine.default_options ~circuit:"nlbad" nl in
+  let count id =
+    List.length (List.filter (fun dg -> dg.Diag.rule.Rule.id = id) diags)
+  in
+  Alcotest.(check int) "two constant nets (NL001)" 2 (count "NL001");
+  Alcotest.(check int) "unused PI (NL003)" 1 (count "NL003");
+  Alcotest.(check int) "blocked PI (NL004)" 1 (count "NL004");
+  Alcotest.(check int) "nothing else" (List.length diags)
+    (count "NL001" + count "NL003" + count "NL004")
+
+let test_netlist_lint_no_observability () =
+  let b = B.create "nlbad2" in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let blocked = B.and_ b x (B.not_ b x) in
+  B.output b "o" (B.and_ b blocked y);
+  let nl = B.finalize b in
+  let opts = { Engine.default_options with Engine.check_observability = false } in
+  let diags = Engine.lint_netlist opts ~circuit:"nlbad2" nl in
+  Alcotest.(check bool) "NL004 suppressed" true
+    (List.for_all (fun dg -> dg.Diag.rule.Rule.id <> "NL004") diags)
+
+let test_registry_lint_clean () =
+  (* Satellite (b): the whole circuit registry is lint-clean with the
+     default ruleset, designs and synthesized netlists both. *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      let d = e.Registry.design () in
+      let dd = Engine.lint_design Engine.default_options ~circuit:e.Registry.name d in
+      Alcotest.(check int) (e.Registry.name ^ " design clean") 0 (List.length dd);
+      let nd =
+        Engine.lint_netlist Engine.default_options ~circuit:e.Registry.name
+          (Flow.synthesize d)
+      in
+      Alcotest.(check int) (e.Registry.name ^ " netlist clean") 0 (List.length nd))
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Mutant triage                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_triage_counts_b01 () =
+  let d = design "b01" in
+  let mutants = Generate.all d in
+  let t = Triage.run d mutants in
+  Alcotest.(check int) "total verdicts" (List.length mutants)
+    (List.length t.Triage.verdicts);
+  Alcotest.(check int) "stillborn" 6 t.Triage.stillborn;
+  Alcotest.(check int) "duplicates" 59 t.Triage.duplicates;
+  Alcotest.(check int) "kept" (List.length mutants - 65)
+    (List.length t.Triage.kept);
+  let by_op =
+    List.map (fun (op, n) -> (Operator.name op, n)) t.Triage.discards_by_op
+  in
+  List.iter
+    (fun (op, n) ->
+      Alcotest.(check int) ("discards " ^ op) n
+        (Option.value ~default:0 (List.assoc_opt op by_op)))
+    [ ("ROR", 14); ("UOI", 6); ("VR", 11); ("CVR", 21); ("VCR", 6); ("CR", 6); ("SDL", 1) ]
+
+let test_triage_counts_b02 () =
+  let d = design "b02" in
+  let t = Triage.run d (Generate.all d) in
+  Alcotest.(check int) "stillborn" 3 t.Triage.stillborn;
+  Alcotest.(check int) "duplicates" 18 t.Triage.duplicates;
+  let diags = Triage.diagnostics t ~circuit:"b02" in
+  Alcotest.(check int) "one diagnostic per discard" 21 (List.length diags);
+  List.iter
+    (fun dg ->
+      Alcotest.(check bool) "triage diags are info" true
+        (dg.Diag.rule.Rule.severity = Rule.Info))
+    diags
+
+(* Soundness on a sequential design: the complete product-machine
+   check must prove every stillborn equivalent to the original and
+   every duplicate equivalent to its representative. *)
+let test_triage_sound_sequential () =
+  let d = design "b02" in
+  let mutants = Generate.all d in
+  let t = Triage.run d mutants in
+  let by_id = Hashtbl.create 97 in
+  List.iter (fun (m : Mutant.t) -> Hashtbl.replace by_id m.Mutant.id m) mutants;
+  List.iter
+    (fun ((m : Mutant.t), v) ->
+      match v with
+      | Triage.Kept -> ()
+      | Triage.Stillborn ->
+        Alcotest.(check bool)
+          (Printf.sprintf "stillborn %d equivalent" m.Mutant.id)
+          true
+          (Equivalence.check d m.Mutant.design = Equivalence.Equivalent)
+      | Triage.Duplicate rep ->
+        let r = Hashtbl.find by_id rep in
+        Alcotest.(check bool)
+          (Printf.sprintf "duplicate %d = rep %d" m.Mutant.id rep)
+          true
+          (Equivalence.check r.Mutant.design m.Mutant.design
+           = Equivalence.Equivalent))
+    t.Triage.verdicts
+
+(* Same property on a combinational design, by brute-force simulation
+   over the whole input space, as a QCheck property over mutant ids. *)
+let prop_triage_never_discards_killable =
+  let d = parse Test_mutation.alu_src in
+  let mutants = Generate.all d in
+  let t = Triage.run d mutants in
+  let by_id = Hashtbl.create 97 in
+  List.iter (fun (m : Mutant.t) -> Hashtbl.replace by_id m.Mutant.id m) mutants;
+  let verdicts = Array.of_list t.Triage.verdicts in
+  let brute_equal d1 d2 =
+    let s1 = Sim.create d1 and s2 = Sim.create d2 in
+    List.for_all
+      (fun stim -> Sim.outputs_equal (Sim.step s1 stim) (Sim.step s2 stim))
+      (Stimuli.enumerate d)
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun i -> Mutant.to_string (fst verdicts.(i)))
+      QCheck.Gen.(int_range 0 (Array.length verdicts - 1))
+  in
+  QCheck.Test.make ~name:"triage discards are behaviourally equivalent" ~count:60
+    arb
+    (fun i ->
+      match verdicts.(i) with
+      | _, Triage.Kept -> true
+      | m, Triage.Stillborn -> brute_equal d m.Mutant.design
+      | m, Triage.Duplicate rep ->
+        brute_equal (Hashtbl.find by_id rep).Mutant.design m.Mutant.design)
+
+(* Extrapolated (total, killed, equivalent) from the kept set must be
+   bit-identical to the counts of an untriaged campaign under the same
+   test set and equivalence checker. *)
+let test_triage_extrapolate_bit_identical () =
+  let d = design "b02" in
+  let mutants = Generate.all d in
+  let seqs =
+    List.init 24 (fun i -> Stimuli.random_sequence (Prng.create (1000 + i)) d 12)
+  in
+  let equivalent_survivor (m : Mutant.t) =
+    Equivalence.check d m.Mutant.design = Equivalence.Equivalent
+  in
+  (* Untriaged reference campaign over the full population. *)
+  let flags = Kill.killed_set (Kill.make d mutants) seqs in
+  let full_killed = Array.fold_left (fun a k -> if k then a + 1 else a) 0 flags in
+  let full_equiv =
+    List.fold_left
+      (fun a (m : Mutant.t) ->
+        if (not flags.(m.Mutant.id)) && equivalent_survivor m then a + 1 else a)
+      0 mutants
+  in
+  (* Triaged campaign: simulate the kept set only, extrapolate. *)
+  let t = Triage.run d mutants in
+  let kept = t.Triage.kept in
+  let kept_pos = Hashtbl.create 97 in
+  List.iteri (fun i (m : Mutant.t) -> Hashtbl.replace kept_pos m.Mutant.id i) kept;
+  let kflags = Kill.killed_set (Kill.make d kept) seqs in
+  let killed (m : Mutant.t) = kflags.(Hashtbl.find kept_pos m.Mutant.id) in
+  let outcome =
+    Triage.extrapolate t ~killed ~equivalent:(fun m ->
+        (not (killed m)) && equivalent_survivor m)
+  in
+  Alcotest.(check int) "total" (List.length mutants) outcome.Triage.total;
+  Alcotest.(check int) "killed" full_killed outcome.Triage.killed;
+  Alcotest.(check int) "equivalent" full_equiv outcome.Triage.equivalent;
+  Alcotest.(check bool) "triage actually discarded some" true
+    (List.length kept < List.length mutants)
+
+(* ------------------------------------------------------------------ *)
+(* Untestability proofs and the ATPG prefilter                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Copy a combinational netlist through the builder and graft a
+   statically-provable redundant cone onto the first output:
+   blocked = and(x, not x) is a complementary pair the builder never
+   folds, so constprop proves it 0 and SA0 on the cone is untestable. *)
+let augment (nl : Netlist.t) =
+  let b = B.create (nl.Netlist.name ^ "_red") in
+  let n = Array.length nl.Netlist.gates in
+  let copy = Array.make n (-1) in
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      match g.Gate.kind with
+      | Gate.Pi name -> copy.(i) <- B.input b name
+      | Gate.Const v -> copy.(i) <- B.const b v
+      | _ -> ())
+    nl.Netlist.gates;
+  let topo = Topo.compute nl in
+  Array.iter
+    (fun i ->
+      let g = nl.Netlist.gates.(i) in
+      let a () = copy.(g.Gate.fanins.(0)) in
+      let c () = copy.(g.Gate.fanins.(1)) in
+      copy.(i) <-
+        (match g.Gate.kind with
+         | Gate.Buf -> B.buf b (a ())
+         | Gate.Not -> B.not_ b (a ())
+         | Gate.And -> B.and_ b (a ()) (c ())
+         | Gate.Or -> B.or_ b (a ()) (c ())
+         | Gate.Nand -> B.nand_ b (a ()) (c ())
+         | Gate.Nor -> B.nor_ b (a ()) (c ())
+         | Gate.Xor -> B.xor_ b (a ()) (c ())
+         | Gate.Xnor -> B.xnor_ b (a ()) (c ())
+         | Gate.Pi _ | Gate.Const _ | Gate.Dff _ -> assert false))
+    topo.Topo.order;
+  let x = copy.(nl.Netlist.input_nets.(0)) in
+  let y = copy.(nl.Netlist.input_nets.(1)) in
+  let blocked = B.and_ b x (B.not_ b x) in
+  let extra = B.and_ b blocked y in
+  Array.iteri
+    (fun k (name, net) ->
+      if k = 0 then B.output b name (B.or_ b copy.(net) extra)
+      else B.output b name copy.(net))
+    nl.Netlist.output_list;
+  B.finalize b
+
+let augmented name = augment (Flow.synthesize (design name))
+
+(* Every statically-proved fault must be confirmed untestable by the
+   exact SAT engine — the prefilter is sound, never just heuristic. *)
+let untestable_proofs_confirmed name =
+  let nl = augmented name in
+  let pf = Prefilter.make nl in
+  let faults = Fault.full_list nl in
+  let proved = List.filter (Prefilter.is_untestable pf) faults in
+  Alcotest.(check bool) (name ^ ": proves some faults") true (proved <> []);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (name ^ ": SAT confirms " ^ Fault.to_string f)
+        true
+        (Satgen.generate nl f = Satgen.Untestable))
+    proved
+
+let test_untestable_sound_c17 () = untestable_proofs_confirmed "c17"
+let test_untestable_sound_c432 () = untestable_proofs_confirmed "c432"
+
+let test_untestable_none_on_clean_c17 () =
+  let nl = Flow.synthesize (design "c17") in
+  let ut = Untestable.analyze nl in
+  Alcotest.(check int) "pristine c17 has no static redundancy" 0
+    (Untestable.count_untestable ut (Fault.full_list nl))
+
+(* Redundancy removal with and without the static prefilter: identical
+   final netlist and tie count, strictly fewer SAT solves, and the
+   analysis.static_untestable counter records the saved solves. *)
+let redundancy_differential name =
+  let nl = augmented name in
+  let run static_filter =
+    Metrics.set_enabled true;
+    Metrics.reset ();
+    let cleaned, tied = Redundancy.remove ~static_filter nl in
+    let snap = Metrics.snapshot () in
+    Metrics.set_enabled false;
+    ( cleaned,
+      tied,
+      counter_value snap "sat.solves",
+      counter_value snap "analysis.static_untestable" )
+  in
+  let c1, t1, s1, u1 = run true in
+  let c2, t2, s2, u2 = run false in
+  Alcotest.(check bool) (name ^ ": identical netlist") true (c1 = c2);
+  Alcotest.(check int) (name ^ ": identical tie count") t2 t1;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: fewer SAT solves (%d < %d)" name s1 s2)
+    true (s1 < s2);
+  Alcotest.(check bool) (name ^ ": static proofs counted") true (u1 > 0);
+  Alcotest.(check int) (name ^ ": no static counts without filter") 0 u2
+
+let test_redundancy_differential_c17 () = redundancy_differential "c17"
+let test_redundancy_differential_c432 () = redundancy_differential "c432"
+
+(* Topoff with and without the prefilter: same fault classification
+   and coverage, strictly fewer deterministic ATPG calls. *)
+let test_topoff_differential_c17 () =
+  let nl = augmented "c17" in
+  let faults = Fault.full_list nl in
+  let run static_filter =
+    Topoff.run ~engine:Topoff.Use_sat ~seed:1 ~static_filter nl ~faults
+      ~seed_patterns:[||]
+  in
+  let r1 = run true and r2 = run false in
+  Alcotest.(check int) "same untestable" r2.Topoff.untestable r1.Topoff.untestable;
+  Alcotest.(check int) "same aborted" r2.Topoff.aborted r1.Topoff.aborted;
+  Alcotest.(check (float 1e-9)) "same coverage" r2.Topoff.final_coverage_percent
+    r1.Topoff.final_coverage_percent;
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer atpg calls (%d < %d)" r1.Topoff.atpg_calls
+       r2.Topoff.atpg_calls)
+    true
+    (r1.Topoff.atpg_calls < r2.Topoff.atpg_calls)
+
+(* ------------------------------------------------------------------ *)
+(* Waivers, summary, report section                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_waiver_parsing () =
+  (match Engine.waiver_of_string "HDL001:selfy" with
+   | Ok w ->
+     Alcotest.(check string) "rule" "HDL001" w.Engine.rule_id;
+     Alcotest.(check string) "loc" "selfy" w.Engine.loc
+   | Error e -> Alcotest.fail e);
+  (match Engine.waiver_of_string "nl004" with
+   | Ok w ->
+     Alcotest.(check string) "bare id waives everywhere" "*" w.Engine.loc
+   | Error e -> Alcotest.fail e);
+  match Engine.waiver_of_string "ZZZ999:x" with
+  | Ok _ -> Alcotest.fail "unknown rule id accepted"
+  | Error _ -> ()
+
+let test_waivers_applied () =
+  let d = parse lintbad_src in
+  let waivers =
+    List.filter_map
+      (fun s -> Result.to_option (Engine.waiver_of_string s))
+      [ "HDL006:w"; "HDL004" ]
+  in
+  let opts = { Engine.default_options with Engine.waivers } in
+  let diags = Engine.lint_design opts ~circuit:"lintbad" d in
+  let waived = List.filter (fun dg -> dg.Diag.waived) diags in
+  Alcotest.(check int) "three waived" 3 (List.length waived);
+  Alcotest.(check int) "no unwaived errors" 0 (Engine.error_count ~strict:false diags);
+  let summary = Engine.summary diags in
+  Alcotest.(check bool) "summary counts waived" true
+    (List.assoc_opt "waived" summary = Some 3);
+  Alcotest.(check bool) "waived marked in rendering" true
+    (List.exists
+       (fun dg ->
+         dg.Diag.waived
+         && String.length (Diag.to_string dg) > 8
+         && Diag.to_string dg
+            |> fun s ->
+            String.sub s (String.length s - 8) 8 = "(waived)")
+       diags)
+
+let test_report_section_validates () =
+  let d = parse lintbad_src in
+  let diags = Engine.lint_design Engine.default_options ~circuit:"lintbad" d in
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let report =
+    Runreport.make ~command:"lint"
+      ~extra:[ ("analysis", Engine.report_section diags) ]
+      ~spans:[] ~metrics:(Metrics.snapshot ()) ()
+  in
+  Metrics.set_enabled false;
+  (match Runreport.validate report with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (* Round-trip through the serialized form. *)
+  (match Json.parse (Json.to_string report) with
+   | Ok json ->
+     (match Runreport.validate json with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail ("round-trip: " ^ e))
+   | Error e -> Alcotest.fail ("parse: " ^ e));
+  (* A malformed analysis section must be rejected. *)
+  let bad =
+    Runreport.make ~command:"lint"
+      ~extra:[ ("analysis", Json.Obj [ ("findings", Json.String "three") ]) ]
+      ~spans:[]
+      ~metrics:{ Metrics.counters = []; Metrics.histograms = [] }
+      ()
+  in
+  match Runreport.validate bad with
+  | Ok () -> Alcotest.fail "malformed analysis section accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Sampling integration                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_effective_populations () =
+  let pops = [ (Operator.ROR, 10); (Operator.LOR, 4); (Operator.CR, 3) ] in
+  let discards = [ (Operator.ROR, 6); (Operator.CR, 5) ] in
+  let eff = Strategy.effective_populations pops ~discards in
+  Alcotest.(check bool) "subtracts per operator" true
+    (eff = [ (Operator.ROR, 4); (Operator.LOR, 4); (Operator.CR, 0) ])
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "analysis.rules",
+      [
+        Alcotest.test_case "catalogue sorted and unique" `Quick test_rule_catalogue;
+        Alcotest.test_case "find" `Quick test_rule_find;
+      ] );
+    ( "analysis.constprop",
+      [
+        Alcotest.test_case "complementary pairs" `Quick
+          test_constprop_complementary_pairs;
+        Alcotest.test_case "dff pinning" `Quick test_constprop_dff;
+      ] );
+    ( "analysis.lint",
+      [
+        Alcotest.test_case "hdl fixture" `Quick test_hdl_lint_fixture;
+        Alcotest.test_case "clean design" `Quick test_hdl_lint_clean_design;
+        Alcotest.test_case "netlist fixture" `Quick test_netlist_lint_fixture;
+        Alcotest.test_case "observability pass off" `Quick
+          test_netlist_lint_no_observability;
+        Alcotest.test_case "registry lint-clean" `Slow test_registry_lint_clean;
+      ] );
+    ( "analysis.triage",
+      [
+        Alcotest.test_case "b01 counts" `Quick test_triage_counts_b01;
+        Alcotest.test_case "b02 counts and diagnostics" `Quick
+          test_triage_counts_b02;
+        Alcotest.test_case "sequential soundness (b02)" `Slow
+          test_triage_sound_sequential;
+        q prop_triage_never_discards_killable;
+        Alcotest.test_case "extrapolate bit-identical" `Slow
+          test_triage_extrapolate_bit_identical;
+      ] );
+    ( "analysis.untestable",
+      [
+        Alcotest.test_case "proofs SAT-confirmed (c17)" `Quick
+          test_untestable_sound_c17;
+        Alcotest.test_case "proofs SAT-confirmed (c432)" `Slow
+          test_untestable_sound_c432;
+        Alcotest.test_case "pristine c17 clean" `Quick
+          test_untestable_none_on_clean_c17;
+        Alcotest.test_case "redundancy differential (c17)" `Quick
+          test_redundancy_differential_c17;
+        Alcotest.test_case "redundancy differential (c432)" `Slow
+          test_redundancy_differential_c432;
+        Alcotest.test_case "topoff differential (c17)" `Quick
+          test_topoff_differential_c17;
+      ] );
+    ( "analysis.engine",
+      [
+        Alcotest.test_case "waiver parsing" `Quick test_waiver_parsing;
+        Alcotest.test_case "waivers applied" `Quick test_waivers_applied;
+        Alcotest.test_case "report section validates" `Quick
+          test_report_section_validates;
+        Alcotest.test_case "effective populations" `Quick
+          test_effective_populations;
+      ] );
+  ]
