@@ -40,6 +40,8 @@ module Json = Mutsamp_obs.Json
 module Runreport = Mutsamp_obs.Runreport
 module Budget = Mutsamp_robust.Budget
 module Degrade = Mutsamp_robust.Degrade
+module Pool = Mutsamp_exec.Pool
+module Ctx = Mutsamp_exec.Ctx
 
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 let skip_micro = Array.exists (fun a -> a = "--skip-micro") Sys.argv
@@ -52,6 +54,22 @@ let report_path =
     | [] -> None
   in
   scan (Array.to_list Sys.argv)
+
+(* --jobs N: worker domains for the sharded stages (1 = sequential,
+   0 = one per core). Results are bit-identical at any setting; the
+   throughput section additionally measures jobs 1/2/4 regardless. *)
+let jobs =
+  let rec scan = function
+    | "--jobs" :: n :: _ -> (try int_of_string n with Failure _ -> 1)
+    | _ :: rest -> scan rest
+    | [] -> 1
+  in
+  scan (Array.to_list Sys.argv)
+
+let bench_pool = if jobs = 1 then None else Some (Pool.create ~domains:jobs)
+
+let bench_ctx =
+  match bench_pool with None -> Ctx.default | Some p -> Ctx.with_pool p
 
 let config = if quick then Config.quick else Config.default
 let t2_repetitions = if quick then 3 else 20
@@ -83,7 +101,7 @@ let full_row name =
   | None ->
     let row =
       Experiments.operator_efficiency_avg ~config ~operators:Operator.all
-        ~repetitions:t1_repetitions (pipeline name) ~name
+        ~repetitions:t1_repetitions ~ctx:bench_ctx (pipeline name) ~name
     in
     Hashtbl.replace full_rows name row;
     row
@@ -96,7 +114,7 @@ let equivalents name =
   | None ->
     let eq =
       Pipeline.classify_equivalents ~screen:config.Config.equivalence_screen
-        ~seed:config.Config.seed (pipeline name)
+        ~ctx:bench_ctx ~seed:config.Config.seed (pipeline name)
     in
     Hashtbl.replace equivalents_cache name eq;
     eq
@@ -156,6 +174,7 @@ let run_table2 () =
         timed (name ^ " table2") (fun () ->
             let weights = Experiments.weights_of_table1 (full_row name) in
             Experiments.sampling_comparison_avg ~config ~repetitions:t2_repetitions
+              ~ctx:bench_ctx
               (pipeline name) ~name ~weights ~equivalents:(equivalents name)))
       circuit_names
   in
@@ -183,6 +202,7 @@ let run_table2_published_weights () =
       (fun name ->
         timed (name ^ " table2b") (fun () ->
             Experiments.sampling_comparison_avg ~config ~repetitions:t2_repetitions
+              ~ctx:bench_ctx
               (pipeline name) ~name
               ~weights:(Paper_data.published_weights name)
               ~equivalents:(equivalents name)))
@@ -222,7 +242,7 @@ let run_e3 () =
       in
       let rows =
         timed (name ^ " e3") (fun () ->
-            Experiments.atpg_effort ~config ~engine (pipeline name) ~name
+            Experiments.atpg_effort ~config ~engine ~ctx:bench_ctx (pipeline name) ~name
               ~mutation_sequences:(mutation_seed_sequences name))
       in
       print_endline (Report.atpg_effort ~circuit:name rows))
@@ -239,7 +259,7 @@ let run_a1 () =
     (fun name ->
       let rows =
         timed (name ^ " a1") (fun () ->
-            Experiments.ms_vs_rate ~config (pipeline name) ~name
+            Experiments.ms_vs_rate ~config ~ctx:bench_ctx (pipeline name) ~name
               ~weights:(Experiments.weights_of_table1 (full_row name))
               ~equivalents:(equivalents name) ~rates)
       in
@@ -322,11 +342,12 @@ let run_a3 () =
         let run guided =
           List.fold_left
             (fun (bt, impl, aborted) f ->
-              let _, stats = Podem.generate ~backtrack_limit:2000 ~guided nl f in
-              let was_aborted = stats.Podem.backtracks > 2000 in
-              ( bt + stats.Podem.backtracks,
-                impl + stats.Podem.implications,
-                aborted + if was_aborted then 1 else 0 ))
+              match Podem.find_test ~backtrack_limit:2000 ~guided nl f with
+              | Ok (_, stats) ->
+                (bt + stats.Podem.backtracks, impl + stats.Podem.implications, aborted)
+              | Error _ ->
+                (* search hit the backtrack limit; charge the limit *)
+                (bt + 2000, impl, aborted + 1))
             (0, 0, 0) p.Pipeline.faults
         in
         let gb, gi, ga = run true in
@@ -347,25 +368,36 @@ let run_a3 () =
    throughput. Returned so the run report can embed the numbers. *)
 let run_throughput () =
   section "fault-simulation throughput (pattern x fault pairs / s)";
-  List.map
-    (fun name ->
-      let p = pipeline name in
-      let nl = p.Pipeline.netlist in
-      let faults = p.Pipeline.faults in
-      let bits = Array.length nl.Netlist.input_nets in
-      let length = if quick then 496 else 1984 in
-      let patterns = Prpg.uniform_sequence (Prng.create 123) ~bits ~length in
-      let r, dt =
-        Trace.with_span_timed (name ^ " throughput") (fun () ->
-            Fsim.run_combinational nl ~faults ~patterns)
-      in
-      let pairs = float_of_int (List.length faults * length) in
-      let rate = pairs /. Float.max dt 1e-9 in
-      Printf.printf
-        "%s: %d faults x %d patterns in %.3fs -> %.3g pattern-fault pairs/s (coverage %.2f%%)\n%!"
-        name (List.length faults) length dt rate (Fsim.coverage_percent r);
-      (name, rate))
-    [ "c432"; "c499" ]
+  (* Each jobs level gets its own pool so the jobs=1 row stays the
+     historical sequential kernel. The jobs=1 rows keep the bare
+     circuit-name keys for trajectory continuity; sharded rows append
+     "@jobsN". *)
+  let measure ctx ~jobs:j name =
+    let p = pipeline name in
+    let nl = p.Pipeline.netlist in
+    let faults = p.Pipeline.faults in
+    let bits = Array.length nl.Netlist.input_nets in
+    let length = if quick then 496 else 1984 in
+    let patterns = Prpg.uniform_sequence (Prng.create 123) ~bits ~length in
+    let r, dt =
+      Trace.with_span_timed (Printf.sprintf "%s throughput (jobs %d)" name j)
+        (fun () -> Fsim.run_combinational ~ctx nl ~faults ~patterns)
+    in
+    let pairs = float_of_int (List.length faults * length) in
+    let rate = pairs /. Float.max dt 1e-9 in
+    Printf.printf
+      "%s (jobs %d): %d faults x %d patterns in %.3fs -> %.3g pattern-fault pairs/s (coverage %.2f%%)\n%!"
+      name j (List.length faults) length dt rate (Fsim.coverage_percent r);
+    ((if j = 1 then name else Printf.sprintf "%s@jobs%d" name j), rate)
+  in
+  List.concat_map
+    (fun j ->
+      let pool = if j = 1 then None else Some (Pool.create ~domains:j) in
+      let ctx = match pool with None -> Ctx.default | Some p -> Ctx.with_pool p in
+      let rows = List.map (measure ctx ~jobs:j) [ "c432"; "c499" ] in
+      (match pool with None -> () | Some p -> Pool.shutdown p);
+      rows)
+    [ 1; 2; 4 ]
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/experiment      *)
@@ -398,7 +430,7 @@ let run_micro () =
          mutants ~rate:0.1)
   in
   (* E3's deterministic phase: one PODEM call. *)
-  let e3_kernel () = ignore (Podem.generate nl some_fault) in
+  let e3_kernel () = ignore (Podem.find_test nl some_fault) in
   let a2_serial () = ignore (Fsim.run_sequential nl ~faults ~sequence:patterns) in
   let a2_parallel () = ignore (Fsim.run_combinational nl ~faults ~patterns) in
   let tests =
@@ -489,4 +521,5 @@ let () =
       with Sys_error msg ->
         Printf.eprintf "bench: cannot write report: %s\n" msg;
         exit 1));
+  (match bench_pool with None -> () | Some p -> Pool.shutdown p);
   print_endline "\nbench: done"

@@ -12,7 +12,8 @@ let () =
   let prng = Prng.create 7 in
   let n_in = Array.length nl.Mutsamp_netlist.Netlist.input_nets in
   let sequence =
-    Fsim.patterns_of_codes nl (Array.init 64 (fun _ -> Prng.int prng (1 lsl n_in)))
+    Array.init 64 (fun _ ->
+        Mutsamp_fault.Pattern.of_code ~inputs:n_in (Prng.int prng (1 lsl n_in)))
   in
   (* warmup *)
   ignore (Fsim.run_parallel_fault nl ~faults ~sequence);

@@ -14,6 +14,7 @@ module Netlist = Mutsamp_netlist.Netlist
 module Stats = Mutsamp_netlist.Stats
 module Dot = Mutsamp_netlist.Dot
 module Fsim = Mutsamp_fault.Fsim
+module Pattern = Mutsamp_fault.Pattern
 module Collapse = Mutsamp_fault.Collapse
 module Prpg = Mutsamp_atpg.Prpg
 module Scan = Mutsamp_atpg.Scan
@@ -38,6 +39,8 @@ module Chaos = Mutsamp_robust.Chaos
 module Degrade = Mutsamp_robust.Degrade
 module Atomicio = Mutsamp_robust.Atomicio
 module Checkpoint = Mutsamp_robust.Checkpoint
+module Pool = Mutsamp_exec.Pool
+module Ctx = Mutsamp_exec.Ctx
 
 let find_circuit name =
   match Registry.find name with
@@ -80,6 +83,7 @@ type obs_opts = {
   fsim_pairs : int option;
   chaos : string list;
   chaos_seed : int;
+  jobs : int;
 }
 
 let obs_term =
@@ -129,12 +133,19 @@ let obs_term =
          & info [ "chaos-seed" ] ~docv:"N"
              ~doc:"Seed for probabilistic chaos armings.")
   in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains for sharded stages. 1 (the default) keeps \
+                   every stage on the sequential path; 0 means one domain per \
+                   available core. Results are bit-identical at any setting.")
+  in
   Term.(const (fun trace metrics report deadline_ms sat_conflicts podem_backtracks
-                   fsim_pairs chaos chaos_seed ->
+                   fsim_pairs chaos chaos_seed jobs ->
             { trace; metrics; report; deadline_ms; sat_conflicts;
-              podem_backtracks; fsim_pairs; chaos; chaos_seed })
+              podem_backtracks; fsim_pairs; chaos; chaos_seed; jobs })
         $ trace $ metrics $ report $ deadline_ms $ sat_conflicts
-        $ podem_backtracks $ fsim_pairs $ chaos $ chaos_seed)
+        $ podem_backtracks $ fsim_pairs $ chaos $ chaos_seed $ jobs)
 
 (* The "robust" report section: the degradation record plus the budget
    the run was given. *)
@@ -149,7 +160,8 @@ let robust_json budget =
    become a one-line message and a per-class exit code — the report, if
    requested, is still written first, recording the partial run.
    Without flags the instrumentation stays disabled and the wrapper is
-   free. *)
+   free. The body receives the run context: the --jobs pool (shut down
+   after the body, even on typed errors) and the ambient budget. *)
 let with_obs obs ~command ?(circuits = []) ?config ?seed
     ?(sections = fun () -> []) f =
   let any = obs.trace || obs.metrics || obs.report <> None in
@@ -177,8 +189,10 @@ let with_obs obs ~command ?(circuits = []) ?config ?seed
         Printf.eprintf "mutsamp: bad --chaos spec: %s\n" msg;
         exit 64)
     obs.chaos;
+  let pool = if obs.jobs = 1 then None else Some (Pool.create ~domains:obs.jobs) in
+  let ctx = match pool with None -> Ctx.default | Some p -> Ctx.with_pool p in
   let result =
-    try Ok (Trace.with_span command f) with
+    try Ok (Trace.with_span command (fun () -> f ctx)) with
     | Rerror.E e -> Error e
     | Chaos.Injected _ -> Error (Rerror.Injected Rerror.Pipeline)
     | Mutsamp_netlist.Benchfmt.Parse_error msg
@@ -186,14 +200,22 @@ let with_obs obs ~command ?(circuits = []) ?config ?seed
     | Mutsamp_hdl.Lexer.Lex_error msg ->
       Error (Rerror.Parse_error { loc = { Rerror.file = None; line = None }; msg })
   in
+  (match pool with None -> () | Some p -> Pool.shutdown p);
   if obs.trace then Trace.print stderr;
   if obs.metrics then Format.eprintf "%a@?" Metrics.pp (Metrics.snapshot ());
   (match obs.report with
    | None -> ()
    | Some path ->
      let json =
+       let exec_json =
+         Json.Obj
+           [
+             ("jobs_requested", Json.Int obs.jobs);
+             ("jobs", Json.Int (match pool with None -> 1 | Some p -> Pool.size p));
+           ]
+       in
        Runreport.make ~command ~circuits ?config ?seed
-         ~extra:(("robust", robust_json budget) :: sections ())
+         ~extra:(("exec", exec_json) :: ("robust", robust_json budget) :: sections ())
          ~spans:(Trace.roots ()) ~metrics:(Metrics.snapshot ()) ()
      in
      (match Atomicio.write_file path (Json.to_string json) with
@@ -225,7 +247,7 @@ let progress_line label ~done_ ~total =
 
 let list_cmd =
   let run obs =
-    with_obs obs ~command:"list" @@ fun () ->
+    with_obs obs ~command:"list" @@ fun _ctx ->
     let t = Table.create [ "Name"; "Kind"; "Paper"; "PIs"; "POs"; "FFs"; "Gates"; "Description" ] in
     List.iter
       (fun (e : Registry.entry) ->
@@ -257,7 +279,7 @@ let list_cmd =
 
 let show_cmd =
   let run obs (e : Registry.entry) =
-    with_obs obs ~command:"show" ~circuits:[ e.Registry.name ] @@ fun () ->
+    with_obs obs ~command:"show" ~circuits:[ e.Registry.name ] @@ fun _ctx ->
     let d = design_of e in
     print_string (Pretty.design d);
     let nl = Mutsamp_synth.Flow.synthesize d in
@@ -280,7 +302,7 @@ let mutants_cmd =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"List every mutant.")
   in
   let run obs (e : Registry.entry) operator verbose =
-    with_obs obs ~command:"mutants" ~circuits:[ e.Registry.name ] @@ fun () ->
+    with_obs obs ~command:"mutants" ~circuits:[ e.Registry.name ] @@ fun _ctx ->
     let d = design_of e in
     let ms = Trace.with_span "mutants" (fun () -> Generate.all d) in
     match operator with
@@ -319,7 +341,7 @@ let generate_cmd =
                    sampling; stillborns feed the E term of the score.")
   in
   let run obs (e : Registry.entry) rate triage seed =
-    with_obs obs ~command:"generate" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
+    with_obs obs ~command:"generate" ~circuits:[ e.Registry.name ] ~seed @@ fun _ctx ->
     let d = design_of e in
     let p = Pipeline.prepare d in
     (* Optional static triage: sample only from the kept mutants, and
@@ -388,16 +410,17 @@ let faultsim_cmd =
   in
   let lfsr = Arg.(value & flag & info [ "lfsr" ] ~doc:"Use an LFSR instead of uniform codes.") in
   let run obs (e : Registry.entry) length lfsr seed =
-    with_obs obs ~command:"faultsim" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
+    with_obs obs ~command:"faultsim" ~circuits:[ e.Registry.name ] ~seed @@ fun ctx ->
     let p = Pipeline.prepare (design_of e) in
     let bits = Array.length p.Pipeline.netlist.Netlist.input_nets in
     let patterns =
       if lfsr && bits >= 2 && bits <= Prpg.max_lfsr_width then
-        Fsim.patterns_of_codes p.Pipeline.netlist
+        Array.map
+          (fun code -> Pattern.of_code ~inputs:bits code)
           (Prpg.lfsr_sequence ~width:bits ~seed ~length)
       else Prpg.uniform_sequence (Prng.create seed) ~bits ~length
     in
-    let r = Pipeline.fault_simulate p patterns in
+    let r = Pipeline.fault_simulate ~ctx p patterns in
     Printf.printf "%s: %d collapsed faults, %d vectors -> %.2f%% coverage (%d detected)\n"
       e.Registry.name r.Fsim.total length (Fsim.coverage_percent r) r.Fsim.detected
   in
@@ -416,14 +439,14 @@ let atpg_cmd =
          & info [ "engine" ] ~docv:"ENGINE" ~doc:"Deterministic engine: podem or sat.")
   in
   let run obs (e : Registry.entry) engine seed =
-    with_obs obs ~command:"atpg" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
+    with_obs obs ~command:"atpg" ~circuits:[ e.Registry.name ] ~seed @@ fun ctx ->
     let p = Pipeline.prepare (design_of e) in
     let scanned =
       if p.Pipeline.sequential then Scan.full_scan p.Pipeline.netlist
       else p.Pipeline.netlist
     in
     let faults = (Collapse.run scanned).Collapse.representatives in
-    let r = Topoff.run ~engine ~seed scanned ~faults ~seed_patterns:[||] in
+    let r = Topoff.run ~engine ~ctx ~seed scanned ~faults ~seed_patterns:[||] in
     Printf.printf
       "%s%s: %d faults | random: %d vectors (%d detected) | atpg: %d calls, %d vectors (%d detected) | untestable %d, aborted %d | coverage %.2f%% of testable%s\n"
       e.Registry.name
@@ -450,7 +473,7 @@ let dot_cmd =
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
   in
   let run obs (e : Registry.entry) output =
-    with_obs obs ~command:"dot" ~circuits:[ e.Registry.name ] @@ fun () ->
+    with_obs obs ~command:"dot" ~circuits:[ e.Registry.name ] @@ fun _ctx ->
     let nl = Mutsamp_synth.Flow.synthesize (design_of e) in
     match output with
     | Some path -> Dot.write_file path nl
@@ -470,7 +493,7 @@ let export_cmd =
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
   in
   let run obs (e : Registry.entry) output =
-    with_obs obs ~command:"export" ~circuits:[ e.Registry.name ] @@ fun () ->
+    with_obs obs ~command:"export" ~circuits:[ e.Registry.name ] @@ fun _ctx ->
     let nl = Mutsamp_synth.Flow.synthesize (design_of e) in
     match output with
     | Some path -> Mutsamp_netlist.Benchfmt.write_file path nl
@@ -488,7 +511,7 @@ let import_cmd =
              ~doc:"Also fault-simulate N pseudo-random vectors.")
   in
   let run obs path vectors seed =
-    with_obs obs ~command:"import" ~seed @@ fun () ->
+    with_obs obs ~command:"import" ~seed @@ fun ctx ->
     let nl =
       Trace.with_span "parse" ~attrs:[ ("file", path) ] (fun () ->
           match Mutsamp_netlist.Benchfmt.read_file_result ~name:path path with
@@ -502,10 +525,16 @@ let import_cmd =
       let patterns = Prpg.uniform_sequence (Prng.create seed) ~bits ~length:vectors in
       let r =
         Trace.with_span "fsim" @@ fun () ->
-        if Netlist.num_dffs nl = 0 then Fsim.run_combinational nl ~faults ~patterns
+        if Netlist.num_dffs nl = 0 then
+          Fsim.run_combinational ~ctx nl ~faults ~patterns
         else
-          Fsim.run_sequential ~on_progress:(progress_line "faultsim") nl ~faults
-            ~sequence:patterns
+          let ctx =
+            { ctx with
+              Ctx.progress =
+                Some (fun ~stage ~done_ ~total -> progress_line stage ~done_ ~total);
+            }
+          in
+          Fsim.run_sequential ~ctx nl ~faults ~sequence:patterns
       in
       Printf.printf "%d collapsed faults, %d vectors -> %.2f%% coverage\n" r.Fsim.total
         vectors (Fsim.coverage_percent r)
@@ -529,7 +558,7 @@ let diagnose_cmd =
     Arg.(value & opt int 16 & info [ "vectors"; "n" ] ~docv:"N" ~doc:"Test patterns applied.")
   in
   let run obs (e : Registry.entry) fault_index vectors seed =
-    with_obs obs ~command:"diagnose" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
+    with_obs obs ~command:"diagnose" ~circuits:[ e.Registry.name ] ~seed @@ fun _ctx ->
     let p = Pipeline.prepare (design_of e) in
     if p.Pipeline.sequential then begin
       prerr_endline "diagnose: combinational circuits only (try c17/c432/c499)";
@@ -549,9 +578,9 @@ let diagnose_cmd =
     (* Make sure at least one pattern excites the defect, else every
        quiet fault would "explain" the observations. *)
     let patterns =
-      match fst (Mutsamp_atpg.Podem.generate nl injected) with
-      | Mutsamp_atpg.Podem.Test p -> Array.append [| p |] random_patterns
-      | Mutsamp_atpg.Podem.Untestable | Mutsamp_atpg.Podem.Aborted -> random_patterns
+      match Mutsamp_atpg.Podem.find_test ~budget:Mutsamp_robust.Budget.unlimited nl injected with
+      | Ok (Some p, _) -> Array.append [| p |] random_patterns
+      | Ok (None, _) | Error _ -> random_patterns
     in
     let observations =
       Array.to_list
@@ -592,7 +621,7 @@ let seqatpg_cmd =
     Arg.(value & opt int 10 & info [ "frames" ] ~docv:"K" ~doc:"Frame budget.")
   in
   let run obs (e : Registry.entry) max_frames =
-    with_obs obs ~command:"seqatpg" ~circuits:[ e.Registry.name ] @@ fun () ->
+    with_obs obs ~command:"seqatpg" ~circuits:[ e.Registry.name ] @@ fun _ctx ->
     let p = Pipeline.prepare (design_of e) in
     let nl = p.Pipeline.netlist in
     let (sequences, undetected), elapsed =
@@ -617,7 +646,7 @@ let bist_cmd =
     Arg.(value & opt int 256 & info [ "vectors"; "n" ] ~docv:"N" ~doc:"LFSR patterns.")
   in
   let run obs (e : Registry.entry) length seed =
-    with_obs obs ~command:"bist" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
+    with_obs obs ~command:"bist" ~circuits:[ e.Registry.name ] ~seed @@ fun _ctx ->
     let p = Pipeline.prepare (design_of e) in
     let nl =
       if p.Pipeline.sequential then Scan.full_scan p.Pipeline.netlist
@@ -646,7 +675,7 @@ let wave_cmd =
          & info [ "o"; "output" ] ~docv:"FILE" ~doc:"VCD file to write.")
   in
   let run obs (e : Registry.entry) length output seed =
-    with_obs obs ~command:"wave" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
+    with_obs obs ~command:"wave" ~circuits:[ e.Registry.name ] ~seed @@ fun _ctx ->
     let nl = Mutsamp_synth.Flow.synthesize (design_of e) in
     let sim = Mutsamp_netlist.Bitsim.create nl in
     Mutsamp_netlist.Bitsim.reset sim;
@@ -674,7 +703,7 @@ let sync_cmd =
     Arg.(value & opt int 64 & info [ "vectors"; "n" ] ~docv:"N" ~doc:"Sequence length tried.")
   in
   let run obs (e : Registry.entry) length seed =
-    with_obs obs ~command:"sync" ~circuits:[ e.Registry.name ] ~seed @@ fun () ->
+    with_obs obs ~command:"sync" ~circuits:[ e.Registry.name ] ~seed @@ fun _ctx ->
     let p = Pipeline.prepare (design_of e) in
     let nl = p.Pipeline.netlist in
     let bits = Array.length nl.Netlist.input_nets in
@@ -742,11 +771,11 @@ let table1_cmd =
     let checkpoint = Option.map Checkpoint.load checkpoint_path in
     with_obs obs ~command:"table1" ~circuits:names ~config:(Config.to_json config)
       ~seed
-    @@ fun () ->
+    @@ fun ctx ->
     let rows =
       List.map
         (fun (name, p) ->
-          Experiments.operator_efficiency_avg ~config ?checkpoint p ~name)
+          Experiments.operator_efficiency_avg ~config ?checkpoint ~ctx p ~name)
         (resolve_circuits names)
     in
     print_endline (Report.table1 rows)
@@ -767,21 +796,28 @@ let table2_cmd =
     let checkpoint = Option.map Checkpoint.load checkpoint_path in
     with_obs obs ~command:"table2" ~circuits:names ~config:(Config.to_json config)
       ~seed
-    @@ fun () ->
+    @@ fun ctx ->
     let rows =
       List.map
         (fun (name, p) ->
           let full =
             Experiments.operator_efficiency_avg ~config ~operators:Operator.all
-              ?checkpoint p ~name
+              ?checkpoint ~ctx p ~name
           in
           let weights = Experiments.weights_of_table1 full in
+          let equiv_ctx =
+            { ctx with
+              Ctx.progress =
+                Some
+                  (fun ~stage:_ ~done_ ~total ->
+                    progress_line ("equivalence " ^ name) ~done_ ~total);
+            }
+          in
           let equivalents =
             Pipeline.classify_equivalents ~screen:config.Config.equivalence_screen
-              ~on_progress:(progress_line ("equivalence " ^ name))
-              ~seed p
+              ~ctx:equiv_ctx ~seed p
           in
-          Experiments.sampling_comparison_avg ~config ~repetitions:reps p ~name
+          Experiments.sampling_comparison_avg ~config ~repetitions:reps ~ctx p ~name
             ~weights ~equivalents)
         (resolve_circuits names)
     in
@@ -798,7 +834,7 @@ let e3_cmd =
     let names = circuit_names names_opt names_pos in
     with_obs obs ~command:"e3" ~circuits:names ~config:(Config.to_json config)
       ~seed
-    @@ fun () ->
+    @@ fun ctx ->
     List.iter
       (fun (name, p) ->
         let sample =
@@ -811,7 +847,7 @@ let e3_cmd =
             p.Pipeline.design sample
         in
         let rows =
-          Experiments.atpg_effort ~config p ~name
+          Experiments.atpg_effort ~config ~ctx p ~name
             ~mutation_sequences:outcome.Vectorgen.test_set
         in
         print_endline (Report.atpg_effort ~circuit:name rows))
@@ -878,7 +914,7 @@ let lint_cmd =
       with_obs obs ~command:"lint" ~circuits:names
         ~sections:(fun () ->
           [ ("analysis", Analysis.Engine.report_section !all_diags) ])
-      @@ fun () ->
+      @@ fun _ctx ->
       List.iter
         (fun name ->
           (match

@@ -49,7 +49,7 @@ end design;|}
 
 let () =
   (* 1. Parse and elaborate. *)
-  let design = Check.elaborate (Parser.design_of_string source) in
+  let design = Check.elaborate (Mutsamp_robust.Error.ok_exn (Parser.design_result source)) in
   Printf.printf "design %s: %d statements\n" design.Mutsamp_hdl.Ast.name
     (Mutsamp_hdl.Ast.count_statements design);
 

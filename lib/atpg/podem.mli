@@ -23,6 +23,7 @@ val generate :
   Mutsamp_netlist.Netlist.t ->
   Mutsamp_fault.Fault.t ->
   result * stats
+  [@@deprecated "use find_test (result-typed); generate raises on sequential netlists and hides aborts in a variant"]
 (** Find a test for a single stuck-at fault. [backtrack_limit] defaults
     to 10_000; [guided] (default true) enables the SCOAP branching
     heuristics — turning it off reverts to first-X-input/first-frontier

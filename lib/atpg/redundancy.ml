@@ -5,6 +5,7 @@ module Fault = Mutsamp_fault.Fault
 module Rerror = Mutsamp_robust.Error
 module Budget = Mutsamp_robust.Budget
 module Degrade = Mutsamp_robust.Degrade
+module Ctx = Mutsamp_exec.Ctx
 
 let tie_net (nl : Netlist.t) net value =
   let gates = Array.copy nl.gates in
@@ -50,7 +51,7 @@ let round ~static_filter ~budget ~first_error nl =
          let fault = { Fault.site = Fault.Stem i; polarity } in
          if statically_untestable fault then tie value
          else
-           match Satgen.generate_result ~budget !current fault with
+           match Satgen.generate ~budget !current fault with
            | Ok Satgen.Untestable ->
              (* Only a completed UNSAT proof licenses tying the net — an
                 aborted solve says nothing about redundancy. *)
@@ -70,10 +71,11 @@ let round ~static_filter ~budget ~first_error nl =
   done;
   (!current, !tied, !skipped)
 
-let remove ?(max_rounds = 4) ?(static_filter = true) ?budget nl =
+let remove ?(max_rounds = 4) ?(ctx = Ctx.default) nl =
   if Netlist.num_dffs nl > 0 then
     invalid_arg "Redundancy.remove: sequential netlist (apply Scan.full_scan first)";
-  let budget = match budget with Some b -> b | None -> Budget.ambient () in
+  let budget = Ctx.budget ctx in
+  let static_filter = ctx.Ctx.static_filter in
   let total_skipped = ref 0 in
   let first_error = ref None in
   let rec loop nl total rounds =

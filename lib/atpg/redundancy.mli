@@ -13,8 +13,7 @@
 
 val remove :
   ?max_rounds:int ->
-  ?static_filter:bool ->
-  ?budget:Mutsamp_robust.Budget.t ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   Mutsamp_netlist.Netlist.t ->
   Mutsamp_netlist.Netlist.t * int
 (** Returns the cleaned netlist and the number of nets tied off.
@@ -22,7 +21,9 @@ val remove :
     sequential netlists ({!Scan.full_scan} first if that
     approximation suits the use).
 
-    [static_filter] (default [true]) consults {!Prefilter} before each
+    [ctx] (default {!Mutsamp_exec.Ctx.default}) carries the budget and
+    the static-filter switch. [ctx.static_filter] (default [true])
+    consults {!Prefilter} before each
     miter solve: a net whose fault is already statically proved
     untestable is tied without calling the solver. The proofs are sound,
     so the final netlist and tie count are identical either way — only
@@ -30,6 +31,7 @@ val remove :
     [analysis.static_untestable]).
 
     Soundness under budgets: a net is tied only on a {e completed}
-    UNSAT proof. When [budget] (default: ambient) cuts a solve short
+    UNSAT proof. When the context budget (default: ambient) cuts a
+    solve short
     the net is skipped — conservatively kept — and the degradation is
     recorded; the cleaned netlist is always equivalent to the input. *)

@@ -6,16 +6,16 @@ module Equiv = Mutsamp_sat.Equiv
 
 type result = Test of Mutsamp_fault.Pattern.t | Untestable
 
-let generate_result ?budget nl fault =
+let generate ?budget nl fault =
   if Netlist.num_dffs nl > 0 then
     invalid_arg "Satgen.generate: sequential netlist (apply Scan.full_scan first)";
   let faulty = Inject.apply nl fault in
-  match Equiv.check_result ?budget nl faulty with
+  match Equiv.check ?budget nl faulty with
   | Error e -> Error e
   | Ok Equiv.Equivalent -> Ok Untestable
   | Ok (Equiv.Counterexample assignment) -> Ok (Test (Fsim.input_pattern nl assignment))
 
-let generate nl fault =
-  match generate_result ~budget:Mutsamp_robust.Budget.unlimited nl fault with
+let generate_exn nl fault =
+  match generate ~budget:Mutsamp_robust.Budget.unlimited nl fault with
   | Ok r -> r
   | Error e -> raise (Mutsamp_robust.Error.E e)

@@ -10,16 +10,18 @@ type result =
   | Test of Mutsamp_fault.Pattern.t  (** pattern over the netlist's inputs *)
   | Untestable
 
-val generate : Mutsamp_netlist.Netlist.t -> Mutsamp_fault.Fault.t -> result
-(** Raises [Invalid_argument] on a sequential netlist. Runs under an
-    unlimited SAT budget. *)
-
-val generate_result :
+val generate :
   ?budget:Mutsamp_robust.Budget.t ->
   Mutsamp_netlist.Netlist.t ->
   Mutsamp_fault.Fault.t ->
   (result, Mutsamp_robust.Error.t) Stdlib.result
-(** Budgeted variant. [Error] means the miter solve was cut short —
-    crucially, {e not} a proof of untestability; callers tracking
-    redundancy must treat it as unknown. [budget] defaults to the
-    ambient budget. *)
+(** [Error] means the miter solve was cut short — crucially, {e not} a
+    proof of untestability; callers tracking redundancy must treat it
+    as unknown. [budget] defaults to the ambient budget. Raises
+    [Invalid_argument] on a sequential netlist. *)
+
+val generate_exn :
+  Mutsamp_netlist.Netlist.t -> Mutsamp_fault.Fault.t -> result
+  [@@deprecated "use generate (result-typed); generate_exn raises Mutsamp_robust.Error.E"]
+(** Raise-style shim over {!generate} under an unlimited SAT budget,
+    kept for one release. *)

@@ -11,7 +11,7 @@ type result =
   | Test of Mutsamp_fault.Pattern.t array
   | No_test_within of int
 
-let generate_result ?(max_frames = 8) ?budget nl fault =
+let generate ?(max_frames = 8) ?budget nl fault =
   let budget = match budget with Some b -> b | None -> Budget.ambient () in
   Chaos.contain Rerror.Seqatpg (fun () ->
       let check = function Ok () -> () | Error e -> raise (Rerror.E e) in
@@ -22,7 +22,7 @@ let generate_result ?(max_frames = 8) ?budget nl fault =
           check (Budget.check_deadline budget ~stage:Rerror.Seqatpg);
           let good = Unroll.expand ~frames:k nl in
           let faulty = Unroll.expand ~fault ~frames:k nl in
-          match Equiv.check_result ~budget good faulty with
+          match Equiv.check ~budget good faulty with
           | Error e -> raise (Rerror.E e)
           | Ok Equiv.Equivalent -> try_frames (k + 1)
           | Ok (Equiv.Counterexample assignment) ->
@@ -31,8 +31,8 @@ let generate_result ?(max_frames = 8) ?budget nl fault =
       in
       try_frames 1)
 
-let generate ?max_frames nl fault =
-  match generate_result ?max_frames ~budget:Budget.unlimited nl fault with
+let generate_exn ?max_frames nl fault =
+  match generate ?max_frames ~budget:Budget.unlimited nl fault with
   | Ok r -> r
   | Error e -> raise (Rerror.E e)
 
@@ -43,7 +43,7 @@ let generate_set ?max_frames ?budget nl ~faults =
     match remaining with
     | [] -> undetected
     | target :: rest ->
-      (match generate_result ?max_frames ~budget nl target with
+      (match generate ?max_frames ~budget nl target with
        | Error e ->
          (* Budget/deadline/injection: stop expanding and return every
             unresolved fault as undetected — a partial but valid set. *)

@@ -18,23 +18,24 @@ type result =
 
 val generate :
   ?max_frames:int ->
-  Mutsamp_netlist.Netlist.t ->
-  Mutsamp_fault.Fault.t ->
-  result
-(** [max_frames] defaults to 8. The returned sequence is the shortest
-    (fewest frames) the expansion admits. Works on combinational
-    netlists too (the answer then has 1 frame). Runs under an unlimited
-    budget. *)
-
-val generate_result :
-  ?max_frames:int ->
   ?budget:Mutsamp_robust.Budget.t ->
   Mutsamp_netlist.Netlist.t ->
   Mutsamp_fault.Fault.t ->
   (result, Mutsamp_robust.Error.t) Stdlib.result
-(** Budgeted variant: each frame expansion checks the deadline and the
-    miter solves spend [Sat_conflicts]. [budget] defaults to the
-    ambient budget. *)
+(** [max_frames] defaults to 8. The returned sequence is the shortest
+    (fewest frames) the expansion admits. Works on combinational
+    netlists too (the answer then has 1 frame). Each frame expansion
+    checks the deadline and the miter solves spend [Sat_conflicts];
+    [budget] defaults to the ambient budget. *)
+
+val generate_exn :
+  ?max_frames:int ->
+  Mutsamp_netlist.Netlist.t ->
+  Mutsamp_fault.Fault.t ->
+  result
+  [@@deprecated "use generate (result-typed); generate_exn raises Mutsamp_robust.Error.E"]
+(** Raise-style shim over {!generate} under an unlimited budget, kept
+    for one release. *)
 
 val generate_set :
   ?max_frames:int ->

@@ -8,6 +8,7 @@ module Metrics = Mutsamp_obs.Metrics
 module Rerror = Mutsamp_robust.Error
 module Budget = Mutsamp_robust.Budget
 module Degrade = Mutsamp_robust.Degrade
+module Ctx = Mutsamp_exec.Ctx
 
 type engine = Use_podem | Use_sat
 
@@ -40,21 +41,22 @@ type report = {
 
 (* Which of [faults] does [patterns] detect? Returns the undetected
    remainder. *)
-let surviving nl faults patterns =
+let surviving ~ctx nl faults patterns =
   if patterns = [||] then faults
   else begin
-    let r = Fsim.run_combinational nl ~faults ~patterns in
+    let r = Fsim.run_combinational ~ctx nl ~faults ~patterns in
     Array.to_list r.Fsim.detections
     |> List.filter_map (fun (d : Fsim.detection) ->
            match d.Fsim.detected_at with None -> Some d.Fsim.fault | Some _ -> None)
   end
 
 let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed = 1)
-    ?(backtrack_limit = 2000) ?(static_filter = true) ?budget ?(degraded_retries = 3)
+    ?(backtrack_limit = 2000) ?(ctx = Ctx.default) ?(degraded_retries = 3)
     nl ~faults ~seed_patterns =
   if Netlist.num_dffs nl > 0 then
     invalid_arg "Topoff.run: sequential netlist (apply Scan.full_scan first)";
-  let budget = match budget with Some b -> b | None -> Budget.ambient () in
+  let budget = Ctx.budget ctx in
+  let static_filter = ctx.Ctx.static_filter in
   let expired () =
     match Budget.check_deadline budget ~stage:Rerror.Topoff with
     | Ok () -> false
@@ -67,7 +69,7 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
   let total_faults = List.length faults in
   let test_set = ref (Array.to_list seed_patterns) in
   (* Phase 1: seed patterns. *)
-  let after_seed = surviving nl faults seed_patterns in
+  let after_seed = surviving ~ctx nl faults seed_patterns in
   let seed_detected = total_faults - List.length after_seed in
   (* Phase 2: pseudo-random batches with stall detection. *)
   let prng = Prng.create seed in
@@ -81,7 +83,7 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
   do
     let batch = Prpg.uniform_sequence prng ~bits ~length:Bitsim.word_bits in
     let before = List.length !remaining in
-    let next = surviving nl !remaining batch in
+    let next = surviving ~ctx nl !remaining batch in
     random_patterns := !random_patterns + Bitsim.word_bits;
     if List.length next = before then incr stall
     else begin
@@ -129,7 +131,7 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
              | Error (Rerror.Aborted _) -> `Aborted
              | Error e -> `Stop e)
           | Use_sat ->
-            (match Satgen.generate_result ~budget nl target with
+            (match Satgen.generate ~budget nl target with
              | Ok (Satgen.Test p) -> `Test p
              | Ok Satgen.Untestable -> `Untestable
              | Error e -> `Stop e)
@@ -139,7 +141,7 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
            incr atpg_patterns;
            test_set := !test_set @ [ p ];
            (* Drop every remaining fault this vector also detects. *)
-           let next = surviving nl (target :: rest) [| p |] in
+           let next = surviving ~ctx nl (target :: rest) [| p |] in
            atpg_detected := !atpg_detected + (List.length rest + 1 - List.length next);
            phase3 next
          | `Untestable ->
@@ -183,7 +185,7 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
               let batch = Prpg.uniform_sequence prng ~bits ~length:Bitsim.word_bits in
               random_patterns := !random_patterns + Bitsim.word_bits;
               let before = List.length !leftover in
-              let next = surviving nl !leftover batch in
+              let next = surviving ~ctx nl !leftover batch in
               if List.length next < before then begin
                 test_set := !test_set @ Array.to_list batch;
                 degraded_detected := !degraded_detected + (before - List.length next);

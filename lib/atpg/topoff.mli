@@ -37,8 +37,7 @@ val run :
   ?random_stall:int ->
   ?seed:int ->
   ?backtrack_limit:int ->
-  ?static_filter:bool ->
-  ?budget:Mutsamp_robust.Budget.t ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   ?degraded_retries:int ->
   Mutsamp_netlist.Netlist.t ->
   faults:Mutsamp_fault.Fault.t list ->
@@ -57,13 +56,18 @@ val run :
     budgets are reported as [aborted]. XOR-dominated circuits are
     PODEM's worst case — prefer [Use_sat] there.
 
-    [static_filter] (default [true]) consults {!Prefilter} before each
-    deterministic call: a statically-proved-untestable fault is counted
-    as [untestable] without running the engine. The proofs are sound, so
-    coverage and classifications are unchanged — only [atpg_calls]
-    shrinks.
+    [ctx] (default {!Mutsamp_exec.Ctx.default}) carries the execution
+    pool, budget and static-filter switch. [ctx.static_filter] (default
+    [true]) consults {!Prefilter} before each deterministic call: a
+    statically-proved-untestable fault is counted as [untestable]
+    without running the engine. The proofs are sound, so coverage and
+    classifications are unchanged — only [atpg_calls] shrinks. With a
+    pool, the fault-simulation passes shard across worker domains; the
+    flow itself is sequential, so reports stay bit-identical to the
+    sequential path.
 
-    Degradation: when [budget] (default: ambient) is exhausted — SAT
+    Degradation: when the context budget (default: ambient) is
+    exhausted — SAT
     conflicts, PODEM backtracks or the wall-clock deadline — the
     deterministic phase stops and up to [degraded_retries] (default 3)
     random top-off rounds run instead, doubling the vector count each

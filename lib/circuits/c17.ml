@@ -41,4 +41,5 @@ begin
 end design;
 |}
 
-let design () = Mutsamp_hdl.Check.elaborate (Mutsamp_hdl.Parser.design_of_string source)
+let design () = Mutsamp_hdl.Check.elaborate
+    (Mutsamp_robust.Error.ok_exn (Mutsamp_hdl.Parser.design_result source))

@@ -9,7 +9,8 @@ type entry = {
 }
 
 let of_source src () =
-  Mutsamp_hdl.Check.elaborate (Mutsamp_hdl.Parser.design_of_string src)
+  Mutsamp_hdl.Check.elaborate
+    (Mutsamp_robust.Error.ok_exn (Mutsamp_hdl.Parser.design_result src))
 
 let all =
   [

@@ -28,6 +28,7 @@ let source n =
   Buffer.contents b
 
 let design n () =
-  Mutsamp_hdl.Check.elaborate (Mutsamp_hdl.Parser.design_of_string (source n))
+  Mutsamp_hdl.Check.elaborate
+    (Mutsamp_robust.Error.ok_exn (Mutsamp_hdl.Parser.design_result (source n)))
 
 let design_128 = design 128

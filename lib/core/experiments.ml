@@ -13,6 +13,7 @@ module Collapse = Mutsamp_fault.Collapse
 module Netlist = Mutsamp_netlist.Netlist
 module Json = Mutsamp_obs.Json
 module Checkpoint = Mutsamp_robust.Checkpoint
+module Ctx = Mutsamp_exec.Ctx
 
 type operator_row = {
   op : Operator.t;
@@ -90,7 +91,7 @@ let derived_seed base label =
 
 (* Generate validation data for a mutant subset and fault-simulate both
    it and a pseudo-random baseline of proportional length. *)
-let measure_against_random (config : Config.t) pipeline ~label mutant_subset =
+let measure_against_random ~ctx (config : Config.t) pipeline ~label mutant_subset =
   let vector_config =
     { config.Config.vector with Vectorgen.seed = derived_seed config.Config.seed label }
   in
@@ -109,14 +110,14 @@ let measure_against_random (config : Config.t) pipeline ~label mutant_subset =
       (Prng.create (derived_seed config.Config.seed (label ^ ":random")))
       ~bits ~length:random_length
   in
-  let mutation_report = Pipeline.fault_simulate pipeline mutation_codes in
-  let random_report = Pipeline.fault_simulate pipeline random_codes in
+  let mutation_report = Pipeline.fault_simulate ~ctx pipeline mutation_codes in
+  let random_report = Pipeline.fault_simulate ~ctx pipeline random_codes in
   (outcome, Nlfce.of_reports ~mutation:mutation_report ~random:random_report ())
 
 let paper_operators = [ Operator.LOR; Operator.VR; Operator.CVR; Operator.CR ]
 
 let operator_efficiency ?(config = Config.default) ?(operators = paper_operators)
-    ?checkpoint pipeline ~name =
+    ?checkpoint ?(ctx = Ctx.default) pipeline ~name =
   let resume op =
     match checkpoint with
     | None -> None
@@ -132,9 +133,11 @@ let operator_efficiency ?(config = Config.default) ?(operators = paper_operators
       Checkpoint.record cp (t1_key ~seed:config.Config.seed ~name op)
         (json_of_operator_row row)
   in
+  (* One campaign cell per operator; results merge in operator order,
+     and each cell draws its own derived seed, so the parallel table is
+     identical to the sequential one. *)
   let rows =
-    List.filter_map
-      (fun op ->
+    Ctx.map_cells ctx operators ~f:(fun op ->
         let subset =
           List.filter
             (fun (m : Mutant.t) -> Operator.equal m.Mutant.op op)
@@ -146,13 +149,12 @@ let operator_efficiency ?(config = Config.default) ?(operators = paper_operators
           | Some row -> Some row
           | None ->
             let label = Printf.sprintf "%s/t1/%s" name (Operator.name op) in
-            let _, metric = measure_against_random config pipeline ~label subset in
+            let _, metric = measure_against_random ~ctx config pipeline ~label subset in
             let row = { op; mutant_count = List.length subset; metric } in
             persist op row;
             Some row)
-      operators
   in
-  { circuit = name; per_operator = rows }
+  { circuit = name; per_operator = List.filter_map Fun.id rows }
 
 (* Average several table-1 rows (independent seeds) field-wise: the
    per-operator NLFCE of a single run is noisy on small circuits, and
@@ -193,15 +195,17 @@ let average_table1 rows =
     { circuit = first.circuit; per_operator }
 
 let operator_efficiency_avg ?(config = Config.default) ?operators ?(repetitions = 3)
-    ?checkpoint pipeline ~name =
+    ?checkpoint ?(ctx = Ctx.default) pipeline ~name =
   let rows =
-    List.init repetitions (fun r ->
+    Ctx.map_cells ctx
+      (List.init repetitions Fun.id)
+      ~f:(fun r ->
         let cfg =
           { config with Config.seed = derived_seed config.Config.seed (Printf.sprintf "%s/t1rep%d" name r) }
         in
         (* Each repetition carries its own derived seed, so its rows land
            under distinct checkpoint keys. *)
-        operator_efficiency ~config:cfg ?operators ?checkpoint pipeline ~name)
+        operator_efficiency ~config:cfg ?operators ?checkpoint ~ctx pipeline ~name)
   in
   average_table1 rows
 
@@ -251,8 +255,8 @@ let run_strategy_data (config : Config.t) pipeline ~name ~strategy ~strategy_nam
   in
   (sample, outcome)
 
-let sampling_comparison ?(config = Config.default) pipeline ~name ~weights
-    ~equivalents =
+let sampling_comparison ?(config = Config.default) ?(ctx = Ctx.default) pipeline
+    ~name ~weights ~equivalents =
   let random_sample, random_outcome =
     run_strategy_data config pipeline ~name ~strategy:Strategy.Random_uniform
       ~strategy_name:"random"
@@ -279,11 +283,11 @@ let sampling_comparison ?(config = Config.default) pipeline ~name ~weights
       (Prng.create (derived_seed config.Config.seed (name ^ "/t2/baseline")))
       ~bits ~length:baseline_length
   in
-  let baseline_report = Pipeline.fault_simulate pipeline baseline in
+  let baseline_report = Pipeline.fault_simulate ~ctx pipeline baseline in
   let result sample outcome codes strategy_name =
     let metric =
       Nlfce.of_reports
-        ~mutation:(Pipeline.fault_simulate pipeline codes)
+        ~mutation:(Pipeline.fault_simulate ~ctx pipeline codes)
         ~random:baseline_report ()
     in
     let ms =
@@ -318,12 +322,14 @@ type table2_average = {
   sampled_count : int;
 }
 
-let sampling_comparison_avg ?(config = Config.default) ?(repetitions = 5) pipeline
-    ~name ~weights ~equivalents =
+let sampling_comparison_avg ?(config = Config.default) ?(repetitions = 5)
+    ?(ctx = Ctx.default) pipeline ~name ~weights ~equivalents =
   let runs =
-    List.init repetitions (fun r ->
+    Ctx.map_cells ctx
+      (List.init repetitions Fun.id)
+      ~f:(fun r ->
         let cfg = { config with Config.seed = derived_seed config.Config.seed (Printf.sprintf "%s/rep%d" name r) } in
-        sampling_comparison ~config:cfg pipeline ~name ~weights ~equivalents)
+        sampling_comparison ~config:cfg ~ctx pipeline ~name ~weights ~equivalents)
   in
   let mean f = Mutsamp_util.Stats.mean (List.map f runs) in
   let median f = Mutsamp_util.Stats.median (List.map f runs) in
@@ -351,8 +357,8 @@ type atpg_row = {
   report : Topoff.report;
 }
 
-let atpg_effort ?(config = Config.default) ?(engine = Topoff.Use_podem) pipeline
-    ~name ~mutation_sequences =
+let atpg_effort ?(config = Config.default) ?(engine = Topoff.Use_podem)
+    ?(ctx = Ctx.default) pipeline ~name ~mutation_sequences =
   let scanned =
     if pipeline.Pipeline.sequential then Scan.full_scan pipeline.Pipeline.netlist
     else pipeline.Pipeline.netlist
@@ -366,28 +372,25 @@ let atpg_effort ?(config = Config.default) ?(engine = Topoff.Use_podem) pipeline
       ~bits
       ~length:(Array.length mutation_seed)
   in
-  let run kind seed_patterns =
-    {
-      seed_kind = kind;
-      report =
-        Topoff.run ~engine
-          ~seed:(derived_seed config.Config.seed (name ^ "/e3/" ^ kind))
-          scanned ~faults ~seed_patterns;
-    }
-  in
-  [
-    run "none" [||];
-    run "random" random_seed_patterns;
-    run "mutation" mutation_seed;
-  ]
+  (* The three seeding disciplines are independent campaigns — one cell
+     each, merged in the fixed none/random/mutation order. *)
+  Ctx.map_cells ctx
+    [ ("none", [||]); ("random", random_seed_patterns); ("mutation", mutation_seed) ]
+    ~f:(fun (kind, seed_patterns) ->
+      {
+        seed_kind = kind;
+        report =
+          Topoff.run ~engine ~ctx
+            ~seed:(derived_seed config.Config.seed (name ^ "/e3/" ^ kind))
+            scanned ~faults ~seed_patterns;
+      })
 
-let ms_vs_rate ?(config = Config.default) pipeline ~name ~weights ~equivalents ~rates =
-  List.map
-    (fun rate ->
+let ms_vs_rate ?(config = Config.default) ?(ctx = Ctx.default) pipeline ~name
+    ~weights ~equivalents ~rates =
+  Ctx.map_cells ctx rates ~f:(fun rate ->
       let cfg = { config with Config.sample_rate = rate } in
       let row =
-        sampling_comparison ~config:cfg pipeline
+        sampling_comparison ~config:cfg ~ctx pipeline
           ~name:(Printf.sprintf "%s@%.2f" name rate) ~weights ~equivalents
       in
       (rate, row.random.ms.Score.score_percent, row.oriented.ms.Score.score_percent))
-    rates

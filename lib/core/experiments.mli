@@ -10,7 +10,11 @@
     - {!ms_vs_rate} — ablation A1: MS as a function of the sample rate
       for both strategies.
 
-    All procedures are deterministic from [Config.t.seed]. *)
+    All procedures are deterministic from [Config.t.seed] — with or
+    without a pool in [?ctx]: campaign cells (operator columns,
+    repetitions, seeding disciplines, sample rates) each draw an
+    independent derived seed and merge in declaration order, so a
+    parallel campaign reproduces the sequential tables bit for bit. *)
 
 type operator_row = {
   op : Mutsamp_mutation.Operator.t;
@@ -24,6 +28,7 @@ val operator_efficiency :
   ?config:Config.t ->
   ?operators:Mutsamp_mutation.Operator.t list ->
   ?checkpoint:Mutsamp_robust.Checkpoint.t ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   Pipeline.t ->
   name:string ->
   table1_row
@@ -46,6 +51,7 @@ val operator_efficiency_avg :
   ?operators:Mutsamp_mutation.Operator.t list ->
   ?repetitions:int ->
   ?checkpoint:Mutsamp_robust.Checkpoint.t ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   Pipeline.t ->
   name:string ->
   table1_row
@@ -77,6 +83,7 @@ type table2_row = {
 
 val sampling_comparison :
   ?config:Config.t ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   Pipeline.t ->
   name:string ->
   weights:(Mutsamp_mutation.Operator.t * float) list ->
@@ -106,6 +113,7 @@ type table2_average = {
 val sampling_comparison_avg :
   ?config:Config.t ->
   ?repetitions:int ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   Pipeline.t ->
   name:string ->
   weights:(Mutsamp_mutation.Operator.t * float) list ->
@@ -124,6 +132,7 @@ type atpg_row = {
 val atpg_effort :
   ?config:Config.t ->
   ?engine:Mutsamp_atpg.Topoff.engine ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   Pipeline.t ->
   name:string ->
   mutation_sequences:Mutsamp_hdl.Sim.stimulus list list ->
@@ -136,6 +145,7 @@ val atpg_effort :
 
 val ms_vs_rate :
   ?config:Config.t ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   Pipeline.t ->
   name:string ->
   weights:(Mutsamp_mutation.Operator.t * float) list ->

@@ -22,6 +22,7 @@ module Metrics = Mutsamp_obs.Metrics
 module Rerror = Mutsamp_robust.Error
 module Budget = Mutsamp_robust.Budget
 module Degrade = Mutsamp_robust.Degrade
+module Ctx = Mutsamp_exec.Ctx
 
 (* Observability series (no-ops unless metrics collection is on). *)
 let c_equiv_screened = Metrics.counter "equiv.screened_out"
@@ -91,9 +92,9 @@ let pattern_of_stimulus t stimulus =
 let patterns_of_sequences t sequences =
   Array.of_list (List.map (pattern_of_stimulus t) (List.concat sequences))
 
-let fault_simulate t sequence =
+let fault_simulate ?(ctx = Ctx.default) t sequence =
   Trace.with_span "fsim" @@ fun () ->
-  let r = Fsim.run_auto t.netlist ~faults:t.faults ~sequence in
+  let r = Fsim.run_auto ~ctx t.netlist ~faults:t.faults ~sequence in
   Trace.add_attr "patterns" (string_of_int r.Fsim.patterns_applied);
   Trace.add_attr "detected"
     (Printf.sprintf "%d/%d" r.Fsim.detected r.Fsim.total);
@@ -124,9 +125,8 @@ let scan_patterns_of_sequences t sequences =
     Array.of_list (List.rev !patterns)
   end
 
-let classify_equivalents ?(screen = 512) ?on_progress ?budget ~seed t =
+let classify_equivalents ?(screen = 512) ?(ctx = Ctx.default) ~seed t =
   Trace.with_span "equiv" @@ fun () ->
-  let budget = match budget with Some b -> b | None -> Budget.ambient () in
   let mutants = Array.of_list t.mutants in
   let runner = Kill.make t.design t.mutants in
   let prng = Prng.create seed in
@@ -136,59 +136,69 @@ let classify_equivalents ?(screen = 512) ?on_progress ?budget ~seed t =
   let sequences =
     List.init n_seqs (fun _ -> Stimuli.random_sequence prng t.design seq_len)
   in
-  let flags = Kill.killed_set runner ~budget sequences in
+  let flags = Kill.killed_set runner ~ctx sequences in
   let survivors =
     List.filter (fun i -> not flags.(i)) (List.init (Array.length mutants) Fun.id)
   in
   Metrics.add c_equiv_screened (Array.length mutants - List.length survivors);
   Trace.add_attr "survivors" (string_of_int (List.length survivors));
-  (* Phase 2: exact checks on the survivors. Budget exhaustion degrades
-     to "non-equivalent" for the unresolved mutants — a conservative
-     answer that deflates MS rather than inflating it — and the cut is
-     recorded once. *)
-  let total = List.length survivors in
-  let progress done_ =
-    match on_progress with Some f -> f ~done_ ~total | None -> ()
+  (* Phase 2: exact checks on the survivors, sharded over the context
+     pool (each check is independent; the verdict array merges in
+     survivor order, so parallel results match sequential ones). Budget
+     exhaustion degrades to "non-equivalent" for the unresolved mutants
+     — a conservative answer that deflates MS rather than inflating it —
+     and the cut is recorded once. *)
+  let survivor_arr = Array.of_list survivors in
+  let total = Array.length survivor_arr in
+  let done_count = Atomic.make 0 in
+  let tick () =
+    Ctx.progress ctx ~stage:"equiv"
+      ~done_:(1 + Atomic.fetch_and_add done_count 1)
+      ~total
   in
-  let stopped = ref None in
+  let noted = Atomic.make false in
   let note_stop e =
-    if !stopped = None then begin
-      stopped := Some e;
+    if not (Atomic.exchange noted true) then
       Degrade.note ~stage:Rerror.Equivalence
         ~detail:"equivalence classification cut short; unresolved mutants treated non-equivalent"
         e
-    end
   in
-  let exact i =
-    Metrics.incr c_equiv_exact;
-    let m = mutants.(i) in
-    if t.sequential then
-      match Equivalence.check t.design m.Mutant.design with
-      | Equivalence.Equivalent -> true
-      | Equivalence.Distinguished _ | Equivalence.Unknown -> false
-    else begin
-      (* SAT miter over the synthesised netlists. *)
-      let mutant_nl = Flow.synthesize m.Mutant.design in
-      match Equiv.check_result ~budget t.netlist mutant_nl with
-      | Ok Equiv.Equivalent -> true
-      | Ok (Equiv.Counterexample _) -> false
-      | Error e -> note_stop e; false
-      | exception Equiv.Equiv_error _ -> false
-    end
+  let shard ~budget ~lo ~len =
+    let stopped = ref None in
+    let stop e =
+      if !stopped = None then stopped := Some e;
+      note_stop e
+    in
+    let exact i =
+      Metrics.incr c_equiv_exact;
+      let m = mutants.(i) in
+      if t.sequential then
+        match Equivalence.check t.design m.Mutant.design with
+        | Equivalence.Equivalent -> true
+        | Equivalence.Distinguished _ | Equivalence.Unknown -> false
+      else begin
+        (* SAT miter over the synthesised netlists. *)
+        let mutant_nl = Flow.synthesize m.Mutant.design in
+        match Equiv.check ~budget t.netlist mutant_nl with
+        | Ok Equiv.Equivalent -> true
+        | Ok (Equiv.Counterexample _) -> false
+        | Error e -> stop e; false
+        | exception Equiv.Equiv_error _ -> false
+      end
+    in
+    let out = Array.make len false in
+    for k = 0 to len - 1 do
+      out.(k) <-
+        (if !stopped <> None then false
+         else
+           match Budget.check_deadline budget ~stage:Rerror.Equivalence with
+           | Error e -> stop e; false
+           | Ok () -> exact survivor_arr.(lo + k));
+      tick ()
+    done;
+    out
   in
-  let equivalents =
-    List.filteri
-      (fun k i ->
-        let r =
-          if !stopped <> None then false
-          else
-            match Budget.check_deadline budget ~stage:Rerror.Equivalence with
-            | Error e -> note_stop e; false
-            | Ok () -> exact i
-        in
-        progress (k + 1);
-        r)
-      survivors
-  in
+  let verdicts = Array.concat (Array.to_list (Ctx.map_shards ctx ~n:total ~f:shard)) in
+  let equivalents = List.filteri (fun k _ -> verdicts.(k)) survivors in
   Metrics.add c_equiv_proven (List.length equivalents);
   equivalents

@@ -26,9 +26,15 @@ val patterns_of_sequences :
     standard single-sequence test-application model, noted in
     DESIGN.md). *)
 
-val fault_simulate : t -> Mutsamp_fault.Pattern.t array -> Mutsamp_fault.Fsim.report
+val fault_simulate :
+  ?ctx:Mutsamp_exec.Ctx.t ->
+  t ->
+  Mutsamp_fault.Pattern.t array ->
+  Mutsamp_fault.Fsim.report
 (** Parallel-pattern engine for combinational circuits, serial engine
-    from reset for sequential ones, over the collapsed fault list. *)
+    from reset for sequential ones, over the collapsed fault list.
+    [ctx] (default {!Mutsamp_exec.Ctx.default}, sequential) supplies the
+    domain pool, budget and progress sink — see {!Mutsamp_exec.Ctx}. *)
 
 val scan_patterns_of_sequences :
   t -> Mutsamp_hdl.Sim.stimulus list list -> Mutsamp_fault.Pattern.t array
@@ -40,8 +46,7 @@ val scan_patterns_of_sequences :
 
 val classify_equivalents :
   ?screen:int ->
-  ?on_progress:(done_:int -> total:int -> unit) ->
-  ?budget:Mutsamp_robust.Budget.t ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   seed:int ->
   t ->
   int list
@@ -52,11 +57,15 @@ val classify_equivalents :
     combinational designs, product-machine BFS for sequential ones.
     Mutants whose exact check blows its budget are treated as
     non-equivalent (conservative; they deflate MS rather than inflate
-    it). [on_progress] fires after each exact check ([total] is the
-    survivor count) — the checks dominate the runtime on larger
-    designs.
+    it). The context progress callback fires after each exact check
+    under stage ["equiv"] ([total] is the survivor count) — the checks
+    dominate the runtime on larger designs.
 
-    [budget] (default: ambient) bounds the whole classification: the
+    [ctx] (default {!Mutsamp_exec.Ctx.default}, sequential) carries the
+    domain pool and budget. With a pool, both the screen and the exact
+    phase shard over worker domains; verdicts merge in population order
+    so the result is bit-identical to the sequential path. The context
+    budget (default: ambient) bounds the whole classification: the
     screen spends [Fsim_pairs], each miter solve spends
     [Sat_conflicts], and the deadline is checked before every exact
     check. Exhaustion stops the exact phase — remaining survivors are

@@ -1,0 +1,73 @@
+module Budget = Mutsamp_robust.Budget
+module Metrics = Mutsamp_obs.Metrics
+
+type sink = Global | Silent
+
+type t = {
+  pool : Pool.t option;
+  budget : Budget.t option;
+  sink : sink;
+  progress : (stage:string -> done_:int -> total:int -> unit) option;
+  static_filter : bool;
+}
+
+let default =
+  { pool = None; budget = None; sink = Global; progress = None; static_filter = true }
+
+let sequential = default
+let with_pool pool = { default with pool = Some pool }
+
+let jobs t =
+  match t.pool with
+  | None -> 1
+  | Some p -> if Pool.in_worker () then 1 else Pool.size p
+
+let budget t =
+  match t.budget with Some b -> b | None -> Budget.ambient ()
+
+let progress t ~stage ~done_ ~total =
+  match t.progress with
+  | None -> ()
+  | Some f -> f ~stage ~done_ ~total
+
+let with_sink t f =
+  match t.sink with Global -> f () | Silent -> Metrics.with_suppressed f
+
+(* The one sharding shape every engine uses: balanced contiguous
+   chunks, per-shard budget split (refunded after the join), results
+   merged in chunk order. With an effective job count of 1 — no pool,
+   pool of size 1, or already inside a worker — the body runs once with
+   the whole range and the undivided budget: exactly the sequential
+   path, so jobs=1 stays bit-identical by construction. *)
+(* Campaign-cell parallelism: one pool task per list element, results
+   in list order. Cells share the context budget (its quotas are
+   atomic) rather than splitting it — a cell's cost is unknown up
+   front, and campaigns want the global cap, not a per-cell one. *)
+let map_cells t xs ~f =
+  match t.pool with
+  | Some pool when jobs t > 1 && List.length xs > 1 ->
+    let arr = Array.of_list xs in
+    Array.to_list
+      (Pool.run pool (Array.length arr) ~f:(fun i ->
+           with_sink t (fun () -> f arr.(i))))
+  | _ -> List.map f xs
+
+let map_shards t ~n ~f =
+  let b = budget t in
+  let j = jobs t in
+  if j <= 1 || n <= 1 then [| f ~budget:b ~lo:0 ~len:n |]
+  else begin
+    let pool = Option.get t.pool in
+    let ch = Pool.chunks ~jobs:j ~n in
+    let k = Array.length ch in
+    if k <= 1 then [| f ~budget:b ~lo:0 ~len:n |]
+    else begin
+      let budgets = Budget.split b k in
+      Fun.protect
+        ~finally:(fun () -> Budget.refund b budgets)
+        (fun () ->
+          Pool.run pool k ~f:(fun i ->
+              let lo, len = ch.(i) in
+              with_sink t (fun () -> f ~budget:budgets.(i) ~lo ~len)))
+    end
+  end

@@ -1,0 +1,67 @@
+(** The run context: one record carrying everything a sharded stage
+    needs — execution engine, budget, metrics sink, progress callback,
+    static-filter switch — threaded as a single [?ctx] argument instead
+    of a scatter of per-call optionals.
+
+    [default] (no pool, ambient budget, global metrics, no progress,
+    static filter on) reproduces every pre-context default, so
+    [?ctx:(Ctx.t = Ctx.default)] entry points are drop-in compatible
+    with their former [?budget]/[?on_progress]/[?static_filter]
+    signatures. *)
+
+type sink =
+  | Global  (** shard bodies record into the process-global registry *)
+  | Silent  (** shard bodies run with metrics suppressed *)
+
+type t = {
+  pool : Pool.t option;  (** [None] = sequential execution *)
+  budget : Mutsamp_robust.Budget.t option;
+      (** [None] = the CLI-installed ambient budget at point of use *)
+  sink : sink;
+  progress : (stage:string -> done_:int -> total:int -> unit) option;
+  static_filter : bool;
+      (** consult the static untestability prefilter (ATPG stages) *)
+}
+
+val default : t
+
+val sequential : t
+(** Alias of {!default}, for call sites that want to say why. *)
+
+val with_pool : Pool.t -> t
+(** {!default} with the given pool installed. *)
+
+val jobs : t -> int
+(** Effective fan-out at this call site: 1 without a pool or when the
+    calling domain is already inside a worker (nested parallelism runs
+    inline), else the pool size. *)
+
+val budget : t -> Mutsamp_robust.Budget.t
+(** The context's budget, defaulting to [Budget.ambient ()]. *)
+
+val progress : t -> stage:string -> done_:int -> total:int -> unit
+(** Invoke the progress callback if any (main-domain call sites only —
+    engines report shard progress from the coordinating domain). *)
+
+val with_sink : t -> (unit -> 'a) -> 'a
+(** Run a shard body under the context's metrics sink. *)
+
+val map_cells : t -> 'a list -> f:('a -> 'b) -> 'b list
+(** Campaign-cell parallelism: [f] runs once per list element, one pool
+    task per cell, results in list order (so parallel output merges
+    identically to [List.map f xs]). Unlike {!map_shards} the context
+    budget is shared, not split — its quotas are atomic, and campaign
+    cells want the global cap. Inside a cell the effective job count is
+    1 (nested parallel stages run inline). Sequential contexts reduce
+    to [List.map f xs]. *)
+
+val map_shards :
+  t -> n:int -> f:(budget:Mutsamp_robust.Budget.t -> lo:int -> len:int -> 'a) -> 'a array
+(** Shard [n] items into balanced contiguous ranges across the pool:
+    [f ~budget ~lo ~len] runs once per chunk with an even split of the
+    context budget (leftovers refunded to it after the join, also on
+    exceptions), and results come back in chunk order — concatenating
+    them reproduces sequential output exactly. With an effective job
+    count of 1 (or [n <= 1]) the body runs once on the caller with
+    [lo = 0], [len = n] and the undivided budget: the sequential path,
+    bit-identical by construction. *)

@@ -1,0 +1,45 @@
+(** A reusable pool of worker domains for deterministic indexed maps.
+
+    [create ~domains:k] spawns [k - 1] worker domains; the caller of
+    {!run} participates as the [k]-th, so a pool of size 1 spawns
+    nothing and runs everything inline on the submitting domain —
+    byte-for-byte the sequential path. Tasks are claimed with a shared
+    atomic cursor (work stealing at index granularity), results land in
+    index order, and the merge is a plain array — parallelism never
+    reorders anything observable.
+
+    Nested submissions (a [run] from inside a task) execute inline on
+    the calling domain, so code under a pool can itself call sharded
+    entry points without deadlock; the outer fan-out keeps the
+    domains busy. *)
+
+type t
+
+val create : domains:int -> t
+(** [domains = 0] means [Domain.recommended_domain_count ()]; values
+    [< 1] are clamped to 1. *)
+
+val size : t -> int
+(** Total participants, including the submitting caller. *)
+
+val in_worker : unit -> bool
+(** True while the calling domain is draining a batch (including the
+    submitter of the in-flight batch). Sharded entry points use this to
+    fall back to their sequential path when already inside one. *)
+
+val run : t -> int -> f:(int -> 'a) -> 'a array
+(** [run t n ~f] evaluates [f i] once for each [0 <= i < n] across the
+    pool and returns the results in index order. If any task raises,
+    the remaining tasks still drain and the exception of the
+    lowest-index failing task is re-raised on the caller — the same
+    exception sequential left-to-right execution would have surfaced
+    first. Only one batch runs at a time per pool; concurrent calls
+    from several domains are not supported (nested calls inline). *)
+
+val shutdown : t -> unit
+(** Join all workers. Subsequent [run]s execute inline. Idempotent. *)
+
+val chunks : jobs:int -> n:int -> (int * int) array
+(** Balanced contiguous [(lo, len)] ranges covering [0 .. n-1]: at most
+    [jobs] chunks, none empty, sizes differ by at most one with the
+    remainder on the lowest-index chunks. Empty array when [n <= 0]. *)

@@ -6,6 +6,7 @@ module Rerror = Mutsamp_robust.Error
 module Budget = Mutsamp_robust.Budget
 module Chaos = Mutsamp_robust.Chaos
 module Degrade = Mutsamp_robust.Degrade
+module Ctx = Mutsamp_exec.Ctx
 
 (* Observability series (no-ops unless metrics collection is on). *)
 let c_runs = Metrics.counter "fsim.runs"
@@ -15,6 +16,7 @@ let c_batches = Metrics.counter "fsim.pattern_batches"
 let c_machine_steps = Metrics.counter "fsim.machine_steps"
 let c_serial_cycles = Metrics.counter "fsim.serial_cycles"
 let c_fault_groups = Metrics.counter "fsim.fault_groups"
+let c_shards = Metrics.counter "exec.fsim_shards"
 let h_lanes_per_step = Metrics.histogram "fsim.lanes_per_step"
 
 type detection = { fault : Fault.t; detected_at : int option }
@@ -104,7 +106,8 @@ let lowest_bit w =
   let rec go k = if (w lsr k) land 1 = 1 then k else go (k + 1) in
   go 0
 
-(* Entry-point chaos consultation shared by the engines. [Timeout]
+(* Entry-point chaos consultation shared by the engines; consulted by
+   every shard, so injections fire inside workers too. [Timeout]
    behaves like an exhausted budget (the run degrades to a partial
    report); [Exception] raises to prove caller containment; [Truncate]
    is meaningless for simulation and ignored. *)
@@ -115,10 +118,26 @@ let chaos_entry () =
     raise (Chaos.Injected "chaos: injected exception at fsim")
   | Some (Chaos.Truncate _) | None -> None
 
-let run_combinational ?lanes ?budget nl ~faults ~patterns =
-  if Netlist.num_dffs nl > 0 then
-    invalid_arg "Fsim.run_combinational: netlist has flip-flops";
-  let faults = Array.of_list faults in
+(* Per-fault first-detection indices are independent of which other
+   faults share a run (dropping only skips that fault's own later
+   passes; parallel-fault lanes carry independent state), so every
+   engine shards its fault array into contiguous chunks and the merge
+   is a plain concatenation in chunk order — bit-identical to the
+   sequential report. One shard returns its report unchanged. *)
+let merge_reports ~patterns_applied shards =
+  if Array.length shards = 1 then shards.(0)
+  else begin
+    Metrics.add c_shards (Array.length shards);
+    {
+      total = Array.fold_left (fun a r -> a + r.total) 0 shards;
+      detected = Array.fold_left (fun a r -> a + r.detected) 0 shards;
+      detections =
+        Array.concat (Array.to_list (Array.map (fun r -> r.detections) shards));
+      patterns_applied;
+    }
+  end
+
+let combinational_shard ?lanes ~budget nl ~(faults : Fault.t array) ~patterns =
   let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
   let alive = Array.init (Array.length faults) (fun i -> i) in
   let alive_count = ref (Array.length faults) in
@@ -130,8 +149,6 @@ let run_combinational ?lanes ?budget nl ~faults ~patterns =
   let batches = (n_pat + w - 1) / w in
   let batch = ref 0 in
   let diff = Array.make nw 0 in
-  Metrics.incr c_runs;
-  let budget = match budget with Some b -> b | None -> Budget.ambient () in
   let stop = ref (chaos_entry ()) in
   while !batch < batches && !alive_count > 0 && !stop = None do
     let lo = !batch * w in
@@ -193,13 +210,23 @@ let run_combinational ?lanes ?budget nl ~faults ~patterns =
     patterns_applied = n_pat;
   }
 
+let run_combinational ?lanes ?(ctx = Ctx.default) nl ~faults ~patterns =
+  if Netlist.num_dffs nl > 0 then
+    invalid_arg "Fsim.run_combinational: netlist has flip-flops";
+  let faults = Array.of_list faults in
+  Metrics.incr c_runs;
+  let shards =
+    Ctx.map_shards ctx ~n:(Array.length faults) ~f:(fun ~budget ~lo ~len ->
+        combinational_shard ?lanes ~budget nl
+          ~faults:(Array.sub faults lo len)
+          ~patterns)
+  in
+  merge_reports ~patterns_applied:(Array.length patterns) shards
+
 (* Serial single-lane engine, kept as the reference implementation the
    differential property tests compare the wide engines against. *)
-let run_sequential ?on_progress ?budget nl ~faults ~sequence =
-  let faults = Array.of_list faults in
+let sequential_shard ~budget ~tick nl ~(faults : Fault.t array) ~sequence =
   let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
-  Metrics.incr c_runs;
-  let budget = match budget with Some b -> b | None -> Budget.ambient () in
   let stop = ref (chaos_entry ()) in
   Metrics.add c_patterns (Array.length sequence);
   let sim_good = Bitsim.create ~lanes:1 nl in
@@ -208,10 +235,6 @@ let run_sequential ?on_progress ?budget nl ~faults ~sequence =
     Array.map (fun p -> Bitsim.step sim_good (replicate_pattern nl 1 p)) sequence
   in
   Metrics.add c_serial_cycles (Array.length sequence);
-  let total_faults = Array.length faults in
-  let progress done_ =
-    match on_progress with Some f -> f ~done_ ~total:total_faults | None -> ()
-  in
   let sim_faulty = Bitsim.create ~lanes:1 nl in
   Array.iteri
     (fun fi f ->
@@ -223,7 +246,7 @@ let run_sequential ?on_progress ?budget nl ~faults ~sequence =
        | Ok () -> ()
        | Error e -> stop := Some e)
       end;
-      if !stop <> None then progress (fi + 1)
+      if !stop <> None then tick ()
       else begin
       Bitsim.reset sim_faulty;
       let inj = Fault.injection f and stuck = Fault.stuck_word f in
@@ -242,7 +265,7 @@ let run_sequential ?on_progress ?budget nl ~faults ~sequence =
         end
       in
       cycle 0;
-      progress (fi + 1)
+      tick ()
       end)
     faults;
   (match !stop with
@@ -264,10 +287,25 @@ let run_sequential ?on_progress ?budget nl ~faults ~sequence =
     patterns_applied = Array.length sequence;
   }
 
-let run_parallel_fault ?lanes ?budget nl ~faults ~sequence =
+let run_sequential ?(ctx = Ctx.default) nl ~faults ~sequence =
   let faults = Array.of_list faults in
+  let total = Array.length faults in
+  Metrics.incr c_runs;
+  (* Shards report progress through one shared counter, so the callback
+     sees a monotone done-count whatever the interleaving. *)
+  let done_count = Atomic.make 0 in
+  let tick () =
+    let d = 1 + Atomic.fetch_and_add done_count 1 in
+    Ctx.progress ctx ~stage:"faultsim" ~done_:d ~total
+  in
+  let shards =
+    Ctx.map_shards ctx ~n:total ~f:(fun ~budget ~lo ~len ->
+        sequential_shard ~budget ~tick nl ~faults:(Array.sub faults lo len) ~sequence)
+  in
+  merge_reports ~patterns_applied:(Array.length sequence) shards
+
+let parallel_fault_shard ?lanes ~budget nl ~(faults : Fault.t array) ~sequence =
   let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
-  let budget = match budget with Some b -> b | None -> Budget.ambient () in
   let stop = ref (chaos_entry ()) in
   let sim = Bitsim.create ?lanes nl in
   let w = Bitsim.lanes sim in
@@ -276,7 +314,6 @@ let run_parallel_fault ?lanes ?budget nl ~faults ~sequence =
   let group_size = w - 1 in
   if group_size < 1 then invalid_arg "Fsim.run_parallel_fault: needs at least 2 lanes";
   let n_groups = (Array.length faults + group_size - 1) / group_size in
-  Metrics.incr c_runs;
   Metrics.add c_patterns (Array.length sequence);
   let diff = Array.make nw 0 in
   for g = 0 to n_groups - 1 do
@@ -350,10 +387,21 @@ let run_parallel_fault ?lanes ?budget nl ~faults ~sequence =
     patterns_applied = Array.length sequence;
   }
 
-let run_auto ?lanes ?budget nl ~faults ~sequence =
+let run_parallel_fault ?lanes ?(ctx = Ctx.default) nl ~faults ~sequence =
+  let faults = Array.of_list faults in
+  Metrics.incr c_runs;
+  let shards =
+    Ctx.map_shards ctx ~n:(Array.length faults) ~f:(fun ~budget ~lo ~len ->
+        parallel_fault_shard ?lanes ~budget nl
+          ~faults:(Array.sub faults lo len)
+          ~sequence)
+  in
+  merge_reports ~patterns_applied:(Array.length sequence) shards
+
+let run_auto ?lanes ?ctx nl ~faults ~sequence =
   if Netlist.num_dffs nl = 0 then
-    run_combinational ?lanes ?budget nl ~faults ~patterns:sequence
-  else run_parallel_fault ?lanes ?budget nl ~faults ~sequence
+    run_combinational ?lanes ?ctx nl ~faults ~patterns:sequence
+  else run_parallel_fault ?lanes ?ctx nl ~faults ~sequence
 
 let input_pattern = Pattern.of_bits
 

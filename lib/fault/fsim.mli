@@ -21,12 +21,20 @@
     curves of the NLFCE metric need; the index is independent of the
     lane count.
 
-    Budgets: every engine takes [?budget] (default: the ambient
-    budget) and spends one [Fsim_pairs] work unit per pattern·fault
-    pair it simulates. Exhaustion never fails the run — simulation
-    stops early, the remaining faults stay undetected in the report,
-    and the degradation is recorded via {!Mutsamp_robust.Degrade}. A
-    chaos arming at [Fsim_run] behaves like immediate exhaustion
+    Execution: every engine takes [?ctx] (default
+    {!Mutsamp_exec.Ctx.default}: sequential, ambient budget). With a
+    pool in the context the fault list is sharded into contiguous
+    chunks — one per effective job — simulated on worker domains and
+    merged back in fault-list order; per-fault first-detection indices
+    do not depend on which other faults share a run, so the merged
+    report is bit-identical to the sequential one. The context budget
+    is split evenly across shards (leftovers refunded), and each shard
+    spends one [Fsim_pairs] work unit per pattern·fault pair it
+    simulates. Exhaustion never fails the run — simulation stops early,
+    the remaining faults stay undetected in the report, and the
+    degradation is recorded via {!Mutsamp_robust.Degrade} (once per
+    affected shard). A chaos arming at [Fsim_run] is consulted by every
+    shard, inside the worker, and behaves like immediate exhaustion
     ([Timeout]) or raises {!Mutsamp_robust.Chaos.Injected}
     ([Exception]). *)
 
@@ -54,7 +62,7 @@ val length_to_reach : report -> float -> int option
 
 val run_combinational :
   ?lanes:int ->
-  ?budget:Mutsamp_robust.Budget.t ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   Mutsamp_netlist.Netlist.t ->
   faults:Fault.t list ->
   patterns:Pattern.t array ->
@@ -64,21 +72,21 @@ val run_combinational :
     a pattern's width does not match the input count. *)
 
 val run_sequential :
-  ?on_progress:(done_:int -> total:int -> unit) ->
-  ?budget:Mutsamp_robust.Budget.t ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   Mutsamp_netlist.Netlist.t ->
   faults:Fault.t list ->
   sequence:Pattern.t array ->
   report
 (** Works for combinational netlists too (each "cycle" is then an
     independent pattern), but is serial and slower — it exists as the
-    plain reference implementation. [on_progress] is called after each
-    fault's serial replay (long [b03]/[c499] runs are otherwise silent
-    for minutes). *)
+    plain reference implementation. The context's progress callback is
+    invoked (stage ["faultsim"]) after each fault's serial replay (long
+    [b03]/[c499] runs are otherwise silent for minutes); shards feed a
+    shared done-counter, so the count is monotone under parallelism. *)
 
 val run_parallel_fault :
   ?lanes:int ->
-  ?budget:Mutsamp_robust.Budget.t ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   Mutsamp_netlist.Netlist.t ->
   faults:Fault.t list ->
   sequence:Pattern.t array ->
@@ -91,7 +99,7 @@ val run_parallel_fault :
 
 val run_auto :
   ?lanes:int ->
-  ?budget:Mutsamp_robust.Budget.t ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   Mutsamp_netlist.Netlist.t ->
   faults:Fault.t list ->
   sequence:Pattern.t array ->
@@ -104,6 +112,10 @@ val input_pattern : Mutsamp_netlist.Netlist.t -> (string * bool) list -> Pattern
     0). *)
 
 val pattern_of_code : Mutsamp_netlist.Netlist.t -> int -> Pattern.t
+  [@@deprecated "build patterns with Pattern.of_code ~inputs directly"]
+
 val patterns_of_codes : Mutsamp_netlist.Netlist.t -> int array -> Pattern.t array
-(** Integer-code conveniences for narrow circuits and external
-    formats ({!Pattern.of_code} with the netlist's input count). *)
+  [@@deprecated "build patterns with Pattern.of_code ~inputs directly"]
+(** Integer-code conveniences from the pre-Packvec era; the netlist
+    argument only supplies the input count. Use
+    [Pattern.of_code ~inputs] instead. *)

@@ -4,6 +4,7 @@ module Rerror = Mutsamp_robust.Error
 module Budget = Mutsamp_robust.Budget
 module Chaos = Mutsamp_robust.Chaos
 module Degrade = Mutsamp_robust.Degrade
+module Ctx = Mutsamp_exec.Ctx
 
 (* Observability series (no-ops unless metrics collection is on). *)
 let c_sequences = Metrics.counter "kill.sequences"
@@ -89,94 +90,141 @@ let note_degraded = function
     Degrade.note ~stage:Rerror.Kill
       ~detail:"mutant execution cut short; remaining mutants reported alive" e
 
-let kills_at t ?alive ?budget seq =
-  let budget = match budget with Some b -> b | None -> Budget.ambient () in
-  let reference = reference_outputs t seq in
-  let candidates =
-    match alive with
-    | Some l -> l
-    | None -> List.init (Array.length t.mutants) (fun i -> i)
-  in
-  Metrics.incr c_sequences;
-  let stop = ref (chaos_entry ()) in
-  let seq_len = List.length seq in
-  let out =
-    List.filter_map
-      (fun i ->
-        if !stop <> None then None
-        else begin
-          (match Budget.spend budget ~stage:Rerror.Kill Budget.Fsim_pairs seq_len with
-           | Ok () -> ()
-           | Error e -> stop := Some e);
-          if !stop <> None then None
-          else
-            match detection_cycle t reference i seq with
-            | Some c ->
-              record_kill t.mutants i;
-              Some (i, c)
-            | None -> None
-        end)
-      candidates
-  in
-  note_degraded !stop;
-  out
+(* Sharding: the reference replay uses the shared [original_sim], so
+   references are computed on the coordinating domain before any
+   fan-out; shard bodies only touch [mutant_sims] at their own disjoint
+   candidate indices. Candidate order is preserved — shards take
+   contiguous slices and the merge concatenates in slice order — so
+   parallel results are bit-identical to sequential ones. *)
 
-let kills t ?alive ?budget seq =
-  let budget = match budget with Some b -> b | None -> Budget.ambient () in
+let candidate_array t alive =
+  match alive with
+  | Some l -> Array.of_list l
+  | None -> Array.init (Array.length t.mutants) (fun i -> i)
+
+let kills_at t ?alive ?(ctx = Ctx.default) seq =
   let reference = reference_outputs t seq in
-  let candidates =
-    match alive with
-    | Some l -> l
-    | None -> List.init (Array.length t.mutants) (fun i -> i)
-  in
+  let cand = candidate_array t alive in
   Metrics.incr c_sequences;
-  let stop = ref (chaos_entry ()) in
   let seq_len = List.length seq in
-  let out =
-    List.filter
-      (fun i ->
-        if !stop <> None then false
-        else begin
-          (match Budget.spend budget ~stage:Rerror.Kill Budget.Fsim_pairs seq_len with
-           | Ok () -> ()
-           | Error e -> stop := Some e);
+  let shard ~budget ~lo ~len =
+    let stop = ref (chaos_entry ()) in
+    let out =
+      List.filter_map
+        (fun i ->
+          if !stop <> None then None
+          else begin
+            (match Budget.spend budget ~stage:Rerror.Kill Budget.Fsim_pairs seq_len with
+             | Ok () -> ()
+             | Error e -> stop := Some e);
+            if !stop <> None then None
+            else
+              match detection_cycle t reference i seq with
+              | Some c ->
+                record_kill t.mutants i;
+                Some (i, c)
+              | None -> None
+          end)
+        (Array.to_list (Array.sub cand lo len))
+    in
+    note_degraded !stop;
+    out
+  in
+  List.concat (Array.to_list (Ctx.map_shards ctx ~n:(Array.length cand) ~f:shard))
+
+let kills t ?alive ?(ctx = Ctx.default) seq =
+  let reference = reference_outputs t seq in
+  let cand = candidate_array t alive in
+  Metrics.incr c_sequences;
+  let seq_len = List.length seq in
+  let shard ~budget ~lo ~len =
+    let stop = ref (chaos_entry ()) in
+    let out =
+      List.filter
+        (fun i ->
           if !stop <> None then false
           else begin
-            let hit = killed_against t reference i seq in
-            if hit then record_kill t.mutants i;
-            hit
-          end
-        end)
-      candidates
+            (match Budget.spend budget ~stage:Rerror.Kill Budget.Fsim_pairs seq_len with
+             | Ok () -> ()
+             | Error e -> stop := Some e);
+            if !stop <> None then false
+            else begin
+              let hit = killed_against t reference i seq in
+              if hit then record_kill t.mutants i;
+              hit
+            end
+          end)
+        (Array.to_list (Array.sub cand lo len))
+    in
+    note_degraded !stop;
+    out
   in
-  note_degraded !stop;
-  out
+  List.concat (Array.to_list (Ctx.map_shards ctx ~n:(Array.length cand) ~f:shard))
 
-let killed_set t ?budget sequences =
-  let budget = match budget with Some b -> b | None -> Budget.ambient () in
+let killed_set t ?(ctx = Ctx.default) sequences =
   let n = Array.length t.mutants in
-  let killed = Array.make n false in
-  let stop = ref (chaos_entry ()) in
-  List.iter
-    (fun seq ->
-      if !stop = None then begin
-        Metrics.incr c_sequences;
-        let reference = reference_outputs t seq in
-        let seq_len = List.length seq in
-        let i = ref 0 in
-        while !stop = None && !i < n do
-          if not killed.(!i) then begin
-            match Budget.spend budget ~stage:Rerror.Kill Budget.Fsim_pairs seq_len with
-            | Error e -> stop := Some e
-            | Ok () ->
-              if killed_against t reference !i seq then begin
-                killed.(!i) <- true;
-                record_kill t.mutants !i
-              end
-          end;
-          incr i
-        done
-      end)
-    sequences;
-  note_degraded !stop;
-  killed
+  if Ctx.jobs ctx <= 1 then begin
+    (* Sequential path, byte-for-byte the historical behaviour:
+       references are replayed lazily, only for sequences the budget
+       actually reaches. *)
+    let budget = Ctx.budget ctx in
+    let killed = Array.make n false in
+    let stop = ref (chaos_entry ()) in
+    List.iter
+      (fun seq ->
+        if !stop = None then begin
+          Metrics.incr c_sequences;
+          let reference = reference_outputs t seq in
+          let seq_len = List.length seq in
+          let i = ref 0 in
+          while !stop = None && !i < n do
+            if not killed.(!i) then begin
+              match Budget.spend budget ~stage:Rerror.Kill Budget.Fsim_pairs seq_len with
+              | Error e -> stop := Some e
+              | Ok () ->
+                if killed_against t reference !i seq then begin
+                  killed.(!i) <- true;
+                  record_kill t.mutants !i
+                end
+            end;
+            incr i
+          done
+        end)
+      sequences;
+    note_degraded !stop;
+    killed
+  end
+  else begin
+    (* Mutant-sharded: every shard walks the whole test set over its own
+       slice of the population, with dropping inside the slice — the
+       same per-mutant work order as the sequential path. *)
+    let refs =
+      List.map (fun seq -> (seq, List.length seq, reference_outputs t seq)) sequences
+    in
+    List.iter (fun _ -> Metrics.incr c_sequences) sequences;
+    let shard ~budget ~lo ~len =
+      let killed = Array.make len false in
+      let stop = ref (chaos_entry ()) in
+      List.iter
+        (fun (seq, seq_len, reference) ->
+          if !stop = None then begin
+            let i = ref 0 in
+            while !stop = None && !i < len do
+              if not killed.(!i) then begin
+                match Budget.spend budget ~stage:Rerror.Kill Budget.Fsim_pairs seq_len with
+                | Error e -> stop := Some e
+                | Ok () ->
+                  if killed_against t reference (lo + !i) seq then begin
+                    killed.(!i) <- true;
+                    record_kill t.mutants (lo + !i)
+                  end
+              end;
+              incr i
+            done
+          end)
+        refs;
+      note_degraded !stop;
+      killed
+    in
+    Array.concat (Array.to_list (Ctx.map_shards ctx ~n ~f:shard))
+  end

@@ -26,7 +26,7 @@ val killed_by : t -> int -> Mutsamp_hdl.Sim.stimulus list -> bool
 val kills :
   t ->
   ?alive:int list ->
-  ?budget:Mutsamp_robust.Budget.t ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   Mutsamp_hdl.Sim.stimulus list ->
   int list
 (** Indices of mutants killed by the sequence, restricted to [alive]
@@ -35,7 +35,7 @@ val kills :
 val kills_at :
   t ->
   ?alive:int list ->
-  ?budget:Mutsamp_robust.Budget.t ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   Mutsamp_hdl.Sim.stimulus list ->
   (int * int) list
 (** Like {!kills} but with the 0-based cycle of the first differing
@@ -44,15 +44,23 @@ val kills_at :
 
 val killed_set :
   t ->
-  ?budget:Mutsamp_robust.Budget.t ->
+  ?ctx:Mutsamp_exec.Ctx.t ->
   Mutsamp_hdl.Sim.stimulus list list ->
   bool array
 (** For a whole test set (list of sequences), the per-mutant killed
     flags, with fault dropping across sequences. *)
 
-(** Budgets: each mutant·sequence check spends the sequence length in
-    [Fsim_pairs] work units against [?budget] (default: ambient).
+(** Execution: with a pool in [?ctx] (default {!Mutsamp_exec.Ctx.default},
+    sequential) the mutant population is sharded into contiguous chunks
+    evaluated on worker domains — reference outputs are replayed once on
+    the coordinator, each mutant's compiled simulator belongs to exactly
+    one shard, and results merge in population order, bit-identical to
+    the sequential path.
+
+    Budgets: each mutant·sequence check spends the sequence length in
+    [Fsim_pairs] work units against the context budget (default:
+    ambient; split evenly across shards and refunded after the join).
     Exhaustion stops the campaign early: unchecked mutants are reported
     alive (conservative mutation scores) and the degradation is recorded
     via {!Mutsamp_robust.Degrade}. The [Kill_run] chaos point is
-    consulted on entry. *)
+    consulted on entry of every shard, inside the worker. *)

@@ -1,55 +1,88 @@
-type counter = { c_name : string; mutable count : int }
+(* Counts are atomics and the registries are mutex-guarded so workers
+   on other domains can bump shared handles without tearing; sums of
+   atomic increments are order-independent, so totals stay
+   deterministic under sharded execution. *)
+type counter = { c_name : string; count : int Atomic.t }
 
 type histogram = {
   h_name : string;
+  h_mutex : Mutex.t;
   mutable n : int;
   mutable sum : float;
   mutable min_v : float;
   mutable max_v : float;
 }
 
-let enabled_flag = ref false
-let set_enabled b = enabled_flag := b
-let enabled () = !enabled_flag
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
 
+(* Per-domain suppression, so sharded work that would double-count a
+   series already counted by its coordinator can run with collection
+   locally off without touching the global flag. *)
+let suppressed_key = Domain.DLS.new_key (fun () -> false)
+let live () = Atomic.get enabled_flag && not (Domain.DLS.get suppressed_key)
+
+let with_suppressed f =
+  let prev = Domain.DLS.get suppressed_key in
+  Domain.DLS.set suppressed_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set suppressed_key prev) f
+
+let registry_mutex = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
 
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let counter name =
+  locked registry_mutex @@ fun () ->
   match Hashtbl.find_opt counters name with
   | Some c -> c
   | None ->
-    let c = { c_name = name; count = 0 } in
+    let c = { c_name = name; count = Atomic.make 0 } in
     Hashtbl.replace counters name c;
     c
 
 let histogram name =
+  locked registry_mutex @@ fun () ->
   match Hashtbl.find_opt histograms name with
   | Some h -> h
   | None ->
-    let h = { h_name = name; n = 0; sum = 0.; min_v = infinity; max_v = neg_infinity } in
+    let h =
+      {
+        h_name = name;
+        h_mutex = Mutex.create ();
+        n = 0;
+        sum = 0.;
+        min_v = infinity;
+        max_v = neg_infinity;
+      }
+    in
     Hashtbl.replace histograms name h;
     h
 
-let incr c = if !enabled_flag then c.count <- c.count + 1
-let add c n = if !enabled_flag then c.count <- c.count + n
+let incr c = if live () then Atomic.incr c.count
+let add c n = if live () then ignore (Atomic.fetch_and_add c.count n)
 
 let observe h v =
-  if !enabled_flag then begin
+  if live () then
+    locked h.h_mutex @@ fun () ->
     h.n <- h.n + 1;
     h.sum <- h.sum +. v;
     if v < h.min_v then h.min_v <- v;
     if v > h.max_v then h.max_v <- v
-  end
 
-let add_named name n = if !enabled_flag then (counter name).count <- (counter name).count + n
-
-let observe_named name v = if !enabled_flag then observe (histogram name) v
+let add_named name n = if live () then add (counter name) n
+let observe_named name v = if live () then observe (histogram name) v
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  locked registry_mutex @@ fun () ->
+  Hashtbl.iter (fun _ c -> Atomic.set c.count 0) counters;
   Hashtbl.iter
     (fun _ h ->
+      locked h.h_mutex @@ fun () ->
       h.n <- 0;
       h.sum <- 0.;
       h.min_v <- infinity;
@@ -64,18 +97,23 @@ type snapshot = {
 }
 
 let snapshot () =
+  locked registry_mutex @@ fun () ->
   let cs =
     Hashtbl.fold
-      (fun name c acc -> if c.count <> 0 then (name, c.count) :: acc else acc)
+      (fun name c acc ->
+        let v = Atomic.get c.count in
+        if v <> 0 then (name, v) :: acc else acc)
       counters []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   let hs =
     Hashtbl.fold
       (fun name (h : histogram) acc ->
-        if h.n > 0 then
-          (name, { n = h.n; sum = h.sum; min_v = h.min_v; max_v = h.max_v }) :: acc
-        else acc)
+        let stats =
+          locked h.h_mutex @@ fun () ->
+          { n = h.n; sum = h.sum; min_v = h.min_v; max_v = h.max_v }
+        in
+        if stats.n > 0 then (name, stats) :: acc else acc)
       histograms []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in

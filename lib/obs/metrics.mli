@@ -15,6 +15,13 @@ type histogram
 val set_enabled : bool -> unit
 val enabled : unit -> bool
 
+val with_suppressed : (unit -> 'a) -> 'a
+(** Run [f] with collection suppressed on the calling domain only
+    (restored on exit, exception-safe). Counts are atomics and the
+    registries are mutex-guarded, so handles may be bumped from any
+    domain; suppression is for sharded work whose coordinator already
+    counts the series. *)
+
 val counter : string -> counter
 (** Register (or fetch) the counter with this name. *)
 

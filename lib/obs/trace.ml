@@ -20,6 +20,12 @@ let enabled_flag = ref false
 let set_enabled b = enabled_flag := b
 let enabled () = !enabled_flag
 
+(* The frame stack is a plain per-process structure owned by the main
+   domain; worker domains run instrumented code too, so recording is
+   simply skipped off-main (span timing is wall-clock bookkeeping, not
+   result data — sharded runs keep the coordinator's spans). *)
+let recording () = !enabled_flag && Domain.is_main_domain ()
+
 let stack : frame list ref = ref []
 let roots_rev : span list ref = ref []
 let epoch : float option ref = ref None
@@ -39,9 +45,10 @@ let alloc_now () =
   Gc.minor_words () +. s.Gc.major_words -. s.Gc.promoted_words
 
 let add_attr k v =
-  match !stack with
-  | [] -> ()
-  | f :: _ -> f.f_attrs <- (k, v) :: f.f_attrs
+  if Domain.is_main_domain () then
+    match !stack with
+    | [] -> ()
+    | f :: _ -> f.f_attrs <- (k, v) :: f.f_attrs
 
 let open_frame attrs name =
   let t0 = now () in
@@ -85,7 +92,7 @@ let close_frame frame =
    | parent :: _ -> parent.f_children_rev <- span :: parent.f_children_rev)
 
 let with_span ?(attrs = []) name f =
-  if not !enabled_flag then f ()
+  if not (recording ()) then f ()
   else begin
     let frame = open_frame attrs name in
     match f () with
@@ -99,7 +106,7 @@ let with_span ?(attrs = []) name f =
   end
 
 let with_span_timed ?(attrs = []) name f =
-  if not !enabled_flag then begin
+  if not (recording ()) then begin
     let t0 = now () in
     let v = f () in
     (v, now () -. t0)

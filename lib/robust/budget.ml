@@ -5,6 +5,7 @@ module Json = Mutsamp_obs.Json
 let c_checks = Metrics.counter "robust.budget_checks"
 let c_exhausted = Metrics.counter "robust.budget_exhausted"
 let c_timeouts = Metrics.counter "robust.timeouts"
+let c_splits = Metrics.counter "robust.budget_splits"
 
 type resource = Sat_conflicts | Podem_backtracks | Fsim_pairs
 
@@ -13,13 +14,18 @@ let resource_name = function
   | Podem_backtracks -> "podem_backtracks"
   | Fsim_pairs -> "fsim_pairs"
 
+(* Quotas are atomics so a budget may be spent against from several
+   domains at once (the exec engine hands one budget to all shards of a
+   jobs=1 run, and [split]/[refund] move quota between parent and
+   per-shard children). max_int is the "unlimited" sentinel and is
+   never decremented, so [unlimited] stays a safe shared constant. *)
 type t = {
   deadline : float option;  (* absolute Unix time *)
   deadline_ms : int option;  (* as configured, for reports *)
-  mutable sat_conflicts : int;  (* remaining; max_int = unlimited *)
-  mutable podem_backtracks : int;
-  mutable fsim_pairs : int;
-  mutable clock_skip : int;  (* spends until the next deadline poll *)
+  sat_conflicts : int Atomic.t;  (* remaining; max_int = unlimited *)
+  podem_backtracks : int Atomic.t;
+  fsim_pairs : int Atomic.t;
+  clock_skip : int Atomic.t;  (* spends until the next deadline poll *)
 }
 
 (* Deadline polls happen at most every [clock_interval] spends; at the
@@ -31,10 +37,10 @@ let unlimited =
   {
     deadline = None;
     deadline_ms = None;
-    sat_conflicts = max_int;
-    podem_backtracks = max_int;
-    fsim_pairs = max_int;
-    clock_skip = 0;
+    sat_conflicts = Atomic.make max_int;
+    podem_backtracks = Atomic.make max_int;
+    fsim_pairs = Atomic.make max_int;
+    clock_skip = Atomic.make 0;
   }
 
 let create ?deadline_ms ?sat_conflicts ?podem_backtracks ?fsim_pairs () =
@@ -44,17 +50,25 @@ let create ?deadline_ms ?sat_conflicts ?podem_backtracks ?fsim_pairs () =
        | Some ms -> Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.))
        | None -> None);
     deadline_ms;
-    sat_conflicts = (match sat_conflicts with Some n -> max 0 n | None -> max_int);
-    podem_backtracks = (match podem_backtracks with Some n -> max 0 n | None -> max_int);
-    fsim_pairs = (match fsim_pairs with Some n -> max 0 n | None -> max_int);
-    clock_skip = 0;
+    sat_conflicts =
+      Atomic.make (match sat_conflicts with Some n -> max 0 n | None -> max_int);
+    podem_backtracks =
+      Atomic.make (match podem_backtracks with Some n -> max 0 n | None -> max_int);
+    fsim_pairs =
+      Atomic.make (match fsim_pairs with Some n -> max 0 n | None -> max_int);
+    clock_skip = Atomic.make 0;
   }
+
+let quota t = function
+  | Sat_conflicts -> t.sat_conflicts
+  | Podem_backtracks -> t.podem_backtracks
+  | Fsim_pairs -> t.fsim_pairs
 
 let is_unlimited t =
   t.deadline = None
-  && t.sat_conflicts = max_int
-  && t.podem_backtracks = max_int
-  && t.fsim_pairs = max_int
+  && Atomic.get t.sat_conflicts = max_int
+  && Atomic.get t.podem_backtracks = max_int
+  && Atomic.get t.fsim_pairs = max_int
 
 let check_deadline t ~stage =
   match t.deadline with
@@ -67,46 +81,90 @@ let check_deadline t ~stage =
     end
     else Ok ()
 
-let remaining t = function
-  | Sat_conflicts -> t.sat_conflicts
-  | Podem_backtracks -> t.podem_backtracks
-  | Fsim_pairs -> t.fsim_pairs
+let remaining t resource = Atomic.get (quota t resource)
+
+(* Lock-free take: succeeds without mutating when the quota is
+   unlimited, fails (without going negative) when fewer than [n] units
+   remain. *)
+let rec take cell n =
+  let cur = Atomic.get cell in
+  if cur = max_int then true
+  else if cur < n then false
+  else if Atomic.compare_and_set cell cur (cur - n) then true
+  else take cell n
 
 let spend t ~stage resource n =
   Metrics.incr c_checks;
-  let left = remaining t resource in
-  if left <> max_int && left < n then begin
+  if not (take (quota t resource) n) then begin
     Metrics.incr c_exhausted;
     Error (Error.Budget_exhausted { stage; resource = resource_name resource })
   end
-  else begin
-    if left <> max_int then begin
-      match resource with
-      | Sat_conflicts -> t.sat_conflicts <- left - n
-      | Podem_backtracks -> t.podem_backtracks <- left - n
-      | Fsim_pairs -> t.fsim_pairs <- left - n
-    end;
+  else
     match t.deadline with
     | None -> Ok ()
     | Some _ ->
-      if t.clock_skip > 0 then begin
-        t.clock_skip <- t.clock_skip - 1;
-        Ok ()
-      end
+      if Atomic.fetch_and_add t.clock_skip (-1) > 0 then Ok ()
       else begin
-        t.clock_skip <- clock_interval;
+        Atomic.set t.clock_skip clock_interval;
         check_deadline t ~stage
       end
+
+(* Split the remaining quotas of [t] evenly over [n] children sharing
+   the parent's absolute deadline. Finite quotas are drained out of the
+   parent (concurrent spends against [t] during its own split would be
+   a caller bug, but never double-count: the exchange is atomic), so
+   parent + children always hold exactly the original total. [refund]
+   moves whatever the children did not use back into the parent. *)
+let split t n =
+  if n <= 1 then [| t |]
+  else begin
+    Metrics.incr c_splits;
+    let child_quotas cell =
+      let cur = Atomic.get cell in
+      if cur = max_int then Array.init n (fun _ -> Atomic.make max_int)
+      else begin
+        let drained = Atomic.exchange cell 0 in
+        let share = drained / n and rem = drained mod n in
+        Array.init n (fun i -> Atomic.make (share + if i < rem then 1 else 0))
+      end
+    in
+    let sat = child_quotas t.sat_conflicts in
+    let podem = child_quotas t.podem_backtracks in
+    let fsim = child_quotas t.fsim_pairs in
+    Array.init n (fun i ->
+        {
+          deadline = t.deadline;
+          deadline_ms = t.deadline_ms;
+          sat_conflicts = sat.(i);
+          podem_backtracks = podem.(i);
+          fsim_pairs = fsim.(i);
+          clock_skip = Atomic.make 0;
+        })
   end
+
+let refund t children =
+  Array.iter
+    (fun child ->
+      if child != t then
+        List.iter
+          (fun res ->
+            let parent = quota t res and cell = quota child res in
+            if Atomic.get cell <> max_int then begin
+              let v = Atomic.exchange cell 0 in
+              if v > 0 && v <> max_int && Atomic.get parent <> max_int then
+                ignore (Atomic.fetch_and_add parent v)
+            end)
+          [ Sat_conflicts; Podem_backtracks; Fsim_pairs ])
+    children
 
 let to_json t =
   let quota = function n when n = max_int -> Json.Null | n -> Json.Int n in
   Json.Obj
     [
       ("deadline_ms", match t.deadline_ms with Some ms -> Json.Int ms | None -> Json.Null);
-      ("sat_conflicts_remaining", quota t.sat_conflicts);
-      ("podem_backtracks_remaining", quota t.podem_backtracks);
-      ("fsim_pairs_remaining", quota t.fsim_pairs);
+      ("sat_conflicts_remaining", quota (Atomic.get t.sat_conflicts));
+      ("podem_backtracks_remaining", quota (Atomic.get t.podem_backtracks));
+      ("fsim_pairs_remaining", quota (Atomic.get t.fsim_pairs));
     ]
 
 let ambient_budget = ref unlimited

@@ -43,6 +43,25 @@ val check_deadline : t -> stage:Error.stage -> (unit, Error.t) result
 val remaining : t -> resource -> int
 (** [max_int] when unlimited. *)
 
+(** {2 Sharded execution}
+
+    Quotas are atomics, so one budget can be spent against from several
+    domains at once; [split]/[refund] instead move quota between a
+    parent and per-shard children so each shard is bounded on its own
+    (no shard can starve the others past its even share). *)
+
+val split : t -> int -> t array
+(** [split t n] drains the parent's finite quotas and deals them evenly
+    over [n] fresh children (remainder to the lowest-index ones); the
+    children share the parent's absolute deadline. [n <= 1] returns
+    [[| t |]] unchanged. Unlimited quotas stay unlimited. *)
+
+val refund : t -> t array -> unit
+(** Drain what the children did not spend back into the parent (no-op
+    for a child physically equal to the parent, and for unlimited
+    quotas). Call after joining the shards so a later stage sees the
+    leftover budget. *)
+
 val to_json : t -> Mutsamp_obs.Json.t
 (** Configuration rendering for run reports ([null] fields when
     unlimited). *)

@@ -43,6 +43,12 @@ type arming = { mutable countdown : int; probability : float; action : action }
 let table : (point, arming) Hashtbl.t = Hashtbl.create 8
 let prng = ref (Prng.create 2005)
 
+(* Worker domains hit injection points too; the mutex covers the
+   countdown decrements and the shared PRNG draw. Arming happens on the
+   main domain before workers exist, so the empty-table fast path —
+   which every uninjected run takes — stays lock-free. *)
+let mutex = Mutex.create ()
+
 let init ?(seed = 2005) () = prng := Prng.create seed
 let disarm_all () = Hashtbl.reset table
 let any_armed () = Hashtbl.length table > 0
@@ -51,18 +57,26 @@ let arm ?(after = 0) ?(probability = 1.0) point action =
   Hashtbl.replace table point { countdown = after; probability; action }
 
 let fire point =
-  match Hashtbl.find_opt table point with
-  | None -> None
-  | Some a ->
-    if a.countdown > 0 then begin
-      a.countdown <- a.countdown - 1;
-      None
-    end
-    else if a.probability >= 1.0 || Prng.float !prng < a.probability then begin
-      Metrics.incr c_fired;
-      Some a.action
-    end
-    else None
+  if Hashtbl.length table = 0 then None
+  else begin
+    Mutex.lock mutex;
+    let result =
+      match Hashtbl.find_opt table point with
+      | None -> None
+      | Some a ->
+        if a.countdown > 0 then begin
+          a.countdown <- a.countdown - 1;
+          None
+        end
+        else if a.probability >= 1.0 || Prng.float !prng < a.probability then begin
+          Metrics.incr c_fired;
+          Some a.action
+        end
+        else None
+    in
+    Mutex.unlock mutex;
+    result
+  end
 
 let trip point =
   match fire point with

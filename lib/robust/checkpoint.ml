@@ -18,14 +18,25 @@ let load path =
   in
   { path; table }
 
-let find t key = List.assoc_opt key t.table
+(* Campaign cells may resume/persist from worker domains when sharded;
+   one global lock serialises table mutation and the file write. *)
+let mutex = Mutex.create ()
+
+let find t key =
+  Mutex.lock mutex;
+  let v = List.assoc_opt key t.table in
+  Mutex.unlock mutex;
+  v
 
 let to_json t =
   Json.Obj [ ("schema", Json.Int schema_version); ("entries", Json.Obj t.table) ]
 
 let record t key payload =
+  Mutex.lock mutex;
   t.table <- (List.remove_assoc key t.table) @ [ (key, payload) ];
-  match Atomicio.write_file t.path (Json.to_string (to_json t)) with
+  let doc = Json.to_string (to_json t) in
+  Mutex.unlock mutex;
+  match Atomicio.write_file t.path doc with
   | Ok () -> ()
   | Error _ -> ()  (* keep going; the row stays computed in memory *)
 

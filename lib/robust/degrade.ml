@@ -5,22 +5,34 @@ type event = { stage : Error.stage; error : Error.t; detail : string }
 
 let c_retries = Metrics.counter "robust.retries"
 
+(* Stages running on worker domains note downgrades too. *)
+let mutex = Mutex.create ()
 let recorded : event list ref = ref []
 let retry_count = ref 0
 
 let reset () =
+  Mutex.lock mutex;
   recorded := [];
-  retry_count := 0
+  retry_count := 0;
+  Mutex.unlock mutex
 
 let note ~stage ?(detail = "") error =
+  Mutex.lock mutex;
   recorded := { stage; error; detail } :: !recorded;
+  Mutex.unlock mutex;
   Metrics.add_named (Printf.sprintf "robust.degraded.%s" (Error.stage_name stage)) 1
 
 let retry ~stage:_ =
+  Mutex.lock mutex;
   incr retry_count;
+  Mutex.unlock mutex;
   Metrics.incr c_retries
 
-let events () = List.rev !recorded
+let events () =
+  Mutex.lock mutex;
+  let es = List.rev !recorded in
+  Mutex.unlock mutex;
+  es
 
 let degraded_stages () =
   List.fold_left

@@ -54,6 +54,8 @@ let to_string = function
   | Injected stage -> Printf.sprintf "%s: chaos-injected failure" (stage_name stage)
   | Io_error msg -> Printf.sprintf "i/o error: %s" msg
 
+let ok_exn = function Ok v -> v | Error e -> raise (E e)
+
 let exit_code = function
   | Parse_error _ -> 65
   | Io_error _ -> 74

@@ -41,6 +41,11 @@ exception E of t
     never raise it, thin compatibility wrappers do. The CLI maps it to
     [to_string]/[exit_code]. *)
 
+val ok_exn : ('a, t) result -> 'a
+(** [ok_exn (Ok v)] is [v]; [ok_exn (Error e)] raises [E e]. The
+    one-line bridge from the result-typed entry points back to
+    raise-style call sites (tests, quick scripts). *)
+
 val to_string : t -> string
 (** One-line human-readable rendering. *)
 

@@ -13,19 +13,21 @@ type verdict =
 
 exception Equiv_error of string
 
-val check : Mutsamp_netlist.Netlist.t -> Mutsamp_netlist.Netlist.t -> verdict
-(** Raises {!Equiv_error} if interfaces differ or a netlist holds
-    flip-flops. Runs under an unlimited SAT budget. *)
-
-val check_result :
+val check :
   ?budget:Mutsamp_robust.Budget.t ->
   Mutsamp_netlist.Netlist.t ->
   Mutsamp_netlist.Netlist.t ->
   (verdict, Mutsamp_robust.Error.t) result
-(** Budgeted variant: the miter solve spends [Sat_conflicts] and obeys
-    the deadline; see {!Solver.solve_result}. Still raises
-    {!Equiv_error} on interface mismatch (caller bug, not a runtime
-    hazard). [budget] defaults to the ambient budget. *)
+(** The miter solve spends [Sat_conflicts] and obeys the deadline; see
+    {!Solver.solve}. Still raises {!Equiv_error} on interface mismatch
+    or a sequential netlist (caller bug, not a runtime hazard).
+    [budget] defaults to the ambient budget. *)
+
+val check_exn :
+  Mutsamp_netlist.Netlist.t -> Mutsamp_netlist.Netlist.t -> verdict
+  [@@deprecated "use check (result-typed); check_exn raises Mutsamp_robust.Error.E"]
+(** Raise-style shim over {!check} under an unlimited SAT budget, kept
+    for one release. *)
 
 val counterexample_is_real :
   Mutsamp_netlist.Netlist.t ->

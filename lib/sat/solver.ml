@@ -346,7 +346,7 @@ let solve_core ~assumptions ~budget cnf =
     (match r with Sat _ -> Metrics.incr c_sat | Unsat -> Metrics.incr c_unsat);
     r
 
-let solve_result ?(assumptions = []) ?budget cnf =
+let solve ?(assumptions = []) ?budget cnf =
   let budget = match budget with Some b -> b | None -> Budget.ambient () in
   Chaos.contain Rerror.Sat (fun () ->
       (match Chaos.trip Chaos.Sat_solve with
@@ -354,11 +354,11 @@ let solve_result ?(assumptions = []) ?budget cnf =
        | Error e -> raise (Rerror.E e));
       solve_core ~assumptions ~budget cnf)
 
-let solve ?(assumptions = []) cnf =
+let solve_exn ?(assumptions = []) cnf =
   (* Legacy raise-style entry point: explicitly unlimited (and hence
      chaos-transparent only via Error.E), kept for callers that predate
      budgets. Cannot fail on budget under [unlimited]. *)
-  match solve_result ~assumptions ~budget:Budget.unlimited cnf with
+  match solve ~assumptions ~budget:Budget.unlimited cnf with
   | Ok r -> r
   | Error e -> raise (Rerror.E e)
 

@@ -11,24 +11,24 @@ type result =
       (** model indexed by variable (entry 0 unused) *)
   | Unsat
 
-val solve : ?assumptions:Cnf.lit list -> Cnf.t -> result
-(** Decide the formula. [assumptions] are forced as decision-level-0
-    units for this call. Deterministic: the same formula and assumptions
-    always take the same search path. Runs under an unlimited budget;
-    raises [Mutsamp_robust.Error.E] only if a chaos injection point is
-    armed at [Sat_solve]. *)
-
-val solve_result :
+val solve :
   ?assumptions:Cnf.lit list ->
   ?budget:Mutsamp_robust.Budget.t ->
   Cnf.t ->
   (result, Mutsamp_robust.Error.t) Stdlib.result
-(** Budgeted entry point. One [Sat_conflicts] work unit is spent per
-    conflict, and the deadline is polled on the same cadence; exhaustion
-    returns [Error (Budget_exhausted _)] / [Error (Timeout Sat)] instead
-    of spinning. [budget] defaults to the ambient budget (unlimited
-    unless the CLI installed one), under which the search path and model
-    are bit-identical to [solve]. *)
+(** Decide the formula. [assumptions] are forced as decision-level-0
+    units for this call. Deterministic: the same formula, assumptions
+    and budget always take the same search path. One [Sat_conflicts]
+    work unit is spent per conflict, and the deadline is polled on the
+    same cadence; exhaustion returns [Error (Budget_exhausted _)] /
+    [Error (Timeout Sat)] instead of spinning. [budget] defaults to the
+    ambient budget (unlimited unless the CLI installed one). *)
+
+val solve_exn : ?assumptions:Cnf.lit list -> Cnf.t -> result
+  [@@deprecated "use solve (result-typed); solve_exn raises Mutsamp_robust.Error.E"]
+(** Raise-style shim over {!solve} under an unlimited budget, kept for
+    one release. Raises [Mutsamp_robust.Error.E] only if a chaos
+    injection point is armed at [Sat_solve]. *)
 
 val is_satisfying : Cnf.t -> bool array -> bool
 (** [is_satisfying cnf model] checks the model against every clause

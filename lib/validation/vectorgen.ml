@@ -16,6 +16,7 @@ module Rerror = Mutsamp_robust.Error
 module Budget = Mutsamp_robust.Budget
 module Chaos = Mutsamp_robust.Chaos
 module Degrade = Mutsamp_robust.Degrade
+module Ctx = Mutsamp_exec.Ctx
 
 (* Observability series (no-ops unless metrics collection is on). *)
 let c_candidates = Metrics.counter "vectorgen.candidates"
@@ -79,7 +80,7 @@ let sat_check ~budget design mutant_design =
   Metrics.incr c_sat_calls;
   match
     (try
-       `R (Equiv.check_result ~budget (Flow.synthesize design) (Flow.synthesize mutant_design))
+       `R (Equiv.check ~budget (Flow.synthesize design) (Flow.synthesize mutant_design))
      with Equiv.Equiv_error _ | Lower.Synth_error _ -> `Undecidable)
   with
   | `Undecidable -> (Equivalence.Unknown, None)
@@ -94,6 +95,7 @@ let sat_check ~budget design mutant_design =
 let generate ?(config = default_config) ?budget design mutants =
   Trace.with_span "vectorgen" @@ fun () ->
   let budget = match budget with Some b -> b | None -> Budget.ambient () in
+  let kill_ctx = { Ctx.default with budget = Some budget } in
   let degraded = ref [] in
   let note_deg detail e =
     if not (List.mem detail !degraded) then degraded := !degraded @ [ detail ];
@@ -125,7 +127,7 @@ let generate ?(config = default_config) ?budget design mutants =
     let candidate = Stimuli.random_sequence prng design seq_len in
     incr candidates;
     Metrics.incr c_candidates;
-    match Kill.kills_at runner ~alive:!alive ~budget candidate with
+    match Kill.kills_at runner ~alive:!alive ~ctx:kill_ctx candidate with
     | [] -> incr stall
     | detections ->
       stall := 0;
@@ -206,7 +208,7 @@ let generate ?(config = default_config) ?budget design mutants =
               total_vectors := !total_vectors + List.length seq;
               (* The distinguishing sequence kills [i] by construction
                  and may kill other survivors too. *)
-              let victims = Kill.kills runner ~alive:(i :: rest) ~budget seq in
+              let victims = Kill.kills runner ~alive:(i :: rest) ~ctx:kill_ctx seq in
               killed := victims @ !killed;
               attack (List.filter (fun j -> not (List.mem j victims)) rest)
             end
@@ -231,7 +233,10 @@ let generate ?(config = default_config) ?budget design mutants =
       (* Re-simulation of sequences already paid for — run it unbudgeted
          so an exhausted quota cannot corrupt the set cover. *)
       Array.map
-        (fun seq -> Kill.kills runner ~alive:killed_list ~budget:Budget.unlimited seq)
+        (fun seq ->
+          Kill.kills runner ~alive:killed_list
+            ~ctx:{ Ctx.default with budget = Some Budget.unlimited }
+            seq)
         sequences
     in
     let uncovered = Hashtbl.create 64 in

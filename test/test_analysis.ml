@@ -35,7 +35,8 @@ module Untestable = Mutsamp_analysis.Untestable
 module Triage = Mutsamp_analysis.Triage
 module Engine = Mutsamp_analysis.Engine
 
-let parse src = Check.elaborate (Parser.design_of_string src)
+let parse src =
+  Check.elaborate (Mutsamp_robust.Error.ok_exn (Parser.design_result src))
 let design name = (Option.get (Registry.find name)).Registry.design ()
 
 let counter_value snap name =
@@ -405,7 +406,7 @@ let untestable_proofs_confirmed name =
       Alcotest.(check bool)
         (name ^ ": SAT confirms " ^ Fault.to_string f)
         true
-        (Satgen.generate nl f = Satgen.Untestable))
+        (Mutsamp_robust.Error.ok_exn (Satgen.generate nl f) = Satgen.Untestable))
     proved
 
 let test_untestable_sound_c17 () = untestable_proofs_confirmed "c17"
@@ -425,7 +426,9 @@ let redundancy_differential name =
   let run static_filter =
     Metrics.set_enabled true;
     Metrics.reset ();
-    let cleaned, tied = Redundancy.remove ~static_filter nl in
+    let cleaned, tied =
+      Redundancy.remove ~ctx:{ Mutsamp_exec.Ctx.default with static_filter } nl
+    in
     let snap = Metrics.snapshot () in
     Metrics.set_enabled false;
     ( cleaned,
@@ -452,7 +455,8 @@ let test_topoff_differential_c17 () =
   let nl = augmented "c17" in
   let faults = Fault.full_list nl in
   let run static_filter =
-    Topoff.run ~engine:Topoff.Use_sat ~seed:1 ~static_filter nl ~faults
+    Topoff.run ~engine:Topoff.Use_sat ~seed:1
+      ~ctx:{ Mutsamp_exec.Ctx.default with static_filter } nl ~faults
       ~seed_patterns:[||]
   in
   let r1 = run true and r2 = run false in

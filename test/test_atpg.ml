@@ -21,9 +21,21 @@ module Parser = Mutsamp_hdl.Parser
 module Check = Mutsamp_hdl.Check
 module Flow = Mutsamp_synth.Flow
 
+(* Local stand-ins for the deprecated Fsim int-code conveniences. *)
+let pattern_of_code nl code =
+  Mutsamp_fault.Pattern.of_code
+    ~inputs:(Array.length nl.Mutsamp_netlist.Netlist.input_nets)
+    code
+
+let patterns_of_codes nl codes = Array.map (pattern_of_code nl) codes
+
+
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
-let parse src = Check.elaborate (Parser.design_of_string src)
+let parse src =
+  Check.elaborate (Mutsamp_robust.Error.ok_exn (Parser.design_result src))
+
+let ok_exn = Mutsamp_robust.Error.ok_exn
 
 let full_adder () =
   let b = B.create "fa" in
@@ -92,14 +104,13 @@ let test_podem_finds_tests_full_adder () =
   let nl = full_adder () in
   List.iter
     (fun f ->
-      match fst (Podem.generate nl f) with
-      | Podem.Test p ->
+      match ok_exn (Podem.find_test nl f) with
+      | Some p, _ ->
         check_bool
           (Printf.sprintf "test for %s detects" (Fault.to_string f))
           true (detects nl f p)
-      | Podem.Untestable ->
-        Alcotest.fail ("full adder fault should be testable: " ^ Fault.to_string f)
-      | Podem.Aborted -> Alcotest.fail "unexpected abort")
+      | None, _ ->
+        Alcotest.fail ("full adder fault should be testable: " ^ Fault.to_string f))
     (Fault.full_list nl)
 
 let test_podem_untestable_redundant () =
@@ -108,18 +119,17 @@ let test_podem_untestable_redundant () =
      stem fault bb SA0 is the redundant one. *)
   let bb = Netlist.find_input nl "bb" in
   let f = { Fault.site = Fault.Stem bb; polarity = Fault.Stuck_at_0 } in
-  (match fst (Podem.generate nl f) with
-   | Podem.Untestable -> ()
-   | Podem.Test p ->
+  (match ok_exn (Podem.find_test nl f) with
+   | None, _ -> ()
+   | Some p, _ ->
      Alcotest.fail
        (Printf.sprintf "redundant fault got test %s (detects=%b)"
-          (Mutsamp_fault.Pattern.to_string p) (detects nl f p))
-   | Podem.Aborted -> Alcotest.fail "abort on tiny circuit")
+          (Mutsamp_fault.Pattern.to_string p) (detects nl f p)))
 
 let test_podem_stats_populated () =
   let nl = full_adder () in
   let f = List.hd (Fault.full_list nl) in
-  let _, stats = Podem.generate nl f in
+  let _, stats = ok_exn (Podem.find_test nl f) in
   check_bool "implications counted" true (stats.Podem.implications > 0)
 
 let test_podem_rejects_sequential () =
@@ -130,7 +140,7 @@ let test_podem_rejects_sequential () =
   B.output b "y" q;
   let nl = B.finalize b in
   (try
-     ignore (Podem.generate nl { Fault.site = Fault.Stem x; polarity = Fault.Stuck_at_0 });
+     ignore (Podem.find_test nl { Fault.site = Fault.Stem x; polarity = Fault.Stuck_at_0 });
      Alcotest.fail "should reject"
    with Invalid_argument _ -> ())
 
@@ -141,17 +151,17 @@ let test_podem_rejects_sequential () =
 let cross_check nl =
   List.iter
     (fun f ->
-      let podem = fst (Podem.generate nl f) in
-      let sat = Satgen.generate nl f in
+      let podem = Podem.find_test nl f in
+      let sat = ok_exn (Satgen.generate nl f) in
       match podem, sat with
-      | Podem.Test p, Satgen.Test q ->
+      | Ok (Some p, _), Satgen.Test q ->
         check_bool "podem test detects" true (detects nl f p);
         check_bool "sat test detects" true (detects nl f q)
-      | Podem.Untestable, Satgen.Untestable -> ()
-      | Podem.Aborted, _ -> ()  (* abort is inconclusive, not a disagreement *)
-      | Podem.Test _, Satgen.Untestable ->
+      | Ok (None, _), Satgen.Untestable -> ()
+      | Error _, _ -> ()  (* abort is inconclusive, not a disagreement *)
+      | Ok (Some _, _), Satgen.Untestable ->
         Alcotest.fail ("engines disagree (podem testable): " ^ Fault.to_string f)
-      | Podem.Untestable, Satgen.Test _ ->
+      | Ok (None, _), Satgen.Test _ ->
         Alcotest.fail ("engines disagree (sat testable): " ^ Fault.to_string f))
     (Fault.full_list nl)
 
@@ -455,7 +465,7 @@ let test_seqatpg_counter_faults () =
   let detected = ref 0 and missed = ref 0 in
   List.iter
     (fun f ->
-      match Seqatpg.generate ~max_frames:10 nl f with
+      match ok_exn (Seqatpg.generate ~max_frames:10 nl f) with
       | Seqatpg.Test seq ->
         incr detected;
         (* Verify by sequential fault simulation. *)
@@ -471,7 +481,7 @@ let test_seqatpg_shortest_sequence () =
   let nl = counter_netlist () in
   let q2 = Netlist.find_output nl "q[2]" in
   let f = { Fault.site = Fault.Stem q2; polarity = Fault.Stuck_at_0 } in
-  (match Seqatpg.generate ~max_frames:10 nl f with
+  (match ok_exn (Seqatpg.generate ~max_frames:10 nl f) with
    | Seqatpg.Test seq ->
      check_int "five cycles" 5 (Array.length seq);
      let r = Fsim.run_sequential nl ~faults:[ f ] ~sequence:seq in
@@ -482,7 +492,7 @@ let test_seqatpg_budget () =
   let nl = counter_netlist () in
   let q2 = Netlist.find_output nl "q[2]" in
   let f = { Fault.site = Fault.Stem q2; polarity = Fault.Stuck_at_0 } in
-  (match Seqatpg.generate ~max_frames:3 nl f with
+  (match ok_exn (Seqatpg.generate ~max_frames:3 nl f) with
    | Seqatpg.No_test_within 3 -> ()
    | Seqatpg.No_test_within _ | Seqatpg.Test _ ->
      Alcotest.fail "needs more than 3 frames")
@@ -527,7 +537,7 @@ let test_topoff_seed_reduces_work () =
   (* A full exhaustive seed leaves nothing for the other phases. *)
   let r =
     Topoff.run nl ~faults
-      ~seed_patterns:(Fsim.patterns_of_codes nl (Array.init 8 (fun i -> i)))
+      ~seed_patterns:(patterns_of_codes nl (Array.init 8 (fun i -> i)))
   in
   check_int "everything from seed" (List.length faults) r.Topoff.seed_detected;
   check_int "no atpg calls" 0 r.Topoff.atpg_calls;
@@ -543,7 +553,7 @@ let test_topoff_sat_engine () =
 let test_topoff_final_test_set_detects_everything () =
   let nl = full_adder () in
   let faults = Fault.full_list nl in
-  let r = Topoff.run nl ~faults ~seed_patterns:(Fsim.patterns_of_codes nl [| 0b111 |]) in
+  let r = Topoff.run nl ~faults ~seed_patterns:(patterns_of_codes nl [| 0b111 |]) in
   let check_run = Fsim.run_combinational nl ~faults ~patterns:r.Topoff.test_set in
   check_int "replay detects all testable"
     (List.length faults - r.Topoff.untestable - r.Topoff.aborted)

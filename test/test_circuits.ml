@@ -85,7 +85,8 @@ let test_all_designs_pretty_roundtrip () =
       let d = e.Registry.design () in
       let reparsed =
         Check.elaborate
-          (Mutsamp_hdl.Parser.design_of_string (Mutsamp_hdl.Pretty.design d))
+          (Mutsamp_robust.Error.ok_exn
+             (Mutsamp_hdl.Parser.design_result (Mutsamp_hdl.Pretty.design d)))
       in
       check_bool (e.Registry.name ^ " roundtrip") true (Ast.equal_design d reparsed))
     Registry.all

@@ -20,10 +20,20 @@ module Pipeline = Mutsamp_core.Pipeline
 module Experiments = Mutsamp_core.Experiments
 module Report = Mutsamp_core.Report
 
+(* Local stand-ins for the deprecated Fsim int-code conveniences. *)
+let pattern_of_code nl code =
+  Mutsamp_fault.Pattern.of_code
+    ~inputs:(Array.length nl.Mutsamp_netlist.Netlist.input_nets)
+    code
+
+let patterns_of_codes nl codes = Array.map (pattern_of_code nl) codes
+
+
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let bv w v = Bitvec.make ~width:w v
-let parse src = Check.elaborate (Parser.design_of_string src)
+let parse src =
+  Check.elaborate (Mutsamp_robust.Error.ok_exn (Parser.design_result src))
 
 let tiny_config =
   {
@@ -87,7 +97,7 @@ let test_fault_simulate_runs () =
   let p = Lazy.force c17_pipeline in
   let r =
     Pipeline.fault_simulate p
-      (Mutsamp_fault.Fsim.patterns_of_codes p.Pipeline.netlist
+      (patterns_of_codes p.Pipeline.netlist
          (Array.init 32 (fun i -> i)))
   in
   (* Exhaustive patterns on c17 detect every collapsed fault. *)

@@ -1,0 +1,334 @@
+(* Tests for lib/exec: the domain pool itself, and differential checks
+   that every sharded stage is bit-identical to its sequential path at
+   any jobs setting — including under budget exhaustion and injected
+   worker faults. *)
+
+module Pool = Mutsamp_exec.Pool
+module Ctx = Mutsamp_exec.Ctx
+module Registry = Mutsamp_circuits.Registry
+module Pipeline = Mutsamp_core.Pipeline
+module Experiments = Mutsamp_core.Experiments
+module Config = Mutsamp_core.Config
+module Kill = Mutsamp_mutation.Kill
+module Operator = Mutsamp_mutation.Operator
+module Stimuli = Mutsamp_hdl.Stimuli
+module Fsim = Mutsamp_fault.Fsim
+module Prpg = Mutsamp_atpg.Prpg
+module Prng = Mutsamp_util.Prng
+module Budget = Mutsamp_robust.Budget
+module Chaos = Mutsamp_robust.Chaos
+module Degrade = Mutsamp_robust.Degrade
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Run [f ctx] under a fresh pool of [jobs] domains, shutting the pool
+   down whatever happens. *)
+let with_jobs jobs f =
+  let pool = Pool.create ~domains:jobs in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () -> f (Ctx.with_pool pool))
+
+(* Chaos armings, the degradation record and the ambient budget are
+   process-global; leave nothing behind for the rest of the suite. *)
+let clean f () =
+  Chaos.disarm_all ();
+  Chaos.init ~seed:2005 ();
+  Degrade.reset ();
+  Budget.set_ambient Budget.unlimited;
+  Fun.protect
+    ~finally:(fun () ->
+      Chaos.disarm_all ();
+      Degrade.reset ();
+      Budget.set_ambient Budget.unlimited)
+    f
+
+let pipeline name =
+  match Registry.find name with
+  | Some e -> Pipeline.prepare (e.Registry.design ())
+  | None -> Alcotest.failf "circuit %s not in registry" name
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map_in_index_order () =
+  with_jobs 3 (fun ctx ->
+      let pool = Option.get ctx.Ctx.pool in
+      let got = Pool.run pool 100 ~f:(fun i -> i * i) in
+      Alcotest.(check (array int)) "squares" (Array.init 100 (fun i -> i * i)) got;
+      check_int "empty batch" 0 (Array.length (Pool.run pool 0 ~f:(fun i -> i)));
+      (* Fewer tasks than domains: still exactly one evaluation each. *)
+      let hits = Array.make 2 0 in
+      ignore (Pool.run pool 2 ~f:(fun i -> hits.(i) <- hits.(i) + 1));
+      Alcotest.(check (array int)) "single evaluation" [| 1; 1 |] hits)
+
+let test_pool_lowest_index_exception_wins () =
+  with_jobs 4 (fun ctx ->
+      let pool = Option.get ctx.Ctx.pool in
+      (match
+         Pool.run pool 50 ~f:(fun i ->
+             if i mod 7 = 3 then failwith (string_of_int i) else i)
+       with
+      | _ -> Alcotest.fail "should raise"
+      | exception Failure msg ->
+        (* 3 is the lowest failing index — the same exception the
+           sequential left-to-right loop would have surfaced first. *)
+        check_int "lowest failing index" 3 (int_of_string msg));
+      (* The pool survives a failed batch. *)
+      let again = Pool.run pool 5 ~f:(fun i -> i + 1) in
+      Alcotest.(check (array int)) "usable after failure" [| 1; 2; 3; 4; 5 |] again)
+
+let test_pool_nested_runs_inline () =
+  with_jobs 3 (fun ctx ->
+      let pool = Option.get ctx.Ctx.pool in
+      check_bool "not in worker outside" false (Pool.in_worker ());
+      let got =
+        Pool.run pool 4 ~f:(fun i ->
+            check_bool "in worker inside" true (Pool.in_worker ());
+            (* A nested submission must execute inline, not deadlock. *)
+            Array.fold_left ( + ) 0 (Pool.run pool 3 ~f:(fun j -> (10 * i) + j)))
+      in
+      Alcotest.(check (array int)) "nested sums"
+        (Array.init 4 (fun i -> (30 * i) + 3)) got;
+      (* Ctx reports fan-out 1 inside a worker, so sharded entry points
+         nested under a pool take their sequential path. *)
+      ignore
+        (Pool.run pool 2 ~f:(fun _ -> check_int "nested jobs" 1 (Ctx.jobs ctx))))
+
+let test_pool_shutdown_idempotent () =
+  let pool = Pool.create ~domains:4 in
+  check_int "size" 4 (Pool.size pool);
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  let got = Pool.run pool 3 ~f:(fun i -> -i) in
+  Alcotest.(check (array int)) "inline after shutdown" [| 0; -1; -2 |] got
+
+let test_chunks_invariants () =
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun n ->
+          let ch = Pool.chunks ~jobs ~n in
+          if n <= 0 then check_int "empty" 0 (Array.length ch)
+          else begin
+            check_bool "at most jobs chunks" true (Array.length ch <= max 1 jobs);
+            let covered = ref 0 in
+            Array.iteri
+              (fun i (lo, len) ->
+                check_bool "non-empty" true (len > 0);
+                check_int "contiguous" !covered lo;
+                covered := !covered + len;
+                ignore i)
+              ch;
+            check_int "covers range" n !covered;
+            let sizes = Array.map snd ch in
+            let mn = Array.fold_left min max_int sizes in
+            let mx = Array.fold_left max 0 sizes in
+            check_bool "balanced" true (mx - mn <= 1)
+          end)
+        [ 0; 1; 2; 3; 7; 64; 1000 ])
+    [ 1; 2; 4; 7; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: fault simulation                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fsim_report p jobs =
+  let nl = p.Pipeline.netlist in
+  let bits = Array.length nl.Mutsamp_netlist.Netlist.input_nets in
+  let patterns = Prpg.uniform_sequence (Prng.create 11) ~bits ~length:128 in
+  if jobs = 1 then Pipeline.fault_simulate p patterns
+  else with_jobs jobs (fun ctx -> Pipeline.fault_simulate ~ctx p patterns)
+
+let test_fsim_differential () =
+  List.iter
+    (fun name ->
+      let p = pipeline name in
+      let baseline = fsim_report p 1 in
+      check_bool (name ^ " detects something") true (baseline.Fsim.detected > 0);
+      List.iter
+        (fun jobs ->
+          check_bool
+            (Printf.sprintf "%s jobs %d ≡ sequential" name jobs)
+            true
+            (fsim_report p jobs = baseline))
+        [ 2; 4; 7 ])
+    [ "c17"; "c432"; "b01"; "wide128" ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: mutant execution                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_kill_differential () =
+  let p = pipeline "c17" in
+  let runner = Kill.make p.Pipeline.design p.Pipeline.mutants in
+  let prng = Prng.create 23 in
+  let sequences =
+    List.init 8 (fun _ -> Stimuli.random_sequence prng p.Pipeline.design 4)
+  in
+  let seq = List.hd sequences in
+  let base_killed = Kill.killed_set runner sequences in
+  let base_kills = Kill.kills runner seq in
+  let base_kills_at = Kill.kills_at runner seq in
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun ctx ->
+          check_bool "killed_set identical" true
+            (Kill.killed_set runner ~ctx sequences = base_killed);
+          check_bool "kills identical" true (Kill.kills runner ~ctx seq = base_kills);
+          check_bool "kills_at identical" true
+            (Kill.kills_at runner ~ctx seq = base_kills_at)))
+    [ 2; 4; 7 ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential: campaign cells and equivalence classification        *)
+(* ------------------------------------------------------------------ *)
+
+let test_table1_differential () =
+  let p = pipeline "c17" in
+  let base =
+    Experiments.operator_efficiency ~config:Config.quick ~operators:Operator.all p
+      ~name:"c17"
+  in
+  with_jobs 3 (fun ctx ->
+      let sharded =
+        Experiments.operator_efficiency ~config:Config.quick ~operators:Operator.all
+          ~ctx p ~name:"c17"
+      in
+      check_bool "table1 rows identical" true (sharded = base))
+
+let test_classify_equivalents_differential () =
+  let p = pipeline "c17" in
+  let base = Pipeline.classify_equivalents ~screen:64 ~seed:3 p in
+  List.iter
+    (fun jobs ->
+      with_jobs jobs (fun ctx ->
+          check_bool
+            (Printf.sprintf "equivalents jobs %d ≡ sequential" jobs)
+            true
+            (Pipeline.classify_equivalents ~screen:64 ~ctx ~seed:3 p = base)))
+    [ 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: randomized jobs/workload differentials                     *)
+(* ------------------------------------------------------------------ *)
+
+let c17_pipeline = lazy (pipeline "c17")
+let b01_pipeline = lazy (pipeline "b01")
+
+(* Any (jobs, pattern-count) pair must reproduce the sequential report
+   exactly — fault order, detection indices, everything. *)
+let prop_fsim_random_jobs_identical =
+  QCheck.Test.make ~name:"sharded fsim = sequential, random jobs/workload"
+    ~count:25
+    (QCheck.make QCheck.Gen.(int_range 0 1000000))
+    (fun seed ->
+      let p =
+        Lazy.force (if seed mod 2 = 0 then c17_pipeline else b01_pipeline)
+      in
+      let jobs = 2 + (seed mod 6) in
+      let nl = p.Pipeline.netlist in
+      let bits = Array.length nl.Mutsamp_netlist.Netlist.input_nets in
+      let length = 16 + (seed mod 120) in
+      let mk () = Prpg.uniform_sequence (Prng.create seed) ~bits ~length in
+      let baseline = Pipeline.fault_simulate p (mk ()) in
+      with_jobs jobs (fun ctx -> Pipeline.fault_simulate ~ctx p (mk ()) = baseline))
+
+let prop_chunks_partition =
+  QCheck.Test.make ~name:"chunks partition any range" ~count:200
+    (QCheck.make QCheck.Gen.(pair (int_range 1 32) (int_range 0 5000)))
+    (fun (jobs, n) ->
+      let ch = Pool.chunks ~jobs ~n in
+      if n <= 0 then Array.length ch = 0
+      else
+        Array.length ch <= jobs
+        && Array.for_all (fun (_, len) -> len > 0) ch
+        && fst ch.(0) = 0
+        && Array.fold_left (fun next (lo, len) -> if lo = next then lo + len else -1)
+             0 ch
+           = n
+        &&
+        let sizes = Array.map snd ch in
+        Array.fold_left max 0 sizes - Array.fold_left min max_int sizes <= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism under budget exhaustion and injected worker faults     *)
+(* ------------------------------------------------------------------ *)
+
+let test_budget_exhaustion_deterministic () =
+  let p = pipeline "c432" in
+  let full = fsim_report p 1 in
+  let cut jobs =
+    (* A fresh budget each run: quotas deplete in place. *)
+    Degrade.reset ();
+    with_jobs jobs (fun ctx ->
+        let ctx = { ctx with Ctx.budget = Some (Budget.create ~fsim_pairs:5000 ()) } in
+        let nl = p.Pipeline.netlist in
+        let bits = Array.length nl.Mutsamp_netlist.Netlist.input_nets in
+        let patterns = Prpg.uniform_sequence (Prng.create 11) ~bits ~length:128 in
+        let r = Pipeline.fault_simulate ~ctx p patterns in
+        check_bool "cut is on record" true
+          (List.mem "fsim" (Degrade.degraded_stages ()));
+        r)
+  in
+  let first = cut 4 in
+  check_bool "partial under budget" true (first.Fsim.detected < full.Fsim.detected);
+  check_bool "same run twice" true (cut 4 = first)
+
+let test_chaos_in_worker_deterministic () =
+  let p = pipeline "c432" in
+  let run jobs =
+    Degrade.reset ();
+    Chaos.disarm_all ();
+    Chaos.init ~seed:2005 ();
+    Chaos.arm Chaos.Fsim_run Chaos.Timeout;
+    let nl = p.Pipeline.netlist in
+    let bits = Array.length nl.Mutsamp_netlist.Netlist.input_nets in
+    let patterns = Prpg.uniform_sequence (Prng.create 11) ~bits ~length:128 in
+    let r =
+      if jobs = 1 then Pipeline.fault_simulate p patterns
+      else with_jobs jobs (fun ctx -> Pipeline.fault_simulate ~ctx p patterns)
+    in
+    check_bool "degradation recorded" true (Degrade.any ());
+    r
+  in
+  let seq = run 1 in
+  (* The injected timeout fires in every shard, so nothing is detected
+     anywhere — and the report is identical to the sequential one. *)
+  check_int "nothing detected" 0 seq.Fsim.detected;
+  check_bool "jobs 4 identical under chaos" true (run 4 = seq);
+  check_bool "jobs 4 repeatable under chaos" true (run 4 = seq)
+
+let suite =
+  [
+    ( "exec.pool",
+      [
+        Alcotest.test_case "map in index order" `Quick test_pool_map_in_index_order;
+        Alcotest.test_case "lowest-index exception wins" `Quick
+          test_pool_lowest_index_exception_wins;
+        Alcotest.test_case "nested runs inline" `Quick test_pool_nested_runs_inline;
+        Alcotest.test_case "shutdown idempotent" `Quick test_pool_shutdown_idempotent;
+        Alcotest.test_case "chunk invariants" `Quick test_chunks_invariants;
+      ] );
+    ( "exec.differential",
+      [
+        Alcotest.test_case "fault simulation (c17/c432/b01/wide128)" `Quick
+          test_fsim_differential;
+        Alcotest.test_case "mutant execution (c17)" `Quick test_kill_differential;
+        Alcotest.test_case "table1 campaign cells (c17)" `Quick
+          test_table1_differential;
+        Alcotest.test_case "equivalence classification (c17)" `Quick
+          test_classify_equivalents_differential;
+        QCheck_alcotest.to_alcotest prop_fsim_random_jobs_identical;
+        QCheck_alcotest.to_alcotest prop_chunks_partition;
+      ] );
+    ( "exec.robust",
+      [
+        Alcotest.test_case "budget exhaustion deterministic" `Quick
+          (clean test_budget_exhaustion_deterministic);
+        Alcotest.test_case "chaos in workers deterministic" `Quick
+          (clean test_chaos_in_worker_deterministic);
+      ] );
+  ]

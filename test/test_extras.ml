@@ -19,8 +19,22 @@ module Sim = Mutsamp_hdl.Sim
 module Flow = Mutsamp_synth.Flow
 module Prpg = Mutsamp_atpg.Prpg
 
+(* Local stand-ins for the deprecated Fsim int-code conveniences. *)
+let pattern_of_code nl code =
+  Mutsamp_fault.Pattern.of_code
+    ~inputs:(Array.length nl.Mutsamp_netlist.Netlist.input_nets)
+    code
+
+let patterns_of_codes nl codes = Array.map (pattern_of_code nl) codes
+
+
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
+
+(* Result-typed imports/checks, unwrapped for tests that expect
+   success. *)
+let bench_of_string ?name src =
+  Mutsamp_robust.Error.ok_exn (Benchfmt.parse ?name src)
 let bv w v = Bitvec.make ~width:w v
 
 let full_adder () =
@@ -54,7 +68,7 @@ G23 = NAND(G16, G19)
 |}
 
 let test_bench_import_c17 () =
-  let nl = Benchfmt.of_string ~name:"c17" c17_bench_text in
+  let nl = bench_of_string ~name:"c17" c17_bench_text in
   check_int "inputs" 5 (Array.length nl.Netlist.input_nets);
   check_int "outputs" 2 (Array.length nl.Netlist.output_list);
   (* Functionally identical to our canonical c17. *)
@@ -68,7 +82,7 @@ let test_bench_import_c17 () =
 
 let test_bench_roundtrip_combinational () =
   let nl = full_adder () in
-  let nl2 = Benchfmt.of_string (Benchfmt.to_string nl) in
+  let nl2 = bench_of_string (Benchfmt.to_string nl) in
   let s1 = Bitsim.create nl and s2 = Bitsim.create nl2 in
   for code = 0 to 7 do
     let w3 = Array.init 3 (fun k -> if (code lsr k) land 1 = 1 then Bitsim.all_ones else 0) in
@@ -84,7 +98,7 @@ let test_bench_roundtrip_sequential_with_init () =
   B.connect_dff b q1 ~d:(B.and_ b q1 en);
   B.output b "y" (B.xor_ b q0 q1);
   let nl = B.finalize b in
-  let nl2 = Benchfmt.of_string (Benchfmt.to_string nl) in
+  let nl2 = bench_of_string (Benchfmt.to_string nl) in
   check_int "dffs preserved" 2 (Netlist.num_dffs nl2);
   let s1 = Bitsim.create nl and s2 = Bitsim.create nl2 in
   Bitsim.reset s1;
@@ -97,7 +111,7 @@ let test_bench_roundtrip_sequential_with_init () =
   done
 
 let test_bench_nary_decomposition () =
-  let nl = Benchfmt.of_string
+  let nl = bench_of_string
       {|INPUT(a)
 INPUT(b)
 INPUT(c)
@@ -114,9 +128,10 @@ y = AND(a, b, c)
 
 let test_bench_errors () =
   let expect_fail src =
-    match Benchfmt.of_string src with
-    | exception Benchfmt.Parse_error _ -> ()
-    | _ -> Alcotest.fail "should reject"
+    match Benchfmt.parse src with
+    | Error (Mutsamp_robust.Error.Parse_error _) -> ()
+    | Error e -> Alcotest.fail ("wrong error: " ^ Mutsamp_robust.Error.to_string e)
+    | Ok _ -> Alcotest.fail "should reject"
   in
   expect_fail "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
   expect_fail "INPUT(a)\nOUTPUT(y)\ny = AND(a, zz)\n";
@@ -127,7 +142,7 @@ let test_bench_export_all_circuits_reimport () =
   List.iter
     (fun (e : Registry.entry) ->
       let nl = Flow.synthesize (e.Registry.design ()) in
-      let nl2 = Benchfmt.of_string ~name:e.Registry.name (Benchfmt.to_string nl) in
+      let nl2 = bench_of_string ~name:e.Registry.name (Benchfmt.to_string nl) in
       check_int (e.Registry.name ^ " dffs") (Netlist.num_dffs nl) (Netlist.num_dffs nl2);
       (* Spot-check behaviour on a few random cycles. *)
       let s1 = Bitsim.create nl and s2 = Bitsim.create nl2 in
@@ -196,7 +211,7 @@ let prop_bench_roundtrip_random =
   QCheck.Test.make ~name:".bench roundtrip on random netlists" ~count:80
     (QCheck.make QCheck.Gen.(int_range 0 1000000)) (fun seed ->
       let nl = random_netlist seed in
-      let nl2 = Benchfmt.of_string ~name:"rt" (Benchfmt.to_string nl) in
+      let nl2 = bench_of_string ~name:"rt" (Benchfmt.to_string nl) in
       same_behaviour (seed + 1) nl nl2)
 
 let prop_nand_mapping_random =
@@ -259,7 +274,7 @@ let test_diagnose_recovers_injected_fault () =
     let injected = List.nth faults (Prng.int prng (List.length faults)) in
     let observations =
       List.init 8 (fun code ->
-          let p = Fsim.pattern_of_code nl code in
+          let p = pattern_of_code nl code in
           { Diagnose.pattern = p;
             response = Diagnose.simulate_response nl (Some injected) p })
     in
@@ -276,7 +291,7 @@ let test_diagnose_good_machine_rejects_all () =
      full adder has no untestable faults). *)
   let observations =
     List.init 8 (fun code ->
-        let p = Fsim.pattern_of_code nl code in
+        let p = pattern_of_code nl code in
         { Diagnose.pattern = p; response = Diagnose.simulate_response nl None p })
   in
   let suspects = Diagnose.perfect_matches nl ~candidates:faults ~observations in
@@ -288,7 +303,7 @@ let test_diagnose_ranking_sane () =
   let injected = List.hd faults in
   let observations =
     List.init 8 (fun code ->
-        let p = Fsim.pattern_of_code nl code in
+        let p = pattern_of_code nl code in
         { Diagnose.pattern = p;
           response = Diagnose.simulate_response nl (Some injected) p })
   in
@@ -317,7 +332,7 @@ let test_diagnose_rejects_sequential () =
        (Diagnose.rank nl
           ~candidates:(Fault.full_list nl)
           ~observations:
-            [ { Diagnose.pattern = Fsim.pattern_of_code nl 0;
+            [ { Diagnose.pattern = pattern_of_code nl 0;
                 response = Packvec.create 1 } ]);
      Alcotest.fail "should reject"
    with Invalid_argument _ -> ())
@@ -408,7 +423,7 @@ let test_weighted_bias () =
 let test_dictionary_agrees_with_rank () =
   let nl = full_adder () in
   let candidates = Fault.full_list nl in
-  let patterns = Fsim.patterns_of_codes nl (Array.init 8 (fun i -> i)) in
+  let patterns = patterns_of_codes nl (Array.init 8 (fun i -> i)) in
   let dict = Diagnose.build nl ~candidates ~patterns in
   let prng = Prng.create 31 in
   for _ = 1 to 10 do
@@ -432,7 +447,7 @@ let test_dictionary_rejects_wrong_arity () =
   let nl = full_adder () in
   let dict =
     Diagnose.build nl ~candidates:(Fault.full_list nl)
-      ~patterns:(Fsim.patterns_of_codes nl [| 0; 1 |])
+      ~patterns:(patterns_of_codes nl [| 0; 1 |])
   in
   (try
      ignore (Diagnose.lookup dict ~responses:[| Packvec.create 2 |]);
@@ -492,6 +507,8 @@ let test_vcd_change_compression () =
 module Optimize = Mutsamp_synth.Optimize
 module Redundancy = Mutsamp_atpg.Redundancy
 module Equiv = Mutsamp_sat.Equiv
+
+let equiv a b = Mutsamp_robust.Error.ok_exn (Equiv.check a b)
 module Gate = Mutsamp_netlist.Gate
 
 let test_nand_mapping_only_nands () =
@@ -509,7 +526,7 @@ let test_nand_mapping_equivalent () =
       let nl = Flow.synthesize (e.Registry.design ()) in
       if Netlist.num_dffs nl = 0 then begin
         let mapped = Optimize.to_nand_only nl in
-        match Equiv.check nl mapped with
+        match equiv nl mapped with
         | Equiv.Equivalent -> ()
         | Equiv.Counterexample _ ->
           Alcotest.fail (e.Registry.name ^ ": NAND mapping changed the function")
@@ -545,7 +562,7 @@ let test_redundancy_removal_ties_and_shrinks () =
   check_bool "tied something" true (tied >= 1);
   check_bool "fewer gates" true
     (Netlist.num_logic_gates cleaned < Netlist.num_logic_gates nl);
-  (match Equiv.check nl cleaned with
+  (match equiv nl cleaned with
    | Equiv.Equivalent -> ()
    | Equiv.Counterexample _ -> Alcotest.fail "function changed")
 
@@ -559,7 +576,7 @@ let test_redundancy_removal_c432 () =
   let nl = Lazy.force c432_netlist in
   let cleaned, tied = Redundancy.remove nl in
   check_bool "c432 had redundancy" true (tied > 0);
-  (match Equiv.check nl cleaned with
+  (match equiv nl cleaned with
    | Equiv.Equivalent -> ()
    | Equiv.Counterexample _ -> Alcotest.fail "function changed")
 

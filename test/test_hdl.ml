@@ -50,7 +50,12 @@ begin
 end design;
 |}
 
-let parse_design src = Check.elaborate (Parser.design_of_string src)
+(* Unwrap the result-typed parser entry point: these tests feed known
+   good sources, so an error is a straight failure. *)
+let design_of_string src =
+  Mutsamp_robust.Error.ok_exn (Parser.design_result src)
+
+let parse_design src = Check.elaborate (design_of_string src)
 
 (* ------------------------------------------------------------------ *)
 (* Lexer                                                              *)
@@ -98,7 +103,7 @@ let test_lexer_keywords_not_idents () =
 (* ------------------------------------------------------------------ *)
 
 let test_parse_counter () =
-  let d = Parser.design_of_string counter_src in
+  let d = design_of_string counter_src in
   Alcotest.(check string) "name" "counter" d.Ast.name;
   check_int "decls" 4 (List.length d.Ast.decls);
   check_int "inputs" 1 (List.length (Ast.inputs d));
@@ -118,7 +123,7 @@ let test_parse_precedence () =
 
 let test_parse_elsif_desugars () =
   let d =
-    Parser.design_of_string
+    design_of_string
       {|
 design t is
   input a : bit;
@@ -140,7 +145,7 @@ end design;
 
 let test_parse_case_choices () =
   let d =
-    Parser.design_of_string
+    design_of_string
       {|
 design t is
   input s : unsigned(2);
@@ -160,18 +165,18 @@ end design;
    | _ -> Alcotest.fail "case shape")
 
 let test_parse_error_reports_line () =
-  (try
-     ignore (Parser.design_of_string "design t is\nbogus\nbegin\nend design;");
-     Alcotest.fail "should not parse"
-   with Parser.Parse_error msg ->
-     check_bool "mentions line" true
-       (String.length msg >= 6 && String.sub msg 0 4 = "line"))
+  (match Parser.design_result "design t is\nbogus\nbegin\nend design;" with
+   | Ok _ -> Alcotest.fail "should not parse"
+   | Error (Mutsamp_robust.Error.Parse_error { loc; _ }) ->
+     check_bool "carries line" true (loc.Mutsamp_robust.Error.line <> None)
+   | Error e ->
+     Alcotest.fail ("wrong error: " ^ Mutsamp_robust.Error.to_string e))
 
 let test_parse_pretty_roundtrip_designs () =
   List.iter
     (fun src ->
       let d = parse_design src in
-      let d2 = Check.elaborate (Parser.design_of_string (Pretty.design d)) in
+      let d2 = Check.elaborate (design_of_string (Pretty.design d)) in
       check_bool "roundtrip equal" true (Ast.equal_design d d2))
     [ counter_src; major_src ]
 
@@ -290,7 +295,7 @@ let prop_sim_matches_reference width =
 (* ------------------------------------------------------------------ *)
 
 let expect_check_error src =
-  match Check.elaborate (Parser.design_of_string src) with
+  match Check.elaborate (design_of_string src) with
   | exception Check.Check_error _ -> ()
   | _ -> Alcotest.fail "expected Check_error"
 
@@ -376,10 +381,9 @@ let test_check_more_errors () =
 
 let test_parse_more_errors () =
   let expect_parse_error src =
-    match Parser.design_of_string src with
-    | exception Parser.Parse_error _ -> ()
-    | exception Lexer.Lex_error _ -> ()
-    | _ -> Alcotest.fail ("should not parse: " ^ src)
+    match Parser.design_result src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail ("should not parse: " ^ src)
   in
   List.iter expect_parse_error
     [
@@ -512,7 +516,7 @@ let test_sim_reset_restores () =
   check_int "back to reset" 0 (Bitvec.to_int (List.assoc "q" o))
 
 let test_sim_rejects_unelaborated () =
-  let raw = Parser.design_of_string counter_src in
+  let raw = design_of_string counter_src in
   (try
      ignore (Sim.create raw);
      Alcotest.fail "should reject unelaborated design"

@@ -16,7 +16,8 @@ module Equivalence = Mutsamp_mutation.Equivalence
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let bv w v = Bitvec.make ~width:w v
-let parse src = Check.elaborate (Parser.design_of_string src)
+let parse src =
+  Check.elaborate (Mutsamp_robust.Error.ok_exn (Parser.design_result src))
 
 let and_gate_src =
   {|design and2 is
@@ -169,7 +170,7 @@ let test_count_by_operator_total () =
     (List.fold_left (fun acc (_, n) -> acc + n) 0 counts)
 
 let test_generate_rejects_unelaborated () =
-  let raw = Parser.design_of_string alu_src in
+  let raw = Mutsamp_robust.Error.ok_exn (Parser.design_result alu_src) in
   (try
      ignore (Generate.all raw);
      Alcotest.fail "should reject"

@@ -8,6 +8,15 @@ module Runreport = Mutsamp_obs.Runreport
 module Registry = Mutsamp_circuits.Registry
 module Pipeline = Mutsamp_core.Pipeline
 
+(* Local stand-ins for the deprecated Fsim int-code conveniences. *)
+let pattern_of_code nl code =
+  Mutsamp_fault.Pattern.of_code
+    ~inputs:(Array.length nl.Mutsamp_netlist.Netlist.input_nets)
+    code
+
+let patterns_of_codes nl codes = Array.map (pattern_of_code nl) codes
+
+
 (* Every test drives the same process-global collector; start clean and
    leave it disabled for the rest of the suite. *)
 let with_clean_obs f () =
@@ -278,7 +287,7 @@ let test_pipeline_fsim_counters () =
   let p = Pipeline.prepare (e.Registry.design ()) in
   let r =
     Pipeline.fault_simulate p
-      (Mutsamp_fault.Fsim.patterns_of_codes p.Pipeline.netlist
+      (patterns_of_codes p.Pipeline.netlist
          [| 0b01010; 0b11111; 0b00000; 0b10101 |])
   in
   let snap = Metrics.snapshot () in

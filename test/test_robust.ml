@@ -156,11 +156,11 @@ let unsat_cnf () =
   cnf
 
 let test_solver_budget () =
-  (match Solver.solve_result ~budget:Budget.unlimited (unsat_cnf ()) with
+  (match Solver.solve ~budget:Budget.unlimited (unsat_cnf ()) with
    | Ok Solver.Unsat -> ()
    | Ok (Solver.Sat _) -> Alcotest.fail "unsat core declared sat"
    | Error e -> Alcotest.failf "unlimited solve errored: %s" (Rerror.to_string e));
-  match Solver.solve_result ~budget:(Budget.create ~sat_conflicts:0 ()) (unsat_cnf ()) with
+  match Solver.solve ~budget:(Budget.create ~sat_conflicts:0 ()) (unsat_cnf ()) with
   | Error (Rerror.Budget_exhausted { stage = Rerror.Sat; _ }) -> ()
   | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
   | Ok _ -> Alcotest.fail "zero-conflict budget not enforced"
@@ -191,11 +191,16 @@ let test_fsim_budget_degrades () =
   let faults = (Collapse.run nl).Collapse.representatives in
   let bits = Array.length nl.Mutsamp_netlist.Netlist.input_nets in
   let patterns = Prpg.uniform_sequence (Prng.create 7) ~bits ~length:64 in
-  let full = Fsim.run_combinational ~budget:Budget.unlimited nl ~faults ~patterns in
+  let ctx_with b = { Mutsamp_exec.Ctx.default with budget = Some b } in
+  let full =
+    Fsim.run_combinational ~ctx:(ctx_with Budget.unlimited) nl ~faults ~patterns
+  in
   (* A one-pair budget stops the run almost immediately: the report is
      partial (never over-reports) and the cut is on record. *)
   let cut =
-    Fsim.run_combinational ~budget:(Budget.create ~fsim_pairs:1 ()) nl ~faults ~patterns
+    Fsim.run_combinational
+      ~ctx:(ctx_with (Budget.create ~fsim_pairs:1 ()))
+      nl ~faults ~patterns
   in
   check_int "fault universe unchanged" full.Fsim.total cut.Fsim.total;
   check_bool "partial detection" true (cut.Fsim.detected < full.Fsim.detected);
@@ -208,14 +213,14 @@ let test_fsim_budget_degrades () =
 
 let test_chaos_timeout_contained () =
   Chaos.arm Chaos.Sat_solve Chaos.Timeout;
-  match Solver.solve_result (unsat_cnf ()) with
+  match Solver.solve (unsat_cnf ()) with
   | Error (Rerror.Timeout Rerror.Sat) -> ()
   | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
   | Ok _ -> Alcotest.fail "armed timeout did not fire"
 
 let test_chaos_exception_contained () =
   Chaos.arm Chaos.Sat_solve Chaos.Exception;
-  match Solver.solve_result (unsat_cnf ()) with
+  match Solver.solve (unsat_cnf ()) with
   | Error (Rerror.Injected Rerror.Sat) -> ()
   | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
   | Ok _ -> Alcotest.fail "armed exception did not fire"

@@ -14,7 +14,15 @@ module Flow = Mutsamp_synth.Flow
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
-let parse src = Check.elaborate (Parser.design_of_string src)
+let parse src =
+  Check.elaborate (Mutsamp_robust.Error.ok_exn (Parser.design_result src))
+
+(* The result-typed entry points, unwrapped: these tests exercise solver
+   correctness, so any engine error is a straight failure. *)
+let solve ?assumptions cnf =
+  Mutsamp_robust.Error.ok_exn (Solver.solve ?assumptions cnf)
+
+let equiv a b = Mutsamp_robust.Error.ok_exn (Equiv.check a b)
 
 (* ------------------------------------------------------------------ *)
 (* Cnf                                                                *)
@@ -49,7 +57,7 @@ let test_solver_trivial_sat () =
   let c = Cnf.create () in
   let a = Cnf.new_var c in
   Cnf.add_clause c [ a ];
-  (match Solver.solve c with
+  (match solve c with
    | Solver.Sat m -> check_bool "a true" true m.(a)
    | Solver.Unsat -> Alcotest.fail "should be sat")
 
@@ -58,7 +66,7 @@ let test_solver_trivial_unsat () =
   let a = Cnf.new_var c in
   Cnf.add_clause c [ a ];
   Cnf.add_clause c [ -a ];
-  (match Solver.solve c with
+  (match solve c with
    | Solver.Unsat -> ()
    | Solver.Sat _ -> Alcotest.fail "should be unsat")
 
@@ -70,7 +78,7 @@ let test_solver_implication_chain () =
   for i = 0 to 18 do
     Cnf.add_clause c [ -vars.(i); vars.(i + 1) ]
   done;
-  (match Solver.solve c with
+  (match solve c with
    | Solver.Sat m -> Array.iter (fun v -> check_bool "chained true" true m.(v)) vars
    | Solver.Unsat -> Alcotest.fail "should be sat")
 
@@ -89,7 +97,7 @@ let test_solver_pigeonhole_unsat () =
       done
     done
   done;
-  (match Solver.solve c with
+  (match solve c with
    | Solver.Unsat -> ()
    | Solver.Sat _ -> Alcotest.fail "pigeonhole should be unsat")
 
@@ -97,12 +105,12 @@ let test_solver_assumptions () =
   let c = Cnf.create () in
   let a = Cnf.new_var c and b = Cnf.new_var c in
   Cnf.add_clause c [ a; b ];
-  (match Solver.solve ~assumptions:[ -a ] c with
+  (match solve ~assumptions:[ -a ] c with
    | Solver.Sat m ->
      check_bool "a false" false m.(a);
      check_bool "b true" true m.(b)
    | Solver.Unsat -> Alcotest.fail "sat under assumption");
-  (match Solver.solve ~assumptions:[ -a; -b ] c with
+  (match solve ~assumptions:[ -a; -b ] c with
    | Solver.Unsat -> ()
    | Solver.Sat _ -> Alcotest.fail "unsat under assumptions")
 
@@ -152,7 +160,7 @@ let prop_solver_matches_bruteforce =
         ignore (Cnf.new_var cnf)
       done;
       List.iter (fun c -> Cnf.add_clause cnf c) cls;
-      match Solver.solve cnf, brute_force cnf with
+      match solve cnf, brute_force cnf with
       | Solver.Sat model, Some _ -> Solver.is_satisfying cnf model
       | Solver.Unsat, None -> true
       | Solver.Sat _, None | Solver.Unsat, Some _ -> false)
@@ -184,7 +192,7 @@ let test_tseitin_full_adder_consistent () =
           if (code lsr k) land 1 = 1 then v else -v)
         (Array.to_list nl.Netlist.input_nets)
     in
-    match Solver.solve ~assumptions cnf with
+    match solve ~assumptions cnf with
     | Solver.Unsat -> Alcotest.fail "encoding inconsistent"
     | Solver.Sat model ->
       let inputs =
@@ -205,13 +213,13 @@ let test_tseitin_xor_or_helpers () =
   let x = Tseitin.xor_out cnf a b in
   let o = Tseitin.or_list cnf [ a; b ] in
   (* force a=1, b=0: x must be 1, o must be 1 *)
-  (match Solver.solve ~assumptions:[ a; -b; -x ] cnf with
+  (match solve ~assumptions:[ a; -b; -x ] cnf with
    | Solver.Unsat -> ()
    | Solver.Sat _ -> Alcotest.fail "xor must be 1");
-  (match Solver.solve ~assumptions:[ a; -b; -o ] cnf with
+  (match solve ~assumptions:[ a; -b; -o ] cnf with
    | Solver.Unsat -> ()
    | Solver.Sat _ -> Alcotest.fail "or must be 1");
-  (match Solver.solve ~assumptions:[ -a; -b; o ] cnf with
+  (match solve ~assumptions:[ -a; -b; o ] cnf with
    | Solver.Unsat -> ()
    | Solver.Sat _ -> Alcotest.fail "or must be 0")
 
@@ -232,7 +240,7 @@ end design;|}
 
 let test_equiv_self () =
   let nl = Flow.synthesize (parse alu_src) in
-  (match Equiv.check nl nl with
+  (match equiv nl nl with
    | Equiv.Equivalent -> ()
    | Equiv.Counterexample _ -> Alcotest.fail "self-equivalence")
 
@@ -251,7 +259,7 @@ begin
   c := a <= b;
 end design;|})
   in
-  (match Equiv.check nl1 nl2 with
+  (match equiv nl1 nl2 with
    | Equiv.Counterexample cex ->
      check_bool "counterexample replays" true (Equiv.counterexample_is_real nl1 nl2 cex)
    | Equiv.Equivalent -> Alcotest.fail "should differ")
@@ -271,7 +279,7 @@ let test_equiv_structurally_different_but_equal () =
     B.output b "y" y;
     B.finalize b
   in
-  (match Equiv.check direct expanded with
+  (match equiv direct expanded with
    | Equiv.Equivalent -> ()
    | Equiv.Counterexample _ -> Alcotest.fail "xor forms should match")
 
@@ -283,7 +291,7 @@ let test_equiv_rejects_sequential () =
   B.output b "y" q;
   let nl = B.finalize b in
   (try
-     ignore (Equiv.check nl nl);
+     ignore (equiv nl nl);
      Alcotest.fail "should reject"
    with Equiv.Equiv_error _ -> ())
 
@@ -291,7 +299,7 @@ let test_equiv_rejects_interface_mismatch () =
   let nl1 = Flow.synthesize (parse alu_src) in
   let nl2 = full_adder_netlist () in
   (try
-     ignore (Equiv.check nl1 nl2);
+     ignore (equiv nl1 nl2);
      Alcotest.fail "should reject"
    with Equiv.Equiv_error _ -> ())
 
@@ -333,7 +341,7 @@ let prop_equiv_matches_exhaustive =
             Bitsim.step sim_a ins = Bitsim.step sim_b ins)
           (List.init 8 (fun i -> i))
       in
-      match Equiv.check nl mutated with
+      match equiv nl mutated with
       | Equiv.Equivalent -> equal_exhaustive
       | Equiv.Counterexample cex ->
         (not equal_exhaustive) && Equiv.counterexample_is_real nl mutated cex)

@@ -21,7 +21,8 @@ module B = Netlist.Builder
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
 let bv w v = Bitvec.make ~width:w v
-let parse src = Check.elaborate (Parser.design_of_string src)
+let parse src =
+  Check.elaborate (Mutsamp_robust.Error.ok_exn (Parser.design_result src))
 
 (* ------------------------------------------------------------------ *)
 (* Wordlib: evaluate gadgets exhaustively on small widths             *)
@@ -195,7 +196,7 @@ let test_lower_counter_structure () =
   check_int "dffs" 3 (Netlist.num_dffs nl)
 
 let test_lower_rejects_unelaborated () =
-  let raw = Parser.design_of_string counter_src in
+  let raw = Mutsamp_robust.Error.ok_exn (Parser.design_result counter_src) in
   (try
      ignore (Lower.run raw);
      Alcotest.fail "should reject"

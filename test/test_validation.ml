@@ -12,7 +12,8 @@ module Score = Mutsamp_validation.Score
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
-let parse src = Check.elaborate (Parser.design_of_string src)
+let parse src =
+  Check.elaborate (Mutsamp_robust.Error.ok_exn (Parser.design_result src))
 
 let and_gate = parse
     {|design and2 is
