@@ -18,7 +18,9 @@
    `--report FILE` writes the whole run — per-section spans, pipeline
    counters, micro estimates — as a mutsamp run report (same JSON
    schema as the CLI's --report); `--metrics` dumps the counter
-   snapshot to stderr. *)
+   snapshot to stderr. `--history DIR` appends the same report to the
+   bench trajectory store as DIR/BENCH_<timestamp>.json, the files
+   `mutsamp benchdiff` compares across commits. *)
 
 module Registry = Mutsamp_circuits.Registry
 module Operator = Mutsamp_mutation.Operator
@@ -42,29 +44,20 @@ module Budget = Mutsamp_robust.Budget
 module Degrade = Mutsamp_robust.Degrade
 module Pool = Mutsamp_exec.Pool
 module Ctx = Mutsamp_exec.Ctx
+module Cliargs = Mutsamp_exec.Cliargs
+module Profile = Mutsamp_obs.Profile
 
-let quick = Array.exists (fun a -> a = "--quick") Sys.argv
-let skip_micro = Array.exists (fun a -> a = "--skip-micro") Sys.argv
-let print_metrics = Array.exists (fun a -> a = "--metrics") Sys.argv
+let quick = Cliargs.flag [ "--quick" ] Sys.argv
+let skip_micro = Cliargs.flag [ "--skip-micro" ] Sys.argv
+let print_metrics = Cliargs.flag [ "--metrics" ] Sys.argv
+let report_path = Cliargs.value_opt ~long:"--report" Sys.argv
+let history_dir = Cliargs.value_opt ~long:"--history" Sys.argv
 
-let report_path =
-  let rec scan = function
-    | "--report" :: path :: _ -> Some path
-    | _ :: rest -> scan rest
-    | [] -> None
-  in
-  scan (Array.to_list Sys.argv)
-
-(* --jobs N: worker domains for the sharded stages (1 = sequential,
-   0 = one per core). Results are bit-identical at any setting; the
-   throughput section additionally measures jobs 1/2/4 regardless. *)
-let jobs =
-  let rec scan = function
-    | "--jobs" :: n :: _ -> (try int_of_string n with Failure _ -> 1)
-    | _ :: rest -> scan rest
-    | [] -> 1
-  in
-  scan (Array.to_list Sys.argv)
+(* --jobs N (also -j N, --jobs=N, -jN): worker domains for the sharded
+   stages (1 = sequential, 0 = one per core). Results are bit-identical
+   at any setting; the throughput section additionally measures
+   jobs 1/2/4 regardless. *)
+let jobs = Cliargs.jobs ~default:1 Sys.argv
 
 let bench_pool = if jobs = 1 then None else Some (Pool.create ~domains:jobs)
 
@@ -379,10 +372,20 @@ let run_throughput () =
     let bits = Array.length nl.Netlist.input_nets in
     let length = if quick then 496 else 1984 in
     let patterns = Prpg.uniform_sequence (Prng.create 123) ~bits ~length in
-    let r, dt =
-      Trace.with_span_timed (Printf.sprintf "%s throughput (jobs %d)" name j)
-        (fun () -> Fsim.run_combinational ~ctx nl ~faults ~patterns)
-    in
+    (* Best of three: single quick-mode passes finish in milliseconds,
+       where scheduler noise alone swings the rate by ±30% — far too
+       flaky for the benchdiff CI gate. The minimum wall time is the
+       standard noise-robust estimator (slowdowns are one-sided). *)
+    let r = ref None and best = ref infinity in
+    for _ = 1 to 3 do
+      let r', dt =
+        Trace.with_span_timed (Printf.sprintf "%s throughput (jobs %d)" name j)
+          (fun () -> Fsim.run_combinational ~ctx nl ~faults ~patterns)
+      in
+      r := Some r';
+      if dt < !best then best := dt
+    done;
+    let r = Option.get !r and dt = !best in
     let pairs = float_of_int (List.length faults * length) in
     let rate = pairs /. Float.max dt 1e-9 in
     Printf.printf
@@ -475,7 +478,8 @@ let () =
      only when someone will read them. *)
   Trace.set_enabled true;
   Trace.reset ();
-  if print_metrics || report_path <> None then Metrics.set_enabled true;
+  if print_metrics || report_path <> None || history_dir <> None then
+    Metrics.set_enabled true;
   let throughput, micro =
     Trace.with_span "bench" @@ fun () ->
     run_table1 ();
@@ -489,9 +493,7 @@ let () =
     (throughput, if not skip_micro then run_micro () else [])
   in
   if print_metrics then Format.eprintf "%a@?" Metrics.pp (Metrics.snapshot ());
-  (match report_path with
-   | None -> ()
-   | Some path ->
+  (if report_path <> None || history_dir <> None then begin
      let extra =
        ( "fsim_throughput_pairs_per_sec",
          Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) throughput) )
@@ -504,6 +506,7 @@ let () =
             | Json.Obj fields ->
               Json.Obj (fields @ [ ("budget", Budget.to_json (Budget.ambient ())) ])
             | other -> other )
+       :: ("profile", Profile.to_json (Profile.current ()))
        ::
        (if micro = [] then []
         else
@@ -512,14 +515,36 @@ let () =
               Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) micro) );
           ])
      in
-     (try
-        Runreport.write_file path
-          (Runreport.make ~command:"bench" ~circuits:circuit_names
-             ~config:(Config.to_json config) ~seed:config.Config.seed ~extra
-             ~spans:(Trace.roots ()) ~metrics:(Metrics.snapshot ()) ());
-        Printf.printf "run report written to %s\n" path
-      with Sys_error msg ->
-        Printf.eprintf "bench: cannot write report: %s\n" msg;
-        exit 1));
+     let report =
+       Runreport.make ~command:"bench" ~circuits:circuit_names
+         ~config:(Config.to_json config) ~seed:config.Config.seed ~extra
+         ~spans:(Trace.roots ()) ~metrics:(Metrics.snapshot ()) ()
+     in
+     let write path =
+       try
+         Runreport.write_file path report;
+         Printf.printf "run report written to %s\n" path
+       with Sys_error msg ->
+         Printf.eprintf "bench: cannot write report: %s\n" msg;
+         exit 1
+     in
+     Option.iter write report_path;
+     match history_dir with
+     | None -> ()
+     | Some dir ->
+       (* One timestamped row per run: the trajectory store benchdiff
+          gates against. UTC so rows sort the same on every machine. *)
+       (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+        with Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "bench: cannot create %s: %s\n" dir (Unix.error_message e);
+          exit 1);
+       let tm = Unix.gmtime (Unix.gettimeofday ()) in
+       let stamp =
+         Printf.sprintf "%04d%02d%02d-%02d%02d%02d" (tm.Unix.tm_year + 1900)
+           (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+           tm.Unix.tm_sec
+       in
+       write (Filename.concat dir (Printf.sprintf "BENCH_%s.json" stamp))
+   end);
   (match bench_pool with None -> () | Some p -> Pool.shutdown p);
   print_endline "\nbench: done"

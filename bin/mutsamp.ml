@@ -33,6 +33,9 @@ module Trace = Mutsamp_obs.Trace
 module Metrics = Mutsamp_obs.Metrics
 module Runreport = Mutsamp_obs.Runreport
 module Json = Mutsamp_obs.Json
+module Profile = Mutsamp_obs.Profile
+module Traceout = Mutsamp_obs.Traceout
+module Benchdiff = Mutsamp_obs.Benchdiff
 module Rerror = Mutsamp_robust.Error
 module Budget = Mutsamp_robust.Budget
 module Chaos = Mutsamp_robust.Chaos
@@ -76,7 +79,10 @@ let config_of ~quick ~seed =
 type obs_opts = {
   trace : bool;
   metrics : bool;
+  profile : bool;
   report : string option;
+  trace_out : string option;
+  metrics_out : string option;
   deadline_ms : int option;
   sat_conflicts : int option;
   podem_backtracks : int option;
@@ -97,10 +103,29 @@ let obs_term =
          & info [ "metrics" ]
              ~doc:"Print the counter/histogram snapshot to stderr when the command finishes.")
   in
+  let profile =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Print a flat self-time profile (per span name: count, total, \
+                   self, alloc) to stderr, and add a \"profile\" section to the \
+                   report when one is written.")
+  in
   let report =
     Arg.(value & opt (some string) None
          & info [ "report" ] ~docv:"FILE"
              ~doc:"Write a machine-readable JSON run report to FILE.")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the span tree as Chrome trace-event JSON to FILE \
+                   (loadable in ui.perfetto.dev), one track per worker domain.")
+  in
+  let metrics_out =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write the counter/histogram snapshot in Prometheus text \
+                   exposition format to FILE.")
   in
   let deadline_ms =
     Arg.(value & opt (some int) None
@@ -140,11 +165,13 @@ let obs_term =
                    every stage on the sequential path; 0 means one domain per \
                    available core. Results are bit-identical at any setting.")
   in
-  Term.(const (fun trace metrics report deadline_ms sat_conflicts podem_backtracks
-                   fsim_pairs chaos chaos_seed jobs ->
-            { trace; metrics; report; deadline_ms; sat_conflicts;
+  Term.(const (fun trace metrics profile report trace_out metrics_out deadline_ms
+                   sat_conflicts podem_backtracks fsim_pairs chaos chaos_seed jobs ->
+            { trace; metrics; profile; report; trace_out; metrics_out;
+              deadline_ms; sat_conflicts;
               podem_backtracks; fsim_pairs; chaos; chaos_seed; jobs })
-        $ trace $ metrics $ report $ deadline_ms $ sat_conflicts
+        $ trace $ metrics $ profile $ report $ trace_out $ metrics_out
+        $ deadline_ms $ sat_conflicts
         $ podem_backtracks $ fsim_pairs $ chaos $ chaos_seed $ jobs)
 
 (* The "robust" report section: the degradation record plus the budget
@@ -164,7 +191,10 @@ let robust_json budget =
    after the body, even on typed errors) and the ambient budget. *)
 let with_obs obs ~command ?(circuits = []) ?config ?seed
     ?(sections = fun () -> []) f =
-  let any = obs.trace || obs.metrics || obs.report <> None in
+  let any =
+    obs.trace || obs.metrics || obs.profile || obs.report <> None
+    || obs.trace_out <> None || obs.metrics_out <> None
+  in
   if any then begin
     Trace.set_enabled true;
     Trace.reset ();
@@ -201,28 +231,55 @@ let with_obs obs ~command ?(circuits = []) ?config ?seed
       Error (Rerror.Parse_error { loc = { Rerror.file = None; line = None }; msg })
   in
   (match pool with None -> () | Some p -> Pool.shutdown p);
+  let write_aux what path contents =
+    match Atomicio.write_file path contents with
+    | Ok () -> ()
+    | Error e ->
+      Printf.eprintf "mutsamp: cannot write %s: %s\n" what (Rerror.to_string e);
+      exit (Rerror.exit_code e)
+  in
   if obs.trace then Trace.print stderr;
   if obs.metrics then Format.eprintf "%a@?" Metrics.pp (Metrics.snapshot ());
+  if obs.profile then Profile.print stderr (Profile.current ());
+  (match obs.trace_out with
+   | None -> ()
+   | Some path -> write_aux "trace" path (Traceout.current ()));
+  (match obs.metrics_out with
+   | None -> ()
+   | Some path ->
+     write_aux "metrics" path (Metrics.to_prometheus (Metrics.snapshot ())));
   (match obs.report with
    | None -> ()
    | Some path ->
      let json =
        let exec_json =
+         let snap = Metrics.snapshot () in
+         let exec_hists =
+           List.filter_map
+             (fun (name, stats) ->
+               if String.length name > 5 && String.sub name 0 5 = "exec." then
+                 Some (name, Metrics.stats_to_json stats)
+               else None)
+             snap.Metrics.histograms
+         in
          Json.Obj
-           [
-             ("jobs_requested", Json.Int obs.jobs);
-             ("jobs", Json.Int (match pool with None -> 1 | Some p -> Pool.size p));
-           ]
+           ([
+              ("jobs_requested", Json.Int obs.jobs);
+              ("jobs", Json.Int (match pool with None -> 1 | Some p -> Pool.size p));
+            ]
+           @ if exec_hists = [] then [] else [ ("histograms", Json.Obj exec_hists) ])
+       in
+       let profile_section =
+         if obs.profile then [ ("profile", Profile.to_json (Profile.current ())) ]
+         else []
        in
        Runreport.make ~command ~circuits ?config ?seed
-         ~extra:(("exec", exec_json) :: ("robust", robust_json budget) :: sections ())
+         ~extra:
+           (("exec", exec_json) :: ("robust", robust_json budget)
+            :: (profile_section @ sections ()))
          ~spans:(Trace.roots ()) ~metrics:(Metrics.snapshot ()) ()
      in
-     (match Atomicio.write_file path (Json.to_string json) with
-      | Ok () -> ()
-      | Error e ->
-        Printf.eprintf "mutsamp: cannot write report: %s\n" (Rerror.to_string e);
-        exit (Rerror.exit_code e)));
+     write_aux "report" path (Json.to_string json));
   match result with
   | Ok v -> v
   | Error e ->
@@ -992,6 +1049,66 @@ let report_validate_cmd =
     Term.(const run $ file)
 
 (* ------------------------------------------------------------------ *)
+(* benchdiff                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let benchdiff_cmd =
+  let old_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW")
+  in
+  let threshold =
+    Arg.(value & opt float 20.0
+         & info [ "threshold" ] ~docv:"PCT"
+             ~doc:"Regression threshold in percent; a key regresses when it \
+                   moves past it in the bad direction.")
+  in
+  let groups =
+    let all = String.concat ", " Benchdiff.default_groups in
+    Arg.(value & opt (list string) Benchdiff.default_groups
+         & info [ "groups" ] ~docv:"G,..."
+             ~doc:(Printf.sprintf
+                     "Comparison groups to run (default: %s). \"throughput\" \
+                      reads fsim_throughput_pairs_per_sec (higher is better), \
+                      \"micro\" reads micro_ns_per_run (lower is better), \
+                      \"wall\" compares summed root-span durations."
+                     all))
+  in
+  let run old_path new_path threshold groups =
+    let load path =
+      match Json.parse_file path with
+      | Error msg ->
+        Printf.eprintf "mutsamp: %s: %s\n" path msg;
+        exit 65
+      | Ok json ->
+        (match Runreport.validate json with
+         | Ok () -> json
+         | Error msg ->
+           Printf.eprintf "mutsamp: %s: invalid run report: %s\n" path msg;
+           exit 65)
+    in
+    let old_ = load old_path and new_ = load new_path in
+    let result =
+      Benchdiff.compare_reports ~threshold_pct:threshold ~groups ~old_ ~new_ ()
+    in
+    Benchdiff.print stdout result;
+    let regressions = Benchdiff.regressions result in
+    if regressions <> [] then begin
+      Printf.printf "%d regression(s) beyond %.1f%%\n" (List.length regressions)
+        threshold;
+      exit 1
+    end
+    else Printf.printf "no regressions beyond %.1f%%\n" threshold
+  in
+  Cmd.v
+    (Cmd.info "benchdiff"
+       ~doc:"Compare two run reports for performance regressions: exits \
+             nonzero when NEW regresses past the threshold relative to OLD.")
+    Term.(const run $ old_file $ new_file $ threshold $ groups)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "mutation sampling for structural test data generation" in
@@ -1005,4 +1122,5 @@ let () =
             atpg_cmd; dot_cmd; export_cmd; import_cmd; diagnose_cmd;
             seqatpg_cmd; bist_cmd; sync_cmd; wave_cmd;
             lint_cmd; table1_cmd; table2_cmd; e3_cmd; report_validate_cmd;
+            benchdiff_cmd;
           ]))

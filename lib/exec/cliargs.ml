@@ -1,0 +1,48 @@
+(* Minimal argv scanning shared by the bench harness and other
+   hand-rolled entry points, accepting the same spellings cmdliner
+   does: [--jobs N], [--jobs=N], [-j N] and [-jN]. Kept here rather
+   than in the bench so tests can pin the accepted grammar. *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let after_eq ~prefix s =
+  if starts_with ~prefix:(prefix ^ "=") s then
+    Some (String.sub s (String.length prefix + 1)
+            (String.length s - String.length prefix - 1))
+  else None
+
+(* Last occurrence wins, like cmdliner; malformed values are ignored so
+   a typo degrades to the default instead of crashing a bench run. *)
+let value_opt ~long ?short argv =
+  let n = Array.length argv in
+  let found = ref None in
+  for i = 0 to n - 1 do
+    let arg = argv.(i) in
+    let take v = found := Some v in
+    if arg = long && i + 1 < n then take argv.(i + 1)
+    else
+      match after_eq ~prefix:long arg with
+      | Some v -> take v
+      | None -> (
+        match short with
+        | None -> ()
+        | Some s ->
+          if arg = s && i + 1 < n then take argv.(i + 1)
+          else if
+            starts_with ~prefix:s arg
+            && String.length arg > String.length s
+            && not (starts_with ~prefix:"--" arg)
+          then take (String.sub arg (String.length s) (String.length arg - String.length s)))
+  done;
+  !found
+
+let int_opt ~long ?short ~default argv =
+  match value_opt ~long ?short argv with
+  | None -> default
+  | Some v -> ( match int_of_string_opt v with Some n -> n | None -> default)
+
+let jobs ?(default = 1) argv = int_opt ~long:"--jobs" ~short:"-j" ~default argv
+
+let flag names argv = Array.exists (fun a -> List.mem a names) argv

@@ -1,0 +1,17 @@
+(** Shared argv scanning for hand-rolled entry points (the bench
+    harness), matching the spellings cmdliner accepts for the CLI. *)
+
+val value_opt : long:string -> ?short:string -> string array -> string option
+(** [value_opt ~long:"--report" ~short:"-r" argv] finds the value of an
+    option given as [--report FILE], [--report=FILE], [-r FILE] or
+    [-rFILE]. Last occurrence wins. *)
+
+val int_opt : long:string -> ?short:string -> default:int -> string array -> int
+(** [value_opt] parsed as an integer; missing or malformed values yield
+    [default]. *)
+
+val jobs : ?default:int -> string array -> int
+(** [int_opt ~long:"--jobs" ~short:"-j"], the worker-count option. *)
+
+val flag : string list -> string array -> bool
+(** True when any of the given literal flags appears in argv. *)

@@ -1,5 +1,11 @@
 module Budget = Mutsamp_robust.Budget
 module Metrics = Mutsamp_obs.Metrics
+module Trace = Mutsamp_obs.Trace
+
+(* Per-shard wall time, recorded on the executing domain. The spread
+   between min and max is the shard-imbalance signal: a max far above
+   the mean means one chunk dominated the join. *)
+let h_shard_seconds = Metrics.histogram "exec.shard_seconds"
 
 type sink = Global | Silent
 
@@ -49,7 +55,9 @@ let map_cells t xs ~f =
     let arr = Array.of_list xs in
     Array.to_list
       (Pool.run pool (Array.length arr) ~f:(fun i ->
-           with_sink t (fun () -> f arr.(i))))
+           Trace.with_span "cell"
+             ~attrs:[ ("index", string_of_int i) ]
+             (fun () -> with_sink t (fun () -> f arr.(i)))))
   | _ -> List.map f xs
 
 let map_shards t ~n ~f =
@@ -68,6 +76,17 @@ let map_shards t ~n ~f =
         (fun () ->
           Pool.run pool k ~f:(fun i ->
               let lo, len = ch.(i) in
-              with_sink t (fun () -> f ~budget:budgets.(i) ~lo ~len)))
+              let v, dt =
+                Trace.with_span_timed "shard"
+                  ~attrs:
+                    [
+                      ("index", string_of_int i);
+                      ("lo", string_of_int lo);
+                      ("len", string_of_int len);
+                    ]
+                  (fun () -> with_sink t (fun () -> f ~budget:budgets.(i) ~lo ~len))
+              in
+              Metrics.observe h_shard_seconds dt;
+              v))
     end
   end

@@ -1,10 +1,16 @@
 module Metrics = Mutsamp_obs.Metrics
+module Trace = Mutsamp_obs.Trace
 
 (* Observability series (no-ops unless metrics collection is on). *)
 let c_pools = Metrics.counter "exec.pools_created"
 let c_runs = Metrics.counter "exec.pool_runs"
 let c_tasks = Metrics.counter "exec.tasks"
 let c_inline = Metrics.counter "exec.inline_runs"
+
+(* Time from a batch being published to a worker picking it up —
+   scheduling latency, i.e. how long work sat in the (single) slot
+   before each domain noticed. *)
+let h_queue_wait = Metrics.histogram "exec.queue_wait_s"
 
 (* One batch of indexed tasks. Workers claim indices with a shared
    fetch-and-add cursor, so a slow task never stalls the others, and
@@ -15,6 +21,7 @@ type work = {
   w_next : int Atomic.t;
   w_pending : int Atomic.t;
   w_gen : int;
+  w_published : float;
 }
 
 type t = {
@@ -48,6 +55,9 @@ let drain w =
 
 let worker_loop t =
   Domain.DLS.set in_worker_key true;
+  (* Register this domain's trace collector up front so exporters list
+     one track per pool domain even if the domain records no span. *)
+  Trace.touch ();
   let last_gen = ref 0 in
   let rec loop () =
     Mutex.lock t.m;
@@ -66,6 +76,7 @@ let worker_loop t =
     | None -> ()
     | Some w ->
       last_gen := w.w_gen;
+      Metrics.observe h_queue_wait (Unix.gettimeofday () -. w.w_published);
       drain w;
       loop ()
   in
@@ -146,11 +157,12 @@ let run t n ~f =
         w_next = Atomic.make 0;
         w_pending = task_done;
         w_gen = 0 (* patched under the lock below *);
+        w_published = 0.0;
       }
     in
     Mutex.lock t.m;
     t.gen <- t.gen + 1;
-    let w = { w with w_gen = t.gen } in
+    let w = { w with w_gen = t.gen; w_published = Unix.gettimeofday () } in
     t.work <- Some w;
     Condition.broadcast t.new_work;
     Mutex.unlock t.m;
@@ -165,6 +177,10 @@ let run t n ~f =
     done;
     t.work <- None;
     Mutex.unlock t.m;
+    (* All tasks completed, so the workers are quiescent: graft any
+       spans they recorded into the caller's open span — including on
+       the error path, so a failing shard's trace survives. *)
+    Trace.merge_worker_spans ();
     match Atomic.get first_err with
     | Some (_, e) -> raise e
     | None ->

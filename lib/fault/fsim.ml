@@ -8,16 +8,26 @@ module Chaos = Mutsamp_robust.Chaos
 module Degrade = Mutsamp_robust.Degrade
 module Ctx = Mutsamp_exec.Ctx
 
-(* Observability series (no-ops unless metrics collection is on). *)
+(* Observability series (no-ops unless metrics collection is on).
+
+   Convention: [fsim.*] series describe the logical workload — counted
+   by the coordinator, or per fault where the count is independent of
+   how the fault array was sharded — so their totals are identical
+   whatever the job count. [exec.*] series describe physical execution
+   (batches, good-circuit re-simulation, lane occupancy), which
+   legitimately varies with sharding and is therefore excluded from the
+   cross-jobs determinism guarantee. *)
 let c_runs = Metrics.counter "fsim.runs"
 let c_patterns = Metrics.counter "fsim.patterns_simulated"
 let c_detected = Metrics.counter "fsim.faults_detected"
-let c_batches = Metrics.counter "fsim.pattern_batches"
 let c_machine_steps = Metrics.counter "fsim.machine_steps"
 let c_serial_cycles = Metrics.counter "fsim.serial_cycles"
-let c_fault_groups = Metrics.counter "fsim.fault_groups"
 let c_shards = Metrics.counter "exec.fsim_shards"
-let h_lanes_per_step = Metrics.histogram "fsim.lanes_per_step"
+let x_batches = Metrics.counter "exec.fsim_batches"
+let x_good_steps = Metrics.counter "exec.fsim_good_steps"
+let x_fault_groups = Metrics.counter "exec.fsim_fault_groups"
+let x_machine_steps = Metrics.counter "exec.fsim_machine_steps"
+let h_lanes_per_step = Metrics.histogram "exec.fsim_lanes_per_step"
 
 type detection = { fault : Fault.t; detected_at : int option }
 
@@ -160,9 +170,8 @@ let combinational_shard ?lanes ~budget nl ~(faults : Fault.t array) ~patterns =
     if !stop = None then begin
     let words = pack_patterns nl nw patterns lo len in
     let good = Bitsim.step sim words in
-    Metrics.incr c_batches;
-    Metrics.add c_patterns len;
-    Metrics.incr c_machine_steps;
+    Metrics.incr x_batches;
+    Metrics.incr x_good_steps;
     Metrics.observe h_lanes_per_step (float_of_int len);
     let k = ref 0 in
     while !k < !alive_count do
@@ -202,7 +211,6 @@ let combinational_shard ?lanes ~budget nl ~(faults : Fault.t array) ~patterns =
    | Some e ->
      Degrade.note ~stage:Rerror.Fsim
        ~detail:"fault simulation cut short; remaining faults reported undetected" e);
-  Metrics.add c_detected (Array.length faults - !alive_count);
   {
     total = Array.length faults;
     detected = Array.length faults - !alive_count;
@@ -221,20 +229,24 @@ let run_combinational ?lanes ?(ctx = Ctx.default) nl ~faults ~patterns =
           ~faults:(Array.sub faults lo len)
           ~patterns)
   in
-  merge_reports ~patterns_applied:(Array.length patterns) shards
+  let report = merge_reports ~patterns_applied:(Array.length patterns) shards in
+  Metrics.add c_patterns report.patterns_applied;
+  Metrics.add c_detected report.detected;
+  report
 
 (* Serial single-lane engine, kept as the reference implementation the
    differential property tests compare the wide engines against. *)
 let sequential_shard ~budget ~tick nl ~(faults : Fault.t array) ~sequence =
   let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
   let stop = ref (chaos_entry ()) in
-  Metrics.add c_patterns (Array.length sequence);
   let sim_good = Bitsim.create ~lanes:1 nl in
   Bitsim.reset sim_good;
   let good_outputs =
     Array.map (fun p -> Bitsim.step sim_good (replicate_pattern nl 1 p)) sequence
   in
-  Metrics.add c_serial_cycles (Array.length sequence);
+  (* Every shard re-simulates the good circuit, so this scales with the
+     shard count — execution bookkeeping, not logical workload. *)
+  Metrics.add x_good_steps (Array.length sequence);
   let sim_faulty = Bitsim.create ~lanes:1 nl in
   Array.iteri
     (fun fi f ->
@@ -279,7 +291,6 @@ let sequential_shard ~budget ~tick nl ~(faults : Fault.t array) ~sequence =
       (fun acc d -> match d.detected_at with Some _ -> acc + 1 | None -> acc)
       0 detections
   in
-  Metrics.add c_detected detected;
   {
     total = Array.length faults;
     detected;
@@ -302,7 +313,10 @@ let run_sequential ?(ctx = Ctx.default) nl ~faults ~sequence =
     Ctx.map_shards ctx ~n:total ~f:(fun ~budget ~lo ~len ->
         sequential_shard ~budget ~tick nl ~faults:(Array.sub faults lo len) ~sequence)
   in
-  merge_reports ~patterns_applied:(Array.length sequence) shards
+  let report = merge_reports ~patterns_applied:(Array.length sequence) shards in
+  Metrics.add c_patterns report.patterns_applied;
+  Metrics.add c_detected report.detected;
+  report
 
 let parallel_fault_shard ?lanes ~budget nl ~(faults : Fault.t array) ~sequence =
   let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
@@ -314,11 +328,10 @@ let parallel_fault_shard ?lanes ~budget nl ~(faults : Fault.t array) ~sequence =
   let group_size = w - 1 in
   if group_size < 1 then invalid_arg "Fsim.run_parallel_fault: needs at least 2 lanes";
   let n_groups = (Array.length faults + group_size - 1) / group_size in
-  Metrics.add c_patterns (Array.length sequence);
   let diff = Array.make nw 0 in
   for g = 0 to n_groups - 1 do
     if !stop = None then begin
-    Metrics.incr c_fault_groups;
+    Metrics.incr x_fault_groups;
     let lo = g * group_size in
     let len = min group_size (Array.length faults - lo) in
     (match
@@ -343,7 +356,7 @@ let parallel_fault_shard ?lanes ~budget nl ~(faults : Fault.t array) ~sequence =
       let outs =
         Bitsim.step_multi sim (replicate_pattern nl nw sequence.(!cycle)) ~injections
       in
-      Metrics.incr c_machine_steps;
+      Metrics.incr x_machine_steps;
       Metrics.observe h_lanes_per_step (float_of_int (len + 1));
       (* Lanes whose outputs differ from lane 0's value. *)
       Array.fill diff 0 nw 0;
@@ -379,7 +392,6 @@ let parallel_fault_shard ?lanes ~budget nl ~(faults : Fault.t array) ~sequence =
       (fun acc d -> match d.detected_at with Some _ -> acc + 1 | None -> acc)
       0 detections
   in
-  Metrics.add c_detected detected;
   {
     total = Array.length faults;
     detected;
@@ -396,7 +408,10 @@ let run_parallel_fault ?lanes ?(ctx = Ctx.default) nl ~faults ~sequence =
           ~faults:(Array.sub faults lo len)
           ~sequence)
   in
-  merge_reports ~patterns_applied:(Array.length sequence) shards
+  let report = merge_reports ~patterns_applied:(Array.length sequence) shards in
+  Metrics.add c_patterns report.patterns_applied;
+  Metrics.add c_detected report.detected;
+  report
 
 let run_auto ?lanes ?ctx nl ~faults ~sequence =
   if Netlist.num_dffs nl = 0 then

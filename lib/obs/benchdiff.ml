@@ -1,0 +1,122 @@
+(* Compare two schema-1 run reports for performance regressions. Each
+   group names a report section holding a flat {key: number} object —
+   except "wall", which is computed from the span tree — plus the
+   direction in which bigger numbers are better. *)
+
+type direction = Higher_better | Lower_better
+
+type delta = {
+  group : string;
+  key : string;
+  old_v : float;
+  new_v : float;
+  pct : float;  (** signed percent change, new vs old *)
+  regressed : bool;
+}
+
+type result = {
+  deltas : delta list;
+  missing : (string * string) list;
+      (** (group, key) pairs present in only one report *)
+}
+
+let default_groups = [ "throughput"; "micro"; "wall" ]
+
+let direction_of = function
+  | "throughput" -> Higher_better
+  | _ -> Lower_better
+
+let section_of_group = function
+  | "throughput" -> "fsim_throughput_pairs_per_sec"
+  | "micro" -> "micro_ns_per_run"
+  | g -> g
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+(* Wall time of a report: summed duration of its root spans. Gives a
+   gate signal for reports that carry no bench section (e.g. a plain
+   faultsim run). *)
+let wall_of report =
+  match Json.member "spans" report with
+  | Some (Json.List spans) ->
+    let dur acc s =
+      match Json.member "duration_s" s with
+      | Some v -> ( match number v with Some f -> acc +. f | None -> acc)
+      | None -> acc
+    in
+    Some (List.fold_left dur 0.0 spans)
+  | _ -> None
+
+let keys_of_group group report =
+  match group with
+  | "wall" -> (
+    match wall_of report with Some w -> [ ("wall_s", w) ] | None -> [])
+  | g -> (
+    match Json.member (section_of_group g) report with
+    | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) -> match number v with Some f -> Some (k, f) | None -> None)
+        fields
+    | _ -> [])
+
+let judge ~threshold_pct dir ~old_v ~new_v =
+  let pct =
+    if old_v = 0.0 then if new_v = 0.0 then 0.0 else Float.infinity
+    else (new_v -. old_v) /. Float.abs old_v *. 100.0
+  in
+  let factor = threshold_pct /. 100.0 in
+  let regressed =
+    match dir with
+    | Higher_better -> new_v < old_v *. (1.0 -. factor)
+    | Lower_better -> new_v > old_v *. (1.0 +. factor)
+  in
+  (pct, regressed)
+
+let compare_reports ?(threshold_pct = 20.0) ?(groups = default_groups) ~old_
+    ~new_ () =
+  let deltas = ref [] in
+  let missing = ref [] in
+  List.iter
+    (fun group ->
+      let dir = direction_of group in
+      let olds = keys_of_group group old_ in
+      let news = keys_of_group group new_ in
+      List.iter
+        (fun (key, old_v) ->
+          match List.assoc_opt key news with
+          | Some new_v ->
+            let pct, regressed = judge ~threshold_pct dir ~old_v ~new_v in
+            deltas := { group; key; old_v; new_v; pct; regressed } :: !deltas
+          | None -> missing := (group, key) :: !missing)
+        olds;
+      List.iter
+        (fun (key, _) ->
+          if not (List.mem_assoc key olds) then missing := (group, key) :: !missing)
+        news)
+    groups;
+  { deltas = List.rev !deltas; missing = List.rev !missing }
+
+let regressions r = List.filter (fun d -> d.regressed) r.deltas
+
+let pp fmt r =
+  Format.fprintf fmt "%-12s %-24s %14s %14s %9s  %s@\n" "group" "key" "old"
+    "new" "change" "verdict";
+  List.iter
+    (fun d ->
+      Format.fprintf fmt "%-12s %-24s %14.4g %14.4g %+8.1f%%  %s@\n" d.group
+        d.key d.old_v d.new_v d.pct
+        (if d.regressed then "REGRESSED" else "ok"))
+    r.deltas;
+  List.iter
+    (fun (group, key) ->
+      Format.fprintf fmt "%-12s %-24s %s@\n" group key
+        "(present in only one report)")
+    r.missing
+
+let print oc r =
+  let fmt = Format.formatter_of_out_channel oc in
+  pp fmt r;
+  Format.pp_print_flush fmt ()

@@ -1,0 +1,42 @@
+(** Regression comparison of two schema-1 run reports.
+
+    Groups select what to compare: ["throughput"] reads the
+    [fsim_throughput_pairs_per_sec] section (higher is better),
+    ["micro"] reads [micro_ns_per_run] (lower is better), and ["wall"]
+    compares the summed duration of root spans (lower is better), which
+    gives plain pipeline reports without bench sections a gate signal.
+    A key regresses when it moves past the threshold in the bad
+    direction; keys present in only one report are reported as missing,
+    never as regressions. *)
+
+type direction = Higher_better | Lower_better
+
+type delta = {
+  group : string;
+  key : string;
+  old_v : float;
+  new_v : float;
+  pct : float;  (** signed percent change of [new_v] vs [old_v] *)
+  regressed : bool;
+}
+
+type result = {
+  deltas : delta list;
+  missing : (string * string) list;  (** (group, key) in only one report *)
+}
+
+val default_groups : string list
+(** [["throughput"; "micro"; "wall"]] *)
+
+val compare_reports :
+  ?threshold_pct:float ->
+  ?groups:string list ->
+  old_:Json.t ->
+  new_:Json.t ->
+  unit ->
+  result
+(** Default threshold is 20%. *)
+
+val regressions : result -> delta list
+val pp : Format.formatter -> result -> unit
+val print : out_channel -> result -> unit

@@ -139,6 +139,58 @@ let to_json s =
              s.histograms) );
     ]
 
+let stats_to_json (h : histogram_stats) =
+  Json.Obj
+    [
+      ("n", Json.Int h.n);
+      ("sum", Json.Float h.sum);
+      ("min", Json.Float h.min_v);
+      ("max", Json.Float h.max_v);
+      ("mean", Json.Float (h.sum /. float_of_int h.n));
+    ]
+
+(* Prometheus text exposition format, version 0.0.4. Series names like
+   "fsim.patterns_simulated" become "mutsamp_fsim_patterns_simulated";
+   our count/sum/min/max histograms map onto a summary plus two
+   gauges. *)
+let prometheus_name name =
+  let buf = Buffer.create (String.length name + 8) in
+  Buffer.add_string buf "mutsamp_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let prometheus_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_prometheus s =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, v) ->
+      let n = prometheus_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n v))
+    s.counters;
+  List.iter
+    (fun (name, (h : histogram_stats)) ->
+      let n = prometheus_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" n);
+      Buffer.add_string buf (Printf.sprintf "%s_count %d\n" n h.n);
+      Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" n (prometheus_float h.sum));
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s_min gauge\n%s_min %s\n" n n
+           (prometheus_float h.min_v));
+      Buffer.add_string buf
+        (Printf.sprintf "# TYPE %s_max gauge\n%s_max %s\n" n n
+           (prometheus_float h.max_v)))
+    s.histograms;
+  Buffer.contents buf
+
 let pp fmt s =
   List.iter
     (fun (name, v) -> Format.fprintf fmt "%-40s %12d@\n" name v)

@@ -51,4 +51,15 @@ val reset : unit -> unit
 
 val snapshot : unit -> snapshot
 val to_json : snapshot -> Json.t
+
+val stats_to_json : histogram_stats -> Json.t
+(** The per-histogram object used inside [to_json] (n/sum/min/max/mean)
+    — for report sections that embed a subset of histograms. *)
+
+val to_prometheus : snapshot -> string
+(** Prometheus text exposition (version 0.0.4): counters as counters,
+    histograms as a summary ([_count]/[_sum]) plus [_min]/[_max]
+    gauges. Series names are prefixed with [mutsamp_] and sanitised
+    ([.] → [_]). *)
+
 val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,107 @@
+type row = {
+  name : string;
+  count : int;
+  total_s : float;
+  self_s : float;
+  alloc_words : float;
+}
+
+type t = { wall_s : float; rows : row list }
+
+(* Self time is duration minus the time covered by children, but only
+   main-track (track 0) spans contribute self time: a worker span runs
+   concurrently with its grafted parent, so attributing its duration as
+   self time would double-count the wall clock. Worker spans still show
+   up in [total_s] (and in the Perfetto export on their own track). *)
+let self_of s =
+  if s.Trace.track <> 0 then 0.0
+  else begin
+    let child_time =
+      List.fold_left
+        (fun acc c -> if c.Trace.track = 0 then acc +. c.Trace.duration_s else acc)
+        0.0 s.Trace.children
+    in
+    Float.max 0.0 (s.Trace.duration_s -. child_time)
+  end
+
+let of_spans spans =
+  let tbl : (string, row ref) Hashtbl.t = Hashtbl.create 32 in
+  let rec visit s =
+    let self = self_of s in
+    (match Hashtbl.find_opt tbl s.Trace.name with
+     | Some r ->
+       r :=
+         {
+           !r with
+           count = !r.count + 1;
+           total_s = !r.total_s +. s.Trace.duration_s;
+           self_s = !r.self_s +. self;
+           alloc_words = !r.alloc_words +. s.Trace.alloc_words;
+         }
+     | None ->
+       Hashtbl.add tbl s.Trace.name
+         (ref
+            {
+              name = s.Trace.name;
+              count = 1;
+              total_s = s.Trace.duration_s;
+              self_s = self;
+              alloc_words = s.Trace.alloc_words;
+            }));
+    List.iter visit s.Trace.children
+  in
+  List.iter visit spans;
+  let wall_s =
+    List.fold_left
+      (fun acc s -> if s.Trace.track = 0 then acc +. s.Trace.duration_s else acc)
+      0.0 spans
+  in
+  let rows =
+    Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+    |> List.sort (fun a b ->
+           match compare b.self_s a.self_s with
+           | 0 -> compare a.name b.name
+           | c -> c)
+  in
+  { wall_s; rows }
+
+let current () = of_spans (Trace.roots ())
+
+let row_to_json r =
+  Json.Obj
+    [
+      ("name", Json.String r.name);
+      ("count", Json.Int r.count);
+      ("total_s", Json.Float r.total_s);
+      ("self_s", Json.Float r.self_s);
+      ("alloc_words", Json.Float r.alloc_words);
+    ]
+
+let to_json p =
+  Json.Obj
+    [
+      ("wall_s", Json.Float p.wall_s);
+      ("rows", Json.List (List.map row_to_json p.rows));
+    ]
+
+let human_words w =
+  if Float.abs w >= 1e9 then Printf.sprintf "%.2fGw" (w /. 1e9)
+  else if Float.abs w >= 1e6 then Printf.sprintf "%.2fMw" (w /. 1e6)
+  else if Float.abs w >= 1e3 then Printf.sprintf "%.1fkw" (w /. 1e3)
+  else Printf.sprintf "%.0fw" w
+
+let pp fmt p =
+  Format.fprintf fmt "%-28s %7s %10s %10s %6s %10s@\n" "span" "count" "total"
+    "self" "self%" "alloc";
+  List.iter
+    (fun r ->
+      let pct = if p.wall_s > 0.0 then 100.0 *. r.self_s /. p.wall_s else 0.0 in
+      Format.fprintf fmt "%-28s %7d %9.3fs %9.3fs %5.1f%% %10s@\n" r.name
+        r.count r.total_s r.self_s pct (human_words r.alloc_words))
+    p.rows;
+  Format.fprintf fmt "%-28s %7s %10s %9.3fs@\n" "wall" "" "" p.wall_s
+
+let print oc p =
+  let fmt = Format.formatter_of_out_channel oc in
+  pp fmt p;
+  Format.pp_print_flush fmt ()

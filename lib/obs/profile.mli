@@ -1,0 +1,28 @@
+(** Flat self-time profile over a span tree.
+
+    Aggregates spans by name: invocation count, total (inclusive)
+    duration, self (exclusive) duration and allocated words. Self time
+    only accrues to main-track spans — worker spans run concurrently
+    with the coordinator span they were grafted under, so counting
+    their duration as self time would double-count the wall clock.
+    Consequently the self times of a profile always sum to at most
+    [wall_s], the summed duration of the main-track root spans. *)
+
+type row = {
+  name : string;
+  count : int;
+  total_s : float;  (** inclusive: sum of span durations *)
+  self_s : float;  (** exclusive: total minus same-track child time *)
+  alloc_words : float;
+}
+
+type t = { wall_s : float; rows : row list  (** sorted by [self_s] desc *) }
+
+val of_spans : Trace.span list -> t
+val current : unit -> t
+(** [of_spans (Trace.roots ())]. *)
+
+val row_to_json : row -> Json.t
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit
+val print : out_channel -> t -> unit

@@ -64,6 +64,11 @@ let rec validate_span path json =
     let* alloc = field "alloc_words" json in
     let* () = expect_number (path ^ ".alloc_words") alloc in
     let* () =
+      match Json.member "track" json with
+      | Some (Json.Int _) | None -> Ok ()
+      | Some _ -> Error (path ^ ".track must be an integer")
+    in
+    let* () =
       match Json.member "attrs" json with
       | None -> Ok ()
       | Some (Json.Obj fields) ->
@@ -185,6 +190,77 @@ let validate_analysis json =
      | _ -> Error "analysis.diagnostics must be a list")
   | _ -> Error "field \"analysis\" must be an object"
 
+(* The optional "profile" section: flat self-time rows aggregated by
+   span name (the [--profile] flag). *)
+let validate_profile_row path json =
+  match json with
+  | Json.Obj _ ->
+    let* name = field "name" json in
+    let* () = expect_string (path ^ ".name") name in
+    let* count = field "count" json in
+    let* () =
+      match count with
+      | Json.Int _ -> Ok ()
+      | _ -> Error (path ^ ".count must be an integer")
+    in
+    List.fold_left
+      (fun acc fname ->
+        let* () = acc in
+        let* v = field fname json in
+        expect_number (path ^ "." ^ fname) v)
+      (Ok ())
+      [ "total_s"; "self_s"; "alloc_words" ]
+  | _ -> Error (path ^ " must be an object")
+
+let validate_profile json =
+  match json with
+  | Json.Obj _ ->
+    let* wall = field "wall_s" json in
+    let* () = expect_number "profile.wall_s" wall in
+    let* rows = field "rows" json in
+    (match rows with
+     | Json.List items ->
+       List.fold_left
+         (fun acc (i, r) ->
+           let* () = acc in
+           validate_profile_row (Printf.sprintf "profile.rows[%d]" i) r)
+         (Ok ())
+         (List.mapi (fun i r -> (i, r)) items)
+     | _ -> Error "profile.rows must be a list")
+  | _ -> Error "field \"profile\" must be an object"
+
+(* The optional "exec" section: jobs actually used plus per-run
+   execution-engine histograms (shard imbalance, pool queue-wait). *)
+let validate_exec json =
+  match json with
+  | Json.Obj _ ->
+    let* () =
+      List.fold_left
+        (fun acc name ->
+          let* () = acc in
+          match Json.member name json with
+          | Some (Json.Int _) | None -> Ok ()
+          | Some _ -> Error (Printf.sprintf "exec.%s must be an integer" name))
+        (Ok ())
+        [ "jobs"; "jobs_requested" ]
+    in
+    (match Json.member "histograms" json with
+     | None -> Ok ()
+     | Some (Json.Obj fields) ->
+       List.fold_left
+         (fun acc (k, v) ->
+           let* () = acc in
+           match v with
+           | Json.Obj _ ->
+             let* n = field "n" v in
+             let* () = expect_number ("exec.histograms." ^ k ^ ".n") n in
+             let* sum = field "sum" v in
+             expect_number ("exec.histograms." ^ k ^ ".sum") sum
+           | _ -> Error (Printf.sprintf "exec.histograms.%s must be an object" k))
+         (Ok ()) fields
+     | Some _ -> Error "exec.histograms must be an object")
+  | _ -> Error "field \"exec\" must be an object"
+
 let validate json =
   match json with
   | Json.Obj _ ->
@@ -224,9 +300,19 @@ let validate json =
     in
     let* metrics = field "metrics" json in
     let* () = validate_metrics metrics in
-    (match Json.member "analysis" json with
+    let* () =
+      match Json.member "analysis" json with
+      | None -> Ok ()
+      | Some a -> validate_analysis a
+    in
+    let* () =
+      match Json.member "profile" json with
+      | None -> Ok ()
+      | Some p -> validate_profile p
+    in
+    (match Json.member "exec" json with
      | None -> Ok ()
-     | Some a -> validate_analysis a)
+     | Some e -> validate_exec e)
   | _ -> Error "report must be a JSON object"
 
 let validate_file path =

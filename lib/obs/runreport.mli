@@ -18,10 +18,16 @@
       "seed": 2005,
       "config": { ... } | null,
       "spans": [ { "name", "start_s", "duration_s", "alloc_words",
-                   "attrs"?, "children"? } ... ],
+                   "track"?, "attrs"?, "children"? } ... ],
       "metrics": { "counters": {..}, "histograms": {..} },
       ...extra fields... }
-    v} *)
+    v}
+
+    Spans carry an optional ["track"] (worker domain index; absent
+    means the main domain). Additive optional sections validated when
+    present: ["analysis"] (lint findings), ["profile"] (flat self-time
+    rows from [--profile]) and ["exec"] (jobs used plus
+    execution-engine histograms). *)
 
 val schema_version : int
 val tool_version : string
@@ -43,10 +49,11 @@ val write_file : string -> Json.t -> unit
 
 val validate : Json.t -> (unit, string) result
 (** Structural schema check: version, required header fields, every
-    span well-formed recursively, metrics numeric. The optional
-    ["analysis"] section (written by [mutsamp lint]) is validated when
-    present — summary counts, per-rule counts and each diagnostic's
-    shape — and reports without it remain valid. Used by the
+    span well-formed recursively, metrics numeric. Optional sections
+    are validated when present and reports without them remain valid:
+    ["analysis"] (per-rule counts and diagnostics from [mutsamp lint]),
+    ["profile"] (wall time plus self-time rows from [--profile]) and
+    ["exec"] (integer job counts plus numeric histograms). Used by the
     [bench-smoke] alias and the report tests, so a report-format
     regression fails [dune runtest]. *)
 

@@ -1,14 +1,18 @@
-(** Hierarchical tracing spans.
+(** Hierarchical tracing spans, domain-safe.
 
     A span measures one phase of the pipeline: wall-clock duration plus
     the words allocated while it was open, with arbitrary nesting.
     Collection is off by default; every [with_span] call then reduces to
-    a single mutable-field check around the wrapped function, so
-    instrumenting hot paths is free in normal runs.
+    a single atomic load around the wrapped function, so instrumenting
+    hot paths is free in normal runs.
 
-    The collector is a process-global tree (the pipeline is
-    single-threaded): spans opened while another span is open become its
-    children, spans opened at top level become roots. *)
+    Each domain records into its own collector (no synchronisation on
+    the hot path): spans opened while another span is open on the same
+    domain become its children, spans opened at top level become roots.
+    The execution engine calls [merge_worker_spans] on the coordinating
+    domain after a pool join to graft completed worker spans — tagged
+    with their track — into the coordinator's tree. Track 0 is always
+    the main domain. *)
 
 type span = {
   name : string;
@@ -18,8 +22,9 @@ type span = {
           [reset] *)
   duration_s : float;
   alloc_words : float;
-      (** words allocated during the span (minor + major − promoted,
-          from [Gc.quick_stat]) *)
+      (** words allocated on the recording domain during the span
+          (minor + major − promoted, from [Gc.quick_stat]) *)
+  track : int;  (** 0 = main domain, >0 = a worker domain *)
   children : span list;  (** in open order *)
 }
 
@@ -27,13 +32,16 @@ val set_enabled : bool -> unit
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** Drop all recorded spans and the epoch. Open spans are abandoned. *)
+(** Drop all recorded spans and the epoch, discard worker collectors
+    and restart track numbering from 1. Call between independent runs,
+    before any pool for the new run is created. *)
 
 val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
-(** Run the function inside a new span. The span closes when the
-    function returns or raises (an [error=true] attribute marks the
-    raising case, and the exception is re-raised). When collection is
-    disabled this is just a function call. *)
+(** Run the function inside a new span on the calling domain's
+    collector. The span closes when the function returns or raises (an
+    [error=true] attribute marks the raising case, and the exception is
+    re-raised). When collection is disabled this is just a function
+    call. *)
 
 val with_span_timed :
   ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a * float
@@ -41,12 +49,26 @@ val with_span_timed :
     when collection is disabled (for callers that print timings). *)
 
 val add_attr : string -> string -> unit
-(** Attach an attribute to the innermost open span; no-op when disabled
-    or outside any span. Lets a phase record counts it only knows at the
-    end, e.g. [Trace.add_attr "faults" (string_of_int n)]. *)
+(** Attach an attribute to the calling domain's innermost open span;
+    no-op outside any span. Lets a phase record counts it only knows at
+    the end, e.g. [Trace.add_attr "faults" (string_of_int n)]. *)
+
+val touch : unit -> unit
+(** Register the calling domain's collector (assigning it a track)
+    without recording anything. Pool workers call this at startup so
+    exporters list every domain even if it recorded no span. *)
+
+val merge_worker_spans : unit -> unit
+(** Steal the completed root spans of every other domain's collector
+    and graft them, ordered by (track, start), into the calling
+    domain's innermost open span (or its root list). Only safe when
+    the other domains are quiescent, i.e. after a pool join. *)
 
 val roots : unit -> span list
-(** Completed top-level spans, in open order. *)
+(** Completed top-level spans of the main domain, in open order. *)
+
+val tracks : unit -> (int * string) list
+(** Registered (track, label) pairs, main domain first. *)
 
 val to_json : span list -> Json.t
 val span_to_json : span -> Json.t

@@ -1,0 +1,74 @@
+(* Chrome trace-event JSON (the format ui.perfetto.dev and
+   chrome://tracing load): a flat list of events with microsecond
+   timestamps. Each span becomes one complete ("X") event on the thread
+   (tid) matching its track, so every worker domain renders as its own
+   track; metadata ("M") events name the process and each thread. *)
+
+let pid = 1
+
+let span_args (s : Trace.span) =
+  let attrs = List.map (fun (k, v) -> (k, Json.String v)) s.Trace.attrs in
+  Json.Obj (attrs @ [ ("alloc_words", Json.Float s.Trace.alloc_words) ])
+
+let rec span_events acc (s : Trace.span) =
+  let ev =
+    Json.Obj
+      [
+        ("name", Json.String s.Trace.name);
+        ("cat", Json.String "mutsamp");
+        ("ph", Json.String "X");
+        ("ts", Json.Float (s.Trace.start_s *. 1e6));
+        ("dur", Json.Float (s.Trace.duration_s *. 1e6));
+        ("pid", Json.Int pid);
+        ("tid", Json.Int s.Trace.track);
+        ("args", span_args s);
+      ]
+  in
+  List.fold_left span_events (ev :: acc) s.Trace.children
+
+let metadata_events tracks =
+  let process_name =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("args", Json.Obj [ ("name", Json.String "mutsamp") ]);
+      ]
+  in
+  let thread_events =
+    List.concat_map
+      (fun (track, label) ->
+        [
+          Json.Obj
+            [
+              ("name", Json.String "thread_name");
+              ("ph", Json.String "M");
+              ("pid", Json.Int pid);
+              ("tid", Json.Int track);
+              ("args", Json.Obj [ ("name", Json.String label) ]);
+            ];
+          Json.Obj
+            [
+              ("name", Json.String "thread_sort_index");
+              ("ph", Json.String "M");
+              ("pid", Json.Int pid);
+              ("tid", Json.Int track);
+              ("args", Json.Obj [ ("sort_index", Json.Int track) ]);
+            ];
+        ])
+      tracks
+  in
+  process_name :: thread_events
+
+let to_json ~tracks spans =
+  let events = metadata_events tracks @ List.rev (List.fold_left span_events [] spans) in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events);
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let to_string ~tracks spans = Json.to_string (to_json ~tracks spans)
+
+let current () = to_string ~tracks:(Trace.tracks ()) (Trace.roots ())

@@ -1,0 +1,14 @@
+(** Chrome trace-event / Perfetto JSON export of a span tree.
+
+    Produces the JSON object format that ui.perfetto.dev and
+    chrome://tracing load: one complete ("X") event per span with
+    microsecond [ts]/[dur], [tid] set to the span's track so each
+    worker domain renders as its own track, plus metadata ("M") events
+    naming the process and each registered track. *)
+
+val to_json : tracks:(int * string) list -> Trace.span list -> Json.t
+val to_string : tracks:(int * string) list -> Trace.span list -> string
+
+val current : unit -> string
+(** Export [Trace.roots ()] with [Trace.tracks ()] — what [--trace-out]
+    writes. *)

@@ -1,11 +1,14 @@
 module Metrics = Mutsamp_obs.Metrics
 module Json = Mutsamp_obs.Json
 
-(* Observability series (no-ops unless metrics collection is on). *)
-let c_checks = Metrics.counter "robust.budget_checks"
-let c_exhausted = Metrics.counter "robust.budget_exhausted"
-let c_timeouts = Metrics.counter "robust.timeouts"
-let c_splits = Metrics.counter "robust.budget_splits"
+(* Observability series (no-ops unless metrics collection is on).
+   These live under exec.* because they count execution machinery —
+   check frequency and split counts depend on how a run was sharded,
+   unlike the logical fsim.*/atpg.* workload series. *)
+let c_checks = Metrics.counter "exec.budget_checks"
+let c_exhausted = Metrics.counter "exec.budget_exhausted"
+let c_timeouts = Metrics.counter "exec.timeouts"
+let c_splits = Metrics.counter "exec.budget_splits"
 
 type resource = Sat_conflicts | Podem_backtracks | Fsim_pairs
 

@@ -18,6 +18,10 @@ module Prng = Mutsamp_util.Prng
 module Budget = Mutsamp_robust.Budget
 module Chaos = Mutsamp_robust.Chaos
 module Degrade = Mutsamp_robust.Degrade
+module Cliargs = Mutsamp_exec.Cliargs
+module Trace = Mutsamp_obs.Trace
+module Metrics = Mutsamp_obs.Metrics
+module Profile = Mutsamp_obs.Profile
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -301,6 +305,160 @@ let test_chaos_in_worker_deterministic () =
   check_bool "jobs 4 identical under chaos" true (run 4 = seq);
   check_bool "jobs 4 repeatable under chaos" true (run 4 = seq)
 
+(* ------------------------------------------------------------------ *)
+(* Shared argv parsing (bench/main.ml and ad-hoc tools)               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cliargs_jobs_spellings () =
+  let argv l = Array.of_list ("bench" :: l) in
+  check_int "--jobs N" 4 (Cliargs.jobs (argv [ "--jobs"; "4" ]));
+  check_int "--jobs=N" 3 (Cliargs.jobs (argv [ "--jobs=3" ]));
+  check_int "-j N" 2 (Cliargs.jobs (argv [ "-j"; "2" ]));
+  check_int "-jN" 6 (Cliargs.jobs (argv [ "-j6" ]));
+  check_int "absent -> default" 1 (Cliargs.jobs (argv [ "--quick" ]));
+  check_int "malformed -> default" 1 (Cliargs.jobs (argv [ "--jobs"; "many" ]));
+  check_int "last occurrence wins" 5 (Cliargs.jobs (argv [ "--jobs"; "2"; "-j5" ]));
+  check_int "other flags interleaved" 7
+    (Cliargs.jobs (argv [ "--quick"; "-j"; "7"; "--skip-micro" ]))
+
+let test_cliargs_value_and_flag () =
+  let argv l = Array.of_list ("bench" :: l) in
+  let check_opt = Alcotest.(check (option string)) in
+  check_opt "--report FILE" (Some "r.json")
+    (Cliargs.value_opt ~long:"--report" (argv [ "--report"; "r.json" ]));
+  check_opt "--report=FILE" (Some "r.json")
+    (Cliargs.value_opt ~long:"--report" (argv [ "--report=r.json" ]));
+  check_opt "absent" None (Cliargs.value_opt ~long:"--report" (argv [ "--quick" ]));
+  check_opt "last occurrence wins" (Some "b.json")
+    (Cliargs.value_opt ~long:"--report"
+       (argv [ "--report"; "a.json"; "--report=b.json" ]));
+  check_bool "flag present" true (Cliargs.flag [ "--quick" ] (argv [ "--quick" ]));
+  check_bool "flag absent" false (Cliargs.flag [ "--quick" ] (argv []));
+  check_bool "any spelling" true
+    (Cliargs.flag [ "-q"; "--quick" ] (argv [ "-q" ]))
+
+(* ------------------------------------------------------------------ *)
+(* Observability under the pool                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Tracing and metrics are process-global; leave both disabled and
+   empty for the rest of the suite. *)
+let clean_obs f () =
+  let wipe () =
+    Trace.set_enabled false;
+    Trace.reset ();
+    Metrics.set_enabled false;
+    Metrics.reset ()
+  in
+  wipe ();
+  Fun.protect ~finally:wipe f
+
+(* Worker spans recorded during a sharded stage are grafted into the
+   coordinator's tree at the join, tagged with their domain's track. *)
+let test_worker_spans_merged () =
+  Trace.set_enabled true;
+  Trace.reset ();
+  with_jobs 4 (fun ctx ->
+      Trace.with_span "root" (fun () ->
+          ignore
+            (Ctx.map_shards ctx ~n:8 ~f:(fun ~budget:_ ~lo ~len ->
+                 (* Keep each shard busy long enough that the caller
+                    cannot drain the whole queue before a worker wakes. *)
+                 Unix.sleepf 0.005;
+                 (lo, len)))));
+  let tracks = Trace.tracks () in
+  check_bool "main + 3 workers registered" true (List.length tracks >= 4);
+  check_bool "track 0 is main" true (List.mem_assoc 0 tracks);
+  match Trace.roots () with
+  | [ root ] ->
+    check_int "root on main track" 0 root.Trace.track;
+    let shards =
+      List.filter (fun s -> s.Trace.name = "shard") root.Trace.children
+    in
+    check_int "every shard span grafted" 4 (List.length shards);
+    check_bool "some shard ran on a worker track" true
+      (List.exists (fun s -> s.Trace.track <> 0) shards);
+    (* Grafting orders children by (track, start): main-track spans
+       keep their open order at the front. *)
+    let tracks_in_order = List.map (fun s -> s.Trace.track) shards in
+    check_bool "children sorted by track" true
+      (tracks_in_order = List.sort compare tracks_in_order)
+  | roots -> Alcotest.failf "expected one root span, got %d" (List.length roots)
+
+(* The profile invariant — self times never exceed wall clock — must
+   hold on a real multi-domain fault simulation, not just on
+   hand-built trees. *)
+let test_profile_self_within_wall () =
+  let p = pipeline "c432" in
+  Trace.set_enabled true;
+  Trace.reset ();
+  ignore (fsim_report p 4);
+  let prof = Profile.current () in
+  check_bool "profile has rows" true (prof.Profile.rows <> []);
+  let self_sum =
+    List.fold_left (fun acc r -> acc +. r.Profile.self_s) 0.0 prof.Profile.rows
+  in
+  check_bool "sum of self times <= wall" true
+    (self_sum <= prof.Profile.wall_s +. 1e-9)
+
+(* The counter convention that makes reports comparable: [fsim.*]
+   series describe the logical workload and must not depend on how it
+   was sharded; only [exec.*] series may. *)
+let logical_series () =
+  let snap = Metrics.snapshot () in
+  let physical name = String.length name >= 5 && String.sub name 0 5 = "exec." in
+  ( List.filter (fun (n, _) -> not (physical n)) snap.Metrics.counters,
+    List.filter (fun (n, _) -> not (physical n)) snap.Metrics.histograms )
+
+let test_metrics_identical_across_jobs () =
+  let p = pipeline "c432" in
+  let run jobs =
+    Metrics.set_enabled true;
+    Metrics.reset ();
+    ignore (fsim_report p jobs);
+    let s = logical_series () in
+    Metrics.set_enabled false;
+    s
+  in
+  let base = run 1 in
+  check_bool "logical counters recorded" true (fst base <> []);
+  check_bool "fsim.patterns_simulated present" true
+    (List.mem_assoc "fsim.patterns_simulated" (fst base));
+  List.iter
+    (fun jobs ->
+      let got = run jobs in
+      if got <> base then begin
+        let dump tag (counters, histograms) =
+          Printf.eprintf "[%s] counters:\n" tag;
+          List.iter (fun (n, v) -> Printf.eprintf "  %s = %d\n" n v) counters;
+          Printf.eprintf "[%s] histograms:\n" tag;
+          List.iter
+            (fun (n, s) ->
+              Printf.eprintf "  %s n=%d sum=%g\n" n s.Metrics.n s.Metrics.sum)
+            histograms
+        in
+        dump "jobs 1" base;
+        dump (Printf.sprintf "jobs %d" jobs) got
+      end;
+      check_bool
+        (Printf.sprintf "logical series jobs %d ≡ jobs 1" jobs)
+        true
+        (got = base))
+    [ 2; 4 ]
+
+(* Queue-wait and shard-timing histograms only exist on the pool
+   path, under the exec.* namespace. *)
+let test_exec_histograms_recorded () =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let p = pipeline "c432" in
+  ignore (fsim_report p 4);
+  let snap = Metrics.snapshot () in
+  check_bool "exec.shard_seconds observed" true
+    (List.mem_assoc "exec.shard_seconds" snap.Metrics.histograms);
+  check_bool "exec.queue_wait_s observed" true
+    (List.mem_assoc "exec.queue_wait_s" snap.Metrics.histograms)
+
 let suite =
   [
     ( "exec.pool",
@@ -330,5 +488,22 @@ let suite =
           (clean test_budget_exhaustion_deterministic);
         Alcotest.test_case "chaos in workers deterministic" `Quick
           (clean test_chaos_in_worker_deterministic);
+      ] );
+    ( "exec.cliargs",
+      [
+        Alcotest.test_case "jobs spellings" `Quick test_cliargs_jobs_spellings;
+        Alcotest.test_case "value and flag lookup" `Quick
+          test_cliargs_value_and_flag;
+      ] );
+    ( "exec.obs",
+      [
+        Alcotest.test_case "worker spans merged at join" `Quick
+          (clean_obs test_worker_spans_merged);
+        Alcotest.test_case "profile self times within wall" `Quick
+          (clean_obs test_profile_self_within_wall);
+        Alcotest.test_case "logical metrics identical across jobs" `Quick
+          (clean_obs test_metrics_identical_across_jobs);
+        Alcotest.test_case "exec histograms recorded on pool path" `Quick
+          (clean_obs test_exec_histograms_recorded);
       ] );
   ]

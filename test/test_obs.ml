@@ -5,6 +5,9 @@ module Trace = Mutsamp_obs.Trace
 module Metrics = Mutsamp_obs.Metrics
 module Json = Mutsamp_obs.Json
 module Runreport = Mutsamp_obs.Runreport
+module Profile = Mutsamp_obs.Profile
+module Traceout = Mutsamp_obs.Traceout
+module Benchdiff = Mutsamp_obs.Benchdiff
 module Registry = Mutsamp_circuits.Registry
 module Pipeline = Mutsamp_core.Pipeline
 
@@ -262,6 +265,383 @@ let test_report_rejects_malformed_span () =
   | Error _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* Profile                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let span ?(attrs = []) ?(track = 0) ?(children = []) ~start ~dur ~alloc name =
+  {
+    Trace.name;
+    attrs;
+    start_s = start;
+    duration_s = dur;
+    alloc_words = alloc;
+    track;
+    children;
+  }
+
+let test_profile_aggregation () =
+  (* Two "inner" invocations under one root: counts and totals add up,
+     root self time excludes child time. *)
+  let roots =
+    [
+      span "root" ~start:0.0 ~dur:10.0 ~alloc:100.0
+        ~children:
+          [
+            span "inner" ~start:1.0 ~dur:3.0 ~alloc:10.0;
+            span "inner" ~start:5.0 ~dur:2.0 ~alloc:20.0;
+          ];
+    ]
+  in
+  let p = Profile.of_spans roots in
+  Alcotest.(check (float 1e-9)) "wall" 10.0 p.Profile.wall_s;
+  let row name =
+    List.find (fun (r : Profile.row) -> r.Profile.name = name) p.Profile.rows
+  in
+  let inner = row "inner" in
+  Alcotest.(check int) "inner count" 2 inner.Profile.count;
+  Alcotest.(check (float 1e-9)) "inner total" 5.0 inner.Profile.total_s;
+  Alcotest.(check (float 1e-9)) "inner self" 5.0 inner.Profile.self_s;
+  Alcotest.(check (float 1e-9)) "inner alloc" 30.0 inner.Profile.alloc_words;
+  let root = row "root" in
+  Alcotest.(check (float 1e-9)) "root self excludes children" 5.0
+    root.Profile.self_s;
+  (* Sorted by self time, descending. *)
+  Alcotest.(check (list string))
+    "sort order" [ "inner"; "root" ]
+    (List.map (fun (r : Profile.row) -> r.Profile.name) p.Profile.rows)
+
+let test_profile_worker_spans_no_self () =
+  (* Worker-track spans run concurrently with the coordinator span they
+     were grafted under; their duration must not count as self time, so
+     self times always sum to <= wall. *)
+  let roots =
+    [
+      span "fsim" ~start:0.0 ~dur:4.0 ~alloc:0.0
+        ~children:
+          [
+            span "shard" ~track:1 ~start:0.1 ~dur:3.9 ~alloc:0.0;
+            span "shard" ~track:2 ~start:0.1 ~dur:3.8 ~alloc:0.0;
+          ];
+    ]
+  in
+  let p = Profile.of_spans roots in
+  let shard =
+    List.find (fun (r : Profile.row) -> r.Profile.name = "shard") p.Profile.rows
+  in
+  Alcotest.(check (float 1e-9)) "worker self is zero" 0.0 shard.Profile.self_s;
+  Alcotest.(check (float 1e-9)) "worker total kept" 7.7 shard.Profile.total_s;
+  let self_sum =
+    List.fold_left (fun a (r : Profile.row) -> a +. r.Profile.self_s) 0.0
+      p.Profile.rows
+  in
+  Alcotest.(check bool) "self sum <= wall" true
+    (self_sum <= p.Profile.wall_s +. 1e-9)
+
+let test_profile_self_clamped () =
+  (* Clock skew can make children sum past the parent; self time clamps
+     at zero rather than going negative. *)
+  let roots =
+    [
+      span "p" ~start:0.0 ~dur:1.0 ~alloc:0.0
+        ~children:[ span "c" ~start:0.0 ~dur:1.5 ~alloc:0.0 ];
+    ]
+  in
+  let p = Profile.of_spans roots in
+  let row =
+    List.find (fun (r : Profile.row) -> r.Profile.name = "p") p.Profile.rows
+  in
+  Alcotest.(check (float 1e-9)) "clamped at zero" 0.0 row.Profile.self_s
+
+(* ------------------------------------------------------------------ *)
+(* Trace-event export                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_traceout_structure () =
+  let roots =
+    [
+      span "fsim" ~start:0.0 ~dur:0.004 ~alloc:10.0
+        ~attrs:[ ("patterns", "64") ]
+        ~children:[ span "shard" ~track:1 ~start:0.001 ~dur:0.002 ~alloc:5.0 ];
+    ]
+  in
+  let tracks = [ (0, "main"); (1, "worker-1") ] in
+  let json = Traceout.to_json ~tracks roots in
+  let events =
+    match Json.member "traceEvents" json with
+    | Some (Json.List evs) -> evs
+    | _ -> Alcotest.fail "traceEvents must be a list"
+  in
+  let ph e =
+    match Json.member "ph" e with Some (Json.String s) -> s | _ -> "?"
+  in
+  let xs = List.filter (fun e -> ph e = "X") events in
+  let ms = List.filter (fun e -> ph e = "M") events in
+  Alcotest.(check int) "one X event per span" 2 (List.length xs);
+  Alcotest.(check bool) "metadata events present" true (List.length ms >= 3);
+  (* The shard event sits on tid 1 with microsecond timestamps. *)
+  let shard =
+    List.find
+      (fun e -> Json.member "name" e = Some (Json.String "shard"))
+      xs
+  in
+  Alcotest.(check bool) "tid is the track" true
+    (Json.member "tid" shard = Some (Json.Int 1));
+  (match Json.member "ts" shard with
+   | Some (Json.Float ts) -> Alcotest.(check (float 1e-6)) "ts in us" 1000.0 ts
+   | _ -> Alcotest.fail "ts missing");
+  (* thread_name metadata exists for each track. *)
+  let thread_names =
+    List.filter_map
+      (fun e ->
+        if Json.member "name" e = Some (Json.String "thread_name") then
+          match Json.member "args" e with
+          | Some args ->
+            (match Json.member "name" args with
+             | Some (Json.String l) -> Some l
+             | _ -> None)
+          | None -> None
+        else None)
+      ms
+  in
+  Alcotest.(check (list string)) "track labels" [ "main"; "worker-1" ] thread_names;
+  (* The whole document parses back — it is valid JSON. *)
+  match Json.parse (Json.to_string json) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "trace-event JSON unparsable: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_prometheus_exposition () =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Metrics.add_named "test.obs.prom_counter" 7;
+  Metrics.observe_named "test.obs.prom_hist" 2.0;
+  Metrics.observe_named "test.obs.prom_hist" 4.0;
+  let text = Metrics.to_prometheus (Metrics.snapshot ()) in
+  let contains needle =
+    let nl = String.length needle and hl = String.length text in
+    let rec go i = i + nl <= hl && (String.sub text i nl = needle || go (i + 1)) in
+    Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true (go 0)
+  in
+  contains "# TYPE mutsamp_test_obs_prom_counter counter\n";
+  contains "mutsamp_test_obs_prom_counter 7\n";
+  contains "# TYPE mutsamp_test_obs_prom_hist summary\n";
+  contains "mutsamp_test_obs_prom_hist_count 2\n";
+  contains "mutsamp_test_obs_prom_hist_sum 6\n";
+  contains "mutsamp_test_obs_prom_hist_min 2\n";
+  contains "mutsamp_test_obs_prom_hist_max 4\n"
+
+(* ------------------------------------------------------------------ *)
+(* Benchdiff                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_report ?(throughput = []) ?(micro = []) ?(wall = 1.0) () =
+  let obj kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) kvs) in
+  let extra =
+    (if throughput = [] then []
+     else [ ("fsim_throughput_pairs_per_sec", obj throughput) ])
+    @ if micro = [] then [] else [ ("micro_ns_per_run", obj micro) ]
+  in
+  Json.Obj
+    ([
+       ("schema", Json.Int Runreport.schema_version);
+       ("tool", Json.String "mutsamp");
+       ("command", Json.String "bench");
+       ( "spans",
+         Json.List
+           [
+             Json.Obj
+               [
+                 ("name", Json.String "bench");
+                 ("start_s", Json.Float 0.0);
+                 ("duration_s", Json.Float wall);
+                 ("alloc_words", Json.Float 0.0);
+               ];
+           ] );
+       ("metrics", Json.Obj [ ("counters", Json.Obj []); ("histograms", Json.Obj []) ]);
+     ]
+    @ extra)
+
+let test_benchdiff_identical () =
+  let r = bench_report ~throughput:[ ("c432", 1e6) ] ~micro:[ ("k", 100.0) ] () in
+  let result = Benchdiff.compare_reports ~old_:r ~new_:r () in
+  Alcotest.(check int) "no regressions" 0
+    (List.length (Benchdiff.regressions result));
+  Alcotest.(check int) "no missing keys" 0 (List.length result.Benchdiff.missing);
+  Alcotest.(check int) "three deltas" 3 (List.length result.Benchdiff.deltas)
+
+let test_benchdiff_throughput_regression () =
+  (* Throughput is higher-better: a 30% drop past the 20% threshold
+     regresses; a 30% gain does not. *)
+  let old_ = bench_report ~throughput:[ ("c432", 1000.0) ] () in
+  let slow = bench_report ~throughput:[ ("c432", 700.0) ] () in
+  let fast = bench_report ~throughput:[ ("c432", 1300.0) ] () in
+  let r1 = Benchdiff.compare_reports ~groups:[ "throughput" ] ~old_ ~new_:slow () in
+  Alcotest.(check int) "drop regresses" 1 (List.length (Benchdiff.regressions r1));
+  let r2 = Benchdiff.compare_reports ~groups:[ "throughput" ] ~old_ ~new_:fast () in
+  Alcotest.(check int) "gain passes" 0 (List.length (Benchdiff.regressions r2))
+
+let test_benchdiff_micro_direction () =
+  (* Micro ns/run is lower-better: slower (bigger) regresses. *)
+  let old_ = bench_report ~micro:[ ("kernel", 100.0) ] () in
+  let slow = bench_report ~micro:[ ("kernel", 130.0) ] () in
+  let fast = bench_report ~micro:[ ("kernel", 70.0) ] () in
+  let r1 = Benchdiff.compare_reports ~groups:[ "micro" ] ~old_ ~new_:slow () in
+  Alcotest.(check int) "slower regresses" 1 (List.length (Benchdiff.regressions r1));
+  let r2 = Benchdiff.compare_reports ~groups:[ "micro" ] ~old_ ~new_:fast () in
+  Alcotest.(check int) "faster passes" 0 (List.length (Benchdiff.regressions r2))
+
+let test_benchdiff_threshold () =
+  let old_ = bench_report ~throughput:[ ("c432", 1000.0) ] () in
+  let new_ = bench_report ~throughput:[ ("c432", 850.0) ] () in
+  (* A 15% drop passes at the default 20% but fails at 10%. *)
+  let lax = Benchdiff.compare_reports ~groups:[ "throughput" ] ~old_ ~new_ () in
+  Alcotest.(check int) "within default threshold" 0
+    (List.length (Benchdiff.regressions lax));
+  let strict =
+    Benchdiff.compare_reports ~threshold_pct:10.0 ~groups:[ "throughput" ] ~old_
+      ~new_ ()
+  in
+  Alcotest.(check int) "beyond strict threshold" 1
+    (List.length (Benchdiff.regressions strict))
+
+let test_benchdiff_wall_group () =
+  (* Plain pipeline reports carry no bench sections; the wall group
+     still gates on summed root-span duration. *)
+  let old_ = bench_report ~wall:1.0 () in
+  let slow = bench_report ~wall:2.0 () in
+  let r = Benchdiff.compare_reports ~old_ ~new_:slow () in
+  let regs = Benchdiff.regressions r in
+  Alcotest.(check int) "wall regression flagged" 1 (List.length regs);
+  Alcotest.(check string) "in the wall group" "wall"
+    (List.hd regs).Benchdiff.group
+
+let test_benchdiff_missing_keys () =
+  (* A key present in only one report is reported missing, never as a
+     regression. *)
+  let old_ = bench_report ~throughput:[ ("c432", 1000.0); ("c499", 500.0) ] () in
+  let new_ = bench_report ~throughput:[ ("c432", 1000.0) ] () in
+  let r = Benchdiff.compare_reports ~groups:[ "throughput" ] ~old_ ~new_ () in
+  Alcotest.(check int) "no regressions" 0 (List.length (Benchdiff.regressions r));
+  Alcotest.(check (list (pair string string)))
+    "missing listed" [ ("throughput", "c499") ] r.Benchdiff.missing
+
+(* ------------------------------------------------------------------ *)
+(* Profile / exec report sections                                     *)
+(* ------------------------------------------------------------------ *)
+
+let profile_section_json () =
+  Profile.to_json
+    (Profile.of_spans
+       [
+         span "root" ~start:0.0 ~dur:1.0 ~alloc:8.0
+           ~children:[ span "c" ~track:1 ~start:0.1 ~dur:0.5 ~alloc:2.0 ];
+       ])
+
+let exec_section_json () =
+  Json.Obj
+    [
+      ("jobs_requested", Json.Int 4);
+      ("jobs", Json.Int 4);
+      ( "histograms",
+        Json.Obj
+          [
+            ( "exec.shard_seconds",
+              Json.Obj
+                [
+                  ("n", Json.Int 4);
+                  ("sum", Json.Float 0.02);
+                  ("min", Json.Float 0.004);
+                  ("max", Json.Float 0.006);
+                ] );
+          ] );
+    ]
+
+let test_report_accepts_profile_and_exec () =
+  let report =
+    Runreport.make ~command:"test"
+      ~extra:
+        [ ("profile", profile_section_json ()); ("exec", exec_section_json ()) ]
+      ~spans:[] ~metrics:(Metrics.snapshot ()) ()
+  in
+  (match Runreport.validate report with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "profile+exec report should validate: %s" e);
+  (* And survives a print/parse round trip. *)
+  match Json.parse (Json.to_string report) with
+  | Error e -> Alcotest.failf "unparsable: %s" e
+  | Ok v ->
+    (match Runreport.validate v with
+     | Ok () -> ()
+     | Error e -> Alcotest.failf "round-tripped report invalid: %s" e)
+
+let test_report_rejects_malformed_profile_row () =
+  let bad_profile =
+    Json.Obj
+      [
+        ("wall_s", Json.Float 1.0);
+        ( "rows",
+          Json.List
+            [ Json.Obj [ ("name", Json.String "x"); ("count", Json.String "2") ] ]
+        );
+      ]
+  in
+  let report =
+    Runreport.make ~command:"test" ~extra:[ ("profile", bad_profile) ] ~spans:[]
+      ~metrics:(Metrics.snapshot ()) ()
+  in
+  match Runreport.validate report with
+  | Ok () -> Alcotest.fail "malformed profile row accepted"
+  | Error _ -> ()
+
+let test_report_rejects_malformed_exec () =
+  let bad_exec =
+    Json.Obj
+      [
+        ("jobs", Json.String "four");
+      ]
+  in
+  let report =
+    Runreport.make ~command:"test" ~extra:[ ("exec", bad_exec) ] ~spans:[]
+      ~metrics:(Metrics.snapshot ()) ()
+  in
+  match Runreport.validate report with
+  | Ok () -> Alcotest.fail "non-integer exec.jobs accepted"
+  | Error _ -> ()
+
+let test_report_span_track_field () =
+  (* Spans may carry an integer track; anything else is rejected. *)
+  let base track =
+    Json.Obj
+      [
+        ("schema", Json.Int Runreport.schema_version);
+        ("tool", Json.String "mutsamp");
+        ("command", Json.String "x");
+        ( "spans",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ("name", Json.String "s");
+                  ("start_s", Json.Float 0.0);
+                  ("duration_s", Json.Float 1.0);
+                  ("alloc_words", Json.Float 0.0);
+                  ("track", track);
+                ];
+            ] );
+        ("metrics", Json.Obj [ ("counters", Json.Obj []); ("histograms", Json.Obj []) ]);
+      ]
+  in
+  (match Runreport.validate (base (Json.Int 2)) with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "integer track rejected: %s" e);
+  match Runreport.validate (base (Json.String "two")) with
+  | Ok () -> Alcotest.fail "string track accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
 (* Pipeline instrumentation                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -323,6 +703,30 @@ let suite =
           test_report_rejects_bad_schema;
         Alcotest.test_case "report rejects malformed span" `Quick
           test_report_rejects_malformed_span;
+        Alcotest.test_case "profile aggregation" `Quick test_profile_aggregation;
+        Alcotest.test_case "profile worker spans no self" `Quick
+          test_profile_worker_spans_no_self;
+        Alcotest.test_case "profile self clamped" `Quick test_profile_self_clamped;
+        Alcotest.test_case "traceout structure" `Quick test_traceout_structure;
+        Alcotest.test_case "prometheus exposition" `Quick
+          (with_clean_obs test_prometheus_exposition);
+        Alcotest.test_case "benchdiff identical" `Quick test_benchdiff_identical;
+        Alcotest.test_case "benchdiff throughput regression" `Quick
+          test_benchdiff_throughput_regression;
+        Alcotest.test_case "benchdiff micro direction" `Quick
+          test_benchdiff_micro_direction;
+        Alcotest.test_case "benchdiff threshold" `Quick test_benchdiff_threshold;
+        Alcotest.test_case "benchdiff wall group" `Quick test_benchdiff_wall_group;
+        Alcotest.test_case "benchdiff missing keys" `Quick
+          test_benchdiff_missing_keys;
+        Alcotest.test_case "report accepts profile and exec" `Quick
+          (with_clean_obs test_report_accepts_profile_and_exec);
+        Alcotest.test_case "report rejects malformed profile row" `Quick
+          (with_clean_obs test_report_rejects_malformed_profile_row);
+        Alcotest.test_case "report rejects malformed exec" `Quick
+          (with_clean_obs test_report_rejects_malformed_exec);
+        Alcotest.test_case "report span track field" `Quick
+          test_report_span_track_field;
         Alcotest.test_case "pipeline prepare spans" `Quick
           (with_clean_obs test_pipeline_prepare_spans);
         Alcotest.test_case "pipeline fsim counters" `Quick
