@@ -41,7 +41,7 @@ module Budget = Mutsamp_robust.Budget
 module Chaos = Mutsamp_robust.Chaos
 module Degrade = Mutsamp_robust.Degrade
 module Atomicio = Mutsamp_robust.Atomicio
-module Checkpoint = Mutsamp_robust.Checkpoint
+module Store = Mutsamp_store.Store
 module Pool = Mutsamp_exec.Pool
 module Ctx = Mutsamp_exec.Ctx
 
@@ -90,6 +90,7 @@ type obs_opts = {
   chaos : string list;
   chaos_seed : int;
   jobs : int;
+  store : string option;
 }
 
 let obs_term =
@@ -165,14 +166,24 @@ let obs_term =
                    every stage on the sequential path; 0 means one domain per \
                    available core. Results are bit-identical at any setting.")
   in
+  let store =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Campaign store directory (created if missing): fault-sim \
+                   reports, validation vectors, scores and finished campaign \
+                   rows are persisted there keyed by content hashes, and an \
+                   unchanged re-run replays them bit-identically instead of \
+                   recomputing. See docs/STORE.md.")
+  in
   Term.(const (fun trace metrics profile report trace_out metrics_out deadline_ms
-                   sat_conflicts podem_backtracks fsim_pairs chaos chaos_seed jobs ->
+                   sat_conflicts podem_backtracks fsim_pairs chaos chaos_seed jobs
+                   store ->
             { trace; metrics; profile; report; trace_out; metrics_out;
               deadline_ms; sat_conflicts;
-              podem_backtracks; fsim_pairs; chaos; chaos_seed; jobs })
+              podem_backtracks; fsim_pairs; chaos; chaos_seed; jobs; store })
         $ trace $ metrics $ profile $ report $ trace_out $ metrics_out
         $ deadline_ms $ sat_conflicts
-        $ podem_backtracks $ fsim_pairs $ chaos $ chaos_seed $ jobs)
+        $ podem_backtracks $ fsim_pairs $ chaos $ chaos_seed $ jobs $ store)
 
 (* The "robust" report section: the degradation record plus the budget
    the run was given. *)
@@ -219,8 +230,21 @@ let with_obs obs ~command ?(circuits = []) ?config ?seed
         Printf.eprintf "mutsamp: bad --chaos spec: %s\n" msg;
         exit 64)
     obs.chaos;
+  let store =
+    match obs.store with
+    | None -> None
+    | Some dir -> (
+      match Store.open_dir dir with
+      | Ok s ->
+        Store.reset_counters ();
+        Some s
+      | Error e ->
+        Printf.eprintf "mutsamp: --store %s: %s\n" dir (Rerror.to_string e);
+        exit (Rerror.exit_code e))
+  in
   let pool = if obs.jobs = 1 then None else Some (Pool.create ~domains:obs.jobs) in
   let ctx = match pool with None -> Ctx.default | Some p -> Ctx.with_pool p in
+  let ctx = { ctx with Ctx.store } in
   let result =
     try Ok (Trace.with_span command (fun () -> f ctx)) with
     | Rerror.E e -> Error e
@@ -276,6 +300,7 @@ let with_obs obs ~command ?(circuits = []) ?config ?seed
        Runreport.make ~command ~circuits ?config ?seed
          ~extra:
            (("exec", exec_json) :: ("robust", robust_json budget)
+            :: ("store", Store.report_section store)
             :: (profile_section @ sections ()))
          ~spans:(Trace.roots ()) ~metrics:(Metrics.snapshot ()) ()
      in
@@ -814,43 +839,33 @@ let resolve_circuits names =
       (e.Registry.name, Pipeline.prepare (design_of e)))
     entries
 
-let checkpoint_flag =
-  Arg.(value & opt (some string) None
-       & info [ "checkpoint" ] ~docv:"FILE"
-           ~doc:"Persist each finished operator row to FILE (atomically) and \
-                 resume from it: rows already on disk for the same seed, \
-                 circuit and operator are not recomputed.")
-
 let table1_cmd =
-  let run obs names_opt names_pos quick seed checkpoint_path =
+  let run obs names_opt names_pos quick seed =
     let config = config_of ~quick ~seed in
     let names = circuit_names names_opt names_pos in
-    let checkpoint = Option.map Checkpoint.load checkpoint_path in
     with_obs obs ~command:"table1" ~circuits:names ~config:(Config.to_json config)
       ~seed
     @@ fun ctx ->
     let rows =
       List.map
         (fun (name, p) ->
-          Experiments.operator_efficiency_avg ~config ?checkpoint ~ctx p ~name)
+          Experiments.operator_efficiency_avg ~config ~ctx p ~name)
         (resolve_circuits names)
     in
     print_endline (Report.table1 rows)
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 (operator efficiency).")
-    Term.(const run $ obs_term $ circuits_opt $ circuits_pos $ quick_flag $ seed_flag
-          $ checkpoint_flag)
+    Term.(const run $ obs_term $ circuits_opt $ circuits_pos $ quick_flag $ seed_flag)
 
 let table2_cmd =
   let reps =
     Arg.(value & opt int 5 & info [ "repetitions"; "r" ] ~docv:"N"
            ~doc:"Independent repetitions to average.")
   in
-  let run obs names_opt names_pos quick seed reps checkpoint_path =
+  let run obs names_opt names_pos quick seed reps =
     let config = config_of ~quick ~seed in
     let names = circuit_names names_opt names_pos in
-    let checkpoint = Option.map Checkpoint.load checkpoint_path in
     with_obs obs ~command:"table2" ~circuits:names ~config:(Config.to_json config)
       ~seed
     @@ fun ctx ->
@@ -859,7 +874,7 @@ let table2_cmd =
         (fun (name, p) ->
           let full =
             Experiments.operator_efficiency_avg ~config ~operators:Operator.all
-              ?checkpoint ~ctx p ~name
+              ~ctx p ~name
           in
           let weights = Experiments.weights_of_table1 full in
           let equiv_ctx =
@@ -883,7 +898,7 @@ let table2_cmd =
   Cmd.v
     (Cmd.info "table2" ~doc:"Reproduce the paper's Table 2 (sampling strategies).")
     Term.(const run $ obs_term $ circuits_opt $ circuits_pos $ quick_flag $ seed_flag
-          $ reps $ checkpoint_flag)
+          $ reps)
 
 let e3_cmd =
   let run obs names_opt names_pos quick seed =
@@ -1053,11 +1068,14 @@ let report_validate_cmd =
 (* ------------------------------------------------------------------ *)
 
 let benchdiff_cmd =
+  (* Plain string positionals, not [Arg.file]: a missing report must
+     surface as the typed I/O error (exit code 74), not a cmdliner
+     usage error. *)
   let old_file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD")
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD")
   in
   let new_file =
-    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW")
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW")
   in
   let threshold =
     Arg.(value & opt float 20.0
@@ -1078,7 +1096,21 @@ let benchdiff_cmd =
   in
   let run old_path new_path threshold groups =
     let load path =
-      match Json.parse_file path with
+      (* Read the file ourselves: [Json.parse_file] folds I/O failures
+         into parse errors, and a missing or unreadable report is an
+         I/O error (exit 74), not a malformed one (exit 65). *)
+      let contents =
+        try
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with Sys_error msg ->
+          let e = Rerror.Io_error msg in
+          Printf.eprintf "mutsamp: %s\n" (Rerror.to_string e);
+          exit (Rerror.exit_code e)
+      in
+      match Json.parse contents with
       | Error msg ->
         Printf.eprintf "mutsamp: %s: %s\n" path msg;
         exit 65
@@ -1109,6 +1141,86 @@ let benchdiff_cmd =
     Term.(const run $ old_file $ new_file $ threshold $ groups)
 
 (* ------------------------------------------------------------------ *)
+(* store                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let store_cmd =
+  let dir_pos = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR") in
+  let namespace =
+    Arg.(value & opt (some string) None
+         & info [ "namespace" ] ~docv:"NS"
+             ~doc:"Restrict to one namespace (fsim, vectors, score, equiv, \
+                   t1row, atpg).")
+  in
+  let open_store dir =
+    match Store.open_dir dir with
+    | Ok s -> s
+    | Error e ->
+      Printf.eprintf "mutsamp: %s: %s\n" dir (Rerror.to_string e);
+      exit (Rerror.exit_code e)
+  in
+  let stats_cmd =
+    let run dir =
+      let s = Store.stats (open_store dir) in
+      Printf.printf "%s: %d entries, %d bytes, %d stale temp file(s)\n" dir
+        s.Store.entries s.Store.bytes s.Store.stale_tmp;
+      List.iter
+        (fun (ns, n) -> Printf.printf "  %-10s %d\n" ns n)
+        s.Store.namespaces
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Entry and byte counts per namespace.")
+      Term.(const run $ dir_pos)
+  in
+  let gc_cmd =
+    let max_age_days =
+      Arg.(value & opt (some float) None
+           & info [ "max-age-days" ] ~docv:"DAYS"
+               ~doc:"Also remove entries not rewritten for DAYS days.")
+    in
+    let run dir namespace max_age_days =
+      let t = open_store dir in
+      let max_age_s = Option.map (fun d -> d *. 86400.) max_age_days in
+      let n = Store.gc t ?namespace ?max_age_s () in
+      Printf.printf "%s: removed %d file(s)\n" dir n
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Remove stale temp files left by interrupted writes, plus any \
+               entries matching --namespace / --max-age-days.")
+      Term.(const run $ dir_pos $ namespace $ max_age_days)
+  in
+  let invalidate_cmd =
+    let field =
+      let parse s =
+        match String.index_opt s '=' with
+        | Some i when i > 0 ->
+          Ok (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+        | _ -> Error (`Msg "expected FIELD=VALUE")
+      in
+      let print fmt (f, v) = Format.fprintf fmt "%s=%s" f v in
+      Arg.(value & opt (some (conv (parse, print))) None
+           & info [ "key" ] ~docv:"FIELD=VALUE"
+               ~doc:"Only entries whose key carries this exact part, e.g. \
+                     --key circuit=c432 or --key seed=2005.")
+    in
+    let run dir namespace field =
+      let t = open_store dir in
+      let n = Store.invalidate t ?namespace ?field () in
+      Printf.printf "%s: invalidated %d entr%s\n" dir n (if n = 1 then "y" else "ies")
+    in
+    Cmd.v
+      (Cmd.info "invalidate"
+         ~doc:"Delete store entries — everything by default, or the subset \
+               matching --namespace / --key. The next run recomputes them.")
+      Term.(const run $ dir_pos $ namespace $ field)
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Inspect and maintain a campaign store (see docs/STORE.md).")
+    [ stats_cmd; gc_cmd; invalidate_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "mutation sampling for structural test data generation" in
@@ -1122,5 +1234,5 @@ let () =
             atpg_cmd; dot_cmd; export_cmd; import_cmd; diagnose_cmd;
             seqatpg_cmd; bist_cmd; sync_cmd; wave_cmd;
             lint_cmd; table1_cmd; table2_cmd; e3_cmd; report_validate_cmd;
-            benchdiff_cmd;
+            benchdiff_cmd; store_cmd;
           ]))

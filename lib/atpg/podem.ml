@@ -312,9 +312,6 @@ let generate_core ~backtrack_limit ~guided ~budget nl fault =
    | Aborted -> Metrics.incr c_aborted);
   (outcome, { backtracks = ctx.backtracks; implications = ctx.implications })
 
-let generate ?(backtrack_limit = 10_000) ?(guided = true) nl fault =
-  generate_core ~backtrack_limit ~guided ~budget:Budget.unlimited nl fault
-
 let find_test ?(backtrack_limit = 10_000) ?(guided = true) ?budget nl fault =
   let budget = match budget with Some b -> b | None -> Budget.ambient () in
   Chaos.contain Rerror.Podem (fun () ->

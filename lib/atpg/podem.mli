@@ -6,30 +6,10 @@
     and backtracks on failure. PODEM is complete: with an unbounded
     backtrack budget, [Untestable] is a proof of redundancy. *)
 
-type result =
-  | Test of Mutsamp_fault.Pattern.t
-      (** pattern over the netlist's inputs (see {!Mutsamp_fault.Fsim}) *)
-  | Untestable
-  | Aborted  (** backtrack budget exhausted *)
-
 type stats = {
   backtracks : int;
   implications : int;  (** five-valued simulation passes *)
 }
-
-val generate :
-  ?backtrack_limit:int ->
-  ?guided:bool ->
-  Mutsamp_netlist.Netlist.t ->
-  Mutsamp_fault.Fault.t ->
-  result * stats
-  [@@deprecated "use find_test (result-typed); generate raises on sequential netlists and hides aborts in a variant"]
-(** Find a test for a single stuck-at fault. [backtrack_limit] defaults
-    to 10_000; [guided] (default true) enables the SCOAP branching
-    heuristics — turning it off reverts to first-X-input/first-frontier
-    choices (the A3 ablation). Raises [Invalid_argument] on a
-    sequential netlist (use {!Scan.full_scan} first). Runs under an
-    unlimited budget. *)
 
 val find_test :
   ?backtrack_limit:int ->
@@ -45,4 +25,8 @@ val find_test :
     not count it as redundant. One [Podem_backtracks] work unit is spent
     per backtrack against [budget] (default: ambient), yielding
     [Error (Budget_exhausted _)] / [Error (Timeout Podem)] when
-    exhausted. *)
+    exhausted. [backtrack_limit] defaults to 10_000; [guided] (default
+    true) enables the SCOAP branching heuristics — turning it off
+    reverts to first-X-input/first-frontier choices (the A3 ablation).
+    Raises [Invalid_argument] on a sequential netlist (use
+    {!Scan.full_scan} first). *)

@@ -15,7 +15,3 @@ let generate ?budget nl fault =
   | Ok Equiv.Equivalent -> Ok Untestable
   | Ok (Equiv.Counterexample assignment) -> Ok (Test (Fsim.input_pattern nl assignment))
 
-let generate_exn nl fault =
-  match generate ~budget:Mutsamp_robust.Budget.unlimited nl fault with
-  | Ok r -> r
-  | Error e -> raise (Mutsamp_robust.Error.E e)

@@ -20,8 +20,3 @@ val generate :
     as unknown. [budget] defaults to the ambient budget. Raises
     [Invalid_argument] on a sequential netlist. *)
 
-val generate_exn :
-  Mutsamp_netlist.Netlist.t -> Mutsamp_fault.Fault.t -> result
-  [@@deprecated "use generate (result-typed); generate_exn raises Mutsamp_robust.Error.E"]
-(** Raise-style shim over {!generate} under an unlimited SAT budget,
-    kept for one release. *)

@@ -31,11 +31,6 @@ let generate ?(max_frames = 8) ?budget nl fault =
       in
       try_frames 1)
 
-let generate_exn ?max_frames nl fault =
-  match generate ?max_frames ~budget:Budget.unlimited nl fault with
-  | Ok r -> r
-  | Error e -> raise (Rerror.E e)
-
 let generate_set ?max_frames ?budget nl ~faults =
   let budget = match budget with Some b -> b | None -> Budget.ambient () in
   let sequences = ref [] in

@@ -28,15 +28,6 @@ val generate :
     checks the deadline and the miter solves spend [Sat_conflicts];
     [budget] defaults to the ambient budget. *)
 
-val generate_exn :
-  ?max_frames:int ->
-  Mutsamp_netlist.Netlist.t ->
-  Mutsamp_fault.Fault.t ->
-  result
-  [@@deprecated "use generate (result-typed); generate_exn raises Mutsamp_robust.Error.E"]
-(** Raise-style shim over {!generate} under an unlimited budget, kept
-    for one release. *)
-
 val generate_set :
   ?max_frames:int ->
   ?budget:Mutsamp_robust.Budget.t ->

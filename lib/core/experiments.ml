@@ -12,7 +12,7 @@ module Fault = Mutsamp_fault.Fault
 module Collapse = Mutsamp_fault.Collapse
 module Netlist = Mutsamp_netlist.Netlist
 module Json = Mutsamp_obs.Json
-module Checkpoint = Mutsamp_robust.Checkpoint
+module Store = Mutsamp_store.Store
 module Ctx = Mutsamp_exec.Ctx
 
 type operator_row = {
@@ -23,7 +23,7 @@ type operator_row = {
 
 type table1_row = { circuit : string; per_operator : operator_row list }
 
-(* --- checkpoint (de)serialisation of operator rows --------------------- *)
+(* --- store (de)serialisation of operator rows -------------------------- *)
 
 let json_of_operator_row row =
   let m = row.metric in
@@ -81,13 +81,50 @@ let operator_row_of_json ~op json =
       }
   | _ -> None
 
-let t1_key ~seed ~name op = Printf.sprintf "t1/%d/%s/%s" seed name (Operator.name op)
-
 (* Mix a sub-experiment label into the master seed so each use draws an
    independent deterministic stream. *)
 let derived_seed base label =
   let h = Hashtbl.hash (base, label) in
   (h land 0x3FFFFFFF) + 1
+
+(* Validation-data generation is the dominant cost of every campaign
+   cell; its outcome is pure in (design, mutant subset, vector config)
+   — the config carries the derived seed — so it stores under exactly
+   those hashes. Degraded generations are returned but never stored. *)
+let generate_vectors ~ctx ~vector_config pipeline mutant_subset =
+  match Ctx.store ctx with
+  | None -> Vectorgen.generate ~config:vector_config pipeline.Pipeline.design mutant_subset
+  | Some _ as store ->
+    Store.fetch_or_compute store ~ns:"vectors"
+      ~parts:
+        [
+          ("design", (Pipeline.hashes pipeline).Cache.design_h);
+          ("mutants", Cache.mutants_hash mutant_subset);
+          ("config", Cache.vector_config_hash vector_config);
+        ]
+      ~encode:Cache.outcome_to_json ~decode:Cache.outcome_of_json
+      (fun () ->
+        Vectorgen.generate ~config:vector_config pipeline.Pipeline.design mutant_subset)
+
+(* Scoring replays the test set over the whole mutant population —
+   pure in (design, equivalents, test set). *)
+let score_test_set ~ctx pipeline ~equivalents test_set =
+  match Ctx.store ctx with
+  | None ->
+    Score.of_test_set pipeline.Pipeline.design pipeline.Pipeline.mutants
+      ~equivalent:equivalents test_set
+  | Some _ as store ->
+    Store.fetch_or_compute store ~ns:"score"
+      ~parts:
+        [
+          ("design", (Pipeline.hashes pipeline).Cache.design_h);
+          ("equivalent", Cache.int_list_hash equivalents);
+          ("test_set", Cache.test_set_hash test_set);
+        ]
+      ~encode:Cache.score_to_json ~decode:Cache.score_of_json
+      (fun () ->
+        Score.of_test_set pipeline.Pipeline.design pipeline.Pipeline.mutants
+          ~equivalent:equivalents test_set)
 
 (* Generate validation data for a mutant subset and fault-simulate both
    it and a pseudo-random baseline of proportional length. *)
@@ -95,9 +132,7 @@ let measure_against_random ~ctx (config : Config.t) pipeline ~label mutant_subse
   let vector_config =
     { config.Config.vector with Vectorgen.seed = derived_seed config.Config.seed label }
   in
-  let outcome =
-    Vectorgen.generate ~config:vector_config pipeline.Pipeline.design mutant_subset
-  in
+  let outcome = generate_vectors ~ctx ~vector_config pipeline mutant_subset in
   let mutation_codes = Pipeline.patterns_of_sequences pipeline outcome.Vectorgen.test_set in
   let random_length =
     max
@@ -117,25 +152,14 @@ let measure_against_random ~ctx (config : Config.t) pipeline ~label mutant_subse
 let paper_operators = [ Operator.LOR; Operator.VR; Operator.CVR; Operator.CR ]
 
 let operator_efficiency ?(config = Config.default) ?(operators = paper_operators)
-    ?checkpoint ?(ctx = Ctx.default) pipeline ~name =
-  let resume op =
-    match checkpoint with
-    | None -> None
-    | Some cp ->
-      Option.bind
-        (Checkpoint.find cp (t1_key ~seed:config.Config.seed ~name op))
-        (operator_row_of_json ~op)
-  in
-  let persist op row =
-    match checkpoint with
-    | None -> ()
-    | Some cp ->
-      Checkpoint.record cp (t1_key ~seed:config.Config.seed ~name op)
-        (json_of_operator_row row)
-  in
+    ?(ctx = Ctx.default) pipeline ~name =
   (* One campaign cell per operator; results merge in operator order,
      and each cell draws its own derived seed, so the parallel table is
-     identical to the sequential one. *)
+     identical to the sequential one. Whole finished rows store under
+     ["t1row"] — a resumed or repeated campaign replays them without
+     generating a vector or simulating a fault (the row subsumes the
+     finer ["vectors"]/["fsim"] entries, which still serve partial
+     reuse when only the row key changes). *)
   let rows =
     Ctx.map_cells ctx operators ~f:(fun op ->
         let subset =
@@ -145,14 +169,26 @@ let operator_efficiency ?(config = Config.default) ?(operators = paper_operators
         in
         if subset = [] then None
         else
-          match resume op with
-          | Some row -> Some row
-          | None ->
+          let compute () =
             let label = Printf.sprintf "%s/t1/%s" name (Operator.name op) in
             let _, metric = measure_against_random ~ctx config pipeline ~label subset in
-            let row = { op; mutant_count = List.length subset; metric } in
-            persist op row;
-            Some row)
+            { op; mutant_count = List.length subset; metric }
+          in
+          match Ctx.store ctx with
+          | None -> Some (compute ())
+          | Some _ as store ->
+            Some
+              (Store.fetch_or_compute store ~ns:"t1row"
+                 ~parts:
+                   [
+                     ("design", (Pipeline.hashes pipeline).Cache.design_h);
+                     ("circuit", name);
+                     ("op", Operator.name op);
+                     ("seed", string_of_int config.Config.seed);
+                     ("config", Cache.config_hash config);
+                   ]
+                 ~encode:json_of_operator_row
+                 ~decode:(operator_row_of_json ~op) compute))
   in
   { circuit = name; per_operator = List.filter_map Fun.id rows }
 
@@ -195,7 +231,7 @@ let average_table1 rows =
     { circuit = first.circuit; per_operator }
 
 let operator_efficiency_avg ?(config = Config.default) ?operators ?(repetitions = 3)
-    ?checkpoint ?(ctx = Ctx.default) pipeline ~name =
+    ?(ctx = Ctx.default) pipeline ~name =
   let rows =
     Ctx.map_cells ctx
       (List.init repetitions Fun.id)
@@ -204,8 +240,8 @@ let operator_efficiency_avg ?(config = Config.default) ?operators ?(repetitions 
           { config with Config.seed = derived_seed config.Config.seed (Printf.sprintf "%s/t1rep%d" name r) }
         in
         (* Each repetition carries its own derived seed, so its rows land
-           under distinct checkpoint keys. *)
-        operator_efficiency ~config:cfg ?operators ?checkpoint ~ctx pipeline ~name)
+           under distinct store keys. *)
+        operator_efficiency ~config:cfg ?operators ~ctx pipeline ~name)
   in
   average_table1 rows
 
@@ -237,7 +273,7 @@ type table2_row = {
 }
 
 (* Sample with one strategy and generate its validation data. *)
-let run_strategy_data (config : Config.t) pipeline ~name ~strategy ~strategy_name =
+let run_strategy_data ~ctx (config : Config.t) pipeline ~name ~strategy ~strategy_name =
   let prng = Prng.create (derived_seed config.Config.seed (name ^ "/sample/" ^ strategy_name)) in
   let sample =
     Strategy.sample prng strategy pipeline.Pipeline.mutants
@@ -250,19 +286,17 @@ let run_strategy_data (config : Config.t) pipeline ~name ~strategy ~strategy_nam
         derived_seed config.Config.seed (Printf.sprintf "%s/t2/%s" name strategy_name);
     }
   in
-  let outcome =
-    Vectorgen.generate ~config:vector_config pipeline.Pipeline.design sample
-  in
+  let outcome = generate_vectors ~ctx ~vector_config pipeline sample in
   (sample, outcome)
 
 let sampling_comparison ?(config = Config.default) ?(ctx = Ctx.default) pipeline
     ~name ~weights ~equivalents =
   let random_sample, random_outcome =
-    run_strategy_data config pipeline ~name ~strategy:Strategy.Random_uniform
+    run_strategy_data ~ctx config pipeline ~name ~strategy:Strategy.Random_uniform
       ~strategy_name:"random"
   in
   let oriented_sample, oriented_outcome =
-    run_strategy_data config pipeline ~name
+    run_strategy_data ~ctx config pipeline ~name
       ~strategy:(Strategy.Operator_weighted weights) ~strategy_name:"oriented"
   in
   let random_codes = Pipeline.patterns_of_sequences pipeline random_outcome.Vectorgen.test_set in
@@ -290,10 +324,7 @@ let sampling_comparison ?(config = Config.default) ?(ctx = Ctx.default) pipeline
         ~mutation:(Pipeline.fault_simulate ~ctx pipeline codes)
         ~random:baseline_report ()
     in
-    let ms =
-      Score.of_test_set pipeline.Pipeline.design pipeline.Pipeline.mutants
-        ~equivalent:equivalents outcome.Vectorgen.test_set
-    in
+    let ms = score_test_set ~ctx pipeline ~equivalents outcome.Vectorgen.test_set in
     {
       strategy = strategy_name;
       sampled_count = List.length sample;
@@ -374,16 +405,33 @@ let atpg_effort ?(config = Config.default) ?(engine = Topoff.Use_podem)
   in
   (* The three seeding disciplines are independent campaigns — one cell
      each, merged in the fixed none/random/mutation order. *)
+  let scanned_h = lazy (Cache.netlist_hash scanned) in
   Ctx.map_cells ctx
     [ ("none", [||]); ("random", random_seed_patterns); ("mutation", mutation_seed) ]
     ~f:(fun (kind, seed_patterns) ->
-      {
-        seed_kind = kind;
-        report =
-          Topoff.run ~engine ~ctx
-            ~seed:(derived_seed config.Config.seed (name ^ "/e3/" ^ kind))
-            scanned ~faults ~seed_patterns;
-      })
+      let seed = derived_seed config.Config.seed (name ^ "/e3/" ^ kind) in
+      let compute () = Topoff.run ~engine ~ctx ~seed scanned ~faults ~seed_patterns in
+      let report =
+        match Ctx.store ctx with
+        | None -> compute ()
+        | Some _ as store ->
+          (* [atpg_calls] depends on the static prefilter, so the flag
+             is part of the key — a filtered and an unfiltered run must
+             not share a row even though their classifications agree. *)
+          Store.fetch_or_compute store ~ns:"atpg"
+            ~parts:
+              [
+                ("netlist", Lazy.force scanned_h);
+                ("faults", Cache.faults_hash faults);
+                ("seed_patterns", Cache.sequence_hash seed_patterns);
+                ("seed", string_of_int seed);
+                ("engine", Cache.engine_name engine);
+                ("filter", string_of_bool ctx.Ctx.static_filter);
+              ]
+            ~encode:Cache.topoff_report_to_json
+            ~decode:Cache.topoff_report_of_json compute
+      in
+      { seed_kind = kind; report })
 
 let ms_vs_rate ?(config = Config.default) ?(ctx = Ctx.default) pipeline ~name
     ~weights ~equivalents ~rates =

@@ -27,7 +27,6 @@ type table1_row = { circuit : string; per_operator : operator_row list }
 val operator_efficiency :
   ?config:Config.t ->
   ?operators:Mutsamp_mutation.Operator.t list ->
-  ?checkpoint:Mutsamp_robust.Checkpoint.t ->
   ?ctx:Mutsamp_exec.Ctx.t ->
   Pipeline.t ->
   name:string ->
@@ -36,11 +35,14 @@ val operator_efficiency :
     no mutants on the circuit are skipped (like CR in the paper when a
     description declares no constant).
 
-    With [checkpoint], each finished operator row is persisted under
-    key ["t1/<seed>/<circuit>/<op>"] as soon as it is computed, and
-    rows already on disk for this exact seed/circuit/operator are
-    reused instead of recomputed — a crashed campaign resumes where it
-    stopped. *)
+    With a store in [ctx], each finished operator row is persisted
+    under namespace ["t1row"] (keyed by design/config content hashes,
+    circuit, operator and seed) as soon as it is computed, and rows
+    already on disk for this exact key are replayed instead of
+    recomputed — a crashed campaign resumes where it stopped, and an
+    unchanged re-run generates no vectors and simulates no faults.
+    Finer-grained ["vectors"]/["fsim"] entries serve partial reuse when
+    only part of the key changes. *)
 
 val average_table1 : table1_row list -> table1_row
 (** Field-wise mean of several runs of the same circuit (same operator
@@ -50,13 +52,12 @@ val operator_efficiency_avg :
   ?config:Config.t ->
   ?operators:Mutsamp_mutation.Operator.t list ->
   ?repetitions:int ->
-  ?checkpoint:Mutsamp_robust.Checkpoint.t ->
   ?ctx:Mutsamp_exec.Ctx.t ->
   Pipeline.t ->
   name:string ->
   table1_row
 (** {!operator_efficiency} repeated with independent derived seeds
-    (default 3) and averaged. Each repetition checkpoints under its own
+    (default 3) and averaged. Each repetition stores rows under its own
     derived seed, so resuming replays only the unfinished
     repetitions. *)
 

@@ -36,7 +36,10 @@ type t = {
   faults : Fault.t list;
   mutants : Mutant.t list;
   sequential : bool;
+  hashes : Cache.hashes Lazy.t;
 }
+
+let hashes t = Lazy.force t.hashes
 
 let prepare design =
   Trace.with_span "prepare" ~attrs:[ ("design", design.Ast.name) ] @@ fun () ->
@@ -67,13 +70,21 @@ let prepare design =
   Trace.add_attr "faults"
     (string_of_int (List.length collapse.Collapse.representatives));
   Trace.add_attr "mutants" (string_of_int (List.length mutants));
+  let faults = collapse.Collapse.representatives in
   {
     design;
     netlist;
     mapping;
-    faults = collapse.Collapse.representatives;
+    faults;
     mutants;
     sequential = not (Check.is_combinational design);
+    hashes =
+      lazy
+        {
+          Cache.design_h = Cache.design_hash design;
+          netlist_h = Cache.netlist_hash netlist;
+          faults_h = Cache.faults_hash faults;
+        };
   }
 
 let pattern_of_stimulus t stimulus =
@@ -94,7 +105,27 @@ let patterns_of_sequences t sequences =
 
 let fault_simulate ?(ctx = Ctx.default) t sequence =
   Trace.with_span "fsim" @@ fun () ->
-  let r = Fsim.run_auto ~ctx t.netlist ~faults:t.faults ~sequence in
+  let compute () = Fsim.run_auto ~ctx t.netlist ~faults:t.faults ~sequence in
+  let r =
+    match Ctx.store ctx with
+    | None -> compute ()
+    | Some _ as store ->
+      (* Content-addressed reuse: a hit replays the recorded per-fault
+         detection indices without simulating a single pattern·fault
+         pair (no [fsim.*] series move). Degraded runs are returned but
+         never cached — see {!Mutsamp_store.Store.fetch_or_compute}. *)
+      let h = Lazy.force t.hashes in
+      Mutsamp_store.Store.fetch_or_compute store ~ns:"fsim"
+        ~parts:
+          [
+            ("netlist", h.Cache.netlist_h);
+            ("faults", h.Cache.faults_h);
+            ("sequence", Cache.sequence_hash sequence);
+          ]
+        ~encode:Cache.fsim_report_to_json
+        ~decode:(Cache.fsim_report_of_json ~faults:t.faults)
+        compute
+  in
   Trace.add_attr "patterns" (string_of_int r.Fsim.patterns_applied);
   Trace.add_attr "detected"
     (Printf.sprintf "%d/%d" r.Fsim.detected r.Fsim.total);
@@ -125,8 +156,24 @@ let scan_patterns_of_sequences t sequences =
     Array.of_list (List.rev !patterns)
   end
 
-let classify_equivalents ?(screen = 512) ?(ctx = Ctx.default) ~seed t =
+let rec classify_equivalents ?(screen = 512) ?(ctx = Ctx.default) ~seed t =
   Trace.with_span "equiv" @@ fun () ->
+  let compute () = classify_equivalents_compute ~screen ~ctx ~seed t in
+  match Ctx.store ctx with
+  | None -> compute ()
+  | Some _ as store ->
+    (* The design hash pins the mutant population (mutants are
+       enumerated from the source), so the index list stays valid. *)
+    Mutsamp_store.Store.fetch_or_compute store ~ns:"equiv"
+      ~parts:
+        [
+          ("design", (Lazy.force t.hashes).Cache.design_h);
+          ("seed", string_of_int seed);
+          ("screen", string_of_int screen);
+        ]
+      ~encode:Cache.int_list_to_json ~decode:Cache.int_list_of_json compute
+
+and classify_equivalents_compute ~screen ~ctx ~seed t =
   let mutants = Array.of_list t.mutants in
   let runner = Kill.make t.design t.mutants in
   let prng = Prng.create seed in

@@ -11,10 +11,16 @@ type t = {
   faults : Mutsamp_fault.Fault.t list;  (** collapsed representatives *)
   mutants : Mutsamp_mutation.Mutant.t list;
   sequential : bool;
+  hashes : Cache.hashes Lazy.t;
+      (** content hashes keying the campaign store; forced only by
+          store-aware runs *)
 }
 
 val prepare : Mutsamp_hdl.Ast.design -> t
 (** Synthesise, collapse faults, enumerate mutants. *)
+
+val hashes : t -> Cache.hashes
+(** Force and return the content-hash bundle. *)
 
 val pattern_of_stimulus : t -> Mutsamp_hdl.Sim.stimulus -> Mutsamp_fault.Pattern.t
 (** Pattern over the netlist's bit-level inputs. *)
@@ -34,7 +40,14 @@ val fault_simulate :
 (** Parallel-pattern engine for combinational circuits, serial engine
     from reset for sequential ones, over the collapsed fault list.
     [ctx] (default {!Mutsamp_exec.Ctx.default}, sequential) supplies the
-    domain pool, budget and progress sink — see {!Mutsamp_exec.Ctx}. *)
+    domain pool, budget and progress sink — see {!Mutsamp_exec.Ctx}.
+
+    With a store in the context, the result is fetched or recorded
+    under namespace ["fsim"] keyed by (netlist, fault list, sequence)
+    content hashes: a warm run replays the recorded detection indices
+    bit-identically without evaluating a single pattern·fault pair.
+    Runs degraded by budget exhaustion or injection are never
+    recorded. *)
 
 val scan_patterns_of_sequences :
   t -> Mutsamp_hdl.Sim.stimulus list list -> Mutsamp_fault.Pattern.t array

@@ -15,13 +15,23 @@ type t = {
   sink : sink;
   progress : (stage:string -> done_:int -> total:int -> unit) option;
   static_filter : bool;
+  store : Mutsamp_store.Store.t option;
 }
 
 let default =
-  { pool = None; budget = None; sink = Global; progress = None; static_filter = true }
+  {
+    pool = None;
+    budget = None;
+    sink = Global;
+    progress = None;
+    static_filter = true;
+    store = None;
+  }
 
 let sequential = default
 let with_pool pool = { default with pool = Some pool }
+let with_store store = { default with store = Some store }
+let store t = t.store
 
 let jobs t =
   match t.pool with

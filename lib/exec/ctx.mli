@@ -21,6 +21,9 @@ type t = {
   progress : (stage:string -> done_:int -> total:int -> unit) option;
   static_filter : bool;
       (** consult the static untestability prefilter (ATPG stages) *)
+  store : Mutsamp_store.Store.t option;
+      (** campaign store for fetch-or-compute reuse ([None] = always
+          compute) *)
 }
 
 val default : t
@@ -30,6 +33,11 @@ val sequential : t
 
 val with_pool : Pool.t -> t
 (** {!default} with the given pool installed. *)
+
+val with_store : Mutsamp_store.Store.t -> t
+(** {!default} with the given campaign store installed. *)
+
+val store : t -> Mutsamp_store.Store.t option
 
 val jobs : t -> int
 (** Effective fan-out at this call site: 1 without a pool or when the

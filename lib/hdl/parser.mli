@@ -30,10 +30,6 @@ literal    := num | sized-binary | bit-char
 exception Parse_error of string
 (** Message includes a 1-based line number. *)
 
-val design_of_string : string -> Ast.design
-  [@@deprecated "use design_result (result-typed); design_of_string raises Parse_error / Lexer.Lex_error"]
-(** Parse a complete design. Raises {!Parse_error} or {!Lexer.Lex_error}. *)
-
 val expr_of_string : string -> Ast.expr
 (** Parse a standalone expression (used by tests and the CLI). *)
 

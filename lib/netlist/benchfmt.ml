@@ -237,13 +237,6 @@ let write_file path nl =
   (try output_string oc (to_string nl) with e -> close_out oc; raise e);
   close_out oc
 
-let read_file ?name path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let src = really_input_string ic n in
-  close_in ic;
-  of_string ?name src
-
 (* --- typed-result entry points ----------------------------------------- *)
 
 module Rerror = Mutsamp_robust.Error

@@ -27,16 +27,7 @@ v}
 exception Parse_error of string
 
 val to_string : Netlist.t -> string
-val of_string : ?name:string -> string -> Netlist.t
-  [@@deprecated "use parse (result-typed); of_string raises Parse_error"]
-(** Raises {!Parse_error} on malformed input, unknown functions,
-    undefined signals, multiply-driven signals or combinational
-    cycles. *)
-
 val write_file : string -> Netlist.t -> unit
-
-val read_file : ?name:string -> string -> Netlist.t
-  [@@deprecated "use read_file_result (result-typed); read_file raises Parse_error and Sys_error"]
 
 val parse :
   ?name:string ->

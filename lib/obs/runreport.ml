@@ -261,6 +261,31 @@ let validate_exec json =
      | Some _ -> Error "exec.histograms must be an object")
   | _ -> Error "field \"exec\" must be an object"
 
+(* The optional "store" section: whether a campaign store was attached
+   (and where), plus the flat store.* counters (hits, misses, puts,
+   ...). Counter names are not pinned here — the set may grow — but
+   every non-"enabled"/"dir" field must be an integer count. *)
+let validate_store json =
+  match json with
+  | Json.Obj fields ->
+    let* enabled = field "enabled" json in
+    let* () =
+      match enabled with
+      | Json.Bool _ -> Ok ()
+      | _ -> Error "store.enabled must be a boolean"
+    in
+    List.fold_left
+      (fun acc (k, v) ->
+        let* () = acc in
+        match (k, v) with
+        | "enabled", _ -> Ok ()
+        | "dir", Json.String _ -> Ok ()
+        | "dir", _ -> Error "store.dir must be a string"
+        | _, Json.Int _ -> Ok ()
+        | _, _ -> Error (Printf.sprintf "store.%s must be an integer" k))
+      (Ok ()) fields
+  | _ -> Error "field \"store\" must be an object"
+
 let validate json =
   match json with
   | Json.Obj _ ->
@@ -310,9 +335,14 @@ let validate json =
       | None -> Ok ()
       | Some p -> validate_profile p
     in
-    (match Json.member "exec" json with
+    let* () =
+      match Json.member "exec" json with
+      | None -> Ok ()
+      | Some e -> validate_exec e
+    in
+    (match Json.member "store" json with
      | None -> Ok ()
-     | Some e -> validate_exec e)
+     | Some s -> validate_store s)
   | _ -> Error "report must be a JSON object"
 
 let validate_file path =

@@ -26,8 +26,9 @@
     Spans carry an optional ["track"] (worker domain index; absent
     means the main domain). Additive optional sections validated when
     present: ["analysis"] (lint findings), ["profile"] (flat self-time
-    rows from [--profile]) and ["exec"] (jobs used plus
-    execution-engine histograms). *)
+    rows from [--profile]), ["exec"] (jobs used plus execution-engine
+    histograms) and ["store"] (campaign-store attachment and reuse
+    counters from [--store]). *)
 
 val schema_version : int
 val tool_version : string
@@ -44,7 +45,7 @@ val make :
   Json.t
 
 val write_file : string -> Json.t -> unit
-(** Atomic: the report is written to a [.tmp.<pid>] sibling and renamed
+(** Atomic: the report is written to a [.tmp.*] sibling and renamed
     into place, so readers never observe a torn file. *)
 
 val validate : Json.t -> (unit, string) result
@@ -52,8 +53,9 @@ val validate : Json.t -> (unit, string) result
     span well-formed recursively, metrics numeric. Optional sections
     are validated when present and reports without them remain valid:
     ["analysis"] (per-rule counts and diagnostics from [mutsamp lint]),
-    ["profile"] (wall time plus self-time rows from [--profile]) and
-    ["exec"] (integer job counts plus numeric histograms). Used by the
+    ["profile"] (wall time plus self-time rows from [--profile]),
+    ["exec"] (integer job counts plus numeric histograms) and ["store"]
+    (boolean [enabled], optional [dir], integer counters). Used by the
     [bench-smoke] alias and the report tests, so a report-format
     regression fails [dune runtest]. *)
 

@@ -1,7 +1,12 @@
+let tmp_seq = Atomic.make 0
+
 let temp_name path =
-  (* Unique within the process; the rename target directory is the
-     destination's, so the rename stays on one filesystem. *)
-  Printf.sprintf "%s.tmp.%d" path (Unix.getpid ())
+  (* Unique across processes (pid) and across concurrent writers inside
+     one process (sequence number — worker domains may write distinct
+     store entries under the same pid). The rename target directory is
+     the destination's, so the rename stays on one filesystem. *)
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+    (Atomic.fetch_and_add tmp_seq 1)
 
 let write_file path contents =
   let truncate_at =

@@ -1,9 +1,10 @@
 (** Crash-safe artifact writes.
 
-    Reports and checkpoints are written to a temporary file in the
-    destination directory and renamed into place, so a crash (or an
-    injected truncation) mid-write never leaves a half-written artifact
-    where a previous good one stood. The {!Chaos.Report_write} point is
+    Reports and campaign-store entries are written to a temporary file
+    (containing [".tmp."] in its name) in the destination directory and
+    renamed into place, so a crash (or an injected truncation)
+    mid-write never leaves a half-written artifact where a previous
+    good one stood. The {!Chaos.Report_write} point is
     honoured here: a [Truncate n] arming writes only [n] bytes to the
     temp file, deletes it and fails — the destination is untouched. *)
 

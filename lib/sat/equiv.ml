@@ -37,11 +37,6 @@ let check ?budget a b =
   | Ok (Solver.Sat model) ->
     Ok (Counterexample (List.map (fun (name, v) -> (name, model.(v))) shared))
 
-let check_exn a b =
-  match check ~budget:Mutsamp_robust.Budget.unlimited a b with
-  | Ok v -> v
-  | Error e -> raise (Mutsamp_robust.Error.E e)
-
 let counterexample_is_real a b assignment =
   let words nl =
     Array.map

@@ -23,12 +23,6 @@ val check :
     or a sequential netlist (caller bug, not a runtime hazard).
     [budget] defaults to the ambient budget. *)
 
-val check_exn :
-  Mutsamp_netlist.Netlist.t -> Mutsamp_netlist.Netlist.t -> verdict
-  [@@deprecated "use check (result-typed); check_exn raises Mutsamp_robust.Error.E"]
-(** Raise-style shim over {!check} under an unlimited SAT budget, kept
-    for one release. *)
-
 val counterexample_is_real :
   Mutsamp_netlist.Netlist.t ->
   Mutsamp_netlist.Netlist.t ->

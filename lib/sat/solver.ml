@@ -354,14 +354,6 @@ let solve ?(assumptions = []) ?budget cnf =
        | Error e -> raise (Rerror.E e));
       solve_core ~assumptions ~budget cnf)
 
-let solve_exn ?(assumptions = []) cnf =
-  (* Legacy raise-style entry point: explicitly unlimited (and hence
-     chaos-transparent only via Error.E), kept for callers that predate
-     budgets. Cannot fail on budget under [unlimited]. *)
-  match solve ~assumptions ~budget:Budget.unlimited cnf with
-  | Ok r -> r
-  | Error e -> raise (Rerror.E e)
-
 let is_satisfying cnf model =
   Array.for_all
     (fun c ->

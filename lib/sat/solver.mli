@@ -24,12 +24,6 @@ val solve :
     [Error (Timeout Sat)] instead of spinning. [budget] defaults to the
     ambient budget (unlimited unless the CLI installed one). *)
 
-val solve_exn : ?assumptions:Cnf.lit list -> Cnf.t -> result
-  [@@deprecated "use solve (result-typed); solve_exn raises Mutsamp_robust.Error.E"]
-(** Raise-style shim over {!solve} under an unlimited budget, kept for
-    one release. Raises [Mutsamp_robust.Error.E] only if a chaos
-    injection point is armed at [Sat_solve]. *)
-
 val is_satisfying : Cnf.t -> bool array -> bool
 (** [is_satisfying cnf model] checks the model against every clause
     (test oracle). *)

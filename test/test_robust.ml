@@ -1,6 +1,6 @@
 (* Tests for lib/robust and its integration across the pipeline:
    budgets, typed errors, chaos injection and containment, graceful
-   degradation, atomic artifact writes and checkpoint/resume. The
+   degradation and atomic artifact writes. The
    invariant under test throughout: every stage either succeeds,
    degrades with a recorded downgrade, or returns a typed error — an
    armed injection point never escapes as an uncaught exception. *)
@@ -10,7 +10,6 @@ module Rerror = Mutsamp_robust.Error
 module Chaos = Mutsamp_robust.Chaos
 module Degrade = Mutsamp_robust.Degrade
 module Atomicio = Mutsamp_robust.Atomicio
-module Checkpoint = Mutsamp_robust.Checkpoint
 module Json = Mutsamp_obs.Json
 module Metrics = Mutsamp_obs.Metrics
 module Runreport = Mutsamp_obs.Runreport
@@ -375,7 +374,7 @@ let fuzz_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
-(* Atomic writes and checkpoints                                      *)
+(* Atomic writes                                                      *)
 (* ------------------------------------------------------------------ *)
 
 let temp_path () =
@@ -417,36 +416,82 @@ let test_atomic_write () =
   close_in ic;
   check_string "replaced" "second version" contents
 
-let test_checkpoint_roundtrip () =
-  let path = temp_path () in
-  Sys.remove path;
-  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
-  @@ fun () ->
-  let cp = Checkpoint.load path in
-  check_int "missing file is empty" 0 (Checkpoint.entries cp);
-  Checkpoint.record cp "t1/7/c17/LOR" (Json.Obj [ ("nlfce", Json.Float 1.5) ]);
-  Checkpoint.record cp "t1/7/c17/VR" (Json.Int 3);
-  check_int "entries recorded" 2 (Checkpoint.entries cp);
-  (* A fresh load sees both entries. *)
-  let cp2 = Checkpoint.load path in
-  check_int "entries persisted" 2 (Checkpoint.entries cp2);
-  (match Checkpoint.find cp2 "t1/7/c17/VR" with
-   | Some (Json.Int 3) -> ()
-   | _ -> Alcotest.fail "payload lost in roundtrip");
-  check_bool "unknown key absent" true (Checkpoint.find cp2 "t1/7/c17/CR" = None)
-
-let test_checkpoint_corrupt () =
-  let path = temp_path () in
-  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
-  @@ fun () ->
-  let oc = open_out path in
-  output_string oc "{ not json at all";
-  close_out oc;
-  let cp = Checkpoint.load path in
-  check_int "corrupt file is empty" 0 (Checkpoint.entries cp);
-  (* And recording over it repairs the file. *)
-  Checkpoint.record cp "k" Json.Null;
-  check_int "recoverable" 1 (Checkpoint.entries (Checkpoint.load path))
+(* Fuzz: an interrupted write — truncated after an arbitrary byte
+   count, or killed by an injected exception — must never corrupt the
+   destination (the previous contents stay readable, byte for byte) and
+   must never leave temp litter in the directory. A retry after the
+   fault clears must fully replace the file. *)
+let atomicio_fuzz_tests =
+  let read_all path =
+    let ic = open_in_bin path in
+    Fun.protect ~finally:(fun () -> close_in ic)
+    @@ fun () -> really_input_string ic (in_channel_length ic)
+  in
+  let tmp_litter path =
+    let dir = Filename.dirname path and base = Filename.basename path in
+    Array.exists
+      (fun f ->
+        String.length f > String.length base
+        && String.sub f 0 (String.length base) = base)
+      (Sys.readdir dir)
+  in
+  let with_seeded_file old_contents f =
+    let path = Filename.temp_file "mutsamp_atomicio" ".json" in
+    Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    @@ fun () ->
+    (match Atomicio.write_file path old_contents with
+     | Ok () -> ()
+     | Error e -> Alcotest.failf "seed write failed: %s" (Rerror.to_string e));
+    f path
+  in
+  let gen =
+    QCheck.Gen.(
+      triple (string_size (int_bound 80)) (string_size (int_bound 80)) small_nat)
+  in
+  [
+    QCheck.Test.make ~count:100
+      ~name:"Atomicio: torn write leaves old contents and no litter"
+      (QCheck.make gen)
+      (fun (old_c, new_c, cut) ->
+        with_seeded_file old_c @@ fun path ->
+        Chaos.disarm_all ();
+        Chaos.arm Chaos.Report_write (Chaos.Truncate cut);
+        let r = Atomicio.write_file path new_c in
+        Chaos.disarm_all ();
+        (match r with
+         | Error (Rerror.Io_error _) -> ()
+         | Error e -> Alcotest.failf "wrong error: %s" (Rerror.to_string e)
+         | Ok () -> Alcotest.fail "torn write reported success");
+        read_all path = old_c && not (tmp_litter path));
+    QCheck.Test.make ~count:100
+      ~name:"Atomicio: injected exception leaves destination intact"
+      (QCheck.make gen)
+      (fun (old_c, new_c, _) ->
+        with_seeded_file old_c @@ fun path ->
+        Chaos.disarm_all ();
+        Chaos.arm Chaos.Report_write Chaos.Exception;
+        let raised =
+          try
+            ignore (Atomicio.write_file path new_c);
+            false
+          with Chaos.Injected _ -> true
+        in
+        Chaos.disarm_all ();
+        raised && read_all path = old_c && not (tmp_litter path));
+    QCheck.Test.make ~count:100
+      ~name:"Atomicio: retry after a torn write converges"
+      (QCheck.make gen)
+      (fun (old_c, new_c, cut) ->
+        with_seeded_file old_c @@ fun path ->
+        Chaos.disarm_all ();
+        Chaos.arm Chaos.Report_write (Chaos.Truncate cut);
+        (match Atomicio.write_file path new_c with Ok () | Error _ -> ());
+        Chaos.disarm_all ();
+        (match Atomicio.write_file path new_c with
+         | Ok () -> ()
+         | Error e -> Alcotest.failf "retry failed: %s" (Rerror.to_string e));
+        read_all path = new_c && not (tmp_litter path));
+  ]
 
 (* ------------------------------------------------------------------ *)
 (* Run reports under degradation                                      *)
@@ -538,10 +583,9 @@ let suite =
     ( "robust.artifacts",
       [
         Alcotest.test_case "atomic write truncation" `Quick (clean test_atomic_write);
-        Alcotest.test_case "checkpoint roundtrip" `Quick (clean test_checkpoint_roundtrip);
-        Alcotest.test_case "checkpoint corrupt file" `Quick (clean test_checkpoint_corrupt);
         Alcotest.test_case "degraded report validates" `Quick
           (clean test_degraded_report_validates);
         Alcotest.test_case "degrade record" `Quick (clean test_degrade_record);
-      ] );
+      ]
+      @ List.map q atomicio_fuzz_tests );
   ]
