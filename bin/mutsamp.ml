@@ -44,6 +44,11 @@ module Atomicio = Mutsamp_robust.Atomicio
 module Store = Mutsamp_store.Store
 module Pool = Mutsamp_exec.Pool
 module Ctx = Mutsamp_exec.Ctx
+module Retry = Mutsamp_robust.Retry
+module Sjobs = Mutsamp_serve.Jobs
+module Sserver = Mutsamp_serve.Server
+module Sclient = Mutsamp_serve.Client
+module Sprotocol = Mutsamp_serve.Protocol
 
 let find_circuit name =
   match Registry.find name with
@@ -492,19 +497,11 @@ let faultsim_cmd =
   in
   let lfsr = Arg.(value & flag & info [ "lfsr" ] ~doc:"Use an LFSR instead of uniform codes.") in
   let run obs (e : Registry.entry) length lfsr seed =
+    (* Body shared with the service daemon (Mutsamp_serve.Jobs), so the
+       two outputs are bit-identical by construction. *)
     with_obs obs ~command:"faultsim" ~circuits:[ e.Registry.name ] ~seed @@ fun ctx ->
-    let p = Pipeline.prepare (design_of e) in
-    let bits = Array.length p.Pipeline.netlist.Netlist.input_nets in
-    let patterns =
-      if lfsr && bits >= 2 && bits <= Prpg.max_lfsr_width then
-        Array.map
-          (fun code -> Pattern.of_code ~inputs:bits code)
-          (Prpg.lfsr_sequence ~width:bits ~seed ~length)
-      else Prpg.uniform_sequence (Prng.create seed) ~bits ~length
-    in
-    let r = Pipeline.fault_simulate ~ctx p patterns in
-    Printf.printf "%s: %d collapsed faults, %d vectors -> %.2f%% coverage (%d detected)\n"
-      e.Registry.name r.Fsim.total length (Fsim.coverage_percent r) r.Fsim.detected
+    print_string
+      (Sjobs.faultsim ~ctx ~circuit:e.Registry.name ~vectors:length ~lfsr ~seed)
   in
   Cmd.v
     (Cmd.info "faultsim" ~doc:"Stuck-at fault simulation with pseudo-random vectors.")
@@ -516,30 +513,13 @@ let faultsim_cmd =
 
 let atpg_cmd =
   let engine =
-    Arg.(value & opt (enum [ ("podem", Topoff.Use_podem); ("sat", Topoff.Use_sat) ])
-           Topoff.Use_podem
+    Arg.(value & opt (enum [ ("podem", "podem"); ("sat", "sat") ]) "podem"
          & info [ "engine" ] ~docv:"ENGINE" ~doc:"Deterministic engine: podem or sat.")
   in
   let run obs (e : Registry.entry) engine seed =
+    (* Shared with the daemon — see faultsim_cmd. *)
     with_obs obs ~command:"atpg" ~circuits:[ e.Registry.name ] ~seed @@ fun ctx ->
-    let p = Pipeline.prepare (design_of e) in
-    let scanned =
-      if p.Pipeline.sequential then Scan.full_scan p.Pipeline.netlist
-      else p.Pipeline.netlist
-    in
-    let faults = (Collapse.run scanned).Collapse.representatives in
-    let r = Topoff.run ~engine ~ctx ~seed scanned ~faults ~seed_patterns:[||] in
-    Printf.printf
-      "%s%s: %d faults | random: %d vectors (%d detected) | atpg: %d calls, %d vectors (%d detected) | untestable %d, aborted %d | coverage %.2f%% of testable%s\n"
-      e.Registry.name
-      (if p.Pipeline.sequential then " (full-scan)" else "")
-      r.Topoff.total_faults r.Topoff.random_patterns r.Topoff.random_detected
-      r.Topoff.atpg_calls r.Topoff.atpg_patterns r.Topoff.atpg_detected
-      r.Topoff.untestable r.Topoff.aborted r.Topoff.final_coverage_percent
-      (if r.Topoff.degraded then
-         Printf.sprintf " | DEGRADED (random fallback x%d, +%d detected)"
-           r.Topoff.degraded_retries r.Topoff.degraded_detected
-       else "")
+    print_string (Sjobs.atpg ~ctx ~circuit:e.Registry.name ~engine ~seed)
   in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Random + deterministic test generation to full coverage.")
@@ -825,6 +805,17 @@ let circuit_names names_opt names_pos =
   | [] -> List.map (fun (e : Registry.entry) -> e.Registry.name) Registry.paper_benchmarks
   | names -> names
 
+(* Validate names up front with the historical CLI error path (exit 1);
+   the shared job bodies raise typed Protocol errors instead. *)
+let check_known names =
+  List.iter
+    (fun n ->
+      if Registry.find n = None then begin
+        prerr_endline ("unknown circuit " ^ n);
+        exit 1
+      end)
+    names
+
 let resolve_circuits names =
   let entries =
     List.map
@@ -843,16 +834,11 @@ let table1_cmd =
   let run obs names_opt names_pos quick seed =
     let config = config_of ~quick ~seed in
     let names = circuit_names names_opt names_pos in
+    check_known names;
+    (* Shared with the daemon — see faultsim_cmd. *)
     with_obs obs ~command:"table1" ~circuits:names ~config:(Config.to_json config)
       ~seed
-    @@ fun ctx ->
-    let rows =
-      List.map
-        (fun (name, p) ->
-          Experiments.operator_efficiency_avg ~config ~ctx p ~name)
-        (resolve_circuits names)
-    in
-    print_endline (Report.table1 rows)
+    @@ fun ctx -> print_string (Sjobs.table1 ~ctx ~circuits:names ~quick ~seed)
   in
   Cmd.v
     (Cmd.info "table1" ~doc:"Reproduce the paper's Table 1 (operator efficiency).")
@@ -866,34 +852,16 @@ let table2_cmd =
   let run obs names_opt names_pos quick seed reps =
     let config = config_of ~quick ~seed in
     let names = circuit_names names_opt names_pos in
+    check_known names;
+    (* Shared with the daemon — see faultsim_cmd. *)
     with_obs obs ~command:"table2" ~circuits:names ~config:(Config.to_json config)
       ~seed
     @@ fun ctx ->
-    let rows =
-      List.map
-        (fun (name, p) ->
-          let full =
-            Experiments.operator_efficiency_avg ~config ~operators:Operator.all
-              ~ctx p ~name
-          in
-          let weights = Experiments.weights_of_table1 full in
-          let equiv_ctx =
-            { ctx with
-              Ctx.progress =
-                Some
-                  (fun ~stage:_ ~done_ ~total ->
-                    progress_line ("equivalence " ^ name) ~done_ ~total);
-            }
-          in
-          let equivalents =
-            Pipeline.classify_equivalents ~screen:config.Config.equivalence_screen
-              ~ctx:equiv_ctx ~seed p
-          in
-          Experiments.sampling_comparison_avg ~config ~repetitions:reps ~ctx p ~name
-            ~weights ~equivalents)
-        (resolve_circuits names)
-    in
-    print_endline (Report.table2_average rows)
+    print_string
+      (Sjobs.table2
+         ~equiv_progress:(fun ~name ~done_ ~total ->
+           progress_line ("equivalence " ^ name) ~done_ ~total)
+         ~ctx ~circuits:names ~quick ~seed ~repetitions:reps ())
   in
   Cmd.v
     (Cmd.info "table2" ~doc:"Reproduce the paper's Table 2 (sampling strategies).")
@@ -1160,17 +1128,24 @@ let store_cmd =
       exit (Rerror.exit_code e)
   in
   let stats_cmd =
-    let run dir =
+    let format =
+      Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+           & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+    in
+    let run dir format =
       let s = Store.stats (open_store dir) in
-      Printf.printf "%s: %d entries, %d bytes, %d stale temp file(s)\n" dir
-        s.Store.entries s.Store.bytes s.Store.stale_tmp;
-      List.iter
-        (fun (ns, n) -> Printf.printf "  %-10s %d\n" ns n)
-        s.Store.namespaces
+      match format with
+      | `Text ->
+        Printf.printf "%s: %d entries, %d bytes, %d stale temp file(s)\n" dir
+          s.Store.entries s.Store.bytes s.Store.stale_tmp;
+        List.iter
+          (fun (ns, n) -> Printf.printf "  %-10s %d\n" ns n)
+          s.Store.namespaces
+      | `Json -> print_endline (Json.to_string (Store.stats_to_json ~dir s))
     in
     Cmd.v
       (Cmd.info "stats" ~doc:"Entry and byte counts per namespace.")
-      Term.(const run $ dir_pos)
+      Term.(const run $ dir_pos $ format)
   in
   let gc_cmd =
     let max_age_days =
@@ -1221,6 +1196,253 @@ let store_cmd =
     [ stats_cmd; gc_cmd; invalidate_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* serve / client                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let socket_flag =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let tcp_flag =
+  Arg.(value & opt (some string) None
+       & info [ "tcp" ] ~docv:"ADDR:PORT"
+           ~doc:"TCP endpoint with a numeric address, e.g. 127.0.0.1:7433.")
+
+let listen_of ~what socket tcp =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.eprintf "mutsamp %s: %s\n" what m;
+        exit 64)
+      fmt
+  in
+  match (socket, tcp) with
+  | Some _, Some _ -> fail "choose one of --socket and --tcp"
+  | Some path, None -> Sserver.Unix_path path
+  | None, Some spec -> (
+    match String.rindex_opt spec ':' with
+    | None -> fail "bad --tcp %S (expected ADDR:PORT)" spec
+    | Some i -> (
+      let addr = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Sserver.Tcp (addr, p)
+      | _ -> fail "bad --tcp port %S" port))
+  | None, None -> fail "one of --socket PATH or --tcp ADDR:PORT is required"
+
+let serve_cmd =
+  let queue_depth =
+    Arg.(value & opt int 16
+         & info [ "queue-depth" ] ~docv:"N"
+             ~doc:"Bounded job-queue capacity; requests beyond it get an \
+                   immediate typed overloaded reply instead of queueing.")
+  in
+  let request_deadline_ms =
+    Arg.(value & opt int 0
+         & info [ "request-deadline-ms" ] ~docv:"MS"
+             ~doc:"Server-side wall-clock cap per request (0 = none); a \
+                   client deadline_ms below it wins.")
+  in
+  let idle_timeout_ms =
+    Arg.(value & opt int 30_000
+         & info [ "idle-timeout-ms" ] ~docv:"MS"
+             ~doc:"Close connections idle for this long (0 = never).")
+  in
+  let drain_grace_ms =
+    Arg.(value & opt int 2_000
+         & info [ "drain-grace-ms" ] ~docv:"MS"
+             ~doc:"On SIGTERM/SIGINT, budget-cancel in-flight work still \
+                   running after this grace period.")
+  in
+  let jobs =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains for sharded stages (shared across \
+                   requests); 0 means one per available core.")
+  in
+  let store =
+    Arg.(value & opt (some string) None
+         & info [ "store" ] ~docv:"DIR"
+             ~doc:"Campaign store directory shared by every request (created \
+                   if missing). See docs/STORE.md.")
+  in
+  let chaos =
+    Arg.(value & opt_all string []
+         & info [ "chaos" ] ~docv:"SPEC"
+             ~doc:"Arm fault injection for every request (test hook): \
+                   POINT:ACTION[@AFTER]. Repeatable.")
+  in
+  let chaos_seed =
+    Arg.(value & opt int 2005
+         & info [ "chaos-seed" ] ~docv:"N"
+             ~doc:"Seed for probabilistic chaos armings.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ] ~doc:"Log per-request lines to stderr.")
+  in
+  let run socket tcp queue_depth request_deadline_ms idle_timeout_ms
+      drain_grace_ms jobs store_dir chaos chaos_seed verbose =
+    let listen = listen_of ~what:"serve" socket tcp in
+    (* Reject bad chaos specs at startup, not on the first request. *)
+    List.iter
+      (fun spec ->
+        match Chaos.parse_spec spec with
+        | Ok () -> ()
+        | Error msg ->
+          Printf.eprintf "mutsamp serve: bad --chaos spec: %s\n" msg;
+          exit 64)
+      chaos;
+    Chaos.disarm_all ();
+    let store =
+      match store_dir with
+      | None -> None
+      | Some dir -> (
+        match Store.open_dir dir with
+        | Ok s ->
+          Store.reset_counters ();
+          Some s
+        | Error e ->
+          Printf.eprintf "mutsamp serve: --store %s: %s\n" dir
+            (Rerror.to_string e);
+          exit (Rerror.exit_code e))
+    in
+    let log =
+      if verbose then Some (fun m -> Printf.eprintf "mutsamp serve: %s\n%!" m)
+      else None
+    in
+    let cfg =
+      Sserver.config ~queue_depth ~request_deadline_ms ~idle_timeout_ms
+        ~drain_grace_ms ~jobs ?store ~chaos_specs:chaos ~chaos_seed ?log listen
+    in
+    match Sserver.create cfg with
+    | Error e ->
+      Printf.eprintf "mutsamp serve: %s\n" (Rerror.to_string e);
+      exit (Rerror.exit_code e)
+    | Ok t ->
+      (* Handlers only flip an atomic; the accept loop notices on its
+         next select tick and performs the graceful drain itself. *)
+      let drain _ = Sserver.initiate_drain t in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      Printf.eprintf "mutsamp serve: listening on %s\n%!"
+        (match listen with
+         | Sserver.Unix_path p -> p
+         | Sserver.Tcp (a, p) -> Printf.sprintf "%s:%d" a p);
+      Sserver.run t
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the fault-isolated campaign service daemon: \
+             newline-delimited JSON requests over a Unix or TCP socket, \
+             bounded queueing with load shedding, per-request budgets and \
+             typed error replies, graceful drain on SIGTERM/SIGINT. See \
+             docs/SERVICE.md.")
+    Term.(const run $ socket_flag $ tcp_flag $ queue_depth
+          $ request_deadline_ms $ idle_timeout_ms $ drain_grace_ms $ jobs
+          $ store $ chaos $ chaos_seed $ verbose)
+
+let client_cmd =
+  let request_pos =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"REQUEST"
+             ~doc:"Request JSON line (sent verbatim). Omitted: read request \
+                   lines from stdin until EOF.")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some int) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Give up waiting for a reply after MS (exit 75).")
+  in
+  let connect_retries =
+    Arg.(value & opt int 5
+         & info [ "connect-retries" ] ~docv:"N"
+             ~doc:"Connection attempts with exponential backoff (daemon \
+                   startup and client launch race in scripts).")
+  in
+  let output_only =
+    Arg.(value & flag
+         & info [ "output-only"; "o" ]
+             ~doc:"Print only the ok-reply output text (the batch CLI's \
+                   stdout bytes) instead of the raw reply line.")
+  in
+  let report_out =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Write the last ok reply's embedded run report to FILE.")
+  in
+  let run socket tcp request timeout_ms connect_retries output_only report_out =
+    let listen = listen_of ~what:"client" socket tcp in
+    let policy =
+      Retry.policy ~max_attempts:connect_retries ~base_delay_ms:50.
+        ~max_delay_ms:1000. ()
+    in
+    match Sclient.connect ~policy listen with
+    | Error e ->
+      Printf.eprintf "mutsamp client: %s\n" (Rerror.to_string e);
+      exit (Rerror.exit_code e)
+    | Ok conn ->
+      let lines =
+        match request with
+        | Some r -> [ r ]
+        | None ->
+          let rec read acc =
+            match input_line stdin with
+            | line -> read (line :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          read []
+      in
+      let last_report = ref None in
+      let code =
+        List.fold_left
+          (fun acc line ->
+            match Sclient.request_line ?timeout_ms conn line with
+            | Error e ->
+              Printf.eprintf "mutsamp client: %s\n" (Rerror.to_string e);
+              max acc (Rerror.exit_code e)
+            | Ok reply_line -> (
+              match Sprotocol.parse_reply reply_line with
+              | Ok (Sprotocol.Ok_reply { output; report; _ }) ->
+                if output_only then print_string output
+                else print_endline reply_line;
+                (match report with
+                 | Some r -> last_report := Some r
+                 | None -> ());
+                acc
+              | Ok (Sprotocol.Error_reply { message; exit_code; _ }) ->
+                Printf.eprintf "mutsamp client: %s\n" message;
+                if not output_only then print_endline reply_line;
+                max acc exit_code
+              | Error e ->
+                Printf.eprintf "mutsamp client: %s\n" (Rerror.to_string e);
+                max acc (Rerror.exit_code e)))
+          0 lines
+      in
+      Sclient.close conn;
+      (match (report_out, !last_report) with
+       | Some path, Some r -> (
+         match Atomicio.write_file path (Json.to_string r) with
+         | Ok () -> ()
+         | Error e ->
+           Printf.eprintf "mutsamp client: cannot write report: %s\n"
+             (Rerror.to_string e);
+           exit (Rerror.exit_code e))
+       | Some path, None ->
+         Printf.eprintf "mutsamp client: no report received for --report %s\n"
+           path
+       | None, _ -> ());
+      if code > 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send requests to a running mutsamp serve daemon and print the \
+             replies; error replies map to the daemon's typed exit codes.")
+    Term.(const run $ socket_flag $ tcp_flag $ request_pos $ timeout_ms
+          $ connect_retries $ output_only $ report_out)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "mutation sampling for structural test data generation" in
@@ -1234,5 +1456,5 @@ let () =
             atpg_cmd; dot_cmd; export_cmd; import_cmd; diagnose_cmd;
             seqatpg_cmd; bist_cmd; sync_cmd; wave_cmd;
             lint_cmd; table1_cmd; table2_cmd; e3_cmd; report_validate_cmd;
-            benchdiff_cmd; store_cmd;
+            benchdiff_cmd; store_cmd; serve_cmd; client_cmd;
           ]))

@@ -8,6 +8,7 @@ module Metrics = Mutsamp_obs.Metrics
 module Rerror = Mutsamp_robust.Error
 module Budget = Mutsamp_robust.Budget
 module Degrade = Mutsamp_robust.Degrade
+module Retry = Mutsamp_robust.Retry
 module Ctx = Mutsamp_exec.Ctx
 
 type engine = Use_podem | Use_sat
@@ -162,10 +163,12 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
   let leftover = ref (phase3 !remaining) in
   (* Graceful degradation: when deterministic ATPG was cut short, fall
      back to bounded random top-off rounds with exponential
-     vector-count backoff (64, 128, 256, … patterns per retry). Random
+     vector-count backoff (64, 128, 256, … patterns per retry), driven
+     by the shared {!Retry} combinator: the attempt [scale] is the
+     number of word-wide batches simulated per round. Random
      simulation costs no SAT/PODEM budget, so partial coverage keeps
      improving even after the solver quota is gone; only the deadline
-     can stop the retries early. *)
+     can stop the retries early ([Budget_cut]). *)
   let degraded_detected = ref 0 in
   let retries_used = ref 0 in
   (match !degrade_error with
@@ -174,28 +177,27 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
      Metrics.incr c_degraded;
      Degrade.note ~stage:Rerror.Topoff
        ~detail:"deterministic ATPG cut short; random top-off fallback" e;
-     let batch_words = ref 1 in
-     (try
-        for _retry = 1 to degraded_retries do
-          if !leftover = [] || expired () then raise Exit;
-          Degrade.retry ~stage:Rerror.Topoff;
-          incr retries_used;
-          for _batch = 1 to !batch_words do
-            if !leftover <> [] then begin
-              let batch = Prpg.uniform_sequence prng ~bits ~length:Bitsim.word_bits in
-              random_patterns := !random_patterns + Bitsim.word_bits;
-              let before = List.length !leftover in
-              let next = surviving ~ctx nl !leftover batch in
-              if List.length next < before then begin
-                test_set := !test_set @ Array.to_list batch;
-                degraded_detected := !degraded_detected + (before - List.length next);
-                leftover := next
-              end
-            end
-          done;
-          batch_words := !batch_words * 2
-        done
-      with Exit -> ()));
+     let o =
+       Retry.run
+         ~policy:(Retry.policy ~max_attempts:degraded_retries ())
+         ~budget ~stage:Rerror.Topoff
+         (fun ~attempt:_ ~scale ->
+           for _batch = 1 to scale do
+             if !leftover <> [] then begin
+               let batch = Prpg.uniform_sequence prng ~bits ~length:Bitsim.word_bits in
+               random_patterns := !random_patterns + Bitsim.word_bits;
+               let before = List.length !leftover in
+               let next = surviving ~ctx nl !leftover batch in
+               if List.length next < before then begin
+                 test_set := !test_set @ Array.to_list batch;
+                 degraded_detected := !degraded_detected + (before - List.length next);
+                 leftover := next
+               end
+             end
+           done;
+           if !leftover = [] then Ok () else Error "undetected faults remain")
+     in
+     retries_used := o.attempts);
   (* Whatever survived the fallback is undetected with unknown status —
      counted as aborted, never as untestable. *)
   aborted := !aborted + List.length !leftover;

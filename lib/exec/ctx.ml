@@ -31,6 +31,9 @@ let default =
 let sequential = default
 let with_pool pool = { default with pool = Some pool }
 let with_store store = { default with store = Some store }
+
+let make ?pool ?budget ?store ?progress ?(static_filter = true) () =
+  { pool; budget; sink = Global; progress; static_filter; store }
 let store t = t.store
 
 let jobs t =

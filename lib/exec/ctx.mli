@@ -37,6 +37,19 @@ val with_pool : Pool.t -> t
 val with_store : Mutsamp_store.Store.t -> t
 (** {!default} with the given campaign store installed. *)
 
+val make :
+  ?pool:Pool.t ->
+  ?budget:Mutsamp_robust.Budget.t ->
+  ?store:Mutsamp_store.Store.t ->
+  ?progress:(stage:string -> done_:int -> total:int -> unit) ->
+  ?static_filter:bool ->
+  unit ->
+  t
+(** Assemble a context field by field (omitted fields as in
+    {!default}). The service daemon builds one per request this way:
+    the shared pool, the request's own budget and the server's store,
+    without relying on the process-ambient budget. *)
+
 val store : t -> Mutsamp_store.Store.t option
 
 val jobs : t -> int

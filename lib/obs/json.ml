@@ -80,6 +80,40 @@ let to_string v =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* Single-line emission for newline-delimited protocols: no indent, no
+   gratuitous whitespace, and — crucially — no trailing newline, so the
+   caller controls the frame delimiter. *)
+let rec emit_compact buf v =
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_to buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit_compact buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_to buf k;
+        Buffer.add_char buf ':';
+        emit_compact buf item)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_compact v =
+  let buf = Buffer.create 1024 in
+  emit_compact buf v;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* Parsing                                                            *)
 (* ------------------------------------------------------------------ *)

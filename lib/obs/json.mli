@@ -20,6 +20,12 @@ val to_string : t -> string
 (** Pretty-printed with two-space indentation and a trailing newline at
     top level. Non-finite floats render as [null] (JSON has no NaN). *)
 
+val to_compact : t -> string
+(** Single-line rendering with no whitespace and {e no} trailing
+    newline — one frame of a newline-delimited protocol (the service
+    daemon's request/reply wire format). Same stability guarantees as
+    {!to_string}. *)
+
 val parse : string -> (t, string) result
 (** Parse one JSON document. Numbers without [.], [e] or [E] become
     [Int]; everything else numeric becomes [Float]. Errors carry a byte

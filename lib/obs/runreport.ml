@@ -286,6 +286,23 @@ let validate_store json =
       (Ok ()) fields
   | _ -> Error "field \"store\" must be an object"
 
+(* The optional "serve" section: per-request service-daemon context
+   (request id, op, queueing) plus the flat serve.* counters. Lenient
+   like the store section — the field set may grow — but every member
+   must be a scalar, never a nested structure. *)
+let validate_serve json =
+  match json with
+  | Json.Obj fields ->
+    List.fold_left
+      (fun acc (k, v) ->
+        let* () = acc in
+        match v with
+        | Json.Bool _ | Json.Int _ | Json.Float _ | Json.String _ | Json.Null ->
+          Ok ()
+        | _ -> Error (Printf.sprintf "serve.%s must be a scalar" k))
+      (Ok ()) fields
+  | _ -> Error "field \"serve\" must be an object"
+
 let validate json =
   match json with
   | Json.Obj _ ->
@@ -340,9 +357,14 @@ let validate json =
       | None -> Ok ()
       | Some e -> validate_exec e
     in
-    (match Json.member "store" json with
+    let* () =
+      match Json.member "store" json with
+      | None -> Ok ()
+      | Some s -> validate_store s
+    in
+    (match Json.member "serve" json with
      | None -> Ok ()
-     | Some s -> validate_store s)
+     | Some s -> validate_serve s)
   | _ -> Error "report must be a JSON object"
 
 let validate_file path =

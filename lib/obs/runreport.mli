@@ -27,8 +27,9 @@
     means the main domain). Additive optional sections validated when
     present: ["analysis"] (lint findings), ["profile"] (flat self-time
     rows from [--profile]), ["exec"] (jobs used plus execution-engine
-    histograms) and ["store"] (campaign-store attachment and reuse
-    counters from [--store]). *)
+    histograms), ["store"] (campaign-store attachment and reuse
+    counters from [--store]) and ["serve"] (per-request service-daemon
+    context in daemon replies). *)
 
 val schema_version : int
 val tool_version : string
@@ -54,9 +55,10 @@ val validate : Json.t -> (unit, string) result
     are validated when present and reports without them remain valid:
     ["analysis"] (per-rule counts and diagnostics from [mutsamp lint]),
     ["profile"] (wall time plus self-time rows from [--profile]),
-    ["exec"] (integer job counts plus numeric histograms) and ["store"]
-    (boolean [enabled], optional [dir], integer counters). Used by the
-    [bench-smoke] alias and the report tests, so a report-format
-    regression fails [dune runtest]. *)
+    ["exec"] (integer job counts plus numeric histograms), ["store"]
+    (boolean [enabled], optional [dir], integer counters) and ["serve"]
+    (scalar request-context fields). Used by the [bench-smoke] alias
+    and the report tests, so a report-format regression fails
+    [dune runtest]. *)
 
 val validate_file : string -> (unit, string) result

@@ -23,7 +23,10 @@ let resource_name = function
    per-shard children). max_int is the "unlimited" sentinel and is
    never decremented, so [unlimited] stays a safe shared constant. *)
 type t = {
-  deadline : float option;  (* absolute Unix time *)
+  deadline : float Atomic.t;
+      (* absolute Unix time; [infinity] = no deadline. An atomic so the
+         service daemon can [expire] an in-flight request's budget from
+         its watchdog thread while workers keep polling it. *)
   deadline_ms : int option;  (* as configured, for reports *)
   sat_conflicts : int Atomic.t;  (* remaining; max_int = unlimited *)
   podem_backtracks : int Atomic.t;
@@ -38,7 +41,7 @@ let clock_interval = 64
 
 let unlimited =
   {
-    deadline = None;
+    deadline = Atomic.make infinity;
     deadline_ms = None;
     sat_conflicts = Atomic.make max_int;
     podem_backtracks = Atomic.make max_int;
@@ -49,9 +52,10 @@ let unlimited =
 let create ?deadline_ms ?sat_conflicts ?podem_backtracks ?fsim_pairs () =
   {
     deadline =
-      (match deadline_ms with
-       | Some ms -> Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.))
-       | None -> None);
+      Atomic.make
+        (match deadline_ms with
+         | Some ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.)
+         | None -> infinity);
     deadline_ms;
     sat_conflicts =
       Atomic.make (match sat_conflicts with Some n -> max 0 n | None -> max_int);
@@ -68,21 +72,32 @@ let quota t = function
   | Fsim_pairs -> t.fsim_pairs
 
 let is_unlimited t =
-  t.deadline = None
+  Atomic.get t.deadline = infinity
   && Atomic.get t.sat_conflicts = max_int
   && Atomic.get t.podem_backtracks = max_int
   && Atomic.get t.fsim_pairs = max_int
 
 let check_deadline t ~stage =
-  match t.deadline with
-  | None -> Ok ()
-  | Some d ->
+  let d = Atomic.get t.deadline in
+  if d = infinity then Ok ()
+  else begin
     Metrics.incr c_checks;
     if Unix.gettimeofday () > d then begin
       Metrics.incr c_timeouts;
       Error (Error.Timeout stage)
     end
     else Ok ()
+  end
+
+let expire t =
+  (* Physical-equality guard: the shared [unlimited] constant must
+     never be poisoned by a caller expiring a defaulted budget. *)
+  if t != unlimited then Atomic.set t.deadline neg_infinity
+
+let deadline_remaining_ms t =
+  let d = Atomic.get t.deadline in
+  if d = infinity then None
+  else Some (max 0 (int_of_float ((d -. Unix.gettimeofday ()) *. 1000.)))
 
 let remaining t resource = Atomic.get (quota t resource)
 
@@ -102,15 +117,12 @@ let spend t ~stage resource n =
     Metrics.incr c_exhausted;
     Error (Error.Budget_exhausted { stage; resource = resource_name resource })
   end
-  else
-    match t.deadline with
-    | None -> Ok ()
-    | Some _ ->
-      if Atomic.fetch_and_add t.clock_skip (-1) > 0 then Ok ()
-      else begin
-        Atomic.set t.clock_skip clock_interval;
-        check_deadline t ~stage
-      end
+  else if Atomic.get t.deadline = infinity then Ok ()
+  else if Atomic.fetch_and_add t.clock_skip (-1) > 0 then Ok ()
+  else begin
+    Atomic.set t.clock_skip clock_interval;
+    check_deadline t ~stage
+  end
 
 (* Split the remaining quotas of [t] evenly over [n] children sharing
    the parent's absolute deadline. Finite quotas are drained out of the

@@ -40,6 +40,18 @@ val spend : t -> stage:Error.stage -> resource -> int -> (unit, Error.t) result
 val check_deadline : t -> stage:Error.stage -> (unit, Error.t) result
 (** [Error (Timeout stage)] once the wall-clock deadline has passed. *)
 
+val expire : t -> unit
+(** Force the deadline into the past, so every subsequent
+    {!check_deadline}/{!spend} poll fails with [Timeout]. Thread-safe
+    (the deadline is an atomic) — the service daemon uses it to cancel
+    an in-flight request from its drain watchdog. Children made by
+    {!split} share the parent's deadline cell, so expiring the parent
+    cancels all shards. No-op on {!unlimited}. *)
+
+val deadline_remaining_ms : t -> int option
+(** Milliseconds until the deadline ([Some 0] once passed), [None]
+    when the budget has no deadline. *)
+
 val remaining : t -> resource -> int
 (** [max_int] when unlimited. *)
 

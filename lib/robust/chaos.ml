@@ -13,6 +13,7 @@ type point =
   | Kill_run
   | Report_write
   | Parse_input
+  | Store_read
 
 type action = Timeout | Exception | Truncate of int
 
@@ -27,6 +28,7 @@ let point_name = function
   | Kill_run -> "kill"
   | Report_write -> "report"
   | Parse_input -> "parse"
+  | Store_read -> "store"
 
 let stage_of_point = function
   | Sat_solve -> Error.Sat
@@ -37,6 +39,7 @@ let stage_of_point = function
   | Kill_run -> Error.Kill
   | Report_write -> Error.Report
   | Parse_input -> Error.Parse
+  | Store_read -> Error.Report
 
 type arming = { mutable countdown : int; probability : float; action : action }
 
@@ -103,6 +106,7 @@ let parse_spec spec =
     | "kill" -> Some Kill_run
     | "report" -> Some Report_write
     | "parse" -> Some Parse_input
+    | "store" -> Some Store_read
     | _ -> None
   in
   let spec, after =

@@ -20,6 +20,7 @@ type point =
   | Kill_run  (** entry of every mutant-execution batch *)
   | Report_write  (** artifact writes ({!Atomicio.write_file}) *)
   | Parse_input  (** netlist / HDL parsing *)
+  | Store_read  (** campaign-store entry reads ({!Mutsamp_store.Store.find}) *)
 
 type action =
   | Timeout  (** stage receives [Error (Timeout _)] *)
@@ -60,6 +61,6 @@ val contain : Error.stage -> (unit -> 'a) -> ('a, Error.t) result
 val parse_spec : string -> (unit, string) result
 (** Parse-and-arm a CLI spec: [POINT:ACTION[@AFTER]] where POINT is one
     of [sat], [podem], [seqatpg], [fsim], [vectorgen], [kill],
-    [report], [parse]; ACTION is [timeout], [exn], or [truncate=N];
+    [report], [parse], [store]; ACTION is [timeout], [exn], or [truncate=N];
     AFTER is the number of hits to let pass first. Example:
     [sat:timeout], [report:truncate=16], [podem:exn@3]. *)

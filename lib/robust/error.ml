@@ -10,6 +10,7 @@ type stage =
   | Parse
   | Report
   | Pipeline
+  | Serve
 
 let stage_name = function
   | Sat -> "sat"
@@ -23,6 +24,7 @@ let stage_name = function
   | Parse -> "parse"
   | Report -> "report"
   | Pipeline -> "pipeline"
+  | Serve -> "serve"
 
 type loc = { file : string option; line : int option }
 
@@ -33,6 +35,8 @@ type t =
   | Aborted of stage
   | Injected of stage
   | Io_error of string
+  | Overloaded of string
+  | Protocol of string
 
 exception E of t
 
@@ -53,13 +57,27 @@ let to_string = function
   | Aborted stage -> Printf.sprintf "%s: aborted at stage-local limit" (stage_name stage)
   | Injected stage -> Printf.sprintf "%s: chaos-injected failure" (stage_name stage)
   | Io_error msg -> Printf.sprintf "i/o error: %s" msg
+  | Overloaded msg -> Printf.sprintf "service overloaded: %s" msg
+  | Protocol msg -> Printf.sprintf "protocol error: %s" msg
 
 let ok_exn = function Ok v -> v | Error e -> raise (E e)
 
 let exit_code = function
   | Parse_error _ -> 65
+  | Overloaded _ -> 69
   | Io_error _ -> 74
   | Timeout _ -> 75
   | Budget_exhausted _ -> 76
   | Aborted _ -> 77
   | Injected _ -> 78
+  | Protocol _ -> 79
+
+let class_name = function
+  | Timeout _ -> "timeout"
+  | Budget_exhausted _ -> "budget"
+  | Parse_error _ -> "parse"
+  | Aborted _ -> "aborted"
+  | Injected _ -> "injected"
+  | Io_error _ -> "io"
+  | Overloaded _ -> "overloaded"
+  | Protocol _ -> "protocol"

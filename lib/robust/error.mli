@@ -18,6 +18,7 @@ type stage =
   | Parse
   | Report  (** artifact writing *)
   | Pipeline  (** whole-run orchestration *)
+  | Serve  (** campaign service daemon ({!Mutsamp_serve}) *)
 
 val stage_name : stage -> string
 (** Lowercase stable identifier, used in metrics series names and run
@@ -35,6 +36,12 @@ type t =
   | Aborted of stage  (** stage-local limit hit (e.g. backtrack limit) *)
   | Injected of stage  (** failure forced by the {!Chaos} harness *)
   | Io_error of string
+  | Overloaded of string
+      (** the service daemon's bounded queue is full (or draining); the
+          request was shed, never executed — safe to retry with backoff *)
+  | Protocol of string
+      (** malformed service request or reply (bad JSON, unknown op,
+          wrong field type) — retrying the same bytes cannot succeed *)
 
 exception E of t
 (** Bridge for legacy raise-style call sites: result-returning APIs
@@ -51,5 +58,10 @@ val to_string : t -> string
 
 val exit_code : t -> int
 (** Distinct nonzero process exit code per error class: parse 65
-    (EX_DATAERR), I/O 74 (EX_IOERR), timeout 75, budget 76, aborted 77,
-    injected 78. *)
+    (EX_DATAERR), overloaded 69 (EX_UNAVAILABLE), I/O 74 (EX_IOERR),
+    timeout 75, budget 76, aborted 77, injected 78, protocol 79. *)
+
+val class_name : t -> string
+(** Stable lowercase class identifier ([timeout], [budget], [parse],
+    [aborted], [injected], [io], [overloaded], [protocol]) — the
+    ["class"] field of the service daemon's typed error replies. *)

@@ -1,0 +1,27 @@
+(** Bounded multi-producer single-consumer job queue.
+
+    The admission point of the service daemon: producers never block —
+    {!try_push} either enqueues or reports the queue full, and the
+    caller sheds the request with a typed [Overloaded] reply. The
+    consumer blocks in {!pop} until work arrives or the queue is
+    closed {e and} drained (jobs admitted before a drain began still
+    come out, so every admitted request gets its reply). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] on a capacity below 1. *)
+
+val try_push : 'a t -> 'a -> bool
+(** [false] when the queue is full or closed — never blocks. *)
+
+val pop : 'a t -> 'a option
+(** Blocking dequeue; [None] once the queue is closed and empty. *)
+
+val close : 'a t -> unit
+(** Reject all future pushes and wake blocked consumers. Items already
+    queued remain poppable. Idempotent. *)
+
+val closed : 'a t -> bool
+val depth : 'a t -> int
+val capacity : 'a t -> int

@@ -1,0 +1,114 @@
+module Json = Mutsamp_obs.Json
+module Error = Mutsamp_robust.Error
+module Retry = Mutsamp_robust.Retry
+module Budget = Mutsamp_robust.Budget
+
+type t = { fd : Unix.file_descr; buf : Buffer.t }
+
+let sockaddr_of = function
+  | Server.Unix_path path -> Unix.ADDR_UNIX path
+  | Server.Tcp (addr, port) ->
+    Unix.ADDR_INET (Unix.inet_addr_of_string addr, port)
+
+let default_policy =
+  Retry.policy ~max_attempts:5 ~base_delay_ms:50. ~max_delay_ms:1000. ()
+
+(* Daemon startup and client launch race in scripts and CI, so connect
+   is retried with exponential backoff; a budget deadline (when one is
+   ambient-installed) cuts the retry loop with a typed error. *)
+let connect ?(policy = default_policy) ?budget listen =
+  let addr =
+    try Ok (sockaddr_of listen)
+    with Failure _ | Invalid_argument _ ->
+      Error (Error.Io_error "bad listen address")
+  in
+  match addr with
+  | Error e -> Error e
+  | Ok addr -> (
+    let o =
+      Retry.run ~policy ?budget ~stage:Error.Serve (fun ~attempt:_ ~scale:_ ->
+          let fd =
+            Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+          in
+          match Unix.connect fd addr with
+          | () -> Ok fd
+          | exception Unix.Unix_error (err, _, _) ->
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            Error (Unix.error_message err))
+    in
+    match o.Retry.result with
+    | Ok fd -> Ok { fd; buf = Buffer.create 256 }
+    | Error (Retry.Budget_cut e) -> Error e
+    | Error (Retry.Exhausted msg) ->
+      Error
+        (Error.Io_error
+           (Printf.sprintf "connect: %s (after %d attempts)" msg
+              o.Retry.attempts)))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let recv_line t ~timeout_ms =
+  let chunk = Bytes.create 4096 in
+  let take_line () =
+    let s = Buffer.contents t.buf in
+    match String.index_opt s '\n' with
+    | None -> None
+    | Some i ->
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf (String.sub s (i + 1) (String.length s - i - 1));
+      Some (String.sub s 0 i)
+  in
+  let deadline =
+    match timeout_ms with
+    | None -> None
+    | Some ms -> Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+  in
+  let rec loop () =
+    match take_line () with
+    | Some line -> Ok line
+    | None -> (
+      let wait =
+        match deadline with
+        | None -> -1.
+        | Some d ->
+          let w = d -. Unix.gettimeofday () in
+          if w <= 0. then 0. else w
+      in
+      if wait = 0. && deadline <> None then Error (Error.Timeout Error.Serve)
+      else
+        match Unix.select [ t.fd ] [] [] wait with
+        | [], _, _ -> Error (Error.Timeout Error.Serve)
+        | _ -> (
+          match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+          | 0 -> Error (Error.Io_error "connection closed by daemon")
+          | n ->
+            Buffer.add_subbytes t.buf chunk 0 n;
+            loop ()
+          | exception Unix.Unix_error (err, _, _) ->
+            Error (Error.Io_error (Unix.error_message err)))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
+  in
+  loop ()
+
+(* Raw round-trip: ships [line] verbatim (the malformed-payload test
+   path) and returns the daemon's raw reply line. *)
+let request_line ?timeout_ms t line =
+  match write_all t.fd (line ^ "\n") with
+  | () -> recv_line t ~timeout_ms
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Error.Io_error (Unix.error_message err))
+
+let request ?timeout_ms t json =
+  match request_line ?timeout_ms t (Json.to_compact json) with
+  | Error e -> Error e
+  | Ok line -> Protocol.parse_reply line

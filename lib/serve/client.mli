@@ -1,0 +1,31 @@
+(** Client side of the service protocol.
+
+    Used by the [mutsamp client] subcommand and the serve tests.
+    {!connect} retries with the shared {!Mutsamp_robust.Retry}
+    exponential-backoff combinator (daemon startup and client launch
+    race in scripts), and every failure is a typed
+    {!Mutsamp_robust.Error.t} whose [exit_code] the CLI propagates. *)
+
+module Json = Mutsamp_obs.Json
+module Error = Mutsamp_robust.Error
+module Retry = Mutsamp_robust.Retry
+module Budget = Mutsamp_robust.Budget
+
+type t
+
+val connect :
+  ?policy:Retry.policy -> ?budget:Budget.t -> Server.listen -> (t, Error.t) result
+(** Connect with retries (default policy: 5 attempts, 50 ms base
+    delay, exponential with jitter). [Budget_cut] surfaces as the
+    cutting error; exhaustion as [Io_error]. *)
+
+val close : t -> unit
+
+val request : ?timeout_ms:int -> t -> Json.t -> (Protocol.reply, Error.t) result
+(** One request/reply round trip. [timeout_ms] bounds the wait for the
+    reply line ([Error (Timeout Serve)] when exceeded); omitted =
+    wait indefinitely. *)
+
+val request_line : ?timeout_ms:int -> t -> string -> (string, Error.t) result
+(** Raw round trip: ships [line] verbatim — the malformed-payload test
+    path — and returns the daemon's reply line unparsed. *)

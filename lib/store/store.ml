@@ -3,6 +3,7 @@ module Metrics = Mutsamp_obs.Metrics
 module Error = Mutsamp_robust.Error
 module Atomicio = Mutsamp_robust.Atomicio
 module Degrade = Mutsamp_robust.Degrade
+module Chaos = Mutsamp_robust.Chaos
 
 let format_version = 1
 let version_line = Printf.sprintf "mutsamp-store %d\n" format_version
@@ -23,6 +24,7 @@ let a_put_errors = Atomic.make 0
 let a_corrupt = Atomic.make 0
 let a_invalidated = Atomic.make 0
 let a_gc_removed = Atomic.make 0
+let a_raced = Atomic.make 0
 
 let m_hits = Metrics.counter "store.hits"
 let m_misses = Metrics.counter "store.misses"
@@ -31,15 +33,31 @@ let m_put_errors = Metrics.counter "store.put_errors"
 let m_corrupt = Metrics.counter "store.corrupt"
 let m_invalidated = Metrics.counter "store.invalidated"
 let m_gc_removed = Metrics.counter "store.gc_removed"
+let m_raced = Metrics.counter "store.raced"
 
 let bump a m n =
   ignore (Atomic.fetch_and_add a n);
   Metrics.add m n
 
+(* A file vanished between readdir and the stat/unlink that followed —
+   a concurrent writer or gc got there first. Maintenance must shrug
+   (skip the path, count the race), never crash: stores are shared
+   between live daemons and cron'd [store gc] invocations. *)
+let raced () = bump a_raced m_raced 1
+
 let reset_counters () =
   List.iter
     (fun a -> Atomic.set a 0)
-    [ a_hits; a_misses; a_puts; a_put_errors; a_corrupt; a_invalidated; a_gc_removed ]
+    [
+      a_hits;
+      a_misses;
+      a_puts;
+      a_put_errors;
+      a_corrupt;
+      a_invalidated;
+      a_gc_removed;
+      a_raced;
+    ]
 
 let counters () =
   [
@@ -50,6 +68,7 @@ let counters () =
     ("corrupt", Atomic.get a_corrupt);
     ("invalidated", Atomic.get a_invalidated);
     ("gc_removed", Atomic.get a_gc_removed);
+    ("raced", Atomic.get a_raced);
   ]
 
 (* --- keys -------------------------------------------------------------- *)
@@ -145,7 +164,20 @@ let find t k =
   else
     let doc =
       match read_file path with
-      | contents -> Json.parse contents
+      | contents ->
+        (* Chaos point: simulate on-disk corruption observed at read
+           time. The store is an accelerator, so even an [Exception]
+           arming is contained here — every action degrades the read
+           to an unparsable entry (counted corrupt, treated as a miss)
+           rather than escaping into the caller. *)
+        let contents =
+          match Chaos.fire Chaos.Store_read with
+          | None -> contents
+          | Some (Chaos.Truncate n) ->
+            String.sub contents 0 (min (max n 0) (String.length contents))
+          | Some (Chaos.Timeout | Chaos.Exception) -> ""
+        in
+        Json.parse contents
       | exception Sys_error msg -> Error msg
     in
     match doc with
@@ -220,12 +252,21 @@ let is_tmp name =
   in
   find_sub 0
 
+(* [Sys.is_directory] raises on a path deleted after readdir — these
+   branch bodies run outside the [exception] clause of their match, so
+   the race must be caught right here. *)
+let is_directory_opt path =
+  try Sys.is_directory path
+  with Sys_error _ ->
+    raced ();
+    false
+
 let namespaces_of t =
   match Sys.readdir t.dir with
   | entries ->
     Array.to_list entries
     |> List.filter (fun e ->
-           e <> "VERSION" && Sys.is_directory (Filename.concat t.dir e))
+           e <> "VERSION" && is_directory_opt (Filename.concat t.dir e))
     |> List.sort compare
   | exception Sys_error _ -> []
 
@@ -246,7 +287,7 @@ let tmp_files t =
       Array.to_list entries
       |> List.filter_map (fun e ->
              let p = Filename.concat d e in
-             if is_tmp e && not (Sys.is_directory p) then Some p else None)
+             if is_tmp e && not (is_directory_opt p) then Some p else None)
     | exception Sys_error _ -> []
   in
   in_dir t.dir @ List.concat_map (fun ns -> in_dir (Filename.concat t.dir ns)) (namespaces_of t)
@@ -260,6 +301,9 @@ type stats = {
 
 let file_size path = match Unix.stat path with
   | { Unix.st_size; _ } -> st_size
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+    raced ();
+    0
   | exception Unix.Unix_error _ -> 0
 
 let stats t =
@@ -276,7 +320,26 @@ let stats t =
     stale_tmp = List.length (tmp_files t);
   }
 
-let remove path = try Sys.remove path; true with Sys_error _ -> false
+let stats_to_json ~dir s =
+  Json.Obj
+    [
+      ("dir", Json.String dir);
+      ("entries", Json.Int s.entries);
+      ("bytes", Json.Int s.bytes);
+      ("stale_tmp", Json.Int s.stale_tmp);
+      ( "namespaces",
+        Json.Obj (List.map (fun (ns, n) -> (ns, Json.Int n)) s.namespaces) );
+    ]
+
+let remove path =
+  match Unix.unlink path with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+    (* A concurrent gc (or invalidate) unlinked it first: not ours to
+       count as removed, not an error either. *)
+    raced ();
+    false
+  | exception Unix.Unix_error _ -> false
 
 let gc t ?namespace ?max_age_s () =
   let removed_tmp = List.length (List.filter remove (tmp_files t)) in
@@ -287,6 +350,9 @@ let gc t ?namespace ?max_age_s () =
     | Some age -> (
       match Unix.stat path with
       | { Unix.st_mtime; _ } -> now -. st_mtime > age
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+        raced ();
+        false
       | exception Unix.Unix_error _ -> false)
   in
   let targets =
@@ -315,7 +381,9 @@ let invalidate t ?namespace ?field () =
         | Some kj -> Json.member f kj = Some (Json.String v)
         | None -> false)
       | Error _ -> true  (* unreadable entry: drop it *)
-      | exception Sys_error _ -> false)
+      | exception Sys_error _ ->
+        raced ();
+        false)
   in
   let targets =
     match namespace with Some ns -> [ ns ] | None -> namespaces_of t

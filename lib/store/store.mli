@@ -72,7 +72,10 @@ val digest : string -> string
 val find : t -> key -> Json.t option
 (** The payload stored under [key], or [None]. Counts [store.hits] /
     [store.misses]; corrupt or mismatching entries count
-    [store.corrupt] and read as misses. *)
+    [store.corrupt] and read as misses. Carries the
+    {!Mutsamp_robust.Chaos.Store_read} injection point: an armed
+    action corrupts the bytes just read (truncation or total loss)
+    instead of escaping, proving the degrade-to-recompute path. *)
 
 val put : t -> key -> Json.t -> unit
 (** Atomically (over)write the entry. Never raises: failures —
@@ -107,12 +110,22 @@ type stats = {
 
 val stats : t -> stats
 
+val stats_to_json : dir:string -> stats -> Json.t
+(** Machine-readable rendering with the same information as the CLI
+    text view: [{"dir", "entries", "bytes", "stale_tmp",
+    "namespaces": {<ns>: count, …}}] — the payload of
+    [mutsamp store stats --format json] and of the daemon's [stats]
+    reply. *)
+
 val gc : t -> ?namespace:string -> ?max_age_s:float -> unit -> int
 (** Remove stale temp files plus any entry matching the filters: with
     [namespace], only that namespace's entries; with [max_age_s], only
     entries whose mtime is older. With neither filter only stale temp
     files are removed. Returns the number of files deleted and counts
-    them under [store.gc_removed]. *)
+    them under [store.gc_removed]. Tolerates concurrent writers and
+    collectors: a file deleted by someone else between [readdir] and
+    the stat/unlink is skipped and counted under [store.raced], never
+    an error. *)
 
 val invalidate : t -> ?namespace:string -> ?field:string * string -> unit -> int
 (** Delete entries — all of them by default, restricted to a namespace
@@ -127,7 +140,7 @@ val reset_counters : unit -> unit
 
 val counters : unit -> (string * int) list
 (** Current counts, in a fixed order: hits, misses, puts, put_errors,
-    corrupt, invalidated, gc_removed. *)
+    corrupt, invalidated, gc_removed, raced. *)
 
 val report_section : t option -> Json.t
 (** The ["store"] run-report section: [{"enabled": bool, "dir"?: str,

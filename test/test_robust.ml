@@ -541,9 +541,132 @@ let test_degrade_record () =
   Degrade.reset ();
   check_bool "reset clears" false (Degrade.any ())
 
+(* ------------------------------------------------------------------ *)
+(* Retry                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Retry = Mutsamp_robust.Retry
+
+let no_sleep _ = ()
+
+let test_retry_scale_schedule () =
+  let p = Retry.policy ~base_scale:1 ~scale_multiplier:2.0 () in
+  check_int "attempt 1" 1 (Retry.scale_at p ~attempt:1);
+  check_int "attempt 2" 2 (Retry.scale_at p ~attempt:2);
+  check_int "attempt 3" 4 (Retry.scale_at p ~attempt:3);
+  let flat = Retry.policy ~base_scale:3 ~scale_multiplier:1.0 () in
+  check_int "flat schedule" 3 (Retry.scale_at flat ~attempt:5)
+
+let test_retry_delay_schedule () =
+  let p =
+    Retry.policy ~base_delay_ms:100. ~delay_multiplier:2.0 ~max_delay_ms:250.
+      ~jitter:0. ()
+  in
+  Alcotest.(check (float 0.001)) "no delay before attempt 1" 0.
+    (Retry.delay_ms_at p ~attempt:1);
+  Alcotest.(check (float 0.001)) "base before attempt 2" 100.
+    (Retry.delay_ms_at p ~attempt:2);
+  Alcotest.(check (float 0.001)) "doubled" 200. (Retry.delay_ms_at p ~attempt:3);
+  Alcotest.(check (float 0.001)) "capped" 250. (Retry.delay_ms_at p ~attempt:4);
+  (* Jitter only ever shortens the delay, never lengthens it. *)
+  let j = { p with Retry.jitter = 0.5 } in
+  let prng = Prng.create 7 in
+  for attempt = 2 to 6 do
+    let d = Retry.delay_ms_at ~prng j ~attempt in
+    let nominal = Retry.delay_ms_at p ~attempt in
+    check_bool "jittered within [nominal/2, nominal]" true
+      (d >= (nominal /. 2.) -. 0.001 && d <= nominal +. 0.001)
+  done
+
+let test_retry_succeeds_midway () =
+  let calls = ref [] in
+  let o =
+    Retry.run ~policy:(Retry.policy ~max_attempts:5 ()) ~sleep:no_sleep
+      ~stage:Rerror.Topoff
+      (fun ~attempt ~scale ->
+        calls := (attempt, scale) :: !calls;
+        if attempt = 3 then Ok "done" else Error "not yet")
+  in
+  (match o.Retry.result with
+   | Ok v -> check_string "value" "done" v
+   | Error _ -> Alcotest.fail "expected success");
+  check_int "attempts entered" 3 o.Retry.attempts;
+  Alcotest.(check (list (pair int int)))
+    "geometric work schedule" [ (1, 1); (2, 2); (3, 4) ] (List.rev !calls);
+  (* Every attempt entered is one Degrade.retry under the stage. *)
+  check_int "robust.retries" 3 (Degrade.retries ())
+
+let test_retry_exhaustion () =
+  let o =
+    Retry.run ~policy:(Retry.policy ~max_attempts:3 ()) ~sleep:no_sleep
+      ~stage:Rerror.Serve
+      (fun ~attempt:_ ~scale:_ -> Error "still broken")
+  in
+  (match o.Retry.result with
+   | Error (Retry.Exhausted reason) ->
+     check_string "last reason" "still broken" reason
+   | _ -> Alcotest.fail "expected exhaustion");
+  check_int "all attempts entered" 3 o.Retry.attempts
+
+let test_retry_budget_cut () =
+  let budget = Budget.create ~deadline_ms:3_600_000 () in
+  Budget.expire budget;
+  let entered = ref 0 in
+  let o =
+    Retry.run ~policy:(Retry.policy ~max_attempts:5 ()) ~sleep:no_sleep ~budget
+      ~stage:Rerror.Serve
+      (fun ~attempt:_ ~scale:_ ->
+        incr entered;
+        Error "x")
+  in
+  (match o.Retry.result with
+   | Error (Retry.Budget_cut (Rerror.Timeout _)) -> ()
+   | _ -> Alcotest.fail "expected a budget cut");
+  check_int "cut before the first attempt" 0 o.Retry.attempts;
+  check_int "body never ran" 0 !entered
+
+let test_budget_expire () =
+  let b = Budget.create ~deadline_ms:3_600_000 () in
+  (match Budget.check_deadline b ~stage:Rerror.Serve with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "fresh deadline must pass");
+  check_bool "remaining before expiry" true
+    (match Budget.deadline_remaining_ms b with Some ms -> ms > 0 | None -> false);
+  Budget.expire b;
+  (match Budget.check_deadline b ~stage:Rerror.Serve with
+   | Error (Rerror.Timeout Rerror.Serve) -> ()
+   | _ -> Alcotest.fail "expired deadline must fail");
+  check_int "remaining clamps at zero"
+    0 (Option.value ~default:(-1) (Budget.deadline_remaining_ms b));
+  (* Shards made by split share the parent's deadline cell. *)
+  let parent = Budget.create ~deadline_ms:3_600_000 () in
+  let shards = Budget.split parent 3 in
+  Budget.expire parent;
+  Array.iter
+    (fun shard ->
+      match Budget.check_deadline shard ~stage:Rerror.Serve with
+      | Error (Rerror.Timeout _) -> ()
+      | _ -> Alcotest.fail "shard must see the parent's expiry")
+    shards;
+  (* Expiring a derived handle never poisons the shared unlimited
+     budget. *)
+  Budget.expire Budget.unlimited;
+  match Budget.check_deadline Budget.unlimited ~stage:Rerror.Serve with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "unlimited must be immune to expire"
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
+    ( "robust.retry",
+      [
+        Alcotest.test_case "scale schedule" `Quick (clean test_retry_scale_schedule);
+        Alcotest.test_case "delay schedule" `Quick (clean test_retry_delay_schedule);
+        Alcotest.test_case "succeeds midway" `Quick (clean test_retry_succeeds_midway);
+        Alcotest.test_case "exhaustion" `Quick (clean test_retry_exhaustion);
+        Alcotest.test_case "budget cut" `Quick (clean test_retry_budget_cut);
+        Alcotest.test_case "budget expire" `Quick (clean test_budget_expire);
+      ] );
     ( "robust.budget",
       [
         Alcotest.test_case "unlimited budget" `Quick (clean test_budget_unlimited);

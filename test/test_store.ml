@@ -360,6 +360,104 @@ let test_t1row_cold_warm () =
         (prefixed "fsim." || prefixed "vectorgen."))
     counters
 
+(* ------------------------------------------------------------------ *)
+(* Robustness: corrupt reads under chaos, concurrent maintenance      *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Mutsamp_exec.Pool
+
+(* Satellite invariant: chaos-corrupted store reads during a warm
+   --jobs 4 replay are counted (store.corrupt), degrade to a
+   recompute, and stay bit-identical to the cold run — the store is an
+   accelerator, never a correctness hazard. *)
+let test_chaos_corrupt_warm_replay () =
+  with_store @@ fun s ->
+  let p = Lazy.force c17_pipeline in
+  let inputs = Array.length p.Pipeline.netlist.Mutsamp_netlist.Netlist.input_nets in
+  let patterns = Array.init 32 (fun code -> Pattern.of_code ~inputs code) in
+  let pool = Pool.create ~domains:4 in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool)
+  @@ fun () ->
+  let ctx = Ctx.make ~pool ~store:s () in
+  let cold = Pipeline.fault_simulate ~ctx p patterns in
+  Store.reset_counters ();
+  Chaos.arm Chaos.Store_read (Chaos.Truncate 5);
+  let corrupted = Pipeline.fault_simulate ~ctx p patterns in
+  Chaos.disarm_all ();
+  check_bool "corrupted replay bit-identical to cold" true (corrupted = cold);
+  check_bool "corrupt read counted" true (count "corrupt" >= 1);
+  check_int "corrupt read is not a hit" 0 (count "hits");
+  check_bool "recompute re-stored the entry" true (count "puts" >= 1);
+  (* The recompute healed the entry: the next run is a pure replay. *)
+  Store.reset_counters ();
+  let healed = Pipeline.fault_simulate ~ctx p patterns in
+  check_bool "healed replay bit-identical" true (healed = cold);
+  check_bool "healed replay hits" true (count "hits" >= 1);
+  check_int "healed replay stores nothing" 0 (count "puts")
+
+(* An exception-action chaos arming on the read path must also stay
+   contained: the read degrades to a miss instead of crashing. *)
+let test_chaos_store_read_exception_contained () =
+  with_store @@ fun s ->
+  let k = Store.key ~ns:"fsim" [ ("t", "x") ] in
+  Store.put s k (Json.Obj [ ("v", Json.Int 1) ]);
+  Chaos.arm Chaos.Store_read Chaos.Exception;
+  let r = Store.find s k in
+  Chaos.disarm_all ();
+  check_bool "injected read is a contained miss" true (r = None);
+  check_bool "counted corrupt" true (count "corrupt" >= 1)
+
+(* Two maintenance passes racing over the same directory: entries
+   vanishing between readdir and stat/unlink are skipped and counted
+   (store.raced), never raised — and each entry is removed by exactly
+   one of the racers. *)
+let test_concurrent_gc_invalidate () =
+  with_store @@ fun s ->
+  let n = 40 in
+  for i = 1 to n do
+    Store.put s
+      (Store.key ~ns:"fsim" [ ("i", string_of_int i) ])
+      (Json.Obj [ ("v", Json.Int i) ])
+  done;
+  Store.reset_counters ();
+  let removed_gc = ref 0 and removed_inv = ref 0 in
+  let t1 = Thread.create (fun () -> removed_gc := Store.gc s ~max_age_s:0. ()) () in
+  let t2 = Thread.create (fun () -> removed_inv := Store.invalidate s ()) () in
+  Thread.join t1;
+  Thread.join t2;
+  check_int "each entry removed exactly once" n (!removed_gc + !removed_inv);
+  check_int "store emptied" 0 (Store.stats s).Store.entries;
+  check_int "counters agree with returns" n
+    (count "gc_removed" + count "invalidated")
+
+let test_stats_to_json_fields () =
+  with_store @@ fun s ->
+  Store.put s (Store.key ~ns:"fsim" [ ("a", "1") ]) (Json.Obj []);
+  Store.put s (Store.key ~ns:"score" [ ("b", "2") ]) (Json.Obj []);
+  let st = Store.stats s in
+  match Store.stats_to_json ~dir:(Store.dir s) st with
+  | Json.Obj fields ->
+    check_bool "dir" true
+      (List.assoc_opt "dir" fields = Some (Json.String (Store.dir s)));
+    check_bool "entries" true
+      (List.assoc_opt "entries" fields = Some (Json.Int st.Store.entries));
+    check_bool "bytes" true
+      (List.assoc_opt "bytes" fields = Some (Json.Int st.Store.bytes));
+    check_bool "stale_tmp" true
+      (List.assoc_opt "stale_tmp" fields = Some (Json.Int st.Store.stale_tmp));
+    (match List.assoc_opt "namespaces" fields with
+     | Some (Json.Obj ns) ->
+       Alcotest.(check (list (pair string int)))
+         "namespaces mirror the text view" st.Store.namespaces
+         (List.map
+            (fun (k, v) ->
+              match v with
+              | Json.Int i -> (k, i)
+              | _ -> Alcotest.fail "namespace count not an int")
+            ns)
+     | _ -> Alcotest.fail "namespaces object missing")
+  | _ -> Alcotest.fail "stats_to_json must return an object"
+
 let suite =
   [
     ( "store.kv",
@@ -385,6 +483,17 @@ let suite =
       [
         Alcotest.test_case "stats, gc and invalidate" `Quick
           (clean test_stats_gc_invalidate);
+      ] );
+    ( "store.robustness",
+      [
+        Alcotest.test_case "chaos-corrupt warm --jobs 4 replay" `Quick
+          (clean test_chaos_corrupt_warm_replay);
+        Alcotest.test_case "injected read exception contained" `Quick
+          (clean test_chaos_store_read_exception_contained);
+        Alcotest.test_case "concurrent gc and invalidate" `Quick
+          (clean test_concurrent_gc_invalidate);
+        Alcotest.test_case "stats_to_json mirrors text view" `Quick
+          (clean test_stats_to_json_fields);
       ] );
     ( "store.differential",
       [
