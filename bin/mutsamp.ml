@@ -96,6 +96,7 @@ type obs_opts = {
   chaos_seed : int;
   jobs : int;
   store : string option;
+  no_dominance : bool;
 }
 
 let obs_term =
@@ -180,15 +181,26 @@ let obs_term =
                    unchanged re-run replays them bit-identically instead of \
                    recomputing. See docs/STORE.md.")
   in
+  let no_dominance =
+    Arg.(value & flag
+         & info [ "no-dominance" ]
+             ~doc:"Disable dominator-based fault-dominance collapsing in the \
+                   search stages (redundancy removal, top-off ATPG ordering). \
+                   Reported coverage is bit-identical either way; this flag \
+                   exists to measure the saving and to bisect suspected \
+                   collapsing bugs.")
+  in
   Term.(const (fun trace metrics profile report trace_out metrics_out deadline_ms
                    sat_conflicts podem_backtracks fsim_pairs chaos chaos_seed jobs
-                   store ->
+                   store no_dominance ->
             { trace; metrics; profile; report; trace_out; metrics_out;
               deadline_ms; sat_conflicts;
-              podem_backtracks; fsim_pairs; chaos; chaos_seed; jobs; store })
+              podem_backtracks; fsim_pairs; chaos; chaos_seed; jobs; store;
+              no_dominance })
         $ trace $ metrics $ profile $ report $ trace_out $ metrics_out
         $ deadline_ms $ sat_conflicts
-        $ podem_backtracks $ fsim_pairs $ chaos $ chaos_seed $ jobs $ store)
+        $ podem_backtracks $ fsim_pairs $ chaos $ chaos_seed $ jobs $ store
+        $ no_dominance)
 
 (* The "robust" report section: the degradation record plus the budget
    the run was given. *)
@@ -249,7 +261,7 @@ let with_obs obs ~command ?(circuits = []) ?config ?seed
   in
   let pool = if obs.jobs = 1 then None else Some (Pool.create ~domains:obs.jobs) in
   let ctx = match pool with None -> Ctx.default | Some p -> Ctx.with_pool p in
-  let ctx = { ctx with Ctx.store } in
+  let ctx = { ctx with Ctx.store; Ctx.dominance = not obs.no_dominance } in
   let result =
     try Ok (Trace.with_span command (fun () -> f ctx)) with
     | Rerror.E e -> Error e
@@ -588,7 +600,9 @@ let import_cmd =
       let r =
         Trace.with_span "fsim" @@ fun () ->
         if Netlist.num_dffs nl = 0 then
-          Fsim.run_combinational ~ctx nl ~faults ~patterns
+          (* Cone-keyed path: with --store, unchanged output cones of an
+             edited netlist replay from cache (see docs/STORE.md). *)
+          Pipeline.fault_simulate_patterns ~ctx nl ~faults ~patterns
         else
           let ctx =
             { ctx with
@@ -1117,8 +1131,8 @@ let store_cmd =
   let namespace =
     Arg.(value & opt (some string) None
          & info [ "namespace" ] ~docv:"NS"
-             ~doc:"Restrict to one namespace (fsim, vectors, score, equiv, \
-                   t1row, atpg).")
+             ~doc:"Restrict to one namespace (fsim, fsimcone, vectors, score, \
+                   equiv, t1row, atpg).")
   in
   let open_store dir =
     match Store.open_dir dir with
@@ -1179,16 +1193,25 @@ let store_cmd =
                ~doc:"Only entries whose key carries this exact part, e.g. \
                      --key circuit=c432 or --key seed=2005.")
     in
-    let run dir namespace field =
+    let cone =
+      Arg.(value & opt (some string) None
+           & info [ "cone" ] ~docv:"NET"
+               ~doc:"Only cone-keyed entries (namespace fsimcone) whose \
+                     recorded input cone contains this net — a primary input \
+                     or output name, or an internal n<ID> label from the \
+                     exported .bench. Entries for untouched cones survive.")
+    in
+    let run dir namespace field cone =
       let t = open_store dir in
-      let n = Store.invalidate t ?namespace ?field () in
+      let n = Store.invalidate t ?namespace ?field ?cone () in
       Printf.printf "%s: invalidated %d entr%s\n" dir n (if n = 1 then "y" else "ies")
     in
     Cmd.v
       (Cmd.info "invalidate"
          ~doc:"Delete store entries — everything by default, or the subset \
-               matching --namespace / --key. The next run recomputes them.")
-      Term.(const run $ dir_pos $ namespace $ field)
+               matching --namespace / --key / --cone. The next run recomputes \
+               them.")
+      Term.(const run $ dir_pos $ namespace $ field $ cone)
   in
   Cmd.group
     (Cmd.info "store"

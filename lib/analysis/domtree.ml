@@ -1,0 +1,122 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+module Metrics = Mutsamp_obs.Metrics
+
+let c_builds = Metrics.counter "analysis.domtree.builds"
+
+type t = { n : int; idom : int array; rpo : int array }
+
+(* Cooper–Harvey–Kennedy: process nodes in reverse postorder, setting
+   each node's idom to the intersection (in the dominator tree built so
+   far) of its processed predecessors, iterating to a fixpoint. On the
+   acyclic graphs a netlist produces one pass suffices; the loop keeps
+   the engine correct on arbitrary graphs (the brute-force differential
+   tests feed it random ones). *)
+let compute ~n ~succs ~roots =
+  Metrics.incr c_builds;
+  let root = n in
+  let succ_of v = if v = root then roots else succs.(v) in
+  (* Reverse postorder from the root (iterative DFS; netlist chains can
+     be thousands of nodes deep). *)
+  let rpo = Array.make (n + 1) (-1) in
+  let post = ref [] in
+  let state = Array.make (n + 1) 0 in
+  (* 0 unvisited, 1 on stack, 2 done *)
+  let dfs v =
+    if state.(v) = 0 then begin
+      state.(v) <- 1;
+      let stack = ref [ (v, succ_of v) ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (u, next) :: rest -> (
+          match next with
+          | [] ->
+            state.(u) <- 2;
+            post := u :: !post;
+            stack := rest
+          | w :: next' ->
+            stack := (u, next') :: rest;
+            if state.(w) = 0 then begin
+              state.(w) <- 1;
+              stack := (w, succ_of w) :: !stack
+            end)
+      done
+    end
+  in
+  dfs root;
+  let order = Array.of_list !post in
+  (* [post] is postorder reversed already (consed on finish). *)
+  Array.iteri (fun i v -> rpo.(v) <- i) order;
+  (* Predecessors restricted to the reachable subgraph. *)
+  let preds = Array.make (n + 1) [] in
+  Array.iter
+    (fun v ->
+      List.iter (fun w -> if rpo.(w) >= 0 then preds.(w) <- v :: preds.(w)) (succ_of v))
+    order;
+  let idom = Array.make (n + 1) (-1) in
+  idom.(root) <- root;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo.(a) > rpo.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun v ->
+        if v <> root then begin
+          let new_idom =
+            List.fold_left
+              (fun acc p ->
+                if idom.(p) < 0 then acc
+                else match acc with None -> Some p | Some a -> Some (intersect a p))
+              None preds.(v)
+          in
+          match new_idom with
+          | Some d when idom.(v) <> d ->
+            idom.(v) <- d;
+            changed := true
+          | _ -> ()
+        end)
+      order
+  done;
+  { n; idom = Array.sub idom 0 n; rpo = Array.sub rpo 0 n }
+
+(* Observation points: nets driving primary outputs, plus nets feeding
+   flip-flop D pins (a difference captured into state is potentially
+   observable in a later cycle; treating it as a sink keeps the
+   post-dominator facts conservative on sequential netlists). *)
+let post (nl : Netlist.t) =
+  let n = Array.length nl.Netlist.gates in
+  let sinks = Hashtbl.create 16 in
+  Array.iter (fun (_, net) -> Hashtbl.replace sinks net ()) nl.Netlist.output_list;
+  Array.iter
+    (fun (g : Gate.t) ->
+      match g.Gate.kind with
+      | Gate.Dff _ -> Hashtbl.replace sinks g.Gate.fanins.(0) ()
+      | _ -> ())
+    nl.Netlist.gates;
+  let roots =
+    List.sort compare (Hashtbl.fold (fun net () acc -> net :: acc) sinks [])
+  in
+  (* Reversed netlist: an edge from each gate to each distinct fanin. *)
+  let succs =
+    Array.map
+      (fun (g : Gate.t) ->
+        Array.to_list g.Gate.fanins |> List.sort_uniq compare)
+      nl.Netlist.gates
+  in
+  compute ~n ~succs ~roots
+
+let dominators t v =
+  if v < 0 || v >= t.n || t.idom.(v) < 0 then []
+  else begin
+    let rec chain d acc =
+      if d = t.n || d < 0 then List.rev acc else chain t.idom.(d) (d :: acc)
+    in
+    chain t.idom.(v) []
+  end
+
+let dominates t d v = d = v || List.mem d (dominators t v)

@@ -11,7 +11,11 @@ let waiver_of_string s =
     | None -> (s, "*")
   in
   match Rule.find rule_id with
-  | None -> Error (Printf.sprintf "unknown rule id %S" rule_id)
+  | None -> (
+    match Rule.find_retired rule_id with
+    | Some (id, reason) ->
+      Error (Printf.sprintf "retired rule id %s: %s" id reason)
+    | None -> Error (Printf.sprintf "unknown rule id %S" rule_id))
   | Some r ->
     if loc = "" then Error "empty waiver location (use RULEID:LOC or RULEID:*)"
     else Ok { rule_id = r.Rule.id; loc }

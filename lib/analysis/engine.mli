@@ -11,7 +11,9 @@ type waiver = { rule_id : string; loc : string }
 
 val waiver_of_string : string -> (waiver, string) result
 (** Parses ["RULEID:LOC"] (["RULEID"] alone means ["RULEID:*"]);
-    rejects unknown rule ids. *)
+    rejects unknown rule ids, and retired ids with a distinct message
+    naming the retirement reason — a waiver that can never match
+    anything is a configuration error, not a silent no-op. *)
 
 type options = {
   waivers : waiver list;

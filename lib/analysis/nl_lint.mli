@@ -1,14 +1,20 @@
-(** Gate-level lint over a netlist: [NL001]..[NL006].
+(** Gate-level lint over a netlist: [NL001]..[NL009].
 
     [Netlist.lint] keeps the hard invariants (arities, ranges, cycles);
     this pass reports redundancy and reachability smells on a netlist
-    that already satisfies them. The observability pass ([NL004]) runs
-    one may-differ sweep per live net, so it is quadratic in netlist
-    size; [check_observability:false] (used under tight budgets) skips
-    it. *)
+    that already satisfies them. [NL007]/[NL009] come from the
+    structural dataflow engine ({!Regions}): [hotspot_fanout] is the
+    fanout width at which a reconvergent stem is flagged, [max_region]
+    the largest unflagged fanout-free region. The observability passes
+    ([NL004], and the post-dominator conflict rule [NL008]) each run a
+    sweep per live net, so they are quadratic in netlist size;
+    [check_observability:false] (used under tight budgets) skips
+    both. *)
 
 val run :
   ?check_observability:bool ->
+  ?hotspot_fanout:int ->
+  ?max_region:int ->
   circuit:string ->
   Mutsamp_netlist.Netlist.t ->
   Diag.t list

@@ -1,0 +1,251 @@
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+module Topo = Mutsamp_netlist.Topo
+module Fault = Mutsamp_fault.Fault
+
+type t = {
+  head : int array;
+  region_count : int;
+  max_region_size : int;
+  reconvergent : bool array;
+  reconvergence_count : int;
+  cone_hash : string array;
+}
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let is_logic (g : Gate.t) =
+  match g.Gate.kind with
+  | Gate.Pi _ | Gate.Const _ | Gate.Dff _ -> false
+  | _ -> true
+
+let compute (nl : Netlist.t) =
+  let n = Array.length nl.Netlist.gates in
+  let fanouts = Netlist.fanouts nl in
+  let drives_po = Array.make n false in
+  Array.iter (fun (_, net) -> drives_po.(net) <- true) nl.Netlist.output_list;
+  (* Fanout-free regions: follow single-fanout edges forward until a
+     stem, an output use or a register boundary. Memoized; the chase
+     cannot loop because any cycle passes through a DFF, which stops
+     it. *)
+  let head = Array.make n (-1) in
+  let rec head_of v =
+    if head.(v) >= 0 then head.(v)
+    else begin
+      let h =
+        match fanouts.(v) with
+        | [ g ] when (not drives_po.(v)) && is_logic nl.Netlist.gates.(g) -> head_of g
+        | _ -> v
+      in
+      head.(v) <- h;
+      h
+    end
+  in
+  for v = 0 to n - 1 do
+    ignore (head_of v)
+  done;
+  let region_size = Hashtbl.create 64 in
+  let bump h by =
+    Hashtbl.replace region_size h (by + try Hashtbl.find region_size h with Not_found -> 0)
+  in
+  Array.iteri
+    (fun v (g : Gate.t) -> bump head.(v) (if is_logic g then 1 else 0))
+    nl.Netlist.gates;
+  let region_count = Hashtbl.length region_size in
+  let max_region_size = Hashtbl.fold (fun _ s acc -> max s acc) region_size 0 in
+  (* Reconvergent stems: from each fanout branch of a multi-fanout net,
+     walk forward stamping ownership; meeting a node another branch of
+     the same stem already owns is a reconvergence. Stamps are
+     versioned per stem so no clearing is needed. *)
+  let reconvergent = Array.make n false in
+  let stamp = Array.make n (-1) in
+  let owner = Array.make n (-1) in
+  let version = ref 0 in
+  let reconvergence_count = ref 0 in
+  for s = 0 to n - 1 do
+    match fanouts.(s) with
+    | [] | [ _ ] -> ()
+    | branches ->
+      incr version;
+      let meet = ref false in
+      List.iteri
+        (fun b g ->
+          let todo = ref [ g ] in
+          while !todo <> [] do
+            match !todo with
+            | [] -> ()
+            | v :: rest ->
+              todo := rest;
+              if stamp.(v) = !version then begin
+                if owner.(v) <> b then meet := true
+              end
+              else begin
+                stamp.(v) <- !version;
+                owner.(v) <- b;
+                todo := List.rev_append fanouts.(v) !todo
+              end
+          done)
+        branches;
+      if !meet then begin
+        reconvergent.(s) <- true;
+        incr reconvergence_count
+      end
+  done;
+  (* Merkle input-cone hashes. Fanins hash in literal pin order — a
+     sorted rendering would leave pin indices (branch-fault sites)
+     ambiguous under operand swap; the builder's hash-consing already
+     normalises symmetric gates, so nothing is lost. *)
+  let cone_hash = Array.make n "" in
+  let pi_pos = Hashtbl.create 16 and dff_pos = Hashtbl.create 16 in
+  Array.iteri (fun i net -> Hashtbl.replace pi_pos net i) nl.Netlist.input_nets;
+  Array.iteri (fun i net -> Hashtbl.replace dff_pos net i) nl.Netlist.dff_nets;
+  Array.iteri
+    (fun v (g : Gate.t) ->
+      match g.Gate.kind with
+      | Gate.Pi _ -> cone_hash.(v) <- digest (Printf.sprintf "pi:%d" (Hashtbl.find pi_pos v))
+      | Gate.Const b -> cone_hash.(v) <- digest (Printf.sprintf "const:%b" b)
+      | Gate.Dff init ->
+        cone_hash.(v) <-
+          digest (Printf.sprintf "dff:%b:%d" init (Hashtbl.find dff_pos v))
+      | _ -> ())
+    nl.Netlist.gates;
+  let topo = Topo.compute nl in
+  Array.iter
+    (fun v ->
+      let g = nl.Netlist.gates.(v) in
+      let parts =
+        Array.to_list g.Gate.fanins |> List.map (fun f -> cone_hash.(f))
+      in
+      cone_hash.(v) <-
+        digest (Gate.kind_name g.Gate.kind ^ "(" ^ String.concat "," parts ^ ")"))
+    topo.Topo.order;
+  {
+    head;
+    region_count;
+    max_region_size;
+    reconvergent;
+    reconvergence_count = !reconvergence_count;
+    cone_hash;
+  }
+
+(* --- influence groups -------------------------------------------------- *)
+
+type cone_group = {
+  ghash : string;
+  nets : int list;
+  faults : (int * Fault.t * string) list;
+  cacheable : bool;
+}
+
+let fault_net (f : Fault.t) =
+  match f.Fault.site with Fault.Stem n -> n | Fault.Branch { gate; _ } -> gate
+
+let site_hash t (f : Fault.t) =
+  let pol = match f.Fault.polarity with Fault.Stuck_at_0 -> "sa0" | Fault.Stuck_at_1 -> "sa1" in
+  match f.Fault.site with
+  | Fault.Stem n -> digest (Printf.sprintf "stem:%s:%s" t.cone_hash.(n) pol)
+  | Fault.Branch { gate; pin } ->
+    digest (Printf.sprintf "branch:%s:%d:%s" t.cone_hash.(gate) pin pol)
+
+let cone_groups (nl : Netlist.t) t faults =
+  let n = Array.length nl.Netlist.gates in
+  let npo = Array.length nl.Netlist.output_list in
+  let words = (npo + 62) / 63 in
+  let words = max words 1 in
+  (* Per-net reachable-output bitsets, propagated against the topo
+     order: every consumer of a net appears later in the order, so
+     walking gates in reverse pushes each gate's finished mask into
+     its fanins exactly once. *)
+  let masks = Array.init n (fun _ -> Array.make words 0) in
+  Array.iteri
+    (fun po (_, net) -> masks.(net).(po / 63) <- masks.(net).(po / 63) lor (1 lsl (po mod 63)))
+    nl.Netlist.output_list;
+  let topo = Topo.compute nl in
+  for k = Array.length topo.Topo.order - 1 downto 0 do
+    let v = topo.Topo.order.(k) in
+    let g = nl.Netlist.gates.(v) in
+    Array.iter
+      (fun f ->
+        for w = 0 to words - 1 do
+          masks.(f).(w) <- masks.(f).(w) lor masks.(v).(w)
+        done)
+      g.Gate.fanins
+  done;
+  let mask_key m = String.concat "," (Array.to_list (Array.map string_of_int m)) in
+  (* One group per distinct mask; hash and member cone memoized. *)
+  let group_info = Hashtbl.create 16 in
+  let info_of mask =
+    let key = mask_key mask in
+    match Hashtbl.find_opt group_info key with
+    | Some i -> i
+    | None ->
+      let pos = ref [] in
+      for po = npo - 1 downto 0 do
+        if mask.(po / 63) land (1 lsl (po mod 63)) <> 0 then pos := po :: !pos
+      done;
+      let drivers = List.map (fun po -> snd nl.Netlist.output_list.(po)) !pos in
+      let ghash = digest (String.concat "" (List.map (fun d -> t.cone_hash.(d)) drivers)) in
+      let seen = Array.make n false in
+      let rec cone v =
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Array.iter cone nl.Netlist.gates.(v).Gate.fanins
+        end
+      in
+      List.iter cone drivers;
+      let nets = ref [] in
+      for v = n - 1 downto 0 do
+        if seen.(v) then nets := v :: !nets
+      done;
+      let info = (ghash, !nets) in
+      Hashtbl.replace group_info key info;
+      info
+  in
+  let groups = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iteri
+    (fun i f ->
+      let mask = masks.(fault_net f) in
+      let ghash, nets = info_of mask in
+      match Hashtbl.find_opt groups ghash with
+      | Some members -> members := (i, f, site_hash t f) :: !members
+      | None ->
+        let members = ref [ (i, f, site_hash t f) ] in
+        Hashtbl.replace groups ghash members;
+        order := (ghash, nets, members) :: !order)
+    faults;
+  List.rev_map
+    (fun (ghash, nets, members) ->
+      let faults = List.rev !members in
+      let sites = Hashtbl.create 16 in
+      let cacheable =
+        List.for_all
+          (fun (_, _, sh) ->
+            if Hashtbl.mem sites sh then false
+            else begin
+              Hashtbl.replace sites sh ();
+              true
+            end)
+          faults
+      in
+      { ghash; nets; faults; cacheable })
+    !order
+
+let net_tokens (nl : Netlist.t) nets =
+  let po_names = Hashtbl.create 16 in
+  Array.iter
+    (fun (name, net) ->
+      Hashtbl.replace po_names net (name :: (try Hashtbl.find po_names net with Not_found -> [])))
+    nl.Netlist.output_list;
+  let tokens =
+    List.concat_map
+      (fun v ->
+        let base =
+          match nl.Netlist.gates.(v).Gate.kind with
+          | Gate.Pi name -> name
+          | _ -> Printf.sprintf "n%d" v
+        in
+        base :: (try Hashtbl.find po_names v with Not_found -> []))
+      nets
+  in
+  List.sort_uniq compare tokens

@@ -1,0 +1,72 @@
+(** Fanout-free regions, reconvergent stems and structural cone hashes.
+
+    One {!compute} pass over a netlist yields the per-net structural
+    facts the rest of the pipeline consumes: the fanout-free region
+    partition (lint rule NL009, [Netlist.Stats] cross-check),
+    reconvergent-stem classification (NL007), and a Merkle-style
+    content hash of every net's input cone. The cone hashes are the
+    foundation of incremental store invalidation: a net's hash pins
+    down the exact structure of the logic feeding it, so an edit
+    elsewhere in the design leaves it — and every store entry keyed by
+    it — untouched. See docs/STORE.md. *)
+
+type t = {
+  head : int array;
+      (** fanout-free-region head per net: the first net at or after
+          this one with multiple fanouts, a primary-output use, or a
+          flip-flop D pin use *)
+  region_count : int;  (** distinct heads *)
+  max_region_size : int;  (** most logic gates sharing one head *)
+  reconvergent : bool array;
+      (** per net: is this a multi-fanout stem whose branches meet
+          again downstream? *)
+  reconvergence_count : int;  (** number of reconvergent stems *)
+  cone_hash : string array;
+      (** hex digest of the net's input-cone structure. Primary
+          inputs hash by position, constants by value, flip-flops by
+          (init, position) as pseudo-sources — the hash never crosses
+          a register — and gates by kind plus fanin hashes in literal
+          pin order, so the hash also fixes which subtree each fault
+          pin index refers to. *)
+}
+
+val compute : Mutsamp_netlist.Netlist.t -> t
+
+(** {1 Influence groups}
+
+    Faults whose effects can reach the same set of primary outputs are
+    interchangeable for store keying: their detection results depend
+    only on the structure of those outputs' input cones and the
+    applied patterns. {!cone_groups} partitions a fault list
+    accordingly; [Mutsamp_core.Pipeline] keys one store entry per
+    group. *)
+
+type cone_group = {
+  ghash : string;
+      (** digest of the cone hashes of the reachable primary outputs'
+          driving nets (ascending output order); [""]-digest for
+          faults that reach no output *)
+  nets : int list;
+      (** union of the reachable outputs' input cones, ascending —
+          the blast radius a [--cone NET] invalidation matches on *)
+  faults : (int * Mutsamp_fault.Fault.t * string) list;
+      (** (index in the original fault list, fault, site hash) in
+          original list order. The site hash fixes the fault's exact
+          structural position: stem faults by cone hash, branch
+          faults by the gate's cone hash plus pin index. *)
+  cacheable : bool;
+      (** false when two faults in the group share a site hash
+          (indistinguishable in a stored payload) — the caller must
+          then compute this group fresh and never cache it *)
+}
+
+val cone_groups :
+  Mutsamp_netlist.Netlist.t -> t -> Mutsamp_fault.Fault.t list -> cone_group list
+(** Deterministic: groups ordered by first member's fault-list index.
+    Every input fault appears in exactly one group. *)
+
+val net_tokens : Mutsamp_netlist.Netlist.t -> int list -> string list
+(** Human-usable names for a net set, sorted and deduplicated:
+    primary-input names, [n<id>] labels (the Benchfmt convention) and
+    the names of primary outputs driven by a net in the set. These are
+    what [mutsamp store invalidate --cone NET] matches against. *)

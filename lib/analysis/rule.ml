@@ -25,12 +25,28 @@ let nl_unused_input = mk "NL003" Warning "primary input drives nothing"
 let nl_blocked_net = mk "NL004" Warning "net cannot influence any output"
 let nl_buffer_gate = mk "NL005" Info "redundant buffer gate"
 let nl_duplicate_gate = mk "NL006" Info "structurally duplicate gate"
+let nl_reconvergent_hotspot = mk "NL007" Info "reconvergent fanout hotspot"
+
+let nl_dominator_blocked =
+  mk "NL008" Warning "net blocked by conflicting dominator side inputs"
+
+let nl_oversized_region = mk "NL009" Info "oversized fanout-free region"
 
 let mut_stillborn = mk "MUT001" Info "stillborn mutant (equivalent to original)"
 let mut_duplicate = mk "MUT002" Info "duplicate mutant"
 
-let atp_unexcitable = mk "ATP001" Info "stuck-at fault on constant net"
-let atp_unobservable = mk "ATP002" Info "stuck-at fault cannot reach an output"
+(* Retired ids keep their meaning reserved forever: a waiver naming one
+   is a configuration error (the rule can never fire again), not a
+   silent no-op, and the id is never reassigned. *)
+let retired =
+  [
+    ( "ATP001",
+      "never emitted as a diagnostic; static unexcitability proofs are \
+       counted under analysis.static_untestable instead" );
+    ( "ATP002",
+      "never emitted as a diagnostic; static unobservability proofs are \
+       counted under analysis.static_untestable instead" );
+  ]
 
 let all =
   List.sort (fun a b -> compare a.id b.id)
@@ -39,10 +55,14 @@ let all =
     hdl_unread_input; hdl_unassigned_output; hdl_constant_branch;
     nl_constant_net; nl_dead_gate; nl_unused_input; nl_blocked_net;
     nl_buffer_gate; nl_duplicate_gate;
+    nl_reconvergent_hotspot; nl_dominator_blocked; nl_oversized_region;
     mut_stillborn; mut_duplicate;
-    atp_unexcitable; atp_unobservable;
   ]
 
 let find id =
   let id = String.uppercase_ascii id in
   List.find_opt (fun r -> r.id = id) all
+
+let find_retired id =
+  let id = String.uppercase_ascii id in
+  List.find_opt (fun (rid, _) -> rid = id) retired

@@ -1,9 +1,9 @@
 (** The static-analysis rule registry.
 
     Every diagnostic the engine can emit is an instance of a rule with
-    a stable identifier ([HDL003], [NL001], [MUT002], [ATP001], …).
-    Identifiers never change meaning across releases: consumers key
-    waivers and dashboards on them, so a retired rule's id is not
+    a stable identifier ([HDL003], [NL001], [MUT002], …). Identifiers
+    never change meaning across releases: consumers key waivers and
+    dashboards on them, so a retired rule's id (see {!retired}) is not
     reused. The full catalogue with remediation advice lives in
     [docs/ANALYSIS.md]. *)
 
@@ -16,10 +16,18 @@ type t = {
 }
 
 val all : t list
-(** The catalogue, sorted by id. *)
+(** The catalogue of active rules, sorted by id. *)
 
 val find : string -> t option
-(** Look a rule up by (case-insensitive) id. *)
+(** Look an active rule up by (case-insensitive) id. *)
+
+val retired : (string * string) list
+(** Ids permanently out of service, with the reason. They are not in
+    {!all}, can never fire, and are never reassigned — a waiver naming
+    one is a configuration error. *)
+
+val find_retired : string -> (string * string) option
+(** Case-insensitive lookup in {!retired}. *)
 
 val severity_name : severity -> string
 (** ["error"], ["warning"] or ["info"]. *)
@@ -44,9 +52,9 @@ val nl_unused_input : t (* NL003 *)
 val nl_blocked_net : t (* NL004 *)
 val nl_buffer_gate : t (* NL005 *)
 val nl_duplicate_gate : t (* NL006 *)
+val nl_reconvergent_hotspot : t (* NL007 *)
+val nl_dominator_blocked : t (* NL008 *)
+val nl_oversized_region : t (* NL009 *)
 
 val mut_stillborn : t (* MUT001 *)
 val mut_duplicate : t (* MUT002 *)
-
-val atp_unexcitable : t (* ATP001 *)
-val atp_unobservable : t (* ATP002 *)

@@ -2,13 +2,29 @@ module Netlist = Mutsamp_netlist.Netlist
 module Gate = Mutsamp_netlist.Gate
 module Fault = Mutsamp_fault.Fault
 module Untestable = Mutsamp_analysis.Untestable
+module Constprop = Mutsamp_analysis.Constprop
+module Domtree = Mutsamp_analysis.Domtree
 module Metrics = Mutsamp_obs.Metrics
 
-type t = { nl : Netlist.t; ut : Untestable.t; scoap : Scoap.t }
+type t = {
+  nl : Netlist.t;
+  ut : Untestable.t;
+  scoap : Scoap.t;
+  pdom : Domtree.t lazy_t;
+  fanouts : int list array lazy_t;
+}
 
 let c_static = Metrics.counter "analysis.static_untestable"
+let c_pruned = Metrics.counter "analysis.domtree.pruned"
 
-let make nl = { nl; ut = Untestable.analyze nl; scoap = Scoap.compute nl }
+let make nl =
+  {
+    nl;
+    ut = Untestable.analyze nl;
+    scoap = Scoap.compute nl;
+    pdom = lazy (Domtree.post nl);
+    fanouts = lazy (Netlist.fanouts nl);
+  }
 
 (* The net whose value appears on the faulty line: the stem itself, or
    the driver of the branch's pin. *)
@@ -36,9 +52,105 @@ let scoap_verdict t f =
   else if t.scoap.Scoap.co.(d) >= inf then Untestable.Unobservable
   else Untestable.Testable_maybe
 
+exception Blocked
+
+(* Dominator-chain observability: a fault effect can only reach an
+   output by crossing every post-dominator of its origin, and at each
+   And/Nand (Or/Nor) dominator the side inputs that cannot themselves
+   carry the effect must hold 1 (0) — simultaneously, since the
+   netlist is combinational and there is a single time frame. Each such
+   mandatory assignment is checked against the constant-propagation
+   facts, the SCOAP controllability costs, and the other mandatory
+   assignments; any contradiction is a proof of untestability. This
+   catches reconvergence conflicts the per-net SCOAP costs cannot see
+   (e.g. a net that must be 1 to excite and 0 to propagate). Sound only
+   combinationally — with flip-flops the requirements could be met in
+   different cycles — so sequential netlists skip it (the ATPG engines
+   run on scanned netlists anyway). *)
+let domtree_verdict t (f : Fault.t) =
+  if Netlist.num_dffs t.nl > 0 then Untestable.Testable_maybe
+  else begin
+    let gates = t.nl.Netlist.gates in
+    let start =
+      match f.Fault.site with Fault.Stem n -> n | Fault.Branch { gate; _ } -> gate
+    in
+    let pdom = Lazy.force t.pdom in
+    if pdom.Domtree.idom.(start) < 0 then Untestable.Unobservable
+    else begin
+      let fanouts = Lazy.force t.fanouts in
+      (* Nets the fault effect may reach: only values outside this cone
+         are fixed and can be required. *)
+      let cone = Array.make (Array.length gates) false in
+      let rec reach v =
+        if not cone.(v) then begin
+          cone.(v) <- true;
+          List.iter reach fanouts.(v)
+        end
+      in
+      reach start;
+      let consts = Untestable.constants t.ut in
+      let reqs = Hashtbl.create 16 in
+      let require net v =
+        match Hashtbl.find_opt reqs net with
+        | Some v' -> if v' <> v then raise Blocked
+        | None ->
+          (match Constprop.value consts net with
+           | Constprop.Zero when v -> raise Blocked
+           | Constprop.One when not v -> raise Blocked
+           | _ -> ());
+          let cc = if v then t.scoap.Scoap.cc1.(net) else t.scoap.Scoap.cc0.(net) in
+          if cc >= Scoap.infinity_cost then raise Blocked;
+          Hashtbl.replace reqs net v
+      in
+      let side_value kind =
+        match kind with
+        | Gate.And | Gate.Nand -> Some true
+        | Gate.Or | Gate.Nor -> Some false
+        | _ -> None
+      in
+      match
+        (* Excitation and site-gate propagation for branch faults: the
+           stuck line's driver must carry the opposite value, and the
+           sibling pin the gate's non-controlling one. *)
+        (match f.Fault.site with
+         | Fault.Stem _ -> ()
+         | Fault.Branch { gate; pin } ->
+           let g = gates.(gate) in
+           let driver = g.Gate.fanins.(pin) in
+           let excite =
+             match f.Fault.polarity with Fault.Stuck_at_0 -> true | Fault.Stuck_at_1 -> false
+           in
+           if not cone.(driver) then require driver excite;
+           match side_value g.Gate.kind with
+           | Some v when Array.length g.Gate.fanins > 1 ->
+             let other = g.Gate.fanins.(1 - pin) in
+             if not cone.(other) then require other v
+           | _ -> ());
+        List.iter
+          (fun d ->
+            let g = gates.(d) in
+            match side_value g.Gate.kind with
+            | None -> ()
+            | Some v ->
+              Array.iter (fun fanin -> if not cone.(fanin) then require fanin v) g.Gate.fanins)
+          (Domtree.dominators pdom start)
+      with
+      | () -> Untestable.Testable_maybe
+      | exception Blocked -> Untestable.Unobservable
+    end
+  end
+
 let prove t f =
   match Untestable.prove t.ut f with
-  | Untestable.Testable_maybe -> scoap_verdict t f
+  | Untestable.Testable_maybe -> (
+    match scoap_verdict t f with
+    | Untestable.Testable_maybe -> (
+      match domtree_verdict t f with
+      | Untestable.Testable_maybe -> Untestable.Testable_maybe
+      | v ->
+        Metrics.incr c_pruned;
+        v)
+    | v -> v)
   | v -> v
 
 let is_untestable t f =

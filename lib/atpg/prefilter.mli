@@ -1,15 +1,20 @@
 (** Static untestability pre-filter for the ATPG engines.
 
-    Combines the three sound static proofs the analysis layer offers —
+    Combines the sound static proofs the analysis layer offers —
     constant propagation (excitation), the may-differ forward pass
-    (observability), and SCOAP infinity costs — into one oracle that
-    the SAT/PODEM callers consult before paying for a solve. A [true]
+    (observability), SCOAP infinity costs, and a post-dominator
+    side-requirement rule (on combinational netlists, every path from
+    the fault to an output runs through each of its post-dominators;
+    conflicting mandatory side-input values across that chain mean no
+    single vector sensitises any path) — into one oracle that the
+    SAT/PODEM callers consult before paying for a solve. A [true]
     from {!is_untestable} is a proof; [false] just means "not decided
     statically, ask the solver".
 
     Every successful proof bumps the [analysis.static_untestable]
-    counter, so run reports show how much solver work the filter
-    saved. *)
+    counter (the dominator rule's share also under
+    [analysis.domtree.pruned]), so run reports show how much solver
+    work the filter saved. *)
 
 type t
 

@@ -2,6 +2,7 @@ module Netlist = Mutsamp_netlist.Netlist
 module Gate = Mutsamp_netlist.Gate
 module Sweep = Mutsamp_netlist.Sweep
 module Fault = Mutsamp_fault.Fault
+module Collapse = Mutsamp_fault.Collapse
 module Rerror = Mutsamp_robust.Error
 module Budget = Mutsamp_robust.Budget
 module Degrade = Mutsamp_robust.Degrade
@@ -17,7 +18,7 @@ let tie_net (nl : Netlist.t) net value =
    | _ -> gates.(net) <- { Gate.kind = Gate.Const value; fanins = [||] });
   { nl with Netlist.gates }
 
-let round ~static_filter ~budget ~first_error nl =
+let round ~static_filter ~dominance ~budget ~first_error nl =
   let tied = ref 0 in
   let skipped = ref 0 in
   let current = ref nl in
@@ -26,6 +27,67 @@ let round ~static_filter ~budget ~first_error nl =
      constant, which strengthens later static proofs in the same
      round, so the filter is rebuilt after each tie. *)
   let filter = ref (if static_filter then Some (Prefilter.make nl) else None) in
+  (* Testable-verdict reuse: a completed Test proof for a fault is a
+     Test proof for its whole equivalence class, and (through gate
+     dominance) for the output fault its effect coincides with — those
+     nets need no solver call of their own. Verdicts hold only while
+     the netlist is unchanged, so every tie clears the cache (and the
+     collapse structure it is keyed by). *)
+  let structure = ref None in
+  let testable : (Fault.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let class_of f =
+    let coll, _ =
+      match !structure with
+      | Some s -> s
+      | None ->
+        let s = (Collapse.run !current, Netlist.fanouts !current) in
+        structure := Some s;
+        s
+    in
+    match coll.Collapse.class_of f with
+    | rep -> Some rep
+    | exception Invalid_argument _ -> None
+  in
+  let known_testable fault =
+    dominance
+    && (match class_of fault with Some rep -> Hashtbl.mem testable rep | None -> false)
+  in
+  let mark_testable fault =
+    if dominance then begin
+      (match class_of fault with
+       | Some rep -> Hashtbl.replace testable rep ()
+       | None -> ());
+      (* Gate dominance: when the proven fault sits on a single-fanout
+         net, its test also detects the coinciding output fault of the
+         one gate it feeds. *)
+      let consumer =
+        match fault.Fault.site with
+        | Fault.Branch { gate; _ } -> Some gate
+        | Fault.Stem n -> (
+          match !structure with
+          | Some (_, fanouts) -> (
+            match fanouts.(n) with [ g ] -> Some g | _ -> None)
+          | None -> None)
+      in
+      match consumer with
+      | None -> ()
+      | Some g ->
+        let out_polarity =
+          match (!current).Netlist.gates.(g).Gate.kind, fault.Fault.polarity with
+          | Gate.And, Fault.Stuck_at_1 -> Some Fault.Stuck_at_1
+          | Gate.Or, Fault.Stuck_at_0 -> Some Fault.Stuck_at_0
+          | Gate.Nand, Fault.Stuck_at_1 -> Some Fault.Stuck_at_0
+          | Gate.Nor, Fault.Stuck_at_0 -> Some Fault.Stuck_at_1
+          | _ -> None
+        in
+        match out_polarity with
+        | None -> ()
+        | Some polarity -> (
+          match class_of { Fault.site = Fault.Stem g; polarity } with
+          | Some rep -> Hashtbl.replace testable rep ()
+          | None -> ())
+    end
+  in
   let gate_count = Array.length nl.Netlist.gates in
   let net = ref 0 in
   while !net < gate_count do
@@ -39,6 +101,8 @@ let round ~static_filter ~budget ~first_error nl =
        let tie value =
          current := tie_net !current i value;
          if static_filter then filter := Some (Prefilter.make !current);
+         structure := None;
+         Hashtbl.reset testable;
          incr tied;
          true
        in
@@ -50,13 +114,16 @@ let round ~static_filter ~budget ~first_error nl =
        let try_tie polarity value =
          let fault = { Fault.site = Fault.Stem i; polarity } in
          if statically_untestable fault then tie value
+         else if known_testable fault then false
          else
            match Satgen.generate ~budget !current fault with
            | Ok Satgen.Untestable ->
              (* Only a completed UNSAT proof licenses tying the net — an
                 aborted solve says nothing about redundancy. *)
              tie value
-           | Ok (Satgen.Test _) -> false
+           | Ok (Satgen.Test _) ->
+             mark_testable fault;
+             false
            | Error e ->
              if !first_error = None then first_error := Some e;
              incr skipped;
@@ -76,12 +143,13 @@ let remove ?(max_rounds = 4) ?(ctx = Ctx.default) nl =
     invalid_arg "Redundancy.remove: sequential netlist (apply Scan.full_scan first)";
   let budget = Ctx.budget ctx in
   let static_filter = ctx.Ctx.static_filter in
+  let dominance = ctx.Ctx.dominance in
   let total_skipped = ref 0 in
   let first_error = ref None in
   let rec loop nl total rounds =
     if rounds = 0 then (fst (Sweep.run nl), total)
     else begin
-      let cleaned, tied, skipped = round ~static_filter ~budget ~first_error nl in
+      let cleaned, tied, skipped = round ~static_filter ~dominance ~budget ~first_error nl in
       total_skipped := !total_skipped + skipped;
       let swept = fst (Sweep.run cleaned) in
       if tied = 0 then (swept, total) else loop swept (total + tied) (rounds - 1)

@@ -2,6 +2,7 @@ module Netlist = Mutsamp_netlist.Netlist
 module Bitsim = Mutsamp_netlist.Bitsim
 module Fault = Mutsamp_fault.Fault
 module Fsim = Mutsamp_fault.Fsim
+module Collapse = Mutsamp_fault.Collapse
 module Prng = Mutsamp_util.Prng
 module Trace = Mutsamp_obs.Trace
 module Metrics = Mutsamp_obs.Metrics
@@ -160,7 +161,31 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
            pending)
         end)
   in
-  let leftover = ref (phase3 !remaining) in
+  (* Dominance ordering: target the dominating classes first and defer
+     the dominated ones to the tail of the same pass. Any test set
+     detecting a dominating input fault also detects its dominated
+     output fault, so by the time the tail is reached the deferred
+     faults have almost always been cross-dropped — fewer dedicated
+     SAT/PODEM calls for the same targeted-or-dropped guarantee. Every
+     fault of [remaining] is still in the list (reorder, not filter),
+     so coverage accounting keeps its denominator. *)
+  let ordered =
+    if not ctx.Ctx.dominance then !remaining
+    else begin
+      let coll = Collapse.run nl in
+      let dom = Collapse.dominance nl coll in
+      let deferred = Hashtbl.create 64 in
+      List.iter (fun f -> Hashtbl.replace deferred f ()) dom.Collapse.deferred;
+      let is_deferred f =
+        match coll.Collapse.class_of f with
+        | rep -> Hashtbl.mem deferred rep
+        | exception Invalid_argument _ -> false
+      in
+      let first, last = List.partition (fun f -> not (is_deferred f)) !remaining in
+      first @ last
+    end
+  in
+  let leftover = ref (phase3 ordered) in
   (* Graceful degradation: when deterministic ATPG was cut short, fall
      back to bounded random top-off rounds with exponential
      vector-count backoff (64, 128, 256, … patterns per retry), driven

@@ -202,6 +202,38 @@ let fsim_report_of_json ~faults j =
     | _ -> None)
   | _ -> None
 
+(* --- cone-group fault-sim payloads ------------------------------------- *)
+
+(* One entry per influence group (Regions.cone_group): the detection
+   indices of the group's faults, in group order, plus the named nets
+   of the group's cone for `store invalidate --cone`. The nets are
+   payload, not key — internal net labels shift under design edits,
+   and the cone hashes in the key already pin the structure. *)
+let cone_payload_to_json ~nets ~detected_at =
+  Json.Obj
+    [
+      ("nets", Json.List (List.map (fun n -> Json.String n) nets));
+      ( "detected_at",
+        Json.List
+          (List.map
+             (function Some i -> Json.Int i | None -> Json.Null)
+             detected_at) );
+    ]
+
+let cone_payload_of_json ~count j =
+  match Json.member "detected_at" j with
+  | Some (Json.List ats) when List.length ats = count ->
+    all_some
+      (List.map
+         (function
+           | Json.Int i when i >= 0 -> Some (Some i)
+           | Json.Null -> Some None
+           | _ -> None)
+         ats)
+  | _ -> None
+
+let site_hashes_digest sites = Store.digest (String.concat ";" sites)
+
 (* --- validation outcomes ----------------------------------------------- *)
 
 let outcome_to_json (o : Vectorgen.outcome) =

@@ -60,6 +60,19 @@ val fsim_report_of_json :
     hash pins), re-paired positionally. [None] when the recorded total
     disagrees with the list length. *)
 
+val cone_payload_to_json : nets:string list -> detected_at:int option list -> Json.t
+(** One influence-group fault-sim entry: detection indices in group
+    order, plus the cone's net names under ["nets"] (the handle
+    [mutsamp store invalidate --cone NET] matches; payload, not key —
+    internal net labels shift under edits, the key's cone hashes pin
+    the structure). *)
+
+val cone_payload_of_json : count:int -> Json.t -> int option list option
+(** [None] unless exactly [count] well-formed indices are recorded. *)
+
+val site_hashes_digest : string list -> string
+(** Key part covering a group's fault site hashes, in group order. *)
+
 val outcome_to_json : Mutsamp_validation.Vectorgen.outcome -> Json.t
 
 val outcome_of_json : Json.t -> Mutsamp_validation.Vectorgen.outcome option

@@ -427,6 +427,7 @@ let atpg_effort ?(config = Config.default) ?(engine = Topoff.Use_podem)
                 ("seed", string_of_int seed);
                 ("engine", Cache.engine_name engine);
                 ("filter", string_of_bool ctx.Ctx.static_filter);
+                ("dominance", string_of_bool ctx.Ctx.dominance);
               ]
             ~encode:Cache.topoff_report_to_json
             ~decode:Cache.topoff_report_of_json compute

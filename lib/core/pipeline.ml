@@ -17,6 +17,7 @@ module Generate = Mutsamp_mutation.Generate
 module Kill = Mutsamp_mutation.Kill
 module Equivalence = Mutsamp_mutation.Equivalence
 module Equiv = Mutsamp_sat.Equiv
+module Regions = Mutsamp_analysis.Regions
 module Trace = Mutsamp_obs.Trace
 module Metrics = Mutsamp_obs.Metrics
 module Rerror = Mutsamp_robust.Error
@@ -61,6 +62,9 @@ let prepare design =
     named "flip_flops" s.Mutsamp_netlist.Stats.flip_flops;
     named "levels" s.Mutsamp_netlist.Stats.levels;
     named "max_fanout" s.Mutsamp_netlist.Stats.max_fanout;
+    named "regions" s.Mutsamp_netlist.Stats.regions;
+    named "max_region" s.Mutsamp_netlist.Stats.max_region;
+    named "reconvergences" s.Mutsamp_netlist.Stats.reconvergences;
     named "faults_full" collapse.Collapse.full_size;
     named "faults_collapsed" collapse.Collapse.collapsed_size;
     named "collapse_ratio_bp"
@@ -103,28 +107,130 @@ let pattern_of_stimulus t stimulus =
 let patterns_of_sequences t sequences =
   Array.of_list (List.map (pattern_of_stimulus t) (List.concat sequences))
 
+(* Cone-keyed combinational fault simulation. With a store attached,
+   the fault list is partitioned into influence groups — faults whose
+   effects reach the same primary outputs — and one entry is kept per
+   group, keyed by the Merkle cone hashes of those outputs' input
+   cones (plus the faults' structural site hashes and the pattern
+   sequence), never by the whole-netlist hash. A per-fault detection
+   index does not depend on which other faults share a simulation run
+   (see {!Mutsamp_fault.Fsim}), so group payloads computed together or
+   apart are identical — and after a localised design edit only the
+   groups whose cones cover the edit miss; everything else replays.
+   Missing groups are simulated in a single [run_combinational] call
+   over their union, and nothing is cached if the run degraded. *)
+let fault_simulate_patterns ?(ctx = Ctx.default) nl ~faults ~patterns =
+  match Ctx.store ctx with
+  | None -> Fsim.run_combinational ~ctx nl ~faults ~patterns
+  | Some store ->
+    let regions = Regions.compute nl in
+    let groups = Regions.cone_groups nl regions faults in
+    let seq_h = Cache.sequence_hash patterns in
+    let fault_arr = Array.of_list faults in
+    let results = Array.make (Array.length fault_arr) None in
+    let key_of (g : Regions.cone_group) =
+      Mutsamp_store.Store.key ~ns:"fsimcone"
+        [
+          ("cone", g.Regions.ghash);
+          ( "faults",
+            Cache.site_hashes_digest (List.map (fun (_, _, sh) -> sh) g.Regions.faults) );
+          ("sequence", seq_h);
+        ]
+    in
+    let missing =
+      List.filter
+        (fun (g : Regions.cone_group) ->
+          let hit =
+            g.Regions.cacheable
+            && (match Mutsamp_store.Store.find store (key_of g) with
+                | None -> false
+                | Some payload -> (
+                  match
+                    Cache.cone_payload_of_json
+                      ~count:(List.length g.Regions.faults)
+                      payload
+                  with
+                  | None -> false
+                  | Some ats ->
+                    List.iter2
+                      (fun (i, _, _) at -> results.(i) <- at)
+                      g.Regions.faults ats;
+                    true))
+          in
+          not hit)
+        groups
+    in
+    if missing <> [] then begin
+      let idxs =
+        List.sort compare
+          (List.concat_map
+             (fun (g : Regions.cone_group) ->
+               List.map (fun (i, _, _) -> i) g.Regions.faults)
+             missing)
+      in
+      let sub = List.map (fun i -> fault_arr.(i)) idxs in
+      let degradations_before = List.length (Degrade.events ()) in
+      let r = Fsim.run_combinational ~ctx nl ~faults:sub ~patterns in
+      List.iteri
+        (fun k i -> results.(i) <- r.Fsim.detections.(k).Fsim.detected_at)
+        idxs;
+      if List.length (Degrade.events ()) = degradations_before then
+        List.iter
+          (fun (g : Regions.cone_group) ->
+            if g.Regions.cacheable then
+              Mutsamp_store.Store.put store (key_of g)
+                (Cache.cone_payload_to_json
+                   ~nets:(Regions.net_tokens nl g.Regions.nets)
+                   ~detected_at:
+                     (List.map (fun (i, _, _) -> results.(i)) g.Regions.faults)))
+          missing
+    end;
+    let detections =
+      Array.mapi
+        (fun i fault -> { Fsim.fault; detected_at = results.(i) })
+        fault_arr
+    in
+    let detected =
+      Array.fold_left
+        (fun acc (d : Fsim.detection) ->
+          if d.Fsim.detected_at <> None then acc + 1 else acc)
+        0 detections
+    in
+    {
+      Fsim.total = Array.length fault_arr;
+      detected;
+      detections;
+      patterns_applied = Array.length patterns;
+    }
+
 let fault_simulate ?(ctx = Ctx.default) t sequence =
   Trace.with_span "fsim" @@ fun () ->
-  let compute () = Fsim.run_auto ~ctx t.netlist ~faults:t.faults ~sequence in
   let r =
-    match Ctx.store ctx with
-    | None -> compute ()
-    | Some _ as store ->
-      (* Content-addressed reuse: a hit replays the recorded per-fault
-         detection indices without simulating a single pattern·fault
-         pair (no [fsim.*] series move). Degraded runs are returned but
-         never cached — see {!Mutsamp_store.Store.fetch_or_compute}. *)
-      let h = Lazy.force t.hashes in
-      Mutsamp_store.Store.fetch_or_compute store ~ns:"fsim"
-        ~parts:
-          [
-            ("netlist", h.Cache.netlist_h);
-            ("faults", h.Cache.faults_h);
-            ("sequence", Cache.sequence_hash sequence);
-          ]
-        ~encode:Cache.fsim_report_to_json
-        ~decode:(Cache.fsim_report_of_json ~faults:t.faults)
-        compute
+    if Netlist.num_dffs t.netlist = 0 then
+      (* Combinational designs take the cone-keyed incremental path
+         (a plain run when no store is attached). *)
+      fault_simulate_patterns ~ctx t.netlist ~faults:t.faults ~patterns:sequence
+    else begin
+      let compute () = Fsim.run_auto ~ctx t.netlist ~faults:t.faults ~sequence in
+      match Ctx.store ctx with
+      | None -> compute ()
+      | Some _ as store ->
+        (* Sequential designs keep whole-design keying: cross-cycle
+           state feedback makes per-cone payloads unsound to split.
+           Degraded runs are returned but never cached — see
+           {!Mutsamp_store.Store.fetch_or_compute}. *)
+        let h = Lazy.force t.hashes in
+        Mutsamp_store.Store.fetch_or_compute store ~ns:"fsim"
+          ~parts:
+            [
+              ("netlist", h.Cache.netlist_h);
+              ("faults", h.Cache.faults_h);
+              ("sequence", Cache.sequence_hash sequence);
+            ]
+          ~encode:Cache.fsim_report_to_json
+          ~decode:(Cache.fsim_report_of_json ~faults:t.faults)
+          compute
+    end
   in
   Trace.add_attr "patterns" (string_of_int r.Fsim.patterns_applied);
   Trace.add_attr "detected"

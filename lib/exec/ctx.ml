@@ -15,6 +15,7 @@ type t = {
   sink : sink;
   progress : (stage:string -> done_:int -> total:int -> unit) option;
   static_filter : bool;
+  dominance : bool;
   store : Mutsamp_store.Store.t option;
 }
 
@@ -25,6 +26,7 @@ let default =
     sink = Global;
     progress = None;
     static_filter = true;
+    dominance = true;
     store = None;
   }
 
@@ -32,8 +34,8 @@ let sequential = default
 let with_pool pool = { default with pool = Some pool }
 let with_store store = { default with store = Some store }
 
-let make ?pool ?budget ?store ?progress ?(static_filter = true) () =
-  { pool; budget; sink = Global; progress; static_filter; store }
+let make ?pool ?budget ?store ?progress ?(static_filter = true) ?(dominance = true) () =
+  { pool; budget; sink = Global; progress; static_filter; dominance; store }
 let store t = t.store
 
 let jobs t =

@@ -21,6 +21,10 @@ type t = {
   progress : (stage:string -> done_:int -> total:int -> unit) option;
   static_filter : bool;
       (** consult the static untestability prefilter (ATPG stages) *)
+  dominance : bool;
+      (** order ATPG test search by fault dominance — dominated
+          classes are targeted last so they cross-drop for free; the
+          reporting denominator is unaffected (ATPG stages) *)
   store : Mutsamp_store.Store.t option;
       (** campaign store for fetch-or-compute reuse ([None] = always
           compute) *)
@@ -43,6 +47,7 @@ val make :
   ?store:Mutsamp_store.Store.t ->
   ?progress:(stage:string -> done_:int -> total:int -> unit) ->
   ?static_filter:bool ->
+  ?dominance:bool ->
   unit ->
   t
 (** Assemble a context field by field (omitted fields as in

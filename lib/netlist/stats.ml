@@ -7,7 +7,78 @@ type t = {
   gate_histogram : (string * int) list;
   levels : int;
   max_fanout : int;
+  regions : int;
+  max_region : int;
+  reconvergences : int;
 }
+
+(* Fanout-free regions and reconvergent stems, mirroring the semantics
+   of [Mutsamp_analysis.Regions.compute] (cross-checked in the test
+   suite); duplicated compactly here because the analysis library sits
+   above this one in the dependency order. *)
+let structure (nl : Netlist.t) fanouts =
+  let n = Array.length nl.Netlist.gates in
+  let is_logic (g : Gate.t) =
+    match g.Gate.kind with
+    | Gate.Pi _ | Gate.Const _ | Gate.Dff _ -> false
+    | _ -> true
+  in
+  let drives_po = Array.make n false in
+  Array.iter (fun (_, net) -> drives_po.(net) <- true) nl.Netlist.output_list;
+  let head = Array.make n (-1) in
+  let rec head_of v =
+    if head.(v) >= 0 then head.(v)
+    else begin
+      let h =
+        match fanouts.(v) with
+        | [ g ] when (not drives_po.(v)) && is_logic nl.Netlist.gates.(g) ->
+          head_of g
+        | _ -> v
+      in
+      head.(v) <- h;
+      h
+    end
+  in
+  let region_size = Hashtbl.create 64 in
+  for v = 0 to n - 1 do
+    let h = head_of v in
+    let logic = if is_logic nl.Netlist.gates.(v) then 1 else 0 in
+    Hashtbl.replace region_size h
+      (logic + try Hashtbl.find region_size h with Not_found -> 0)
+  done;
+  let regions = Hashtbl.length region_size in
+  let max_region = Hashtbl.fold (fun _ s acc -> max s acc) region_size 0 in
+  let stamp = Array.make n (-1) in
+  let owner = Array.make n (-1) in
+  let version = ref 0 in
+  let reconvergences = ref 0 in
+  for s = 0 to n - 1 do
+    match fanouts.(s) with
+    | [] | [ _ ] -> ()
+    | branches ->
+      incr version;
+      let meet = ref false in
+      List.iteri
+        (fun b g ->
+          let todo = ref [ g ] in
+          while !todo <> [] do
+            match !todo with
+            | [] -> ()
+            | v :: rest ->
+              todo := rest;
+              if stamp.(v) = !version then begin
+                if owner.(v) <> b then meet := true
+              end
+              else begin
+                stamp.(v) <- !version;
+                owner.(v) <- b;
+                todo := List.rev_append fanouts.(v) !todo
+              end
+          done)
+        branches;
+      if !meet then incr reconvergences
+  done;
+  (regions, max_region, !reconvergences)
 
 let compute (nl : Netlist.t) =
   let histogram = Hashtbl.create 16 in
@@ -21,9 +92,11 @@ let compute (nl : Netlist.t) =
       (Hashtbl.fold (fun k v acc -> (k, v) :: acc) histogram [])
   in
   let topo = Topo.compute nl in
+  let fanouts = Netlist.fanouts nl in
   let max_fanout =
-    Array.fold_left (fun acc fo -> max acc (List.length fo)) 0 (Netlist.fanouts nl)
+    Array.fold_left (fun acc fo -> max acc (List.length fo)) 0 fanouts
   in
+  let regions, max_region, reconvergences = structure nl fanouts in
   {
     nets = Netlist.num_gates nl;
     primary_inputs = Array.length nl.input_nets;
@@ -33,6 +106,9 @@ let compute (nl : Netlist.t) =
     gate_histogram;
     levels = topo.Topo.max_level;
     max_fanout;
+    regions;
+    max_region;
+    reconvergences;
   }
 
 let to_string s =
@@ -40,8 +116,9 @@ let to_string s =
     String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s:%d" k v) s.gate_histogram)
   in
   Printf.sprintf
-    "nets=%d PI=%d PO=%d DFF=%d gates=%d levels=%d max_fanout=%d [%s]"
+    "nets=%d PI=%d PO=%d DFF=%d gates=%d levels=%d max_fanout=%d regions=%d \
+     max_region=%d reconv=%d [%s]"
     s.nets s.primary_inputs s.primary_outputs s.flip_flops s.logic_gates s.levels
-    s.max_fanout hist
+    s.max_fanout s.regions s.max_region s.reconvergences hist
 
 let pp fmt s = Format.pp_print_string fmt (to_string s)

@@ -9,6 +9,9 @@ type t = {
   gate_histogram : (string * int) list;  (** kind name -> count, nonzero only *)
   levels : int;  (** combinational depth *)
   max_fanout : int;
+  regions : int;  (** fanout-free regions *)
+  max_region : int;  (** logic gates in the largest fanout-free region *)
+  reconvergences : int;  (** multi-fanout stems whose branches reconverge *)
 }
 
 val compute : Netlist.t -> t

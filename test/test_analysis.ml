@@ -34,6 +34,13 @@ module Constprop = Mutsamp_analysis.Constprop
 module Untestable = Mutsamp_analysis.Untestable
 module Triage = Mutsamp_analysis.Triage
 module Engine = Mutsamp_analysis.Engine
+module Nl_lint = Mutsamp_analysis.Nl_lint
+module Domtree = Mutsamp_analysis.Domtree
+module Regions = Mutsamp_analysis.Regions
+module Stats = Mutsamp_netlist.Stats
+module Collapse = Mutsamp_fault.Collapse
+module Scan = Mutsamp_atpg.Scan
+module Ctx = Mutsamp_exec.Ctx
 
 let parse src =
   Check.elaborate (Mutsamp_robust.Error.ok_exn (Parser.design_result src))
@@ -183,8 +190,11 @@ let test_netlist_lint_fixture () =
   Alcotest.(check int) "two constant nets (NL001)" 2 (count "NL001");
   Alcotest.(check int) "unused PI (NL003)" 1 (count "NL003");
   Alcotest.(check int) "blocked PI (NL004)" 1 (count "NL004");
+  (* not(x) needs x = 1 to pass the AND it feeds but x = 0 at the
+     reconverging OR: the post-dominator rule proves the stem dead. *)
+  Alcotest.(check int) "dominator conflict (NL008)" 1 (count "NL008");
   Alcotest.(check int) "nothing else" (List.length diags)
-    (count "NL001" + count "NL003" + count "NL004")
+    (count "NL001" + count "NL003" + count "NL004" + count "NL008")
 
 let test_netlist_lint_no_observability () =
   let b = B.create "nlbad2" in
@@ -471,8 +481,496 @@ let test_topoff_differential_c17 () =
     (r1.Topoff.atpg_calls < r2.Topoff.atpg_calls)
 
 (* ------------------------------------------------------------------ *)
+(* Structural dataflow engine: dominator trees                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Brute-force reference: [d] dominates [v] iff deleting [d] leaves [v]
+   unreachable from the virtual root (which has an edge to every entry
+   in [roots]); [None] when [v] is unreachable to begin with. *)
+let brute_dominators ~n ~succs ~roots v =
+  let reachable_avoiding d =
+    let seen = Array.make n false in
+    let rec go u =
+      if u <> d && not seen.(u) then begin
+        seen.(u) <- true;
+        List.iter go succs.(u)
+      end
+    in
+    List.iter go roots;
+    seen.(v)
+  in
+  if not (reachable_avoiding (-1)) then None
+  else
+    Some
+      (List.filter
+         (fun d -> d <> v && not (reachable_avoiding d))
+         (List.init n Fun.id))
+
+let domtree_matches_brute ~n ~succs ~roots =
+  let t = Domtree.compute ~n ~succs ~roots in
+  List.for_all
+    (fun v ->
+      match brute_dominators ~n ~succs ~roots v with
+      | None -> t.Domtree.idom.(v) < 0
+      | Some doms ->
+        t.Domtree.idom.(v) >= 0
+        && List.sort compare (Domtree.dominators t v) = doms)
+    (List.init n Fun.id)
+
+let test_domtree_handcrafted () =
+  (* Diamond: the fork dominates the join, neither branch does. *)
+  let succs = [| [ 1; 2 ]; [ 3 ]; [ 3 ]; [] |] in
+  Alcotest.(check bool) "diamond matches brute force" true
+    (domtree_matches_brute ~n:4 ~succs ~roots:[ 0 ]);
+  let t = Domtree.compute ~n:4 ~succs ~roots:[ 0 ] in
+  Alcotest.(check (list int)) "join's only strict dominator is the fork" [ 0 ]
+    (Domtree.dominators t 3);
+  Alcotest.(check bool) "dominates is reflexive" true (Domtree.dominates t 3 3);
+  Alcotest.(check bool) "fork dominates join" true (Domtree.dominates t 0 3);
+  Alcotest.(check bool) "a branch does not" false (Domtree.dominates t 1 3);
+  (* A second entry point breaks the fork's dominance. *)
+  Alcotest.(check bool) "multi-root matches brute force" true
+    (domtree_matches_brute ~n:4 ~succs ~roots:[ 0; 2 ]);
+  let t2 = Domtree.compute ~n:4 ~succs ~roots:[ 0; 2 ] in
+  Alcotest.(check (list int)) "join undominated under two roots" []
+    (Domtree.dominators t2 3);
+  (* Unreachable node: idom = -1, empty chain. *)
+  let succs3 = [| [ 1 ]; []; [ 1 ] |] in
+  let t3 = Domtree.compute ~n:3 ~succs:succs3 ~roots:[ 0 ] in
+  Alcotest.(check int) "unreachable idom" (-1) t3.Domtree.idom.(2);
+  Alcotest.(check (list int)) "unreachable chain" [] (Domtree.dominators t3 2);
+  Alcotest.(check bool) "unreachable matches brute force" true
+    (domtree_matches_brute ~n:3 ~succs:succs3 ~roots:[ 0 ])
+
+let prop_domtree_random_dags =
+  let arb =
+    QCheck.make
+      ~print:(fun (n, bits) ->
+        Printf.sprintf "n=%d edges=%s" n
+          (String.concat "" (List.map (fun b -> if b then "1" else "0") bits)))
+      QCheck.Gen.(
+        int_range 2 12 >>= fun n ->
+        list_repeat (n * n) bool >|= fun bits -> (n, bits))
+  in
+  QCheck.Test.make ~name:"domtree matches brute force on random DAGs"
+    ~count:100 arb
+    (fun (n, bits) ->
+      let succs = Array.make n [] in
+      List.iteri
+        (fun k b ->
+          let i = k / n and j = k mod n in
+          if b && i < j then succs.(i) <- j :: succs.(i))
+        bits;
+      (* Sources act as the roots, so every node is reachable; the
+         handcrafted cases cover unreachable nodes. *)
+      let has_pred = Array.make n false in
+      Array.iter (List.iter (fun j -> has_pred.(j) <- true)) succs;
+      let roots = List.filter (fun v -> not has_pred.(v)) (List.init n Fun.id) in
+      domtree_matches_brute ~n ~succs ~roots)
+
+let test_postdom_netlist () =
+  let nl = Flow.synthesize (design "c17") in
+  let t = Domtree.post nl in
+  let n = Array.length nl.Netlist.gates in
+  Alcotest.(check int) "one node per net" n t.Domtree.n;
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check bool) (Printf.sprintf "net %d observable" i) true
+        (t.Domtree.idom.(i) >= 0);
+      Alcotest.(check bool) "reflexive" true (Domtree.dominates t i i);
+      List.iter
+        (fun d ->
+          Alcotest.(check bool) "chain holds real nets" true (d >= 0 && d < n))
+        (Domtree.dominators t i))
+    nl.Netlist.gates
+
+(* ------------------------------------------------------------------ *)
+(* Fanout-free regions, cone hashes, cone groups                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A six-gate AND chain re-using one side input: the whole chain (and
+   the single-fanout PI feeding it) collapses into the PO driver's
+   region, while y is a reconvergent stem whose own region holds no
+   logic. Hand-derived numbers, checked against both the engine and
+   the [Netlist.Stats] mirror. *)
+let chain_fixture () =
+  let b = B.create "chain" in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let c = ref (B.and_ b x y) in
+  for _ = 2 to 6 do
+    c := B.and_ b !c y
+  done;
+  B.output b "o" !c;
+  (B.finalize b, !c)
+
+let test_regions_chain_fixture () =
+  let nl, last = chain_fixture () in
+  let r = Regions.compute nl in
+  let s = Stats.compute nl in
+  Alcotest.(check int) "two regions" 2 r.Regions.region_count;
+  Alcotest.(check int) "chain collapses into the PO driver" 6
+    r.Regions.max_region_size;
+  Alcotest.(check int) "y reconverges" 1 r.Regions.reconvergence_count;
+  Alcotest.(check int) "x chases to the chain head" last
+    r.Regions.head.(nl.Netlist.input_nets.(0));
+  Alcotest.(check int) "y is its own head" nl.Netlist.input_nets.(1)
+    r.Regions.head.(nl.Netlist.input_nets.(1));
+  Alcotest.(check int) "stats regions" r.Regions.region_count s.Stats.regions;
+  Alcotest.(check int) "stats max region" r.Regions.max_region_size
+    s.Stats.max_region;
+  Alcotest.(check int) "stats reconvergences" r.Regions.reconvergence_count
+    s.Stats.reconvergences
+
+let test_regions_stats_registry () =
+  (* Stats duplicates the region semantics compactly (the analysis
+     library sits above lib/netlist); the two must agree everywhere. *)
+  List.iter
+    (fun (e : Registry.entry) ->
+      let nl = Flow.synthesize (e.Registry.design ()) in
+      let r = Regions.compute nl and s = Stats.compute nl in
+      let name = e.Registry.name in
+      Alcotest.(check int) (name ^ ": regions") r.Regions.region_count
+        s.Stats.regions;
+      Alcotest.(check int) (name ^ ": max region") r.Regions.max_region_size
+        s.Stats.max_region;
+      Alcotest.(check int)
+        (name ^ ": reconvergences")
+        r.Regions.reconvergence_count s.Stats.reconvergences;
+      Alcotest.(check bool) (name ^ ": nonempty") true
+        (s.Stats.regions > 0 && s.Stats.max_region > 0))
+    Registry.all
+
+(* Cone hashes are local: two netlists built identically except for one
+   late gate agree on every net outside that gate's cone and disagree
+   exactly on it. *)
+let test_cone_hash_locality () =
+  let build flip =
+    let b = B.create "pair" in
+    let a = B.input b "a" in
+    let c = B.input b "c" in
+    let d = B.input b "d" in
+    let g1 = B.and_ b a c in
+    let g2 = (if flip then B.nor_ else B.or_) b c d in
+    B.output b "o1" g1;
+    B.output b "o2" g2;
+    (B.finalize b, g2)
+  in
+  let nl1, g2a = build false in
+  let nl2, g2b = build true in
+  Alcotest.(check int) "same construction order" g2a g2b;
+  let r1 = Regions.compute nl1 and r2 = Regions.compute nl2 in
+  Array.iteri
+    (fun v _ ->
+      if v = g2a then
+        Alcotest.(check bool) "edited gate re-hashes" false
+          (r1.Regions.cone_hash.(v) = r2.Regions.cone_hash.(v))
+      else
+        Alcotest.(check string)
+          (Printf.sprintf "net %d untouched" v)
+          r1.Regions.cone_hash.(v) r2.Regions.cone_hash.(v))
+    nl1.Netlist.gates
+
+let fault_net (f : Fault.t) =
+  match f.Fault.site with Fault.Stem n -> n | Fault.Branch { gate; _ } -> gate
+
+let test_cone_groups_partition_c432 () =
+  let nl = Flow.synthesize (design "c432") in
+  let r = Regions.compute nl in
+  let faults = (Collapse.run nl).Collapse.representatives in
+  let groups = Regions.cone_groups nl r faults in
+  Alcotest.(check bool) "several groups" true (List.length groups > 1);
+  let idx =
+    List.concat_map
+      (fun g -> List.map (fun (i, _, _) -> i) g.Regions.faults)
+      groups
+  in
+  Alcotest.(check int) "every fault grouped" (List.length faults)
+    (List.length idx);
+  Alcotest.(check int) "each exactly once" (List.length idx)
+    (List.length (List.sort_uniq compare idx));
+  let groups' = Regions.cone_groups nl r faults in
+  Alcotest.(check (list string)) "deterministic"
+    (List.map (fun g -> g.Regions.ghash) groups)
+    (List.map (fun g -> g.Regions.ghash) groups');
+  List.iter
+    (fun g ->
+      Alcotest.(check bool) "collapsed representatives are cacheable" true
+        g.Regions.cacheable;
+      List.iter
+        (fun (_, f, _) ->
+          Alcotest.(check bool) "member's net inside the group cone" true
+            (List.mem (fault_net f) g.Regions.nets))
+        g.Regions.faults)
+    groups;
+  (* The human-facing tokens of any group resolve PI and PO names. *)
+  let g0 = List.hd groups in
+  let tokens = Regions.net_tokens nl g0.Regions.nets in
+  Alcotest.(check bool) "tokens nonempty" true (tokens <> []);
+  Alcotest.(check bool) "tokens sorted and deduplicated" true
+    (List.sort_uniq compare tokens = tokens)
+
+(* ------------------------------------------------------------------ *)
+(* Fault-dominance collapsing                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_dominance_split_permutation () =
+  let nl = Flow.synthesize (design "c432") in
+  let coll = Collapse.run nl in
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let dom = Collapse.dominance nl coll in
+  let snap = Metrics.snapshot () in
+  Metrics.set_enabled false;
+  let sort = List.sort Fault.compare in
+  Alcotest.(check bool) "search @ deferred permutes the representatives" true
+    (sort (dom.Collapse.search @ dom.Collapse.deferred)
+    = sort coll.Collapse.representatives);
+  Alcotest.(check bool) "some classes deferred" true
+    (dom.Collapse.deferred <> []);
+  Alcotest.(check int) "deferrals counted"
+    (List.length dom.Collapse.deferred)
+    (counter_value snap "analysis.dominance_collapsed")
+
+(* Redundancy removal with and without dominance collapsing: identical
+   cleaned netlist and tie count, no more (and on these fixtures,
+   strictly fewer) SAT solves. *)
+let redundancy_dominance_differential name =
+  let nl = augmented name in
+  let run dominance =
+    Metrics.set_enabled true;
+    Metrics.reset ();
+    let cleaned, tied =
+      Redundancy.remove ~ctx:{ Ctx.default with Ctx.dominance } nl
+    in
+    let snap = Metrics.snapshot () in
+    Metrics.set_enabled false;
+    (cleaned, tied, counter_value snap "sat.solves")
+  in
+  let c1, t1, s1 = run true in
+  let c2, t2, s2 = run false in
+  Alcotest.(check bool) (name ^ ": identical netlist") true (c1 = c2);
+  Alcotest.(check int) (name ^ ": identical tie count") t2 t1;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: fewer SAT solves (%d < %d)" name s1 s2)
+    true (s1 < s2)
+
+let test_redundancy_dominance_c17 () = redundancy_dominance_differential "c17"
+let test_redundancy_dominance_c432 () = redundancy_dominance_differential "c432"
+
+(* Topoff with and without dominance collapsing: bit-identical fault
+   classification and coverage, never more deterministic calls, and the
+   deferral counter records the reordered classes. [random_budget:0]
+   forces every fault into the deterministic phase so the dominance
+   path is exercised even on circuits random patterns would finish. *)
+let topoff_dominance_differential ?random_budget ?(expect_deferrals = false)
+    name =
+  let nl0 = Flow.synthesize (design name) in
+  let nl = if Netlist.num_dffs nl0 > 0 then Scan.full_scan nl0 else nl0 in
+  let faults = Fault.full_list nl in
+  let run dominance =
+    Metrics.set_enabled true;
+    Metrics.reset ();
+    let r =
+      Topoff.run ~engine:Topoff.Use_sat ?random_budget ~seed:7
+        ~ctx:{ Ctx.default with Ctx.dominance } nl ~faults ~seed_patterns:[||]
+    in
+    let snap = Metrics.snapshot () in
+    Metrics.set_enabled false;
+    (r, counter_value snap "analysis.dominance_collapsed")
+  in
+  let r1, d1 = run true in
+  let r2, d2 = run false in
+  Alcotest.(check int) (name ^ ": same total") r2.Topoff.total_faults
+    r1.Topoff.total_faults;
+  Alcotest.(check int) (name ^ ": same untestable") r2.Topoff.untestable
+    r1.Topoff.untestable;
+  Alcotest.(check int) (name ^ ": same aborted") r2.Topoff.aborted
+    r1.Topoff.aborted;
+  Alcotest.(check (float 1e-9))
+    (name ^ ": same coverage")
+    r2.Topoff.final_coverage_percent r1.Topoff.final_coverage_percent;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: no extra atpg calls (%d <= %d)" name
+       r1.Topoff.atpg_calls r2.Topoff.atpg_calls)
+    true
+    (r1.Topoff.atpg_calls <= r2.Topoff.atpg_calls);
+  Alcotest.(check int) (name ^ ": nothing counted when disabled") 0 d2;
+  if expect_deferrals then
+    Alcotest.(check bool) (name ^ ": deferrals counted") true (d1 > 0)
+
+let test_topoff_dominance_c17 () =
+  topoff_dominance_differential ~random_budget:0 ~expect_deferrals:true "c17"
+
+let test_topoff_dominance_c432 () =
+  topoff_dominance_differential ~random_budget:0 ~expect_deferrals:true "c432"
+
+let test_topoff_dominance_rest () =
+  List.iter
+    (fun name -> topoff_dominance_differential name)
+    [ "c499"; "wide128"; "b01"; "b03" ]
+
+let prop_topoff_dominance_seeds =
+  let nl = augmented "c17" in
+  let faults = Fault.full_list nl in
+  QCheck.Test.make
+    ~name:"dominance-collapsed search bit-identical over random seeds"
+    ~count:15
+    QCheck.(make ~print:string_of_int Gen.(int_bound 9999))
+    (fun seed ->
+      let run dominance =
+        Topoff.run ~engine:Topoff.Use_sat ~seed
+          ~ctx:{ Ctx.default with Ctx.dominance } nl ~faults
+          ~seed_patterns:[||]
+      in
+      let r1 = run true and r2 = run false in
+      r1.Topoff.total_faults = r2.Topoff.total_faults
+      && r1.Topoff.untestable = r2.Topoff.untestable
+      && r1.Topoff.aborted = r2.Topoff.aborted
+      && r1.Topoff.final_coverage_percent = r2.Topoff.final_coverage_percent
+      && r1.Topoff.atpg_calls <= r2.Topoff.atpg_calls)
+
+(* ------------------------------------------------------------------ *)
+(* Post-dominator untestability rule (prefilter + NL008)              *)
+(* ------------------------------------------------------------------ *)
+
+(* z = nor(and(s, x), x) is just ¬x: propagating s through the AND
+   demands x = 1, through the dominating NOR x = 0 — every path from s
+   is statically blocked. The per-gate may-differ pass cannot see this
+   (each gate's side input is individually free); the post-dominator
+   side-requirement rule proves it. *)
+let conflict_fixture () =
+  let b = B.create "conflict" in
+  let s = B.input b "s" in
+  let x = B.input b "x" in
+  let y = B.and_ b s x in
+  let z = B.nor_ b y x in
+  B.output b "z" z;
+  (B.finalize b, s)
+
+let test_prefilter_dominator_rule () =
+  let nl, s = conflict_fixture () in
+  let ut = Untestable.analyze nl in
+  Alcotest.(check bool) "may-differ pass alone is blind here" true
+    (Untestable.stem_observable ut s);
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let pf = Prefilter.make nl in
+  List.iter
+    (fun polarity ->
+      let f = { Fault.site = Fault.Stem s; Fault.polarity = polarity } in
+      Alcotest.(check bool)
+        (Fault.to_string f ^ " proved")
+        true
+        (Prefilter.is_untestable pf f);
+      Alcotest.(check bool)
+        (Fault.to_string f ^ " SAT-confirmed")
+        true
+        (Mutsamp_robust.Error.ok_exn (Satgen.generate nl f) = Satgen.Untestable))
+    [ Fault.Stuck_at_0; Fault.Stuck_at_1 ];
+  let snap = Metrics.snapshot () in
+  Metrics.set_enabled false;
+  Alcotest.(check bool) "dominator proofs counted" true
+    (counter_value snap "analysis.domtree.pruned" > 0);
+  Alcotest.(check bool) "domtree build counted" true
+    (counter_value snap "analysis.domtree.builds" >= 1)
+
+let test_nl008_fires_on_conflict () =
+  let nl, s = conflict_fixture () in
+  let diags = Nl_lint.run ~circuit:"conflict" nl in
+  let nl008 = List.filter (fun dg -> dg.Diag.rule.Rule.id = "NL008") diags in
+  Alcotest.(check int) "exactly one finding" 1 (List.length nl008);
+  let dg = List.hd nl008 in
+  Alcotest.(check string) "anchored to the blocked stem"
+    (Printf.sprintf "net%d" s)
+    dg.Diag.loc;
+  Alcotest.(check bool) "warning severity" true
+    (dg.Diag.rule.Rule.severity = Rule.Warning);
+  (* Skipped together with the quadratic observability passes. *)
+  let off = Nl_lint.run ~check_observability:false ~circuit:"conflict" nl in
+  Alcotest.(check bool) "skipped by check_observability:false" true
+    (List.for_all (fun dg -> dg.Diag.rule.Rule.id <> "NL008") off);
+  (* Unsound across register boundaries, so gated off on sequential
+     netlists: the same blocked cone plus one unrelated flop. *)
+  let b = B.create "conflictseq" in
+  let s2 = B.input b "s" in
+  let x2 = B.input b "x" in
+  let q = B.dff b ~init:false in
+  B.connect_dff b q ~d:s2;
+  B.output b "q" q;
+  B.output b "z" (B.nor_ b (B.and_ b s2 x2) x2);
+  let seq = B.finalize b in
+  let dseq = Nl_lint.run ~circuit:"conflictseq" seq in
+  Alcotest.(check bool) "gated off on sequential netlists" true
+    (List.for_all (fun dg -> dg.Diag.rule.Rule.id <> "NL008") dseq)
+
+let test_nl007_threshold () =
+  let b = B.create "hotspot" in
+  let s = B.input b "s" in
+  let t = B.input b "t" in
+  let u = B.input b "u" in
+  let g1 = B.and_ b s t in
+  let g2 = B.and_ b s u in
+  B.output b "o" (B.or_ b g1 g2);
+  let nl = B.finalize b in
+  let fired = Nl_lint.run ~hotspot_fanout:2 ~circuit:"hotspot" nl in
+  Alcotest.(check bool) "reconvergent stem flagged at threshold 2" true
+    (List.exists
+       (fun dg ->
+         dg.Diag.rule.Rule.id = "NL007"
+         && dg.Diag.loc = Printf.sprintf "net%d" s)
+       fired);
+  let silent = Nl_lint.run ~circuit:"hotspot" nl in
+  Alcotest.(check bool) "default threshold is silent" true
+    (List.for_all (fun dg -> dg.Diag.rule.Rule.id <> "NL007") silent);
+  (* Width without reconvergence is not the smell. *)
+  let b2 = B.create "wide" in
+  let w = B.input b2 "w" in
+  let p = B.input b2 "p" in
+  let q = B.input b2 "q" in
+  B.output b2 "a" (B.and_ b2 w p);
+  B.output b2 "b" (B.and_ b2 w q);
+  let nl2 = B.finalize b2 in
+  let d2 = Nl_lint.run ~hotspot_fanout:2 ~circuit:"wide" nl2 in
+  Alcotest.(check bool) "non-reconvergent fanout is silent" true
+    (List.for_all (fun dg -> dg.Diag.rule.Rule.id <> "NL007") d2)
+
+let test_nl009_threshold () =
+  let nl, last = chain_fixture () in
+  let fired = Nl_lint.run ~max_region:5 ~circuit:"chain" nl in
+  Alcotest.(check bool) "oversized region flagged at its head" true
+    (List.exists
+       (fun dg ->
+         dg.Diag.rule.Rule.id = "NL009"
+         && dg.Diag.loc = Printf.sprintf "net%d" last)
+       fired);
+  let silent = Nl_lint.run ~circuit:"chain" nl in
+  Alcotest.(check bool) "default threshold is silent" true
+    (List.for_all (fun dg -> dg.Diag.rule.Rule.id <> "NL009") silent)
+
+(* ------------------------------------------------------------------ *)
 (* Waivers, summary, report section                                   *)
 (* ------------------------------------------------------------------ *)
+
+let test_retired_rules () =
+  Alcotest.(check int) "two retired ids" 2 (List.length Rule.retired);
+  List.iter
+    (fun (id, reason) ->
+      Alcotest.(check bool) (id ^ " never reused") true (Rule.find id = None);
+      Alcotest.(check bool) (id ^ " has a reason") true
+        (String.length reason > 0);
+      Alcotest.(check bool) (id ^ " found case-insensitively") true
+        (Rule.find_retired (String.lowercase_ascii id) = Some (id, reason));
+      match Engine.waiver_of_string id with
+      | Ok _ -> Alcotest.fail (id ^ ": retired id accepted as waiver")
+      | Error msg ->
+        Alcotest.(check bool)
+          (id ^ ": message names the retirement")
+          true
+          (String.length msg >= 7 && String.sub msg 0 7 = "retired"))
+    Rule.retired;
+  Alcotest.(check bool) "unknown id is not retired" true
+    (Rule.find_retired "ZZZ999" = None)
 
 let test_waiver_parsing () =
   (match Engine.waiver_of_string "HDL001:selfy" with
@@ -579,6 +1077,40 @@ let suite =
         Alcotest.test_case "observability pass off" `Quick
           test_netlist_lint_no_observability;
         Alcotest.test_case "registry lint-clean" `Slow test_registry_lint_clean;
+        Alcotest.test_case "NL007 hotspot threshold" `Quick test_nl007_threshold;
+        Alcotest.test_case "NL008 dominator conflict" `Quick
+          test_nl008_fires_on_conflict;
+        Alcotest.test_case "NL009 region threshold" `Quick test_nl009_threshold;
+      ] );
+    ( "analysis.dataflow",
+      [
+        Alcotest.test_case "domtree handcrafted" `Quick test_domtree_handcrafted;
+        q prop_domtree_random_dags;
+        Alcotest.test_case "post-dominators over a netlist" `Quick
+          test_postdom_netlist;
+        Alcotest.test_case "regions chain fixture" `Quick
+          test_regions_chain_fixture;
+        Alcotest.test_case "regions/stats agree on the registry" `Slow
+          test_regions_stats_registry;
+        Alcotest.test_case "cone hash locality" `Quick test_cone_hash_locality;
+        Alcotest.test_case "cone groups partition (c432)" `Quick
+          test_cone_groups_partition_c432;
+      ] );
+    ( "analysis.dominance",
+      [
+        Alcotest.test_case "split is a permutation (c432)" `Quick
+          test_dominance_split_permutation;
+        Alcotest.test_case "redundancy differential (c17)" `Quick
+          test_redundancy_dominance_c17;
+        Alcotest.test_case "redundancy differential (c432)" `Slow
+          test_redundancy_dominance_c432;
+        Alcotest.test_case "topoff differential (c17)" `Quick
+          test_topoff_dominance_c17;
+        Alcotest.test_case "topoff differential (c432)" `Slow
+          test_topoff_dominance_c432;
+        Alcotest.test_case "topoff differential (c499/wide128/b01/b03)" `Slow
+          test_topoff_dominance_rest;
+        q prop_topoff_dominance_seeds;
       ] );
     ( "analysis.triage",
       [
@@ -599,6 +1131,8 @@ let suite =
           test_untestable_sound_c432;
         Alcotest.test_case "pristine c17 clean" `Quick
           test_untestable_none_on_clean_c17;
+        Alcotest.test_case "post-dominator rule (prefilter)" `Quick
+          test_prefilter_dominator_rule;
         Alcotest.test_case "redundancy differential (c17)" `Quick
           test_redundancy_differential_c17;
         Alcotest.test_case "redundancy differential (c432)" `Slow
@@ -609,6 +1143,7 @@ let suite =
     ( "analysis.engine",
       [
         Alcotest.test_case "waiver parsing" `Quick test_waiver_parsing;
+        Alcotest.test_case "retired rule ids" `Quick test_retired_rules;
         Alcotest.test_case "waivers applied" `Quick test_waivers_applied;
         Alcotest.test_case "report section validates" `Quick
           test_report_section_validates;

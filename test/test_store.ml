@@ -458,6 +458,109 @@ let test_stats_to_json_fields () =
      | _ -> Alcotest.fail "namespaces object missing")
   | _ -> Alcotest.fail "stats_to_json must return an object"
 
+(* ------------------------------------------------------------------ *)
+(* Cone-keyed incremental fault-simulation entries                    *)
+(* ------------------------------------------------------------------ *)
+
+module B = Mutsamp_netlist.Netlist.Builder
+module Netlist = Mutsamp_netlist.Netlist
+module Collapse = Mutsamp_fault.Collapse
+module Prpg = Mutsamp_atpg.Prpg
+module Prng = Mutsamp_util.Prng
+
+(* Two output cones sharing no logic: o1 = and(a,b) and o2 either
+   or(c,d) or nor(c,d). Editing the second cone must leave the first
+   cone's store entry replayable. *)
+let two_cone_netlist flip =
+  let b = B.create "twocone" in
+  let a = B.input b "a" in
+  let bb = B.input b "b" in
+  let c = B.input b "c" in
+  let d = B.input b "d" in
+  B.output b "o1" (B.and_ b a bb);
+  B.output b "o2" ((if flip then B.nor_ else B.or_) b c d);
+  B.finalize b
+
+let cone_patterns nl seed =
+  Prpg.uniform_sequence (Prng.create seed)
+    ~bits:(Array.length nl.Netlist.input_nets)
+    ~length:12
+
+let fsim_steps snap =
+  match List.assoc_opt "fsim.machine_steps" snap.Metrics.counters with
+  | Some n -> n
+  | None -> 0
+
+let test_cone_fsim_warm_replay () =
+  with_store @@ fun s ->
+  let nl = two_cone_netlist false in
+  let faults = (Collapse.run nl).Collapse.representatives in
+  let patterns = cone_patterns nl 42 in
+  let ctx = Ctx.with_store s in
+  let reference = Pipeline.fault_simulate_patterns nl ~faults ~patterns in
+  let cold = Pipeline.fault_simulate_patterns ~ctx nl ~faults ~patterns in
+  check_bool "cold run bit-identical to storeless" true (cold = reference);
+  check_bool "cold run records both cones" true (count "puts" >= 2);
+  Store.reset_counters ();
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let warm = Pipeline.fault_simulate_patterns ~ctx nl ~faults ~patterns in
+  let snap = Metrics.snapshot () in
+  Metrics.set_enabled false;
+  check_bool "warm run bit-identical" true (warm = cold);
+  check_bool "warm run replays both cones" true (count "hits" >= 2);
+  check_int "warm run stores nothing" 0 (count "puts");
+  check_int "warm run simulates nothing" 0 (fsim_steps snap)
+
+(* The incremental guarantee: after a one-gate edit, only the groups
+   whose cone contains the edit recompute; the rest replay, and the
+   stitched report matches a storeless run of the edited netlist. *)
+let test_cone_fsim_partial_invalidation () =
+  with_store @@ fun s ->
+  let nl1 = two_cone_netlist false in
+  let nl2 = two_cone_netlist true in
+  let patterns = cone_patterns nl1 42 in
+  let ctx = Ctx.with_store s in
+  let f1 = (Collapse.run nl1).Collapse.representatives in
+  let f2 = (Collapse.run nl2).Collapse.representatives in
+  let _cold = Pipeline.fault_simulate_patterns ~ctx nl1 ~faults:f1 ~patterns in
+  Store.reset_counters ();
+  let edited = Pipeline.fault_simulate_patterns ~ctx nl2 ~faults:f2 ~patterns in
+  check_bool "untouched cone replays" true (count "hits" >= 1);
+  check_bool "edited cone recomputes" true (count "misses" >= 1);
+  let reference = Pipeline.fault_simulate_patterns nl2 ~faults:f2 ~patterns in
+  check_bool "stitched report bit-identical" true (edited = reference);
+  (* Everything is recorded again: the next run is a pure replay. *)
+  Store.reset_counters ();
+  let warm = Pipeline.fault_simulate_patterns ~ctx nl2 ~faults:f2 ~patterns in
+  check_bool "healed replay" true (warm = reference && count "misses" = 0)
+
+let test_cone_invalidate () =
+  with_store @@ fun s ->
+  let nl = two_cone_netlist false in
+  let faults = (Collapse.run nl).Collapse.representatives in
+  let patterns = cone_patterns nl 42 in
+  let ctx = Ctx.with_store s in
+  let cold = Pipeline.fault_simulate_patterns ~ctx nl ~faults ~patterns in
+  check_int "one entry per cone group" 2 (Store.stats s).Store.entries;
+  check_int "unknown net matches nothing" 0 (Store.invalidate s ~cone:"zz" ());
+  check_int "PI name drops exactly its cone" 1 (Store.invalidate s ~cone:"a" ());
+  check_int "PO name drops the other" 1 (Store.invalidate s ~cone:"o2" ());
+  check_int "store emptied" 0 (Store.stats s).Store.entries;
+  (* The cone filter conjoins with the namespace filter. *)
+  let _ = Pipeline.fault_simulate_patterns ~ctx nl ~faults ~patterns in
+  check_int "wrong namespace matches nothing" 0
+    (Store.invalidate s ~namespace:"fsim" ~cone:"a" ());
+  check_int "right namespace" 1
+    (Store.invalidate s ~namespace:"fsimcone" ~cone:"a" ());
+  (* A re-run replays the survivor, recomputes the dropped cone, and
+     stays bit-identical. *)
+  Store.reset_counters ();
+  let rerun = Pipeline.fault_simulate_patterns ~ctx nl ~faults ~patterns in
+  check_bool "replays the survivor" true (count "hits" >= 1);
+  check_bool "recomputes the dropped cone" true (count "misses" >= 1);
+  check_bool "bit-identical after surgery" true (rerun = cold)
+
 let suite =
   [
     ( "store.kv",
@@ -494,6 +597,15 @@ let suite =
           (clean test_concurrent_gc_invalidate);
         Alcotest.test_case "stats_to_json mirrors text view" `Quick
           (clean test_stats_to_json_fields);
+      ] );
+    ( "store.cone",
+      [
+        Alcotest.test_case "warm replay per cone group" `Quick
+          (clean test_cone_fsim_warm_replay);
+        Alcotest.test_case "one-gate edit recomputes one cone" `Quick
+          (clean test_cone_fsim_partial_invalidation);
+        Alcotest.test_case "invalidate --cone surgery" `Quick
+          (clean test_cone_invalidate);
       ] );
     ( "store.differential",
       [
