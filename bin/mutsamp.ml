@@ -97,6 +97,7 @@ type obs_opts = {
   jobs : int;
   store : string option;
   no_dominance : bool;
+  engine : string;
 }
 
 let obs_term =
@@ -190,17 +191,25 @@ let obs_term =
                    exists to measure the saving and to bisect suspected \
                    collapsing bugs.")
   in
+  let engine =
+    Arg.(value & opt string "auto"
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"Fault-simulation backend: auto (the default — compiled for \
+                   combinational netlists, packed for sequential ones), \
+                   packed, event or compiled. Reported coverage is \
+                   bit-identical across all of them.")
+  in
   Term.(const (fun trace metrics profile report trace_out metrics_out deadline_ms
                    sat_conflicts podem_backtracks fsim_pairs chaos chaos_seed jobs
-                   store no_dominance ->
+                   store no_dominance engine ->
             { trace; metrics; profile; report; trace_out; metrics_out;
               deadline_ms; sat_conflicts;
               podem_backtracks; fsim_pairs; chaos; chaos_seed; jobs; store;
-              no_dominance })
+              no_dominance; engine })
         $ trace $ metrics $ profile $ report $ trace_out $ metrics_out
         $ deadline_ms $ sat_conflicts
         $ podem_backtracks $ fsim_pairs $ chaos $ chaos_seed $ jobs $ store
-        $ no_dominance)
+        $ no_dominance $ engine)
 
 (* The "robust" report section: the degradation record plus the budget
    the run was given. *)
@@ -236,6 +245,15 @@ let with_obs obs ~command ?(circuits = []) ?config ?seed
       Budget.create ?deadline_ms ?sat_conflicts ?podem_backtracks ?fsim_pairs ()
   in
   Budget.set_ambient budget;
+  let engine =
+    match Ctx.engine_of_string obs.engine with
+    | Some e -> e
+    | None ->
+      Printf.eprintf
+        "mutsamp: unknown --engine %S (auto, packed, event or compiled)\n"
+        obs.engine;
+      exit 64
+  in
   Degrade.reset ();
   Chaos.init ~seed:obs.chaos_seed ();
   Chaos.disarm_all ();
@@ -261,7 +279,9 @@ let with_obs obs ~command ?(circuits = []) ?config ?seed
   in
   let pool = if obs.jobs = 1 then None else Some (Pool.create ~domains:obs.jobs) in
   let ctx = match pool with None -> Ctx.default | Some p -> Ctx.with_pool p in
-  let ctx = { ctx with Ctx.store; Ctx.dominance = not obs.no_dominance } in
+  let ctx =
+    { ctx with Ctx.store; Ctx.dominance = not obs.no_dominance; Ctx.engine }
+  in
   let result =
     try Ok (Trace.with_span command (fun () -> f ctx)) with
     | Rerror.E e -> Error e
@@ -314,9 +334,33 @@ let with_obs obs ~command ?(circuits = []) ?config ?seed
          if obs.profile then [ ("profile", Profile.to_json (Profile.current ())) ]
          else []
        in
+       (* Which backend the run asked for and which one(s) actually ran
+          (fault-sim dispatch bumps one fsim.engine.* counter per run;
+          Auto can resolve differently per netlist, hence a list). *)
+       let fsim_json =
+         let prefix = "fsim.engine." in
+         let plen = String.length prefix in
+         let resolved =
+           List.filter_map
+             (fun (name, v) ->
+               if
+                 v > 0
+                 && String.length name > plen
+                 && String.sub name 0 plen = prefix
+               then Some (Json.String (String.sub name plen (String.length name - plen)))
+               else None)
+             (Metrics.snapshot ()).Metrics.counters
+         in
+         Json.Obj
+           [
+             ("engine", Json.String (Ctx.engine_to_string engine));
+             ("resolved", Json.List resolved);
+           ]
+       in
        Runreport.make ~command ~circuits ?config ?seed
          ~extra:
-           (("exec", exec_json) :: ("robust", robust_json budget)
+           (("exec", exec_json) :: ("fsim", fsim_json)
+            :: ("robust", robust_json budget)
             :: ("store", Store.report_section store)
             :: (profile_section @ sections ()))
          ~spans:(Trace.roots ()) ~metrics:(Metrics.snapshot ()) ()
@@ -524,18 +568,21 @@ let faultsim_cmd =
 (* ------------------------------------------------------------------ *)
 
 let atpg_cmd =
-  let engine =
+  let generator =
     Arg.(value & opt (enum [ ("podem", "podem"); ("sat", "sat") ]) "podem"
-         & info [ "engine" ] ~docv:"ENGINE" ~doc:"Deterministic engine: podem or sat.")
+         & info [ "generator" ] ~docv:"GEN"
+             ~doc:"Deterministic test generator: podem or sat. (Distinct from \
+                   the global --engine, which picks the fault-simulation \
+                   backend.)")
   in
-  let run obs (e : Registry.entry) engine seed =
+  let run obs (e : Registry.entry) generator seed =
     (* Shared with the daemon — see faultsim_cmd. *)
     with_obs obs ~command:"atpg" ~circuits:[ e.Registry.name ] ~seed @@ fun ctx ->
-    print_string (Sjobs.atpg ~ctx ~circuit:e.Registry.name ~engine ~seed)
+    print_string (Sjobs.atpg ~ctx ~circuit:e.Registry.name ~generator ~seed)
   in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Random + deterministic test generation to full coverage.")
-    Term.(const run $ obs_term $ circuit_pos $ engine $ seed_flag)
+    Term.(const run $ obs_term $ circuit_pos $ generator $ seed_flag)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                *)
@@ -610,7 +657,7 @@ let import_cmd =
                 Some (fun ~stage ~done_ ~total -> progress_line stage ~done_ ~total);
             }
           in
-          Fsim.run_sequential ~ctx nl ~faults ~sequence:patterns
+          Fsim.run ~ctx nl ~faults ~sequence:patterns
       in
       Printf.printf "%d collapsed faults, %d vectors -> %.2f%% coverage\n" r.Fsim.total
         vectors (Fsim.coverage_percent r)
@@ -1076,7 +1123,15 @@ let benchdiff_cmd =
                       \"wall\" compares summed root-span durations."
                      all))
   in
-  let run old_path new_path threshold groups =
+  let strict =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:"Also fail (exit 1) when a requested group has no keys in \
+                   either report, or when keys are present in only one — \
+                   without it a report pair that silently lost its bench \
+                   section reads as \"no regressions\".")
+  in
+  let run old_path new_path threshold groups strict =
     let load path =
       (* Read the file ourselves: [Json.parse_file] folds I/O failures
          into parse errors, and a missing or unreadable report is an
@@ -1109,9 +1164,28 @@ let benchdiff_cmd =
     in
     Benchdiff.print stdout result;
     let regressions = Benchdiff.regressions result in
+    (match result.Benchdiff.empty_groups with
+     | [] -> ()
+     | gs ->
+       Printf.printf "%d group(s) with no keys in either report: %s\n"
+         (List.length gs) (String.concat ", " gs));
+    (match result.Benchdiff.missing with
+     | [] -> ()
+     | ms ->
+       Printf.printf "%d key(s) present in only one report: %s\n"
+         (List.length ms)
+         (String.concat ", "
+            (List.map (fun (g, k) -> Printf.sprintf "%s/%s" g k) ms)));
     if regressions <> [] then begin
       Printf.printf "%d regression(s) beyond %.1f%%\n" (List.length regressions)
         threshold;
+      exit 1
+    end
+    else if
+      strict
+      && (result.Benchdiff.missing <> [] || result.Benchdiff.empty_groups <> [])
+    then begin
+      Printf.printf "incomplete comparison under --strict\n";
       exit 1
     end
     else Printf.printf "no regressions beyond %.1f%%\n" threshold
@@ -1119,8 +1193,9 @@ let benchdiff_cmd =
   Cmd.v
     (Cmd.info "benchdiff"
        ~doc:"Compare two run reports for performance regressions: exits \
-             nonzero when NEW regresses past the threshold relative to OLD.")
-    Term.(const run $ old_file $ new_file $ threshold $ groups)
+             nonzero when NEW regresses past the threshold relative to OLD \
+             (or, under --strict, when the comparison is incomplete).")
+    Term.(const run $ old_file $ new_file $ threshold $ groups $ strict)
 
 (* ------------------------------------------------------------------ *)
 (* store                                                              *)

@@ -63,7 +63,7 @@ let () =
       (fun f ->
         List.exists
           (fun seq ->
-            (Fsim.run_sequential nl ~faults:[ f ] ~sequence:seq).Fsim.detected = 1)
+            (Fsim.run nl ~faults:[ f ] ~sequence:seq).Fsim.detected = 1)
           sequences)
       (List.filter
          (fun f -> not (List.exists (Fault.equal f) undetected))

@@ -49,7 +49,7 @@ let generate_set ?max_frames ?budget nl ~faults =
        | Ok (Test seq) ->
          sequences := seq :: !sequences;
          (* The new sequence may detect other remaining faults too. *)
-         let r = Fsim.run_sequential nl ~faults:(target :: rest) ~sequence:seq in
+         let r = Fsim.run nl ~faults:(target :: rest) ~sequence:seq in
          let survivors =
            Array.to_list r.Fsim.detections
            |> List.filter_map (fun (d : Fsim.detection) ->

@@ -12,7 +12,7 @@ module Degrade = Mutsamp_robust.Degrade
 module Retry = Mutsamp_robust.Retry
 module Ctx = Mutsamp_exec.Ctx
 
-type engine = Use_podem | Use_sat
+type generator = Use_podem | Use_sat
 
 (* Observability series (no-ops unless metrics collection is on). *)
 let c_runs = Metrics.counter "topoff.runs"
@@ -46,13 +46,13 @@ type report = {
 let surviving ~ctx nl faults patterns =
   if patterns = [||] then faults
   else begin
-    let r = Fsim.run_combinational ~ctx nl ~faults ~patterns in
+    let r = Fsim.run ~ctx nl ~faults ~sequence:patterns in
     Array.to_list r.Fsim.detections
     |> List.filter_map (fun (d : Fsim.detection) ->
            match d.Fsim.detected_at with None -> Some d.Fsim.fault | Some _ -> None)
   end
 
-let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed = 1)
+let run ?(generator = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed = 1)
     ?(backtrack_limit = 2000) ?(ctx = Ctx.default) ?(degraded_retries = 3)
     nl ~faults ~seed_patterns =
   if Netlist.num_dffs nl > 0 then
@@ -65,7 +65,7 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
     | Error _ -> true
   in
   Trace.with_span "atpg"
-    ~attrs:[ ("engine", match engine with Use_podem -> "podem" | Use_sat -> "sat") ]
+    ~attrs:[ ("generator", match generator with Use_podem -> "podem" | Use_sat -> "sat") ]
   @@ fun () ->
   Metrics.incr c_runs;
   let total_faults = List.length faults in
@@ -125,7 +125,7 @@ let run ?(engine = Use_podem) ?(random_budget = 4096) ?(random_stall = 4) ?(seed
         else begin
         incr atpg_calls;
         let outcome =
-          match engine with
+          match generator with
           | Use_podem ->
             (match Podem.find_test ~backtrack_limit ~budget nl target with
              | Ok (Some p, _) -> `Test p

@@ -6,7 +6,10 @@
     the validation data saves — the claim of the paper's introduction
     (experiment E3 in DESIGN.md). *)
 
-type engine = Use_podem | Use_sat
+type generator = Use_podem | Use_sat
+(** Deterministic test generator for phase 3 (PODEM or SAT). Distinct
+    from the fault-simulation {!Mutsamp_exec.Ctx.engine} knob, which
+    rides in on [ctx]. *)
 
 type report = {
   total_faults : int;
@@ -32,7 +35,7 @@ type report = {
 }
 
 val run :
-  ?engine:engine ->
+  ?generator:generator ->
   ?random_budget:int ->
   ?random_stall:int ->
   ?seed:int ->

@@ -56,7 +56,7 @@ let vector_config_hash (vc : Vectorgen.config) =
 
 let int_list_hash xs = Store.digest (String.concat "," (List.map string_of_int xs))
 
-let engine_name = function Topoff.Use_podem -> "podem" | Topoff.Use_sat -> "sat"
+let generator_name = function Topoff.Use_podem -> "podem" | Topoff.Use_sat -> "sat"
 
 (* --- codec helpers ----------------------------------------------------- *)
 

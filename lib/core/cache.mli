@@ -42,7 +42,7 @@ val vector_config_hash : Mutsamp_validation.Vectorgen.config -> string
 val int_list_hash : int list -> string
 val test_set_hash : Mutsamp_hdl.Sim.stimulus list list -> string
 
-val engine_name : Mutsamp_atpg.Topoff.engine -> string
+val generator_name : Mutsamp_atpg.Topoff.generator -> string
 
 (** {2 Codecs} *)
 

@@ -388,7 +388,7 @@ type atpg_row = {
   report : Topoff.report;
 }
 
-let atpg_effort ?(config = Config.default) ?(engine = Topoff.Use_podem)
+let atpg_effort ?(config = Config.default) ?(generator = Topoff.Use_podem)
     ?(ctx = Ctx.default) pipeline ~name ~mutation_sequences =
   let scanned =
     if pipeline.Pipeline.sequential then Scan.full_scan pipeline.Pipeline.netlist
@@ -410,7 +410,7 @@ let atpg_effort ?(config = Config.default) ?(engine = Topoff.Use_podem)
     [ ("none", [||]); ("random", random_seed_patterns); ("mutation", mutation_seed) ]
     ~f:(fun (kind, seed_patterns) ->
       let seed = derived_seed config.Config.seed (name ^ "/e3/" ^ kind) in
-      let compute () = Topoff.run ~engine ~ctx ~seed scanned ~faults ~seed_patterns in
+      let compute () = Topoff.run ~generator ~ctx ~seed scanned ~faults ~seed_patterns in
       let report =
         match Ctx.store ctx with
         | None -> compute ()
@@ -425,7 +425,7 @@ let atpg_effort ?(config = Config.default) ?(engine = Topoff.Use_podem)
                 ("faults", Cache.faults_hash faults);
                 ("seed_patterns", Cache.sequence_hash seed_patterns);
                 ("seed", string_of_int seed);
-                ("engine", Cache.engine_name engine);
+                ("generator", Cache.generator_name generator);
                 ("filter", string_of_bool ctx.Ctx.static_filter);
                 ("dominance", string_of_bool ctx.Ctx.dominance);
               ]

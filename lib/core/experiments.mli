@@ -132,7 +132,7 @@ type atpg_row = {
 
 val atpg_effort :
   ?config:Config.t ->
-  ?engine:Mutsamp_atpg.Topoff.engine ->
+  ?generator:Mutsamp_atpg.Topoff.generator ->
   ?ctx:Mutsamp_exec.Ctx.t ->
   Pipeline.t ->
   name:string ->
@@ -140,7 +140,7 @@ val atpg_effort :
   atpg_row list
 (** Sequential circuits are full-scanned; the mutation seed is replayed
     into scan patterns with {!Pipeline.scan_patterns_of_sequences}. The
-    random seed has the same length as the mutation seed. [engine]
+    random seed has the same length as the mutation seed. [generator]
     defaults to PODEM; use [Use_sat] for XOR-dominated circuits
     (e.g. c499) where PODEM's search degenerates. *)
 

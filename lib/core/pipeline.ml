@@ -117,11 +117,11 @@ let patterns_of_sequences t sequences =
    (see {!Mutsamp_fault.Fsim}), so group payloads computed together or
    apart are identical — and after a localised design edit only the
    groups whose cones cover the edit miss; everything else replays.
-   Missing groups are simulated in a single [run_combinational] call
+   Missing groups are simulated in a single [Fsim.run] call
    over their union, and nothing is cached if the run degraded. *)
 let fault_simulate_patterns ?(ctx = Ctx.default) nl ~faults ~patterns =
   match Ctx.store ctx with
-  | None -> Fsim.run_combinational ~ctx nl ~faults ~patterns
+  | None -> Fsim.run ~ctx nl ~faults ~sequence:patterns
   | Some store ->
     let regions = Regions.compute nl in
     let groups = Regions.cone_groups nl regions faults in
@@ -170,7 +170,7 @@ let fault_simulate_patterns ?(ctx = Ctx.default) nl ~faults ~patterns =
       in
       let sub = List.map (fun i -> fault_arr.(i)) idxs in
       let degradations_before = List.length (Degrade.events ()) in
-      let r = Fsim.run_combinational ~ctx nl ~faults:sub ~patterns in
+      let r = Fsim.run ~ctx nl ~faults:sub ~sequence:patterns in
       List.iteri
         (fun k i -> results.(i) <- r.Fsim.detections.(k).Fsim.detected_at)
         idxs;
@@ -211,7 +211,7 @@ let fault_simulate ?(ctx = Ctx.default) t sequence =
          (a plain run when no store is attached). *)
       fault_simulate_patterns ~ctx t.netlist ~faults:t.faults ~patterns:sequence
     else begin
-      let compute () = Fsim.run_auto ~ctx t.netlist ~faults:t.faults ~sequence in
+      let compute () = Fsim.run ~ctx t.netlist ~faults:t.faults ~sequence in
       match Ctx.store ctx with
       | None -> compute ()
       | Some _ as store ->

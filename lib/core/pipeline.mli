@@ -67,8 +67,10 @@ val fault_simulate_patterns :
     the groups whose cones cover the edit recompute (in a single
     simulation run over their union); untouched groups replay from the
     store, so a warm run after a one-gate edit does strictly less
-    [fsim.*] work yet is bit-identical to a cold run. Without a store
-    this is exactly {!Mutsamp_fault.Fsim.run_combinational}. *)
+    [fsim.*] work yet is bit-identical to a cold run. Cone keys are
+    engine-independent — the context's {!Mutsamp_exec.Ctx.engine}
+    choice changes how a miss is simulated, never what it is keyed by.
+    Without a store this is exactly {!Mutsamp_fault.Fsim.run}. *)
 
 val scan_patterns_of_sequences :
   t -> Mutsamp_hdl.Sim.stimulus list list -> Mutsamp_fault.Pattern.t array

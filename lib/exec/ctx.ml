@@ -8,6 +8,7 @@ module Trace = Mutsamp_obs.Trace
 let h_shard_seconds = Metrics.histogram "exec.shard_seconds"
 
 type sink = Global | Silent
+type engine = Auto | Packed | Event | Compiled | Serial
 
 type t = {
   pool : Pool.t option;
@@ -17,6 +18,7 @@ type t = {
   static_filter : bool;
   dominance : bool;
   store : Mutsamp_store.Store.t option;
+  engine : engine;
 }
 
 let default =
@@ -28,15 +30,34 @@ let default =
     static_filter = true;
     dominance = true;
     store = None;
+    engine = Auto;
   }
 
 let sequential = default
 let with_pool pool = { default with pool = Some pool }
 let with_store store = { default with store = Some store }
 
-let make ?pool ?budget ?store ?progress ?(static_filter = true) ?(dominance = true) () =
-  { pool; budget; sink = Global; progress; static_filter; dominance; store }
+let make ?pool ?budget ?store ?progress ?(static_filter = true) ?(dominance = true)
+    ?(engine = Auto) () =
+  { pool; budget; sink = Global; progress; static_filter; dominance; store; engine }
 let store t = t.store
+
+let engine_to_string = function
+  | Auto -> "auto"
+  | Packed -> "packed"
+  | Event -> "event"
+  | Compiled -> "compiled"
+  | Serial -> "serial"
+
+(* [Serial] is deliberately not parseable: it is the single-lane
+   reference implementation the differential tests compare against, an
+   API-level knob rather than a user-facing engine. *)
+let engine_of_string = function
+  | "auto" -> Some Auto
+  | "packed" -> Some Packed
+  | "event" -> Some Event
+  | "compiled" -> Some Compiled
+  | _ -> None
 
 let jobs t =
   match t.pool with

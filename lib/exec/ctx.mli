@@ -13,6 +13,15 @@ type sink =
   | Global  (** shard bodies record into the process-global registry *)
   | Silent  (** shard bodies run with metrics suppressed *)
 
+(** Fault-simulation backend selection, threaded through the context so
+    every stage that simulates faults honours the same knob.
+
+    [Auto] resolves per netlist (compiled for combinational circuits,
+    packed parallel-fault for sequential ones). [Serial] is the
+    single-lane reference engine used by the differential test suites;
+    it has no string spelling and is not reachable from the CLI. *)
+type engine = Auto | Packed | Event | Compiled | Serial
+
 type t = {
   pool : Pool.t option;  (** [None] = sequential execution *)
   budget : Mutsamp_robust.Budget.t option;
@@ -28,6 +37,7 @@ type t = {
   store : Mutsamp_store.Store.t option;
       (** campaign store for fetch-or-compute reuse ([None] = always
           compute) *)
+  engine : engine;  (** fault-simulation backend ([Auto] in {!default}) *)
 }
 
 val default : t
@@ -48,6 +58,7 @@ val make :
   ?progress:(stage:string -> done_:int -> total:int -> unit) ->
   ?static_filter:bool ->
   ?dominance:bool ->
+  ?engine:engine ->
   unit ->
   t
 (** Assemble a context field by field (omitted fields as in
@@ -56,6 +67,12 @@ val make :
     without relying on the process-ambient budget. *)
 
 val store : t -> Mutsamp_store.Store.t option
+
+val engine_to_string : engine -> string
+
+val engine_of_string : string -> engine option
+(** Parse a user-facing engine spelling ([auto]/[packed]/[event]/
+    [compiled]); [Serial] is internal-only and never parses. *)
 
 val jobs : t -> int
 (** Effective fan-out at this call site: 1 without a pool or when the

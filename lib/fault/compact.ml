@@ -7,7 +7,7 @@ let reverse_order nl ~faults ~patterns =
   let i = ref (n - 1) in
   while !i >= 0 && !remaining <> [] do
     let p = patterns.(!i) in
-    let r = Fsim.run_combinational nl ~faults:!remaining ~patterns:[| p |] in
+    let r = Fsim.run nl ~faults:!remaining ~sequence:[| p |] in
     if r.Fsim.detected > 0 then begin
       kept := p :: !kept;
       remaining :=
@@ -23,7 +23,7 @@ let reverse_order nl ~faults ~patterns =
 
 let greedy_cover nl ~faults ~patterns =
   (* Detection sets per pattern, over the faults the full set detects. *)
-  let full = Fsim.run_combinational nl ~faults ~patterns in
+  let full = Fsim.run nl ~faults ~sequence:patterns in
   let detectable =
     Array.to_list full.Fsim.detections
     |> List.filter_map (fun (d : Fsim.detection) ->
@@ -32,7 +32,7 @@ let greedy_cover nl ~faults ~patterns =
            | None -> None)
   in
   let detects_of p =
-    let r = Fsim.run_combinational nl ~faults:detectable ~patterns:[| p |] in
+    let r = Fsim.run nl ~faults:detectable ~sequence:[| p |] in
     Array.to_list r.Fsim.detections
     |> List.filter_map (fun (d : Fsim.detection) ->
            match d.Fsim.detected_at with

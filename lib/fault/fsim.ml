@@ -1,37 +1,17 @@
 module Netlist = Mutsamp_netlist.Netlist
 module Bitsim = Mutsamp_netlist.Bitsim
-module Packvec = Mutsamp_util.Packvec
+module Levels = Mutsamp_netlist.Levels
 module Metrics = Mutsamp_obs.Metrics
 module Rerror = Mutsamp_robust.Error
 module Budget = Mutsamp_robust.Budget
-module Chaos = Mutsamp_robust.Chaos
-module Degrade = Mutsamp_robust.Degrade
 module Ctx = Mutsamp_exec.Ctx
+module K = Fsim_kernel
 
-(* Observability series (no-ops unless metrics collection is on).
+type engine = Ctx.engine = Auto | Packed | Event | Compiled | Serial
 
-   Convention: [fsim.*] series describe the logical workload — counted
-   by the coordinator, or per fault where the count is independent of
-   how the fault array was sharded — so their totals are identical
-   whatever the job count. [exec.*] series describe physical execution
-   (batches, good-circuit re-simulation, lane occupancy), which
-   legitimately varies with sharding and is therefore excluded from the
-   cross-jobs determinism guarantee. *)
-let c_runs = Metrics.counter "fsim.runs"
-let c_patterns = Metrics.counter "fsim.patterns_simulated"
-let c_detected = Metrics.counter "fsim.faults_detected"
-let c_machine_steps = Metrics.counter "fsim.machine_steps"
-let c_serial_cycles = Metrics.counter "fsim.serial_cycles"
-let c_shards = Metrics.counter "exec.fsim_shards"
-let x_batches = Metrics.counter "exec.fsim_batches"
-let x_good_steps = Metrics.counter "exec.fsim_good_steps"
-let x_fault_groups = Metrics.counter "exec.fsim_fault_groups"
-let x_machine_steps = Metrics.counter "exec.fsim_machine_steps"
-let h_lanes_per_step = Metrics.histogram "exec.fsim_lanes_per_step"
+type detection = K.detection = { fault : Fault.t; detected_at : int option }
 
-type detection = { fault : Fault.t; detected_at : int option }
-
-type report = {
+type report = K.report = {
   total : int;
   detected : int;
   detections : detection array;
@@ -76,58 +56,6 @@ let length_to_reach r target =
   in
   scan (coverage_curve r)
 
-let check_width nl op (p : Pattern.t) =
-  if Packvec.width p <> Array.length nl.Netlist.input_nets then
-    invalid_arg
-      (Printf.sprintf "Fsim.%s: pattern width %d does not match %d inputs" op
-         (Packvec.width p) (Array.length nl.Netlist.input_nets))
-
-(* Spread [len] patterns over the per-input lane words: lane [l] of
-   input [k] receives bit [k] of pattern [lo + l]. *)
-let pack_patterns nl nw (patterns : Pattern.t array) lo len =
-  let n_in = Array.length nl.Netlist.input_nets in
-  let words = Array.make (n_in * nw) 0 in
-  for l = 0 to len - 1 do
-    let p = patterns.(lo + l) in
-    check_width nl "run_combinational" p;
-    let j = l / Bitsim.word_bits and b = l mod Bitsim.word_bits in
-    for k = 0 to n_in - 1 do
-      if Packvec.get p k then
-        words.((k * nw) + j) <- words.((k * nw) + j) lor (1 lsl b)
-    done
-  done;
-  words
-
-(* All lanes carry the same pattern. *)
-let replicate_pattern nl nw (p : Pattern.t) =
-  check_width nl "replicate" p;
-  let n_in = Array.length nl.Netlist.input_nets in
-  Array.init (n_in * nw) (fun idx ->
-      if Packvec.get p (idx / nw) then Bitsim.all_ones else 0)
-
-(* Mask of valid lanes in word [j] when only [len] lanes are in use. *)
-let word_lane_mask len j =
-  let lo = j * Bitsim.word_bits in
-  if len >= lo + Bitsim.word_bits then -1
-  else if len <= lo then 0
-  else (1 lsl (len - lo)) - 1
-
-let lowest_bit w =
-  let rec go k = if (w lsr k) land 1 = 1 then k else go (k + 1) in
-  go 0
-
-(* Entry-point chaos consultation shared by the engines; consulted by
-   every shard, so injections fire inside workers too. [Timeout]
-   behaves like an exhausted budget (the run degrades to a partial
-   report); [Exception] raises to prove caller containment; [Truncate]
-   is meaningless for simulation and ignored. *)
-let chaos_entry () =
-  match Chaos.fire Chaos.Fsim_run with
-  | Some Chaos.Timeout -> Some (Rerror.Timeout Rerror.Fsim)
-  | Some Chaos.Exception ->
-    raise (Chaos.Injected "chaos: injected exception at fsim")
-  | Some (Chaos.Truncate _) | None -> None
-
 (* Per-fault first-detection indices are independent of which other
    faults share a run (dropping only skips that fault's own later
    passes; parallel-fault lanes carry independent state), so every
@@ -137,17 +65,20 @@ let chaos_entry () =
 let merge_reports ~patterns_applied shards =
   if Array.length shards = 1 then shards.(0)
   else begin
-    Metrics.add c_shards (Array.length shards);
+    Metrics.add K.c_shards (Array.length shards);
     {
-      total = Array.fold_left (fun a r -> a + r.total) 0 shards;
-      detected = Array.fold_left (fun a r -> a + r.detected) 0 shards;
+      total = Array.fold_left (fun a r -> a + r.K.total) 0 shards;
+      detected = Array.fold_left (fun a r -> a + r.K.detected) 0 shards;
       detections =
-        Array.concat (Array.to_list (Array.map (fun r -> r.detections) shards));
+        Array.concat (Array.to_list (Array.map (fun r -> r.K.detections) shards));
       patterns_applied;
     }
   end
 
-let combinational_shard ?lanes ~budget nl ~(faults : Fault.t array) ~patterns =
+(* Packed (PPSFP) combinational shard: full-circuit wide resimulation
+   of every alive fault per pattern batch. *)
+let packed_combinational_shard ?lanes ~budget nl ~(faults : Fault.t array)
+    ~patterns =
   let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
   let alive = Array.init (Array.length faults) (fun i -> i) in
   let alive_count = ref (Array.length faults) in
@@ -159,7 +90,7 @@ let combinational_shard ?lanes ~budget nl ~(faults : Fault.t array) ~patterns =
   let batches = (n_pat + w - 1) / w in
   let batch = ref 0 in
   let diff = Array.make nw 0 in
-  let stop = ref (chaos_entry ()) in
+  let stop = ref (K.chaos_entry ()) in
   while !batch < batches && !alive_count > 0 && !stop = None do
     let lo = !batch * w in
     let len = min w (n_pat - lo) in
@@ -168,11 +99,11 @@ let combinational_shard ?lanes ~budget nl ~(faults : Fault.t array) ~patterns =
      | Ok () -> ()
      | Error e -> stop := Some e);
     if !stop = None then begin
-    let words = pack_patterns nl nw patterns lo len in
+    let words = K.pack_patterns nl nw patterns lo len in
     let good = Bitsim.step sim words in
-    Metrics.incr x_batches;
-    Metrics.incr x_good_steps;
-    Metrics.observe h_lanes_per_step (float_of_int len);
+    Metrics.incr K.x_batches;
+    Metrics.incr K.x_good_steps;
+    Metrics.observe K.h_lanes_per_step (float_of_int len);
     let k = ref 0 in
     while !k < !alive_count do
       let fi = alive.(!k) in
@@ -180,7 +111,7 @@ let combinational_shard ?lanes ~budget nl ~(faults : Fault.t array) ~patterns =
       let faulty =
         Bitsim.step_injected sim words ~inj:(Fault.injection f) ~stuck:(Fault.stuck_word f)
       in
-      Metrics.incr c_machine_steps;
+      Metrics.incr K.c_machine_steps;
       Array.fill diff 0 nw 0;
       for o = 0 to n_out - 1 do
         for j = 0 to nw - 1 do
@@ -190,8 +121,8 @@ let combinational_shard ?lanes ~budget nl ~(faults : Fault.t array) ~patterns =
       let first = ref (-1) in
       for j = 0 to nw - 1 do
         if !first < 0 then begin
-          let d = diff.(j) land word_lane_mask len j in
-          if d <> 0 then first := (j * Bitsim.word_bits) + lowest_bit d
+          let d = diff.(j) land K.word_lane_mask len j in
+          if d <> 0 then first := (j * Bitsim.word_bits) + K.lowest_bit d
         end
       done;
       if !first >= 0 then begin
@@ -206,11 +137,7 @@ let combinational_shard ?lanes ~budget nl ~(faults : Fault.t array) ~patterns =
     end;
     incr batch
   done;
-  (match !stop with
-   | None -> ()
-   | Some e ->
-     Degrade.note ~stage:Rerror.Fsim
-       ~detail:"fault simulation cut short; remaining faults reported undetected" e);
+  K.note_cut ~detail:K.batch_cut_detail !stop;
   {
     total = Array.length faults;
     detected = Array.length faults - !alive_count;
@@ -218,35 +145,19 @@ let combinational_shard ?lanes ~budget nl ~(faults : Fault.t array) ~patterns =
     patterns_applied = n_pat;
   }
 
-let run_combinational ?lanes ?(ctx = Ctx.default) nl ~faults ~patterns =
-  if Netlist.num_dffs nl > 0 then
-    invalid_arg "Fsim.run_combinational: netlist has flip-flops";
-  let faults = Array.of_list faults in
-  Metrics.incr c_runs;
-  let shards =
-    Ctx.map_shards ctx ~n:(Array.length faults) ~f:(fun ~budget ~lo ~len ->
-        combinational_shard ?lanes ~budget nl
-          ~faults:(Array.sub faults lo len)
-          ~patterns)
-  in
-  let report = merge_reports ~patterns_applied:(Array.length patterns) shards in
-  Metrics.add c_patterns report.patterns_applied;
-  Metrics.add c_detected report.detected;
-  report
-
 (* Serial single-lane engine, kept as the reference implementation the
    differential property tests compare the wide engines against. *)
-let sequential_shard ~budget ~tick nl ~(faults : Fault.t array) ~sequence =
+let serial_shard ~budget ~tick nl ~(faults : Fault.t array) ~sequence =
   let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
-  let stop = ref (chaos_entry ()) in
+  let stop = ref (K.chaos_entry ()) in
   let sim_good = Bitsim.create ~lanes:1 nl in
   Bitsim.reset sim_good;
   let good_outputs =
-    Array.map (fun p -> Bitsim.step sim_good (replicate_pattern nl 1 p)) sequence
+    Array.map (fun p -> Bitsim.step sim_good (K.replicate_pattern nl 1 p)) sequence
   in
   (* Every shard re-simulates the good circuit, so this scales with the
      shard count — execution bookkeeping, not logical workload. *)
-  Metrics.add x_good_steps (Array.length sequence);
+  Metrics.add K.x_good_steps (Array.length sequence);
   let sim_faulty = Bitsim.create ~lanes:1 nl in
   Array.iteri
     (fun fi f ->
@@ -267,10 +178,10 @@ let sequential_shard ~budget ~tick nl ~(faults : Fault.t array) ~sequence =
       let rec cycle c =
         if c < Array.length sequence then begin
           let faulty =
-            Bitsim.step_injected sim_faulty (replicate_pattern nl 1 sequence.(c)) ~inj ~stuck
+            Bitsim.step_injected sim_faulty (K.replicate_pattern nl 1 sequence.(c)) ~inj ~stuck
           in
-          Metrics.incr c_serial_cycles;
-          Metrics.incr c_machine_steps;
+          Metrics.incr K.c_serial_cycles;
+          Metrics.incr K.c_machine_steps;
           if faulty <> good_outputs.(c) then
             detections.(fi) <- { fault = f; detected_at = Some c }
           else cycle (c + 1)
@@ -280,58 +191,31 @@ let sequential_shard ~budget ~tick nl ~(faults : Fault.t array) ~sequence =
       tick ()
       end)
     faults;
-  (match !stop with
-   | None -> ()
-   | Some e ->
-     Degrade.note ~stage:Rerror.Fsim
-       ~detail:"serial fault simulation cut short; remaining faults reported undetected"
-       e);
-  let detected =
-    Array.fold_left
-      (fun acc d -> match d.detected_at with Some _ -> acc + 1 | None -> acc)
-      0 detections
-  in
+  K.note_cut ~detail:K.serial_cut_detail !stop;
   {
     total = Array.length faults;
-    detected;
+    detected = K.count_detected detections;
     detections;
     patterns_applied = Array.length sequence;
   }
 
-let run_sequential ?(ctx = Ctx.default) nl ~faults ~sequence =
-  let faults = Array.of_list faults in
-  let total = Array.length faults in
-  Metrics.incr c_runs;
-  (* Shards report progress through one shared counter, so the callback
-     sees a monotone done-count whatever the interleaving. *)
-  let done_count = Atomic.make 0 in
-  let tick () =
-    let d = 1 + Atomic.fetch_and_add done_count 1 in
-    Ctx.progress ctx ~stage:"faultsim" ~done_:d ~total
-  in
-  let shards =
-    Ctx.map_shards ctx ~n:total ~f:(fun ~budget ~lo ~len ->
-        sequential_shard ~budget ~tick nl ~faults:(Array.sub faults lo len) ~sequence)
-  in
-  let report = merge_reports ~patterns_applied:(Array.length sequence) shards in
-  Metrics.add c_patterns report.patterns_applied;
-  Metrics.add c_detected report.detected;
-  report
-
-let parallel_fault_shard ?lanes ~budget nl ~(faults : Fault.t array) ~sequence =
+(* Packed sequential engine: lane 0 carries the good machine, every
+   other lane one fault, all advanced together by [Bitsim.step_multi]. *)
+let parallel_fault_shard ?lanes ~budget ~tick nl ~(faults : Fault.t array)
+    ~sequence =
   let detections = Array.map (fun f -> { fault = f; detected_at = None }) faults in
-  let stop = ref (chaos_entry ()) in
+  let stop = ref (K.chaos_entry ()) in
   let sim = Bitsim.create ?lanes nl in
   let w = Bitsim.lanes sim in
   let nw = Bitsim.words_per_net sim in
   let n_out = Array.length nl.Netlist.output_list in
   let group_size = w - 1 in
-  if group_size < 1 then invalid_arg "Fsim.run_parallel_fault: needs at least 2 lanes";
+  if group_size < 1 then invalid_arg "Fsim.run: packed sequential needs at least 2 lanes";
   let n_groups = (Array.length faults + group_size - 1) / group_size in
   let diff = Array.make nw 0 in
   for g = 0 to n_groups - 1 do
     if !stop = None then begin
-    Metrics.incr x_fault_groups;
+    Metrics.incr K.x_fault_groups;
     let lo = g * group_size in
     let len = min group_size (Array.length faults - lo) in
     (match
@@ -354,10 +238,10 @@ let parallel_fault_shard ?lanes ~budget nl ~(faults : Fault.t array) ~sequence =
     let n_cycles = Array.length sequence in
     while !cycle < n_cycles do
       let outs =
-        Bitsim.step_multi sim (replicate_pattern nl nw sequence.(!cycle)) ~injections
+        Bitsim.step_multi sim (K.replicate_pattern nl nw sequence.(!cycle)) ~injections
       in
-      Metrics.incr x_machine_steps;
-      Metrics.observe h_lanes_per_step (float_of_int (len + 1));
+      Metrics.incr K.x_machine_steps;
+      Metrics.observe K.h_lanes_per_step (float_of_int (len + 1));
       (* Lanes whose outputs differ from lane 0's value. *)
       Array.fill diff 0 nw 0;
       for o = 0 to n_out - 1 do
@@ -377,46 +261,108 @@ let parallel_fault_shard ?lanes ~budget nl ~(faults : Fault.t array) ~sequence =
         end
       done;
       incr cycle
-    done
+    done;
+    tick len
     end
     end
   done;
-  (match !stop with
-   | None -> ()
-   | Some e ->
-     Degrade.note ~stage:Rerror.Fsim
-       ~detail:"parallel-fault simulation cut short; remaining faults reported undetected"
-       e);
-  let detected =
-    Array.fold_left
-      (fun acc d -> match d.detected_at with Some _ -> acc + 1 | None -> acc)
-      0 detections
-  in
+  K.note_cut ~detail:K.parallel_cut_detail !stop;
   {
     total = Array.length faults;
-    detected;
+    detected = K.count_detected detections;
     detections;
     patterns_applied = Array.length sequence;
   }
 
-let run_parallel_fault ?lanes ?(ctx = Ctx.default) nl ~faults ~sequence =
+let resolved_engine engine nl =
+  match engine with
+  | Auto -> if Netlist.num_dffs nl = 0 then Compiled else Packed
+  | (Packed | Event | Compiled | Serial) as e -> e
+
+let note_engine = function
+  | Packed -> Metrics.incr K.c_engine_packed
+  | Event -> Metrics.incr K.c_engine_event
+  | Compiled -> Metrics.incr K.c_engine_compiled
+  | Serial -> Metrics.incr K.c_engine_serial
+  | Auto -> assert false
+
+(* The one entry point. [sequence] is a pattern sequence for sequential
+   circuits and an (order-preserved) set of independent patterns for
+   combinational ones; [detected_at] indexes into it either way. *)
+let run ?lanes ?engine ?(ctx = Ctx.default) nl ~faults ~sequence =
+  let engine = match engine with Some e -> e | None -> ctx.Ctx.engine in
+  let engine = resolved_engine engine nl in
+  let comb = Netlist.num_dffs nl = 0 in
   let faults = Array.of_list faults in
-  Metrics.incr c_runs;
+  let total = Array.length faults in
+  Metrics.incr K.c_runs;
+  note_engine engine;
+  (* Sequential engines report per-fault progress through one shared
+     counter, so the callback sees a monotone done-count whatever the
+     shard interleaving; the combinational batch engines are too
+     fine-grained for that to be worth the traffic. *)
+  let done_count = Atomic.make 0 in
+  let tick_n n =
+    let d = n + Atomic.fetch_and_add done_count n in
+    Ctx.progress ctx ~stage:"faultsim" ~done_:d ~total
+  in
+  let tick () = tick_n 1 in
   let shards =
-    Ctx.map_shards ctx ~n:(Array.length faults) ~f:(fun ~budget ~lo ~len ->
-        parallel_fault_shard ?lanes ~budget nl
-          ~faults:(Array.sub faults lo len)
-          ~sequence)
+    match (engine, comb) with
+    | Packed, true ->
+      Ctx.map_shards ctx ~n:total ~f:(fun ~budget ~lo ~len ->
+          packed_combinational_shard ?lanes ~budget nl
+            ~faults:(Array.sub faults lo len)
+            ~patterns:sequence)
+    | Packed, false ->
+      Ctx.map_shards ctx ~n:total ~f:(fun ~budget ~lo ~len ->
+          parallel_fault_shard ?lanes ~budget ~tick:tick_n nl
+            ~faults:(Array.sub faults lo len)
+            ~sequence)
+    | Event, true ->
+      let lv = Levels.compute nl in
+      Ctx.map_shards ctx ~n:total ~f:(fun ~budget ~lo ~len ->
+          Fsim_event.combinational_shard lv ?lanes ~budget
+            ~faults:(Array.sub faults lo len)
+            ~patterns:sequence ())
+    | Event, false ->
+      let lv = Levels.compute nl in
+      Ctx.map_shards ctx ~n:total ~f:(fun ~budget ~lo ~len ->
+          Fsim_event.sequential_shard lv ~budget ~tick
+            ~faults:(Array.sub faults lo len)
+            ~sequence)
+    | Compiled, true ->
+      let nw =
+        match lanes with
+        | None -> 1
+        | Some l ->
+          if l < 1 then invalid_arg "Fsim.run: lanes < 1"
+          else (l + Bitsim.word_bits - 1) / Bitsim.word_bits
+      in
+      let entry, progs =
+        Fsim_compiled.prepare_comb nl ~nw ~faults:(Array.to_list faults)
+      in
+      Ctx.map_shards ctx ~n:total ~f:(fun ~budget ~lo ~len ->
+          Fsim_compiled.combinational_shard entry progs ~budget
+            ~faults:(Array.sub faults lo len)
+            ~fault_lo:lo ~patterns:sequence)
+    | Compiled, false ->
+      let entry, sites =
+        Fsim_compiled.prepare_seq nl ~faults:(Array.to_list faults)
+      in
+      Ctx.map_shards ctx ~n:total ~f:(fun ~budget ~lo ~len ->
+          Fsim_compiled.sequential_shard entry sites ~budget ~tick
+            ~faults:(Array.sub faults lo len)
+            ~fault_lo:lo ~sequence)
+    | Serial, (true | false) ->
+      Ctx.map_shards ctx ~n:total ~f:(fun ~budget ~lo ~len ->
+          serial_shard ~budget ~tick nl ~faults:(Array.sub faults lo len) ~sequence)
+    | Auto, _ -> assert false
   in
   let report = merge_reports ~patterns_applied:(Array.length sequence) shards in
-  Metrics.add c_patterns report.patterns_applied;
-  Metrics.add c_detected report.detected;
+  Metrics.add K.c_patterns report.patterns_applied;
+  Metrics.add K.c_detected report.detected;
   report
-
-let run_auto ?lanes ?ctx nl ~faults ~sequence =
-  if Netlist.num_dffs nl = 0 then
-    run_combinational ?lanes ?ctx nl ~faults ~patterns:sequence
-  else run_parallel_fault ?lanes ?ctx nl ~faults ~sequence
 
 let input_pattern = Pattern.of_bits
 

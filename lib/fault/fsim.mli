@@ -1,4 +1,5 @@
-(** Stuck-at fault simulation with fault dropping.
+(** Stuck-at fault simulation with fault dropping, behind one
+    engine-selectable entry point.
 
     Patterns are {!Pattern.t} values over the netlist's primary inputs
     in [input_nets] order (bit [k] of the pattern feeds input [k]) —
@@ -6,41 +7,64 @@
     {!Mutsamp_synth.Mapping} layer produces them from word-level
     stimuli via netlist input names.
 
-    Three engines:
-    - {!run_combinational}: parallel-pattern single-fault propagation,
-      [lanes] patterns per pass (default one machine word), good
-      circuit simulated once per pass;
-    - {!run_parallel_fault}: lane 0 carries the good machine, every
-      other lane one faulty machine, so [lanes - 1] faults advance per
-      pass — the workhorse for sequential circuits;
-    - {!run_sequential}: the serial single-lane reference the
-      differential property tests compare the wide engines against.
+    Four backends, all bit-identical in their reports:
+    - {!Packed}: the parallel-pattern (PPSFP) reference for
+      combinational circuits — [lanes] patterns per pass, good circuit
+      simulated once per pass, full-circuit resimulation per fault —
+      and classical parallel-fault simulation for sequential ones
+      (lane 0 carries the good machine, each other lane one fault);
+    - {!Event}: event-driven — the netlist is levelized
+      ({!Mutsamp_netlist.Levels}), a full good baseline is kept per
+      batch/cycle, and each fault pass re-evaluates only gates whose
+      fanin words changed, so quiescent cones are skipped wholesale
+      (elisions recorded in [exec.events_skipped]);
+    - {!Compiled}: each design is specialised at load time into
+      straight-line OCaml closures over dense word arrays — a
+      whole-netlist good program plus a statically-routed fanout-cone
+      program per fault site, cached per design hash for the process
+      lifetime (misses recorded in [exec.compile_ms]);
+    - {!Serial}: the single-lane reference the differential property
+      tests compare every other engine against. Internal: it has no
+      CLI spelling.
 
-    All record, per fault, the index of the first detecting pattern
-    (combinational) or cycle (sequential), which is what the coverage
-    curves of the NLFCE metric need; the index is independent of the
-    lane count.
+    {!Auto} resolves to [Compiled] for combinational netlists and
+    [Packed] for sequential ones.
 
-    Execution: every engine takes [?ctx] (default
-    {!Mutsamp_exec.Ctx.default}: sequential, ambient budget). With a
-    pool in the context the fault list is sharded into contiguous
-    chunks — one per effective job — simulated on worker domains and
-    merged back in fault-list order; per-fault first-detection indices
-    do not depend on which other faults share a run, so the merged
-    report is bit-identical to the sequential one. The context budget
-    is split evenly across shards (leftovers refunded), and each shard
-    spends one [Fsim_pairs] work unit per pattern·fault pair it
-    simulates. Exhaustion never fails the run — simulation stops early,
-    the remaining faults stay undetected in the report, and the
-    degradation is recorded via {!Mutsamp_robust.Degrade} (once per
-    affected shard). A chaos arming at [Fsim_run] is consulted by every
-    shard, inside the worker, and behaves like immediate exhaustion
-    ([Timeout]) or raises {!Mutsamp_robust.Chaos.Injected}
-    ([Exception]). *)
+    All backends record, per fault, the index of the first detecting
+    pattern (combinational) or cycle (sequential), which is what the
+    coverage curves of the NLFCE metric need; the index is independent
+    of the lane count and of the backend.
 
-type detection = { fault : Fault.t; detected_at : int option }
+    Execution: {!run} takes [?ctx] (default
+    {!Mutsamp_exec.Ctx.default}: sequential, ambient budget, [Auto]
+    engine). With a pool in the context the fault list is sharded into
+    contiguous chunks — one per effective job — simulated on worker
+    domains and merged back in fault-list order; per-fault
+    first-detection indices do not depend on which other faults share a
+    run, so the merged report is bit-identical to the sequential one.
+    The context budget is split evenly across shards (leftovers
+    refunded), and each shard spends one [Fsim_pairs] work unit per
+    pattern·fault pair it simulates. Exhaustion never fails the run —
+    simulation stops early, the remaining faults stay undetected in the
+    report, and the degradation is recorded via
+    {!Mutsamp_robust.Degrade} (once per affected shard). A chaos arming
+    at [Fsim_run] is consulted by every shard, inside the worker, and
+    behaves like immediate exhaustion ([Timeout]) or raises
+    {!Mutsamp_robust.Chaos.Injected} ([Exception]). *)
 
-type report = {
+type engine = Mutsamp_exec.Ctx.engine =
+  | Auto
+  | Packed
+  | Event
+  | Compiled
+  | Serial
+
+type detection = Fsim_kernel.detection = {
+  fault : Fault.t;
+  detected_at : int option;
+}
+
+type report = Fsim_kernel.report = {
   total : int;
   detected : int;
   detections : detection array;  (** in fault-list order *)
@@ -60,52 +84,39 @@ val coverage_curve : report -> (int * float) list
 val length_to_reach : report -> float -> int option
 (** Shortest prefix achieving at least the given coverage, if any. *)
 
-val run_combinational :
-  ?lanes:int ->
-  ?ctx:Mutsamp_exec.Ctx.t ->
-  Mutsamp_netlist.Netlist.t ->
-  faults:Fault.t list ->
-  patterns:Pattern.t array ->
-  report
-(** [lanes] patterns are simulated per pass (rounded up to whole
-    words). Raises [Invalid_argument] if the netlist has flip-flops or
-    a pattern's width does not match the input count. *)
+val resolved_engine : engine -> Mutsamp_netlist.Netlist.t -> engine
+(** The backend {!run} will actually use: [Auto] resolves per netlist
+    ([Compiled] without flip-flops, [Packed] with), every other engine
+    resolves to itself. *)
 
-val run_sequential :
+val run :
+  ?lanes:int ->
+  ?engine:engine ->
   ?ctx:Mutsamp_exec.Ctx.t ->
   Mutsamp_netlist.Netlist.t ->
   faults:Fault.t list ->
   sequence:Pattern.t array ->
   report
-(** Works for combinational netlists too (each "cycle" is then an
-    independent pattern), but is serial and slower — it exists as the
-    plain reference implementation. The context's progress callback is
-    invoked (stage ["faultsim"]) after each fault's serial replay (long
-    [b03]/[c499] runs are otherwise silent for minutes); shards feed a
-    shared done-counter, so the count is monotone under parallelism. *)
+(** Simulate the fault list against the pattern sequence. For
+    combinational netlists [sequence] is a set of independent patterns
+    (order preserved in [detected_at] indexing); for sequential ones it
+    is applied cycle by cycle from the reset state.
 
-val run_parallel_fault :
-  ?lanes:int ->
-  ?ctx:Mutsamp_exec.Ctx.t ->
-  Mutsamp_netlist.Netlist.t ->
-  faults:Fault.t list ->
-  sequence:Pattern.t array ->
-  report
-(** Classical parallel-fault simulation: lane 0 carries the good
-    machine and each other lane one fault, so [lanes - 1] faulty
-    machines advance per pass. Works for sequential circuits (per-lane
-    state) and combinational ones alike, and produces exactly the
-    {!run_sequential} result — the property suite checks it. *)
+    [engine] defaults to the context's engine field ([Auto] in
+    {!Mutsamp_exec.Ctx.default}). [lanes] is the pattern-batch width
+    for the combinational backends and the lane count (good machine +
+    [lanes - 1] faults) for the packed sequential backend, rounded up
+    to whole words; the sequential event/compiled/serial backends are
+    single-lane and ignore it.
 
-val run_auto :
-  ?lanes:int ->
-  ?ctx:Mutsamp_exec.Ctx.t ->
-  Mutsamp_netlist.Netlist.t ->
-  faults:Fault.t list ->
-  sequence:Pattern.t array ->
-  report
-(** {!run_combinational} when the netlist has no flip-flops, otherwise
-    {!run_parallel_fault}. *)
+    The context's progress callback is invoked (stage ["faultsim"]) by
+    the sequential backends after each fault's replay — or per fault
+    group for the packed one (long [b03]/[c499] runs are otherwise
+    silent for minutes); shards feed a shared done-counter, so the
+    count is monotone under parallelism.
+
+    Raises [Invalid_argument] if a pattern's width does not match the
+    input count, or if [lanes < 1] ([< 2] for packed sequential). *)
 
 val input_pattern : Mutsamp_netlist.Netlist.t -> (string * bool) list -> Pattern.t
 (** Build a pattern from named input bits (missing names default to

@@ -1,0 +1,605 @@
+(* Compiled fault-simulation backend.
+
+   At load time a netlist is specialised into straight-line OCaml
+   closures over dense word arrays: one whole-netlist good program,
+   plus one fanout-cone program per fault site. A cone program starts
+   with boundary loads (cone-external fanins copied from the baseline
+   into the overlay), after which every gate op reads and writes the
+   overlay only — no forcing checks, no kind dispatch, no bounds
+   checks in the inner loop. Sequential circuits compile to a
+   whole-circuit program with fault sites patched via indexed op
+   replacement ("patch thunks").
+
+   Programs are cached per structural design hash in a process-global
+   table; all compilation happens on the coordinating domain before
+   [Ctx.map_shards] fans out, so the shared structures are immutable by
+   the time worker domains read them. Cache misses record their cost
+   in [exec.compile_ms]. *)
+
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+module Bitsim = Mutsamp_netlist.Bitsim
+module Levels = Mutsamp_netlist.Levels
+module Metrics = Mutsamp_obs.Metrics
+module Trace = Mutsamp_obs.Trace
+module Rerror = Mutsamp_robust.Error
+module Budget = Mutsamp_robust.Budget
+module K = Fsim_kernel
+
+(* Every op takes (aux, v) and writes one net's words into [v]. Gate
+   ops read [v] only; source ops read [aux] — the packed input words
+   for the good/sequential programs, the good baseline for a cone
+   program's boundary loads. Indices are validated at compile time, so
+   bodies use unsafe accesses. *)
+type op = int array -> int array -> unit
+
+let compile_gate1 ~i ~kind ~f0 ~f1 : op =
+  let open Gate in
+  match kind with
+  | Buf -> fun _ v -> Array.unsafe_set v i (Array.unsafe_get v f0)
+  | Not -> fun _ v -> Array.unsafe_set v i (lnot (Array.unsafe_get v f0))
+  | And ->
+    fun _ v ->
+      Array.unsafe_set v i (Array.unsafe_get v f0 land Array.unsafe_get v f1)
+  | Or ->
+    fun _ v ->
+      Array.unsafe_set v i (Array.unsafe_get v f0 lor Array.unsafe_get v f1)
+  | Nand ->
+    fun _ v ->
+      Array.unsafe_set v i
+        (lnot (Array.unsafe_get v f0 land Array.unsafe_get v f1))
+  | Nor ->
+    fun _ v ->
+      Array.unsafe_set v i
+        (lnot (Array.unsafe_get v f0 lor Array.unsafe_get v f1))
+  | Xor ->
+    fun _ v ->
+      Array.unsafe_set v i (Array.unsafe_get v f0 lxor Array.unsafe_get v f1)
+  | Xnor ->
+    fun _ v ->
+      Array.unsafe_set v i
+        (lnot (Array.unsafe_get v f0 lxor Array.unsafe_get v f1))
+  | Pi _ | Const _ | Dff _ -> invalid_arg "Fsim_compiled.compile_gate1"
+
+let compile_gate ~nw ~i ~kind ~f0 ~f1 : op =
+  if nw = 1 then compile_gate1 ~i ~kind ~f0 ~f1
+  else
+    let base = i * nw and b0 = f0 * nw and b1 = f1 * nw in
+    fun _ v ->
+      for j = 0 to nw - 1 do
+        Array.unsafe_set v (base + j)
+          (Gate.eval2 kind (Array.unsafe_get v (b0 + j))
+             (Array.unsafe_get v (b1 + j)))
+      done
+
+(* The faulted gate of a branch cone: one pin reads the stuck word, the
+   other reads the baseline directly (a seed gate's fanins are upstream
+   of its own fanout cone, hence always cone-external). *)
+let compile_forced_gate ~nw ~i ~kind ~f0 ~f1 ~pin ~stuck : op =
+  let base = i * nw and b0 = f0 * nw and b1 = f1 * nw in
+  fun g v ->
+    for j = 0 to nw - 1 do
+      let x = if pin = 0 then stuck else Array.unsafe_get g (b0 + j) in
+      let y = if pin = 1 then stuck else Array.unsafe_get g (b1 + j) in
+      Array.unsafe_set v (base + j) (Gate.eval2 kind x y)
+    done
+
+(* Same, reading operands from [v] — the sequential patched variant,
+   where the whole circuit evaluates in one array. *)
+let compile_forced_gate_inline ~i ~kind ~f0 ~f1 ~pin ~stuck : op =
+  fun _ v ->
+    let x = if pin = 0 then stuck else Array.unsafe_get v f0 in
+    let y = if pin = 1 then stuck else Array.unsafe_get v f1 in
+    Array.unsafe_set v i (Gate.eval2 kind x y)
+
+let copy_op ~nw net : op =
+  if nw = 1 then fun g v -> Array.unsafe_set v net (Array.unsafe_get g net)
+  else fun g v -> Array.blit g (net * nw) v (net * nw) nw
+
+let pi_op ~nw k net : op =
+  if nw = 1 then fun w v -> Array.unsafe_set v net (Array.unsafe_get w k)
+  else fun w v -> Array.blit w (k * nw) v (net * nw) nw
+
+let fanins2 (g : Gate.t) =
+  let f0 = g.Gate.fanins.(0) in
+  (f0, if Array.length g.Gate.fanins > 1 then g.Gate.fanins.(1) else f0)
+
+type cone_prog = {
+  excite : int array -> int array -> bool;
+      (* [excite good fv] seeds the overlay; false = fault provably
+         quiescent for this batch, so the cone is skipped wholesale *)
+  ops : op array;  (* boundary loads then cone gates, level-ascending *)
+  out_nets : int array;  (* distinct PO-driving nets inside the cone *)
+  evals_excited : int;  (* gate evaluations when the cone runs *)
+  evals_quiescent : int;  (* gate evaluations when it is skipped *)
+}
+
+type seq_prog = {
+  base_ops : op array;  (* PI loads, constant stores, comb gates *)
+  op_index : int array;  (* per net: position in [base_ops], -1 if none *)
+}
+
+type seq_site = {
+  patched_ops : op array;
+  forced_dff_net : int;  (* DFF output stem: force after state load, -1 *)
+  dff_pin_net : int;  (* DFF net whose D pin latches [seq_stuck], -1 *)
+  seq_stuck : int;
+}
+
+type entry = {
+  nl : Netlist.t;
+  lv : Levels.t;
+  nw : int;
+  good_ops : op array;
+  const_fill : (int * int) array;  (* net, word: pre-set once per shard *)
+  cones : (Fault.t, cone_prog) Hashtbl.t;
+  seq : seq_prog option;
+  seq_sites : (Fault.t, seq_site) Hashtbl.t;
+}
+
+let cache : (int, entry) Hashtbl.t = Hashtbl.create 16
+let cache_mutex = Mutex.create ()
+
+(* Cheap structural hash; a hit is verified against the stored netlist
+   before reuse, so collisions cost a recompile, never a wrong result. *)
+let design_hash (nl : Netlist.t) nw =
+  let h = ref (Hashtbl.hash (Array.length nl.Netlist.gates, nw)) in
+  let mix v = h := (!h * 31) lxor Hashtbl.hash v in
+  Array.iter
+    (fun (g : Gate.t) ->
+      mix (Gate.kind_name g.Gate.kind);
+      Array.iter mix g.Gate.fanins)
+    nl.Netlist.gates;
+  Array.iter mix nl.Netlist.input_nets;
+  Array.iter
+    (fun (name, net) ->
+      mix name;
+      mix net)
+    nl.Netlist.output_list;
+  !h
+
+let compile_good (nl : Netlist.t) (lv : Levels.t) nw =
+  let pis =
+    Array.to_list (Array.mapi (fun k net -> pi_op ~nw k net) nl.Netlist.input_nets)
+  in
+  let gates =
+    Array.to_list
+      (Array.map
+         (fun i ->
+           let g = nl.Netlist.gates.(i) in
+           let f0, f1 = fanins2 g in
+           compile_gate ~nw ~i ~kind:g.Gate.kind ~f0 ~f1)
+         lv.Levels.order)
+  in
+  Array.of_list (pis @ gates)
+
+let const_fill (nl : Netlist.t) =
+  let acc = ref [] in
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      match g.Gate.kind with
+      | Gate.Const v -> acc := (i, if v then Bitsim.all_ones else 0) :: !acc
+      | _ -> ())
+    nl.Netlist.gates;
+  Array.of_list (List.rev !acc)
+
+(* Forward cone of a fault site over combinational fanouts: membership
+   mask plus member gates in level order. *)
+let cone_of (lv : Levels.t) seed =
+  let n = Array.length (Levels.netlist lv).Netlist.gates in
+  let in_cone = Array.make n false in
+  let rec visit net =
+    Array.iter
+      (fun g ->
+        if not in_cone.(g) then begin
+          in_cone.(g) <- true;
+          visit g
+        end)
+      lv.Levels.fanout_comb.(net)
+  in
+  in_cone.(seed) <- true;
+  visit seed;
+  let members = ref [] in
+  for k = Array.length lv.Levels.order - 1 downto 0 do
+    let i = lv.Levels.order.(k) in
+    if in_cone.(i) then members := i :: !members
+  done;
+  (in_cone, !members)
+
+let compile_cone (lv : Levels.t) nw (f : Fault.t) =
+  let nl = Levels.netlist lv in
+  let stuck = Fault.stuck_word f in
+  let in_cone, members, excite, seed_net, seed_evals =
+    match Fault.injection f with
+    | Bitsim.Net s ->
+      let in_cone, members = cone_of lv s in
+      let base = s * nw in
+      let excite good fv =
+        Array.fill fv base nw stuck;
+        let rec differs j =
+          j < nw && (Array.unsafe_get good (base + j) <> stuck || differs (j + 1))
+        in
+        differs 0
+      in
+      (in_cone, members, excite, s, 0)
+    | Bitsim.Pin { gate; pin } ->
+      let in_cone, members = cone_of lv gate in
+      let g = nl.Netlist.gates.(gate) in
+      let f0, f1 = fanins2 g in
+      let forced =
+        compile_forced_gate ~nw ~i:gate ~kind:g.Gate.kind ~f0 ~f1 ~pin ~stuck
+      in
+      let base = gate * nw in
+      let excite good fv =
+        forced good fv;
+        let rec differs j =
+          j < nw
+          && (Array.unsafe_get good (base + j) <> Array.unsafe_get fv (base + j)
+             || differs (j + 1))
+        in
+        differs 0
+      in
+      (in_cone, members, excite, gate, 1)
+  in
+  (* Cone-external fanins are copied into the overlay up front, so gate
+     ops never branch on operand provenance. *)
+  let boundary = Hashtbl.create 16 in
+  let gate_ops =
+    List.filter_map
+      (fun i ->
+        if i = seed_net then None
+        else begin
+          let g = nl.Netlist.gates.(i) in
+          let f0, f1 = fanins2 g in
+          if not in_cone.(f0) then Hashtbl.replace boundary f0 ();
+          if not in_cone.(f1) then Hashtbl.replace boundary f1 ();
+          Some (compile_gate ~nw ~i ~kind:g.Gate.kind ~f0 ~f1)
+        end)
+      members
+  in
+  let loads =
+    Hashtbl.fold (fun net () acc -> copy_op ~nw net :: acc) boundary []
+  in
+  let seen = Hashtbl.create 8 in
+  let out_nets =
+    Array.of_list
+      (List.filter_map
+         (fun (_, net) ->
+           if in_cone.(net) && not (Hashtbl.mem seen net) then begin
+             Hashtbl.replace seen net ();
+             Some net
+           end
+           else None)
+         (Array.to_list nl.Netlist.output_list))
+  in
+  let n_gate_ops = List.length gate_ops in
+  {
+    excite;
+    ops = Array.of_list (loads @ gate_ops);
+    out_nets;
+    evals_excited = n_gate_ops + seed_evals;
+    evals_quiescent = seed_evals;
+  }
+
+(* Whole-circuit sequential program: PI loads, constant stores and
+   combinational gates as indexable ops; flip-flop value loads and the
+   state advance read the state vector and live in the shard runner. *)
+let compile_seq (nl : Netlist.t) (lv : Levels.t) =
+  let n = Array.length nl.Netlist.gates in
+  let op_index = Array.make n (-1) in
+  let ops = ref [] in
+  let count = ref 0 in
+  let push net o =
+    op_index.(net) <- !count;
+    incr count;
+    ops := o :: !ops
+  in
+  Array.iteri (fun k net -> push net (pi_op ~nw:1 k net)) nl.Netlist.input_nets;
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      match g.Gate.kind with
+      | Gate.Const c ->
+        let word = if c then Bitsim.all_ones else 0 in
+        push i (fun _ v -> Array.unsafe_set v i word)
+      | _ -> ())
+    nl.Netlist.gates;
+  Array.iter
+    (fun i ->
+      let g = nl.Netlist.gates.(i) in
+      let f0, f1 = fanins2 g in
+      push i (compile_gate1 ~i ~kind:g.Gate.kind ~f0 ~f1))
+    lv.Levels.order;
+  { base_ops = Array.of_list (List.rev !ops); op_index }
+
+let compile_seq_site (nl : Netlist.t) (seq : seq_prog) (f : Fault.t) =
+  let stuck = Fault.stuck_word f in
+  let patched = ref seq.base_ops in
+  let forced_dff_net = ref (-1) in
+  let dff_pin_net = ref (-1) in
+  let patch idx o =
+    if !patched == seq.base_ops then patched := Array.copy seq.base_ops;
+    !patched.(idx) <- o
+  in
+  (match Fault.injection f with
+   | Bitsim.Net s ->
+     if seq.op_index.(s) >= 0 then
+       patch seq.op_index.(s) (fun _ v -> Array.unsafe_set v s stuck)
+     else
+       (* Flip-flop output stem: the value load happens outside the op
+          array; the runner forces it between state load and the ops. *)
+       forced_dff_net := s
+   | Bitsim.Pin { gate; pin } ->
+     (match nl.Netlist.gates.(gate).Gate.kind with
+      | Gate.Dff _ -> dff_pin_net := gate
+      | _ ->
+        let g = nl.Netlist.gates.(gate) in
+        let f0, f1 = fanins2 g in
+        patch seq.op_index.(gate)
+          (compile_forced_gate_inline ~i:gate ~kind:g.Gate.kind ~f0 ~f1 ~pin
+             ~stuck)));
+  {
+    patched_ops = !patched;
+    forced_dff_net = !forced_dff_net;
+    dff_pin_net = !dff_pin_net;
+    seq_stuck = stuck;
+  }
+
+let find_or_compile nl nw =
+  let h = design_hash nl nw in
+  match Hashtbl.find_opt cache h with
+  | Some e when e.nl == nl || e.nl = nl -> e
+  | Some _ | None ->
+    let e, dt =
+      Trace.with_span_timed "fsim_compile"
+        ~attrs:[ ("design", nl.Netlist.name) ]
+        (fun () ->
+          let lv = Levels.compute nl in
+          {
+            nl;
+            lv;
+            nw;
+            good_ops = compile_good nl lv nw;
+            const_fill = const_fill nl;
+            cones = Hashtbl.create 64;
+            seq =
+              (if Netlist.num_dffs nl > 0 then Some (compile_seq nl lv)
+               else None);
+            seq_sites = Hashtbl.create 64;
+          })
+    in
+    Metrics.add K.x_compile_ms (int_of_float (dt *. 1000.));
+    Hashtbl.replace cache h e;
+    e
+
+(* Both prepare functions run on the coordinating domain, under one
+   lock, and return plain arrays aligned with the fault list — worker
+   domains never touch the cache. Site programs accumulate in the
+   entry across runs, so a warm design costs lookups only. *)
+let prepare_comb nl ~nw ~faults =
+  Mutex.protect cache_mutex (fun () ->
+      let entry = find_or_compile nl nw in
+      let progs, dt =
+        Trace.with_span_timed "fsim_compile_sites"
+          ~attrs:[ ("design", nl.Netlist.name) ]
+          (fun () ->
+            Array.of_list
+              (List.map
+                 (fun f ->
+                   match Hashtbl.find_opt entry.cones f with
+                   | Some p -> p
+                   | None ->
+                     let p = compile_cone entry.lv nw f in
+                     Hashtbl.replace entry.cones f p;
+                     p)
+                 faults))
+      in
+      let ms = int_of_float (dt *. 1000.) in
+      if ms > 0 then Metrics.add K.x_compile_ms ms;
+      (entry, progs))
+
+let prepare_seq nl ~faults =
+  Mutex.protect cache_mutex (fun () ->
+      let entry = find_or_compile nl 1 in
+      let seq = Option.get entry.seq in
+      let sites, dt =
+        Trace.with_span_timed "fsim_compile_sites"
+          ~attrs:[ ("design", nl.Netlist.name) ]
+          (fun () ->
+            Array.of_list
+              (List.map
+                 (fun f ->
+                   match Hashtbl.find_opt entry.seq_sites f with
+                   | Some s -> s
+                   | None ->
+                     let s = compile_seq_site nl seq f in
+                     Hashtbl.replace entry.seq_sites f s;
+                     s)
+                 faults))
+      in
+      let ms = int_of_float (dt *. 1000.) in
+      if ms > 0 then Metrics.add K.x_compile_ms ms;
+      (entry, sites))
+
+(* Combinational shard over precompiled cone programs; loop structure,
+   budget charging and detection indexing mirror the packed engine. *)
+let combinational_shard entry (progs : cone_prog array) ~budget
+    ~(faults : Fault.t array) ~fault_lo ~patterns =
+  let nl = entry.nl in
+  let nw = entry.nw in
+  let w = nw * Bitsim.word_bits in
+  let n = Array.length nl.Netlist.gates in
+  let detections =
+    Array.map (fun f -> { K.fault = f; detected_at = None }) faults
+  in
+  let alive = Array.init (Array.length faults) (fun i -> i) in
+  let alive_count = ref (Array.length faults) in
+  let good = Array.make (n * nw) 0 in
+  let fv = Array.make (n * nw) 0 in
+  Array.iter
+    (fun (i, word) -> Array.fill good (i * nw) nw word)
+    entry.const_fill;
+  let n_pat = Array.length patterns in
+  let batches = (n_pat + w - 1) / w in
+  let batch = ref 0 in
+  let diff = Array.make nw 0 in
+  let stop = ref (K.chaos_entry ()) in
+  let total_comb = Levels.num_comb_gates entry.lv in
+  while !batch < batches && !alive_count > 0 && !stop = None do
+    let lo = !batch * w in
+    let len = min w (n_pat - lo) in
+    (match
+       Budget.spend budget ~stage:Rerror.Fsim Budget.Fsim_pairs
+         (len * !alive_count)
+     with
+     | Ok () -> ()
+     | Error e -> stop := Some e);
+    if !stop = None then begin
+      let words = K.pack_patterns nl nw patterns lo len in
+      let gops = entry.good_ops in
+      for o = 0 to Array.length gops - 1 do
+        (Array.unsafe_get gops o) words good
+      done;
+      Metrics.incr K.x_batches;
+      Metrics.incr K.x_good_steps;
+      Metrics.observe K.h_lanes_per_step (float_of_int len);
+      let k = ref 0 in
+      while !k < !alive_count do
+        let fi = alive.(!k) in
+        let prog = progs.(fault_lo + fi) in
+        Metrics.incr K.c_machine_steps;
+        let first = ref (-1) in
+        if prog.excite good fv then begin
+          let ops = prog.ops in
+          for o = 0 to Array.length ops - 1 do
+            (Array.unsafe_get ops o) good fv
+          done;
+          Metrics.add K.x_events_skipped (total_comb - prog.evals_excited);
+          Array.fill diff 0 nw 0;
+          Array.iter
+            (fun net ->
+              for j = 0 to nw - 1 do
+                diff.(j) <-
+                  diff.(j)
+                  lor (fv.((net * nw) + j) lxor good.((net * nw) + j))
+              done)
+            prog.out_nets;
+          for j = 0 to nw - 1 do
+            if !first < 0 then begin
+              let d = diff.(j) land K.word_lane_mask len j in
+              if d <> 0 then first := (j * Bitsim.word_bits) + K.lowest_bit d
+            end
+          done
+        end
+        else Metrics.add K.x_events_skipped (total_comb - prog.evals_quiescent);
+        if !first >= 0 then begin
+          detections.(fi) <-
+            { detections.(fi) with detected_at = Some (lo + !first) };
+          alive_count := !alive_count - 1;
+          alive.(!k) <- alive.(!alive_count);
+          alive.(!alive_count) <- fi
+        end
+        else incr k
+      done
+    end;
+    incr batch
+  done;
+  K.note_cut ~detail:K.batch_cut_detail !stop;
+  {
+    K.total = Array.length faults;
+    detected = Array.length faults - !alive_count;
+    detections;
+    patterns_applied = n_pat;
+  }
+
+(* Sequential shard over the patched whole-circuit programs; mirrors
+   the serial reference's per-fault budget and early-stop behaviour. *)
+let sequential_shard entry (sites : seq_site array) ~budget ~tick
+    ~(faults : Fault.t array) ~fault_lo ~sequence =
+  let nl = entry.nl in
+  let n = Array.length nl.Netlist.gates in
+  let detections =
+    Array.map (fun f -> { K.fault = f; detected_at = None }) faults
+  in
+  let stop = ref (K.chaos_entry ()) in
+  let seq = Option.get entry.seq in
+  let n_cycles = Array.length sequence in
+  let inputs = Array.map (fun p -> K.replicate_pattern nl 1 p) sequence in
+  let dffs = nl.Netlist.dff_nets in
+  let n_dff = Array.length dffs in
+  let dff_d = Array.map (fun q -> nl.Netlist.gates.(q).Gate.fanins.(0)) dffs in
+  let dff_init =
+    Array.map
+      (fun q ->
+        match nl.Netlist.gates.(q).Gate.kind with
+        | Gate.Dff init -> if init then Bitsim.all_ones else 0
+        | _ -> assert false)
+      dffs
+  in
+  let v = Array.make n 0 in
+  let state = Array.make n_dff 0 in
+  let out_list = nl.Netlist.output_list in
+  let n_out = Array.length out_list in
+  let run_cycle ops ~forced_dff_net ~dff_pin_net ~stuck c =
+    for k = 0 to n_dff - 1 do
+      v.(dffs.(k)) <- state.(k)
+    done;
+    if forced_dff_net >= 0 then v.(forced_dff_net) <- stuck;
+    let w = inputs.(c) in
+    for o = 0 to Array.length ops - 1 do
+      (Array.unsafe_get ops o) w v
+    done;
+    for k = 0 to n_dff - 1 do
+      state.(k) <- (if dffs.(k) = dff_pin_net then stuck else v.(dff_d.(k)))
+    done
+  in
+  (* Good trajectory: per-cycle output words. *)
+  let good_out = Array.make_matrix n_cycles n_out 0 in
+  Array.blit dff_init 0 state 0 n_dff;
+  for c = 0 to n_cycles - 1 do
+    run_cycle seq.base_ops ~forced_dff_net:(-1) ~dff_pin_net:(-1) ~stuck:0 c;
+    for o = 0 to n_out - 1 do
+      good_out.(c).(o) <- v.(snd out_list.(o))
+    done
+  done;
+  (* Every shard re-simulates the good circuit, so this scales with the
+     shard count — execution bookkeeping, not logical workload. *)
+  Metrics.add K.x_good_steps n_cycles;
+  Array.iteri
+    (fun fi f ->
+      if !stop = None then begin
+        match
+          Budget.spend budget ~stage:Rerror.Fsim Budget.Fsim_pairs n_cycles
+        with
+        | Ok () -> ()
+        | Error e -> stop := Some e
+      end;
+      if !stop <> None then tick ()
+      else begin
+        let site = sites.(fault_lo + fi) in
+        Array.blit dff_init 0 state 0 n_dff;
+        let c = ref 0 in
+        let detected = ref false in
+        while (not !detected) && !c < n_cycles do
+          run_cycle site.patched_ops ~forced_dff_net:site.forced_dff_net
+            ~dff_pin_net:site.dff_pin_net ~stuck:site.seq_stuck !c;
+          Metrics.incr K.c_machine_steps;
+          let g = good_out.(!c) in
+          let rec differs o =
+            o < n_out && (v.(snd out_list.(o)) <> g.(o) || differs (o + 1))
+          in
+          if differs 0 then begin
+            detected := true;
+            detections.(fi) <- { fault = f; detected_at = Some !c }
+          end
+          else incr c
+        done;
+        tick ()
+      end)
+    faults;
+  K.note_cut ~detail:K.serial_cut_detail !stop;
+  {
+    K.total = Array.length faults;
+    detected = K.count_detected detections;
+    detections;
+    patterns_applied = n_cycles;
+  }

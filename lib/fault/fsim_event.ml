@@ -1,0 +1,399 @@
+(* Event-driven fault-simulation backend.
+
+   The netlist is levelized once per run (Netlist.Levels); each shard
+   then keeps a full good-value baseline plus an epoch-stamped sparse
+   faulty overlay. A fault pass seeds the overlay at the injection
+   site and propagates level-ascending through preallocated per-level
+   buckets, re-evaluating only gates with a changed fanin word — a
+   quiescent cone is never visited, and the elided evaluations are
+   recorded in [exec.events_skipped].
+
+   Observable behaviour (batch order, budget charging, chaos probes,
+   degrade notes, first-detection indexing) deliberately mirrors the
+   packed reference loop so reports are bit-identical, including under
+   budget cuts. *)
+
+module Netlist = Mutsamp_netlist.Netlist
+module Gate = Mutsamp_netlist.Gate
+module Bitsim = Mutsamp_netlist.Bitsim
+module Levels = Mutsamp_netlist.Levels
+module Metrics = Mutsamp_obs.Metrics
+module Rerror = Mutsamp_robust.Error
+module Budget = Mutsamp_robust.Budget
+module K = Fsim_kernel
+
+(* Per-shard mutable simulation state. [good] holds the full baseline
+   net values for the current batch/cycle; [fval] is the faulty
+   overlay, valid for net [i] only when [stamp.(i)] equals the current
+   epoch. Queue buckets are preallocated per level and drained in
+   ascending level order (events only travel to strictly higher
+   levels, so a drained bucket never refills within a pass). *)
+type state = {
+  lv : Levels.t;
+  nw : int;
+  mutable good : int array;  (* net i word j at [i*nw + j] *)
+  fval : int array;
+  stamp : int array;
+  inq : int array;
+  buckets : int array array;
+  bcount : int array;
+  mutable epoch : int;
+  mutable evaluated : int;  (* gate evaluations this pass *)
+}
+
+let make_state lv nw =
+  let n = Array.length (Levels.netlist lv).Netlist.gates in
+  let buckets =
+    Array.init (lv.Levels.max_level + 1) (fun l ->
+        Array.make (lv.Levels.level_off.(l + 1) - lv.Levels.level_off.(l)) 0)
+  in
+  let st =
+    {
+      lv;
+      nw;
+      good = Array.make (n * nw) 0;
+      fval = Array.make (n * nw) 0;
+      stamp = Array.make n (-1);
+      inq = Array.make n (-1);
+      buckets;
+      bcount = Array.make (lv.Levels.max_level + 1) 0;
+      epoch = 0;
+      evaluated = 0;
+    }
+  in
+  (* Constant nets never change; bake them into the baseline once. *)
+  Array.iteri
+    (fun i (g : Gate.t) ->
+      match g.Gate.kind with
+      | Gate.Const v ->
+        Array.fill st.good (i * nw) nw (if v then Bitsim.all_ones else 0)
+      | _ -> ())
+    (Levels.netlist lv).Netlist.gates;
+  st
+
+(* Full good evaluation for the current batch inputs (combinational
+   gates only; sources are loaded by the caller). *)
+let eval_good st =
+  let nl = Levels.netlist st.lv in
+  let gates = nl.Netlist.gates in
+  let nw = st.nw and good = st.good in
+  Array.iter
+    (fun i ->
+      let g = gates.(i) in
+      let kind = g.Gate.kind in
+      let f0 = g.Gate.fanins.(0) in
+      let two = Array.length g.Gate.fanins > 1 in
+      let f1 = if two then g.Gate.fanins.(1) else 0 in
+      for j = 0 to nw - 1 do
+        let a = good.((f0 * nw) + j) in
+        let b = if two then good.((f1 * nw) + j) else 0 in
+        good.((i * nw) + j) <- Gate.eval2 kind a b
+      done)
+    st.lv.Levels.order
+
+let enqueue st i =
+  if st.inq.(i) <> st.epoch && st.lv.Levels.pos.(i) >= 0 then begin
+    st.inq.(i) <- st.epoch;
+    let l = st.lv.Levels.level.(i) in
+    st.buckets.(l).(st.bcount.(l)) <- i;
+    st.bcount.(l) <- st.bcount.(l) + 1
+  end
+
+let enqueue_fanouts st net =
+  Array.iter (fun i -> enqueue st i) st.lv.Levels.fanout_comb.(net)
+
+(* Read net [i] through the overlay. *)
+let rd st i j =
+  if st.stamp.(i) = st.epoch then st.fval.((i * st.nw) + j)
+  else st.good.((i * st.nw) + j)
+
+let differs_from_good st i =
+  let nw = st.nw in
+  let rec go j =
+    j < nw && (st.fval.((i * nw) + j) <> st.good.((i * nw) + j) || go (j + 1))
+  in
+  go 0
+
+(* Seed the overlay for one fault against the current baseline.
+   [forced_net] (stem) and [pin_gate]/[pin_idx] (branch) keep their
+   forcing during propagation, matching [Bitsim.step_injected]. *)
+let seed_fault st f =
+  st.epoch <- st.epoch + 1;
+  st.evaluated <- 0;
+  let nw = st.nw in
+  let stuck = Fault.stuck_word f in
+  match Fault.injection f with
+  | Bitsim.Net s ->
+    Array.fill st.fval (s * nw) nw stuck;
+    if differs_from_good st s then begin
+      st.stamp.(s) <- st.epoch;
+      enqueue_fanouts st s
+    end;
+    (s, -1, -1)
+  | Bitsim.Pin { gate; pin } ->
+    (* The faulted gate must be re-evaluated with its pin forced even
+       when no fanin changed, so it is enqueued unconditionally (DFF D
+       pins have no combinational op; their forcing is applied by the
+       sequential state advance). *)
+    enqueue st gate;
+    (-1, gate, pin)
+
+(* Drain the buckets in ascending level order, applying stem/pin
+   forcing for the faulted gate exactly as [Bitsim.step_injected]
+   does. *)
+let propagate st ~forced_net ~pin_gate ~pin_idx ~stuck =
+  let nl = Levels.netlist st.lv in
+  let gates = nl.Netlist.gates in
+  let nw = st.nw in
+  for l = 1 to st.lv.Levels.max_level do
+    let bucket = st.buckets.(l) in
+    for idx = 0 to st.bcount.(l) - 1 do
+      let i = bucket.(idx) in
+      (* A stem-forced net keeps its forced value whatever its fanins
+         do; it was seeded and is never recomputed. *)
+      if i <> forced_net then begin
+        st.evaluated <- st.evaluated + 1;
+        let g = gates.(i) in
+        let kind = g.Gate.kind in
+        let f0 = g.Gate.fanins.(0) in
+        let two = Array.length g.Gate.fanins > 1 in
+        let f1 = if two then g.Gate.fanins.(1) else 0 in
+        let changed = ref false in
+        for j = 0 to nw - 1 do
+          let a = if i = pin_gate && pin_idx = 0 then stuck else rd st f0 j in
+          let b =
+            if not two then 0
+            else if i = pin_gate && pin_idx = 1 then stuck
+            else rd st f1 j
+          in
+          let r = Gate.eval2 kind a b in
+          st.fval.((i * nw) + j) <- r;
+          if r <> st.good.((i * nw) + j) then changed := true
+        done;
+        if !changed then begin
+          st.stamp.(i) <- st.epoch;
+          enqueue_fanouts st i
+        end
+      end
+    done;
+    st.bcount.(l) <- 0
+  done
+
+(* One fault pass against the current baseline: seed, propagate, and
+   account the elided gate evaluations. *)
+let fault_pass st f =
+  let stuck = Fault.stuck_word f in
+  let forced_net, pin_gate, pin_idx = seed_fault st f in
+  propagate st ~forced_net ~pin_gate ~pin_idx ~stuck;
+  Metrics.add K.x_events_skipped (Levels.num_comb_gates st.lv - st.evaluated)
+
+(* First detecting lane over the outputs, or -1. Unstamped output nets
+   equal the baseline by construction and contribute no diff. *)
+let first_detection st ~len ~diff =
+  let nl = Levels.netlist st.lv in
+  let nw = st.nw in
+  Array.fill diff 0 nw 0;
+  Array.iter
+    (fun (_, net) ->
+      if st.stamp.(net) = st.epoch then
+        for j = 0 to nw - 1 do
+          diff.(j) <-
+            diff.(j) lor (st.fval.((net * nw) + j) lxor st.good.((net * nw) + j))
+        done)
+    nl.Netlist.output_list;
+  let first = ref (-1) in
+  for j = 0 to nw - 1 do
+    if !first < 0 then begin
+      let d = diff.(j) land K.word_lane_mask len j in
+      if d <> 0 then first := (j * Bitsim.word_bits) + K.lowest_bit d
+    end
+  done;
+  !first
+
+let load_inputs st words =
+  let nl = Levels.netlist st.lv in
+  let nw = st.nw in
+  Array.iteri
+    (fun k net -> Array.blit words (k * nw) st.good (net * nw) nw)
+    nl.Netlist.input_nets
+
+(* Combinational shard: same batch loop, budget charging and alive-set
+   bookkeeping as the packed engine, with the per-fault inner step
+   replaced by an event pass. *)
+let combinational_shard lv ?lanes ~budget ~(faults : Fault.t array) ~patterns
+    () =
+  let nl = Levels.netlist lv in
+  let detections =
+    Array.map (fun f -> { K.fault = f; detected_at = None }) faults
+  in
+  let alive = Array.init (Array.length faults) (fun i -> i) in
+  let alive_count = ref (Array.length faults) in
+  let w =
+    match lanes with
+    | None -> Bitsim.word_bits
+    | Some l ->
+      if l < 1 then invalid_arg "Fsim.run: lanes < 1"
+      else (l + Bitsim.word_bits - 1) / Bitsim.word_bits * Bitsim.word_bits
+  in
+  let nw = w / Bitsim.word_bits in
+  let st = make_state lv nw in
+  let n_pat = Array.length patterns in
+  let batches = (n_pat + w - 1) / w in
+  let batch = ref 0 in
+  let diff = Array.make nw 0 in
+  let stop = ref (K.chaos_entry ()) in
+  while !batch < batches && !alive_count > 0 && !stop = None do
+    let lo = !batch * w in
+    let len = min w (n_pat - lo) in
+    (match
+       Budget.spend budget ~stage:Rerror.Fsim Budget.Fsim_pairs
+         (len * !alive_count)
+     with
+     | Ok () -> ()
+     | Error e -> stop := Some e);
+    if !stop = None then begin
+      let words = K.pack_patterns nl nw patterns lo len in
+      load_inputs st words;
+      eval_good st;
+      Metrics.incr K.x_batches;
+      Metrics.incr K.x_good_steps;
+      Metrics.observe K.h_lanes_per_step (float_of_int len);
+      let k = ref 0 in
+      while !k < !alive_count do
+        let fi = alive.(!k) in
+        fault_pass st faults.(fi);
+        Metrics.incr K.c_machine_steps;
+        let first = first_detection st ~len ~diff in
+        if first >= 0 then begin
+          detections.(fi) <-
+            { detections.(fi) with detected_at = Some (lo + first) };
+          alive_count := !alive_count - 1;
+          alive.(!k) <- alive.(!alive_count);
+          alive.(!alive_count) <- fi
+        end
+        else incr k
+      done
+    end;
+    incr batch
+  done;
+  K.note_cut ~detail:K.batch_cut_detail !stop;
+  {
+    K.total = Array.length faults;
+    detected = Array.length faults - !alive_count;
+    detections;
+    patterns_applied = n_pat;
+  }
+
+(* Sequential shard: single-lane event simulation against per-cycle
+   good-value snapshots, mirroring the serial reference's budget and
+   early-stop behaviour. Faulty flip-flop state is carried in [fstate]
+   (indexed by net id); a cycle's events are seeded by the injection
+   site plus every flip-flop whose faulty state diverges from the
+   snapshot. *)
+let sequential_shard lv ~budget ~tick ~(faults : Fault.t array) ~sequence =
+  let nl = Levels.netlist lv in
+  let n = Array.length nl.Netlist.gates in
+  let detections =
+    Array.map (fun f -> { K.fault = f; detected_at = None }) faults
+  in
+  let stop = ref (K.chaos_entry ()) in
+  let st = make_state lv 1 in
+  let n_cycles = Array.length sequence in
+  (* Good baseline: full net values per cycle. *)
+  let goodv = Array.make n_cycles [||] in
+  let dff_init = Array.make n 0 in
+  Array.iter
+    (fun q ->
+      match nl.Netlist.gates.(q).Gate.kind with
+      | Gate.Dff init -> dff_init.(q) <- (if init then Bitsim.all_ones else 0)
+      | _ -> assert false)
+    nl.Netlist.dff_nets;
+  let state = Array.copy dff_init in
+  for c = 0 to n_cycles - 1 do
+    load_inputs st (K.replicate_pattern nl 1 sequence.(c));
+    Array.iter (fun q -> st.good.(q) <- state.(q)) nl.Netlist.dff_nets;
+    eval_good st;
+    goodv.(c) <- Array.copy st.good;
+    Array.iter
+      (fun q -> state.(q) <- st.good.(nl.Netlist.gates.(q).Gate.fanins.(0)))
+      nl.Netlist.dff_nets
+  done;
+  (* Every shard re-simulates the good circuit, so this scales with the
+     shard count — execution bookkeeping, not logical workload. *)
+  Metrics.add K.x_good_steps n_cycles;
+  let fstate = Array.make n 0 in
+  Array.iteri
+    (fun fi f ->
+      if !stop = None then begin
+        match
+          Budget.spend budget ~stage:Rerror.Fsim Budget.Fsim_pairs n_cycles
+        with
+        | Ok () -> ()
+        | Error e -> stop := Some e
+      end;
+      if !stop <> None then tick ()
+      else begin
+        let stuck = Fault.stuck_word f in
+        let forced_net, pin_gate, pin_idx =
+          match Fault.injection f with
+          | Bitsim.Net s -> (s, -1, -1)
+          | Bitsim.Pin { gate; pin } -> (-1, gate, pin)
+        in
+        Array.iter (fun q -> fstate.(q) <- dff_init.(q)) nl.Netlist.dff_nets;
+        let c = ref 0 in
+        let detected = ref false in
+        while (not !detected) && !c < n_cycles do
+          st.epoch <- st.epoch + 1;
+          st.evaluated <- 0;
+          st.good <- goodv.(!c);
+          (* Seed: diverged flip-flop outputs, then the injection. *)
+          Array.iter
+            (fun q ->
+              if q <> forced_net && fstate.(q) <> st.good.(q) then begin
+                st.fval.(q) <- fstate.(q);
+                st.stamp.(q) <- st.epoch;
+                enqueue_fanouts st q
+              end)
+            nl.Netlist.dff_nets;
+          if forced_net >= 0 then begin
+            st.fval.(forced_net) <- stuck;
+            if stuck <> st.good.(forced_net) then begin
+              st.stamp.(forced_net) <- st.epoch;
+              enqueue_fanouts st forced_net
+            end
+          end
+          else enqueue st pin_gate;
+          propagate st ~forced_net ~pin_gate ~pin_idx ~stuck;
+          Metrics.add K.x_events_skipped
+            (Levels.num_comb_gates lv - st.evaluated);
+          Metrics.incr K.c_machine_steps;
+          (* Detection: any output net carrying a diverged value. *)
+          Array.iter
+            (fun (_, net) ->
+              if st.stamp.(net) = st.epoch && st.fval.(net) <> st.good.(net)
+              then detected := true)
+            nl.Netlist.output_list;
+          if !detected then
+            detections.(fi) <- { fault = f; detected_at = Some !c }
+          else begin
+            (* Advance faulty flip-flop state through the overlay; a
+               faulted D pin latches the stuck value. *)
+            Array.iter
+              (fun q ->
+                let d = nl.Netlist.gates.(q).Gate.fanins.(0) in
+                fstate.(q) <-
+                  (if q = pin_gate && pin_idx = 0 then stuck else rd st d 0))
+              nl.Netlist.dff_nets;
+            incr c
+          end
+        done;
+        tick ()
+      end)
+    faults;
+  K.note_cut ~detail:K.serial_cut_detail !stop;
+  {
+    K.total = Array.length faults;
+    detected = K.count_detected detections;
+    detections;
+    patterns_applied = n_cycles;
+  }

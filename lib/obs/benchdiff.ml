@@ -18,6 +18,8 @@ type result = {
   deltas : delta list;
   missing : (string * string) list;
       (** (group, key) pairs present in only one report *)
+  empty_groups : string list;
+      (** requested groups with no keys in either report *)
 }
 
 let default_groups = [ "throughput"; "micro"; "wall" ]
@@ -79,11 +81,13 @@ let compare_reports ?(threshold_pct = 20.0) ?(groups = default_groups) ~old_
     ~new_ () =
   let deltas = ref [] in
   let missing = ref [] in
+  let empty_groups = ref [] in
   List.iter
     (fun group ->
       let dir = direction_of group in
       let olds = keys_of_group group old_ in
       let news = keys_of_group group new_ in
+      if olds = [] && news = [] then empty_groups := group :: !empty_groups;
       List.iter
         (fun (key, old_v) ->
           match List.assoc_opt key news with
@@ -97,7 +101,11 @@ let compare_reports ?(threshold_pct = 20.0) ?(groups = default_groups) ~old_
           if not (List.mem_assoc key olds) then missing := (group, key) :: !missing)
         news)
     groups;
-  { deltas = List.rev !deltas; missing = List.rev !missing }
+  {
+    deltas = List.rev !deltas;
+    missing = List.rev !missing;
+    empty_groups = List.rev !empty_groups;
+  }
 
 let regressions r = List.filter (fun d -> d.regressed) r.deltas
 
@@ -114,7 +122,12 @@ let pp fmt r =
     (fun (group, key) ->
       Format.fprintf fmt "%-12s %-24s %s@\n" group key
         "(present in only one report)")
-    r.missing
+    r.missing;
+  List.iter
+    (fun group ->
+      Format.fprintf fmt "%-12s %-24s %s@\n" group "-"
+        "(no keys in either report)")
+    r.empty_groups
 
 let print oc r =
   let fmt = Format.formatter_of_out_channel oc in

@@ -7,7 +7,10 @@
     gives plain pipeline reports without bench sections a gate signal.
     A key regresses when it moves past the threshold in the bad
     direction; keys present in only one report are reported as missing,
-    never as regressions. *)
+    never as regressions. A requested group with no keys in either
+    report lands in [empty_groups] — without that, a report pair that
+    silently lost its whole bench section would read as "no
+    regressions". *)
 
 type direction = Higher_better | Lower_better
 
@@ -23,6 +26,8 @@ type delta = {
 type result = {
   deltas : delta list;
   missing : (string * string) list;  (** (group, key) in only one report *)
+  empty_groups : string list;
+      (** requested groups with no keys in either report *)
 }
 
 val default_groups : string list

@@ -95,13 +95,14 @@ let faultsim ~ctx ~circuit ~vectors ~lfsr ~seed =
   Printf.sprintf "%s: %d collapsed faults, %d vectors -> %.2f%% coverage (%d detected)\n"
     e.Registry.name r.Fsim.total vectors (Fsim.coverage_percent r) r.Fsim.detected
 
-let atpg ~ctx ~circuit ~engine ~seed =
-  let engine =
-    match engine with
+let atpg ~ctx ~circuit ~generator ~seed =
+  let generator =
+    match generator with
     | "podem" -> Topoff.Use_podem
     | "sat" -> Topoff.Use_sat
     | other ->
-      raise (Error.E (Error.Protocol (Printf.sprintf "unknown engine %S" other)))
+      raise
+        (Error.E (Error.Protocol (Printf.sprintf "unknown generator %S" other)))
   in
   let e = entry circuit in
   let p = prepare e.Registry.name in
@@ -110,7 +111,7 @@ let atpg ~ctx ~circuit ~engine ~seed =
     else p.Pipeline.netlist
   in
   let faults = (Collapse.run scanned).Collapse.representatives in
-  let r = Topoff.run ~engine ~ctx ~seed scanned ~faults ~seed_patterns:[||] in
+  let r = Topoff.run ~generator ~ctx ~seed scanned ~faults ~seed_patterns:[||] in
   Printf.sprintf
     "%s%s: %d faults | random: %d vectors (%d detected) | atpg: %d calls, %d vectors (%d detected) | untestable %d, aborted %d | coverage %.2f%% of testable%s\n"
     e.Registry.name

@@ -28,8 +28,8 @@ val frontend_misses : unit -> int
 val faultsim :
   ctx:Ctx.t -> circuit:string -> vectors:int -> lfsr:bool -> seed:int -> string
 
-val atpg : ctx:Ctx.t -> circuit:string -> engine:string -> seed:int -> string
-(** [engine] is ["podem"] or ["sat"]. *)
+val atpg : ctx:Ctx.t -> circuit:string -> generator:string -> seed:int -> string
+(** [generator] is ["podem"] or ["sat"]. *)
 
 val table1 : ctx:Ctx.t -> circuits:string list -> quick:bool -> seed:int -> string
 (** Empty [circuits] defaults to the paper's benchmark set. *)

@@ -6,7 +6,7 @@ type op =
   | Stats
   | Sleep of { ms : int }
   | Faultsim of { circuit : string; vectors : int; lfsr : bool; seed : int }
-  | Atpg of { circuit : string; engine : string; seed : int }
+  | Atpg of { circuit : string; generator : string; seed : int }
   | Table1 of { circuits : string list; quick : bool; seed : int }
   | Table2 of { circuits : string list; quick : bool; seed : int; repetitions : int }
   | Lint of { circuits : string list; strict : bool }
@@ -16,6 +16,7 @@ type request = {
   op : op;
   deadline_ms : int option;
   chaos : string list;
+  engine : Mutsamp_exec.Ctx.engine;
 }
 
 let op_name = function
@@ -90,11 +91,13 @@ let parse_op doc =
     else Ok (Faultsim { circuit; vectors; lfsr; seed })
   | "atpg" ->
     let* circuit = req_string doc "circuit" in
-    let* engine = opt_field doc "engine" ~default:"podem" ~conv:string_conv in
+    let* generator =
+      opt_field doc "generator" ~default:"podem" ~conv:string_conv
+    in
     let* seed = opt_field doc "seed" ~default:2005 ~conv:int_conv in
-    if engine <> "podem" && engine <> "sat" then
-      proto "atpg: unknown engine %S (podem or sat)" engine
-    else Ok (Atpg { circuit; engine; seed })
+    if generator <> "podem" && generator <> "sat" then
+      proto "atpg: unknown generator %S (podem or sat)" generator
+    else Ok (Atpg { circuit; generator; seed })
   | "table1" ->
     let* circuits = opt_field doc "circuits" ~default:[] ~conv:string_list_conv in
     let* quick = opt_field doc "quick" ~default:true ~conv:bool_conv in
@@ -123,8 +126,15 @@ let parse_request line =
         ~conv:(fun v -> Option.map Option.some (int_conv v))
     in
     let* chaos = opt_field doc "chaos" ~default:[] ~conv:string_list_conv in
+    let* engine_s = opt_field doc "engine" ~default:"auto" ~conv:string_conv in
+    let* engine =
+      match Mutsamp_exec.Ctx.engine_of_string engine_s with
+      | Some e -> Ok e
+      | None ->
+        proto "unknown engine %S (auto, packed, event or compiled)" engine_s
+    in
     let* op = parse_op doc in
-    Ok { id; op; deadline_ms; chaos }
+    Ok { id; op; deadline_ms; chaos; engine }
   | Ok _ -> proto "request must be a JSON object"
 
 (* --- replies ----------------------------------------------------------- *)

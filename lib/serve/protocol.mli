@@ -2,10 +2,12 @@
 
     Newline-delimited JSON, one object per line in each direction (see
     docs/SERVICE.md for the grammar). A request names an [op] plus
-    op-specific fields and three optional envelope fields: [id]
+    op-specific fields and four optional envelope fields: [id]
     (echoed verbatim in the reply), [deadline_ms] (per-request budget
-    cap) and [chaos] (injection specs armed for this request only —
-    the fault-isolation test hook). Replies are either
+    cap), [chaos] (injection specs armed for this request only —
+    the fault-isolation test hook) and [engine] (fault-simulation
+    backend for the request: ["auto"], ["packed"], ["event"] or
+    ["compiled"]; default ["auto"]). Replies are either
     [{"status":"ok", ..., "output", "report"?}] — [output] is the
     byte-identical stdout text of the equivalent batch CLI command,
     [report] a schema-1 run report — or [{"status":"error", "class",
@@ -22,7 +24,9 @@ type op =
       (** test-only: hold the worker for [ms] under budget polling —
           makes overload and drain tests deterministic *)
   | Faultsim of { circuit : string; vectors : int; lfsr : bool; seed : int }
-  | Atpg of { circuit : string; engine : string; seed : int }
+  | Atpg of { circuit : string; generator : string; seed : int }
+      (** [generator] is the test-generation algorithm ([podem]/[sat]),
+          distinct from the envelope's fault-simulation [engine] *)
   | Table1 of { circuits : string list; quick : bool; seed : int }
   | Table2 of { circuits : string list; quick : bool; seed : int; repetitions : int }
   | Lint of { circuits : string list; strict : bool }
@@ -32,6 +36,8 @@ type request = {
   op : op;
   deadline_ms : int option;
   chaos : string list;  (** {!Mutsamp_robust.Chaos.parse_spec} specs *)
+  engine : Mutsamp_exec.Ctx.engine;
+      (** fault-simulation backend installed in the request's context *)
 }
 
 val op_name : op -> string

@@ -174,8 +174,8 @@ let run_op ~ctx ~budget (op : Protocol.op) =
   | Protocol.Sleep { ms } -> (run_sleep ~budget ms, [])
   | Protocol.Faultsim { circuit; vectors; lfsr; seed } ->
     (Jobs.faultsim ~ctx ~circuit ~vectors ~lfsr ~seed, [])
-  | Protocol.Atpg { circuit; engine; seed } ->
-    (Jobs.atpg ~ctx ~circuit ~engine ~seed, [])
+  | Protocol.Atpg { circuit; generator; seed } ->
+    (Jobs.atpg ~ctx ~circuit ~generator ~seed, [])
   | Protocol.Table1 { circuits; quick; seed } ->
     (Jobs.table1 ~ctx ~circuits ~quick ~seed, [])
   | Protocol.Table2 { circuits; quick; seed; repetitions } ->
@@ -219,7 +219,9 @@ let execute t (job : job) =
   let budget = Budget.create ?deadline_ms:deadline_ms () in
   Budget.set_ambient budget;
   Atomic.set t.inflight (Some budget);
-  let ctx = Ctx.make ?pool:t.pool ~budget ?store:t.cfg.store () in
+  let ctx =
+    Ctx.make ?pool:t.pool ~budget ?store:t.cfg.store ~engine:req.engine ()
+  in
   let result =
     match !arm_failure with
     | Some e -> Error e
@@ -280,6 +282,7 @@ let execute t (job : job) =
                    ( "jobs",
                      Json.Int
                        (match t.pool with None -> 1 | Some p -> Pool.size p) );
+                   ("engine", Json.String (Ctx.engine_to_string req.engine));
                  ] );
              ("robust", robust_json budget);
              ("store", Store.report_section t.cfg.store);

@@ -1,3 +1,3 @@
 (* Aggregated alcotest runner for every library in the repository. *)
 
-let () = Alcotest.run "mutsamp" (Test_util.suite @ Test_hdl.suite @ Test_mutation.suite @ Test_netlist.suite @ Test_synth.suite @ Test_sat.suite @ Test_fault.suite @ Test_atpg.suite @ Test_circuits.suite @ Test_validation.suite @ Test_sampling.suite @ Test_core.suite @ Test_obs.suite @ Test_robust.suite @ Test_extras.suite @ Test_wide.suite @ Test_analysis.suite @ Test_exec.suite @ Test_store.suite @ Test_serve.suite)
+let () = Alcotest.run "mutsamp" (Test_util.suite @ Test_hdl.suite @ Test_mutation.suite @ Test_netlist.suite @ Test_synth.suite @ Test_sat.suite @ Test_fault.suite @ Test_atpg.suite @ Test_circuits.suite @ Test_validation.suite @ Test_sampling.suite @ Test_core.suite @ Test_obs.suite @ Test_robust.suite @ Test_extras.suite @ Test_wide.suite @ Test_engines.suite @ Test_analysis.suite @ Test_exec.suite @ Test_store.suite @ Test_serve.suite)

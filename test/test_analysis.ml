@@ -465,7 +465,7 @@ let test_topoff_differential_c17 () =
   let nl = augmented "c17" in
   let faults = Fault.full_list nl in
   let run static_filter =
-    Topoff.run ~engine:Topoff.Use_sat ~seed:1
+    Topoff.run ~generator:Topoff.Use_sat ~seed:1
       ~ctx:{ Mutsamp_exec.Ctx.default with static_filter } nl ~faults
       ~seed_patterns:[||]
   in
@@ -772,7 +772,7 @@ let topoff_dominance_differential ?random_budget ?(expect_deferrals = false)
     Metrics.set_enabled true;
     Metrics.reset ();
     let r =
-      Topoff.run ~engine:Topoff.Use_sat ?random_budget ~seed:7
+      Topoff.run ~generator:Topoff.Use_sat ?random_budget ~seed:7
         ~ctx:{ Ctx.default with Ctx.dominance } nl ~faults ~seed_patterns:[||]
     in
     let snap = Metrics.snapshot () in
@@ -819,7 +819,7 @@ let prop_topoff_dominance_seeds =
     QCheck.(make ~print:string_of_int Gen.(int_bound 9999))
     (fun seed ->
       let run dominance =
-        Topoff.run ~engine:Topoff.Use_sat ~seed
+        Topoff.run ~generator:Topoff.Use_sat ~seed
           ~ctx:{ Ctx.default with Ctx.dominance } nl ~faults
           ~seed_patterns:[||]
       in

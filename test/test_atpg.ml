@@ -97,7 +97,7 @@ let test_fv_gate_eval () =
 
 (* Oracle: does pattern [p] detect fault [f] on netlist [nl]? *)
 let detects nl f p =
-  let r = Fsim.run_combinational nl ~faults:[ f ] ~patterns:[| p |] in
+  let r = Fsim.run nl ~faults:[ f ] ~sequence:[| p |] in
   r.Fsim.detected = 1
 
 let test_podem_finds_tests_full_adder () =
@@ -469,7 +469,7 @@ let test_seqatpg_counter_faults () =
       | Seqatpg.Test seq ->
         incr detected;
         (* Verify by sequential fault simulation. *)
-        let r = Fsim.run_sequential nl ~faults:[ f ] ~sequence:seq in
+        let r = Fsim.run nl ~faults:[ f ] ~sequence:seq in
         check_int (Fault.to_string f ^ " verified") 1 r.Fsim.detected
       | Seqatpg.No_test_within _ -> incr missed)
     faults;
@@ -484,7 +484,7 @@ let test_seqatpg_shortest_sequence () =
   (match ok_exn (Seqatpg.generate ~max_frames:10 nl f) with
    | Seqatpg.Test seq ->
      check_int "five cycles" 5 (Array.length seq);
-     let r = Fsim.run_sequential nl ~faults:[ f ] ~sequence:seq in
+     let r = Fsim.run nl ~faults:[ f ] ~sequence:seq in
      check_int "verified" 1 r.Fsim.detected
    | Seqatpg.No_test_within _ -> Alcotest.fail "should find a sequence")
 
@@ -512,7 +512,7 @@ let test_seqatpg_generate_set () =
       (fun f ->
         List.for_all
           (fun seq ->
-            (Fsim.run_sequential nl ~faults:[ f ] ~sequence:seq).Fsim.detected = 0)
+            (Fsim.run nl ~faults:[ f ] ~sequence:seq).Fsim.detected = 0)
           sequences)
       detectable
   in
@@ -546,7 +546,7 @@ let test_topoff_seed_reduces_work () =
 let test_topoff_sat_engine () =
   let nl = redundant_netlist () in
   let faults = Fault.full_list nl in
-  let r = Topoff.run ~engine:Topoff.Use_sat ~random_budget:0 nl ~faults ~seed_patterns:[||] in
+  let r = Topoff.run ~generator:Topoff.Use_sat ~random_budget:0 nl ~faults ~seed_patterns:[||] in
   check_bool "found untestable" true (r.Topoff.untestable >= 1);
   Alcotest.(check (float 1e-6)) "100% of testable" 100. r.Topoff.final_coverage_percent
 
@@ -554,7 +554,7 @@ let test_topoff_final_test_set_detects_everything () =
   let nl = full_adder () in
   let faults = Fault.full_list nl in
   let r = Topoff.run nl ~faults ~seed_patterns:(patterns_of_codes nl [| 0b111 |]) in
-  let check_run = Fsim.run_combinational nl ~faults ~patterns:r.Topoff.test_set in
+  let check_run = Fsim.run nl ~faults ~sequence:r.Topoff.test_set in
   check_int "replay detects all testable"
     (List.length faults - r.Topoff.untestable - r.Topoff.aborted)
     check_run.Fsim.detected

@@ -1,0 +1,251 @@
+(* Cross-engine differential suite for the unified Fsim.run API: the
+   event-driven and compiled backends must reproduce the packed and
+   serial reference engines bit-for-bit — same detection flags AND the
+   same first-detection indices — over random netlists, over the whole
+   circuit registry, and at every shard fan-out. A final test pins the
+   store contract: the engine choice never perturbs "fsimcone" keys,
+   so a campaign cached under one backend replays warm under another. *)
+
+module Prng = Mutsamp_util.Prng
+module Packvec = Mutsamp_util.Packvec
+module Netlist = Mutsamp_netlist.Netlist
+module B = Netlist.Builder
+module Fault = Mutsamp_fault.Fault
+module Fsim = Mutsamp_fault.Fsim
+module Registry = Mutsamp_circuits.Registry
+module Pipeline = Mutsamp_core.Pipeline
+module Prpg = Mutsamp_atpg.Prpg
+module Ctx = Mutsamp_exec.Ctx
+module Pool = Mutsamp_exec.Pool
+module Store = Mutsamp_store.Store
+module Metrics = Mutsamp_obs.Metrics
+module Rerror = Mutsamp_robust.Error
+module Collapse = Mutsamp_fault.Collapse
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Same shape as the generator in test_wide.ml: a few inputs, a pile of
+   random gates, optional flip-flops, random outputs. *)
+let random_netlist ~dffs seed =
+  let prng = Prng.create seed in
+  let b = B.create (Printf.sprintf "eng%d" seed) in
+  let n_inputs = 2 + Prng.int prng 4 in
+  let pool =
+    ref (List.init n_inputs (fun k -> B.input b (Printf.sprintf "i%d" k)))
+  in
+  let qs =
+    if not dffs then []
+    else
+      List.init
+        (1 + Prng.int prng 2)
+        (fun _ ->
+          let q = B.dff b ~init:(Prng.bool prng) in
+          pool := q :: !pool;
+          q)
+  in
+  let pick () = Prng.pick_list prng !pool in
+  for _ = 1 to 5 + Prng.int prng 15 do
+    let x = pick () and y = pick () in
+    let g =
+      match Prng.int prng 7 with
+      | 0 -> B.and_ b x y
+      | 1 -> B.or_ b x y
+      | 2 -> B.xor_ b x y
+      | 3 -> B.nand_ b x y
+      | 4 -> B.nor_ b x y
+      | 5 -> B.xnor_ b x y
+      | _ -> B.not_ b x
+    in
+    pool := g :: !pool
+  done;
+  List.iter (fun q -> B.connect_dff b q ~d:(pick ())) qs;
+  for k = 0 to Prng.int prng 3 do
+    B.output b (Printf.sprintf "o%d" k) (pick ())
+  done;
+  B.finalize b
+
+let random_sequence nl ~length seed =
+  let prng = Prng.create seed in
+  let n_in = Array.length nl.Netlist.input_nets in
+  Array.init length (fun _ -> Packvec.random prng n_in)
+
+let same_report (a : Fsim.report) (b : Fsim.report) =
+  a.Fsim.total = b.Fsim.total
+  && a.Fsim.detected = b.Fsim.detected
+  && a.Fsim.patterns_applied = b.Fsim.patterns_applied
+  && Array.for_all2
+       (fun (da : Fsim.detection) (db : Fsim.detection) ->
+         da.Fsim.fault = db.Fsim.fault
+         && da.Fsim.detected_at = db.Fsim.detected_at)
+       a.Fsim.detections b.Fsim.detections
+
+let engines = [ Fsim.Packed; Fsim.Event; Fsim.Compiled ]
+
+(* ------------------------------------------------------------------ *)
+(* Random-netlist differential properties                             *)
+(* ------------------------------------------------------------------ *)
+
+let prop_engines_agree ~dffs ~name =
+  QCheck.Test.make ~name ~count:80
+    (QCheck.make QCheck.Gen.(int_range 0 1000000))
+    (fun seed ->
+      let nl = random_netlist ~dffs seed in
+      let faults = Fault.full_list nl in
+      let len = if dffs then 6 + (seed mod 12) else 20 + (seed mod 60) in
+      let sequence = random_sequence nl ~length:len seed in
+      let reference = Fsim.run ~engine:Fsim.Serial nl ~faults ~sequence in
+      List.for_all
+        (fun engine ->
+          same_report reference (Fsim.run ~engine nl ~faults ~sequence))
+        engines)
+
+let prop_comb_engines_agree =
+  prop_engines_agree ~dffs:false
+    ~name:"packed = event = compiled = serial (combinational)"
+
+let prop_seq_engines_agree =
+  prop_engines_agree ~dffs:true
+    ~name:"packed = event = compiled = serial (sequential)"
+
+(* ------------------------------------------------------------------ *)
+(* Registry circuits at every shard fan-out                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Detection reports must not depend on the engine OR on how the fault
+   list is sharded across domains — the merge of contiguous shards is
+   bit-identical because per-fault first detection is independent of
+   grouping. Runs the whole registry: comb ISCAS nets, seq ITC bench
+   machines, and the >62-input wide128 regression. *)
+let test_registry_all_engines_all_jobs () =
+  List.iter
+    (fun (e : Registry.entry) ->
+      let p = Pipeline.prepare (e.Registry.design ()) in
+      let nl = p.Pipeline.netlist in
+      let faults = p.Pipeline.faults in
+      let bits = Array.length nl.Netlist.input_nets in
+      let length = if Netlist.num_dffs nl = 0 then 24 else 12 in
+      let sequence = Prpg.uniform_sequence (Prng.create 7) ~bits ~length in
+      let reference = Fsim.run ~engine:Fsim.Serial nl ~faults ~sequence in
+      List.iter
+        (fun jobs ->
+          let with_ctx f =
+            if jobs = 1 then f Ctx.default
+            else begin
+              let pool = Pool.create ~domains:jobs in
+              Fun.protect
+                ~finally:(fun () -> Pool.shutdown pool)
+                (fun () -> f (Ctx.with_pool pool))
+            end
+          in
+          with_ctx @@ fun ctx ->
+          List.iter
+            (fun engine ->
+              let r = Fsim.run ~engine ~ctx nl ~faults ~sequence in
+              check_bool
+                (Printf.sprintf "%s: %s at jobs %d differs from serial"
+                   e.Registry.name
+                   (Ctx.engine_to_string engine)
+                   jobs)
+                true (same_report reference r))
+            engines)
+        [ 1; 2; 4 ])
+    Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* Store keys are engine-independent                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let with_store f =
+  let dir = Filename.temp_file "mutsamp_engines" "" in
+  Sys.remove dir;
+  Fun.protect ~finally:(fun () -> rm_rf dir)
+  @@ fun () ->
+  match Store.open_dir dir with
+  | Ok s -> f s
+  | Error e -> Alcotest.failf "open_dir failed: %s" (Rerror.to_string e)
+
+let store_count name =
+  match List.assoc_opt name (Store.counters ()) with
+  | Some n -> n
+  | None -> 0
+
+(* A campaign cached under one engine must replay warm under another:
+   "fsimcone" keys hash cones, fault sites and the sequence — never the
+   backend — and the cached payloads are bit-identical by the
+   differential properties above. Cold-run with packed, warm-run with
+   event and compiled: every group hits, nothing simulates, nothing is
+   re-stored. *)
+let test_warm_replay_across_engines () =
+  with_store @@ fun s ->
+  let p =
+    match Registry.find "c432" with
+    | Some e -> Pipeline.prepare (e.Registry.design ())
+    | None -> Alcotest.fail "c432 missing"
+  in
+  let nl = p.Pipeline.netlist in
+  let faults = (Collapse.run nl).Collapse.representatives in
+  let bits = Array.length nl.Netlist.input_nets in
+  let patterns = Prpg.uniform_sequence (Prng.create 19) ~bits ~length:16 in
+  Store.reset_counters ();
+  let ctx_of engine = Ctx.make ~store:s ~engine () in
+  let cold =
+    Pipeline.fault_simulate_patterns ~ctx:(ctx_of Ctx.Packed) nl ~faults
+      ~patterns
+  in
+  check_bool "cold run fills the store" true (store_count "puts" >= 1);
+  List.iter
+    (fun engine ->
+      Store.reset_counters ();
+      Metrics.set_enabled true;
+      Metrics.reset ();
+      let warm =
+        Pipeline.fault_simulate_patterns ~ctx:(ctx_of engine) nl ~faults
+          ~patterns
+      in
+      let snap = Metrics.snapshot () in
+      Metrics.reset ();
+      Metrics.set_enabled false;
+      check_bool
+        (Printf.sprintf "warm %s replay bit-identical"
+           (Ctx.engine_to_string engine))
+        true (warm = cold);
+      check_bool "warm run hits the store" true (store_count "hits" >= 1);
+      check_int "warm run stores nothing" 0 (store_count "puts");
+      (* No fsim.* counter moves at all: the engine never ran. *)
+      List.iter
+        (fun (name, v) ->
+          check_bool
+            (Printf.sprintf "unexpected %s=%d on warm %s run" name v
+               (Ctx.engine_to_string engine))
+            false
+            (String.length name >= 5 && String.sub name 0 5 = "fsim."))
+        snap.Metrics.counters)
+    [ Ctx.Event; Ctx.Compiled; Ctx.Auto ]
+
+let suite =
+  [
+    ( "engines.differential",
+      [
+        QCheck_alcotest.to_alcotest prop_comb_engines_agree;
+        QCheck_alcotest.to_alcotest prop_seq_engines_agree;
+      ] );
+    ( "engines.registry",
+      [
+        Alcotest.test_case "whole registry, all engines, jobs 1/2/4" `Slow
+          test_registry_all_engines_all_jobs;
+      ] );
+    ( "engines.store",
+      [
+        Alcotest.test_case "warm replay across engines" `Quick
+          test_warm_replay_across_engines;
+      ] );
+  ]

@@ -225,7 +225,7 @@ let prop_nand_mapping_random =
 (* ------------------------------------------------------------------ *)
 
 let coverage nl faults patterns =
-  Fsim.coverage_percent (Fsim.run_combinational nl ~faults ~patterns)
+  Fsim.coverage_percent (Fsim.run nl ~faults ~sequence:patterns)
 
 let test_compact_preserves_coverage () =
   let nl = full_adder () in
@@ -233,8 +233,8 @@ let test_compact_preserves_coverage () =
   let prng = Prng.create 3 in
   let patterns = Prpg.uniform_sequence prng ~bits:3 ~length:64 in
   let reference = coverage nl faults patterns in
-  let rev = Compact.reverse_order nl ~faults ~patterns in
-  let greedy = Compact.greedy_cover nl ~faults ~patterns in
+  let rev = Compact.reverse_order nl ~faults ~patterns:patterns in
+  let greedy = Compact.greedy_cover nl ~faults ~patterns:patterns in
   Alcotest.(check (float 1e-9)) "reverse coverage" reference (coverage nl faults rev);
   Alcotest.(check (float 1e-9)) "greedy coverage" reference (coverage nl faults greedy);
   check_bool "reverse smaller" true (Array.length rev <= Array.length patterns);
@@ -245,7 +245,7 @@ let test_compact_idempotent_on_minimal () =
   let nl = full_adder () in
   let faults = Fault.full_list nl in
   let patterns = Prpg.uniform_sequence (Prng.create 4) ~bits:3 ~length:64 in
-  let greedy = Compact.greedy_cover nl ~faults ~patterns in
+  let greedy = Compact.greedy_cover nl ~faults ~patterns:patterns in
   let again = Compact.greedy_cover nl ~faults ~patterns:greedy in
   check_int "stable size" (Array.length greedy) (Array.length again)
 
@@ -257,8 +257,8 @@ let prop_compact_preserves_coverage =
       let faults = Fault.full_list nl in
       let patterns = Prpg.uniform_sequence (Prng.create seed) ~bits:3 ~length:n in
       let reference = coverage nl faults patterns in
-      let rev = Compact.reverse_order nl ~faults ~patterns in
-      let greedy = Compact.greedy_cover nl ~faults ~patterns in
+      let rev = Compact.reverse_order nl ~faults ~patterns:patterns in
+      let greedy = Compact.greedy_cover nl ~faults ~patterns:patterns in
       coverage nl faults rev = reference && coverage nl faults greedy = reference)
 
 (* ------------------------------------------------------------------ *)
@@ -369,11 +369,11 @@ let test_testpoints_insertion_coverage () =
   let nl = Lazy.force c432_netlist in
   let faults = (Collapse.run nl).Collapse.representatives in
   let patterns = Prpg.uniform_sequence (Prng.create 50) ~bits:36 ~length:124 in
-  let base = Fsim.run_combinational nl ~faults ~patterns in
+  let base = Fsim.run nl ~faults ~sequence:patterns in
   let with_tp = Testpoints.auto_insert nl ~n:16 in
   (* The fault list refers to the SAME nets (insertion only appends
      outputs), so the comparison is apples to apples. *)
-  let improved = Fsim.run_combinational with_tp ~faults ~patterns in
+  let improved = Fsim.run with_tp ~faults ~sequence:patterns in
   check_bool "coverage never drops" true
     (Fsim.coverage_percent improved >= Fsim.coverage_percent base -. 1e-9);
   check_bool "observation points help c432" true
@@ -424,7 +424,7 @@ let test_dictionary_agrees_with_rank () =
   let nl = full_adder () in
   let candidates = Fault.full_list nl in
   let patterns = patterns_of_codes nl (Array.init 8 (fun i -> i)) in
-  let dict = Diagnose.build nl ~candidates ~patterns in
+  let dict = Diagnose.build nl ~candidates ~patterns:patterns in
   let prng = Prng.create 31 in
   for _ = 1 to 10 do
     let injected = List.nth candidates (Prng.int prng (List.length candidates)) in

@@ -145,13 +145,13 @@ let test_collapse_sound_on_full_adder () =
   let all = Fault.full_list nl in
   let patterns = patterns_of_codes nl (Array.init 8 (fun i -> i)) in
   let detect_set f =
-    let r = Fsim.run_combinational nl ~faults:[ f ] ~patterns in
+    let r = Fsim.run nl ~faults:[ f ] ~sequence:patterns in
     (* With a single fault and no dropping subtleties we need the set of
        ALL detecting patterns, so run each pattern alone. *)
     ignore r;
     List.filter
       (fun p ->
-        let r = Fsim.run_combinational nl ~faults:[ f ] ~patterns:[| p |] in
+        let r = Fsim.run nl ~faults:[ f ] ~sequence:[| p |] in
         r.Fsim.detected = 1)
       (Array.to_list patterns)
   in
@@ -197,8 +197,8 @@ let test_dominance_sound () =
   let all_patterns = patterns_of_codes nl (Array.init 8 (fun i -> i)) in
   (* Build a minimal-ish test set covering the reduced list greedily. *)
   let detects f p =
-    (Fsim.run_combinational nl ~faults:[ f ]
-       ~patterns:[| pattern_of_code nl p |]).Fsim.detected = 1
+    (Fsim.run nl ~faults:[ f ]
+       ~sequence:[| pattern_of_code nl p |]).Fsim.detected = 1
   in
   let tests =
     List.sort_uniq Stdlib.compare
@@ -212,12 +212,12 @@ let test_dominance_sound () =
   let testable =
     List.filter
       (fun f ->
-        (Fsim.run_combinational nl ~faults:[ f ] ~patterns:all_patterns).Fsim.detected = 1)
+        (Fsim.run nl ~faults:[ f ] ~sequence:all_patterns).Fsim.detected = 1)
       full
   in
   let r =
-    Fsim.run_combinational nl ~faults:testable
-      ~patterns:(patterns_of_codes nl (Array.of_list tests))
+    Fsim.run nl ~faults:testable
+      ~sequence:(patterns_of_codes nl (Array.of_list tests))
   in
   check_int "reduced-list tests detect all testable faults"
     (List.length testable) r.Fsim.detected
@@ -230,8 +230,8 @@ let test_fsim_and_gate_exhaustive_full_coverage () =
   let nl = and_netlist () in
   let faults = Fault.full_list nl in
   let r =
-    Fsim.run_combinational nl ~faults
-      ~patterns:(patterns_of_codes nl [| 0b00; 0b01; 0b10; 0b11 |])
+    Fsim.run nl ~faults
+      ~sequence:(patterns_of_codes nl [| 0b00; 0b01; 0b10; 0b11 |])
   in
   check_int "all detected" (List.length faults) r.Fsim.detected;
   Alcotest.(check (float 1e-6)) "coverage 100" 100. (Fsim.coverage_percent r)
@@ -241,7 +241,7 @@ let test_fsim_single_pattern_partial () =
   let faults = Fault.full_list nl in
   (* Pattern a=1,b=1 detects y SA0, a SA0, b SA0 only. *)
   let r =
-    Fsim.run_combinational nl ~faults ~patterns:(patterns_of_codes nl [| 0b11 |])
+    Fsim.run nl ~faults ~sequence:(patterns_of_codes nl [| 0b11 |])
   in
   check_int "three detected" 3 r.Fsim.detected
 
@@ -249,7 +249,7 @@ let test_fsim_detection_indices_monotone () =
   let nl = full_adder () in
   let faults = Fault.full_list nl in
   let patterns = patterns_of_codes nl (Array.init 8 (fun i -> i)) in
-  let r = Fsim.run_combinational nl ~faults ~patterns in
+  let r = Fsim.run nl ~faults ~sequence:patterns in
   Array.iter
     (fun (d : Fsim.detection) ->
       match d.Fsim.detected_at with
@@ -261,7 +261,7 @@ let test_fsim_coverage_curve_monotone () =
   let nl = full_adder () in
   let faults = Fault.full_list nl in
   let patterns = patterns_of_codes nl (Array.init 8 (fun i -> i)) in
-  let r = Fsim.run_combinational nl ~faults ~patterns in
+  let r = Fsim.run nl ~faults ~sequence:patterns in
   let curve = Fsim.coverage_curve r in
   check_int "curve length" 9 (List.length curve);
   let rec monotone = function
@@ -279,8 +279,8 @@ let test_fsim_length_to_reach () =
   let nl = and_netlist () in
   let faults = Fault.full_list nl in
   let r =
-    Fsim.run_combinational nl ~faults
-      ~patterns:(patterns_of_codes nl [| 0b11; 0b01; 0b10; 0b00 |])
+    Fsim.run nl ~faults
+      ~sequence:(patterns_of_codes nl [| 0b11; 0b01; 0b10; 0b00 |])
   in
   (match Fsim.length_to_reach r 50.0 with
    | Some n -> check_bool "reasonable prefix" true (n >= 1 && n <= 4)
@@ -293,35 +293,49 @@ let test_fsim_sequential_counter () =
   let faults = Fault.full_list nl in
   (* Enable high for 16 cycles exercises the whole count range. *)
   let seq = patterns_of_codes nl (Array.make 16 1) in
-  let r = Fsim.run_sequential nl ~faults ~sequence:seq in
+  let r = Fsim.run nl ~faults ~sequence:seq in
   check_bool "detects most faults" true
     (Fsim.coverage_percent r > 60.);
   (* A short sequence detects fewer faults. *)
   let r2 =
-    Fsim.run_sequential nl ~faults
+    Fsim.run nl ~faults
       ~sequence:(patterns_of_codes nl (Array.make 2 1))
   in
   check_bool "short sequence weaker" true (r2.Fsim.detected <= r.Fsim.detected)
 
-let test_fsim_rejects_seq_in_comb_engine () =
-  let nl = counter_netlist () in
+let test_fsim_rejects_bad_lanes () =
+  (* Every word-parallel engine validates the lane count; lane requests
+     are otherwise rounded up to whole 63-bit words. *)
+  let comb = and_netlist () in
+  List.iter
+    (fun engine ->
+      try
+        ignore
+          (Fsim.run ~lanes:0 ~engine comb
+             ~faults:(Fault.full_list comb)
+             ~sequence:(patterns_of_codes comb [| 3 |]));
+        Alcotest.fail "should reject lanes = 0 (combinational)"
+      with Invalid_argument _ -> ())
+    [ Fsim.Packed; Fsim.Event; Fsim.Compiled ];
+  let seq = counter_netlist () in
   (try
      ignore
-       (Fsim.run_combinational nl ~faults:(Fault.full_list nl)
-          ~patterns:(patterns_of_codes nl [| 1 |]));
-     Alcotest.fail "should reject"
+       (Fsim.run ~lanes:0 ~engine:Fsim.Packed seq
+          ~faults:(Fault.full_list seq)
+          ~sequence:(patterns_of_codes seq [| 1 |]));
+     Alcotest.fail "should reject lanes = 0 (sequential)"
    with Invalid_argument _ -> ())
 
 let test_fsim_auto_dispatch () =
   let comb = and_netlist () in
   let seq = counter_netlist () in
   let r1 =
-    Fsim.run_auto comb ~faults:(Fault.full_list comb)
+    Fsim.run comb ~faults:(Fault.full_list comb)
       ~sequence:(patterns_of_codes comb [| 3 |])
   in
   check_bool "comb ran" true (r1.Fsim.total > 0);
   let r2 =
-    Fsim.run_auto seq ~faults:(Fault.full_list seq)
+    Fsim.run seq ~faults:(Fault.full_list seq)
       ~sequence:(patterns_of_codes seq [| 1; 1 |])
   in
   check_bool "seq ran" true (r2.Fsim.total > 0)
@@ -344,8 +358,8 @@ let prop_serial_equals_parallel =
       let patterns =
         patterns_of_codes nl (Array.init n_patterns (fun _ -> Prng.int prng 8))
       in
-      let rp = Fsim.run_combinational nl ~faults ~patterns in
-      let rs = Fsim.run_sequential nl ~faults ~sequence:patterns in
+      let rp = Fsim.run ~engine:Fsim.Packed nl ~faults ~sequence:patterns in
+      let rs = Fsim.run ~engine:Fsim.Serial nl ~faults ~sequence:patterns in
       rp.Fsim.detected = rs.Fsim.detected
       && Array.for_all2
            (fun (a : Fsim.detection) (b : Fsim.detection) ->
@@ -364,8 +378,8 @@ let prop_parallel_fault_equals_serial =
       let sequence =
         patterns_of_codes nl (Array.init len (fun _ -> Prng.int prng 2))
       in
-      let rs = Fsim.run_sequential nl ~faults ~sequence in
-      let rp = Fsim.run_parallel_fault nl ~faults ~sequence in
+      let rs = Fsim.run ~engine:Fsim.Serial nl ~faults ~sequence in
+      let rp = Fsim.run ~engine:Fsim.Packed nl ~faults ~sequence in
       rs.Fsim.detected = rp.Fsim.detected
       && Array.for_all2
            (fun (a : Fsim.detection) (b : Fsim.detection) ->
@@ -376,8 +390,8 @@ let test_parallel_fault_combinational_too () =
   let nl = full_adder () in
   let faults = Fault.full_list nl in
   let patterns = patterns_of_codes nl (Array.init 8 (fun i -> i)) in
-  let rp = Fsim.run_parallel_fault nl ~faults ~sequence:patterns in
-  let rc = Fsim.run_combinational nl ~faults ~patterns in
+  let rp = Fsim.run ~engine:Fsim.Packed nl ~faults ~sequence:patterns in
+  let rc = Fsim.run nl ~faults ~sequence:patterns in
   check_int "same detected" rc.Fsim.detected rp.Fsim.detected
 
 let test_parallel_fault_many_groups () =
@@ -386,8 +400,8 @@ let test_parallel_fault_many_groups () =
   let faults = Fault.full_list nl in
   check_bool "enough faults to need grouping" true (List.length faults > 62);
   let sequence = patterns_of_codes nl (Array.make 16 1) in
-  let rp = Fsim.run_parallel_fault nl ~faults ~sequence in
-  let rs = Fsim.run_sequential nl ~faults ~sequence in
+  let rp = Fsim.run ~engine:Fsim.Packed nl ~faults ~sequence in
+  let rs = Fsim.run ~engine:Fsim.Serial nl ~faults ~sequence in
   check_int "same detected" rs.Fsim.detected rp.Fsim.detected
 
 (* Property: coverage never decreases when patterns are appended. *)
@@ -401,8 +415,8 @@ let prop_coverage_monotone_in_patterns =
       let patterns =
         patterns_of_codes nl (Array.init (2 * n) (fun _ -> Prng.int prng 8))
       in
-      let r1 = Fsim.run_combinational nl ~faults ~patterns:(Array.sub patterns 0 n) in
-      let r2 = Fsim.run_combinational nl ~faults ~patterns in
+      let r1 = Fsim.run nl ~faults ~sequence:(Array.sub patterns 0 n) in
+      let r2 = Fsim.run nl ~faults ~sequence:patterns in
       Fsim.coverage_percent r2 >= Fsim.coverage_percent r1 -. 1e-9)
 
 let suite =
@@ -432,7 +446,7 @@ let suite =
         Alcotest.test_case "curve monotone" `Quick test_fsim_coverage_curve_monotone;
         Alcotest.test_case "length to reach" `Quick test_fsim_length_to_reach;
         Alcotest.test_case "sequential counter" `Quick test_fsim_sequential_counter;
-        Alcotest.test_case "comb engine rejects seq" `Quick test_fsim_rejects_seq_in_comb_engine;
+        Alcotest.test_case "rejects bad lane counts" `Quick test_fsim_rejects_bad_lanes;
         Alcotest.test_case "auto dispatch" `Quick test_fsim_auto_dispatch;
         Alcotest.test_case "input code" `Quick test_input_code;
         Alcotest.test_case "parallel-fault comb" `Quick test_parallel_fault_combinational_too;

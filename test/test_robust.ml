@@ -192,14 +192,14 @@ let test_fsim_budget_degrades () =
   let patterns = Prpg.uniform_sequence (Prng.create 7) ~bits ~length:64 in
   let ctx_with b = { Mutsamp_exec.Ctx.default with budget = Some b } in
   let full =
-    Fsim.run_combinational ~ctx:(ctx_with Budget.unlimited) nl ~faults ~patterns
+    Fsim.run ~ctx:(ctx_with Budget.unlimited) nl ~faults ~sequence:patterns
   in
   (* A one-pair budget stops the run almost immediately: the report is
      partial (never over-reports) and the cut is on record. *)
   let cut =
-    Fsim.run_combinational
+    Fsim.run
       ~ctx:(ctx_with (Budget.create ~fsim_pairs:1 ()))
-      nl ~faults ~patterns
+      nl ~faults ~sequence:patterns
   in
   check_int "fault universe unchanged" full.Fsim.total cut.Fsim.total;
   check_bool "partial detection" true (cut.Fsim.detected < full.Fsim.detected);
@@ -257,7 +257,7 @@ let test_topoff_degrades_under_chaos () =
   let faults = (Collapse.run nl).Collapse.representatives in
   (* The deterministic phase dies instantly; the run must still return
      a report, fall back to random top-off and say so. *)
-  let r = Topoff.run ~engine:Topoff.Use_sat ~seed:3 nl ~faults ~seed_patterns:[||] in
+  let r = Topoff.run ~generator:Topoff.Use_sat ~seed:3 nl ~faults ~seed_patterns:[||] in
   check_bool "degraded flagged" true r.Topoff.degraded;
   check_bool "fallback rounds ran" true (r.Topoff.degraded_retries > 0);
   check_bool "degradation recorded" true

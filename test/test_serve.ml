@@ -81,15 +81,29 @@ let test_protocol_parse_ok () =
      Protocol.parse_request
        {|{"op":"faultsim","circuit":"c17","vectors":64,"id":"r1","deadline_ms":500,"chaos":["fsim:exn"]}|}
    with
-   | Ok { id; op = Protocol.Faultsim { circuit; vectors; lfsr; seed }; deadline_ms; chaos } ->
+   | Ok
+       {
+         id;
+         op = Protocol.Faultsim { circuit; vectors; lfsr; seed };
+         deadline_ms;
+         chaos;
+         engine;
+       } ->
      check_string "id" "r1" id;
      check_string "circuit" "c17" circuit;
      check_int "vectors" 64 vectors;
      check_bool "lfsr default" false lfsr;
      check_int "seed default" 2005 seed;
      check_int "deadline" 500 (Option.get deadline_ms);
-     Alcotest.(check (list string)) "chaos" [ "fsim:exn" ] chaos
+     Alcotest.(check (list string)) "chaos" [ "fsim:exn" ] chaos;
+     check_bool "engine defaults to auto" true (engine = Mutsamp_exec.Ctx.Auto)
    | Ok _ -> Alcotest.fail "wrong op"
+   | Error e -> Alcotest.failf "parse failed: %s" (Rerror.to_string e));
+  (match
+     Protocol.parse_request {|{"op":"faultsim","circuit":"c17","engine":"compiled"}|}
+   with
+   | Ok { engine = Mutsamp_exec.Ctx.Compiled; _ } -> ()
+   | Ok _ -> Alcotest.fail "engine not parsed"
    | Error e -> Alcotest.failf "parse failed: %s" (Rerror.to_string e));
   match Protocol.parse_request {|{"op":"health"}|} with
   | Ok { op = Protocol.Health; id = ""; _ } -> ()
@@ -108,7 +122,9 @@ let test_protocol_parse_errors () =
   is_protocol {|{"op":"faultsim"}|};
   is_protocol {|{"op":"faultsim","circuit":7}|};
   is_protocol {|{"op":"faultsim","circuit":"c17","vectors":0}|};
-  is_protocol {|{"op":"atpg","circuit":"c17","engine":"quantum"}|};
+  is_protocol {|{"op":"atpg","circuit":"c17","generator":"quantum"}|};
+  is_protocol {|{"op":"faultsim","circuit":"c17","engine":"quantum"}|};
+  is_protocol {|{"op":"faultsim","circuit":"c17","engine":"serial"}|};
   is_protocol {|{"op":"table2","repetitions":0}|};
   is_protocol {|{"op":"sleep","ms":-1}|}
 

@@ -165,9 +165,11 @@ let prop_combinational_matches_reference =
       let nl = random_netlist ~dffs:false seed in
       let faults = Fault.full_list nl in
       let patterns = random_sequence nl ~length:(40 + (seed mod 100)) seed in
-      let reference = Fsim.run_sequential nl ~faults ~sequence:patterns in
-      let wide = Fsim.run_combinational nl ~faults ~patterns in
-      let wider = Fsim.run_combinational ~lanes:126 nl ~faults ~patterns in
+      let reference = Fsim.run ~engine:Fsim.Serial nl ~faults ~sequence:patterns in
+      let wide = Fsim.run ~engine:Fsim.Packed nl ~faults ~sequence:patterns in
+      let wider =
+        Fsim.run ~engine:Fsim.Packed ~lanes:126 nl ~faults ~sequence:patterns
+      in
       same_report reference wide && same_report reference wider)
 
 (* Parallel-fault engine with multi-word lanes on sequential machines. *)
@@ -178,9 +180,9 @@ let prop_parallel_fault_matches_reference =
       let nl = random_netlist ~dffs:true seed in
       let faults = Fault.full_list nl in
       let sequence = random_sequence nl ~length:(8 + (seed mod 16)) seed in
-      let reference = Fsim.run_sequential nl ~faults ~sequence in
-      let wide = Fsim.run_parallel_fault nl ~faults ~sequence in
-      let wider = Fsim.run_parallel_fault ~lanes:189 nl ~faults ~sequence in
+      let reference = Fsim.run ~engine:Fsim.Serial nl ~faults ~sequence in
+      let wide = Fsim.run ~engine:Fsim.Packed nl ~faults ~sequence in
+      let wider = Fsim.run ~engine:Fsim.Packed ~lanes:189 nl ~faults ~sequence in
       same_report reference wide && same_report reference wider)
 
 (* ------------------------------------------------------------------ *)
@@ -202,7 +204,7 @@ let test_wide128_fault_coverage () =
   let nl = wide128_netlist () in
   let faults = Fault.full_list nl in
   let patterns = Prpg.uniform_sequence (Prng.create 11) ~bits:128 ~length:64 in
-  let r = Fsim.run_auto nl ~faults ~sequence:patterns in
+  let r = Fsim.run nl ~faults ~sequence:patterns in
   check_bool "patterns are wide" true (Pattern.width patterns.(0) = 128);
   check_bool "nonzero coverage" true (r.Fsim.detected > 0);
   (* The parity chain makes most faults randomly testable; 64 random
@@ -224,8 +226,8 @@ let test_wide128_differential_sample () =
     List.filteri (fun i _ -> i mod 23 = 0) (Fault.full_list nl)
   in
   let patterns = Prpg.uniform_sequence (Prng.create 3) ~bits:128 ~length:16 in
-  let reference = Fsim.run_sequential nl ~faults ~sequence:patterns in
-  let wide = Fsim.run_combinational nl ~faults ~patterns in
+  let reference = Fsim.run ~engine:Fsim.Serial nl ~faults ~sequence:patterns in
+  let wide = Fsim.run nl ~faults ~sequence:patterns in
   check_bool "sampled faults agree" true (same_report reference wide)
 
 let suite =
